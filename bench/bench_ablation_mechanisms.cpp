@@ -1,0 +1,66 @@
+// Ablation of the simulator's modeled mechanisms (DESIGN.md §4): how much
+// of HFTA's headline V100 PointNet-cls speedup comes from each of the three
+// effects the paper identifies —
+//   (1) amortizing per-op stream gaps / launch overheads,
+//   (2) filling the device with B x parallel work (SM utilization),
+//   (3) avoiding per-process framework memory (more models fit).
+// Each row disables one mechanism and re-measures the peak speedup.
+#include <cstdio>
+
+#include "sim/counters.h"
+
+using namespace hfta::sim;
+
+namespace {
+
+double peak_with(DeviceSpec dev) {
+  return peak_speedup_vs(dev, Workload::kPointNetCls, Mode::kSerial);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: HFTA peak speedup over serial, V100 PointNet-cls\n");
+  const double full = peak_with(v100());
+  std::printf("%-44s %6.2fx\n", "full model", full);
+
+  {
+    DeviceSpec d = v100();
+    d.stream_gap_us = 0;  // no eager-framework gaps to amortize
+    std::printf("%-44s %6.2fx\n", "- without stream gaps (mechanism 1)",
+                peak_with(d));
+  }
+  {
+    DeviceSpec d = v100();
+    // device so small that serial kernels already fill it: no fill headroom
+    d.sms = 8;
+    std::printf("%-44s %6.2fx\n", "- tiny device, no underfill (mechanism 2)",
+                peak_with(d));
+  }
+  {
+    DeviceSpec d = v100();
+    d.framework_gb_fp32 = 0;  // per-process reservation free: MPS-like memory
+    d.framework_gb_amp = 0;
+    std::printf("%-44s %6.2fx\n",
+                "- zero framework memory overhead (mechanism 3)",
+                peak_with(d));
+  }
+  {
+    DeviceSpec d = v100();
+    d.kernel_launch_us = 0;
+    d.gemm_setup_us = 0;
+    std::printf("%-44s %6.2fx\n", "- free kernel launches / GEMM setups",
+                peak_with(d));
+  }
+  {
+    DeviceSpec d = v100();
+    d.hbm_gb = 1000;  // memory never binds: every mode fits arbitrarily many
+    std::printf("%-44s %6.2fx\n", "- unlimited HBM (capacity never binds)",
+                peak_with(d));
+  }
+  std::printf(
+      "\nReading: each mechanism contributes to the headline number; gaps +\n"
+      "underfill drive per-model time, the memory model sets where curves "
+      "stop.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Reproduces Figure 11 (and Appendix D): REAL training — not simulated —
+// of ResNet-18 on a synthetic CIFAR-10 stand-in with three learning rates
+// (paper: 0.0005 / 0.001 / 0.002, Adadelta). The three models train (a)
+// independently ("Serial") and (b) as one HFTA-fused array; the per-model
+// training-loss curves must overlap. We print both curves per step and the
+// maximum divergence.
+#include <cstdio>
+#include <memory>
+
+#include "data/datasets.h"
+#include "data/loader.h"
+#include "hfta/fused_optim.h"
+#include "hfta/loss_scaling.h"
+#include "models/resnet.h"
+#include "nn/optim.h"
+
+using namespace hfta;
+
+int main() {
+  Rng rng(2021);
+  models::ResNetConfig cfg = models::ResNetConfig::tiny();
+  cfg.image_size = 8;
+  cfg.base_width = 4;
+  const int64_t kB = 3;
+  const fused::HyperVec lrs = {0.0005 * 1000, 0.001 * 1000, 0.002 * 1000};
+  // (Adadelta lr in the paper's range rescaled for the tiny model so the
+  //  curves visibly move in a few steps.)
+
+  data::ImageDataset ds(64, cfg.image_size, 3, cfg.num_classes, 77);
+  data::BatchSampler sampler(ds.size(), 16, true, 5);
+
+  models::FusedResNet18 fused_model(kB, cfg, rng);
+  std::vector<std::shared_ptr<models::ResNet18>> plain;
+  std::vector<std::unique_ptr<nn::Adadelta>> plain_opts;
+  for (int64_t b = 0; b < kB; ++b) {
+    plain.push_back(std::make_shared<models::ResNet18>(cfg, rng));
+    fused_model.load_model(b, *plain.back());
+    plain_opts.push_back(std::make_unique<nn::Adadelta>(
+        plain.back()->parameters(),
+        nn::Adadelta::Options{.lr = lrs[static_cast<size_t>(b)]}));
+  }
+  fused::FusedAdadelta fused_opt(
+      fused::collect_fused_parameters(fused_model, kB), kB, {.lr = lrs});
+
+  std::printf("Figure 11: training loss per iteration, serial (solid) vs "
+              "HFTA (dotted)\n");
+  std::printf("%-5s", "step");
+  for (int64_t b = 0; b < kB; ++b)
+    std::printf("   LR%-7g serial   hfta", lrs[static_cast<size_t>(b)]);
+  std::printf("\n");
+
+  double max_div = 0;
+  int step = 0;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    for (const auto& batch_idx : sampler.epoch()) {
+      auto [x, y] = ds.batch(batch_idx);
+      std::vector<Tensor> xs(kB, x);
+      Tensor labels({kB, x.size(0)});
+      for (int64_t b = 0; b < kB; ++b)
+        for (int64_t n = 0; n < x.size(0); ++n) labels.at({b, n}) = y.at({n});
+
+      fused_opt.zero_grad();
+      ag::Variable logits =
+          fused_model.forward(ag::Variable(fused::pack_channel_fused(xs)));
+      auto fused_losses =
+          fused::per_model_cross_entropy(logits.value(), labels);
+      fused::fused_cross_entropy(logits, labels, ag::Reduction::kMean)
+          .backward();
+      fused_opt.step();
+
+      std::printf("%-5d", step);
+      for (int64_t b = 0; b < kB; ++b) {
+        const size_t ub = static_cast<size_t>(b);
+        plain_opts[ub]->zero_grad();
+        ag::Variable loss = ag::cross_entropy(
+            plain[ub]->forward(ag::Variable(x)), y, ag::Reduction::kMean);
+        loss.backward();
+        plain_opts[ub]->step();
+        const double serial_loss = loss.value().item();
+        std::printf("   %15.4f %7.4f", serial_loss, fused_losses[ub]);
+        max_div = std::max(max_div,
+                           std::abs(serial_loss - fused_losses[ub]));
+      }
+      std::printf("\n");
+      ++step;
+    }
+  }
+  std::printf("\nmax |serial - HFTA| loss divergence over %d steps: %.5f\n",
+              step, max_div);
+  std::printf("(paper: dotted curves overlap the solid ones entirely — "
+              "HFTA does not affect convergence)\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Figure 15: normalized training throughput of the secondary
+// benchmarks (ResNet-18, MobileNetV3-Large, Transformer, BERT-Medium) on
+// V100 as the number of models sharing the GPU grows. Paper peaks vs
+// serial: 2.42x-3.94x; vs concurrent 1.67x-3.02x; vs MPS 1.25x-2.24x.
+#include <cstdio>
+
+#include "sim/counters.h"
+
+using namespace hfta::sim;
+
+int main() {
+  const DeviceSpec dev = v100();
+  const Workload workloads[] = {Workload::kResNet18, Workload::kMobileNetV3,
+                                Workload::kTransformer,
+                                Workload::kBertMedium};
+  std::printf("Figure 15: secondary benchmarks on V100 (B:normalized)\n");
+  for (Workload w : workloads) {
+    std::printf("\n%s\n", workload_name(w));
+    for (Precision prec : {Precision::kFP32, Precision::kAMP}) {
+      for (Mode mode :
+           {Mode::kSerial, Mode::kConcurrent, Mode::kMps, Mode::kHfta}) {
+        auto curve = sweep(dev, w, mode, prec, 32);
+        if (curve.empty()) continue;
+        std::printf("  %-11s-%-4s", mode_name(mode), precision_name(prec));
+        for (const auto& p : curve)
+          std::printf(" %ld:%.2f", p.models, p.normalized);
+        std::printf("\n");
+      }
+    }
+    std::printf("  => peak HFTA speedups: %.2fx vs serial, %.2fx vs "
+                "concurrent, %.2fx vs MPS\n",
+                peak_speedup_vs(dev, w, Mode::kSerial),
+                peak_speedup_vs(dev, w, Mode::kConcurrent),
+                peak_speedup_vs(dev, w, Mode::kMps));
+  }
+  std::printf("\npaper bands: serial 2.42-3.94x, concurrent 1.67-3.02x, MPS "
+              "1.25-2.24x\n");
+  return 0;
+}

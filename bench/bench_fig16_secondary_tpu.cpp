@@ -1,0 +1,25 @@
+// Reproduces Figure 16: the secondary benchmarks on TPU v3 (serial vs
+// HFTA). Paper peaks: 2.98x-6.43x over serial. The paper also notes the
+// ResNet-18 curve is cut where throughput starts to DEGRADE (TPU memory
+// system effects past per-core capacity) rather than at OOM.
+#include <cstdio>
+
+#include "sim/counters.h"
+
+using namespace hfta::sim;
+
+int main() {
+  const DeviceSpec dev = tpu_v3();
+  const Workload workloads[] = {Workload::kResNet18, Workload::kMobileNetV3,
+                                Workload::kTransformer,
+                                Workload::kBertMedium};
+  std::printf("Figure 16: secondary benchmarks on TPU v3 (B:normalized)\n");
+  for (Workload w : workloads) {
+    auto curve = sweep(dev, w, Mode::kHfta, Precision::kFP32);
+    std::printf("\n%-18s HFTA", workload_name(w));
+    for (const auto& p : curve) std::printf(" %ld:%.2f", p.models, p.normalized);
+    std::printf("\n  => peak %.2fx over serial (paper band: 2.98-6.43x)\n",
+                peak(curve));
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Reproduces Figure 17: 30 ResNet-18 models share one V100 (AMP); the
+// horizontal fusion of each of the 10 fusion units (stem conv block, 8
+// basic blocks, final linear) is turned off one by one. Paper findings:
+// (1) more fusion -> more throughput, every bit helps; (2) different blocks
+// contribute differently.
+#include <cstdio>
+
+#include "sim/execution.h"
+
+using namespace hfta::sim;
+
+int main() {
+  const DeviceSpec dev = v100();
+  const int64_t B = 30;
+  const IterationTrace single = build_trace(Workload::kResNet18, 1);
+  std::printf("Figure 17: 30 ResNet-18 models on V100 (AMP), partial "
+              "fusion\n");
+  std::printf("%-14s %16s %12s\n", "fused units", "round (ms)", "normalized");
+  double full = 0;
+  for (int64_t fused_units = 10; fused_units >= 0; --fused_units) {
+    const IterationTrace t = build_resnet_partial_trace(B, fused_units);
+    const RunResult r =
+        simulate_traces(dev, single, t, Mode::kHfta, B, Precision::kAMP);
+    if (fused_units == 10) full = r.round_us;
+    std::printf("%-14ld %15.1f %11.2f\n", fused_units, r.round_us / 1e3,
+                full / r.round_us);
+  }
+  std::printf("\n(normalized to the fully fused configuration; paper shows "
+              "monotonic decay)\n");
+  return 0;
+}

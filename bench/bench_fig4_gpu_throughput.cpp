@@ -1,0 +1,57 @@
+// Reproduces Figure 4 (a-i): normalized per-GPU training throughput as the
+// number of models sharing the GPU grows, for {V100, RTX6000, A100} x
+// {PointNet-cls, PointNet-seg, DCGAN} x {FP32, AMP} under serial /
+// concurrent / MPS / MIG(A100) / HFTA. Each curve stops at its memory
+// capacity, exactly as the paper's curves do.
+#include <cstdio>
+
+#include "sim/counters.h"
+
+using namespace hfta::sim;
+
+namespace {
+
+void print_curve(const char* label, const std::vector<SweepPoint>& curve) {
+  if (curve.empty()) return;
+  std::printf("  %-18s", label);
+  for (const auto& p : curve) {
+    std::printf(" %ld:%.2f", p.models, p.normalized);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const DeviceSpec devices[] = {v100(), rtx6000(), a100()};
+  const Workload workloads[] = {Workload::kPointNetCls, Workload::kPointNetSeg,
+                                Workload::kDCGAN};
+  const char* subfig[3][3] = {{"4a", "4b", "4c"},
+                              {"4d", "4e", "4f"},
+                              {"4g", "4h", "4i"}};
+
+  std::printf("Figure 4: normalized throughput vs #models per GPU\n");
+  std::printf("(format B:normalized, relative to the FP32 serial baseline)\n");
+  for (int d = 0; d < 3; ++d) {
+    for (int w = 0; w < 3; ++w) {
+      std::printf("\nFig %s: %s on %s\n", subfig[d][w],
+                  workload_name(workloads[w]), devices[d].name.c_str());
+      for (Precision prec : {Precision::kFP32, Precision::kAMP}) {
+        char label[64];
+        for (Mode mode : {Mode::kSerial, Mode::kConcurrent, Mode::kMps,
+                          Mode::kMig, Mode::kHfta}) {
+          if (mode == Mode::kMig && devices[d].max_mig_instances == 0)
+            continue;
+          auto curve = sweep(devices[d], workloads[w], mode, prec, 40);
+          std::snprintf(label, sizeof(label), "%s-%s", mode_name(mode),
+                        precision_name(prec));
+          print_curve(label, curve);
+        }
+      }
+      // headline: peak HFTA speedup over serial on this subplot
+      std::printf("  => peak HFTA speedup over serial: %.2fx\n",
+                  peak_speedup_vs(devices[d], workloads[w], Mode::kSerial));
+    }
+  }
+  return 0;
+}

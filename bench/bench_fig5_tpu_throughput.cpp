@@ -1,0 +1,42 @@
+// Reproduces Figure 5: per-core training throughput on TPU v3 for serial
+// vs HFTA on the PointNet classification task (paper: 4.93x peak) and
+// DCGAN (paper: 15.13x, super-linear due to XLA padding in the serial
+// baseline), plus the PointNet-seg footnote result (paper: 1.20x).
+#include <cstdio>
+
+#include "sim/counters.h"
+
+using namespace hfta::sim;
+
+int main() {
+  const DeviceSpec dev = tpu_v3();
+  struct Row {
+    Workload w;
+    double paper_peak;
+  };
+  const Row rows[] = {{Workload::kPointNetCls, 4.93},
+                      {Workload::kDCGAN, 15.13},
+                      {Workload::kPointNetSeg, 1.20}};
+  std::printf("Figure 5: TPU v3 normalized throughput (HFTA vs serial)\n");
+  for (const Row& row : rows) {
+    auto curve = sweep(dev, row.w, Mode::kHfta, Precision::kFP32);
+    std::printf("\n%s (paper peak %.2fx):\n  HFTA ", workload_name(row.w),
+                row.paper_peak);
+    for (const auto& p : curve) std::printf(" %ld:%.2f", p.models, p.normalized);
+    std::printf("\n  => measured peak %.2fx | paper %.2fx\n", peak(curve),
+                row.paper_peak);
+    // Super-linearity check: normalized-per-model > 1 would be super-linear.
+    if (!curve.empty()) {
+      const auto& last = curve.back();
+      std::printf("  per-model efficiency at B=%ld: %.2f (1.0 = linear)\n",
+                  last.models,
+                  last.normalized / static_cast<double>(last.models) *
+                      static_cast<double>(last.models) / last.normalized);
+    }
+  }
+  std::printf("\nNote: the paper attributes DCGAN's super-linear factor to\n"
+              "XLA padding waste in the serial baseline; our model captures\n"
+              "the padding + per-step overhead mechanisms but lands below\n"
+              "the paper's 15.13x (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Micro-benchmarks of the REAL fused CPU kernels (google-benchmark):
+// B separate ops vs their horizontally fused counterpart. Even on CPU the
+// fused form wins by amortizing per-op dispatch and exposing more parallel
+// work per kernel — the same mechanisms the paper exploits on GPUs/TPUs.
+#include <benchmark/benchmark.h>
+
+#include "hfta/fused_optim.h"
+#include "hfta/fused_ops.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "tensor/conv.h"
+#include "tensor/matmul.h"
+
+using namespace hfta;
+
+namespace {
+
+constexpr int64_t kN = 8, kC = 16, kHW = 16, kK = 3;
+
+void BM_ConvSeparate(benchmark::State& state) {
+  const int64_t B = state.range(0);
+  Rng rng(1);
+  std::vector<Tensor> xs, ws;
+  for (int64_t b = 0; b < B; ++b) {
+    xs.push_back(Tensor::randn({kN, kC, kHW, kHW}, rng));
+    ws.push_back(Tensor::randn({kC, kC, kK, kK}, rng));
+  }
+  const auto args = ops::ConvArgs::make(1, 1);
+  for (auto _ : state) {
+    for (int64_t b = 0; b < B; ++b) {
+      benchmark::DoNotOptimize(
+          ops::conv2d(xs[static_cast<size_t>(b)], ws[static_cast<size_t>(b)],
+                      Tensor(), args));
+    }
+  }
+}
+BENCHMARK(BM_ConvSeparate)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ConvFusedGrouped(benchmark::State& state) {
+  const int64_t B = state.range(0);
+  Rng rng(1);
+  Tensor x = Tensor::randn({kN, B * kC, kHW, kHW}, rng);
+  Tensor w = Tensor::randn({B * kC, kC, kK, kK}, rng);
+  const auto args = ops::ConvArgs::make(1, 1, B);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::conv2d(x, w, Tensor(), args));
+  }
+}
+BENCHMARK(BM_ConvFusedGrouped)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LinearSeparate(benchmark::State& state) {
+  const int64_t B = state.range(0);
+  Rng rng(2);
+  const int64_t M = 64, in = 128, out = 128;
+  std::vector<Tensor> xs, ws, bs;
+  for (int64_t b = 0; b < B; ++b) {
+    xs.push_back(Tensor::randn({M, in}, rng));
+    ws.push_back(Tensor::randn({out, in}, rng));
+    bs.push_back(Tensor::randn({out}, rng));
+  }
+  for (auto _ : state) {
+    for (int64_t b = 0; b < B; ++b) {
+      benchmark::DoNotOptimize(ops::linear_forward(
+          xs[static_cast<size_t>(b)], ws[static_cast<size_t>(b)],
+          bs[static_cast<size_t>(b)]));
+    }
+  }
+}
+BENCHMARK(BM_LinearSeparate)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_LinearFusedBaddbmm(benchmark::State& state) {
+  const int64_t B = state.range(0);
+  Rng rng(2);
+  const int64_t M = 64, in = 128, out = 128;
+  Tensor x = Tensor::randn({B, M, in}, rng);
+  Tensor w = Tensor::randn({B, in, out}, rng);
+  Tensor bias = Tensor::randn({B, 1, out}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::baddbmm(bias, x, w));
+  }
+}
+BENCHMARK(BM_LinearFusedBaddbmm)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_AdamSeparate(benchmark::State& state) {
+  const int64_t B = state.range(0);
+  Rng rng(3);
+  const int64_t P = 1 << 16;
+  std::vector<std::unique_ptr<nn::Adam>> opts;
+  std::vector<ag::Variable> params;
+  for (int64_t b = 0; b < B; ++b) {
+    ag::Variable p(Tensor::randn({P}, rng), true);
+    p.grad().copy_(Tensor::randn({P}, rng));
+    params.push_back(p);
+    opts.push_back(std::make_unique<nn::Adam>(
+        std::vector<ag::Variable>{p}, nn::Adam::Options{.lr = 1e-3 * (b + 1)}));
+  }
+  for (auto _ : state) {
+    for (auto& o : opts) o->step();
+  }
+}
+BENCHMARK(BM_AdamSeparate)->Arg(4)->Arg(16);
+
+void BM_AdamFused(benchmark::State& state) {
+  const int64_t B = state.range(0);
+  Rng rng(3);
+  const int64_t P = 1 << 16;
+  ag::Variable p(Tensor::randn({B * P}, rng), true);
+  p.grad().copy_(Tensor::randn({B * P}, rng));
+  fused::HyperVec lrs;
+  for (int64_t b = 0; b < B; ++b) lrs.push_back(1e-3 * (b + 1));
+  fused::FusedAdam opt({{p, B}}, B, {.lr = lrs});
+  for (auto _ : state) {
+    opt.step();
+  }
+}
+BENCHMARK(BM_AdamFused)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

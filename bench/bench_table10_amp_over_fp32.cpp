@@ -1,0 +1,31 @@
+// Reproduces Table 10 (Appendix G): maximum AMP-over-FP32 throughput ratio
+// per mode. Paper's shape: baselines sit near 1.0x (small kernels cannot
+// amortize tensor-core format conversions) while HFTA reaches 1.9-2.65x;
+// on A100, HFTA's DCGAN ratio drops BELOW 1.0 (cuDNN backward regression).
+#include <cstdio>
+
+#include "sim/counters.h"
+
+using namespace hfta::sim;
+
+int main() {
+  const DeviceSpec devices[] = {v100(), rtx6000(), a100()};
+  const Workload workloads[] = {Workload::kPointNetCls, Workload::kPointNetSeg,
+                                Workload::kDCGAN};
+  std::printf("Table 10: max AMP-over-FP32 throughput ratios\n");
+  std::printf("%-9s %-11s %14s %14s %10s\n", "GPU", "mode", "PointNet-Cls",
+              "PointNet-Seg", "DCGAN");
+  for (const DeviceSpec& dev : devices) {
+    for (Mode mode : {Mode::kSerial, Mode::kConcurrent, Mode::kMps, Mode::kMig,
+                      Mode::kHfta}) {
+      if (mode == Mode::kMig && dev.max_mig_instances == 0) continue;
+      std::printf("%-9s %-11s", dev.name.c_str(), mode_name(mode));
+      for (Workload w : workloads)
+        std::printf(" %13.2fx", amp_over_fp32(dev, w, mode));
+      std::printf("\n");
+    }
+  }
+  std::printf("\npaper anchors (V100 HFTA): 1.92 / 2.65 / 1.10; A100 HFTA "
+              "DCGAN: 0.82\n");
+  return 0;
+}

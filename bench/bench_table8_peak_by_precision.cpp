@@ -1,0 +1,38 @@
+// Reproduces Table 8 (Appendix G): peak HFTA speedups over the baselines
+// split by precision (FP32 vs AMP) — unlike Table 5, which takes the
+// better of the two.
+#include <cstdio>
+
+#include "sim/counters.h"
+
+using namespace hfta::sim;
+
+static double peak_vs(const DeviceSpec& dev, Workload w, Mode mode,
+                      Precision prec) {
+  const double denom = peak(sweep(dev, w, mode, prec));
+  if (denom == 0) return 0;
+  return peak(sweep(dev, w, Mode::kHfta, prec)) / denom;
+}
+
+int main() {
+  const DeviceSpec devices[] = {v100(), rtx6000(), a100()};
+  const Workload workloads[] = {Workload::kPointNetCls, Workload::kPointNetSeg,
+                                Workload::kDCGAN};
+  std::printf("Table 8: peak HFTA speedups split by precision\n");
+  std::printf("%-9s %-5s %-11s %14s %14s %10s\n", "GPU", "prec", "baseline",
+              "PointNet-Cls", "PointNet-Seg", "DCGAN");
+  for (const DeviceSpec& dev : devices) {
+    for (Precision prec : {Precision::kFP32, Precision::kAMP}) {
+      for (Mode mode :
+           {Mode::kSerial, Mode::kConcurrent, Mode::kMps, Mode::kMig}) {
+        if (mode == Mode::kMig && dev.max_mig_instances == 0) continue;
+        std::printf("%-9s %-5s %-11s", dev.name.c_str(),
+                    precision_name(prec), mode_name(mode));
+        for (Workload w : workloads)
+          std::printf(" %13.2fx", peak_vs(dev, w, mode, prec));
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Reproduces Table 9 (Appendix G): maximum HFTA speedup over each baseline
+// GIVEN THE SAME NUMBER of models sharing the GPU — isolating the compute-
+// utilization benefit from the memory-capacity benefit.
+#include <cstdio>
+
+#include "sim/counters.h"
+
+using namespace hfta::sim;
+
+int main() {
+  const DeviceSpec devices[] = {v100(), rtx6000(), a100()};
+  const Workload workloads[] = {Workload::kPointNetCls, Workload::kPointNetSeg,
+                                Workload::kDCGAN};
+  std::printf("Table 9: max HFTA speedup at equal model counts\n");
+  std::printf("%-9s %-5s %-11s %14s %14s %10s\n", "GPU", "prec", "baseline",
+              "PointNet-Cls", "PointNet-Seg", "DCGAN");
+  for (const DeviceSpec& dev : devices) {
+    for (Precision prec : {Precision::kFP32, Precision::kAMP}) {
+      for (Mode mode : {Mode::kConcurrent, Mode::kMps, Mode::kMig}) {
+        if (mode == Mode::kMig && dev.max_mig_instances == 0) continue;
+        std::printf("%-9s %-5s %-11s", dev.name.c_str(),
+                    precision_name(prec), mode_name(mode));
+        for (Workload w : workloads)
+          std::printf(" %13.2fx", equal_models_speedup(dev, w, mode, prec));
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,707 @@
+#include "autograd/functions.h"
+
+#include <cmath>
+
+#include "tensor/matmul.h"
+#include "tensor/ops.h"
+
+namespace hfta::ag {
+
+namespace {
+
+bool any_needs_tape(const std::vector<Variable>& ins) {
+  for (const Variable& v : ins) {
+    if (v.defined() && (v.requires_grad() || v.node())) return true;
+  }
+  return false;
+}
+
+// Creates the output variable; records the node only when some input is on
+// the tape (constant folding keeps graphs small).
+Variable make_op(const char* name, Tensor out, std::vector<Variable> inputs,
+                 std::function<std::vector<Tensor>(const Tensor&)> backward) {
+  if (!any_needs_tape(inputs)) return Variable(std::move(out));
+  auto node = std::make_shared<Node>();
+  node->name = name;
+  node->inputs = std::move(inputs);
+  node->backward = std::move(backward);
+  return Variable::make_output(std::move(out), std::move(node));
+}
+
+}  // namespace
+
+Variable constant(Tensor value) { return Variable(std::move(value)); }
+
+// ---- binary ----------------------------------------------------------------
+
+Variable add(const Variable& a, const Variable& b) {
+  Shape sa = a.shape(), sb = b.shape();
+  return make_op("add", ops::add(a.value(), b.value()), {a, b},
+                 [sa, sb](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::reduce_to_shape(gy, sa),
+                           ops::reduce_to_shape(gy, sb)};
+                 });
+}
+
+Variable sub(const Variable& a, const Variable& b) {
+  Shape sa = a.shape(), sb = b.shape();
+  return make_op("sub", ops::sub(a.value(), b.value()), {a, b},
+                 [sa, sb](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::reduce_to_shape(gy, sa),
+                           ops::reduce_to_shape(ops::neg(gy), sb)};
+                 });
+}
+
+Variable mul(const Variable& a, const Variable& b) {
+  Shape sa = a.shape(), sb = b.shape();
+  Tensor av = a.value(), bv = b.value();
+  return make_op("mul", ops::mul(av, bv), {a, b},
+                 [sa, sb, av, bv](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::reduce_to_shape(ops::mul(gy, bv), sa),
+                           ops::reduce_to_shape(ops::mul(gy, av), sb)};
+                 });
+}
+
+Variable div(const Variable& a, const Variable& b) {
+  Shape sa = a.shape(), sb = b.shape();
+  Tensor av = a.value(), bv = b.value();
+  return make_op(
+      "div", ops::div(av, bv), {a, b},
+      [sa, sb, av, bv](const Tensor& gy) -> std::vector<Tensor> {
+        Tensor ga = ops::reduce_to_shape(ops::div(gy, bv), sa);
+        Tensor gb = ops::reduce_to_shape(
+            ops::neg(ops::div(ops::mul(gy, av), ops::mul(bv, bv))), sb);
+        return {ga, gb};
+      });
+}
+
+// ---- scalar ----------------------------------------------------------------
+
+Variable add_scalar(const Variable& a, float s) {
+  return make_op("add_scalar", ops::add_scalar(a.value(), s), {a},
+                 [](const Tensor& gy) -> std::vector<Tensor> { return {gy}; });
+}
+
+Variable mul_scalar(const Variable& a, float s) {
+  return make_op("mul_scalar", ops::mul_scalar(a.value(), s), {a},
+                 [s](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::mul_scalar(gy, s)};
+                 });
+}
+
+// ---- unary -----------------------------------------------------------------
+
+Variable neg(const Variable& a) {
+  return make_op("neg", ops::neg(a.value()), {a},
+                 [](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::neg(gy)};
+                 });
+}
+
+Variable exp(const Variable& a) {
+  Tensor y = ops::exp(a.value());
+  return make_op("exp", y, {a},
+                 [y](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::mul(gy, y)};
+                 });
+}
+
+Variable log(const Variable& a) {
+  Tensor x = a.value();
+  return make_op("log", ops::log(x), {a},
+                 [x](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::div(gy, x)};
+                 });
+}
+
+Variable sqrt(const Variable& a) {
+  Tensor y = ops::sqrt(a.value());
+  return make_op("sqrt", y, {a},
+                 [y](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::div(ops::mul_scalar(gy, 0.5f), y)};
+                 });
+}
+
+Variable tanh(const Variable& a) {
+  Tensor y = ops::tanh(a.value());
+  return make_op("tanh", y, {a},
+                 [y](const Tensor& gy) -> std::vector<Tensor> {
+                   Tensor one_minus = ops::unary(
+                       y, [](float v) { return 1.f - v * v; });
+                   return {ops::mul(gy, one_minus)};
+                 });
+}
+
+Variable sigmoid(const Variable& a) {
+  Tensor y = ops::sigmoid(a.value());
+  return make_op("sigmoid", y, {a},
+                 [y](const Tensor& gy) -> std::vector<Tensor> {
+                   Tensor d =
+                       ops::unary(y, [](float v) { return v * (1.f - v); });
+                   return {ops::mul(gy, d)};
+                 });
+}
+
+Variable relu(const Variable& a) {
+  Tensor x = a.value();
+  return make_op("relu", ops::relu(x), {a},
+                 [x](const Tensor& gy) -> std::vector<Tensor> {
+                   Tensor m = ops::unary(x, [](float v) {
+                     return v > 0.f ? 1.f : 0.f;
+                   });
+                   return {ops::mul(gy, m)};
+                 });
+}
+
+Variable relu6(const Variable& a) {
+  Tensor x = a.value();
+  return make_op("relu6", ops::clamp(x, 0.f, 6.f), {a},
+                 [x](const Tensor& gy) -> std::vector<Tensor> {
+                   Tensor m = ops::unary(x, [](float v) {
+                     return (v > 0.f && v < 6.f) ? 1.f : 0.f;
+                   });
+                   return {ops::mul(gy, m)};
+                 });
+}
+
+Variable leaky_relu(const Variable& a, float slope) {
+  Tensor x = a.value();
+  return make_op("leaky_relu", ops::leaky_relu(x, slope), {a},
+                 [x, slope](const Tensor& gy) -> std::vector<Tensor> {
+                   Tensor m = ops::unary(x, [slope](float v) {
+                     return v > 0.f ? 1.f : slope;
+                   });
+                   return {ops::mul(gy, m)};
+                 });
+}
+
+Variable pow_scalar(const Variable& a, float p) {
+  Tensor x = a.value();
+  return make_op("pow_scalar", ops::pow_scalar(x, p), {a},
+                 [x, p](const Tensor& gy) -> std::vector<Tensor> {
+                   Tensor d = ops::mul_scalar(ops::pow_scalar(x, p - 1.f), p);
+                   return {ops::mul(gy, d)};
+                 });
+}
+
+Variable hardsigmoid(const Variable& a) {
+  Tensor x = a.value();
+  Tensor y = ops::unary(x, [](float v) {
+    return std::min(6.f, std::max(0.f, v + 3.f)) / 6.f;
+  });
+  return make_op("hardsigmoid", y, {a},
+                 [x](const Tensor& gy) -> std::vector<Tensor> {
+                   Tensor m = ops::unary(x, [](float v) {
+                     return (v > -3.f && v < 3.f) ? (1.f / 6.f) : 0.f;
+                   });
+                   return {ops::mul(gy, m)};
+                 });
+}
+
+Variable hardswish(const Variable& a) {
+  Tensor x = a.value();
+  Tensor y = ops::unary(x, [](float v) {
+    return v * std::min(6.f, std::max(0.f, v + 3.f)) / 6.f;
+  });
+  return make_op("hardswish", y, {a},
+                 [x](const Tensor& gy) -> std::vector<Tensor> {
+                   Tensor m = ops::unary(x, [](float v) {
+                     if (v <= -3.f) return 0.f;
+                     if (v >= 3.f) return 1.f;
+                     return (2.f * v + 3.f) / 6.f;
+                   });
+                   return {ops::mul(gy, m)};
+                 });
+}
+
+Variable gelu(const Variable& a) {
+  // tanh approximation of GELU (as used in BERT).
+  Tensor x = a.value();
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  Tensor y = ops::unary(x, [](float v) {
+    const float inner = kC * (v + 0.044715f * v * v * v);
+    return 0.5f * v * (1.f + std::tanh(inner));
+  });
+  return make_op("gelu", y, {a},
+                 [x](const Tensor& gy) -> std::vector<Tensor> {
+                   Tensor d = ops::unary(x, [](float v) {
+                     const float v3 = v * v * v;
+                     const float inner = kC * (v + 0.044715f * v3);
+                     const float t = std::tanh(inner);
+                     const float sech2 = 1.f - t * t;
+                     return 0.5f * (1.f + t) +
+                            0.5f * v * sech2 * kC * (1.f + 3.f * 0.044715f * v * v);
+                   });
+                   return {ops::mul(gy, d)};
+                 });
+}
+
+// ---- matmul family -----------------------------------------------------------
+
+Variable matmul(const Variable& a, const Variable& b) {
+  Tensor av = a.value(), bv = b.value();
+  return make_op("matmul", ops::matmul(av, bv), {a, b},
+                 [av, bv](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::matmul_nt(gy, bv), ops::matmul_tn(av, gy)};
+                 });
+}
+
+Variable bmm(const Variable& a, const Variable& b) {
+  Tensor av = a.value(), bv = b.value();
+  return make_op("bmm", ops::bmm(av, bv), {a, b},
+                 [av, bv](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::bmm_nt(gy, bv), ops::bmm_tn(av, gy)};
+                 });
+}
+
+Variable bmm_nt(const Variable& a, const Variable& b) {
+  Tensor av = a.value(), bv = b.value();
+  return make_op("bmm_nt", ops::bmm_nt(av, bv), {a, b},
+                 [av, bv](const Tensor& gy) -> std::vector<Tensor> {
+                   // y = a @ b^T: ga = gy @ b; gb = gy^T @ a.
+                   return {ops::bmm(gy, bv), ops::bmm_tn(gy, av)};
+                 });
+}
+
+Variable baddbmm(const Variable& bias, const Variable& a, const Variable& b) {
+  Tensor av = a.value(), bv = b.value();
+  Shape sbias = bias.shape();
+  return make_op("baddbmm", ops::baddbmm(bias.value(), av, bv), {bias, a, b},
+                 [sbias, av, bv](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::reduce_to_shape(gy, sbias),
+                           ops::bmm_nt(gy, bv), ops::bmm_tn(av, gy)};
+                 });
+}
+
+Variable linear(const Variable& x, const Variable& w, const Variable& b) {
+  Tensor xv = x.value(), wv = w.value();
+  const Shape x_shape = xv.shape();
+  const int64_t in = wv.size(1);
+  const int64_t out = wv.size(0);
+  const int64_t rows = xv.numel() / in;
+  Tensor y = ops::linear_forward(xv, wv, b.defined() ? b.value() : Tensor());
+  std::vector<Variable> inputs = {x, w};
+  if (b.defined()) inputs.push_back(b);
+  const bool has_bias = b.defined();
+  return make_op(
+      "linear", y, std::move(inputs),
+      [xv, wv, x_shape, in, out, rows,
+       has_bias](const Tensor& gy) -> std::vector<Tensor> {
+        Tensor gy2 = gy.reshape({rows, out});
+        Tensor x2 = xv.reshape({rows, in});
+        Tensor gx = ops::matmul(gy2, wv).reshape(x_shape);
+        Tensor gw = ops::matmul_tn(gy2, x2);  // [out, in]
+        std::vector<Tensor> grads = {gx, gw};
+        if (has_bias) grads.push_back(ops::sum(gy2, {0}, false));
+        return grads;
+      });
+}
+
+// ---- convolution ----------------------------------------------------------------
+
+Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
+                const ops::ConvArgs& args) {
+  Tensor xv = x.value(), wv = w.value();
+  Tensor y = ops::conv2d(xv, wv, b.defined() ? b.value() : Tensor(), args);
+  std::vector<Variable> inputs = {x, w};
+  if (b.defined()) inputs.push_back(b);
+  const bool has_bias = b.defined();
+  return make_op(
+      "conv2d", y, std::move(inputs),
+      [xv, wv, args, has_bias](const Tensor& gy) -> std::vector<Tensor> {
+        std::vector<Tensor> grads = {
+            ops::conv2d_grad_input(gy, wv, xv.shape(), args),
+            ops::conv2d_grad_weight(gy, xv, wv.shape(), args)};
+        if (has_bias) grads.push_back(ops::conv2d_grad_bias(gy));
+        return grads;
+      });
+}
+
+Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
+                int64_t stride, int64_t pad, int64_t groups) {
+  Tensor xv = x.value(), wv = w.value();
+  Tensor y = ops::conv1d(xv, wv, b.defined() ? b.value() : Tensor(), stride,
+                         pad, groups);
+  std::vector<Variable> inputs = {x, w};
+  if (b.defined()) inputs.push_back(b);
+  const bool has_bias = b.defined();
+  return make_op(
+      "conv1d", y, std::move(inputs),
+      [xv, wv, stride, pad, groups,
+       has_bias](const Tensor& gy) -> std::vector<Tensor> {
+        std::vector<Tensor> grads = {
+            ops::conv1d_grad_input(gy, wv, xv.shape(), stride, pad, groups),
+            ops::conv1d_grad_weight(gy, xv, wv.shape(), stride, pad, groups)};
+        if (has_bias) {
+          // bias grad: sum gy over batch and length.
+          grads.push_back(ops::sum(gy, {0, 2}, false));
+        }
+        return grads;
+      });
+}
+
+Variable conv_transpose2d(const Variable& x, const Variable& w,
+                          const Variable& b,
+                          const ops::ConvTransposeArgs& args) {
+  Tensor xv = x.value(), wv = w.value();
+  Tensor y =
+      ops::conv_transpose2d(xv, wv, b.defined() ? b.value() : Tensor(), args);
+  std::vector<Variable> inputs = {x, w};
+  if (b.defined()) inputs.push_back(b);
+  const bool has_bias = b.defined();
+  return make_op(
+      "conv_transpose2d", y, std::move(inputs),
+      [xv, wv, args, has_bias](const Tensor& gy) -> std::vector<Tensor> {
+        std::vector<Tensor> grads = {
+            ops::conv_transpose2d_grad_input(gy, wv, args),
+            ops::conv_transpose2d_grad_weight(gy, xv, wv.shape(), args)};
+        if (has_bias) grads.push_back(ops::conv2d_grad_bias(gy));
+        return grads;
+      });
+}
+
+Variable conv_transpose1d(const Variable& x, const Variable& w,
+                          const Variable& b,
+                          const ops::ConvTransposeArgs& args) {
+  Tensor xv = x.value(), wv = w.value();
+  Tensor y =
+      ops::conv_transpose1d(xv, wv, b.defined() ? b.value() : Tensor(), args);
+  std::vector<Variable> inputs = {x, w};
+  if (b.defined()) inputs.push_back(b);
+  const bool has_bias = b.defined();
+  return make_op(
+      "conv_transpose1d", y, std::move(inputs),
+      [xv, wv, args, has_bias](const Tensor& gy) -> std::vector<Tensor> {
+        std::vector<Tensor> grads = {
+            ops::conv_transpose1d_grad_input(gy, wv, args),
+            ops::conv_transpose1d_grad_weight(gy, xv, wv.shape(), args)};
+        if (has_bias) grads.push_back(ops::sum(gy, {0, 2}, false));
+        return grads;
+      });
+}
+
+// ---- pooling ----------------------------------------------------------------------
+
+Variable max_pool2d(const Variable& x, const ops::PoolArgs& args) {
+  auto [y, idx] = ops::max_pool2d(x.value(), args);
+  const Shape x_shape = x.shape();
+  return make_op("max_pool2d", y, {x},
+                 [idx, x_shape](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::max_pool2d_backward(gy, idx, x_shape)};
+                 });
+}
+
+Variable avg_pool2d(const Variable& x, const ops::PoolArgs& args) {
+  Tensor y = ops::avg_pool2d(x.value(), args);
+  const Shape x_shape = x.shape();
+  return make_op("avg_pool2d", y, {x},
+                 [x_shape, args](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::avg_pool2d_backward(gy, x_shape, args)};
+                 });
+}
+
+Variable adaptive_avg_pool2d(const Variable& x, int64_t oh, int64_t ow) {
+  Tensor y = ops::adaptive_avg_pool2d(x.value(), oh, ow);
+  const Shape x_shape = x.shape();
+  return make_op("adaptive_avg_pool2d", y, {x},
+                 [x_shape](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::adaptive_avg_pool2d_backward(gy, x_shape)};
+                 });
+}
+
+Variable global_max_pool1d(const Variable& x) {
+  auto [y, idx] = ops::max_pool1d_global(x.value());
+  const Shape x_shape = x.shape();
+  return make_op("global_max_pool1d", y, {x},
+                 [idx, x_shape](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::max_pool1d_global_backward(gy, idx, x_shape)};
+                 });
+}
+
+// ---- shape --------------------------------------------------------------------------
+
+Variable reshape(const Variable& x, Shape shape) {
+  const Shape x_shape = x.shape();
+  return make_op("reshape", x.value().reshape(std::move(shape)), {x},
+                 [x_shape](const Tensor& gy) -> std::vector<Tensor> {
+                   return {gy.reshape(x_shape)};
+                 });
+}
+
+Variable transpose(const Variable& x, int64_t a, int64_t b) {
+  return make_op("transpose", x.value().transpose(a, b), {x},
+                 [a, b](const Tensor& gy) -> std::vector<Tensor> {
+                   return {gy.transpose(a, b)};
+                 });
+}
+
+Variable permute(const Variable& x, std::vector<int64_t> perm) {
+  std::vector<int64_t> inv(perm.size());
+  for (size_t i = 0; i < perm.size(); ++i)
+    inv[static_cast<size_t>(perm[i])] = static_cast<int64_t>(i);
+  return make_op("permute", x.value().permute(perm), {x},
+                 [inv](const Tensor& gy) -> std::vector<Tensor> {
+                   return {gy.permute(inv)};
+                 });
+}
+
+Variable concat(const std::vector<Variable>& xs, int64_t dim) {
+  std::vector<Tensor> vals;
+  std::vector<int64_t> sizes;
+  vals.reserve(xs.size());
+  for (const Variable& v : xs) {
+    vals.push_back(v.value());
+  }
+  Tensor y = ops::concat(vals, dim);
+  int64_t d = dim < 0 ? dim + static_cast<int64_t>(y.dim()) : dim;
+  for (const Variable& v : xs) sizes.push_back(v.size(d));
+  return make_op("concat", y, xs,
+                 [sizes, d](const Tensor& gy) -> std::vector<Tensor> {
+                   return ops::split(gy, sizes, d);
+                 });
+}
+
+Variable slice(const Variable& x, int64_t dim, int64_t start, int64_t end) {
+  const Shape x_shape = x.shape();
+  int64_t d = dim < 0 ? dim + x.dim() : dim;
+  Tensor y = x.value().slice(d, start, end);
+  return make_op("slice", y, {x},
+                 [x_shape, d, start](const Tensor& gy) -> std::vector<Tensor> {
+                   Tensor gx = Tensor::zeros(x_shape);
+                   // Scatter gy into the slice range along d.
+                   int64_t outer = 1, inner = 1;
+                   const int64_t n = x_shape[static_cast<size_t>(d)];
+                   for (int64_t i = 0; i < d; ++i)
+                     outer *= x_shape[static_cast<size_t>(i)];
+                   for (size_t i = static_cast<size_t>(d) + 1;
+                        i < x_shape.size(); ++i)
+                     inner *= x_shape[i];
+                   const int64_t len = gy.size(d);
+                   const float* src = gy.data();
+                   float* dst = gx.data();
+                   for (int64_t o = 0; o < outer; ++o) {
+                     std::copy(src + o * len * inner,
+                               src + (o + 1) * len * inner,
+                               dst + (o * n + start) * inner);
+                   }
+                   return {gx};
+                 });
+}
+
+std::vector<Variable> chunk(const Variable& x, int64_t chunks, int64_t dim) {
+  int64_t d = dim < 0 ? dim + x.dim() : dim;
+  const int64_t n = x.size(d);
+  HFTA_CHECK(n % chunks == 0, "chunk: dim not divisible");
+  const int64_t step = n / chunks;
+  std::vector<Variable> out;
+  for (int64_t c = 0; c < chunks; ++c)
+    out.push_back(slice(x, d, c * step, (c + 1) * step));
+  return out;
+}
+
+// ---- reductions -------------------------------------------------------------------------
+
+Variable sum(const Variable& x, std::vector<int64_t> dims, bool keepdim) {
+  const Shape x_shape = x.shape();
+  // Normalize dims and remember the keepdim-style shape for the backward.
+  std::vector<int64_t> nd;
+  for (int64_t d : dims) nd.push_back(d < 0 ? d + x.dim() : d);
+  Shape keep_shape = x_shape;
+  for (int64_t d : nd) keep_shape[static_cast<size_t>(d)] = 1;
+  Tensor y = ops::sum(x.value(), nd, keepdim);
+  return make_op("sum", y, {x},
+                 [x_shape, keep_shape](const Tensor& gy) -> std::vector<Tensor> {
+                   Tensor g = gy.reshape(keep_shape);
+                   // broadcast up to the input shape
+                   return {ops::add(Tensor::zeros(x_shape), g)};
+                 });
+}
+
+Variable mean(const Variable& x, std::vector<int64_t> dims, bool keepdim) {
+  int64_t count = 1;
+  for (int64_t d : dims) count *= x.size(d);
+  return mul_scalar(sum(x, std::move(dims), keepdim),
+                    1.f / static_cast<float>(count));
+}
+
+Variable sum_all(const Variable& x) {
+  const Shape x_shape = x.shape();
+  return make_op("sum_all", ops::sum_all(x.value()), {x},
+                 [x_shape](const Tensor& gy) -> std::vector<Tensor> {
+                   return {Tensor::full(x_shape, gy.item())};
+                 });
+}
+
+Variable mean_all(const Variable& x) {
+  return mul_scalar(sum_all(x), 1.f / static_cast<float>(x.numel()));
+}
+
+// ---- softmax / losses ---------------------------------------------------------------------
+
+Variable softmax(const Variable& x, int64_t dim) {
+  int64_t d = dim < 0 ? dim + x.dim() : dim;
+  Tensor y = ops::softmax(x.value(), d);
+  return make_op("softmax", y, {x},
+                 [y, d](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::softmax_backward(gy, y, d)};
+                 });
+}
+
+Variable log_softmax(const Variable& x, int64_t dim) {
+  int64_t d = dim < 0 ? dim + x.dim() : dim;
+  Tensor y = ops::log_softmax(x.value(), d);
+  return make_op("log_softmax", y, {x},
+                 [y, d](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::log_softmax_backward(gy, y, d)};
+                 });
+}
+
+namespace {
+// Gathers log_probs at the label class: supports [N, C] labels [N] and
+// [N, C, d1...] labels [N, d1...] (PyTorch NLL layout).
+void nll_dims(const Tensor& log_probs, const Tensor& labels, int64_t* n_out,
+              int64_t* c_out, int64_t* inner_out) {
+  const int64_t N = log_probs.size(0);
+  const int64_t C = log_probs.size(1);
+  const int64_t inner = log_probs.numel() / (N * C);
+  HFTA_CHECK(labels.numel() == N * inner, "nll_loss: labels numel ",
+             labels.numel(), " != ", N * inner);
+  *n_out = N;
+  *c_out = C;
+  *inner_out = inner;
+}
+}  // namespace
+
+Variable nll_loss(const Variable& log_probs, const Tensor& labels,
+                  Reduction reduction) {
+  int64_t N, C, inner;
+  nll_dims(log_probs.value(), labels, &N, &C, &inner);
+  const Tensor lp = log_probs.value();
+  const float* p = lp.data();
+  const float* pl = labels.data();
+  const int64_t total = N * inner;
+  Tensor out = (reduction == Reduction::kNone)
+                   ? Tensor(labels.shape())
+                   : Tensor(Shape{});
+  double acc = 0.0;
+  for (int64_t i = 0; i < total; ++i) {
+    const int64_t n = i / inner;
+    const int64_t in = i % inner;
+    const int64_t cls = static_cast<int64_t>(pl[i]);
+    HFTA_CHECK(cls >= 0 && cls < C, "nll_loss: label ", cls, " out of range");
+    const float v = -p[(n * C + cls) * inner + in];
+    if (reduction == Reduction::kNone) {
+      out.data()[i] = v;
+    } else {
+      acc += v;
+    }
+  }
+  if (reduction == Reduction::kMean)
+    out.data()[0] = static_cast<float>(acc / static_cast<double>(total));
+  if (reduction == Reduction::kSum) out.data()[0] = static_cast<float>(acc);
+
+  const Shape lp_shape = lp.shape();
+  return make_op(
+      "nll_loss", out, {log_probs},
+      [labels, lp_shape, N, C, inner,
+       reduction](const Tensor& gy) -> std::vector<Tensor> {
+        Tensor gx = Tensor::zeros(lp_shape);
+        const float* pl = labels.data();
+        float* pg = gx.data();
+        const int64_t total = N * inner;
+        const float scale = (reduction == Reduction::kMean)
+                                ? 1.f / static_cast<float>(total)
+                                : 1.f;
+        for (int64_t i = 0; i < total; ++i) {
+          const int64_t n = i / inner;
+          const int64_t in = i % inner;
+          const int64_t cls = static_cast<int64_t>(pl[i]);
+          const float g =
+              (reduction == Reduction::kNone) ? gy.data()[i] : gy.item();
+          pg[(n * C + cls) * inner + in] -= g * scale;
+        }
+        return {gx};
+      });
+}
+
+Variable cross_entropy(const Variable& logits, const Tensor& labels,
+                       Reduction reduction) {
+  return nll_loss(log_softmax(logits, 1), labels, reduction);
+}
+
+Variable bce_with_logits(const Variable& logits, const Tensor& targets,
+                         Reduction reduction) {
+  const Tensor x = logits.value();
+  HFTA_CHECK(x.numel() == targets.numel(), "bce: shape mismatch");
+  const float* px = x.data();
+  const float* pt = targets.data();
+  const int64_t n = x.numel();
+  Tensor out =
+      (reduction == Reduction::kNone) ? Tensor(x.shape()) : Tensor(Shape{});
+  double acc = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    // max(x,0) - x*t + log(1 + exp(-|x|)) — numerically stable.
+    const float v = std::max(px[i], 0.f) - px[i] * pt[i] +
+                    std::log1p(std::exp(-std::fabs(px[i])));
+    if (reduction == Reduction::kNone) {
+      out.data()[i] = v;
+    } else {
+      acc += v;
+    }
+  }
+  if (reduction == Reduction::kMean)
+    out.data()[0] = static_cast<float>(acc / static_cast<double>(n));
+  if (reduction == Reduction::kSum) out.data()[0] = static_cast<float>(acc);
+  return make_op("bce_with_logits", out, {logits},
+                 [x, targets, reduction, n](const Tensor& gy) {
+                   Tensor gx(x.shape());
+                   const float* px = x.data();
+                   const float* pt = targets.data();
+                   float* pg = gx.data();
+                   const float scale = (reduction == Reduction::kMean)
+                                           ? 1.f / static_cast<float>(n)
+                                           : 1.f;
+                   for (int64_t i = 0; i < n; ++i) {
+                     const float s = 1.f / (1.f + std::exp(-px[i]));
+                     const float g = (reduction == Reduction::kNone)
+                                         ? gy.data()[i]
+                                         : gy.item();
+                     pg[i] = (s - pt[i]) * scale * g;
+                   }
+                   return std::vector<Tensor>{gx};
+                 });
+}
+
+Variable mse_loss(const Variable& x, const Tensor& target,
+                  Reduction reduction) {
+  Variable diff = sub(x, constant(target));
+  Variable sq = mul(diff, diff);
+  switch (reduction) {
+    case Reduction::kMean:
+      return mean_all(sq);
+    case Reduction::kSum:
+      return sum_all(sq);
+    case Reduction::kNone:
+      return sq;
+  }
+  HFTA_CHECK(false, "unreachable");
+  return Variable();
+}
+
+Variable embedding(const Tensor& indices, const Variable& weight) {
+  Tensor y = ops::embedding(indices, weight.value());
+  const int64_t vocab = weight.size(0);
+  return make_op("embedding", y, {weight},
+                 [indices, vocab](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::embedding_backward(gy, indices, vocab)};
+                 });
+}
+
+Variable mul_mask(const Variable& x, const Tensor& mask) {
+  return make_op("mul_mask", ops::mul(x.value(), mask), {x},
+                 [mask](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::mul(gy, mask)};
+                 });
+}
+
+}  // namespace hfta::ag

@@ -1,0 +1,114 @@
+// Differentiable ops over Variables. Each function computes the forward
+// with the tensor kernels and records a backward closure on the tape.
+// Gradients of broadcasting ops are reduced back to the input shapes
+// (ops::reduce_to_shape).
+#pragma once
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/conv.h"
+#include "tensor/pool.h"
+
+namespace hfta::ag {
+
+/// Constant (no-grad) wrapper.
+Variable constant(Tensor value);
+
+// ---- elementwise binary (broadcasting) -----------------------------------
+Variable add(const Variable& a, const Variable& b);
+Variable sub(const Variable& a, const Variable& b);
+Variable mul(const Variable& a, const Variable& b);
+Variable div(const Variable& a, const Variable& b);
+
+// ---- scalar --------------------------------------------------------------
+Variable add_scalar(const Variable& a, float s);
+Variable mul_scalar(const Variable& a, float s);
+
+// ---- unary ---------------------------------------------------------------
+Variable neg(const Variable& a);
+Variable exp(const Variable& a);
+Variable log(const Variable& a);
+Variable sqrt(const Variable& a);
+Variable tanh(const Variable& a);
+Variable sigmoid(const Variable& a);
+Variable relu(const Variable& a);
+Variable relu6(const Variable& a);
+Variable leaky_relu(const Variable& a, float slope);
+Variable pow_scalar(const Variable& a, float p);
+/// x * sigmoid(x + 3)/... — hard-swish as used by MobileNetV3:
+/// hswish(x) = x * relu6(x + 3) / 6.
+Variable hardswish(const Variable& a);
+/// hsigmoid(x) = relu6(x + 3) / 6.
+Variable hardsigmoid(const Variable& a);
+Variable gelu(const Variable& a);
+
+// ---- matmul family ---------------------------------------------------------
+Variable matmul(const Variable& a, const Variable& b);
+Variable bmm(const Variable& a, const Variable& b);
+/// a @ b with b transposed on its last two dims (attention scores).
+Variable bmm_nt(const Variable& a, const Variable& b);
+Variable baddbmm(const Variable& bias, const Variable& a, const Variable& b);
+/// x [.., in] @ w [out, in]^T + b [out] (b may be undefined).
+Variable linear(const Variable& x, const Variable& w, const Variable& b);
+
+// ---- convolution -------------------------------------------------------------
+Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
+                const ops::ConvArgs& args);
+Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
+                int64_t stride, int64_t pad, int64_t groups);
+Variable conv_transpose2d(const Variable& x, const Variable& w,
+                          const Variable& b,
+                          const ops::ConvTransposeArgs& args);
+Variable conv_transpose1d(const Variable& x, const Variable& w,
+                          const Variable& b,
+                          const ops::ConvTransposeArgs& args);
+
+// ---- pooling ---------------------------------------------------------------
+Variable max_pool2d(const Variable& x, const ops::PoolArgs& args);
+Variable avg_pool2d(const Variable& x, const ops::PoolArgs& args);
+Variable adaptive_avg_pool2d(const Variable& x, int64_t oh, int64_t ow);
+/// [N, C, L] -> [N, C] max over L (PointNet global feature).
+Variable global_max_pool1d(const Variable& x);
+
+// ---- shape ----------------------------------------------------------------
+Variable reshape(const Variable& x, Shape shape);
+Variable transpose(const Variable& x, int64_t a, int64_t b);
+Variable permute(const Variable& x, std::vector<int64_t> perm);
+Variable concat(const std::vector<Variable>& xs, int64_t dim);
+std::vector<Variable> chunk(const Variable& x, int64_t chunks, int64_t dim);
+Variable slice(const Variable& x, int64_t dim, int64_t start, int64_t end);
+
+// ---- reductions ---------------------------------------------------------------
+Variable sum(const Variable& x, std::vector<int64_t> dims, bool keepdim);
+Variable mean(const Variable& x, std::vector<int64_t> dims, bool keepdim);
+Variable sum_all(const Variable& x);
+Variable mean_all(const Variable& x);
+
+// ---- softmax / losses -----------------------------------------------------------
+Variable softmax(const Variable& x, int64_t dim);
+Variable log_softmax(const Variable& x, int64_t dim);
+
+enum class Reduction { kMean, kSum, kNone };
+
+/// Negative log-likelihood over log-probabilities [N, C] (or [N, C, d...])
+/// with integer labels [N] (or [N, d...]).
+Variable nll_loss(const Variable& log_probs, const Tensor& labels,
+                  Reduction reduction);
+/// log_softmax + nll.
+Variable cross_entropy(const Variable& logits, const Tensor& labels,
+                       Reduction reduction);
+/// Numerically-stable binary cross-entropy on logits vs targets in [0,1].
+Variable bce_with_logits(const Variable& logits, const Tensor& targets,
+                         Reduction reduction);
+Variable mse_loss(const Variable& x, const Tensor& target,
+                  Reduction reduction);
+
+// ---- embedding --------------------------------------------------------------------
+/// indices: integer-valued tensor (no grad); weight: [V, E].
+Variable embedding(const Tensor& indices, const Variable& weight);
+
+/// Elementwise multiply by a constant mask (dropout building block).
+Variable mul_mask(const Variable& x, const Tensor& mask);
+
+}  // namespace hfta::ag

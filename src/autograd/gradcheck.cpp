@@ -1,0 +1,45 @@
+#include "autograd/gradcheck.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace hfta::ag {
+
+GradcheckResult gradcheck(
+    const std::function<Variable(std::vector<Variable>&)>& fn,
+    std::vector<Variable> inputs, float eps, float tol) {
+  GradcheckResult result;
+
+  // Analytic gradients.
+  for (Variable& v : inputs) v.zero_grad();
+  Variable out = fn(inputs);
+  out.backward();
+
+  for (size_t vi = 0; vi < inputs.size(); ++vi) {
+    Variable& v = inputs[vi];
+    if (!v.requires_grad()) continue;
+    const Tensor analytic = v.grad().clone();
+    Tensor& val = v.mutable_value();
+    for (int64_t i = 0; i < val.numel(); ++i) {
+      const float orig = val.data()[i];
+      val.data()[i] = orig + eps;
+      const float up = fn(inputs).value().item();
+      val.data()[i] = orig - eps;
+      const float dn = fn(inputs).value().item();
+      val.data()[i] = orig;
+      const float numeric = (up - dn) / (2.f * eps);
+      const float err = std::fabs(analytic.data()[i] - numeric);
+      if (err > result.max_error) result.max_error = err;
+      if (err > tol && result.ok) {
+        result.ok = false;
+        std::ostringstream os;
+        os << "input " << vi << " flat index " << i << ": analytic "
+           << analytic.data()[i] << " vs numeric " << numeric;
+        result.detail = os.str();
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace hfta::ag

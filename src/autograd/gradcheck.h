@@ -1,0 +1,24 @@
+// Numerical gradient checking for differentiable functions.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace hfta::ag {
+
+struct GradcheckResult {
+  bool ok = true;
+  float max_error = 0.f;   // max |analytic - numeric|
+  std::string detail;      // first failing coordinate, if any
+};
+
+/// Checks d fn(inputs) / d inputs[i] for every requires-grad input against
+/// central differences. fn must return a scalar Variable and must be a pure
+/// function of the inputs (re-invoked many times).
+GradcheckResult gradcheck(
+    const std::function<Variable(std::vector<Variable>&)>& fn,
+    std::vector<Variable> inputs, float eps = 1e-2f, float tol = 2e-2f);
+
+}  // namespace hfta::ag

@@ -1,0 +1,120 @@
+#include "autograd/variable.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace hfta::ag {
+
+Variable::Variable(Tensor value, bool requires_grad)
+    : impl_(std::make_shared<Impl>()) {
+  HFTA_CHECK(value.defined(), "Variable from undefined tensor");
+  impl_->value = std::move(value);
+  impl_->requires_grad = requires_grad;
+}
+
+const Tensor& Variable::value() const {
+  HFTA_CHECK(defined(), "value() on undefined Variable");
+  return impl_->value;
+}
+
+Tensor& Variable::mutable_value() {
+  HFTA_CHECK(defined(), "mutable_value() on undefined Variable");
+  return impl_->value;
+}
+
+Tensor& Variable::grad() {
+  HFTA_CHECK(defined(), "grad() on undefined Variable");
+  if (!impl_->grad.defined()) impl_->grad = Tensor::zeros(impl_->value.shape());
+  return impl_->grad;
+}
+
+bool Variable::has_grad() const { return defined() && impl_->grad.defined(); }
+
+bool Variable::requires_grad() const {
+  return defined() && impl_->requires_grad;
+}
+
+void Variable::zero_grad() {
+  if (defined() && impl_->grad.defined()) impl_->grad.zero_();
+}
+
+Variable Variable::detach() const {
+  Variable v;
+  if (defined()) {
+    v.impl_ = std::make_shared<Impl>();
+    v.impl_->value = impl_->value;  // shares storage, drops the tape
+    v.impl_->requires_grad = false;
+  }
+  return v;
+}
+
+Variable Variable::make_output(Tensor value, std::shared_ptr<Node> node) {
+  Variable v(std::move(value), /*requires_grad=*/true);
+  v.impl_->node = std::move(node);
+  return v;
+}
+
+const std::shared_ptr<Node>& Variable::node() const {
+  static const std::shared_ptr<Node> null_node;
+  return defined() ? impl_->node : null_node;
+}
+
+void Variable::backward(Tensor seed) const {
+  HFTA_CHECK(defined(), "backward() on undefined Variable");
+  if (!seed.defined()) {
+    HFTA_CHECK(numel() == 1,
+               "backward() without seed requires a scalar; got ",
+               shape_str(shape()));
+    seed = Tensor::ones(value().shape());
+  }
+  HFTA_CHECK(seed.numel() == numel(), "backward(): seed shape mismatch");
+
+  // Topological order over impls (post-order DFS, iterative).
+  std::vector<Impl*> topo;
+  std::unordered_set<Impl*> visited;
+  std::vector<std::pair<Impl*, size_t>> stack;  // (impl, next child index)
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [impl, child] = stack.back();
+    if (impl->node && child < impl->node->inputs.size()) {
+      const Variable& in = impl->node->inputs[child++];
+      if (in.defined()) {
+        Impl* ci = in.impl_.get();
+        if (ci->node && !visited.count(ci)) {
+          visited.insert(ci);
+          stack.emplace_back(ci, 0);
+        }
+      }
+    } else {
+      topo.push_back(impl);
+      stack.pop_back();
+    }
+  }
+
+  // Seed and propagate in reverse topological order.
+  impl_->grad = impl_->grad.defined() ? impl_->grad : Tensor::zeros(shape());
+  impl_->grad.add_(seed.reshape(shape()));
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Impl* impl = *it;
+    if (!impl->node || !impl->grad.defined()) continue;
+    std::vector<Tensor> gin = impl->node->backward(impl->grad);
+    HFTA_CHECK(gin.size() == impl->node->inputs.size(),
+               "backward of ", impl->node->name, " returned ", gin.size(),
+               " grads for ", impl->node->inputs.size(), " inputs");
+    for (size_t i = 0; i < gin.size(); ++i) {
+      const Variable& in = impl->node->inputs[i];
+      if (!in.defined() || !gin[i].defined()) continue;
+      if (!in.impl_->requires_grad && !in.impl_->node) continue;
+      Tensor& g = in.impl_->grad;
+      if (!g.defined()) g = Tensor::zeros(in.shape());
+      HFTA_CHECK(gin[i].numel() == g.numel(), "backward of ",
+                 impl->node->name, ": grad ", i, " numel mismatch");
+      g.add_(gin[i]);
+    }
+  }
+}
+
+}  // namespace hfta::ag

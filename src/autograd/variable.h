@@ -1,0 +1,74 @@
+// Tape-based reverse-mode automatic differentiation.
+//
+// A Variable is a value-semantics handle to (value, grad, creator node).
+// Differentiable ops (autograd/functions.h) record a Node holding the input
+// Variables and a backward closure; Variable::backward() topologically
+// sorts the tape and accumulates gradients into every requires-grad leaf.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hfta::ag {
+
+class Variable;
+
+/// Graph node recorded by a differentiable op.
+struct Node {
+  std::string name;                 // op name, for debugging
+  std::vector<Variable> inputs;     // parents
+  /// Maps the output gradient to per-input gradients (undefined Tensor for
+  /// inputs that do not need a gradient).
+  std::function<std::vector<Tensor>(const Tensor& gy)> backward;
+};
+
+class Variable {
+ public:
+  /// Undefined variable.
+  Variable() = default;
+  /// Wraps a tensor; requires_grad marks it as a trainable leaf.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  const Tensor& value() const;
+  Tensor& mutable_value();
+  /// Gradient tensor; allocated as zeros on first access.
+  Tensor& grad();
+  bool has_grad() const;
+  bool requires_grad() const;
+  void zero_grad();
+
+  const Shape& shape() const { return value().shape(); }
+  int64_t size(int64_t d) const { return value().size(d); }
+  int64_t numel() const { return value().numel(); }
+  int64_t dim() const { return value().dim(); }
+
+  /// Runs backpropagation from this variable. If `seed` is undefined, the
+  /// variable must be scalar-like and is seeded with ones.
+  void backward(Tensor seed = Tensor()) const;
+
+  /// A new leaf sharing this variable's value but cut from the tape.
+  Variable detach() const;
+
+  /// Internal: creates a non-leaf output of `node`.
+  static Variable make_output(Tensor value, std::shared_ptr<Node> node);
+  const std::shared_ptr<Node>& node() const;
+
+  /// Identity of the underlying impl (for graph bookkeeping in tests).
+  const void* id() const { return impl_.get(); }
+
+ private:
+  struct Impl {
+    Tensor value;
+    Tensor grad;
+    bool requires_grad = false;
+    std::shared_ptr<Node> node;  // creator; null for leaves
+  };
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace hfta::ag

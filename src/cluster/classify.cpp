@@ -1,0 +1,81 @@
+#include "cluster/classify.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace hfta::cluster {
+
+int64_t levenshtein(const std::string& a, const std::string& b) {
+  const size_t n = a.size(), m = b.size();
+  std::vector<int64_t> prev(m + 1), cur(m + 1);
+  std::iota(prev.begin(), prev.end(), 0);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int64_t>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int64_t sub = prev[j - 1] + (a[i - 1] != b[j - 1]);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double name_similarity(const std::string& a, const std::string& b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(levenshtein(a, b)) /
+                   static_cast<double>(longest);
+}
+
+std::vector<JobKind> classify(const std::vector<Job>& jobs,
+                              const ClassifierConfig& cfg) {
+  std::vector<JobKind> out(jobs.size(), JobKind::kOther);
+
+  // Rule 1: multi-GPU or pinned-node => distributed / other.
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].gpus > 1) {
+      out[i] = JobKind::kDistributed;
+    } else if (jobs[i].pinned_node) {
+      out[i] = JobKind::kOther;
+    } else {
+      out[i] = JobKind::kIsolatedSingleGpu;  // provisional
+    }
+  }
+
+  // Rules 2+3: per user, sort candidate single-GPU jobs by submit time and
+  // grow 60-second windows; a window of >= min_batch jobs whose names are
+  // mutually similar (>= threshold to the window's first job) is repetitive.
+  std::map<std::string, std::vector<size_t>> by_user;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (out[i] == JobKind::kIsolatedSingleGpu)
+      by_user[jobs[i].user].push_back(i);
+  }
+  for (auto& [user, idx] : by_user) {
+    std::sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+      return jobs[a].submit_time_s < jobs[b].submit_time_s;
+    });
+    size_t start = 0;
+    while (start < idx.size()) {
+      std::vector<size_t> batch = {idx[start]};
+      size_t next = start + 1;
+      while (next < idx.size() &&
+             jobs[idx[next]].submit_time_s -
+                     jobs[idx[start]].submit_time_s <=
+                 cfg.window_s) {
+        if (name_similarity(jobs[idx[start]].name, jobs[idx[next]].name) >=
+            cfg.similarity_threshold) {
+          batch.push_back(idx[next]);
+        }
+        ++next;
+      }
+      if (static_cast<int64_t>(batch.size()) >= cfg.min_batch) {
+        for (size_t j : batch) out[j] = JobKind::kRepetitiveSingleGpu;
+      }
+      start = next;
+    }
+  }
+  return out;
+}
+
+}  // namespace hfta::cluster

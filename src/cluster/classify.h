@@ -1,0 +1,29 @@
+// The paper's repetitive-job classifier (Appendix A):
+//  1. single-GPU request without node pinning,
+//  2. batched submission: >= `min_batch` such jobs from the same user
+//     within a 60-second window,
+//  3. near-identical names: normalized Levenshtein similarity >= 0.9
+//     within the batch.
+#pragma once
+
+#include "cluster/trace.h"
+
+namespace hfta::cluster {
+
+/// Levenshtein edit distance (Levenshtein 1966).
+int64_t levenshtein(const std::string& a, const std::string& b);
+
+/// Normalized similarity in [0, 1]: 1 - distance / max(len) (1 = identical).
+double name_similarity(const std::string& a, const std::string& b);
+
+struct ClassifierConfig {
+  double window_s = 60.0;
+  double similarity_threshold = 0.9;
+  int64_t min_batch = 3;
+};
+
+/// Returns the predicted kind for every job (aligned with `jobs`).
+std::vector<JobKind> classify(const std::vector<Job>& jobs,
+                              const ClassifierConfig& cfg = {});
+
+}  // namespace hfta::cluster

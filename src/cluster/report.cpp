@@ -1,0 +1,41 @@
+#include "cluster/report.h"
+
+#include "core/check.h"
+
+namespace hfta::cluster {
+
+UsageBreakdown breakdown(const std::vector<Job>& jobs,
+                         const std::vector<JobKind>& kinds) {
+  HFTA_CHECK(jobs.size() == kinds.size(), "breakdown: size mismatch");
+  UsageBreakdown b;
+  b.total_jobs = static_cast<int64_t>(jobs.size());
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const double h = jobs[i].gpu_hours();
+    switch (kinds[i]) {
+      case JobKind::kRepetitiveSingleGpu: b.repetitive_h += h; break;
+      case JobKind::kIsolatedSingleGpu: b.isolated_h += h; break;
+      case JobKind::kDistributed: b.distributed_h += h; break;
+      case JobKind::kOther: b.other_h += h; break;
+    }
+  }
+  return b;
+}
+
+ClassifierQuality evaluate(const std::vector<Job>& jobs,
+                           const std::vector<JobKind>& predicted) {
+  HFTA_CHECK(jobs.size() == predicted.size(), "evaluate: size mismatch");
+  int64_t tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    const bool truth = jobs[i].truth == JobKind::kRepetitiveSingleGpu;
+    const bool pred = predicted[i] == JobKind::kRepetitiveSingleGpu;
+    tp += truth && pred;
+    fp += !truth && pred;
+    fn += truth && !pred;
+  }
+  ClassifierQuality q;
+  q.precision = tp + fp == 0 ? 0 : static_cast<double>(tp) / (tp + fp);
+  q.recall = tp + fn == 0 ? 0 : static_cast<double>(tp) / (tp + fn);
+  return q;
+}
+
+}  // namespace hfta::cluster

@@ -1,0 +1,30 @@
+// Aggregation for the cluster-usage study: Table 1 / Fig. 9 GPU-hour
+// breakdown and classifier quality metrics against the generator labels.
+#pragma once
+
+#include "cluster/classify.h"
+
+namespace hfta::cluster {
+
+struct UsageBreakdown {
+  double repetitive_h = 0, isolated_h = 0, distributed_h = 0, other_h = 0;
+  int64_t total_jobs = 0;
+
+  double total_h() const {
+    return repetitive_h + isolated_h + distributed_h + other_h;
+  }
+  double repetitive_frac() const { return repetitive_h / total_h(); }
+};
+
+UsageBreakdown breakdown(const std::vector<Job>& jobs,
+                         const std::vector<JobKind>& kinds);
+
+struct ClassifierQuality {
+  double precision = 0;  // of predicted repetitive, fraction truly so
+  double recall = 0;     // of truly repetitive, fraction found
+};
+
+ClassifierQuality evaluate(const std::vector<Job>& jobs,
+                           const std::vector<JobKind>& predicted);
+
+}  // namespace hfta::cluster

@@ -1,0 +1,109 @@
+#include "cluster/trace.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace hfta::cluster {
+
+namespace {
+
+constexpr double kTwoMonthsSeconds = 60.0 * 24 * 3600;
+
+std::string user_name(int64_t i) { return "user" + std::to_string(i); }
+
+// Hyper-parameter-suffixed job names: long shared experiment prefix with a
+// short fixed-width variable tail ("..._lr0.0012_s3") — the pattern the
+// paper's manual inspection found (names within a batch differ only in
+// small hyper-parameter variations, normalized similarity >= 0.9).
+std::string sweep_name(const std::string& base, Rng& rng) {
+  const double lr = std::pow(10.0, rng.uniform(-4.0, -2.0));
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s_lr%.4f_s%ld", base.c_str(), lr,
+                rng.uniform_int(10));
+  return buf;
+}
+
+}  // namespace
+
+std::vector<Job> generate_trace(const TraceConfig& cfg, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Job> jobs;
+  int64_t next_id = 1;
+  double hours[4] = {0, 0, 0, 0};
+  const double targets[4] = {cfg.repetitive_frac * cfg.target_gpu_hours,
+                             cfg.isolated_frac * cfg.target_gpu_hours,
+                             cfg.distributed_frac * cfg.target_gpu_hours,
+                             cfg.other_frac * cfg.target_gpu_hours};
+
+  // Repetitive batches: a user submits 4-32 near-identical single-GPU jobs
+  // within a minute.
+  while (hours[0] < targets[0] &&
+         static_cast<int64_t>(jobs.size()) < cfg.target_jobs) {
+    const std::string user = user_name(rng.uniform_int(cfg.num_users / 4));
+    const std::string base = "project_sweep_" + user + "_model_variant_" +
+                             std::to_string(rng.uniform_int(40)) +
+                             "_training_run";
+    const int64_t batch = 4 + rng.uniform_int(29);
+    const double t0 = rng.uniform(0, kTwoMonthsSeconds);
+    const double dur = std::max(0.2, rng.normal(8.0, 4.0));
+    for (int64_t i = 0; i < batch; ++i) {
+      Job j;
+      j.job_id = next_id++;
+      j.user = user;
+      j.name = sweep_name(base, rng);
+      j.submit_time_s = t0 + rng.uniform(0, 55.0);
+      j.duration_h = std::max(0.1, dur + rng.normal(0, 0.5));
+      j.gpus = 1;
+      j.truth = JobKind::kRepetitiveSingleGpu;
+      hours[0] += j.gpu_hours();
+      jobs.push_back(std::move(j));
+    }
+  }
+  // Isolated single-GPU jobs: unique names, spread-out submissions.
+  while (hours[1] < targets[1]) {
+    Job j;
+    j.job_id = next_id++;
+    j.user = user_name(rng.uniform_int(cfg.num_users));
+    j.name = "job_" + std::to_string(rng.uniform_int(1000000));
+    j.submit_time_s = rng.uniform(0, kTwoMonthsSeconds);
+    j.duration_h = std::max(0.1, rng.normal(5.0, 3.0));
+    j.gpus = 1;
+    j.truth = JobKind::kIsolatedSingleGpu;
+    hours[1] += j.gpu_hours();
+    jobs.push_back(std::move(j));
+  }
+  // Distributed jobs: multiple GPUs (single-node) or pinned nodes.
+  while (hours[2] < targets[2]) {
+    Job j;
+    j.job_id = next_id++;
+    j.user = user_name(rng.uniform_int(cfg.num_users));
+    j.name = "ddp_" + std::to_string(rng.uniform_int(100000));
+    j.submit_time_s = rng.uniform(0, kTwoMonthsSeconds);
+    j.duration_h = std::max(0.5, rng.normal(12.0, 6.0));
+    j.gpus = 2 + rng.uniform_int(7);
+    j.pinned_node = rng.bernoulli(0.3);
+    j.truth = JobKind::kDistributed;
+    hours[2] += j.gpu_hours();
+    jobs.push_back(std::move(j));
+  }
+  // Other: interactive sessions, notebooks, unidentifiable.
+  while (hours[3] < targets[3]) {
+    Job j;
+    j.job_id = next_id++;
+    j.user = user_name(rng.uniform_int(cfg.num_users));
+    j.name = rng.bernoulli(0.5)
+                 ? "interactive"
+                 : "notebook_" + std::to_string(rng.uniform_int(100000));
+    j.submit_time_s = rng.uniform(0, kTwoMonthsSeconds);
+    j.duration_h = std::max(0.1, rng.normal(6.0, 5.0));
+    j.gpus = 1;
+    j.pinned_node = true;  // interactive/notebook sessions pin their node
+    j.truth = JobKind::kOther;
+    hours[3] += j.gpu_hours();
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+}  // namespace hfta::cluster

@@ -1,0 +1,50 @@
+// Synthetic GPU-cluster job trace generator (substitute for the Vector
+// Institute logs of paper Appendix A — 51K jobs / 472K GPU-hours over two
+// months). The generator emits the workload mixture of Table 1 with the
+// submission patterns the paper's classifier keys on: repetitive batches
+// are submitted by one user within 60 s with near-identical names varying
+// only in hyper-parameter suffixes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace hfta::cluster {
+
+enum class JobKind {
+  kRepetitiveSingleGpu,
+  kIsolatedSingleGpu,
+  kDistributed,
+  kOther,
+};
+
+struct Job {
+  int64_t job_id = 0;
+  std::string user;
+  std::string name;
+  double submit_time_s = 0;
+  double duration_h = 0;     // wall-clock hours
+  int64_t gpus = 1;
+  bool pinned_node = false;  // requested a specific node (multi-node jobs)
+  JobKind truth = JobKind::kOther;  // generator label (for evaluation)
+
+  double gpu_hours() const { return duration_h * static_cast<double>(gpus); }
+};
+
+struct TraceConfig {
+  int64_t target_jobs = 51338;      // paper: 51,338 jobs
+  double target_gpu_hours = 471768; // paper: 471,768 GPU-hours
+  // Table 1 mixture (fractions of GPU-hours).
+  double repetitive_frac = 0.462;
+  double isolated_frac = 0.035;
+  double distributed_frac = 0.240;
+  double other_frac = 0.263;
+  int64_t num_users = 501;          // paper: 501 community members
+};
+
+/// Generates a two-month trace with the configured mixture.
+std::vector<Job> generate_trace(const TraceConfig& cfg, uint64_t seed);
+
+}  // namespace hfta::cluster

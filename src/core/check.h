@@ -1,0 +1,41 @@
+// Error-handling primitives used across hfta-cpp.
+//
+// HFTA_CHECK(cond, msg...) throws hfta::Error on violation. Shape and
+// argument validation is always on (these are API-boundary checks, not
+// asserts); hot inner loops avoid them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hfta {
+
+/// Exception type thrown on any precondition violation inside hfta-cpp.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+inline void check_stream(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void check_stream(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  check_stream(os, rest...);
+}
+}  // namespace detail
+
+/// Throws hfta::Error with file/line context when `cond` is false.
+#define HFTA_CHECK(cond, ...)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << "HFTA_CHECK failed: " #cond " at " << __FILE__ << ":"        \
+          << __LINE__ << ": ";                                            \
+      ::hfta::detail::check_stream(os_, ##__VA_ARGS__);                   \
+      throw ::hfta::Error(os_.str());                                     \
+    }                                                                     \
+  } while (0)
+
+}  // namespace hfta

@@ -1,0 +1,121 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hfta {
+namespace {
+
+thread_local bool in_parallel_region = false;
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int n) : n_(n) {
+    workers_.reserve(static_cast<size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  int size() const { return n_; }
+
+  // Runs fn(i) for i in [0, tasks); blocks until all complete. fn must not
+  // throw (tensor kernels are noexcept by construction; API validation
+  // happens before entering the pool).
+  void run(int tasks, const std::function<void(int)>& fn) {
+    std::unique_lock<std::mutex> lk(mu_);
+    job_ = &fn;
+    job_tasks_ = tasks;
+    next_task_ = 0;
+    pending_ = tasks;
+    ++generation_;
+    cv_.notify_all();
+    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void worker_loop() {
+    in_parallel_region = true;
+    uint64_t seen_gen = 0;
+    while (true) {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || generation_ != seen_gen; });
+      if (stop_) return;
+      seen_gen = generation_;
+      while (next_task_ < job_tasks_) {
+        const int t = next_task_++;
+        const auto* job = job_;
+        lk.unlock();
+        (*job)(t);
+        lk.lock();
+        if (--pending_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  const int n_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  int job_tasks_ = 0;
+  int next_task_ = 0;
+  int pending_ = 0;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+int configured_threads() {
+  if (const char* env = std::getenv("HFTA_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 16u));
+}
+
+ThreadPool& pool() {
+  static ThreadPool p(configured_threads());
+  return p;
+}
+
+}  // namespace
+
+int num_threads() { return pool().size(); }
+
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t grain) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  const int nt = num_threads();
+  if (range < grain || nt == 1 || in_parallel_region) {
+    fn(begin, end);
+    return;
+  }
+  const int64_t chunks = std::min<int64_t>(nt, (range + grain - 1) / grain);
+  const int64_t chunk = (range + chunks - 1) / chunks;
+  pool().run(static_cast<int>(chunks), [&](int c) {
+    const int64_t lo = begin + c * chunk;
+    const int64_t hi = std::min(end, lo + chunk);
+    if (lo < hi) fn(lo, hi);
+  });
+}
+
+}  // namespace hfta

@@ -1,0 +1,25 @@
+// Shared thread pool + parallel_for used by the tensor kernels.
+//
+// The pool is created lazily on first use with hardware_concurrency()
+// threads (capped; override with HFTA_NUM_THREADS env var). parallel_for
+// splits [begin, end) into contiguous chunks, one per worker, and blocks
+// until all complete. Nested parallel_for calls run the nested loop inline
+// (no oversubscription).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace hfta {
+
+/// Number of worker threads the pool uses (>= 1).
+int num_threads();
+
+/// Runs fn(begin_i, end_i) on contiguous subranges of [begin, end) across
+/// the thread pool. Falls back to a single inline call when the range is
+/// small (< grain) or when invoked from inside another parallel_for.
+void parallel_for(int64_t begin, int64_t end,
+                  const std::function<void(int64_t, int64_t)>& fn,
+                  int64_t grain = 1024);
+
+}  // namespace hfta

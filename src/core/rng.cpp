@@ -1,0 +1,69 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace hfta {
+
+uint64_t Rng::next_u64() {
+  // splitmix64 (Steele, Lea, Flood 2014).
+  uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+int64_t Rng::uniform_int(int64_t n) {
+  HFTA_CHECK(n > 0, "uniform_int needs n > 0, got ", n);
+  return static_cast<int64_t>(next_u64() % static_cast<uint64_t>(n));
+}
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; guard against log(0).
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+void Rng::shuffle(std::vector<int64_t>& v) {
+  for (int64_t i = static_cast<int64_t>(v.size()) - 1; i > 0; --i) {
+    const int64_t j = uniform_int(i + 1);
+    std::swap(v[i], v[j]);
+  }
+}
+
+Rng Rng::split() { return Rng(next_u64() ^ 0xA5A5A5A5A5A5A5A5ull); }
+
+double hash_to_unit(uint64_t key) {
+  Rng r(key);
+  return r.uniform();
+}
+
+uint64_t hash_combine(uint64_t seed, uint64_t v) {
+  return seed ^ (v + 0x9E3779B97F4A7C15ull + (seed << 12) + (seed >> 4));
+}
+
+}  // namespace hfta

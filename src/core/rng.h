@@ -1,0 +1,54 @@
+// Deterministic random number generation.
+//
+// All randomness in hfta-cpp flows through hfta::Rng so that experiments,
+// tests and the synthetic data generators are reproducible bit-for-bit
+// given a seed. The generator is splitmix64 (fast, passes BigCrush for the
+// purposes of synthetic data / weight init).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hfta {
+
+/// Deterministic pseudo-random generator (splitmix64 core).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n) — n must be > 0.
+  int64_t uniform_int(int64_t n);
+  /// Standard normal via Box-Muller.
+  double normal();
+  /// Normal with the given mean / stddev.
+  double normal(double mean, double stddev);
+  /// Bernoulli with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Fisher–Yates shuffle of an index vector.
+  void shuffle(std::vector<int64_t>& v);
+
+  /// Derive an independent child stream (for per-model / per-worker seeds).
+  Rng split();
+
+ private:
+  uint64_t state_;
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+/// Stateless hash of a 64-bit key to [0,1) — used for deterministic
+/// synthetic response surfaces (e.g. HFHT validation accuracy).
+double hash_to_unit(uint64_t key);
+
+/// Combine hash keys (boost::hash_combine style, 64-bit).
+uint64_t hash_combine(uint64_t seed, uint64_t v);
+
+}  // namespace hfta

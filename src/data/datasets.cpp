@@ -1,0 +1,170 @@
+#include "data/datasets.h"
+
+#include <array>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace hfta::data {
+
+PointCloudDataset::PointCloudDataset(int64_t num_samples,
+                                     int64_t points_per_cloud,
+                                     int64_t num_classes, int64_t num_parts,
+                                     uint64_t seed)
+    : num_classes_(num_classes), num_parts_(num_parts) {
+  Rng rng(seed);
+  for (int64_t i = 0; i < num_samples; ++i) {
+    const int64_t cls = rng.uniform_int(num_classes);
+    Tensor cloud({3, points_per_cloud});
+    Tensor part({points_per_cloud});
+    for (int64_t p = 0; p < points_per_cloud; ++p) {
+      // Class-dependent primitive: parameterized surface with class-specific
+      // radius profile + anisotropy.
+      const double u = rng.uniform(0.0, 2.0 * M_PI);
+      const double v = rng.uniform(-1.0, 1.0);
+      const double r =
+          1.0 + 0.3 * std::sin(static_cast<double>(cls + 1) * u);
+      const double squash = 1.0 / (1.0 + 0.2 * static_cast<double>(cls));
+      const double x = r * std::cos(u) * std::sqrt(1 - v * v);
+      const double y = r * std::sin(u) * std::sqrt(1 - v * v) * squash;
+      const double z = v;
+      cloud.at({0, p}) = static_cast<float>(x + rng.normal(0, 0.02));
+      cloud.at({1, p}) = static_cast<float>(y + rng.normal(0, 0.02));
+      cloud.at({2, p}) = static_cast<float>(z + rng.normal(0, 0.02));
+      // Part = angular sector (learnable from coordinates).
+      const int64_t sector = static_cast<int64_t>(
+          (u / (2.0 * M_PI)) * static_cast<double>(num_parts));
+      part.data()[p] = static_cast<float>(std::min(sector, num_parts - 1));
+    }
+    clouds_.push_back(std::move(cloud));
+    parts_.push_back(std::move(part));
+    labels_.push_back(cls);
+  }
+}
+
+std::pair<Tensor, Tensor> PointCloudDataset::batch_cls(
+    const std::vector<int64_t>& idx) const {
+  HFTA_CHECK(!idx.empty(), "empty batch");
+  const int64_t L = clouds_[0].size(1);
+  Tensor x({static_cast<int64_t>(idx.size()), 3, L});
+  Tensor y({static_cast<int64_t>(idx.size())});
+  for (size_t n = 0; n < idx.size(); ++n) {
+    std::copy(points(idx[n]).data(), points(idx[n]).data() + 3 * L,
+              x.data() + static_cast<int64_t>(n) * 3 * L);
+    y.data()[n] = static_cast<float>(label(idx[n]));
+  }
+  return {x, y};
+}
+
+std::pair<Tensor, Tensor> PointCloudDataset::batch_seg(
+    const std::vector<int64_t>& idx) const {
+  HFTA_CHECK(!idx.empty(), "empty batch");
+  const int64_t L = clouds_[0].size(1);
+  Tensor x({static_cast<int64_t>(idx.size()), 3, L});
+  Tensor y({static_cast<int64_t>(idx.size()), L});
+  for (size_t n = 0; n < idx.size(); ++n) {
+    std::copy(points(idx[n]).data(), points(idx[n]).data() + 3 * L,
+              x.data() + static_cast<int64_t>(n) * 3 * L);
+    std::copy(parts(idx[n]).data(), parts(idx[n]).data() + L,
+              y.data() + static_cast<int64_t>(n) * L);
+  }
+  return {x, y};
+}
+
+ImageDataset::ImageDataset(int64_t num_samples, int64_t image_size,
+                           int64_t channels, int64_t num_classes,
+                           uint64_t seed) {
+  Rng rng(seed);
+  for (int64_t i = 0; i < num_samples; ++i) {
+    const int64_t cls = rng.uniform_int(num_classes);
+    Tensor img({channels, image_size, image_size});
+    // Class-specific oriented sinusoid texture + per-channel phase + noise.
+    const double angle = M_PI * static_cast<double>(cls) /
+                         static_cast<double>(num_classes);
+    const double freq = 2.0 + static_cast<double>(cls % 4);
+    const double ca = std::cos(angle), sa = std::sin(angle);
+    for (int64_t c = 0; c < channels; ++c) {
+      const double phase = 0.7 * static_cast<double>(c);
+      for (int64_t h = 0; h < image_size; ++h) {
+        for (int64_t w = 0; w < image_size; ++w) {
+          const double u =
+              (ca * h + sa * w) / static_cast<double>(image_size);
+          const double v = std::sin(2.0 * M_PI * freq * u + phase);
+          img.at({c, h, w}) =
+              static_cast<float>(0.7 * v + rng.normal(0, 0.15));
+        }
+      }
+    }
+    images_.push_back(std::move(img));
+    labels_.push_back(cls);
+  }
+}
+
+std::pair<Tensor, Tensor> ImageDataset::batch(
+    const std::vector<int64_t>& idx) const {
+  HFTA_CHECK(!idx.empty(), "empty batch");
+  const int64_t per = images_[0].numel();
+  Shape s = images_[0].shape();
+  s.insert(s.begin(), static_cast<int64_t>(idx.size()));
+  Tensor x(s);
+  Tensor y({static_cast<int64_t>(idx.size())});
+  for (size_t n = 0; n < idx.size(); ++n) {
+    std::copy(image(idx[n]).data(), image(idx[n]).data() + per,
+              x.data() + static_cast<int64_t>(n) * per);
+    y.data()[n] = static_cast<float>(label(idx[n]));
+  }
+  return {x, y};
+}
+
+TextDataset::TextDataset(int64_t num_tokens, int64_t vocab, uint64_t seed)
+    : vocab_(vocab) {
+  Rng rng(seed);
+  // Sparse Markov chain: each token strongly prefers 3 successors.
+  std::vector<std::array<int64_t, 3>> succ(static_cast<size_t>(vocab));
+  for (int64_t v = 0; v < vocab; ++v)
+    for (int j = 0; j < 3; ++j)
+      succ[static_cast<size_t>(v)][static_cast<size_t>(j)] =
+          rng.uniform_int(vocab);
+  int64_t cur = 0;
+  for (int64_t i = 0; i < num_tokens; ++i) {
+    tokens_.push_back(cur);
+    if (rng.uniform() < 0.85) {
+      cur = succ[static_cast<size_t>(cur)][static_cast<size_t>(
+          rng.uniform_int(3))];
+    } else {
+      cur = rng.uniform_int(vocab);
+    }
+  }
+}
+
+std::pair<Tensor, Tensor> TextDataset::batch_lm(int64_t batch, int64_t seq_len,
+                                                int64_t offset) const {
+  Tensor x({batch, seq_len});
+  Tensor y({batch, seq_len});
+  const int64_t n = static_cast<int64_t>(tokens_.size());
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t start = (offset + b * seq_len) % (n - seq_len - 1);
+    for (int64_t s = 0; s < seq_len; ++s) {
+      x.at({b, s}) = static_cast<float>(tokens_[static_cast<size_t>(start + s)]);
+      y.at({b, s}) =
+          static_cast<float>(tokens_[static_cast<size_t>(start + s + 1)]);
+    }
+  }
+  return {x, y};
+}
+
+std::pair<Tensor, Tensor> TextDataset::batch_mlm(int64_t batch,
+                                                 int64_t seq_len,
+                                                 int64_t offset,
+                                                 int64_t mask_id,
+                                                 Rng& rng) const {
+  auto [x, y] = batch_lm(batch, seq_len, offset);
+  // Mask ~15% of input positions; targets stay the original stream.
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    y.data()[i] = x.data()[i];
+    if (rng.uniform() < 0.15) x.data()[i] = static_cast<float>(mask_id);
+  }
+  return {x, y};
+}
+
+}  // namespace hfta::data

@@ -1,0 +1,23 @@
+#include "data/loader.h"
+
+#include <cstddef>
+#include <numeric>
+
+namespace hfta::data {
+
+BatchSampler::BatchSampler(int64_t dataset_size, int64_t batch_size,
+                           bool shuffle, uint64_t seed)
+    : size_(dataset_size), batch_(batch_size), shuffle_(shuffle), rng_(seed) {}
+
+std::vector<std::vector<int64_t>> BatchSampler::epoch() {
+  std::vector<int64_t> order(static_cast<size_t>(size_));
+  std::iota(order.begin(), order.end(), 0);
+  if (shuffle_) rng_.shuffle(order);
+  std::vector<std::vector<int64_t>> batches;
+  for (int64_t start = 0; start + batch_ <= size_; start += batch_) {
+    batches.emplace_back(order.begin() + start, order.begin() + start + batch_);
+  }
+  return batches;
+}
+
+}  // namespace hfta::data

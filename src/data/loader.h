@@ -1,0 +1,27 @@
+// Mini-batch index sampler: shuffled epochs, deterministic given a seed.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace hfta::data {
+
+class BatchSampler {
+ public:
+  BatchSampler(int64_t dataset_size, int64_t batch_size, bool shuffle,
+               uint64_t seed);
+
+  /// Index lists for one epoch (last partial batch dropped, as the paper's
+  /// training scripts do).
+  std::vector<std::vector<int64_t>> epoch();
+
+  int64_t batches_per_epoch() const { return size_ / batch_; }
+
+ private:
+  int64_t size_, batch_;
+  bool shuffle_;
+  Rng rng_;
+};
+
+}  // namespace hfta::data

@@ -1,0 +1,117 @@
+#include "hfht/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace hfta::hfht {
+
+RandomSearch::RandomSearch(SearchSpace space, int64_t total_sets,
+                           int64_t epochs_per_set, uint64_t seed)
+    : space_(std::move(space)),
+      total_sets_(total_sets),
+      epochs_per_set_(epochs_per_set),
+      rng_(seed) {}
+
+std::vector<Trial> RandomSearch::propose() {
+  if (done_) return {};
+  std::vector<Trial> out;
+  for (int64_t i = 0; i < total_sets_; ++i)
+    out.push_back({space_.sample(rng_), epochs_per_set_});
+  done_ = true;
+  return out;
+}
+
+void RandomSearch::update(const std::vector<Trial>& trials,
+                          const std::vector<double>& accuracy) {
+  for (size_t i = 0; i < trials.size(); ++i)
+    record(trials[i].params, accuracy[i]);
+}
+
+Hyperband::Hyperband(SearchSpace space, int64_t max_epochs_r, int64_t eta,
+                     int64_t skip_last, uint64_t seed)
+    : space_(std::move(space)),
+      R_(max_epochs_r),
+      eta_(eta),
+      skip_last_(skip_last),
+      rng_(seed) {
+  s_max_ = static_cast<int64_t>(
+      std::floor(std::log(static_cast<double>(R_)) /
+                 std::log(static_cast<double>(eta_))));
+  bracket_ = s_max_;
+}
+
+std::vector<Hyperband::Round> Hyperband::bracket_schedule(int64_t s) const {
+  // Standard Hyperband: n = ceil((s_max+1)/(s+1) * eta^s) configs starting
+  // at r = R * eta^-s epochs, halved (eta-ed) each round; the paper skips
+  // the last `skip_last` rounds of every bracket.
+  std::vector<Round> rounds;
+  const double n0 = std::ceil(static_cast<double>(s_max_ + 1) /
+                              static_cast<double>(s + 1) *
+                              std::pow(static_cast<double>(eta_),
+                                       static_cast<double>(s)));
+  const double r0 = static_cast<double>(R_) *
+                    std::pow(static_cast<double>(eta_),
+                             -static_cast<double>(s));
+  const int64_t total_rounds = std::max<int64_t>(1, s + 1 - skip_last_);
+  for (int64_t i = 0; i < total_rounds; ++i) {
+    const int64_t n = std::max<int64_t>(
+        1, static_cast<int64_t>(std::floor(
+               n0 * std::pow(static_cast<double>(eta_),
+                             -static_cast<double>(i)))));
+    const int64_t r = std::max<int64_t>(
+        1, static_cast<int64_t>(std::round(
+               r0 * std::pow(static_cast<double>(eta_),
+                             static_cast<double>(i)))));
+    rounds.push_back({n, r});
+  }
+  return rounds;
+}
+
+std::vector<Trial> Hyperband::propose() {
+  if (done_) return {};
+  const auto schedule = bracket_schedule(bracket_);
+  const Round& round = schedule[static_cast<size_t>(round_)];
+  std::vector<Trial> out;
+  if (round_ == 0) {
+    // fresh bracket: sample n configs
+    for (int64_t i = 0; i < round.configs; ++i)
+      out.push_back({space_.sample(rng_), round.epochs});
+  } else {
+    for (const ParamSet& p : survivors_) out.push_back({p, round.epochs});
+  }
+  return out;
+}
+
+void Hyperband::update(const std::vector<Trial>& trials,
+                       const std::vector<double>& accuracy) {
+  HFTA_CHECK(trials.size() == accuracy.size(), "Hyperband: result mismatch");
+  for (size_t i = 0; i < trials.size(); ++i)
+    record(trials[i].params, accuracy[i]);
+
+  const auto schedule = bracket_schedule(bracket_);
+  // survivors for the next round: top n/eta by accuracy
+  if (round_ + 1 < static_cast<int64_t>(schedule.size())) {
+    const int64_t keep = schedule[static_cast<size_t>(round_ + 1)].configs;
+    std::vector<size_t> order(trials.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return accuracy[a] > accuracy[b];
+    });
+    survivors_.clear();
+    for (int64_t i = 0; i < keep && i < static_cast<int64_t>(order.size());
+         ++i)
+      survivors_.push_back(trials[order[static_cast<size_t>(i)]].params);
+    ++round_;
+  } else {
+    // bracket finished
+    survivors_.clear();
+    round_ = 0;
+    --bracket_;
+    if (bracket_ < 0) done_ = true;
+  }
+}
+
+}  // namespace hfta::hfht

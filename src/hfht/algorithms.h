@@ -1,0 +1,87 @@
+// Tuning algorithms driving Algorithm 1: random search (Bergstra & Bengio
+// 2012) and Hyperband (Li et al. 2018) with the paper's Table 11 settings.
+#pragma once
+
+#include <memory>
+
+#include "hfht/space.h"
+
+namespace hfta::hfht {
+
+/// One training job request: evaluate `params` for `epochs`.
+struct Trial {
+  ParamSet params;
+  int64_t epochs = 1;
+};
+
+class TuningAlgorithm {
+ public:
+  virtual ~TuningAlgorithm() = default;
+  /// Next batch of trials; empty when the algorithm is finished.
+  virtual std::vector<Trial> propose() = 0;
+  /// Feeds back validation accuracies (aligned with the proposed batch).
+  virtual void update(const std::vector<Trial>& trials,
+                      const std::vector<double>& accuracy) = 0;
+
+  double best_accuracy() const { return best_; }
+  const ParamSet& best_params() const { return best_params_; }
+
+ protected:
+  void record(const ParamSet& p, double acc) {
+    if (acc > best_) {
+      best_ = acc;
+      best_params_ = p;
+    }
+  }
+  double best_ = 0;
+  ParamSet best_params_;
+};
+
+/// Proposes `total_sets` random sets, each trained `epochs_per_set` epochs
+/// (Table 11: PointNet 60x25, MobileNet 50x20).
+class RandomSearch : public TuningAlgorithm {
+ public:
+  RandomSearch(SearchSpace space, int64_t total_sets, int64_t epochs_per_set,
+               uint64_t seed);
+  std::vector<Trial> propose() override;
+  void update(const std::vector<Trial>& trials,
+              const std::vector<double>& accuracy) override;
+
+ private:
+  SearchSpace space_;
+  int64_t total_sets_, epochs_per_set_;
+  Rng rng_;
+  bool done_ = false;
+};
+
+/// Hyperband successive halving (Table 11: PointNet R=250 eta=5 skip 1;
+/// MobileNet R=81 eta=3 skip 2).
+class Hyperband : public TuningAlgorithm {
+ public:
+  Hyperband(SearchSpace space, int64_t max_epochs_r, int64_t eta,
+            int64_t skip_last, uint64_t seed);
+  std::vector<Trial> propose() override;
+  void update(const std::vector<Trial>& trials,
+              const std::vector<double>& accuracy) override;
+
+  /// Exposed for tests: bracket schedule (n_i, r_i) for bracket `s`.
+  struct Round {
+    int64_t configs;
+    int64_t epochs;
+  };
+  std::vector<Round> bracket_schedule(int64_t s) const;
+  int64_t s_max() const { return s_max_; }
+
+ private:
+  SearchSpace space_;
+  int64_t R_, eta_, skip_last_, s_max_;
+  Rng rng_;
+
+  // iteration state
+  int64_t bracket_ = 0;  // current s (descending from s_max_)
+  int64_t round_ = 0;    // round inside the bracket
+  std::vector<ParamSet> survivors_;
+  bool done_ = false;
+};
+
+}  // namespace hfta::hfht

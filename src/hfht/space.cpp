@@ -1,0 +1,96 @@
+#include "hfht/space.h"
+
+#include <cmath>
+#include <map>
+
+#include "core/check.h"
+
+namespace hfta::hfht {
+
+double HyperParam::sample(Rng& rng) const {
+  if (!choices.empty())
+    return choices[static_cast<size_t>(
+        rng.uniform_int(static_cast<int64_t>(choices.size())))];
+  if (log_scale) {
+    const double lg = rng.uniform(std::log10(lo), std::log10(hi));
+    return std::pow(10.0, lg);
+  }
+  return rng.uniform(lo, hi);
+}
+
+ParamSet SearchSpace::sample(Rng& rng) const {
+  ParamSet out;
+  out.reserve(params.size());
+  for (const HyperParam& p : params) out.push_back(p.sample(rng));
+  return out;
+}
+
+std::vector<size_t> SearchSpace::infusible_indices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < params.size(); ++i)
+    if (!params[i].fusible) out.push_back(i);
+  return out;
+}
+
+SearchSpace SearchSpace::pointnet() {
+  // Table 12 (PointNet rows).
+  SearchSpace s;
+  s.params = {
+      {"lr", true, true, 1e-4, 1e-2, {}},
+      {"adam_beta1", true, false, 0.001, 0.999, {}},
+      {"adam_beta2", true, false, 0.001, 0.999, {}},
+      {"weight_decay", true, false, 0.0, 0.5, {}},
+      {"lr_decay_factor", true, false, 0.1, 0.9, {}},
+      {"lr_decay_period", true, false, 0, 0, {5, 10, 20, 40}},
+      {"batch_size", false, false, 0, 0, {8, 16, 32}},
+      {"feature_transform", false, false, 0, 0, {0, 1}},
+  };
+  return s;
+}
+
+SearchSpace SearchSpace::mobilenet() {
+  SearchSpace s;
+  s.params = {
+      {"lr", true, true, 1e-4, 1e-2, {}},
+      {"adam_beta1", true, false, 0.001, 0.999, {}},
+      {"adam_beta2", true, false, 0.001, 0.999, {}},
+      {"weight_decay", true, false, 0.0, 0.5, {}},
+      {"lr_decay_factor", true, false, 0.1, 0.9, {}},
+      {"lr_decay_period", true, false, 0, 0, {5, 10, 20, 40}},
+      {"batch_size", false, false, 0, 0, {1024, 2048}},
+      {"version", false, false, 0, 0, {2, 3}},  // V2 vs V3-Large
+  };
+  return s;
+}
+
+std::vector<std::vector<size_t>> partition_by_infusible(
+    const SearchSpace& space, const std::vector<ParamSet>& sets) {
+  const std::vector<size_t> inf = space.infusible_indices();
+  std::map<std::vector<double>, std::vector<size_t>> groups;
+  for (size_t i = 0; i < sets.size(); ++i) {
+    std::vector<double> key;
+    for (size_t idx : inf) key.push_back(sets[i][idx]);
+    groups[key].push_back(i);
+  }
+  std::vector<std::vector<size_t>> out;
+  out.reserve(groups.size());
+  for (auto& [key, members] : groups) out.push_back(std::move(members));
+  return out;
+}
+
+std::vector<double> unfuse_and_reorder(
+    const std::vector<std::vector<size_t>>& partitions,
+    const std::vector<std::vector<double>>& partition_results, size_t total) {
+  std::vector<double> out(total, 0.0);
+  HFTA_CHECK(partitions.size() == partition_results.size(),
+             "unfuse_and_reorder: partition count mismatch");
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    HFTA_CHECK(partitions[p].size() == partition_results[p].size(),
+               "unfuse_and_reorder: partition ", p, " size mismatch");
+    for (size_t j = 0; j < partitions[p].size(); ++j)
+      out[partitions[p][j]] = partition_results[p][j];
+  }
+  return out;
+}
+
+}  // namespace hfta::hfht

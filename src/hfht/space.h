@@ -1,0 +1,57 @@
+// HFHT hyper-parameter search spaces (paper Appendix E / Table 12).
+//
+// Each hyper-parameter is fusible (co-evaluable inside one fused job —
+// learning rates, betas, decay factors) or infusible (changes operator
+// shapes or the architecture — batch size, feature transform, model
+// version). partition_by_infusible() groups proposed sets so every
+// partition can run as a single fused job.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace hfta::hfht {
+
+struct HyperParam {
+  std::string name;
+  bool fusible = true;
+  bool log_scale = false;            // sample uniformly in log10 space
+  double lo = 0, hi = 1;             // continuous range (when choices empty)
+  std::vector<double> choices;       // discrete values
+
+  double sample(Rng& rng) const;
+};
+
+/// One proposed assignment (values aligned with SearchSpace::params).
+using ParamSet = std::vector<double>;
+
+struct SearchSpace {
+  std::vector<HyperParam> params;
+
+  ParamSet sample(Rng& rng) const;
+  /// Indices of infusible params.
+  std::vector<size_t> infusible_indices() const;
+
+  /// The paper's PointNet task: 8 hyper-parameters, 2 infusible
+  /// (batch size, feature transformation) — Table 12.
+  static SearchSpace pointnet();
+  /// The paper's MobileNet task: 8 hyper-parameters, 2 infusible
+  /// (batch size, V2 vs V3-Large) — Table 12.
+  static SearchSpace mobilenet();
+};
+
+/// Groups sets by their infusible values; each group can be fused
+/// (Appendix E, Fig. 12).
+std::vector<std::vector<size_t>> partition_by_infusible(
+    const SearchSpace& space, const std::vector<ParamSet>& sets);
+
+/// Restores per-set results scattered by partitioning back to the original
+/// proposal order ("unfuse_and_reorder" in Algorithm 1).
+std::vector<double> unfuse_and_reorder(
+    const std::vector<std::vector<size_t>>& partitions,
+    const std::vector<std::vector<double>>& partition_results,
+    size_t total);
+
+}  // namespace hfta::hfht

@@ -1,0 +1,36 @@
+// End-to-end HFHT runs: Algorithm 1 with a synthetic (deterministic)
+// validation-accuracy surface. The surface rewards sensible learning rates
+// and more epochs so that Hyperband's successive halving has signal to act
+// on; GPU-hour accounting comes from the scheduler cost model.
+#pragma once
+
+#include "hfht/schedulers.h"
+
+namespace hfta::hfht {
+
+enum class Task { kPointNet, kMobileNet };
+enum class AlgorithmKind { kRandomSearch, kHyperband };
+const char* task_name(Task t);
+const char* algorithm_name(AlgorithmKind a);
+
+struct TuneResult {
+  double total_gpu_hours = 0;
+  double best_accuracy = 0;
+  int64_t total_trials = 0;
+  int64_t iterations = 0;  // Algorithm-1 loop iterations
+};
+
+/// Deterministic synthetic accuracy for a trial (pure function of the
+/// hyper-parameters + epoch budget + task).
+double synthetic_accuracy(const SearchSpace& space, const ParamSet& params,
+                          int64_t epochs, Task task);
+
+/// Builds the paper's Table-11 configuration of `algo` for `task`.
+std::unique_ptr<TuningAlgorithm> make_algorithm(AlgorithmKind algo, Task task,
+                                                uint64_t seed);
+
+/// Runs the full tuning workload on one device under one scheduler.
+TuneResult run_tuning(Task task, AlgorithmKind algo, SchedulerKind scheduler,
+                      const sim::DeviceSpec& dev, uint64_t seed);
+
+}  // namespace hfta::hfht

@@ -1,0 +1,108 @@
+#include "hfta/fused_norm.h"
+
+#include "tensor/ops.h"
+
+namespace hfta::fused {
+
+namespace {
+void block_copy(Tensor& dst, const Tensor& src, int64_t b, int64_t B) {
+  const int64_t block = dst.numel() / B;
+  HFTA_CHECK(src.numel() == block, "fused norm block copy: numel mismatch");
+  std::copy(src.data(), src.data() + block, dst.data() + b * block);
+}
+void block_extract(const Tensor& src, Tensor& dst, int64_t b, int64_t B) {
+  const int64_t block = src.numel() / B;
+  std::copy(src.data() + b * block, src.data() + (b + 1) * block, dst.data());
+}
+}  // namespace
+
+FusedBatchNorm2d::FusedBatchNorm2d(int64_t B, int64_t channels, float eps,
+                                   float momentum)
+    : FusedModule(B), channels(channels) {
+  impl = register_module(
+      "bn", std::make_shared<nn::BatchNorm2d>(B * channels, eps, momentum));
+}
+
+ag::Variable FusedBatchNorm2d::forward(const ag::Variable& x) {
+  return impl->forward(x);
+}
+
+std::vector<FusedParam> FusedBatchNorm2d::fused_parameters() {
+  return {{impl->weight, array_size_}, {impl->bias, array_size_}};
+}
+
+void FusedBatchNorm2d::load_model(int64_t b, const nn::BatchNorm2d& m) {
+  block_copy(impl->weight.mutable_value(), m.weight.value(), b, array_size_);
+  block_copy(impl->bias.mutable_value(), m.bias.value(), b, array_size_);
+  block_copy(impl->running_mean, m.running_mean, b, array_size_);
+  block_copy(impl->running_var, m.running_var, b, array_size_);
+}
+
+void FusedBatchNorm2d::store_model(int64_t b, nn::BatchNorm2d& m) const {
+  block_extract(impl->weight.value(), m.weight.mutable_value(), b, array_size_);
+  block_extract(impl->bias.value(), m.bias.mutable_value(), b, array_size_);
+  block_extract(impl->running_mean, m.running_mean, b, array_size_);
+  block_extract(impl->running_var, m.running_var, b, array_size_);
+}
+
+FusedBatchNorm1d::FusedBatchNorm1d(int64_t B, int64_t channels, float eps,
+                                   float momentum)
+    : FusedModule(B), channels(channels) {
+  impl = register_module(
+      "bn", std::make_shared<nn::BatchNorm1d>(B * channels, eps, momentum));
+}
+
+ag::Variable FusedBatchNorm1d::forward(const ag::Variable& x) {
+  return impl->forward(x);
+}
+
+std::vector<FusedParam> FusedBatchNorm1d::fused_parameters() {
+  return {{impl->weight, array_size_}, {impl->bias, array_size_}};
+}
+
+void FusedBatchNorm1d::load_model(int64_t b, const nn::BatchNorm1d& m) {
+  block_copy(impl->weight.mutable_value(), m.weight.value(), b, array_size_);
+  block_copy(impl->bias.mutable_value(), m.bias.value(), b, array_size_);
+  block_copy(impl->running_mean, m.running_mean, b, array_size_);
+  block_copy(impl->running_var, m.running_var, b, array_size_);
+}
+
+FusedLayerNorm::FusedLayerNorm(int64_t B, Shape shape, float eps, Rng&)
+    : FusedModule(B), normalized_shape(std::move(shape)), eps(eps) {
+  Shape wshape = {B};
+  for (int64_t d : normalized_shape) wshape.push_back(d);
+  weight = register_parameter("weight", Tensor::ones(wshape));
+  bias = register_parameter("bias", Tensor::zeros(wshape));
+}
+
+ag::Variable FusedLayerNorm::forward(const ag::Variable& x) {
+  HFTA_CHECK(x.size(0) == array_size_, "FusedLayerNorm: expected [B, ...]");
+  const int64_t n = static_cast<int64_t>(normalized_shape.size());
+  std::vector<int64_t> dims;
+  for (int64_t i = x.dim() - n; i < x.dim(); ++i) dims.push_back(i);
+  ag::Variable mean_v = ag::mean(x, dims, /*keepdim=*/true);
+  ag::Variable centered = ag::sub(x, mean_v);
+  ag::Variable var_v = ag::mean(ag::mul(centered, centered), dims, true);
+  ag::Variable inv_std = ag::pow_scalar(ag::add_scalar(var_v, eps), -0.5f);
+  ag::Variable xhat = ag::mul(centered, inv_std);
+  // Broadcast the per-model affine [B, E...] as [B, 1..., E...].
+  Shape bshape(static_cast<size_t>(x.dim()), 1);
+  bshape[0] = array_size_;
+  for (int64_t i = 0; i < n; ++i)
+    bshape[static_cast<size_t>(x.dim() - n + i)] =
+        normalized_shape[static_cast<size_t>(i)];
+  ag::Variable w = ag::reshape(weight, bshape);
+  ag::Variable b = ag::reshape(bias, bshape);
+  return ag::add(ag::mul(xhat, w), b);
+}
+
+std::vector<FusedParam> FusedLayerNorm::fused_parameters() {
+  return {{weight, array_size_}, {bias, array_size_}};
+}
+
+void FusedLayerNorm::load_model(int64_t b, const nn::LayerNorm& m) {
+  block_copy(weight.mutable_value(), m.weight.value(), b, array_size_);
+  block_copy(bias.mutable_value(), m.bias.value(), b, array_size_);
+}
+
+}  // namespace hfta::fused

@@ -1,0 +1,207 @@
+// Horizontally fused operators — the paper's primary contribution
+// (Appendix B, Table 6). Each Fused* module is the mathematically
+// equivalent fusion of B instances of the corresponding nn:: layer:
+//
+//   FusedConv2d   B convs with G groups  -> one grouped conv, G' = B*G
+//   FusedConv1d   likewise (1-D)
+//   FusedConvTranspose2d likewise (deconvolution)
+//   FusedLinear   B linears -> one baddbmm(b [B,1,Fy], x [B,N,Fx], w [B,Fx,Fy])
+//   FusedBatchNorm1d/2d  per-(model,channel) statistics over B*C channels
+//   FusedLayerNorm  normalize trailing dims, then per-model affine
+//   FusedEmbedding  index offsets b*V into a [B*V, E] table
+//   FusedMaxPool2d / FusedAdaptiveAvgPool2d / FusedDropout2d  unchanged math
+//                   on the channel-fused layout
+//
+// Layout conventions (see DESIGN.md §2):
+//   channel-fused  [N, B*C, H, W] / [N, B*C, L]  (conv/BN/pool family)
+//   model-major    [B, N, F] / [B, N, ...]       (linear/LayerNorm/attention)
+// to_model_major / to_channel_fused convert between them.
+#pragma once
+
+#include "nn/layers.h"
+#include "nn/module.h"
+
+namespace hfta::fused {
+
+/// A fused parameter: the tensor packs B per-model blocks contiguously
+/// along dim 0 (numel = B * per-model numel). Fused optimizers use this to
+/// apply per-model hyper-parameters as broadcasted vector ops.
+struct FusedParam {
+  ag::Variable var;
+  int64_t array_size = 1;  // B
+
+  int64_t per_model_numel() const { return var.numel() / array_size; }
+};
+
+/// Base for all fused modules: tracks B and collects FusedParams.
+class FusedModule : public nn::Module {
+ public:
+  explicit FusedModule(int64_t array_size) : array_size_(array_size) {
+    HFTA_CHECK(array_size >= 1, "FusedModule: array size must be >= 1");
+  }
+  int64_t array_size() const { return array_size_; }
+
+  /// This module's own fused parameters (not recursive).
+  virtual std::vector<FusedParam> fused_parameters() { return {}; }
+
+ protected:
+  int64_t array_size_;
+};
+
+/// Collects FusedParams of every fused module in a module tree given the
+/// tree's (uniform) array size; non-fused parameters are rejected.
+std::vector<FusedParam> collect_fused_parameters(nn::Module& root,
+                                                 int64_t array_size);
+
+// ---- layout converters -------------------------------------------------------
+
+/// [N, B*C, ...] -> [B, N, C, ...].
+ag::Variable to_model_major(const ag::Variable& x, int64_t B);
+/// [B, N, C, ...] -> [N, B*C, ...].
+ag::Variable to_channel_fused(const ag::Variable& x);
+/// Stacks B per-model tensors [N, C, ...] into channel-fused [N, B*C, ...].
+Tensor pack_channel_fused(const std::vector<Tensor>& xs);
+/// Splits channel-fused [N, B*C, ...] back into B tensors [N, C, ...].
+std::vector<Tensor> unpack_channel_fused(const Tensor& x, int64_t B);
+/// Stacks B per-model tensors [N, ...] into model-major [B, N, ...].
+Tensor pack_model_major(const std::vector<Tensor>& xs);
+
+// ---- fused layers --------------------------------------------------------------
+
+class FusedConv2d : public FusedModule {
+ public:
+  FusedConv2d(int64_t B, int64_t in, int64_t out, int64_t kernel,
+              int64_t stride, int64_t pad, int64_t groups, bool bias,
+              Rng& rng);
+  /// x: [N, B*in, H, W] -> [N, B*out, Ho, Wo].
+  ag::Variable forward(const ag::Variable& x) override;
+  std::vector<FusedParam> fused_parameters() override;
+
+  /// Copies model b's weights from / to an unfused layer.
+  void load_model(int64_t b, const nn::Conv2d& m);
+  void store_model(int64_t b, nn::Conv2d& m) const;
+
+  ag::Variable weight;  // [B*out, in/g, k, k]
+  ag::Variable bias;    // [B*out]
+  ops::ConvArgs fused_args;  // groups = B*g
+  int64_t out_channels;      // per model
+};
+
+class FusedConv1d : public FusedModule {
+ public:
+  FusedConv1d(int64_t B, int64_t in, int64_t out, int64_t kernel,
+              int64_t stride, int64_t pad, int64_t groups, bool bias,
+              Rng& rng);
+  /// x: [N, B*in, L] -> [N, B*out, Lo].
+  ag::Variable forward(const ag::Variable& x) override;
+  std::vector<FusedParam> fused_parameters() override;
+
+  void load_model(int64_t b, const nn::Conv1d& m);
+
+  ag::Variable weight;  // [B*out, in/g, k]
+  ag::Variable bias;    // [B*out]
+  int64_t stride, pad, fused_groups;
+  int64_t out_channels;
+};
+
+class FusedConvTranspose2d : public FusedModule {
+ public:
+  FusedConvTranspose2d(int64_t B, int64_t in, int64_t out, int64_t kernel,
+                       int64_t stride, int64_t pad, int64_t out_pad,
+                       int64_t groups, bool bias, Rng& rng);
+  /// x: [N, B*in, H, W] -> [N, B*out, Ho, Wo].
+  ag::Variable forward(const ag::Variable& x) override;
+  std::vector<FusedParam> fused_parameters() override;
+
+  void load_model(int64_t b, const nn::ConvTranspose2d& m);
+
+  ag::Variable weight;  // [B*in, out/g, k, k]
+  ag::Variable bias;    // [B*out]
+  ops::ConvTransposeArgs fused_args;  // groups = B*g
+  int64_t out_channels;
+};
+
+class FusedConvTranspose1d : public FusedModule {
+ public:
+  FusedConvTranspose1d(int64_t B, int64_t in, int64_t out, int64_t kernel,
+                       int64_t stride, int64_t pad, int64_t out_pad,
+                       int64_t groups, bool bias, Rng& rng);
+  /// x: [N, B*in, L] -> [N, B*out, Lo].
+  ag::Variable forward(const ag::Variable& x) override;
+  std::vector<FusedParam> fused_parameters() override;
+
+  void load_model(int64_t b, const nn::ConvTranspose1d& m);
+
+  ag::Variable weight;  // [B*in, out/g, k]
+  ag::Variable bias;    // [B*out]
+  ops::ConvTransposeArgs fused_args;  // groups = B*g
+  int64_t out_channels;
+};
+
+class FusedLinear : public FusedModule {
+ public:
+  FusedLinear(int64_t B, int64_t in, int64_t out, bool bias, Rng& rng);
+  /// x: [B, N, in] -> [B, N, out] via baddbmm.
+  ag::Variable forward(const ag::Variable& x) override;
+  std::vector<FusedParam> fused_parameters() override;
+
+  void load_model(int64_t b, const nn::Linear& m);
+  void store_model(int64_t b, nn::Linear& m) const;
+
+  ag::Variable weight;  // [B, in, out]
+  ag::Variable bias;    // [B, 1, out]
+  int64_t in_features, out_features;
+};
+
+class FusedEmbedding : public FusedModule {
+ public:
+  FusedEmbedding(int64_t B, int64_t vocab, int64_t dim, Rng& rng);
+  ag::Variable forward(const ag::Variable&) override;
+  /// indices: [B, ...] per-model integer ids -> [B, ..., E].
+  ag::Variable lookup(const Tensor& indices);
+  std::vector<FusedParam> fused_parameters() override;
+
+  void load_model(int64_t b, const nn::Embedding& m);
+
+  ag::Variable weight;  // [B*V, E]
+  int64_t vocab, dim;
+};
+
+class FusedMaxPool2d : public FusedModule {
+ public:
+  FusedMaxPool2d(int64_t B, int64_t kernel, int64_t stride, int64_t pad = 0);
+  ag::Variable forward(const ag::Variable& x) override;
+  ops::PoolArgs args;
+};
+
+class FusedAdaptiveAvgPool2d : public FusedModule {
+ public:
+  FusedAdaptiveAvgPool2d(int64_t B, int64_t out_h, int64_t out_w);
+  ag::Variable forward(const ag::Variable& x) override;
+  int64_t out_h, out_w;
+};
+
+/// Dropout2d on the channel-fused layout: drops per-(model, channel),
+/// exactly what B independent Dropout2d ops would do.
+class FusedDropout2d : public FusedModule {
+ public:
+  FusedDropout2d(int64_t B, float p, uint64_t seed = 0xd20);
+  ag::Variable forward(const ag::Variable& x) override;
+  float p;
+
+ private:
+  Rng rng_;
+};
+
+/// Elementwise dropout (layout-agnostic).
+class FusedDropout : public FusedModule {
+ public:
+  FusedDropout(int64_t B, float p, uint64_t seed = 0xd0);
+  ag::Variable forward(const ag::Variable& x) override;
+  float p;
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace hfta::fused

@@ -1,0 +1,167 @@
+#include "hfta/fused_optim.h"
+
+#include <cmath>
+
+namespace hfta::fused {
+
+FusedOptimizer::FusedOptimizer(std::vector<FusedParam> params,
+                               int64_t array_size)
+    : params_(std::move(params)), array_size_(array_size) {
+  for (const FusedParam& p : params_) {
+    HFTA_CHECK(p.array_size == array_size_,
+               "FusedOptimizer: parameter array size ", p.array_size,
+               " != optimizer array size ", array_size_);
+    HFTA_CHECK(p.var.numel() % array_size_ == 0,
+               "FusedOptimizer: parameter numel not divisible by B");
+  }
+}
+
+void FusedOptimizer::zero_grad() {
+  for (auto& p : params_) p.var.zero_grad();
+}
+
+HyperVec FusedOptimizer::expand(HyperVec v) const {
+  HFTA_CHECK(v.size() == 1 || v.size() == static_cast<size_t>(array_size_),
+             "hyper-parameter vector must have size 1 or B, got ", v.size());
+  if (v.size() == 1) v.assign(static_cast<size_t>(array_size_), v[0]);
+  return v;
+}
+
+void FusedOptimizer::set_lr(HyperVec lr) { lr_ = expand(std::move(lr)); }
+
+// ---- FusedSGD -----------------------------------------------------------------
+
+FusedSGD::FusedSGD(std::vector<FusedParam> params, int64_t array_size,
+                   Options opt)
+    : FusedOptimizer(std::move(params), array_size) {
+  lr_ = expand(std::move(opt.lr));
+  momentum_ = expand(std::move(opt.momentum));
+  weight_decay_ = expand(std::move(opt.weight_decay));
+  momentum_buf_.resize(params_.size());
+}
+
+void FusedSGD::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    FusedParam& fp = params_[i];
+    if (!fp.var.has_grad()) continue;
+    const int64_t block = fp.per_model_numel();
+    const float* pg = fp.var.grad().data();
+    float* pp = fp.var.mutable_value().data();
+    Tensor& buf = momentum_buf_[i];
+    const bool has_momentum =
+        std::any_of(momentum_.begin(), momentum_.end(),
+                    [](double m) { return m != 0.0; });
+    const bool first = !buf.defined();
+    if (has_momentum && first) buf = Tensor::zeros(fp.var.shape());
+    float* pb = has_momentum ? buf.data() : nullptr;
+    for (int64_t b = 0; b < array_size_; ++b) {
+      const float lr = static_cast<float>(lr_[static_cast<size_t>(b)]);
+      const float mom = static_cast<float>(momentum_[static_cast<size_t>(b)]);
+      const float wd =
+          static_cast<float>(weight_decay_[static_cast<size_t>(b)]);
+      for (int64_t j = b * block; j < (b + 1) * block; ++j) {
+        float g = pg[j] + wd * pp[j];
+        if (has_momentum) {
+          // PyTorch semantics: buf = g on the first step, else mom*buf + g.
+          pb[j] = first ? g : mom * pb[j] + g;
+          g = pb[j];
+        }
+        pp[j] -= lr * g;
+      }
+    }
+  }
+}
+
+// ---- FusedAdam -----------------------------------------------------------------
+
+FusedAdam::FusedAdam(std::vector<FusedParam> params, int64_t array_size,
+                     Options opt)
+    : FusedOptimizer(std::move(params), array_size) {
+  lr_ = expand(std::move(opt.lr));
+  beta1_ = expand(std::move(opt.beta1));
+  beta2_ = expand(std::move(opt.beta2));
+  eps_ = expand(std::move(opt.eps));
+  weight_decay_ = expand(std::move(opt.weight_decay));
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void FusedAdam::step() {
+  ++t_;
+  for (size_t i = 0; i < params_.size(); ++i) {
+    FusedParam& fp = params_[i];
+    if (!fp.var.has_grad()) continue;
+    const int64_t block = fp.per_model_numel();
+    if (!m_[i].defined()) {
+      m_[i] = Tensor::zeros(fp.var.shape());
+      v_[i] = Tensor::zeros(fp.var.shape());
+    }
+    const float* pg = fp.var.grad().data();
+    float* pp = fp.var.mutable_value().data();
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    for (int64_t b = 0; b < array_size_; ++b) {
+      const size_t ub = static_cast<size_t>(b);
+      const float b1 = static_cast<float>(beta1_[ub]);
+      const float b2 = static_cast<float>(beta2_[ub]);
+      const float eps = static_cast<float>(eps_[ub]);
+      const float wd = static_cast<float>(weight_decay_[ub]);
+      const double bc1 = 1.0 - std::pow(beta1_[ub], static_cast<double>(t_));
+      const double bc2 = 1.0 - std::pow(beta2_[ub], static_cast<double>(t_));
+      const float step_size = static_cast<float>(lr_[ub] / bc1);
+      const float inv_bc2 = static_cast<float>(1.0 / bc2);
+      for (int64_t j = b * block; j < (b + 1) * block; ++j) {
+        const float g = pg[j] + wd * pp[j];
+        pm[j] = b1 * pm[j] + (1.f - b1) * g;
+        pv[j] = b2 * pv[j] + (1.f - b2) * g * g;
+        const float vhat = pv[j] * inv_bc2;
+        pp[j] -= step_size * pm[j] / (std::sqrt(vhat) + eps);
+      }
+    }
+  }
+}
+
+// ---- FusedAdadelta ---------------------------------------------------------------
+
+FusedAdadelta::FusedAdadelta(std::vector<FusedParam> params,
+                             int64_t array_size, Options opt)
+    : FusedOptimizer(std::move(params), array_size) {
+  lr_ = expand(std::move(opt.lr));
+  rho_ = expand(std::move(opt.rho));
+  eps_ = expand(std::move(opt.eps));
+  weight_decay_ = expand(std::move(opt.weight_decay));
+  square_avg_.resize(params_.size());
+  acc_delta_.resize(params_.size());
+}
+
+void FusedAdadelta::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    FusedParam& fp = params_[i];
+    if (!fp.var.has_grad()) continue;
+    const int64_t block = fp.per_model_numel();
+    if (!square_avg_[i].defined()) {
+      square_avg_[i] = Tensor::zeros(fp.var.shape());
+      acc_delta_[i] = Tensor::zeros(fp.var.shape());
+    }
+    const float* pg = fp.var.grad().data();
+    float* pp = fp.var.mutable_value().data();
+    float* sq = square_avg_[i].data();
+    float* ad = acc_delta_[i].data();
+    for (int64_t b = 0; b < array_size_; ++b) {
+      const size_t ub = static_cast<size_t>(b);
+      const float rho = static_cast<float>(rho_[ub]);
+      const float eps = static_cast<float>(eps_[ub]);
+      const float lr = static_cast<float>(lr_[ub]);
+      const float wd = static_cast<float>(weight_decay_[ub]);
+      for (int64_t j = b * block; j < (b + 1) * block; ++j) {
+        const float g = pg[j] + wd * pp[j];
+        sq[j] = rho * sq[j] + (1.f - rho) * g * g;
+        const float delta = std::sqrt(ad[j] + eps) / std::sqrt(sq[j] + eps) * g;
+        ad[j] = rho * ad[j] + (1.f - rho) * delta * delta;
+        pp[j] -= lr * delta;
+      }
+    }
+  }
+}
+
+}  // namespace hfta::fused

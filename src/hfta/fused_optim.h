@@ -1,0 +1,97 @@
+// Horizontally fused optimizers. Where the unfused optimizer multiplies by
+// a scalar learning rate, the fused one multiplies by a *vector* of B
+// per-model learning rates broadcast over each parameter's model blocks
+// (paper §3 "HFTA Optimizers and Learning Rate Schedulers").
+//
+// All fused parameters pack their B model blocks contiguously along dim 0
+// (FusedParam), so "broadcast over model b's slice" is a strided loop.
+#pragma once
+
+#include <vector>
+
+#include "hfta/fused_ops.h"
+
+namespace hfta::fused {
+
+/// Per-model hyper-parameter vector: size B, or size 1 (shared by all).
+using HyperVec = std::vector<double>;
+
+class FusedOptimizer {
+ public:
+  FusedOptimizer(std::vector<FusedParam> params, int64_t array_size);
+  virtual ~FusedOptimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad();
+
+  int64_t array_size() const { return array_size_; }
+  /// Per-model learning rates (always size B).
+  const HyperVec& lr() const { return lr_; }
+  void set_lr(HyperVec lr);
+
+ protected:
+  /// Resolves v[b] for vectors of size B or 1.
+  static double at(const HyperVec& v, int64_t b) {
+    return v.size() == 1 ? v[0] : v[static_cast<size_t>(b)];
+  }
+  HyperVec expand(HyperVec v) const;
+
+  std::vector<FusedParam> params_;
+  int64_t array_size_;
+  HyperVec lr_;
+};
+
+/// Fused SGD with per-model lr / momentum / weight decay.
+class FusedSGD : public FusedOptimizer {
+ public:
+  struct Options {
+    HyperVec lr = {0.01};
+    HyperVec momentum = {0.0};
+    HyperVec weight_decay = {0.0};
+  };
+  FusedSGD(std::vector<FusedParam> params, int64_t array_size, Options opt);
+  void step() override;
+
+ private:
+  HyperVec momentum_, weight_decay_;
+  std::vector<Tensor> momentum_buf_;
+};
+
+/// Fused Adam with per-model lr / beta1 / beta2 / eps / weight decay.
+class FusedAdam : public FusedOptimizer {
+ public:
+  struct Options {
+    HyperVec lr = {1e-3};
+    HyperVec beta1 = {0.9};
+    HyperVec beta2 = {0.999};
+    HyperVec eps = {1e-8};
+    HyperVec weight_decay = {0.0};
+  };
+  FusedAdam(std::vector<FusedParam> params, int64_t array_size, Options opt);
+  void step() override;
+
+ private:
+  HyperVec beta1_, beta2_, eps_, weight_decay_;
+  std::vector<Tensor> m_, v_;
+  int64_t t_ = 0;
+};
+
+/// Fused Adadelta with per-model lr / rho / eps / weight decay.
+class FusedAdadelta : public FusedOptimizer {
+ public:
+  struct Options {
+    HyperVec lr = {1.0};
+    HyperVec rho = {0.9};
+    HyperVec eps = {1e-6};
+    HyperVec weight_decay = {0.0};
+  };
+  FusedAdadelta(std::vector<FusedParam> params, int64_t array_size,
+                Options opt);
+  void step() override;
+
+ private:
+  HyperVec rho_, eps_, weight_decay_;
+  std::vector<Tensor> square_avg_, acc_delta_;
+};
+
+}  // namespace hfta::fused

@@ -1,0 +1,50 @@
+#include "hfta/fusion.h"
+
+#include "tensor/ops.h"
+
+namespace hfta::fused {
+
+UnfusedBlockAdapter::UnfusedBlockAdapter(
+    int64_t B, std::vector<std::shared_ptr<nn::Module>> mods)
+    : FusedModule(B), mods_(std::move(mods)) {
+  HFTA_CHECK(static_cast<int64_t>(mods_.size()) == B,
+             "UnfusedBlockAdapter: need exactly B replicas");
+  for (size_t b = 0; b < mods_.size(); ++b)
+    register_module("replica" + std::to_string(b), mods_[b]);
+}
+
+ag::Variable UnfusedBlockAdapter::forward(const ag::Variable& x) {
+  std::vector<ag::Variable> chunks = ag::chunk(x, array_size_, 1);
+  std::vector<ag::Variable> outs;
+  outs.reserve(chunks.size());
+  for (size_t b = 0; b < chunks.size(); ++b)
+    outs.push_back(mods_[b]->forward(chunks[b]));
+  return ag::concat(outs, 1);
+}
+
+Tensor fuse_blocks(const std::vector<Tensor>& per_model) {
+  HFTA_CHECK(!per_model.empty(), "fuse_blocks: empty");
+  const int64_t block = per_model[0].numel();
+  Tensor out({static_cast<int64_t>(per_model.size()) * block});
+  for (size_t b = 0; b < per_model.size(); ++b) {
+    HFTA_CHECK(per_model[b].numel() == block, "fuse_blocks: numel mismatch");
+    std::copy(per_model[b].data(), per_model[b].data() + block,
+              out.data() + static_cast<int64_t>(b) * block);
+  }
+  return out;
+}
+
+std::vector<Tensor> unfuse_blocks(const Tensor& fused, int64_t B, Shape shape) {
+  const int64_t block = shape_numel(shape);
+  HFTA_CHECK(fused.numel() == B * block, "unfuse_blocks: numel mismatch");
+  std::vector<Tensor> out;
+  for (int64_t b = 0; b < B; ++b) {
+    Tensor t(shape);
+    std::copy(fused.data() + b * block, fused.data() + (b + 1) * block,
+              t.data());
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace hfta::fused

@@ -1,0 +1,37 @@
+// Fusion bookkeeping: converting between B per-model modules and one fused
+// module, and the partial-fusion adapter used by the paper's Appendix H.4
+// study (a block whose fusion is "turned off" runs its B per-model copies
+// in a loop on the fused data layout).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "hfta/fused_ops.h"
+
+namespace hfta::fused {
+
+/// Runs B unfused replicas of a module on the channel-fused layout:
+/// splits [N, B*C, ...] into per-model chunks, forwards each through its own
+/// module, re-concatenates. This is what "fusion off for this block" means
+/// in the partial-fusion study: the math is unchanged but the operator-level
+/// fusion (and its efficiency) is gone.
+class UnfusedBlockAdapter : public FusedModule {
+ public:
+  UnfusedBlockAdapter(int64_t B, std::vector<std::shared_ptr<nn::Module>> mods);
+  ag::Variable forward(const ag::Variable& x) override;
+
+  const std::vector<std::shared_ptr<nn::Module>>& replicas() const {
+    return mods_;
+  }
+
+ private:
+  std::vector<std::shared_ptr<nn::Module>> mods_;
+};
+
+/// Fuses B per-model parameter tensors into the dim-0-block layout.
+Tensor fuse_blocks(const std::vector<Tensor>& per_model);
+/// Splits a dim-0-block fused tensor into B per-model tensors of `shape`.
+std::vector<Tensor> unfuse_blocks(const Tensor& fused, int64_t B, Shape shape);
+
+}  // namespace hfta::fused

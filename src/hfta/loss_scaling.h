@@ -1,0 +1,42 @@
+// Fused-loss handling (paper Appendix C).
+//
+// When each model's loss is a *mean* over its mini-batch, the naive fused
+// loss L = (1/B) sum_b l_b under-scales every model's gradients by 1/B
+// (Eq. 2); scaling the fused loss by B reconstructs the exact per-model
+// gradients (Eq. 3). Sum (or no) reduction needs no scaling (Eq. 5).
+#pragma once
+
+#include "autograd/functions.h"
+
+namespace hfta::fused {
+
+/// Applies the Appendix-C scaling rule to a fused loss.
+inline ag::Variable scale_fused_loss(const ag::Variable& fused_loss,
+                                     int64_t array_size,
+                                     ag::Reduction reduction) {
+  if (reduction == ag::Reduction::kMean)
+    return ag::mul_scalar(fused_loss, static_cast<float>(array_size));
+  return fused_loss;  // sum / none: already equivalent
+}
+
+/// Fused cross-entropy for model-major logits [B, N, C] and labels [B, N]:
+/// one loss op over all B*N rows, then the Appendix-C scaling.
+ag::Variable fused_cross_entropy(const ag::Variable& logits,
+                                 const Tensor& labels,
+                                 ag::Reduction reduction);
+
+/// Fused NLL for model-major log-probs [B, N, C] / labels [B, N].
+ag::Variable fused_nll_loss(const ag::Variable& log_probs,
+                            const Tensor& labels, ag::Reduction reduction);
+
+/// Fused BCE-with-logits over any fused layout (targets same shape).
+ag::Variable fused_bce_with_logits(const ag::Variable& logits,
+                                   const Tensor& targets,
+                                   ag::Reduction reduction, int64_t array_size);
+
+/// Per-model loss values from a fused model-major batch (for logging /
+/// HFHT): mean (or sum) of the per-element CE loss within each model block.
+std::vector<double> per_model_cross_entropy(const Tensor& logits,
+                                            const Tensor& labels);
+
+}  // namespace hfta::fused

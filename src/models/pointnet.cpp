@@ -1,0 +1,328 @@
+#include "models/pointnet.h"
+
+#include "tensor/ops.h"
+
+namespace hfta::models {
+
+namespace {
+// Flattened identity matrix, used to initialize STN outputs near identity.
+Tensor flat_identity(int64_t C) {
+  Tensor t({C * C});
+  for (int64_t i = 0; i < C; ++i) t.data()[i * C + i] = 1.f;
+  return t;
+}
+}  // namespace
+
+// ---- STN ----------------------------------------------------------------------
+
+STN::STN(int64_t channels, const PointNetConfig& cfg, Rng& rng)
+    : channels(channels) {
+  conv1 = register_module("conv1", std::make_shared<nn::Conv1d>(
+                                       channels, cfg.w1, 1, 1, 0, 1, true, rng));
+  conv2 = register_module("conv2", std::make_shared<nn::Conv1d>(
+                                       cfg.w1, cfg.w2, 1, 1, 0, 1, true, rng));
+  bn1 = register_module("bn1", std::make_shared<nn::BatchNorm1d>(cfg.w1));
+  bn2 = register_module("bn2", std::make_shared<nn::BatchNorm1d>(cfg.w2));
+  fc1 = register_module("fc1",
+                        std::make_shared<nn::Linear>(cfg.w2, cfg.fc1, true, rng));
+  fc2 = register_module(
+      "fc2", std::make_shared<nn::Linear>(cfg.fc1, channels * channels, true,
+                                          rng));
+}
+
+ag::Variable STN::forward(const ag::Variable& x) {
+  const int64_t N = x.size(0);
+  ag::Variable h = ag::relu(bn1->forward(conv1->forward(x)));
+  h = ag::relu(bn2->forward(conv2->forward(h)));
+  ag::Variable g = ag::global_max_pool1d(h);  // [N, w2]
+  h = ag::relu(fc1->forward(g));
+  h = fc2->forward(h);  // [N, C*C]
+  ag::Variable iden =
+      ag::constant(ops::stack_repeat(flat_identity(channels), N));
+  return ag::reshape(ag::add(h, iden), {N, channels, channels});
+}
+
+// ---- trunk ---------------------------------------------------------------------
+
+PointNetTrunk::PointNetTrunk(const PointNetConfig& cfg, Rng& rng) : cfg(cfg) {
+  if (cfg.input_transform)
+    stn = register_module("stn", std::make_shared<STN>(3, cfg, rng));
+  conv1 = register_module(
+      "conv1", std::make_shared<nn::Conv1d>(3, cfg.w1, 1, 1, 0, 1, true, rng));
+  conv2 = register_module("conv2", std::make_shared<nn::Conv1d>(
+                                       cfg.w1, cfg.w2, 1, 1, 0, 1, true, rng));
+  conv3 = register_module("conv3", std::make_shared<nn::Conv1d>(
+                                       cfg.w2, cfg.w3, 1, 1, 0, 1, true, rng));
+  bn1 = register_module("bn1", std::make_shared<nn::BatchNorm1d>(cfg.w1));
+  bn2 = register_module("bn2", std::make_shared<nn::BatchNorm1d>(cfg.w2));
+  bn3 = register_module("bn3", std::make_shared<nn::BatchNorm1d>(cfg.w3));
+}
+
+std::pair<ag::Variable, ag::Variable> PointNetTrunk::forward_both(
+    const ag::Variable& x) {
+  ag::Variable h = x;
+  if (stn) {
+    // x' = T^T x, computed as (x^T T)^T — matches pointnet.pytorch.
+    ag::Variable t = stn->forward(x);                      // [N, 3, 3]
+    ag::Variable xt = ag::transpose(x, 1, 2);              // [N, L, 3]
+    h = ag::transpose(ag::bmm(xt, t), 1, 2);               // [N, 3, L]
+  }
+  ag::Variable pointfeat = ag::relu(bn1->forward(conv1->forward(h)));
+  h = ag::relu(bn2->forward(conv2->forward(pointfeat)));
+  h = bn3->forward(conv3->forward(h));
+  ag::Variable global = ag::global_max_pool1d(h);  // [N, w3]
+  return {pointfeat, global};
+}
+
+ag::Variable PointNetTrunk::forward(const ag::Variable& x) {
+  return forward_both(x).second;
+}
+
+// ---- classification head ----------------------------------------------------------
+
+PointNetCls::PointNetCls(const PointNetConfig& cfg, Rng& rng) : cfg(cfg) {
+  trunk = register_module("trunk", std::make_shared<PointNetTrunk>(cfg, rng));
+  fc1 = register_module(
+      "fc1", std::make_shared<nn::Linear>(cfg.w3, cfg.fc1, true, rng));
+  fc2 = register_module(
+      "fc2", std::make_shared<nn::Linear>(cfg.fc1, cfg.fc2, true, rng));
+  fc3 = register_module(
+      "fc3", std::make_shared<nn::Linear>(cfg.fc2, cfg.num_classes, true, rng));
+  bn1 = register_module("bn1", std::make_shared<nn::BatchNorm1d>(cfg.fc1));
+  bn2 = register_module("bn2", std::make_shared<nn::BatchNorm1d>(cfg.fc2));
+  drop = register_module("drop", std::make_shared<nn::Dropout>(cfg.dropout_p));
+}
+
+ag::Variable PointNetCls::forward(const ag::Variable& x) {
+  ag::Variable g = trunk->forward(x);
+  ag::Variable h = ag::relu(bn1->forward(fc1->forward(g)));
+  h = ag::relu(bn2->forward(fc2->forward(h)));
+  return fc3->forward(drop->forward(h));  // [N, classes]
+}
+
+// ---- segmentation head ----------------------------------------------------------------
+
+PointNetSeg::PointNetSeg(const PointNetConfig& cfg, Rng& rng) : cfg(cfg) {
+  trunk = register_module("trunk", std::make_shared<PointNetTrunk>(cfg, rng));
+  conv1 = register_module(
+      "conv1", std::make_shared<nn::Conv1d>(cfg.w1 + cfg.w3, cfg.w2, 1, 1, 0,
+                                            1, true, rng));
+  conv2 = register_module("conv2", std::make_shared<nn::Conv1d>(
+                                       cfg.w2, cfg.w1, 1, 1, 0, 1, true, rng));
+  conv3 = register_module(
+      "conv3", std::make_shared<nn::Conv1d>(cfg.w1, cfg.num_parts, 1, 1, 0, 1,
+                                            true, rng));
+  bn1 = register_module("bn1", std::make_shared<nn::BatchNorm1d>(cfg.w2));
+  bn2 = register_module("bn2", std::make_shared<nn::BatchNorm1d>(cfg.w1));
+}
+
+ag::Variable PointNetSeg::forward(const ag::Variable& x) {
+  const int64_t L = x.size(2);
+  auto [pointfeat, global] = trunk->forward_both(x);
+  // Broadcast the global feature along the point dimension and concat.
+  ag::Variable g3 = ag::reshape(global, {global.size(0), global.size(1), 1});
+  ag::Variable gexp = ag::mul(g3, ag::constant(Tensor::ones({1, 1, L})));
+  ag::Variable h = ag::concat({pointfeat, gexp}, 1);  // [N, w1+w3, L]
+  h = ag::relu(bn1->forward(conv1->forward(h)));
+  h = ag::relu(bn2->forward(conv2->forward(h)));
+  return conv3->forward(h);  // [N, parts, L]
+}
+
+// ---- fused STN -----------------------------------------------------------------------
+
+FusedSTN::FusedSTN(int64_t B, int64_t channels, const PointNetConfig& cfg,
+                   Rng& rng)
+    : fused::FusedModule(B), channels(channels) {
+  conv1 = register_module("conv1", std::make_shared<fused::FusedConv1d>(
+                                       B, channels, cfg.w1, 1, 1, 0, 1, true,
+                                       rng));
+  conv2 = register_module("conv2", std::make_shared<fused::FusedConv1d>(
+                                       B, cfg.w1, cfg.w2, 1, 1, 0, 1, true,
+                                       rng));
+  bn1 = register_module("bn1",
+                        std::make_shared<fused::FusedBatchNorm1d>(B, cfg.w1));
+  bn2 = register_module("bn2",
+                        std::make_shared<fused::FusedBatchNorm1d>(B, cfg.w2));
+  fc1 = register_module(
+      "fc1", std::make_shared<fused::FusedLinear>(B, cfg.w2, cfg.fc1, true,
+                                                  rng));
+  fc2 = register_module(
+      "fc2", std::make_shared<fused::FusedLinear>(B, cfg.fc1,
+                                                  channels * channels, true,
+                                                  rng));
+}
+
+ag::Variable FusedSTN::forward(const ag::Variable& x) {
+  const int64_t N = x.size(0);
+  ag::Variable h = ag::relu(bn1->forward(conv1->forward(x)));
+  h = ag::relu(bn2->forward(conv2->forward(h)));
+  ag::Variable g = ag::global_max_pool1d(h);              // [N, B*w2]
+  ag::Variable mm = fused::to_model_major(g, array_size_);  // [B, N, w2]
+  h = ag::relu(fc1->forward(mm));
+  h = fc2->forward(h);  // [B, N, C*C]
+  Tensor iden = ops::stack_repeat(
+      ops::stack_repeat(flat_identity(channels), N), array_size_);
+  return ag::reshape(ag::add(h, ag::constant(iden)),
+                     {array_size_, N, channels, channels});
+}
+
+void FusedSTN::load_model(int64_t b, const STN& m) {
+  conv1->load_model(b, *m.conv1);
+  conv2->load_model(b, *m.conv2);
+  bn1->load_model(b, *m.bn1);
+  bn2->load_model(b, *m.bn2);
+  fc1->load_model(b, *m.fc1);
+  fc2->load_model(b, *m.fc2);
+}
+
+// ---- fused trunk ------------------------------------------------------------------------
+
+FusedPointNetTrunk::FusedPointNetTrunk(int64_t B, const PointNetConfig& cfg,
+                                       Rng& rng)
+    : fused::FusedModule(B), cfg(cfg) {
+  if (cfg.input_transform)
+    stn = register_module("stn", std::make_shared<FusedSTN>(B, 3, cfg, rng));
+  conv1 = register_module("conv1", std::make_shared<fused::FusedConv1d>(
+                                       B, 3, cfg.w1, 1, 1, 0, 1, true, rng));
+  conv2 = register_module("conv2", std::make_shared<fused::FusedConv1d>(
+                                       B, cfg.w1, cfg.w2, 1, 1, 0, 1, true,
+                                       rng));
+  conv3 = register_module("conv3", std::make_shared<fused::FusedConv1d>(
+                                       B, cfg.w2, cfg.w3, 1, 1, 0, 1, true,
+                                       rng));
+  bn1 = register_module("bn1",
+                        std::make_shared<fused::FusedBatchNorm1d>(B, cfg.w1));
+  bn2 = register_module("bn2",
+                        std::make_shared<fused::FusedBatchNorm1d>(B, cfg.w2));
+  bn3 = register_module("bn3",
+                        std::make_shared<fused::FusedBatchNorm1d>(B, cfg.w3));
+}
+
+std::pair<ag::Variable, ag::Variable> FusedPointNetTrunk::forward_both(
+    const ag::Variable& x) {
+  const int64_t B = array_size_;
+  const int64_t N = x.size(0);
+  const int64_t L = x.size(2);
+  ag::Variable h = x;
+  if (stn) {
+    ag::Variable t = stn->forward(x);  // [B, N, 3, 3]
+    ag::Variable xm = fused::to_model_major(x, B);          // [B, N, 3, L]
+    ag::Variable xf = ag::reshape(xm, {B * N, 3, L});
+    ag::Variable tf = ag::reshape(t, {B * N, 3, 3});
+    ag::Variable xt = ag::transpose(xf, 1, 2);              // [B*N, L, 3]
+    ag::Variable y = ag::transpose(ag::bmm(xt, tf), 1, 2);  // [B*N, 3, L]
+    h = fused::to_channel_fused(ag::reshape(y, {B, N, 3, L}));
+  }
+  ag::Variable pointfeat = ag::relu(bn1->forward(conv1->forward(h)));
+  h = ag::relu(bn2->forward(conv2->forward(pointfeat)));
+  h = bn3->forward(conv3->forward(h));
+  ag::Variable global = ag::global_max_pool1d(h);  // [N, B*w3]
+  return {pointfeat, global};
+}
+
+ag::Variable FusedPointNetTrunk::forward(const ag::Variable& x) {
+  return forward_both(x).second;
+}
+
+void FusedPointNetTrunk::load_model(int64_t b, const PointNetTrunk& m) {
+  if (stn) stn->load_model(b, *m.stn);
+  conv1->load_model(b, *m.conv1);
+  conv2->load_model(b, *m.conv2);
+  conv3->load_model(b, *m.conv3);
+  bn1->load_model(b, *m.bn1);
+  bn2->load_model(b, *m.bn2);
+  bn3->load_model(b, *m.bn3);
+}
+
+// ---- fused classification --------------------------------------------------------------------
+
+FusedPointNetCls::FusedPointNetCls(int64_t B, const PointNetConfig& cfg,
+                                   Rng& rng)
+    : fused::FusedModule(B), cfg(cfg) {
+  trunk = register_module("trunk",
+                          std::make_shared<FusedPointNetTrunk>(B, cfg, rng));
+  fc1 = register_module("fc1", std::make_shared<fused::FusedLinear>(
+                                   B, cfg.w3, cfg.fc1, true, rng));
+  fc2 = register_module("fc2", std::make_shared<fused::FusedLinear>(
+                                   B, cfg.fc1, cfg.fc2, true, rng));
+  fc3 = register_module("fc3", std::make_shared<fused::FusedLinear>(
+                                   B, cfg.fc2, cfg.num_classes, true, rng));
+  bn1 = register_module("bn1",
+                        std::make_shared<fused::FusedBatchNorm1d>(B, cfg.fc1));
+  bn2 = register_module("bn2",
+                        std::make_shared<fused::FusedBatchNorm1d>(B, cfg.fc2));
+  drop = register_module("drop",
+                         std::make_shared<fused::FusedDropout>(B, cfg.dropout_p));
+}
+
+ag::Variable FusedPointNetCls::forward(const ag::Variable& x) {
+  const int64_t B = array_size_;
+  ag::Variable g = trunk->forward(x);                 // [N, B*w3]
+  ag::Variable h = fused::to_model_major(g, B);       // [B, N, w3]
+  h = fc1->forward(h);
+  // BatchNorm runs on the channel-fused layout; hop over and back.
+  h = ag::relu(fused::to_model_major(
+      bn1->forward(fused::to_channel_fused(h)), B));
+  h = fc2->forward(h);
+  h = ag::relu(fused::to_model_major(
+      bn2->forward(fused::to_channel_fused(h)), B));
+  return fc3->forward(drop->forward(h));  // [B, N, classes]
+}
+
+void FusedPointNetCls::load_model(int64_t b, const PointNetCls& m) {
+  trunk->load_model(b, *m.trunk);
+  fc1->load_model(b, *m.fc1);
+  fc2->load_model(b, *m.fc2);
+  fc3->load_model(b, *m.fc3);
+  bn1->load_model(b, *m.bn1);
+  bn2->load_model(b, *m.bn2);
+}
+
+// ---- fused segmentation ------------------------------------------------------------------------
+
+FusedPointNetSeg::FusedPointNetSeg(int64_t B, const PointNetConfig& cfg,
+                                   Rng& rng)
+    : fused::FusedModule(B), cfg(cfg) {
+  trunk = register_module("trunk",
+                          std::make_shared<FusedPointNetTrunk>(B, cfg, rng));
+  conv1 = register_module(
+      "conv1", std::make_shared<fused::FusedConv1d>(
+                   B, cfg.w1 + cfg.w3, cfg.w2, 1, 1, 0, 1, true, rng));
+  conv2 = register_module("conv2", std::make_shared<fused::FusedConv1d>(
+                                       B, cfg.w2, cfg.w1, 1, 1, 0, 1, true,
+                                       rng));
+  conv3 = register_module(
+      "conv3", std::make_shared<fused::FusedConv1d>(
+                   B, cfg.w1, cfg.num_parts, 1, 1, 0, 1, true, rng));
+  bn1 = register_module("bn1",
+                        std::make_shared<fused::FusedBatchNorm1d>(B, cfg.w2));
+  bn2 = register_module("bn2",
+                        std::make_shared<fused::FusedBatchNorm1d>(B, cfg.w1));
+}
+
+ag::Variable FusedPointNetSeg::forward(const ag::Variable& x) {
+  const int64_t B = array_size_;
+  const int64_t L = x.size(2);
+  auto [pointfeat, global] = trunk->forward_both(x);
+  // Broadcast global along points, then interleave per model so that each
+  // model's (w1 + w3) channels stay contiguous for the grouped conv.
+  ag::Variable g3 = ag::reshape(global, {global.size(0), global.size(1), 1});
+  ag::Variable gexp = ag::mul(g3, ag::constant(Tensor::ones({1, 1, L})));
+  ag::Variable pf_mm = fused::to_model_major(pointfeat, B);  // [B,N,w1,L]
+  ag::Variable g_mm = fused::to_model_major(gexp, B);        // [B,N,w3,L]
+  ag::Variable h = fused::to_channel_fused(ag::concat({pf_mm, g_mm}, 2));
+  h = ag::relu(bn1->forward(conv1->forward(h)));
+  h = ag::relu(bn2->forward(conv2->forward(h)));
+  return conv3->forward(h);  // [N, B*parts, L]
+}
+
+void FusedPointNetSeg::load_model(int64_t b, const PointNetSeg& m) {
+  trunk->load_model(b, *m.trunk);
+  conv1->load_model(b, *m.conv1);
+  conv2->load_model(b, *m.conv2);
+  conv3->load_model(b, *m.conv3);
+  bn1->load_model(b, *m.bn1);
+  bn2->load_model(b, *m.bn2);
+}
+
+}  // namespace hfta::models

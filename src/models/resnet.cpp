@@ -1,0 +1,252 @@
+#include "models/resnet.h"
+
+namespace hfta::models {
+
+namespace {
+
+// Copies parameter values from src into dst (same architecture required);
+// used to initialize unfused replicas from a plain model.
+void copy_parameters(const nn::Module& src, nn::Module& dst) {
+  auto s = src.named_parameters();
+  auto d = dst.named_parameters();
+  HFTA_CHECK(s.size() == d.size(), "copy_parameters: structure mismatch");
+  for (size_t i = 0; i < s.size(); ++i) {
+    HFTA_CHECK(s[i].second.numel() == d[i].second.numel(),
+               "copy_parameters: shape mismatch at ", s[i].first);
+    d[i].second.mutable_value().copy_(s[i].second.value());
+  }
+}
+
+// Stem replica for the unfused-stem configuration.
+class Stem : public nn::Module {
+ public:
+  Stem(int64_t in, int64_t out, Rng& rng) {
+    conv = register_module(
+        "conv", std::make_shared<nn::Conv2d>(in, out, 3, 1, 1, 1, false, rng));
+    bn = register_module("bn", std::make_shared<nn::BatchNorm2d>(out));
+  }
+  ag::Variable forward(const ag::Variable& x) override {
+    return ag::relu(bn->forward(conv->forward(x)));
+  }
+  std::shared_ptr<nn::Conv2d> conv;
+  std::shared_ptr<nn::BatchNorm2d> bn;
+};
+
+}  // namespace
+
+BasicBlock::BasicBlock(int64_t in, int64_t out, int64_t stride, Rng& rng) {
+  conv1 = register_module(
+      "conv1", std::make_shared<nn::Conv2d>(in, out, 3, stride, 1, 1, false,
+                                            rng));
+  bn1 = register_module("bn1", std::make_shared<nn::BatchNorm2d>(out));
+  conv2 = register_module(
+      "conv2", std::make_shared<nn::Conv2d>(out, out, 3, 1, 1, 1, false, rng));
+  bn2 = register_module("bn2", std::make_shared<nn::BatchNorm2d>(out));
+  if (stride != 1 || in != out) {
+    down_conv = register_module(
+        "down_conv",
+        std::make_shared<nn::Conv2d>(in, out, 1, stride, 0, 1, false, rng));
+    down_bn = register_module("down_bn", std::make_shared<nn::BatchNorm2d>(out));
+  }
+}
+
+ag::Variable BasicBlock::forward(const ag::Variable& x) {
+  ag::Variable h = ag::relu(bn1->forward(conv1->forward(x)));
+  h = bn2->forward(conv2->forward(h));
+  ag::Variable skip = down_conv ? down_bn->forward(down_conv->forward(x)) : x;
+  return ag::relu(ag::add(h, skip));
+}
+
+ResNet18::ResNet18(const ResNetConfig& cfg, Rng& rng) : cfg(cfg) {
+  stem_conv = register_module(
+      "stem_conv", std::make_shared<nn::Conv2d>(cfg.in_channels,
+                                                cfg.stage_width(0), 3, 1, 1, 1,
+                                                false, rng));
+  stem_bn = register_module(
+      "stem_bn", std::make_shared<nn::BatchNorm2d>(cfg.stage_width(0)));
+  int64_t in = cfg.stage_width(0);
+  for (int64_t s = 0; s < 4; ++s) {
+    const int64_t out = cfg.stage_width(s);
+    for (int64_t i = 0; i < 2; ++i) {
+      const int64_t stride = (i == 0 && s > 0) ? 2 : 1;
+      blocks.push_back(register_module(
+          "layer" + std::to_string(s) + "_" + std::to_string(i),
+          std::make_shared<BasicBlock>(in, out, stride, rng)));
+      in = out;
+    }
+  }
+  fc = register_module("fc", std::make_shared<nn::Linear>(
+                                 cfg.stage_width(3), cfg.num_classes, true,
+                                 rng));
+}
+
+ag::Variable ResNet18::forward(const ag::Variable& x) {
+  ag::Variable h = ag::relu(stem_bn->forward(stem_conv->forward(x)));
+  for (auto& b : blocks) h = b->forward(h);
+  h = ag::adaptive_avg_pool2d(h, 1, 1);
+  h = ag::reshape(h, {h.size(0), h.size(1)});
+  return fc->forward(h);
+}
+
+// ---- fused -----------------------------------------------------------------------
+
+FusedBasicBlock::FusedBasicBlock(int64_t B, int64_t in, int64_t out,
+                                 int64_t stride, Rng& rng)
+    : fused::FusedModule(B) {
+  conv1 = register_module(
+      "conv1", std::make_shared<fused::FusedConv2d>(B, in, out, 3, stride, 1,
+                                                    1, false, rng));
+  bn1 = register_module("bn1",
+                        std::make_shared<fused::FusedBatchNorm2d>(B, out));
+  conv2 = register_module(
+      "conv2", std::make_shared<fused::FusedConv2d>(B, out, out, 3, 1, 1, 1,
+                                                    false, rng));
+  bn2 = register_module("bn2",
+                        std::make_shared<fused::FusedBatchNorm2d>(B, out));
+  if (stride != 1 || in != out) {
+    down_conv = register_module(
+        "down_conv", std::make_shared<fused::FusedConv2d>(B, in, out, 1,
+                                                          stride, 0, 1, false,
+                                                          rng));
+    down_bn = register_module(
+        "down_bn", std::make_shared<fused::FusedBatchNorm2d>(B, out));
+  }
+}
+
+ag::Variable FusedBasicBlock::forward(const ag::Variable& x) {
+  ag::Variable h = ag::relu(bn1->forward(conv1->forward(x)));
+  h = bn2->forward(conv2->forward(h));
+  ag::Variable skip = down_conv ? down_bn->forward(down_conv->forward(x)) : x;
+  return ag::relu(ag::add(h, skip));
+}
+
+void FusedBasicBlock::load_model(int64_t b, const BasicBlock& m) {
+  conv1->load_model(b, *m.conv1);
+  bn1->load_model(b, *m.bn1);
+  conv2->load_model(b, *m.conv2);
+  bn2->load_model(b, *m.bn2);
+  if (down_conv) {
+    down_conv->load_model(b, *m.down_conv);
+    down_bn->load_model(b, *m.down_bn);
+  }
+}
+
+ResNetFusionMask ResNetFusionMask::partially_unfused(int64_t n) {
+  ResNetFusionMask m;
+  int64_t left = n;
+  if (left-- > 0) m.head = false;
+  for (int64_t i = 7; i >= 0 && left > 0; --i, --left)
+    m.block[static_cast<size_t>(i)] = false;
+  if (left > 0) m.stem = false;
+  return m;
+}
+
+int64_t ResNetFusionMask::fused_units() const {
+  int64_t n = stem + head;
+  for (bool b : block) n += b;
+  return n;
+}
+
+FusedResNet18::FusedResNet18(int64_t B, const ResNetConfig& cfg, Rng& rng,
+                             ResNetFusionMask mask)
+    : fused::FusedModule(B), cfg(cfg), mask(mask) {
+  // stem
+  if (mask.stem) {
+    stem_conv = register_module(
+        "stem_conv",
+        std::make_shared<fused::FusedConv2d>(B, cfg.in_channels,
+                                             cfg.stage_width(0), 3, 1, 1, 1,
+                                             false, rng));
+    stem_bn = register_module(
+        "stem_bn",
+        std::make_shared<fused::FusedBatchNorm2d>(B, cfg.stage_width(0)));
+  } else {
+    std::vector<std::shared_ptr<nn::Module>> reps;
+    for (int64_t b = 0; b < B; ++b)
+      reps.push_back(
+          std::make_shared<Stem>(cfg.in_channels, cfg.stage_width(0), rng));
+    stem_adapter = register_module(
+        "stem_adapter", std::make_shared<fused::UnfusedBlockAdapter>(B, reps));
+  }
+  // blocks
+  int64_t in = cfg.stage_width(0);
+  block_adapters.resize(8);
+  for (int64_t s = 0; s < 4; ++s) {
+    const int64_t out = cfg.stage_width(s);
+    for (int64_t i = 0; i < 2; ++i) {
+      const int64_t stride = (i == 0 && s > 0) ? 2 : 1;
+      const size_t idx = static_cast<size_t>(s * 2 + i);
+      const std::string name = "block" + std::to_string(idx);
+      if (mask.block[idx]) {
+        blocks.push_back(register_module(
+            name, std::make_shared<FusedBasicBlock>(B, in, out, stride, rng)));
+      } else {
+        blocks.push_back(nullptr);
+        std::vector<std::shared_ptr<nn::Module>> reps;
+        for (int64_t b = 0; b < B; ++b)
+          reps.push_back(std::make_shared<BasicBlock>(in, out, stride, rng));
+        block_adapters[idx] = register_module(
+            name + "_adapter",
+            std::make_shared<fused::UnfusedBlockAdapter>(B, reps));
+      }
+      in = out;
+    }
+  }
+  // head
+  if (mask.head) {
+    fc = register_module(
+        "fc", std::make_shared<fused::FusedLinear>(B, cfg.stage_width(3),
+                                                   cfg.num_classes, true, rng));
+  } else {
+    std::vector<std::shared_ptr<nn::Module>> reps;
+    for (int64_t b = 0; b < B; ++b)
+      reps.push_back(std::make_shared<nn::Linear>(cfg.stage_width(3),
+                                                  cfg.num_classes, true, rng));
+    head_adapter = register_module(
+        "head_adapter", std::make_shared<fused::UnfusedBlockAdapter>(B, reps));
+  }
+}
+
+ag::Variable FusedResNet18::forward(const ag::Variable& x) {
+  ag::Variable h;
+  if (stem_conv) {
+    h = ag::relu(stem_bn->forward(stem_conv->forward(x)));
+  } else {
+    h = stem_adapter->forward(x);
+  }
+  for (size_t i = 0; i < 8; ++i) {
+    h = blocks[i] ? blocks[i]->forward(h) : block_adapters[i]->forward(h);
+  }
+  h = ag::adaptive_avg_pool2d(h, 1, 1);
+  h = ag::reshape(h, {h.size(0), h.size(1)});  // [N, B*F]
+  if (fc) {
+    return fc->forward(fused::to_model_major(h, array_size_));  // [B,N,k]
+  }
+  ag::Variable logits = head_adapter->forward(h);  // [N, B*k]
+  return fused::to_model_major(logits, array_size_);
+}
+
+void FusedResNet18::load_model(int64_t b, const ResNet18& m) {
+  if (stem_conv) {
+    stem_conv->load_model(b, *m.stem_conv);
+    stem_bn->load_model(b, *m.stem_bn);
+  } else {
+    auto stem = std::static_pointer_cast<Stem>(stem_adapter->replicas()[b]);
+    copy_parameters(*m.stem_conv, *stem->conv);
+    copy_parameters(*m.stem_bn, *stem->bn);
+  }
+  for (size_t i = 0; i < 8; ++i) {
+    if (blocks[i]) {
+      blocks[i]->load_model(b, *m.blocks[i]);
+    } else {
+      copy_parameters(*m.blocks[i], *block_adapters[i]->replicas()[b]);
+    }
+  }
+  if (fc) {
+    fc->load_model(b, *m.fc);
+  } else {
+    copy_parameters(*m.fc, *head_adapter->replicas()[b]);
+  }
+}
+
+}  // namespace hfta::models

@@ -1,0 +1,147 @@
+#include "nn/layers.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace hfta::nn {
+
+Linear::Linear(int64_t in, int64_t out, bool has_bias, Rng& rng)
+    : in_features(in), out_features(out) {
+  weight = register_parameter(
+      "weight", init::kaiming_uniform({out, in}, in, rng));
+  if (has_bias)
+    bias = register_parameter("bias", init::kaiming_uniform({out}, in, rng));
+}
+
+ag::Variable Linear::forward(const ag::Variable& x) {
+  return ag::linear(x, weight, bias);
+}
+
+Conv2d::Conv2d(int64_t in, int64_t out, int64_t kernel, int64_t stride,
+               int64_t pad, int64_t groups, bool has_bias, Rng& rng)
+    : args(ops::ConvArgs::make(stride, pad, groups)) {
+  const int64_t fan_in = (in / groups) * kernel * kernel;
+  weight = register_parameter(
+      "weight",
+      init::kaiming_uniform({out, in / groups, kernel, kernel}, fan_in, rng));
+  if (has_bias)
+    bias = register_parameter("bias",
+                              init::kaiming_uniform({out}, fan_in, rng));
+}
+
+ag::Variable Conv2d::forward(const ag::Variable& x) {
+  return ag::conv2d(x, weight, bias, args);
+}
+
+Conv1d::Conv1d(int64_t in, int64_t out, int64_t kernel, int64_t stride,
+               int64_t pad, int64_t groups, bool has_bias, Rng& rng)
+    : stride(stride), pad(pad), groups(groups) {
+  const int64_t fan_in = (in / groups) * kernel;
+  weight = register_parameter(
+      "weight", init::kaiming_uniform({out, in / groups, kernel}, fan_in, rng));
+  if (has_bias)
+    bias = register_parameter("bias",
+                              init::kaiming_uniform({out}, fan_in, rng));
+}
+
+ag::Variable Conv1d::forward(const ag::Variable& x) {
+  return ag::conv1d(x, weight, bias, stride, pad, groups);
+}
+
+ConvTranspose2d::ConvTranspose2d(int64_t in, int64_t out, int64_t kernel,
+                                 int64_t stride, int64_t pad, int64_t out_pad,
+                                 int64_t groups, bool has_bias, Rng& rng)
+    : args{stride, pad, out_pad, groups} {
+  const int64_t fan_in = (out / groups) * kernel * kernel;
+  weight = register_parameter(
+      "weight",
+      init::kaiming_uniform({in, out / groups, kernel, kernel}, fan_in, rng));
+  if (has_bias)
+    bias = register_parameter("bias",
+                              init::kaiming_uniform({out}, fan_in, rng));
+}
+
+ag::Variable ConvTranspose2d::forward(const ag::Variable& x) {
+  return ag::conv_transpose2d(x, weight, bias, args);
+}
+
+ConvTranspose1d::ConvTranspose1d(int64_t in, int64_t out, int64_t kernel,
+                                 int64_t stride, int64_t pad, int64_t out_pad,
+                                 int64_t groups, bool has_bias, Rng& rng)
+    : args{stride, pad, out_pad, groups} {
+  const int64_t fan_in = (out / groups) * kernel;
+  weight = register_parameter(
+      "weight",
+      init::kaiming_uniform({in, out / groups, kernel}, fan_in, rng));
+  if (has_bias)
+    bias = register_parameter("bias",
+                              init::kaiming_uniform({out}, fan_in, rng));
+}
+
+ag::Variable ConvTranspose1d::forward(const ag::Variable& x) {
+  return ag::conv_transpose1d(x, weight, bias, args);
+}
+
+Embedding::Embedding(int64_t vocab, int64_t dim, Rng& rng)
+    : vocab(vocab), dim(dim) {
+  weight = register_parameter("weight",
+                              init::normal({vocab, dim}, 0.f, 1.f, rng));
+}
+
+ag::Variable Embedding::forward(const ag::Variable&) {
+  HFTA_CHECK(false, "Embedding: use lookup(indices) instead of forward()");
+  return ag::Variable();
+}
+
+ag::Variable Embedding::lookup(const Tensor& indices) {
+  return ag::embedding(indices, weight);
+}
+
+MaxPool2d::MaxPool2d(int64_t kernel, int64_t stride, int64_t pad)
+    : args{kernel, stride, pad} {}
+
+ag::Variable MaxPool2d::forward(const ag::Variable& x) {
+  return ag::max_pool2d(x, args);
+}
+
+AdaptiveAvgPool2d::AdaptiveAvgPool2d(int64_t out_h, int64_t out_w)
+    : out_h(out_h), out_w(out_w) {}
+
+ag::Variable AdaptiveAvgPool2d::forward(const ag::Variable& x) {
+  return ag::adaptive_avg_pool2d(x, out_h, out_w);
+}
+
+Dropout::Dropout(float p, uint64_t seed) : p(p), rng_(seed) {
+  HFTA_CHECK(p >= 0.f && p < 1.f, "Dropout: p must be in [0, 1)");
+}
+
+ag::Variable Dropout::forward(const ag::Variable& x) {
+  if (!is_training() || p == 0.f) return x;
+  Tensor mask(x.shape());
+  const float scale = 1.f / (1.f - p);
+  float* m = mask.data();
+  for (int64_t i = 0; i < mask.numel(); ++i)
+    m[i] = rng_.bernoulli(p) ? 0.f : scale;
+  return ag::mul_mask(x, mask);
+}
+
+Dropout2d::Dropout2d(float p, uint64_t seed) : p(p), rng_(seed) {
+  HFTA_CHECK(p >= 0.f && p < 1.f, "Dropout2d: p must be in [0, 1)");
+}
+
+ag::Variable Dropout2d::forward(const ag::Variable& x) {
+  if (!is_training() || p == 0.f) return x;
+  HFTA_CHECK(x.dim() == 4, "Dropout2d expects [N, C, H, W]");
+  const int64_t N = x.size(0), C = x.size(1);
+  const int64_t spatial = x.numel() / (N * C);
+  Tensor mask(x.shape());
+  const float scale = 1.f / (1.f - p);
+  float* m = mask.data();
+  for (int64_t nc = 0; nc < N * C; ++nc) {
+    const float v = rng_.bernoulli(p) ? 0.f : scale;
+    for (int64_t s = 0; s < spatial; ++s) m[nc * spatial + s] = v;
+  }
+  return ag::mul_mask(x, mask);
+}
+
+}  // namespace hfta::nn

@@ -1,0 +1,154 @@
+// Standard (unfused) layers — the per-job operators that HFTA fuses.
+// Each class mirrors its PyTorch namesake's constructor and semantics.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/conv.h"
+#include "tensor/pool.h"
+
+namespace hfta::nn {
+
+class Linear : public Module {
+ public:
+  Linear(int64_t in, int64_t out, bool bias, Rng& rng);
+  ag::Variable forward(const ag::Variable& x) override;
+
+  ag::Variable weight;  // [out, in]
+  ag::Variable bias;    // [out] or undefined
+  int64_t in_features;
+  int64_t out_features;
+};
+
+class Conv2d : public Module {
+ public:
+  Conv2d(int64_t in, int64_t out, int64_t kernel, int64_t stride, int64_t pad,
+         int64_t groups, bool bias, Rng& rng);
+  ag::Variable forward(const ag::Variable& x) override;
+
+  ag::Variable weight;  // [out, in/groups, k, k]
+  ag::Variable bias;
+  ops::ConvArgs args;
+};
+
+class Conv1d : public Module {
+ public:
+  Conv1d(int64_t in, int64_t out, int64_t kernel, int64_t stride, int64_t pad,
+         int64_t groups, bool bias, Rng& rng);
+  ag::Variable forward(const ag::Variable& x) override;
+
+  ag::Variable weight;  // [out, in/groups, k]
+  ag::Variable bias;
+  int64_t stride, pad, groups;
+};
+
+class ConvTranspose2d : public Module {
+ public:
+  ConvTranspose2d(int64_t in, int64_t out, int64_t kernel, int64_t stride,
+                  int64_t pad, int64_t out_pad, int64_t groups, bool bias,
+                  Rng& rng);
+  ag::Variable forward(const ag::Variable& x) override;
+
+  ag::Variable weight;  // [in, out/groups, k, k]
+  ag::Variable bias;
+  ops::ConvTransposeArgs args;
+};
+
+class ConvTranspose1d : public Module {
+ public:
+  ConvTranspose1d(int64_t in, int64_t out, int64_t kernel, int64_t stride,
+                  int64_t pad, int64_t out_pad, int64_t groups, bool bias,
+                  Rng& rng);
+  ag::Variable forward(const ag::Variable& x) override;
+
+  ag::Variable weight;  // [in, out/groups, k]
+  ag::Variable bias;
+  ops::ConvTransposeArgs args;
+};
+
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab, int64_t dim, Rng& rng);
+  /// Not usable through the single-input interface; call lookup().
+  ag::Variable forward(const ag::Variable&) override;
+  ag::Variable lookup(const Tensor& indices);
+
+  ag::Variable weight;  // [V, E]
+  int64_t vocab, dim;
+};
+
+class MaxPool2d : public Module {
+ public:
+  MaxPool2d(int64_t kernel, int64_t stride, int64_t pad = 0);
+  ag::Variable forward(const ag::Variable& x) override;
+  ops::PoolArgs args;
+};
+
+class AdaptiveAvgPool2d : public Module {
+ public:
+  AdaptiveAvgPool2d(int64_t out_h, int64_t out_w);
+  ag::Variable forward(const ag::Variable& x) override;
+  int64_t out_h, out_w;
+};
+
+/// Elementwise dropout; identity in eval mode. Deterministic given seed.
+class Dropout : public Module {
+ public:
+  Dropout(float p, uint64_t seed = 0x5eed);
+  ag::Variable forward(const ag::Variable& x) override;
+  float p;
+
+ private:
+  Rng rng_;
+};
+
+/// Channel dropout for [N, C, H, W] (zeroes whole channels).
+class Dropout2d : public Module {
+ public:
+  Dropout2d(float p, uint64_t seed = 0x5eed2d);
+  ag::Variable forward(const ag::Variable& x) override;
+  float p;
+
+ private:
+  Rng rng_;
+};
+
+// -- activation modules -------------------------------------------------------
+
+class ReLU : public Module {
+ public:
+  ag::Variable forward(const ag::Variable& x) override { return ag::relu(x); }
+};
+class ReLU6 : public Module {
+ public:
+  ag::Variable forward(const ag::Variable& x) override { return ag::relu6(x); }
+};
+class LeakyReLU : public Module {
+ public:
+  explicit LeakyReLU(float slope) : slope(slope) {}
+  ag::Variable forward(const ag::Variable& x) override {
+    return ag::leaky_relu(x, slope);
+  }
+  float slope;
+};
+class Tanh : public Module {
+ public:
+  ag::Variable forward(const ag::Variable& x) override { return ag::tanh(x); }
+};
+class Sigmoid : public Module {
+ public:
+  ag::Variable forward(const ag::Variable& x) override {
+    return ag::sigmoid(x);
+  }
+};
+class Hardswish : public Module {
+ public:
+  ag::Variable forward(const ag::Variable& x) override {
+    return ag::hardswish(x);
+  }
+};
+class GELU : public Module {
+ public:
+  ag::Variable forward(const ag::Variable& x) override { return ag::gelu(x); }
+};
+
+}  // namespace hfta::nn

@@ -1,0 +1,3 @@
+#include "nn/losses.h"
+
+// Loss modules are header-only wrappers; this TU anchors the target.

@@ -1,0 +1,67 @@
+// Thin loss-module wrappers over the functional losses in autograd.
+// Reduction matters to HFTA's loss-scaling rule (paper Appendix C), so it
+// is a first-class constructor argument here.
+#pragma once
+
+#include "nn/module.h"
+
+namespace hfta::nn {
+
+using ag::Reduction;
+
+class CrossEntropyLoss {
+ public:
+  explicit CrossEntropyLoss(Reduction reduction = Reduction::kMean)
+      : reduction_(reduction) {}
+  ag::Variable operator()(const ag::Variable& logits,
+                          const Tensor& labels) const {
+    return ag::cross_entropy(logits, labels, reduction_);
+  }
+  Reduction reduction() const { return reduction_; }
+
+ private:
+  Reduction reduction_;
+};
+
+class NLLLoss {
+ public:
+  explicit NLLLoss(Reduction reduction = Reduction::kMean)
+      : reduction_(reduction) {}
+  ag::Variable operator()(const ag::Variable& log_probs,
+                          const Tensor& labels) const {
+    return ag::nll_loss(log_probs, labels, reduction_);
+  }
+  Reduction reduction() const { return reduction_; }
+
+ private:
+  Reduction reduction_;
+};
+
+class BCEWithLogitsLoss {
+ public:
+  explicit BCEWithLogitsLoss(Reduction reduction = Reduction::kMean)
+      : reduction_(reduction) {}
+  ag::Variable operator()(const ag::Variable& logits,
+                          const Tensor& targets) const {
+    return ag::bce_with_logits(logits, targets, reduction_);
+  }
+  Reduction reduction() const { return reduction_; }
+
+ private:
+  Reduction reduction_;
+};
+
+class MSELoss {
+ public:
+  explicit MSELoss(Reduction reduction = Reduction::kMean)
+      : reduction_(reduction) {}
+  ag::Variable operator()(const ag::Variable& x, const Tensor& target) const {
+    return ag::mse_loss(x, target, reduction_);
+  }
+  Reduction reduction() const { return reduction_; }
+
+ private:
+  Reduction reduction_;
+};
+
+}  // namespace hfta::nn

@@ -1,0 +1,67 @@
+#include "nn/module.h"
+
+namespace hfta::nn {
+
+std::vector<ag::Variable> Module::parameters() const {
+  std::vector<ag::Variable> out;
+  for (auto& [name, v] : named_parameters()) out.push_back(v);
+  return out;
+}
+
+std::vector<std::pair<std::string, ag::Variable>> Module::named_parameters()
+    const {
+  std::vector<std::pair<std::string, ag::Variable>> out;
+  collect("", &out);
+  return out;
+}
+
+void Module::collect(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, ag::Variable>>* out) const {
+  for (const auto& [name, v] : params_) out->emplace_back(prefix + name, v);
+  for (const auto& [name, child] : children_)
+    child->collect(prefix + name + ".", out);
+}
+
+int64_t Module::num_parameters() const {
+  int64_t n = 0;
+  for (const auto& p : parameters()) n += p.numel();
+  return n;
+}
+
+void Module::zero_grad() {
+  for (auto& p : parameters()) p.zero_grad();
+}
+
+void Module::train(bool mode) {
+  training_ = mode;
+  for (auto& [name, child] : children_) child->train(mode);
+}
+
+ag::Variable& Module::register_parameter(std::string name, Tensor value) {
+  params_.emplace_back(std::move(name),
+                       ag::Variable(std::move(value), /*requires_grad=*/true));
+  return params_.back().second;
+}
+
+Tensor& Module::register_buffer(std::string name, Tensor value) {
+  buffers_.emplace_back(std::move(name), std::move(value));
+  return buffers_.back().second;
+}
+
+Sequential::Sequential(std::vector<std::shared_ptr<Module>> mods) {
+  for (size_t i = 0; i < mods.size(); ++i) push_back(mods[i]);
+}
+
+void Sequential::push_back(std::shared_ptr<Module> m) {
+  register_module(std::to_string(mods_.size()), m);
+  mods_.push_back(std::move(m));
+}
+
+ag::Variable Sequential::forward(const ag::Variable& x) {
+  ag::Variable h = x;
+  for (auto& m : mods_) h = m->forward(h);
+  return h;
+}
+
+}  // namespace hfta::nn

@@ -1,0 +1,78 @@
+// Module base class: owns parameters and child modules, exposes recursive
+// parameter collection, train/eval mode, and zero_grad — the PyTorch
+// nn.Module contract scaled down to what the paper's models need.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/functions.h"
+#include "autograd/variable.h"
+
+namespace hfta::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Single-input forward; models with several inputs expose their own
+  /// methods and use Module only for parameter bookkeeping.
+  virtual ag::Variable forward(const ag::Variable& x) = 0;
+  ag::Variable operator()(const ag::Variable& x) { return forward(x); }
+
+  /// All trainable parameters, depth-first (this module's own first).
+  std::vector<ag::Variable> parameters() const;
+  /// Parameters with dotted path names ("conv1.weight", ...).
+  std::vector<std::pair<std::string, ag::Variable>> named_parameters() const;
+
+  /// Total number of trainable scalars.
+  int64_t num_parameters() const;
+
+  void zero_grad();
+
+  /// Switches train/eval mode recursively (affects Dropout / BatchNorm).
+  void train(bool mode = true);
+  void eval() { train(false); }
+  bool is_training() const { return training_; }
+
+ protected:
+  /// Registers a trainable parameter; returns the stored handle.
+  ag::Variable& register_parameter(std::string name, Tensor value);
+  /// Registers a non-trainable buffer (running stats); returns the handle.
+  Tensor& register_buffer(std::string name, Tensor value);
+  /// Registers (and returns) a child module.
+  template <typename M>
+  std::shared_ptr<M> register_module(std::string name, std::shared_ptr<M> m) {
+    children_.emplace_back(std::move(name), m);
+    return m;
+  }
+
+  bool training_ = true;
+
+ private:
+  std::vector<std::pair<std::string, ag::Variable>> params_;
+  std::vector<std::pair<std::string, Tensor>> buffers_;
+  std::vector<std::pair<std::string, std::shared_ptr<Module>>> children_;
+
+  void collect(const std::string& prefix,
+               std::vector<std::pair<std::string, ag::Variable>>* out) const;
+};
+
+/// Runs modules in order.
+class Sequential : public Module {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::vector<std::shared_ptr<Module>> mods);
+
+  void push_back(std::shared_ptr<Module> m);
+  ag::Variable forward(const ag::Variable& x) override;
+  size_t size() const { return mods_.size(); }
+  const std::shared_ptr<Module>& at(size_t i) const { return mods_.at(i); }
+
+ private:
+  std::vector<std::shared_ptr<Module>> mods_;
+};
+
+}  // namespace hfta::nn

@@ -1,0 +1,95 @@
+#include "nn/norm.h"
+
+#include "tensor/ops.h"
+
+namespace hfta::nn {
+
+BatchNormBase::BatchNormBase(int64_t channels, float eps, float momentum)
+    : channels(channels), eps(eps), momentum(momentum) {
+  weight = register_parameter("weight", Tensor::ones({channels}));
+  bias = register_parameter("bias", Tensor::zeros({channels}));
+  running_mean = register_buffer("running_mean", Tensor::zeros({channels}));
+  running_var = register_buffer("running_var", Tensor::ones({channels}));
+}
+
+ag::Variable BatchNormBase::normalize(
+    const ag::Variable& x, const std::vector<int64_t>& reduce_dims) {
+  // Shape [1, C, 1, ...] for broadcasting against x.
+  Shape bshape(static_cast<size_t>(x.dim()), 1);
+  bshape[1] = channels;
+
+  ag::Variable mean_v, var_v;
+  if (is_training()) {
+    mean_v = ag::mean(x, reduce_dims, /*keepdim=*/true);
+    ag::Variable centered = ag::sub(x, mean_v);
+    var_v = ag::mean(ag::mul(centered, centered), reduce_dims, true);
+    // Update running stats outside the tape (PyTorch uses the unbiased
+    // variance for the running buffer).
+    const int64_t count = x.numel() / channels;
+    Tensor batch_mean = mean_v.value().reshape({channels});
+    Tensor batch_var = var_v.value().reshape({channels});
+    const float unbias =
+        count > 1 ? static_cast<float>(count) / static_cast<float>(count - 1)
+                  : 1.f;
+    running_mean.mul_(1.f - momentum);
+    running_mean.add_(batch_mean, momentum);
+    running_var.mul_(1.f - momentum);
+    Tensor bv = batch_var.clone();
+    bv.mul_(unbias);
+    running_var.add_(bv, momentum);
+  } else {
+    mean_v = ag::constant(running_mean.reshape(bshape));
+    var_v = ag::constant(running_var.reshape(bshape));
+  }
+  ag::Variable inv_std =
+      ag::pow_scalar(ag::add_scalar(var_v, eps), -0.5f);
+  ag::Variable xhat = ag::mul(ag::sub(x, mean_v), inv_std);
+  ag::Variable w = ag::reshape(weight, bshape);
+  ag::Variable b = ag::reshape(bias, bshape);
+  return ag::add(ag::mul(xhat, w), b);
+}
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float eps, float momentum)
+    : BatchNormBase(channels, eps, momentum) {}
+
+ag::Variable BatchNorm2d::forward(const ag::Variable& x) {
+  HFTA_CHECK(x.dim() == 4 && x.size(1) == channels,
+             "BatchNorm2d: expected [N, ", channels, ", H, W], got ",
+             shape_str(x.shape()));
+  return normalize(x, {0, 2, 3});
+}
+
+BatchNorm1d::BatchNorm1d(int64_t channels, float eps, float momentum)
+    : BatchNormBase(channels, eps, momentum) {}
+
+ag::Variable BatchNorm1d::forward(const ag::Variable& x) {
+  HFTA_CHECK((x.dim() == 2 || x.dim() == 3) && x.size(1) == channels,
+             "BatchNorm1d: expected [N, ", channels, "] or [N, ", channels,
+             ", L], got ", shape_str(x.shape()));
+  return x.dim() == 2 ? normalize(x, {0}) : normalize(x, {0, 2});
+}
+
+LayerNorm::LayerNorm(Shape shape, float eps, Rng&)
+    : normalized_shape(std::move(shape)), eps(eps) {
+  weight = register_parameter("weight", Tensor::ones(normalized_shape));
+  bias = register_parameter("bias", Tensor::zeros(normalized_shape));
+}
+
+ag::Variable LayerNorm::forward(const ag::Variable& x) {
+  const int64_t n = static_cast<int64_t>(normalized_shape.size());
+  HFTA_CHECK(x.dim() >= n, "LayerNorm: rank too small");
+  std::vector<int64_t> dims;
+  for (int64_t i = x.dim() - n; i < x.dim(); ++i) {
+    HFTA_CHECK(x.size(i) == normalized_shape[static_cast<size_t>(i - (x.dim() - n))],
+               "LayerNorm: trailing shape mismatch at dim ", i);
+    dims.push_back(i);
+  }
+  ag::Variable mean_v = ag::mean(x, dims, /*keepdim=*/true);
+  ag::Variable centered = ag::sub(x, mean_v);
+  ag::Variable var_v = ag::mean(ag::mul(centered, centered), dims, true);
+  ag::Variable inv_std = ag::pow_scalar(ag::add_scalar(var_v, eps), -0.5f);
+  ag::Variable xhat = ag::mul(centered, inv_std);
+  return ag::add(ag::mul(xhat, weight), bias);
+}
+
+}  // namespace hfta::nn

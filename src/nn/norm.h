@@ -1,0 +1,54 @@
+// Normalization layers. BatchNorm keeps running statistics (buffers) and
+// switches between batch stats (training) and running stats (eval), exactly
+// like torch.nn.BatchNorm*. LayerNorm normalizes over trailing dims.
+#pragma once
+
+#include "nn/module.h"
+
+namespace hfta::nn {
+
+/// Shared BatchNorm math for the 1d ([N,C] / [N,C,L]) and 2d ([N,C,H,W])
+/// variants.
+class BatchNormBase : public Module {
+ public:
+  BatchNormBase(int64_t channels, float eps, float momentum);
+
+  ag::Variable weight;  // gamma [C]
+  ag::Variable bias;    // beta [C]
+  Tensor running_mean;  // [C]
+  Tensor running_var;   // [C]
+  int64_t channels;
+  float eps;
+  float momentum;
+
+ protected:
+  /// x viewed with channels at dim 1; reduce_dims are all dims but 1.
+  ag::Variable normalize(const ag::Variable& x,
+                         const std::vector<int64_t>& reduce_dims);
+};
+
+class BatchNorm2d : public BatchNormBase {
+ public:
+  BatchNorm2d(int64_t channels, float eps = 1e-5f, float momentum = 0.1f);
+  ag::Variable forward(const ag::Variable& x) override;
+};
+
+class BatchNorm1d : public BatchNormBase {
+ public:
+  BatchNorm1d(int64_t channels, float eps = 1e-5f, float momentum = 0.1f);
+  ag::Variable forward(const ag::Variable& x) override;
+};
+
+class LayerNorm : public Module {
+ public:
+  /// normalized_shape: trailing dims E1..En to normalize over.
+  LayerNorm(Shape normalized_shape, float eps, Rng& rng);
+  ag::Variable forward(const ag::Variable& x) override;
+
+  ag::Variable weight;  // [E1..En]
+  ag::Variable bias;    // [E1..En]
+  Shape normalized_shape;
+  float eps;
+};
+
+}  // namespace hfta::nn

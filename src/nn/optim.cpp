@@ -1,0 +1,110 @@
+#include "nn/optim.h"
+
+#include <cmath>
+
+namespace hfta::nn {
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+SGD::SGD(std::vector<ag::Variable> params, Options opt)
+    : Optimizer(std::move(params)), opt_(opt) {
+  momentum_buf_.resize(params_.size());
+}
+
+void SGD::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    Tensor g = p.grad().clone();
+    if (opt_.weight_decay != 0.0)
+      g.add_(p.value(), static_cast<float>(opt_.weight_decay));
+    if (opt_.momentum != 0.0) {
+      Tensor& buf = momentum_buf_[i];
+      if (!buf.defined()) {
+        buf = g.clone();
+      } else {
+        buf.mul_(static_cast<float>(opt_.momentum));
+        buf.add_(g);
+      }
+      g = buf;
+    }
+    p.mutable_value().add_(g, static_cast<float>(-opt_.lr));
+  }
+}
+
+Adam::Adam(std::vector<ag::Variable> params, Options opt)
+    : Optimizer(std::move(params)), opt_(opt) {
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(opt_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(opt_.beta2, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g0 = p.grad();
+    Tensor g = g0.clone();
+    if (opt_.weight_decay != 0.0)
+      g.add_(p.value(), static_cast<float>(opt_.weight_decay));
+    if (!m_[i].defined()) {
+      m_[i] = Tensor::zeros(p.shape());
+      v_[i] = Tensor::zeros(p.shape());
+    }
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    float* pp = p.mutable_value().data();
+    const float* pg = g.data();
+    const float b1 = static_cast<float>(opt_.beta1);
+    const float b2 = static_cast<float>(opt_.beta2);
+    const float eps = static_cast<float>(opt_.eps);
+    const float step_size = static_cast<float>(opt_.lr / bc1);
+    const float inv_bc2 = static_cast<float>(1.0 / bc2);
+    for (int64_t j = 0; j < p.numel(); ++j) {
+      pm[j] = b1 * pm[j] + (1.f - b1) * pg[j];
+      pv[j] = b2 * pv[j] + (1.f - b2) * pg[j] * pg[j];
+      const float vhat = pv[j] * inv_bc2;
+      pp[j] -= step_size * pm[j] / (std::sqrt(vhat) + eps);
+    }
+  }
+}
+
+Adadelta::Adadelta(std::vector<ag::Variable> params, Options opt)
+    : Optimizer(std::move(params)), opt_(opt) {
+  square_avg_.resize(params_.size());
+  acc_delta_.resize(params_.size());
+}
+
+void Adadelta::step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    ag::Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    Tensor g = p.grad().clone();
+    if (opt_.weight_decay != 0.0)
+      g.add_(p.value(), static_cast<float>(opt_.weight_decay));
+    if (!square_avg_[i].defined()) {
+      square_avg_[i] = Tensor::zeros(p.shape());
+      acc_delta_[i] = Tensor::zeros(p.shape());
+    }
+    float* sq = square_avg_[i].data();
+    float* ad = acc_delta_[i].data();
+    float* pp = p.mutable_value().data();
+    const float* pg = g.data();
+    const float rho = static_cast<float>(opt_.rho);
+    const float eps = static_cast<float>(opt_.eps);
+    const float lr = static_cast<float>(opt_.lr);
+    for (int64_t j = 0; j < p.numel(); ++j) {
+      sq[j] = rho * sq[j] + (1.f - rho) * pg[j] * pg[j];
+      const float delta =
+          std::sqrt(ad[j] + eps) / std::sqrt(sq[j] + eps) * pg[j];
+      ad[j] = rho * ad[j] + (1.f - rho) * delta * delta;
+      pp[j] -= lr * delta;
+    }
+  }
+}
+
+}  // namespace hfta::nn

@@ -1,0 +1,20 @@
+#include "nn/sched.h"
+
+#include <cmath>
+
+namespace hfta::nn {
+
+double StepLR::lr_at(int64_t epoch) const {
+  return base_lr_ * std::pow(gamma_, static_cast<double>(epoch / step_size_));
+}
+
+double ExponentialLR::lr_at(int64_t epoch) const {
+  return base_lr_ * std::pow(gamma_, static_cast<double>(epoch));
+}
+
+double CosineAnnealingLR::lr_at(int64_t epoch) const {
+  const double t = static_cast<double>(epoch) / static_cast<double>(t_max_);
+  return eta_min_ + (base_lr_ - eta_min_) * (1.0 + std::cos(M_PI * t)) / 2.0;
+}
+
+}  // namespace hfta::nn

@@ -1,0 +1,70 @@
+// Learning-rate schedulers (StepLR / ExponentialLR / CosineAnnealingLR).
+// HFTA's fused schedulers (src/hfta/fused_sched.h) must match these per
+// model.
+#pragma once
+
+#include <memory>
+
+#include "nn/optim.h"
+
+namespace hfta::nn {
+
+class LRScheduler {
+ public:
+  explicit LRScheduler(Optimizer& opt)
+      : opt_(opt), base_lr_(opt.lr()) {}
+  virtual ~LRScheduler() = default;
+
+  /// Advances one epoch and updates the optimizer's lr.
+  void step() {
+    ++epoch_;
+    opt_.set_lr(lr_at(epoch_));
+  }
+  int64_t epoch() const { return epoch_; }
+  double base_lr() const { return base_lr_; }
+
+  /// lr for a given epoch index (0 = initial).
+  virtual double lr_at(int64_t epoch) const = 0;
+
+ protected:
+  Optimizer& opt_;
+  double base_lr_;
+  int64_t epoch_ = 0;
+};
+
+/// lr = base * gamma^(floor(epoch / step_size)).
+class StepLR : public LRScheduler {
+ public:
+  StepLR(Optimizer& opt, int64_t step_size, double gamma)
+      : LRScheduler(opt), step_size_(step_size), gamma_(gamma) {}
+  double lr_at(int64_t epoch) const override;
+
+ private:
+  int64_t step_size_;
+  double gamma_;
+};
+
+/// lr = base * gamma^epoch.
+class ExponentialLR : public LRScheduler {
+ public:
+  ExponentialLR(Optimizer& opt, double gamma)
+      : LRScheduler(opt), gamma_(gamma) {}
+  double lr_at(int64_t epoch) const override;
+
+ private:
+  double gamma_;
+};
+
+/// lr = eta_min + (base - eta_min) * (1 + cos(pi * epoch / t_max)) / 2.
+class CosineAnnealingLR : public LRScheduler {
+ public:
+  CosineAnnealingLR(Optimizer& opt, int64_t t_max, double eta_min = 0.0)
+      : LRScheduler(opt), t_max_(t_max), eta_min_(eta_min) {}
+  double lr_at(int64_t epoch) const override;
+
+ private:
+  int64_t t_max_;
+  double eta_min_;
+};
+
+}  // namespace hfta::nn

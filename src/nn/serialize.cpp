@@ -1,0 +1,89 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "core/check.h"
+
+namespace hfta::nn {
+
+namespace {
+constexpr char kMagic[4] = {'H', 'F', 'T', 'A'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  HFTA_CHECK(is.good(), "checkpoint: unexpected end of stream");
+  return v;
+}
+}  // namespace
+
+void write_tensor(std::ostream& os, const std::string& name, const Tensor& t) {
+  write_pod<uint64_t>(os, name.size());
+  os.write(name.data(), static_cast<std::streamsize>(name.size()));
+  write_pod<uint64_t>(os, static_cast<uint64_t>(t.dim()));
+  for (int64_t d = 0; d < t.dim(); ++d)
+    write_pod<int64_t>(os, t.size(d));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(sizeof(float) * t.numel()));
+}
+
+std::pair<std::string, Tensor> read_tensor(std::istream& is) {
+  const uint64_t name_len = read_pod<uint64_t>(is);
+  HFTA_CHECK(name_len < (1u << 20), "checkpoint: absurd name length");
+  std::string name(name_len, '\0');
+  is.read(name.data(), static_cast<std::streamsize>(name_len));
+  const uint64_t rank = read_pod<uint64_t>(is);
+  HFTA_CHECK(rank <= 16, "checkpoint: absurd tensor rank ", rank);
+  Shape shape;
+  for (uint64_t d = 0; d < rank; ++d) shape.push_back(read_pod<int64_t>(is));
+  Tensor t(shape);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(sizeof(float) * t.numel()));
+  HFTA_CHECK(is.good(), "checkpoint: truncated tensor data for ", name);
+  return {std::move(name), std::move(t)};
+}
+
+void save_parameters(const Module& m, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  HFTA_CHECK(os.good(), "save_parameters: cannot open ", path);
+  os.write(kMagic, 4);
+  write_pod<uint32_t>(os, kVersion);
+  const auto named = m.named_parameters();
+  write_pod<uint64_t>(os, named.size());
+  for (const auto& [name, var] : named) write_tensor(os, name, var.value());
+  HFTA_CHECK(os.good(), "save_parameters: write failed for ", path);
+}
+
+void load_parameters(Module& m, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  HFTA_CHECK(is.good(), "load_parameters: cannot open ", path);
+  char magic[4];
+  is.read(magic, 4);
+  HFTA_CHECK(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+             "load_parameters: not an hfta checkpoint: ", path);
+  const uint32_t version = read_pod<uint32_t>(is);
+  HFTA_CHECK(version == kVersion, "load_parameters: version ", version,
+             " unsupported");
+  const uint64_t count = read_pod<uint64_t>(is);
+  auto named = m.named_parameters();
+  HFTA_CHECK(count == named.size(), "load_parameters: checkpoint has ", count,
+             " parameters, module has ", named.size());
+  for (auto& [name, var] : named) {
+    auto [saved_name, t] = read_tensor(is);
+    HFTA_CHECK(saved_name == name, "load_parameters: expected ", name,
+               ", found ", saved_name);
+    HFTA_CHECK(t.shape() == var.shape(), "load_parameters: shape mismatch at ",
+               name);
+    var.mutable_value().copy_(t);
+  }
+}
+
+}  // namespace hfta::nn

@@ -1,0 +1,28 @@
+// Checkpointing: save/load module parameters (and a raw tensor codec) in a
+// small self-describing binary format. Fused arrays checkpoint exactly like
+// plain modules — their parameters are ordinary tensors — so a sweep's B
+// models live in one file.
+//
+// Format: magic "HFTA" + u32 version + u64 count, then per parameter:
+// u64 name length + name bytes + u64 rank + dims + float data.
+#pragma once
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace hfta::nn {
+
+/// Writes all named parameters of `m` to `path`. Throws hfta::Error on IO
+/// failure.
+void save_parameters(const Module& m, const std::string& path);
+
+/// Loads parameters saved by save_parameters into `m`. Names, order and
+/// shapes must match exactly (same architecture).
+void load_parameters(Module& m, const std::string& path);
+
+/// Low-level tensor codec (used by the checkpoint format and tests).
+void write_tensor(std::ostream& os, const std::string& name, const Tensor& t);
+std::pair<std::string, Tensor> read_tensor(std::istream& is);
+
+}  // namespace hfta::nn

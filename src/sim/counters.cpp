@@ -1,0 +1,68 @@
+#include "sim/counters.h"
+
+#include <algorithm>
+
+namespace hfta::sim {
+
+std::vector<SweepPoint> sweep(const DeviceSpec& dev, Workload w, Mode mode,
+                              Precision prec, int64_t max_b) {
+  std::vector<SweepPoint> out;
+  const RunResult base = simulate(dev, w, Mode::kSerial, 1, Precision::kFP32);
+  int64_t cap = max_models(dev, w, mode, prec);
+  if (mode == Mode::kSerial) cap = 1;
+  if (max_b > 0) cap = std::min(cap, max_b);
+  for (int64_t b = 1; b <= cap; ++b) {
+    RunResult r = simulate(dev, w, mode, b, prec);
+    if (!r.fits) break;
+    SweepPoint p;
+    p.models = b;
+    p.result = r;
+    p.normalized = normalized_throughput(r, base);
+    out.push_back(p);
+  }
+  return out;
+}
+
+double peak(const std::vector<SweepPoint>& curve) {
+  double best = 0;
+  for (const auto& p : curve) best = std::max(best, p.normalized);
+  return best;
+}
+
+double peak_speedup_vs(const DeviceSpec& dev, Workload w, Mode mode) {
+  auto best_of = [&](Mode m) {
+    const double fp32 = peak(sweep(dev, w, m, Precision::kFP32));
+    const double amp = peak(sweep(dev, w, m, Precision::kAMP));
+    return std::max(fp32, amp);
+  };
+  const double denom = best_of(mode);
+  if (denom == 0) return 0;
+  return best_of(Mode::kHfta) / denom;
+}
+
+double equal_models_speedup(const DeviceSpec& dev, Workload w, Mode mode,
+                            Precision prec) {
+  auto hfta = sweep(dev, w, Mode::kHfta, prec);
+  auto base = sweep(dev, w, mode, prec);
+  double best = 0;
+  const size_t n = std::min(hfta.size(), base.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (base[i].normalized > 0)
+      best = std::max(best, hfta[i].normalized / base[i].normalized);
+  }
+  return best;
+}
+
+double amp_over_fp32(const DeviceSpec& dev, Workload w, Mode mode) {
+  auto amp = sweep(dev, w, mode, Precision::kAMP);
+  auto fp32 = sweep(dev, w, mode, Precision::kFP32);
+  double best = 0;
+  const size_t n = std::min(amp.size(), fp32.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (fp32[i].normalized > 0)
+      best = std::max(best, amp[i].normalized / fp32[i].normalized);
+  }
+  return best;
+}
+
+}  // namespace hfta::sim

@@ -1,0 +1,36 @@
+// Sweep helpers shared by the bench harness: throughput-vs-B curves and
+// peak-speedup tables (the data behind Fig. 4/5/15/16 and Tables 5/8/9/10).
+#pragma once
+
+#include <vector>
+
+#include "sim/execution.h"
+
+namespace hfta::sim {
+
+struct SweepPoint {
+  int64_t models = 0;
+  double normalized = 0;  // vs FP32 serial
+  RunResult result;
+};
+
+/// Throughput curve for one (device, workload, mode, precision): one point
+/// per model count until the memory capacity stop.
+std::vector<SweepPoint> sweep(const DeviceSpec& dev, Workload w, Mode mode,
+                              Precision prec, int64_t max_b = 0);
+
+/// Peak normalized throughput over a sweep (0 when the mode cannot run).
+double peak(const std::vector<SweepPoint>& curve);
+
+/// Peak speedup of HFTA over `mode`, taking the better of FP32/AMP on both
+/// sides (Table 5's aggregation rule).
+double peak_speedup_vs(const DeviceSpec& dev, Workload w, Mode mode);
+
+/// Max speedup of HFTA over `mode` at equal model counts (Table 9).
+double equal_models_speedup(const DeviceSpec& dev, Workload w, Mode mode,
+                            Precision prec);
+
+/// Max AMP-over-FP32 throughput ratio across model counts (Table 10).
+double amp_over_fp32(const DeviceSpec& dev, Workload w, Mode mode);
+
+}  // namespace hfta::sim

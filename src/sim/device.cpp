@@ -1,0 +1,65 @@
+#include "sim/device.h"
+
+namespace hfta::sim {
+
+DeviceSpec v100() {
+  DeviceSpec d;
+  d.name = "V100";
+  d.sms = 80;
+  d.fp32_tflops = 15.7;
+  d.tc_tflops = 125.0;  // FP16 TCs
+  d.hbm_gb = 16.0;
+  d.hbm_gbps = 900.0;
+  d.host_cores = 8;  // p3.2xlarge
+  return d;
+}
+
+DeviceSpec rtx6000() {
+  DeviceSpec d;
+  d.name = "RTX6000";
+  d.sms = 72;
+  d.fp32_tflops = 16.3;
+  d.tc_tflops = 130.5;
+  d.hbm_gb = 24.0;
+  d.hbm_gbps = 672.0;
+  d.host_cores = 8;
+  return d;
+}
+
+DeviceSpec a100() {
+  DeviceSpec d;
+  d.name = "A100";
+  d.sms = 108;
+  d.fp32_tflops = 19.5;
+  d.tc_tflops = 312.0;  // TF32/FP16 TCs
+  d.hbm_gb = 40.0;
+  d.hbm_gbps = 1555.0;
+  d.max_mig_instances = 7;
+  d.amp_bwd_regression = true;
+  d.host_cores = 12;  // a2-highgpu-1g
+  return d;
+}
+
+DeviceSpec tpu_v3() {
+  DeviceSpec d;
+  d.name = "TPUv3";
+  d.is_tpu = true;
+  d.sms = 2;  // MXUs per core
+  d.fp32_tflops = 61.0;  // bf16 MXU peak per core (2 MXUs)
+  d.tc_tflops = 0.0;
+  d.vector_tflops = 3.0;
+  d.hbm_gb = 16.0;
+  d.hbm_gbps = 900.0;
+  d.kernel_launch_us = 1.5;  // XLA fused programs launch cheaply
+  d.gemm_setup_us = 0.5;
+  d.stream_gap_us = 80.0;  // PyTorch/XLA per-step program boundaries (2020)
+  d.host_speedup = 20.0;
+  d.activation_discount = 0.5;
+  // XLA/TPU runtime reservation is smaller than the CUDA stack's.
+  d.framework_gb_fp32 = 0.8;
+  d.framework_gb_amp = 0.8;
+  d.host_cores = 8;  // n1-highmem-8
+  return d;
+}
+
+}  // namespace hfta::sim

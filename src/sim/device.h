@@ -1,0 +1,69 @@
+// Accelerator device models. These stand in for the paper's hardware
+// (V100 / RTX6000 / A100 GPUs, TPU v3) — see DESIGN.md §1 for why an
+// analytic model preserves the evaluation's shape. Numbers are public
+// spec-sheet values plus calibrated overhead constants.
+#pragma once
+
+#include <string>
+
+namespace hfta::sim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // Compute.
+  int64_t sms = 80;            // streaming multiprocessors (or TPU "lanes")
+  double fp32_tflops = 15.7;   // peak FP32
+  double tc_tflops = 0.0;      // tensor-core peak (0 = no TCs / no AMP gain)
+  // Memory.
+  double hbm_gb = 16.0;
+  double hbm_gbps = 900.0;
+  // Per-kernel overheads (microseconds) — launch latency plus the eager-
+  // framework per-op dispatch cost the paper's Section 2.2 points at.
+  double kernel_launch_us = 12.0;
+  double gemm_setup_us = 4.0;
+  double tc_setup_us = 3.0;   // AMP format-conversion / TC setup extra
+  // Fine-grained GPU-stream idle gap per op in eager single-process mode
+  // (launch latency + framework dispatch + stream syncs). Time-multiplexing
+  // (concurrent) cannot fill these; MPS partially overlaps them; HFTA pays
+  // them once for all B fused models. This is the dominant source of the
+  // low sm_active the paper measures on repetitive jobs (Fig. 10).
+  double stream_gap_us = 200.0;
+  // cuDNN AMP backward regression observed on Ampere (paper §5.1, DCGAN).
+  bool amp_bwd_regression = false;
+  // Device-filling model: CTAs needed for full compute / bandwidth
+  // utilization (a "wave").
+  int64_t wave_ctas() const { return sms * 24; }
+  int64_t wave_mem_ctas() const { return sms * 6; }
+  // DL-framework per-process device-memory reservation (paper Fig. 6).
+  double framework_gb_fp32 = 1.52;
+  double framework_gb_amp = 2.12;
+  // Sharing features.
+  int64_t max_mig_instances = 0;  // 0 = MIG unavailable
+  // TPU specifics.
+  bool is_tpu = false;
+  int64_t mxu_dim = 128;        // systolic array edge: ops pad to multiples
+  double vector_tflops = 0.5;   // non-GEMM vector unit throughput
+  // Host input pipeline speedup vs the eager-GPU stack (tf.data-style
+  // prefetch + compiled step function on TPU VMs).
+  double host_speedup = 1.0;
+  // XLA's memory planner reuses buffers more aggressively than the caching
+  // allocator; fraction of the eager activation footprint it needs.
+  double activation_discount = 1.0;
+  // Host resources backing this device's VM (paper Table 4).
+  int64_t host_cores = 8;
+
+  /// Effective max warp slots per SM (occupancy denominator).
+  int64_t max_warps_per_sm = 64;
+};
+
+/// Volta V100 (16 GB) — AWS p3.2xlarge.
+DeviceSpec v100();
+/// Turing RTX6000 (24 GB).
+DeviceSpec rtx6000();
+/// Ampere A100 (40 GB) — GCP a2-highgpu-1g; supports MIG (7 GIs).
+DeviceSpec a100();
+/// Google TPU v3 core (16 GB HBM).
+DeviceSpec tpu_v3();
+
+}  // namespace hfta::sim

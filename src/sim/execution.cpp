@@ -1,0 +1,350 @@
+#include "sim/execution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "core/rng.h"
+
+namespace hfta::sim {
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kSerial: return "serial";
+    case Mode::kConcurrent: return "concurrent";
+    case Mode::kMps: return "MPS";
+    case Mode::kMig: return "MIG";
+    case Mode::kHfta: return "HFTA";
+  }
+  return "?";
+}
+
+const char* precision_name(Precision p) {
+  return p == Precision::kFP32 ? "FP32" : "AMP";
+}
+
+namespace {
+
+constexpr double kTcConversionBytesFactor = 0.15;  // extra traffic for fp16
+constexpr double kMpsPacking = 0.7;    // co-scheduling efficiency under MPS
+constexpr double kMpsLaunchShare = 0.5;  // extra serialized launch per process
+constexpr double kMpsGapResidual = 0.5;   // floor of unhidden stream gaps
+constexpr double kHftaHostShare = 0.15;  // extra host work per fused model
+constexpr int64_t kHostCoresPerJob = 3;
+
+double ceil_to(double v, double q) { return std::ceil(v / q) * q; }
+
+// Per-kernel execution accounting.
+struct KernelTime {
+  double total_us = 0;   // overhead + busy
+  double busy_us = 0;    // roofline part (SMs doing something)
+  double sm_frac = 0;    // fraction of SMs with resident work while busy
+  double occupancy = 0;  // resident-warp ratio while busy
+  double tc_busy_us = 0; // time tensor-core pipes are active
+};
+
+// Models one kernel on `sm_share` of the device with `copies` identical
+// co-running instances (MPS) or a work multiplier already folded into the
+// kernel (HFTA traces are built at array size B).
+KernelTime kernel_time(const DeviceSpec& dev, const Kernel& k, Precision prec,
+                       double sm_share, int64_t copies, bool mps) {
+  KernelTime out;
+  const double sms = static_cast<double>(dev.sms) * sm_share;
+  const double wave = static_cast<double>(dev.wave_ctas()) * sm_share;
+  const double wave_mem = static_cast<double>(dev.wave_mem_ctas()) * sm_share;
+  const double ctas = static_cast<double>(k.ctas) * copies;
+  const double fill = ctas / (ctas + wave);
+  const double fill_mem = ctas / (ctas + wave_mem);
+
+  double flops = k.flops * copies;
+  double bytes = k.bytes * copies;
+  double peak = dev.fp32_tflops * 1e12;
+  double bw = dev.hbm_gbps * 1e9 * sm_share;
+  double overhead = dev.kernel_launch_us;
+  double tc_busy = 0;
+
+  if (dev.is_tpu) {
+    if (k.cls == KernelClass::kGemm) {
+      // Systolic-array padding: each GEMM dim pads to the MXU edge. XLA
+      // lowers a fused grouped op with its model-concatenated channel dims
+      // (m*groups, k*groups), which pad out far better than the skinny
+      // per-model dims — the mechanism behind serial DCGAN's weakness and
+      // HFTA's super-linear gain on TPUs (Section 5.2).
+      const double q = static_cast<double>(dev.mxu_dim);
+      const double m_eff = std::min<double>(k.m * k.groups, 4096);
+      const double k_eff = std::min<double>(k.k * k.groups, 4096);
+      const double pad_eff = (m_eff / ceil_to(m_eff, q)) *
+                             (k.n / ceil_to(k.n, q)) *
+                             (k_eff / ceil_to(k_eff, q));
+      peak = dev.fp32_tflops * 1e12 * std::max(0.02, pad_eff);
+    } else {
+      peak = dev.vector_tflops * 1e12;
+      if (k.cls == KernelClass::kGather) {
+        peak *= 0.25;       // poor systolic fit
+        bw *= 0.15;         // strided/scatter access patterns
+      }
+    }
+    overhead = dev.kernel_launch_us;
+  } else if (k.cls == KernelClass::kGemm) {
+    overhead += dev.gemm_setup_us;
+    const bool amp_here = prec == Precision::kAMP && k.tc_eligible &&
+                          !(k.amp_fallback && dev.amp_bwd_regression);
+    if (prec == Precision::kAMP && k.tc_eligible) {
+      overhead += dev.tc_setup_us;
+      bytes += k.bytes * copies * kTcConversionBytesFactor;  // format conv.
+    }
+    if (amp_here && dev.tc_tflops > 0) {
+      // TC engagement needs both friendly tile shapes AND enough resident
+      // work to hide the format-conversion latency — underfilled kernels
+      // see almost none of the TC peak (why serial AMP ~ serial FP32,
+      // Table 10).
+      const double shape_eff = std::min(1.0, static_cast<double>(k.m) / 256.0) *
+                               std::min(1.0, static_cast<double>(k.k) / 64.0);
+      const double fill_eff = ctas / (ctas + 8.0 * wave);
+      const double engage = shape_eff * fill_eff;
+      peak = peak + (dev.tc_tflops * 1e12 - peak) * engage;
+      bytes *= 1.0 - 0.45 * engage;  // fp16 traffic where TCs engage
+      tc_busy = flops / (dev.tc_tflops * 1e12) * engage;
+    } else if (prec == Precision::kAMP && k.tc_eligible && k.amp_fallback &&
+               dev.amp_bwd_regression) {
+      // The Ampere cuDNN regression: the kernel silently falls back to an
+      // unoptimized FP32 path inside an AMP region, thrashing tensor
+      // layouts on the way in and out (paper §5.1, third observation).
+      bytes *= 2.0;
+      peak *= 0.5;
+      overhead += dev.tc_setup_us * 2.0;
+    }
+  }
+
+  const double compute_us = flops / (peak * std::max(fill, 1e-6)) * 1e6;
+  const double mem_us = bytes / (bw * std::max(fill_mem, 1e-6)) * 1e6;
+  double busy = std::max(compute_us, mem_us);
+  if (mps) {
+    busy /= kMpsPacking;
+    overhead *= 1.0 + kMpsLaunchShare * (copies - 1);
+  }
+  out.busy_us = busy;
+  out.total_us = overhead + busy;
+  out.sm_frac = std::min(1.0, ctas / sms);
+  out.occupancy = std::min(1.0, ctas * 8.0 / (sms * dev.max_warps_per_sm));
+  out.tc_busy_us = tc_busy * 1e6 / std::max(sm_share, 1e-6);
+  return out;
+}
+
+struct GpuSchedule {
+  double gpu_us = 0;       // overhead + busy wall time for one round
+  double gap_us = 0;       // framework stream gaps (GPU idle, stream owned)
+  double active_us = 0;    // integral of sm fraction
+  double occ_us = 0;       // integral of occupancy
+  double tc_us = 0;        // tensor-pipe busy time
+  double resident_us = 0;  // time with any kernel resident (nvidia-smi util)
+
+  double stream_us() const { return gpu_us + gap_us; }
+};
+
+GpuSchedule run_trace(const DeviceSpec& dev, const IterationTrace& t,
+                      Precision prec, double sm_share, int64_t copies,
+                      bool mps) {
+  GpuSchedule s;
+  for (const Kernel& k : t.kernels) {
+    const KernelTime kt = kernel_time(dev, k, prec, sm_share, copies, mps);
+    s.gpu_us += kt.total_us;
+    s.gap_us += dev.stream_gap_us * t.gap_scale;
+    s.active_us += kt.busy_us * kt.sm_frac;
+    s.occ_us += kt.busy_us * kt.occupancy;
+    s.tc_us += kt.tc_busy_us;
+    s.resident_us += kt.busy_us;
+  }
+  return s;
+}
+
+// Host elapsed time for `jobs` input pipelines sharing dev.host_cores.
+double host_elapsed_us(const DeviceSpec& dev, double host_us_per_job,
+                       int64_t jobs) {
+  const int64_t cap =
+      std::max<int64_t>(1, dev.host_cores / kHostCoresPerJob);
+  double elapsed = host_us_per_job *
+                   std::ceil(static_cast<double>(jobs) / cap);
+  if (jobs > cap) {
+    // IO / memory-bus contention beyond the core budget.
+    elapsed *= 1.0 + 0.06 * static_cast<double>(jobs - cap);
+  }
+  return elapsed;
+}
+
+double model_gb(const DeviceSpec& dev, const IterationTrace& single,
+                Precision prec) {
+  double act = prec == Precision::kAMP ? single.activation_gb * 0.55
+                                       : single.activation_gb;
+  act *= dev.activation_discount;
+  const double state = prec == Precision::kAMP ? single.model_state_gb * 1.25
+                                               : single.model_state_gb;
+  return act + state;
+}
+
+double framework_gb(const DeviceSpec& dev, Precision prec) {
+  return prec == Precision::kAMP ? dev.framework_gb_amp
+                                 : dev.framework_gb_fp32;
+}
+
+}  // namespace
+
+double memory_gb(const DeviceSpec& dev, const IterationTrace& single,
+                 Mode mode, int64_t models, Precision prec) {
+  const double per_model = model_gb(dev, single, prec);
+  const double fw = framework_gb(dev, prec);
+  switch (mode) {
+    case Mode::kSerial:
+      return fw + per_model;
+    case Mode::kConcurrent:
+    case Mode::kMps:
+    case Mode::kMig:
+      // one process (framework reservation included) per job
+      return static_cast<double>(models) * (fw + per_model);
+    case Mode::kHfta:
+      return fw + static_cast<double>(models) * per_model;
+  }
+  return 0;
+}
+
+int64_t max_models(const DeviceSpec& dev, Workload w, Mode mode,
+                   Precision prec, int64_t limit) {
+  const IterationTrace single = build_trace(w, 1);
+  if (mode == Mode::kSerial) return 1;
+  if (mode == Mode::kMig) {
+    if (dev.max_mig_instances == 0) return 0;
+    const double gi_mem = dev.hbm_gb / static_cast<double>(dev.max_mig_instances);
+    return (framework_gb(dev, prec) + model_gb(dev, single, prec) <= gi_mem)
+               ? dev.max_mig_instances
+               : 0;
+  }
+  int64_t best = 0;
+  for (int64_t b = 1; b <= limit; ++b) {
+    if (memory_gb(dev, single, mode, b, prec) <= dev.hbm_gb) best = b;
+    else break;
+  }
+  return best;
+}
+
+RunResult simulate_traces(const DeviceSpec& dev, const IterationTrace& single,
+                          const IterationTrace& fused, Mode mode,
+                          int64_t models, Precision prec) {
+  RunResult r;
+  r.models = models;
+  r.memory_gb = memory_gb(dev, single, mode, models, prec);
+  r.fits = r.memory_gb <= dev.hbm_gb + 1e-9;
+  if (mode == Mode::kMig) {
+    r.fits = dev.max_mig_instances > 0 &&
+             models <= dev.max_mig_instances &&
+             framework_gb(dev, prec) + model_gb(dev, single, prec) <=
+                 dev.hbm_gb / static_cast<double>(dev.max_mig_instances);
+  }
+  if (!r.fits) return r;
+
+  const double batch = single.samples;
+  double round_us = 0;
+  GpuSchedule s;
+  switch (mode) {
+    case Mode::kSerial: {
+      HFTA_CHECK(models == 1, "serial runs one model");
+      s = run_trace(dev, single, prec, 1.0, 1, false);
+      // Input pipeline runs before the step; stream gaps are GPU-idle but
+      // stream-owned and cannot be hidden within one process.
+      round_us = single.host_us / dev.host_speedup + s.stream_us();
+      if (dev.is_tpu) round_us += single.xla_step_us;
+      break;
+    }
+    case Mode::kConcurrent: {
+      // Time-multiplexed: streams (including their gaps) serialize on the
+      // device at kernel granularity — fine-grained gaps are NOT filled by
+      // other processes (paper §2.2); only host pipelines overlap.
+      s = run_trace(dev, single, prec, 1.0, 1, false);
+      const double gpu_total = s.stream_us() * static_cast<double>(models);
+      round_us = std::max(
+          gpu_total, host_elapsed_us(dev, single.host_us / dev.host_speedup,
+                                     models) +
+                         s.stream_us());
+      s.active_us *= static_cast<double>(models);
+      s.occ_us *= static_cast<double>(models);
+      s.tc_us *= static_cast<double>(models);
+      s.resident_us *= static_cast<double>(models);
+      break;
+    }
+    case Mode::kMps: {
+      // Hyper-Q co-schedules kernels from all processes: busy parts pack
+      // (with a penalty), launch overheads duplicate, and a fraction of the
+      // stream gaps is overlapped by competitor kernels.
+      s = run_trace(dev, single, prec, 1.0, models, true);
+      // A gap only stalls the device when all co-running processes gap at
+      // once; residual floor models MPS scheduling quanta.
+      const double gap_hide = std::max(
+          kMpsGapResidual, 1.0 / static_cast<double>(models));
+      const double gpu_mps = s.gpu_us + s.gap_us * gap_hide;
+      round_us = std::max(
+          gpu_mps, host_elapsed_us(dev, single.host_us / dev.host_speedup,
+                                   models) +
+                       0.3 * gpu_mps);
+      s.gap_us *= gap_hide;
+      break;
+    }
+    case Mode::kMig: {
+      // Isolated instances run in parallel; each behaves like serial on a
+      // 1/8 slice (7 usable GIs of the 8 compute slices on A100).
+      const double share = 1.0 / 8.0;
+      s = run_trace(dev, single, prec, share, 1, false);
+      const double host_scale =
+          host_elapsed_us(dev, 1.0, models);  // per-unit host w/ contention
+      // 7 training processes contend the VM's cores: per-op dispatch (and
+      // with it every stream gap) slows down on each instance.
+      const double gap_contention =
+          1.0 + 0.15 * static_cast<double>(models - 1);
+      round_us = single.host_us / dev.host_speedup * host_scale + s.gpu_us +
+                 s.gap_us * gap_contention;
+      // counters aggregate over the whole device: `models` instances active
+      s.active_us *= static_cast<double>(models) * share;
+      s.occ_us *= static_cast<double>(models) * share;
+      s.tc_us *= static_cast<double>(models) * share;
+      s.resident_us *= static_cast<double>(models) * share;
+      break;
+    }
+    case Mode::kHfta: {
+      HFTA_CHECK(fused.array_size == models, "fused trace array size");
+      s = run_trace(dev, fused, prec, 1.0, 1, false);
+      const double host =
+          fused.host_us / dev.host_speedup *
+          (1.0 + kHftaHostShare * static_cast<double>(models - 1));
+      round_us = host + s.stream_us();
+      if (dev.is_tpu) round_us += fused.xla_step_us;
+      break;
+    }
+  }
+  r.round_us = round_us;
+  r.throughput = static_cast<double>(models) * batch / (round_us * 1e-6);
+  r.counters.sm_active = std::min(1.0, s.active_us / round_us);
+  r.counters.sm_occupancy = std::min(1.0, s.occ_us / round_us);
+  r.counters.tensor_active = std::min(1.0, s.tc_us / round_us);
+  // nvidia-smi "GPU utilization": fraction of sample windows with any kernel
+  // resident — coarse and noisy (paper Fig. 13).
+  const double resident = std::min(1.0, s.resident_us / round_us);
+  const double noise =
+      0.25 * hash_to_unit(hash_combine(static_cast<uint64_t>(models),
+                                       static_cast<uint64_t>(round_us)));
+  r.counters.nvsmi_util = std::min(1.0, resident + noise);
+  return r;
+}
+
+RunResult simulate(const DeviceSpec& dev, Workload w, Mode mode,
+                   int64_t models, Precision prec) {
+  const IterationTrace single = build_trace(w, 1);
+  if (mode == Mode::kHfta) {
+    const IterationTrace fused = build_trace(w, models);
+    return simulate_traces(dev, single, fused, mode, models, prec);
+  }
+  return simulate_traces(dev, single, single, mode, models, prec);
+}
+
+double normalized_throughput(const RunResult& r, const RunResult& serial_fp32) {
+  return r.throughput / serial_fp32.throughput;
+}
+
+}  // namespace hfta::sim

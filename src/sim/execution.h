@@ -1,0 +1,64 @@
+// Execution-mode simulation: given a device, a workload and a sharing mode
+// (serial / concurrent / MPS / MIG / HFTA — paper §4 "Baselines"), computes
+// per-device training throughput, the memory footprint that bounds how many
+// models fit (Fig. 6), and DCGM-style hardware counters (Fig. 7/10/13/14).
+//
+// Mechanisms modeled (see DESIGN.md §4): per-kernel launch/setup overhead,
+// SM-filling efficiency from CTA counts, compute/memory roofline, tensor-
+// core engagement under AMP (with per-kernel format-conversion overhead),
+// TPU systolic-array padding, host-side input pipeline with core contention,
+// and per-process framework memory reservations.
+#pragma once
+
+#include "sim/device.h"
+#include "sim/kernel.h"
+#include "sim/workloads.h"
+
+namespace hfta::sim {
+
+enum class Mode { kSerial, kConcurrent, kMps, kMig, kHfta };
+enum class Precision { kFP32, kAMP };
+
+const char* mode_name(Mode m);
+const char* precision_name(Precision p);
+
+/// DCGM counters (paper Appendix F) plus the nvidia-smi "GPU utilization"
+/// the paper shows to be a weak indicator (Fig. 13).
+struct Counters {
+  double sm_active = 0;
+  double sm_occupancy = 0;
+  double tensor_active = 0;
+  double nvsmi_util = 0;
+};
+
+struct RunResult {
+  bool fits = false;          // memory constraint satisfied
+  int64_t models = 0;         // co-running / fused models B
+  double round_us = 0;        // wall time for every model to advance 1 iter
+  double throughput = 0;      // samples/sec aggregated over all models
+  double memory_gb = 0;
+  Counters counters;
+};
+
+/// Device memory used by `models` jobs under `mode` (Fig. 6 model).
+double memory_gb(const DeviceSpec& dev, const IterationTrace& single,
+                 Mode mode, int64_t models, Precision prec);
+
+/// Largest number of models that fits in device memory (curve stop points).
+int64_t max_models(const DeviceSpec& dev, Workload w, Mode mode,
+                   Precision prec, int64_t limit = 512);
+
+/// Simulates one workload under one mode with `models` jobs.
+RunResult simulate(const DeviceSpec& dev, Workload w, Mode mode,
+                   int64_t models, Precision prec);
+
+/// Simulate from explicit traces (used for partial fusion, Fig. 17).
+RunResult simulate_traces(const DeviceSpec& dev, const IterationTrace& single,
+                          const IterationTrace& fused_or_single, Mode mode,
+                          int64_t models, Precision prec);
+
+/// Normalized per-device throughput relative to the FP32 serial baseline
+/// (the y-axis of Fig. 4 / 5 / 15 / 16).
+double normalized_throughput(const RunResult& r, const RunResult& serial_fp32);
+
+}  // namespace hfta::sim

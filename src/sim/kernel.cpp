@@ -1,0 +1,103 @@
+#include "sim/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hfta::sim {
+
+namespace {
+constexpr int64_t kTileM = 64;
+constexpr int64_t kTileN = 64;
+constexpr double kBytesPerFloat = 4.0;
+
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+int64_t gemm_ctas(int64_t m, int64_t n, int64_t k, int64_t groups) {
+  const int64_t split_k =
+      std::clamp<int64_t>(k / 512, 1, 32);  // split-k fills reduction shapes
+  return ceil_div(m, kTileM) * ceil_div(n, kTileN) * split_k * groups;
+}
+
+int64_t elementwise_ctas(double elems) {
+  return std::max<int64_t>(1, static_cast<int64_t>(elems / 4096.0));
+}
+
+void add_gemm_fwd_bwd(IterationTrace& t, int64_t m, int64_t n, int64_t k,
+                      int64_t groups, bool tc_eligible,
+                      bool amp_fallback_bwd, double io_elems) {
+  const double flops = 2.0 * m * n * k * groups;
+  const double bytes =
+      io_elems > 0
+          ? kBytesPerFloat * io_elems
+          : kBytesPerFloat *
+                (static_cast<double>(m) * k + static_cast<double>(k) * n +
+                 static_cast<double>(m) * n) *
+                groups;
+  Kernel fwd;
+  fwd.cls = KernelClass::kGemm;
+  fwd.flops = flops;
+  fwd.bytes = bytes;
+  fwd.ctas = gemm_ctas(m, n, k, groups);
+  fwd.m = m;
+  fwd.n = n;
+  fwd.k = k;
+  fwd.groups = groups;
+  fwd.tc_eligible = tc_eligible;
+  t.kernels.push_back(fwd);
+
+  // Backward: grad-input ([m x n] @ [n x k]) and grad-weight
+  // ([k x m] @ [m x n]) — same magnitude, transposed shapes.
+  Kernel gi = fwd;
+  gi.m = m;
+  gi.n = k;
+  gi.k = n;
+  gi.ctas = gemm_ctas(m, k, n, groups);
+  gi.amp_fallback = amp_fallback_bwd;
+  t.kernels.push_back(gi);
+  Kernel gw = fwd;
+  gw.m = k;
+  gw.n = n;
+  gw.k = m;
+  gw.ctas = gemm_ctas(k, n, m, groups);
+  gw.amp_fallback = amp_fallback_bwd;
+  t.kernels.push_back(gw);
+}
+
+namespace {
+void add_simple(IterationTrace& t, KernelClass cls, double elems,
+                double flops_per_elem, double bytes_per_elem, int reps) {
+  for (int r = 0; r < reps; ++r) {
+    Kernel k;
+    k.cls = cls;
+    k.flops = flops_per_elem * elems;
+    k.bytes = bytes_per_elem * elems;
+    k.ctas = elementwise_ctas(elems);
+    t.kernels.push_back(k);
+  }
+}
+}  // namespace
+
+void add_elementwise_fwd_bwd(IterationTrace& t, double elems) {
+  add_simple(t, KernelClass::kElementwise, elems, 1.0, 8.0, /*reps=*/2);
+}
+
+void add_norm_fwd_bwd(IterationTrace& t, double elems) {
+  // fwd: stats pass + normalize pass; bwd: two reduction passes.
+  add_simple(t, KernelClass::kNorm, elems, 4.0, 16.0, /*reps=*/2);
+}
+
+void add_pool_fwd_bwd(IterationTrace& t, double elems) {
+  add_simple(t, KernelClass::kPool, elems, 1.0, 8.0, /*reps=*/2);
+}
+
+void add_gather_fwd_bwd(IterationTrace& t, double elems) {
+  add_simple(t, KernelClass::kGather, elems, 0.5, 12.0, /*reps=*/2);
+}
+
+void add_optimizer(IterationTrace& t, double params) {
+  // Adam-style: read grad + 2 states + weight, write 3.
+  add_simple(t, KernelClass::kElementwise, params, 4.0, 28.0, /*reps=*/1);
+}
+
+}  // namespace hfta::sim

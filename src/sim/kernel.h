@@ -1,0 +1,80 @@
+// Kernel-level workload description: one training iteration of a model is
+// a trace of kernels, each carrying FLOPs, bytes moved, a parallelism
+// measure (CTA count), and GEMM dimensions (for tensor-core / systolic-
+// array shape-efficiency effects). Traces are built from the same layer
+// shapes as src/models (sim/workloads.h) and are linear in the fusion
+// array size B.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hfta::sim {
+
+enum class KernelClass {
+  kGemm,         // matmul / implicit-GEMM conv (TC-eligible)
+  kElementwise,  // activations, adds, dropout, optimizer updates
+  kNorm,         // batch/layer norm
+  kPool,         // pooling / reductions
+  kGather,       // embedding / concat / layout (poor fit for systolic arrays)
+};
+
+struct Kernel {
+  KernelClass cls = KernelClass::kElementwise;
+  double flops = 0;    // floating-point ops
+  double bytes = 0;    // DRAM traffic
+  int64_t ctas = 1;    // parallelism grain (thread blocks)
+  // Per-group GEMM dims (gemm class only); groups > 1 for grouped conv.
+  int64_t m = 0, n = 0, k = 0;
+  int64_t groups = 1;
+  bool tc_eligible = false;
+  // Models the A100 cuDNN AMP regression the paper hit in DCGAN's backward
+  // pass (Section 5.1, third observation): kernel falls back to FP32.
+  bool amp_fallback = false;
+};
+
+/// One training iteration (forward + backward + optimizer step).
+struct IterationTrace {
+  std::vector<Kernel> kernels;
+  double host_us = 0;          // host-side work per iteration
+  double samples = 32;         // samples per iteration (batch size)
+  double model_state_gb = 0;   // weights + grads + optimizer state, per model
+  // Framework-gap multiplier: how much per-op dispatch idle this workload's
+  // training loop adds relative to the device baseline (eager-mode Python
+  // loops with many small ops score high).
+  double gap_scale = 1.0;
+  // Per-step fixed overhead on TPU (PyTorch/XLA graph materialization,
+  // host<->device transfers, .item() graph breaks) — paid once per training
+  // step no matter how many models are fused into it.
+  double xla_step_us = 4000;
+  double activation_gb = 0;    // stashed activations, per model
+  int64_t array_size = 1;      // B (1 = unfused single model)
+};
+
+/// Appends forward+backward GEMM-class kernels for a (grouped) matmul of
+/// per-group dims [m x k] @ [k x n], `groups` groups. `io_elems`, when
+/// nonzero, is the true tensor I/O (input + output + weights) in elements —
+/// spatial convs reuse unfolded inputs through the cache, so their DRAM
+/// traffic is far below the naive mk+kn+mn formula.
+void add_gemm_fwd_bwd(IterationTrace& t, int64_t m, int64_t n, int64_t k,
+                      int64_t groups, bool tc_eligible = true,
+                      bool amp_fallback_bwd = false, double io_elems = 0);
+/// Elementwise op over `elems` scalars (fwd + bwd).
+void add_elementwise_fwd_bwd(IterationTrace& t, double elems);
+/// Normalization over `elems` scalars (fwd + bwd; two-pass reads).
+void add_norm_fwd_bwd(IterationTrace& t, double elems);
+/// Pool / reduction over `elems` scalars.
+void add_pool_fwd_bwd(IterationTrace& t, double elems);
+/// Gather-class op (embedding lookups, concats) over `elems` scalars.
+void add_gather_fwd_bwd(IterationTrace& t, double elems);
+/// Optimizer update over `params` scalars (Adam-style: 3 tensors touched).
+void add_optimizer(IterationTrace& t, double params);
+
+/// CTA count heuristics shared by the builders. GEMM grids include a
+/// split-k factor (as cuBLAS/cuDNN use for reduction-heavy shapes such as
+/// grad-weight kernels).
+int64_t gemm_ctas(int64_t m, int64_t n, int64_t k, int64_t groups);
+int64_t elementwise_ctas(double elems);
+
+}  // namespace hfta::sim

@@ -1,0 +1,357 @@
+#include "tensor/conv.h"
+
+#include <cstring>
+#include <vector>
+
+#include "core/parallel.h"
+#include "tensor/matmul.h"
+
+namespace hfta::ops {
+
+int64_t conv_out_size(int64_t in, int64_t kernel, int64_t stride, int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+int64_t conv_transpose_out_size(int64_t in, int64_t kernel, int64_t stride,
+                                int64_t pad, int64_t out_pad) {
+  return (in - 1) * stride - 2 * pad + kernel + out_pad;
+}
+
+namespace {
+
+// Unfolds the [C, H, W] block at `x` into cols [C*kh*kw, Ho*Wo].
+void im2col(const float* x, int64_t C, int64_t H, int64_t W, int64_t kh,
+            int64_t kw, int64_t sh, int64_t sw, int64_t ph, int64_t pw,
+            int64_t Ho, int64_t Wo, float* cols) {
+  for (int64_t c = 0; c < C; ++c) {
+    for (int64_t i = 0; i < kh; ++i) {
+      for (int64_t j = 0; j < kw; ++j) {
+        float* row = cols + ((c * kh + i) * kw + j) * Ho * Wo;
+        for (int64_t oh = 0; oh < Ho; ++oh) {
+          const int64_t ih = oh * sh - ph + i;
+          if (ih < 0 || ih >= H) {
+            std::memset(row + oh * Wo, 0, sizeof(float) * static_cast<size_t>(Wo));
+            continue;
+          }
+          const float* src = x + (c * H + ih) * W;
+          for (int64_t ow = 0; ow < Wo; ++ow) {
+            const int64_t iw = ow * sw - pw + j;
+            row[oh * Wo + ow] = (iw >= 0 && iw < W) ? src[iw] : 0.f;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Adjoint of im2col: accumulates cols [C*kh*kw, Ho*Wo] back into the
+// [C, H, W] block at `x`.
+void col2im(const float* cols, int64_t C, int64_t H, int64_t W, int64_t kh,
+            int64_t kw, int64_t sh, int64_t sw, int64_t ph, int64_t pw,
+            int64_t Ho, int64_t Wo, float* x) {
+  for (int64_t c = 0; c < C; ++c) {
+    for (int64_t i = 0; i < kh; ++i) {
+      for (int64_t j = 0; j < kw; ++j) {
+        const float* row = cols + ((c * kh + i) * kw + j) * Ho * Wo;
+        for (int64_t oh = 0; oh < Ho; ++oh) {
+          const int64_t ih = oh * sh - ph + i;
+          if (ih < 0 || ih >= H) continue;
+          float* dst = x + (c * H + ih) * W;
+          for (int64_t ow = 0; ow < Wo; ++ow) {
+            const int64_t iw = ow * sw - pw + j;
+            if (iw >= 0 && iw < W) dst[iw] += row[oh * Wo + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+struct ConvDims {
+  int64_t N, Cin, H, W, Cout, Cing, Coutg, kh, kw, Ho, Wo;
+};
+
+ConvDims check_conv(const Shape& x_shape, const Shape& w_shape,
+                    const ConvArgs& a) {
+  HFTA_CHECK(x_shape.size() == 4, "conv2d: x must be 4-D, got ",
+             shape_str(x_shape));
+  HFTA_CHECK(w_shape.size() == 4, "conv2d: w must be 4-D, got ",
+             shape_str(w_shape));
+  ConvDims d;
+  d.N = x_shape[0];
+  d.Cin = x_shape[1];
+  d.H = x_shape[2];
+  d.W = x_shape[3];
+  d.Cout = w_shape[0];
+  d.kh = w_shape[2];
+  d.kw = w_shape[3];
+  HFTA_CHECK(a.groups >= 1 && d.Cin % a.groups == 0 && d.Cout % a.groups == 0,
+             "conv2d: Cin ", d.Cin, " / Cout ", d.Cout,
+             " not divisible by groups ", a.groups);
+  d.Cing = d.Cin / a.groups;
+  d.Coutg = d.Cout / a.groups;
+  HFTA_CHECK(w_shape[1] == d.Cing, "conv2d: w Cin/g ", w_shape[1], " != ",
+             d.Cing);
+  d.Ho = conv_out_size(d.H, d.kh, a.stride_h, a.pad_h);
+  d.Wo = conv_out_size(d.W, d.kw, a.stride_w, a.pad_w);
+  HFTA_CHECK(d.Ho > 0 && d.Wo > 0, "conv2d: empty output ", d.Ho, "x", d.Wo);
+  return d;
+}
+
+}  // namespace
+
+Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
+              const ConvArgs& a) {
+  const ConvDims d = check_conv(x.shape(), w.shape(), a);
+  if (b.defined())
+    HFTA_CHECK(b.numel() == d.Cout, "conv2d: bias numel ", b.numel(), " != ",
+               d.Cout);
+  Tensor y({d.N, d.Cout, d.Ho, d.Wo});
+  const int64_t col_rows = d.Cing * d.kh * d.kw;
+  const int64_t spatial = d.Ho * d.Wo;
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pb = b.defined() ? b.data() : nullptr;
+  float* py = y.data();
+
+  parallel_for(0, d.N, [&](int64_t lo, int64_t hi) {
+    std::vector<float> cols(static_cast<size_t>(col_rows * spatial));
+    for (int64_t n = lo; n < hi; ++n) {
+      for (int64_t g = 0; g < a.groups; ++g) {
+        const float* xg = px + (n * d.Cin + g * d.Cing) * d.H * d.W;
+        im2col(xg, d.Cing, d.H, d.W, d.kh, d.kw, a.stride_h, a.stride_w,
+               a.pad_h, a.pad_w, d.Ho, d.Wo, cols.data());
+        float* yg = py + (n * d.Cout + g * d.Coutg) * spatial;
+        // [Coutg, col_rows] @ [col_rows, spatial]
+        gemm(pw + g * d.Coutg * col_rows, cols.data(), yg, d.Coutg, spatial,
+             col_rows, false, false);
+        if (pb) {
+          for (int64_t c = 0; c < d.Coutg; ++c) {
+            const float bv = pb[g * d.Coutg + c];
+            float* row = yg + c * spatial;
+            for (int64_t s = 0; s < spatial; ++s) row[s] += bv;
+          }
+        }
+      }
+    }
+  }, 1);
+  return y;
+}
+
+Tensor conv2d_grad_input(const Tensor& gy, const Tensor& w,
+                         const Shape& x_shape, const ConvArgs& a) {
+  const ConvDims d = check_conv(x_shape, w.shape(), a);
+  HFTA_CHECK(gy.size(0) == d.N && gy.size(1) == d.Cout && gy.size(2) == d.Ho &&
+                 gy.size(3) == d.Wo,
+             "conv2d_grad_input: gy shape ", shape_str(gy.shape()));
+  Tensor gx(x_shape);
+  const int64_t col_rows = d.Cing * d.kh * d.kw;
+  const int64_t spatial = d.Ho * d.Wo;
+  const float* pgy = gy.data();
+  const float* pw = w.data();
+  float* pgx = gx.data();
+
+  parallel_for(0, d.N, [&](int64_t lo, int64_t hi) {
+    std::vector<float> cols(static_cast<size_t>(col_rows * spatial));
+    for (int64_t n = lo; n < hi; ++n) {
+      for (int64_t g = 0; g < a.groups; ++g) {
+        const float* gyg = pgy + (n * d.Cout + g * d.Coutg) * spatial;
+        // cols = Wg^T [col_rows, Coutg] @ gy [Coutg, spatial]
+        gemm(pw + g * d.Coutg * col_rows, gyg, cols.data(), col_rows, spatial,
+             d.Coutg, true, false);
+        float* xg = pgx + (n * d.Cin + g * d.Cing) * d.H * d.W;
+        col2im(cols.data(), d.Cing, d.H, d.W, d.kh, d.kw, a.stride_h,
+               a.stride_w, a.pad_h, a.pad_w, d.Ho, d.Wo, xg);
+      }
+    }
+  }, 1);
+  return gx;
+}
+
+Tensor conv2d_grad_weight(const Tensor& gy, const Tensor& x,
+                          const Shape& w_shape, const ConvArgs& a) {
+  const ConvDims d = check_conv(x.shape(), w_shape, a);
+  Tensor gw(w_shape);
+  const int64_t col_rows = d.Cing * d.kh * d.kw;
+  const int64_t spatial = d.Ho * d.Wo;
+  const float* px = x.data();
+  const float* pgy = gy.data();
+  float* pgw = gw.data();
+
+  // Parallel over groups (race-free: each group owns a weight slice); fused
+  // workloads have many groups. For groups == 1 the inner GEMM itself is the
+  // dominant cost and still benefits from vectorization.
+  parallel_for(0, a.groups, [&](int64_t glo, int64_t ghi) {
+    std::vector<float> cols(static_cast<size_t>(col_rows * spatial));
+    for (int64_t g = glo; g < ghi; ++g) {
+      float* gwg = pgw + g * d.Coutg * col_rows;
+      for (int64_t n = 0; n < d.N; ++n) {
+        const float* xg = px + (n * d.Cin + g * d.Cing) * d.H * d.W;
+        im2col(xg, d.Cing, d.H, d.W, d.kh, d.kw, a.stride_h, a.stride_w,
+               a.pad_h, a.pad_w, d.Ho, d.Wo, cols.data());
+        const float* gyg = pgy + (n * d.Cout + g * d.Coutg) * spatial;
+        // gW += gy [Coutg, spatial] @ cols^T [spatial, col_rows]
+        gemm(gyg, cols.data(), gwg, d.Coutg, col_rows, spatial, false, true,
+             1.f, 1.f);
+      }
+    }
+  }, 1);
+  return gw;
+}
+
+Tensor conv2d_grad_bias(const Tensor& gy) {
+  const int64_t N = gy.size(0);
+  const int64_t C = gy.size(1);
+  const int64_t spatial = gy.numel() / (N * C);
+  Tensor gb({C});
+  const float* p = gy.data();
+  float* pb = gb.data();
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t c = 0; c < C; ++c) {
+      const float* row = p + (n * C + c) * spatial;
+      float acc = 0.f;
+      for (int64_t s = 0; s < spatial; ++s) acc += row[s];
+      pb[c] += acc;
+    }
+  }
+  return gb;
+}
+
+// ---- conv1d (lowered to conv2d with H = 1) ---------------------------------
+
+namespace {
+Shape as4d_x(const Shape& s) { return {s[0], s[1], 1, s[2]}; }
+Shape as4d_w(const Shape& s) { return {s[0], s[1], 1, s[2]}; }
+Shape as3d(const Shape& s) { return {s[0], s[1], s[3]}; }
+}  // namespace
+
+Tensor conv1d(const Tensor& x, const Tensor& w, const Tensor& b,
+              int64_t stride, int64_t pad, int64_t groups) {
+  HFTA_CHECK(x.dim() == 3 && w.dim() == 3, "conv1d: x [N,C,L], w [Co,Ci/g,k]");
+  ConvArgs a{1, stride, 0, pad, groups};
+  Tensor y = conv2d(x.reshape(as4d_x(x.shape())), w.reshape(as4d_w(w.shape())),
+                    b, a);
+  return y.reshape(as3d(y.shape()));
+}
+
+Tensor conv1d_grad_input(const Tensor& gy, const Tensor& w,
+                         const Shape& x_shape, int64_t stride, int64_t pad,
+                         int64_t groups) {
+  ConvArgs a{1, stride, 0, pad, groups};
+  Tensor gx = conv2d_grad_input(gy.reshape(as4d_x(gy.shape())),
+                                w.reshape(as4d_w(w.shape())),
+                                as4d_x(x_shape), a);
+  return gx.reshape(as3d(gx.shape()));
+}
+
+Tensor conv1d_grad_weight(const Tensor& gy, const Tensor& x,
+                          const Shape& w_shape, int64_t stride, int64_t pad,
+                          int64_t groups) {
+  ConvArgs a{1, stride, 0, pad, groups};
+  Tensor gw = conv2d_grad_weight(gy.reshape(as4d_x(gy.shape())),
+                                 x.reshape(as4d_x(x.shape())),
+                                 as4d_w(w_shape), a);
+  return gw.reshape(w_shape);
+}
+
+// ---- conv_transpose2d (via conv/conv-grad duality) ---------------------------
+
+Tensor conv_transpose2d(const Tensor& x, const Tensor& w, const Tensor& b,
+                        const ConvTransposeArgs& t) {
+  HFTA_CHECK(x.dim() == 4 && w.dim() == 4,
+             "conv_transpose2d: x [N,Ci,H,W], w [Ci,Co/g,kh,kw]");
+  HFTA_CHECK(t.out_pad < t.stride, "conv_transpose2d: out_pad must be < stride");
+  const int64_t N = x.size(0);
+  const int64_t Cin = x.size(1);
+  HFTA_CHECK(w.size(0) == Cin, "conv_transpose2d: w Cin mismatch");
+  const int64_t Cout = w.size(1) * t.groups;
+  const int64_t kh = w.size(2);
+  const int64_t kw = w.size(3);
+  const int64_t Ho = conv_transpose_out_size(x.size(2), kh, t.stride, t.pad,
+                                             t.out_pad);
+  const int64_t Wo = conv_transpose_out_size(x.size(3), kw, t.stride, t.pad,
+                                             t.out_pad);
+  // convT(x, w) == conv_grad_input treating x as the conv's output gradient:
+  // the underlying conv maps [N, Cout, Ho, Wo] -> [N, Cin, H, W].
+  const ConvArgs a{t.stride, t.stride, t.pad, t.pad, t.groups};
+  Tensor y = conv2d_grad_input(x, w, {N, Cout, Ho, Wo}, a);
+  if (b.defined()) {
+    HFTA_CHECK(b.numel() == Cout, "conv_transpose2d: bias mismatch");
+    float* py = y.data();
+    const float* pb = b.data();
+    const int64_t spatial = Ho * Wo;
+    for (int64_t n = 0; n < N; ++n)
+      for (int64_t c = 0; c < Cout; ++c) {
+        float* row = py + (n * Cout + c) * spatial;
+        for (int64_t s = 0; s < spatial; ++s) row[s] += pb[c];
+      }
+  }
+  return y;
+}
+
+Tensor conv_transpose2d_grad_input(const Tensor& gy, const Tensor& w,
+                                   const ConvTransposeArgs& t) {
+  // Adjoint of conv_grad_input is conv forward.
+  const ConvArgs a{t.stride, t.stride, t.pad, t.pad, t.groups};
+  return conv2d(gy, w, Tensor(), a);
+}
+
+Tensor conv_transpose2d_grad_weight(const Tensor& gy, const Tensor& x,
+                                    const Shape& w_shape,
+                                    const ConvTransposeArgs& t) {
+  // Roles swap: the convT input x plays the conv's grad_output, the convT
+  // output gradient gy plays the conv's input.
+  const ConvArgs a{t.stride, t.stride, t.pad, t.pad, t.groups};
+  return conv2d_grad_weight(x, gy, w_shape, a);
+}
+
+// The 1-D lowering keeps the dummy H axis at stride 1 / pad 0, so it goes
+// through the conv/conv-grad duality directly rather than through
+// conv_transpose2d (whose scalar stride/pad apply to both axes).
+Tensor conv_transpose1d(const Tensor& x, const Tensor& w, const Tensor& b,
+                        const ConvTransposeArgs& t) {
+  HFTA_CHECK(x.dim() == 3 && w.dim() == 3,
+             "conv_transpose1d: x [N,Ci,L], w [Ci,Co/g,k]");
+  HFTA_CHECK(t.out_pad < t.stride, "conv_transpose1d: out_pad must be < stride");
+  const int64_t N = x.size(0);
+  const int64_t Cout = w.size(1) * t.groups;
+  const int64_t k = w.size(2);
+  const int64_t Lo =
+      conv_transpose_out_size(x.size(2), k, t.stride, t.pad, t.out_pad);
+  const ConvArgs a{1, t.stride, 0, t.pad, t.groups};
+  Tensor y = conv2d_grad_input(x.reshape(as4d_x(x.shape())),
+                               w.reshape(as4d_w(w.shape())),
+                               {N, Cout, 1, Lo}, a);
+  y = y.reshape(as3d(y.shape()));
+  if (b.defined()) {
+    HFTA_CHECK(b.numel() == Cout, "conv_transpose1d: bias mismatch");
+    float* py = y.data();
+    const float* pb = b.data();
+    for (int64_t n = 0; n < N; ++n)
+      for (int64_t c = 0; c < Cout; ++c) {
+        float* row = py + (n * Cout + c) * Lo;
+        for (int64_t l = 0; l < Lo; ++l) row[l] += pb[c];
+      }
+  }
+  return y;
+}
+
+Tensor conv_transpose1d_grad_input(const Tensor& gy, const Tensor& w,
+                                   const ConvTransposeArgs& t) {
+  const ConvArgs a{1, t.stride, 0, t.pad, t.groups};
+  Tensor gx = conv2d(gy.reshape(as4d_x(gy.shape())),
+                     w.reshape(as4d_w(w.shape())), Tensor(), a);
+  return gx.reshape(as3d(gx.shape()));
+}
+
+Tensor conv_transpose1d_grad_weight(const Tensor& gy, const Tensor& x,
+                                    const Shape& w_shape,
+                                    const ConvTransposeArgs& t) {
+  const ConvArgs a{1, t.stride, 0, t.pad, t.groups};
+  Tensor gw = conv2d_grad_weight(x.reshape(as4d_x(x.shape())),
+                                 gy.reshape(as4d_x(gy.shape())),
+                                 as4d_w(w_shape), a);
+  return gw.reshape(w_shape);
+}
+
+}  // namespace hfta::ops

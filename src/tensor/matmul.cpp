@@ -1,0 +1,144 @@
+#include "tensor/matmul.h"
+
+#include <cstring>
+
+#include "core/parallel.h"
+#include "tensor/ops.h"
+
+namespace hfta::ops {
+
+namespace {
+
+// Core row-parallel kernel: C[M,N] = alpha * A@B (+ beta*C), A row-major
+// [M,K], B row-major [K,N]. i-k-j loop order keeps the inner loop
+// unit-stride over both B and C so the compiler can vectorize it.
+void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t n,
+             int64_t k, float alpha, float beta) {
+  parallel_for(0, m, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      float* crow = c + i * n;
+      if (beta == 0.f) {
+        std::memset(crow, 0, sizeof(float) * static_cast<size_t>(n));
+      } else if (beta != 1.f) {
+        for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+      }
+      const float* arow = a + i * k;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = alpha * arow[p];
+        if (av == 0.f) continue;
+        const float* brow = b + p * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }, 1);
+}
+
+// Materializes the transpose of a row-major [r, c] matrix.
+std::vector<float> transpose_copy(const float* src, int64_t r, int64_t c) {
+  std::vector<float> out(static_cast<size_t>(r * c));
+  for (int64_t i = 0; i < r; ++i)
+    for (int64_t j = 0; j < c; ++j) out[static_cast<size_t>(j * r + i)] = src[i * c + j];
+  return out;
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
+          int64_t k, bool trans_a, bool trans_b, float alpha, float beta) {
+  // Normalize to NN by materializing transposed operands; the O(MK)/O(KN)
+  // copies are negligible next to the O(MNK) product at our sizes.
+  std::vector<float> at, bt;
+  if (trans_a) {
+    at = transpose_copy(a, k, m);  // stored as [K, M] -> want [M, K]
+    a = at.data();
+  }
+  if (trans_b) {
+    bt = transpose_copy(b, n, k);  // stored as [N, K] -> want [K, N]
+    b = bt.data();
+  }
+  gemm_nn(a, b, c, m, n, k, alpha, beta);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  HFTA_CHECK(a.dim() == 2 && b.dim() == 2 && a.size(1) == b.size(0),
+             "matmul: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
+  Tensor c({a.size(0), b.size(1)});
+  gemm(a.data(), b.data(), c.data(), a.size(0), b.size(1), a.size(1), false,
+       false);
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  HFTA_CHECK(a.dim() == 2 && b.dim() == 2 && a.size(0) == b.size(0),
+             "matmul_tn: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
+  Tensor c({a.size(1), b.size(1)});
+  gemm(a.data(), b.data(), c.data(), a.size(1), b.size(1), a.size(0), true,
+       false);
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  HFTA_CHECK(a.dim() == 2 && b.dim() == 2 && a.size(1) == b.size(1),
+             "matmul_nt: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
+  Tensor c({a.size(0), b.size(0)});
+  gemm(a.data(), b.data(), c.data(), a.size(0), b.size(0), a.size(1), false,
+       true);
+  return c;
+}
+
+namespace {
+Tensor bmm_impl(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  HFTA_CHECK(a.dim() == 3 && b.dim() == 3 && a.size(0) == b.size(0),
+             "bmm: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
+  const int64_t B = a.size(0);
+  const int64_t m = ta ? a.size(2) : a.size(1);
+  const int64_t ka = ta ? a.size(1) : a.size(2);
+  const int64_t kb = tb ? b.size(2) : b.size(1);
+  const int64_t n = tb ? b.size(1) : b.size(2);
+  HFTA_CHECK(ka == kb, "bmm: inner dim mismatch ", ka, " vs ", kb);
+  Tensor c({B, m, n});
+  const int64_t a_sz = a.size(1) * a.size(2);
+  const int64_t b_sz = b.size(1) * b.size(2);
+  // Parallelize across batch entries; the per-matrix gemm runs inline when
+  // called from the pool (no nested parallelism).
+  parallel_for(0, B, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      gemm(a.data() + i * a_sz, b.data() + i * b_sz, c.data() + i * m * n, m,
+           n, ka, ta, tb);
+    }
+  }, 1);
+  return c;
+}
+}  // namespace
+
+Tensor bmm(const Tensor& a, const Tensor& b) { return bmm_impl(a, b, false, false); }
+Tensor bmm_tn(const Tensor& a, const Tensor& b) { return bmm_impl(a, b, true, false); }
+Tensor bmm_nt(const Tensor& a, const Tensor& b) { return bmm_impl(a, b, false, true); }
+
+Tensor baddbmm(const Tensor& bias, const Tensor& a, const Tensor& b) {
+  Tensor c = bmm(a, b);
+  return ops::add(c, bias);
+}
+
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b) {
+  HFTA_CHECK(w.dim() == 2, "linear: weight must be [out, in]");
+  const int64_t in = w.size(1);
+  const int64_t out = w.size(0);
+  HFTA_CHECK(x.size(-1) == in, "linear: input feature ", x.size(-1),
+             " != weight in ", in);
+  const int64_t rows = x.numel() / in;
+  Tensor x2 = x.reshape({rows, in});
+  Tensor y = matmul_nt(x2, w);  // [rows, out]
+  if (b.defined()) {
+    HFTA_CHECK(b.numel() == out, "linear: bias size mismatch");
+    float* py = y.data();
+    const float* pb = b.data();
+    for (int64_t r = 0; r < rows; ++r)
+      for (int64_t o = 0; o < out; ++o) py[r * out + o] += pb[o];
+  }
+  Shape out_shape = x.shape();
+  out_shape.back() = out;
+  return y.reshape(out_shape);
+}
+
+}  // namespace hfta::ops

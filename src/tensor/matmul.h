@@ -1,0 +1,37 @@
+// GEMM-family kernels: matmul, batched matmul, baddbmm (the kernel the
+// paper's fused Linear lowers to), and the raw gemm used by the conv
+// implementation.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace hfta::ops {
+
+/// C[M,N] (+)= alpha * A[M,K] @ B[K,N]; when beta == 0 C is overwritten,
+/// when beta == 1 C is accumulated into. A/B may be logically transposed.
+void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
+          int64_t k, bool trans_a, bool trans_b, float alpha = 1.f,
+          float beta = 0.f);
+
+/// [M,K] @ [K,N] -> [M,N].
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// [M,K]^T-aware product: a [K,M] treated as transposed.
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// a [M,K] @ b[N,K]^T -> [M,N].
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+/// [B,M,K] @ [B,K,N] -> [B,M,N].
+Tensor bmm(const Tensor& a, const Tensor& b);
+/// bmm with a transposed: a [B,K,M].
+Tensor bmm_tn(const Tensor& a, const Tensor& b);
+/// bmm with b transposed: b [B,N,K].
+Tensor bmm_nt(const Tensor& a, const Tensor& b);
+
+/// bias [B,1,N] (or broadcastable to [B,M,N]) + [B,M,K] @ [B,K,N].
+/// This is the fused-Linear kernel of the paper (Appendix B, row Linear).
+Tensor baddbmm(const Tensor& bias, const Tensor& a, const Tensor& b);
+
+/// PyTorch-convention linear: x [.., in] @ w[out, in]^T + b[out].
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b);
+
+}  // namespace hfta::ops

@@ -1,0 +1,508 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/parallel.h"
+
+namespace hfta::ops {
+
+namespace {
+
+// Pads `s` on the left with 1s to rank `nd`.
+Shape pad_shape(const Shape& s, int64_t nd) {
+  Shape out(static_cast<size_t>(nd), 1);
+  std::copy(s.begin(), s.end(), out.end() - static_cast<int64_t>(s.size()));
+  return out;
+}
+
+// Row-major strides; stride 0 where the dim is broadcast (size 1 vs out > 1).
+std::vector<int64_t> broadcast_strides(const Shape& padded, const Shape& out) {
+  const size_t nd = out.size();
+  std::vector<int64_t> strides(nd, 0);
+  int64_t s = 1;
+  for (int64_t i = static_cast<int64_t>(nd) - 1; i >= 0; --i) {
+    const size_t ui = static_cast<size_t>(i);
+    if (padded[ui] == out[ui]) {
+      strides[ui] = (padded[ui] == 1) ? 0 : s;
+    } else {
+      strides[ui] = 0;  // padded[ui] == 1, broadcast
+    }
+    s *= padded[ui];
+  }
+  return strides;
+}
+
+}  // namespace
+
+Shape broadcast_shapes(const Shape& a, const Shape& b) {
+  const int64_t nd = std::max<int64_t>(static_cast<int64_t>(a.size()),
+                                       static_cast<int64_t>(b.size()));
+  const Shape pa = pad_shape(a, nd);
+  const Shape pb = pad_shape(b, nd);
+  Shape out(static_cast<size_t>(nd));
+  for (int64_t i = 0; i < nd; ++i) {
+    const size_t ui = static_cast<size_t>(i);
+    HFTA_CHECK(pa[ui] == pb[ui] || pa[ui] == 1 || pb[ui] == 1,
+               "cannot broadcast ", shape_str(a), " with ", shape_str(b));
+    out[ui] = std::max(pa[ui], pb[ui]);
+  }
+  return out;
+}
+
+Tensor binary(const Tensor& a, const Tensor& b, float (*fn)(float, float)) {
+  HFTA_CHECK(a.defined() && b.defined(), "binary op on undefined tensor");
+  // Fast path: identical shapes.
+  if (a.shape() == b.shape()) {
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = out.numel();
+    parallel_for(0, n, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], pb[i]);
+    }, 1 << 15);
+    return out;
+  }
+  const Shape out_shape = broadcast_shapes(a.shape(), b.shape());
+  const int64_t nd = static_cast<int64_t>(out_shape.size());
+  const auto sa = broadcast_strides(pad_shape(a.shape(), nd), out_shape);
+  const auto sb = broadcast_strides(pad_shape(b.shape(), nd), out_shape);
+  Tensor out(out_shape);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
+  int64_t oa = 0, ob = 0;
+  for (int64_t flat = 0; flat < n; ++flat) {
+    po[flat] = fn(pa[oa], pb[ob]);
+    for (int64_t d = nd - 1; d >= 0; --d) {
+      const size_t ud = static_cast<size_t>(d);
+      oa += sa[ud];
+      ob += sb[ud];
+      if (++idx[ud] < out_shape[ud]) break;
+      idx[ud] = 0;
+      oa -= sa[ud] * out_shape[ud];
+      ob -= sb[ud] * out_shape[ud];
+    }
+  }
+  return out;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return x + y; });
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return x - y; });
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return x * y; });
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return x / y; });
+}
+Tensor maximum(const Tensor& a, const Tensor& b) {
+  return binary(a, b, [](float x, float y) { return x > y ? x : y; });
+}
+
+Tensor reduce_to_shape(const Tensor& grad, const Shape& shape) {
+  if (grad.shape() == shape) return grad;
+  const int64_t nd = grad.dim();
+  const Shape padded = pad_shape(shape, nd);
+  std::vector<int64_t> dims;
+  for (int64_t i = 0; i < nd; ++i) {
+    if (padded[static_cast<size_t>(i)] == 1 && grad.size(i) != 1)
+      dims.push_back(i);
+  }
+  Tensor r = dims.empty() ? grad : sum(grad, dims, /*keepdim=*/true);
+  return r.reshape(shape);
+}
+
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x + s; });
+}
+Tensor mul_scalar(const Tensor& a, float s) {
+  return unary(a, [s](float x) { return x * s; });
+}
+
+Tensor unary(const Tensor& a, const std::function<float(float)>& fn) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const int64_t n = a.numel();
+  parallel_for(0, n, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i]);
+  }, 1 << 15);
+  return out;
+}
+
+Tensor neg(const Tensor& a) { return unary(a, [](float x) { return -x; }); }
+Tensor exp(const Tensor& a) { return unary(a, [](float x) { return std::exp(x); }); }
+Tensor log(const Tensor& a) { return unary(a, [](float x) { return std::log(x); }); }
+Tensor sqrt(const Tensor& a) { return unary(a, [](float x) { return std::sqrt(x); }); }
+Tensor tanh(const Tensor& a) { return unary(a, [](float x) { return std::tanh(x); }); }
+Tensor sigmoid(const Tensor& a) {
+  return unary(a, [](float x) { return 1.f / (1.f + std::exp(-x)); });
+}
+Tensor relu(const Tensor& a) {
+  return unary(a, [](float x) { return x > 0.f ? x : 0.f; });
+}
+Tensor clamp(const Tensor& a, float lo, float hi) {
+  return unary(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
+}
+Tensor leaky_relu(const Tensor& a, float slope) {
+  return unary(a, [slope](float x) { return x > 0.f ? x : slope * x; });
+}
+Tensor pow_scalar(const Tensor& a, float p) {
+  return unary(a, [p](float x) { return std::pow(x, p); });
+}
+Tensor abs(const Tensor& a) {
+  return unary(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+  const int64_t nd = a.dim();
+  std::vector<bool> reduce(static_cast<size_t>(nd), false);
+  for (int64_t d : dims) {
+    if (d < 0) d += nd;
+    HFTA_CHECK(d >= 0 && d < nd, "sum: dim out of range");
+    reduce[static_cast<size_t>(d)] = true;
+  }
+  Shape out_shape;
+  for (int64_t i = 0; i < nd; ++i) {
+    const bool r = reduce[static_cast<size_t>(i)];
+    if (r && keepdim) out_shape.push_back(1);
+    if (!r) out_shape.push_back(a.size(i));
+  }
+  Tensor out(out_shape.empty() ? Shape{} : out_shape);
+  // Strides of the kept dims inside the output.
+  std::vector<int64_t> out_strides(static_cast<size_t>(nd), 0);
+  int64_t s = 1;
+  for (int64_t i = nd - 1; i >= 0; --i) {
+    const size_t ui = static_cast<size_t>(i);
+    if (!reduce[ui]) {
+      out_strides[ui] = s;
+      s *= a.size(i);
+    }
+  }
+  const float* pa = a.data();
+  float* po = out.data();
+  std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
+  int64_t off = 0;
+  const int64_t n = a.numel();
+  for (int64_t flat = 0; flat < n; ++flat) {
+    po[off] += pa[flat];
+    for (int64_t d = nd - 1; d >= 0; --d) {
+      const size_t ud = static_cast<size_t>(d);
+      off += out_strides[ud];
+      if (++idx[ud] < a.size(d)) break;
+      idx[ud] = 0;
+      off -= out_strides[ud] * a.size(d);
+    }
+  }
+  return out;
+}
+
+Tensor sum_all(const Tensor& a) {
+  const float* p = a.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
+  Tensor out(Shape{});
+  out.data()[0] = static_cast<float>(acc);
+  return out;
+}
+
+Tensor mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
+  int64_t count = 1;
+  const int64_t nd = a.dim();
+  for (int64_t d : dims) {
+    if (d < 0) d += nd;
+    count *= a.size(d);
+  }
+  Tensor s = sum(a, std::move(dims), keepdim);
+  s.mul_(1.f / static_cast<float>(count));
+  return s;
+}
+
+Tensor mean_all(const Tensor& a) {
+  Tensor s = sum_all(a);
+  s.mul_(1.f / static_cast<float>(a.numel()));
+  return s;
+}
+
+std::pair<Tensor, Tensor> max_dim(const Tensor& a, int64_t dim, bool keepdim) {
+  const int64_t nd = a.dim();
+  if (dim < 0) dim += nd;
+  HFTA_CHECK(dim >= 0 && dim < nd, "max_dim: dim out of range");
+  int64_t outer = 1, inner = 1;
+  const int64_t n = a.size(dim);
+  for (int64_t i = 0; i < dim; ++i) outer *= a.size(i);
+  for (int64_t i = dim + 1; i < nd; ++i) inner *= a.size(i);
+  Shape out_shape;
+  for (int64_t i = 0; i < nd; ++i) {
+    if (i == dim) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(a.size(i));
+    }
+  }
+  Tensor values(out_shape.empty() ? Shape{} : out_shape);
+  Tensor indices(values.shape());
+  const float* pa = a.data();
+  float* pv = values.data();
+  float* pi = indices.data();
+  parallel_for(0, outer, [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      for (int64_t in = 0; in < inner; ++in) {
+        float best = pa[(o * n) * inner + in];
+        int64_t best_i = 0;
+        for (int64_t k = 1; k < n; ++k) {
+          const float v = pa[(o * n + k) * inner + in];
+          if (v > best) {
+            best = v;
+            best_i = k;
+          }
+        }
+        pv[o * inner + in] = best;
+        pi[o * inner + in] = static_cast<float>(best_i);
+      }
+    }
+  }, 1);
+  return {values, indices};
+}
+
+Tensor argmax(const Tensor& a, int64_t dim) {
+  return max_dim(a, dim, /*keepdim=*/false).second;
+}
+
+Tensor concat(const std::vector<Tensor>& ts, int64_t dim) {
+  HFTA_CHECK(!ts.empty(), "concat of empty list");
+  const int64_t nd = ts[0].dim();
+  if (dim < 0) dim += nd;
+  HFTA_CHECK(dim >= 0 && dim < nd, "concat: dim out of range");
+  Shape out_shape = ts[0].shape();
+  int64_t total = 0;
+  for (const Tensor& t : ts) {
+    HFTA_CHECK(t.dim() == nd, "concat: rank mismatch");
+    for (int64_t i = 0; i < nd; ++i) {
+      if (i != dim)
+        HFTA_CHECK(t.size(i) == out_shape[static_cast<size_t>(i)],
+                   "concat: shape mismatch at dim ", i);
+    }
+    total += t.size(dim);
+  }
+  out_shape[static_cast<size_t>(dim)] = total;
+  Tensor out(out_shape);
+  int64_t outer = 1, inner = 1;
+  for (int64_t i = 0; i < dim; ++i) outer *= out_shape[static_cast<size_t>(i)];
+  for (int64_t i = dim + 1; i < nd; ++i) inner *= out_shape[static_cast<size_t>(i)];
+  float* dst = out.data();
+  int64_t row_off = 0;
+  for (const Tensor& t : ts) {
+    const int64_t rows = t.size(dim);
+    const float* src = t.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::memcpy(dst + (o * total + row_off) * inner, src + o * rows * inner,
+                  sizeof(float) * static_cast<size_t>(rows * inner));
+    }
+    row_off += rows;
+  }
+  return out;
+}
+
+std::vector<Tensor> split(const Tensor& t, const std::vector<int64_t>& sizes,
+                          int64_t dim) {
+  const int64_t nd = t.dim();
+  if (dim < 0) dim += nd;
+  int64_t total = 0;
+  for (int64_t s : sizes) total += s;
+  HFTA_CHECK(total == t.size(dim), "split: sizes sum ", total, " != dim size ",
+             t.size(dim));
+  std::vector<Tensor> out;
+  int64_t start = 0;
+  for (int64_t s : sizes) {
+    out.push_back(t.slice(dim, start, start + s));
+    start += s;
+  }
+  return out;
+}
+
+std::vector<Tensor> chunk(const Tensor& t, int64_t chunks, int64_t dim) {
+  const int64_t nd = t.dim();
+  int64_t d = dim < 0 ? dim + nd : dim;
+  HFTA_CHECK(t.size(d) % chunks == 0, "chunk: ", t.size(d),
+             " not divisible by ", chunks);
+  return split(t, std::vector<int64_t>(static_cast<size_t>(chunks),
+                                       t.size(d) / chunks), d);
+}
+
+Tensor index_select(const Tensor& t, int64_t dim,
+                    const std::vector<int64_t>& indices) {
+  const int64_t nd = t.dim();
+  if (dim < 0) dim += nd;
+  Shape out_shape = t.shape();
+  out_shape[static_cast<size_t>(dim)] = static_cast<int64_t>(indices.size());
+  Tensor out(out_shape);
+  int64_t outer = 1, inner = 1;
+  const int64_t n = t.size(dim);
+  for (int64_t i = 0; i < dim; ++i) outer *= t.size(i);
+  for (int64_t i = dim + 1; i < nd; ++i) inner *= t.size(i);
+  const float* src = t.data();
+  float* dst = out.data();
+  const int64_t rows = static_cast<int64_t>(indices.size());
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t r = 0; r < rows; ++r) {
+      const int64_t i = indices[static_cast<size_t>(r)];
+      HFTA_CHECK(i >= 0 && i < n, "index_select: index ", i, " out of range");
+      std::memcpy(dst + (o * rows + r) * inner, src + (o * n + i) * inner,
+                  sizeof(float) * static_cast<size_t>(inner));
+    }
+  }
+  return out;
+}
+
+Tensor stack_repeat(const Tensor& t, int64_t reps) {
+  Shape out_shape = t.shape();
+  out_shape.insert(out_shape.begin(), reps);
+  Tensor out(out_shape);
+  float* dst = out.data();
+  for (int64_t r = 0; r < reps; ++r)
+    std::memcpy(dst + r * t.numel(), t.data(),
+                sizeof(float) * static_cast<size_t>(t.numel()));
+  return out;
+}
+
+namespace {
+// Applies fn(row_in, row_out, n) over rows of a [outer, n, inner] view.
+template <typename Fn>
+void rowwise(const Tensor& a, int64_t dim, Tensor& out, Fn fn) {
+  const int64_t nd = a.dim();
+  int64_t outer = 1, inner = 1;
+  const int64_t n = a.size(dim);
+  for (int64_t i = 0; i < dim; ++i) outer *= a.size(i);
+  for (int64_t i = dim + 1; i < nd; ++i) inner *= a.size(i);
+  const float* pa = a.data();
+  float* po = out.data();
+  parallel_for(0, outer * inner, [&](int64_t lo, int64_t hi) {
+    for (int64_t oi = lo; oi < hi; ++oi) {
+      const int64_t o = oi / inner;
+      const int64_t in = oi % inner;
+      fn(pa + (o * n) * inner + in, po + (o * n) * inner + in, n, inner);
+    }
+  }, 64);
+}
+}  // namespace
+
+Tensor softmax(const Tensor& a, int64_t dim) {
+  if (dim < 0) dim += a.dim();
+  Tensor out(a.shape());
+  rowwise(a, dim, out, [](const float* x, float* y, int64_t n, int64_t st) {
+    float mx = x[0];
+    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, x[i * st]);
+    float z = 0.f;
+    for (int64_t i = 0; i < n; ++i) {
+      y[i * st] = std::exp(x[i * st] - mx);
+      z += y[i * st];
+    }
+    const float inv = 1.f / z;
+    for (int64_t i = 0; i < n; ++i) y[i * st] *= inv;
+  });
+  return out;
+}
+
+Tensor log_softmax(const Tensor& a, int64_t dim) {
+  if (dim < 0) dim += a.dim();
+  Tensor out(a.shape());
+  rowwise(a, dim, out, [](const float* x, float* y, int64_t n, int64_t st) {
+    float mx = x[0];
+    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, x[i * st]);
+    float z = 0.f;
+    for (int64_t i = 0; i < n; ++i) z += std::exp(x[i * st] - mx);
+    const float lse = mx + std::log(z);
+    for (int64_t i = 0; i < n; ++i) y[i * st] = x[i * st] - lse;
+  });
+  return out;
+}
+
+Tensor log_softmax_backward(const Tensor& gy, const Tensor& log_probs,
+                            int64_t dim) {
+  if (dim < 0) dim += gy.dim();
+  Tensor sum_gy = sum(gy, {dim}, /*keepdim=*/true);
+  // gx = gy - exp(log_probs) * sum(gy)
+  return sub(gy, mul(exp(log_probs), sum_gy));
+}
+
+Tensor softmax_backward(const Tensor& gy, const Tensor& y, int64_t dim) {
+  if (dim < 0) dim += gy.dim();
+  Tensor dot = sum(mul(gy, y), {dim}, /*keepdim=*/true);
+  return mul(y, sub(gy, dot));
+}
+
+Tensor embedding(const Tensor& indices, const Tensor& weight) {
+  HFTA_CHECK(weight.dim() == 2, "embedding weight must be [V, E]");
+  const int64_t V = weight.size(0);
+  const int64_t E = weight.size(1);
+  Shape out_shape = indices.shape();
+  out_shape.push_back(E);
+  Tensor out(out_shape);
+  const float* pi = indices.data();
+  const float* pw = weight.data();
+  float* po = out.data();
+  const int64_t n = indices.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t v = static_cast<int64_t>(pi[i]);
+    HFTA_CHECK(v >= 0 && v < V, "embedding: index ", v, " out of vocab ", V);
+    std::memcpy(po + i * E, pw + v * E, sizeof(float) * static_cast<size_t>(E));
+  }
+  return out;
+}
+
+Tensor embedding_backward(const Tensor& grad_out, const Tensor& indices,
+                          int64_t vocab) {
+  const int64_t E = grad_out.size(-1);
+  Tensor gw({vocab, E});
+  const float* pg = grad_out.data();
+  const float* pi = indices.data();
+  float* pw = gw.data();
+  const int64_t n = indices.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t v = static_cast<int64_t>(pi[i]);
+    float* row = pw + v * E;
+    const float* g = pg + i * E;
+    for (int64_t e = 0; e < E; ++e) row[e] += g[e];
+  }
+  return gw;
+}
+
+double accuracy(const Tensor& logits, const Tensor& labels) {
+  Tensor pred = argmax(logits, -1);
+  HFTA_CHECK(pred.numel() == labels.numel(), "accuracy: shape mismatch");
+  const float* pp = pred.data();
+  const float* pl = labels.data();
+  int64_t hit = 0;
+  for (int64_t i = 0; i < pred.numel(); ++i) {
+    if (static_cast<int64_t>(pp[i]) == static_cast<int64_t>(pl[i])) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(pred.numel());
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  HFTA_CHECK(a.numel() == b.numel(), "max_abs_diff: numel mismatch");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float m = 0.f;
+  for (int64_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(pa[i] - pb[i]));
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  const float* pb = b.data();
+  float scale = 0.f;
+  for (int64_t i = 0; i < b.numel(); ++i) scale = std::max(scale, std::fabs(pb[i]));
+  return max_abs_diff(a, b) <= atol + rtol * scale;
+}
+
+}  // namespace hfta::ops

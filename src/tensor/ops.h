@@ -1,0 +1,108 @@
+// Non-differentiable tensor kernels: elementwise (with full numpy-style
+// broadcasting), reductions, shape ops, softmax, embedding lookup.
+// The autograd layer (src/autograd) wraps these with backward rules.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hfta::ops {
+
+// ---- broadcasting ----------------------------------------------------------
+
+/// Broadcast result shape of a and b; throws on incompatibility.
+Shape broadcast_shapes(const Shape& a, const Shape& b);
+
+/// Elementwise binary op with broadcasting.
+Tensor binary(const Tensor& a, const Tensor& b, float (*fn)(float, float));
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+Tensor maximum(const Tensor& a, const Tensor& b);
+
+/// Sums `grad` down to `shape` (inverse of broadcasting) — used by the
+/// backward of broadcasting binary ops.
+Tensor reduce_to_shape(const Tensor& grad, const Shape& shape);
+
+// ---- scalar / unary ---------------------------------------------------------
+
+Tensor add_scalar(const Tensor& a, float s);
+Tensor mul_scalar(const Tensor& a, float s);
+/// Elementwise map.
+Tensor unary(const Tensor& a, const std::function<float(float)>& fn);
+Tensor neg(const Tensor& a);
+Tensor exp(const Tensor& a);
+Tensor log(const Tensor& a);
+Tensor sqrt(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor relu(const Tensor& a);
+Tensor clamp(const Tensor& a, float lo, float hi);
+Tensor leaky_relu(const Tensor& a, float slope);
+Tensor pow_scalar(const Tensor& a, float p);
+Tensor abs(const Tensor& a);
+
+// ---- reductions -------------------------------------------------------------
+
+/// Sum over `dims` (each in [0, rank)); keepdim keeps size-1 dims.
+Tensor sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim);
+/// Sum of everything -> scalar tensor (shape {}).
+Tensor sum_all(const Tensor& a);
+Tensor mean(const Tensor& a, std::vector<int64_t> dims, bool keepdim);
+Tensor mean_all(const Tensor& a);
+/// Max over one dim; returns {values, indices} (indices stored as floats).
+std::pair<Tensor, Tensor> max_dim(const Tensor& a, int64_t dim, bool keepdim);
+/// Argmax over one dim (indices as floats).
+Tensor argmax(const Tensor& a, int64_t dim);
+
+// ---- shape ops ---------------------------------------------------------------
+
+/// Concatenate along `dim`; all other dims must match.
+Tensor concat(const std::vector<Tensor>& ts, int64_t dim);
+/// Split into pieces of the given sizes along `dim`.
+std::vector<Tensor> split(const Tensor& t, const std::vector<int64_t>& sizes,
+                          int64_t dim);
+/// Split into `chunks` equal pieces along `dim` (must divide evenly).
+std::vector<Tensor> chunk(const Tensor& t, int64_t chunks, int64_t dim);
+/// Gather rows along `dim` by integer indices.
+Tensor index_select(const Tensor& t, int64_t dim,
+                    const std::vector<int64_t>& indices);
+/// Repeats the whole tensor `reps` times along a new leading dim.
+Tensor stack_repeat(const Tensor& t, int64_t reps);
+
+// ---- softmax family -----------------------------------------------------------
+
+Tensor softmax(const Tensor& a, int64_t dim);
+Tensor log_softmax(const Tensor& a, int64_t dim);
+/// Backward of log_softmax: gx = gy - softmax(x) * sum(gy, dim).
+Tensor log_softmax_backward(const Tensor& gy, const Tensor& log_probs,
+                            int64_t dim);
+/// Backward of softmax: gx = y * (gy - sum(gy * y, dim)).
+Tensor softmax_backward(const Tensor& gy, const Tensor& y, int64_t dim);
+
+// ---- embedding -----------------------------------------------------------------
+
+/// indices: any shape, values must be integral in [0, V); weight: [V, E].
+/// Returns [*indices.shape, E].
+Tensor embedding(const Tensor& indices, const Tensor& weight);
+/// Scatter-add of grad_out into grad_weight [V, E].
+Tensor embedding_backward(const Tensor& grad_out, const Tensor& indices,
+                          int64_t vocab);
+
+// ---- comparisons / metrics -------------------------------------------------------
+
+/// Fraction of positions where argmax(logits, -1) equals labels.
+double accuracy(const Tensor& logits, const Tensor& labels);
+
+/// Max |a - b| over all elements (shapes must match).
+float max_abs_diff(const Tensor& a, const Tensor& b);
+/// True when max_abs_diff <= atol + rtol * max|b|.
+bool allclose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+              float atol = 1e-6f);
+
+}  // namespace hfta::ops

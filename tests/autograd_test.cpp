@@ -1,0 +1,391 @@
+// Autograd engine tests: tape mechanics (accumulation, diamond graphs,
+// detach, constant folding) and numerical gradient checks for every
+// differentiable op.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/functions.h"
+#include "autograd/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace hfta::ag {
+namespace {
+
+Variable leaf(Shape shape, Rng& rng) {
+  return Variable(Tensor::randn(std::move(shape), rng), /*requires_grad=*/true);
+}
+
+TEST(Autograd, ScalarChainRule) {
+  // y = (2x)^2 -> dy/dx = 8x.
+  Variable x(Tensor::full({1}, 3.f), true);
+  Variable y = pow_scalar(mul_scalar(x, 2.f), 2.f);
+  y.backward();
+  EXPECT_NEAR(x.grad().item(), 8.f * 3.f, 1e-4f);
+}
+
+TEST(Autograd, DiamondGraphAccumulates) {
+  // z = x*x + x*x: grad must flow through both branches -> dz/dx = 4x.
+  Variable x(Tensor::full({1}, 5.f), true);
+  Variable a = mul(x, x);
+  Variable z = add(a, a);
+  z.backward();
+  EXPECT_NEAR(x.grad().item(), 4.f * 5.f, 1e-4f);
+}
+
+TEST(Autograd, BackwardTwiceAccumulatesIntoLeaves) {
+  Variable x(Tensor::full({1}, 2.f), true);
+  Variable y1 = mul_scalar(x, 3.f);
+  y1.backward();
+  Variable y2 = mul_scalar(x, 4.f);
+  y2.backward();
+  EXPECT_NEAR(x.grad().item(), 7.f, 1e-5f);
+}
+
+TEST(Autograd, DetachCutsTape) {
+  Variable x(Tensor::full({1}, 2.f), true);
+  Variable y = mul_scalar(x, 3.f);
+  Variable z = mul_scalar(y.detach(), 10.f);
+  z.backward();
+  EXPECT_FALSE(x.has_grad());
+}
+
+TEST(Autograd, ConstantsAreNotTaped) {
+  Variable c = constant(Tensor::full({2}, 1.f));
+  Variable d = constant(Tensor::full({2}, 2.f));
+  Variable y = add(c, d);
+  EXPECT_EQ(y.node(), nullptr);  // folded: no inputs require grad
+}
+
+TEST(Autograd, BroadcastAddReducesGrad) {
+  Rng rng(1);
+  Variable x = leaf({3, 4}, rng);
+  Variable b = leaf({4}, rng);
+  Variable y = sum_all(add(x, b));
+  y.backward();
+  EXPECT_EQ(b.grad().shape(), (Shape{4}));
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(b.grad().at({i}), 3.f, 1e-5f);
+}
+
+// ---- parameterized gradcheck over unary ops --------------------------------
+
+struct UnaryCase {
+  const char* name;
+  Variable (*fn)(const Variable&);
+};
+
+class UnaryGradTest : public ::testing::TestWithParam<UnaryCase> {};
+
+TEST_P(UnaryGradTest, MatchesNumerical) {
+  Rng rng(42);
+  // Inputs away from kinks (|x| in [0.2, 1.5]) so central differences are
+  // valid for relu/relu6/hard* too.
+  Tensor t = Tensor::randn({3, 4}, rng);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    float v = t.data()[i];
+    v = (v < 0 ? -1.f : 1.f) * (0.3f + std::min(std::fabs(v), 1.2f));
+    t.data()[i] = v;
+  }
+  std::vector<Variable> inputs = {Variable(t, true)};
+  auto fn = GetParam().fn;
+  auto res = gradcheck(
+      [fn](std::vector<Variable>& in) { return sum_all(fn(in[0])); }, inputs,
+      1e-3f, 1e-2f);
+  EXPECT_TRUE(res.ok) << GetParam().name << ": " << res.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, UnaryGradTest,
+    ::testing::Values(
+        UnaryCase{"neg", [](const Variable& v) { return neg(v); }},
+        UnaryCase{"exp", [](const Variable& v) { return exp(v); }},
+        UnaryCase{"sqrt",
+                  [](const Variable& v) {
+                    return sqrt(add_scalar(mul(v, v), 1.f));
+                  }},
+        UnaryCase{"tanh", [](const Variable& v) { return tanh(v); }},
+        UnaryCase{"sigmoid", [](const Variable& v) { return sigmoid(v); }},
+        UnaryCase{"relu", [](const Variable& v) { return relu(v); }},
+        UnaryCase{"relu6", [](const Variable& v) { return relu6(v); }},
+        UnaryCase{"leaky_relu",
+                  [](const Variable& v) { return leaky_relu(v, 0.2f); }},
+        UnaryCase{"hardswish", [](const Variable& v) { return hardswish(v); }},
+        UnaryCase{"hardsigmoid",
+                  [](const Variable& v) { return hardsigmoid(v); }},
+        UnaryCase{"gelu", [](const Variable& v) { return gelu(v); }}),
+    [](const ::testing::TestParamInfo<UnaryCase>& info) {
+      return info.param.name;
+    });
+
+TEST(AutogradGrad, BinaryOps) {
+  Rng rng(7);
+  for (auto fn : {add, sub, mul, div}) {
+    std::vector<Variable> inputs = {leaf({2, 3}, rng), leaf({2, 3}, rng)};
+    // keep divisor away from 0
+    for (int64_t i = 0; i < 6; ++i) {
+      float& v = inputs[1].mutable_value().data()[i];
+      v = (v < 0 ? -1.f : 1.f) * (0.5f + std::fabs(v));
+    }
+    auto res = gradcheck(
+        [fn](std::vector<Variable>& in) { return sum_all(fn(in[0], in[1])); },
+        inputs, 1e-3f, 1e-2f);
+    EXPECT_TRUE(res.ok) << res.detail;
+  }
+}
+
+TEST(AutogradGrad, BroadcastMulGrad) {
+  Rng rng(8);
+  std::vector<Variable> inputs = {leaf({2, 3, 4}, rng), leaf({2, 1, 4}, rng)};
+  auto res = gradcheck(
+      [](std::vector<Variable>& in) { return sum_all(mul(in[0], in[1])); },
+      inputs, 1e-3f, 1e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(AutogradGrad, Matmul) {
+  Rng rng(9);
+  std::vector<Variable> inputs = {leaf({3, 4}, rng), leaf({4, 2}, rng)};
+  auto res = gradcheck(
+      [](std::vector<Variable>& in) { return sum_all(matmul(in[0], in[1])); },
+      inputs, 1e-2f, 2e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(AutogradGrad, BmmAndBmmNt) {
+  Rng rng(10);
+  {
+    std::vector<Variable> inputs = {leaf({2, 3, 4}, rng), leaf({2, 4, 2}, rng)};
+    auto res = gradcheck(
+        [](std::vector<Variable>& in) { return sum_all(bmm(in[0], in[1])); },
+        inputs, 1e-2f, 2e-2f);
+    EXPECT_TRUE(res.ok) << res.detail;
+  }
+  {
+    std::vector<Variable> inputs = {leaf({2, 3, 4}, rng), leaf({2, 5, 4}, rng)};
+    auto res = gradcheck(
+        [](std::vector<Variable>& in) {
+          return sum_all(bmm_nt(in[0], in[1]));
+        },
+        inputs, 1e-2f, 2e-2f);
+    EXPECT_TRUE(res.ok) << res.detail;
+  }
+}
+
+TEST(AutogradGrad, Baddbmm) {
+  Rng rng(11);
+  std::vector<Variable> inputs = {leaf({2, 1, 3}, rng), leaf({2, 4, 5}, rng),
+                                  leaf({2, 5, 3}, rng)};
+  auto res = gradcheck(
+      [](std::vector<Variable>& in) {
+        return sum_all(baddbmm(in[0], in[1], in[2]));
+      },
+      inputs, 1e-2f, 2e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(AutogradGrad, Linear) {
+  Rng rng(12);
+  std::vector<Variable> inputs = {leaf({4, 3}, rng), leaf({2, 3}, rng),
+                                  leaf({2}, rng)};
+  auto res = gradcheck(
+      [](std::vector<Variable>& in) {
+        return sum_all(linear(in[0], in[1], in[2]));
+      },
+      inputs, 1e-2f, 2e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(AutogradGrad, Conv2dGrouped) {
+  Rng rng(13);
+  std::vector<Variable> inputs = {leaf({2, 4, 5, 5}, rng),
+                                  leaf({6, 2, 3, 3}, rng), leaf({6}, rng)};
+  auto res = gradcheck(
+      [](std::vector<Variable>& in) {
+        return sum_all(
+            conv2d(in[0], in[1], in[2], ops::ConvArgs::make(1, 1, 2)));
+      },
+      inputs, 1e-2f, 3e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(AutogradGrad, Conv1d) {
+  Rng rng(14);
+  std::vector<Variable> inputs = {leaf({2, 3, 8}, rng), leaf({4, 3, 3}, rng),
+                                  leaf({4}, rng)};
+  auto res = gradcheck(
+      [](std::vector<Variable>& in) {
+        return sum_all(conv1d(in[0], in[1], in[2], 1, 1, 1));
+      },
+      inputs, 1e-2f, 3e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(AutogradGrad, ConvTranspose2d) {
+  Rng rng(15);
+  std::vector<Variable> inputs = {leaf({1, 4, 4, 4}, rng),
+                                  leaf({4, 3, 4, 4}, rng), leaf({3}, rng)};
+  auto res = gradcheck(
+      [](std::vector<Variable>& in) {
+        return sum_all(conv_transpose2d(in[0], in[1], in[2],
+                                        ops::ConvTransposeArgs{2, 1, 0, 1}));
+      },
+      inputs, 1e-2f, 3e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(AutogradGrad, Pooling) {
+  Rng rng(16);
+  {
+    std::vector<Variable> inputs = {leaf({1, 2, 6, 6}, rng)};
+    auto res = gradcheck(
+        [](std::vector<Variable>& in) {
+          return sum_all(max_pool2d(in[0], ops::PoolArgs{2, 2, 0}));
+        },
+        inputs, 1e-3f, 1e-2f);
+    EXPECT_TRUE(res.ok) << res.detail;
+  }
+  {
+    std::vector<Variable> inputs = {leaf({1, 2, 5, 5}, rng)};
+    auto res = gradcheck(
+        [](std::vector<Variable>& in) {
+          return sum_all(adaptive_avg_pool2d(in[0], 2, 2));
+        },
+        inputs, 1e-3f, 1e-2f);
+    EXPECT_TRUE(res.ok) << res.detail;
+  }
+  {
+    std::vector<Variable> inputs = {leaf({2, 3, 7}, rng)};
+    auto res = gradcheck(
+        [](std::vector<Variable>& in) {
+          return sum_all(global_max_pool1d(in[0]));
+        },
+        inputs, 1e-3f, 1e-2f);
+    EXPECT_TRUE(res.ok) << res.detail;
+  }
+}
+
+TEST(AutogradGrad, ShapeOps) {
+  Rng rng(17);
+  std::vector<Variable> inputs = {leaf({2, 3, 4}, rng), leaf({2, 5, 4}, rng)};
+  auto res = gradcheck(
+      [](std::vector<Variable>& in) {
+        Variable c = concat({in[0], in[1]}, 1);      // [2, 8, 4]
+        Variable p = permute(c, {1, 0, 2});          // [8, 2, 4]
+        Variable s = slice(p, 0, 2, 6);              // [4, 2, 4]
+        Variable r = reshape(s, {4, 8});
+        return sum_all(mul(r, r));
+      },
+      inputs, 1e-3f, 1e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(AutogradGrad, Reductions) {
+  Rng rng(18);
+  std::vector<Variable> inputs = {leaf({2, 3, 4}, rng)};
+  auto res = gradcheck(
+      [](std::vector<Variable>& in) {
+        Variable m = mean(in[0], {0, 2}, true);  // [1, 3, 1]
+        Variable d = sub(in[0], m);
+        return mean_all(mul(d, d));  // variance-like composite (BN core)
+      },
+      inputs, 1e-3f, 1e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(AutogradGrad, SoftmaxFamily) {
+  Rng rng(19);
+  {
+    std::vector<Variable> inputs = {leaf({3, 5}, rng)};
+    Tensor weights = Tensor::randn({3, 5}, rng);
+    auto res = gradcheck(
+        [&](std::vector<Variable>& in) {
+          return sum_all(mul(softmax(in[0], 1), constant(weights)));
+        },
+        inputs, 1e-3f, 1e-2f);
+    EXPECT_TRUE(res.ok) << res.detail;
+  }
+  {
+    std::vector<Variable> inputs = {leaf({3, 5}, rng)};
+    Tensor weights = Tensor::randn({3, 5}, rng);
+    auto res = gradcheck(
+        [&](std::vector<Variable>& in) {
+          return sum_all(mul(log_softmax(in[0], 1), constant(weights)));
+        },
+        inputs, 1e-3f, 1e-2f);
+    EXPECT_TRUE(res.ok) << res.detail;
+  }
+}
+
+TEST(AutogradGrad, Losses) {
+  Rng rng(20);
+  Tensor labels = Tensor::from_data({4}, {0.f, 2.f, 1.f, 2.f});
+  for (auto reduction : {Reduction::kMean, Reduction::kSum}) {
+    std::vector<Variable> inputs = {leaf({4, 3}, rng)};
+    auto res = gradcheck(
+        [&](std::vector<Variable>& in) {
+          return cross_entropy(in[0], labels, reduction);
+        },
+        inputs, 1e-3f, 1e-2f);
+    EXPECT_TRUE(res.ok) << res.detail;
+  }
+  {
+    Tensor targets = Tensor::rand({4, 1}, rng);
+    std::vector<Variable> inputs = {leaf({4, 1}, rng)};
+    auto res = gradcheck(
+        [&](std::vector<Variable>& in) {
+          return bce_with_logits(in[0], targets, Reduction::kMean);
+        },
+        inputs, 1e-3f, 1e-2f);
+    EXPECT_TRUE(res.ok) << res.detail;
+  }
+  {
+    Tensor target = Tensor::randn({4, 3}, rng);
+    std::vector<Variable> inputs = {leaf({4, 3}, rng)};
+    auto res = gradcheck(
+        [&](std::vector<Variable>& in) {
+          return mse_loss(in[0], target, Reduction::kMean);
+        },
+        inputs, 1e-3f, 1e-2f);
+    EXPECT_TRUE(res.ok) << res.detail;
+  }
+}
+
+TEST(AutogradGrad, SpatialNLLForSegmentation) {
+  // [N, C, L] log-probs with [N, L] labels (PointNet segmentation layout).
+  Rng rng(21);
+  Tensor labels = Tensor::from_data({2, 3}, {0.f, 1.f, 2.f, 2.f, 0.f, 1.f});
+  std::vector<Variable> inputs = {leaf({2, 4, 3}, rng)};
+  auto res = gradcheck(
+      [&](std::vector<Variable>& in) {
+        return nll_loss(log_softmax(in[0], 1), labels, Reduction::kMean);
+      },
+      inputs, 1e-3f, 1e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(AutogradGrad, Embedding) {
+  Rng rng(22);
+  Tensor idx = Tensor::from_data({2, 3}, {0.f, 2.f, 1.f, 2.f, 2.f, 0.f});
+  std::vector<Variable> inputs = {leaf({4, 3}, rng)};
+  auto res = gradcheck(
+      [&](std::vector<Variable>& in) {
+        return sum_all(mul(embedding(idx, in[0]), embedding(idx, in[0])));
+      },
+      inputs, 1e-3f, 1e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+TEST(AutogradGrad, MulMaskDropoutBuildingBlock) {
+  Rng rng(23);
+  Tensor mask = Tensor::from_data({2, 2}, {0.f, 2.f, 2.f, 0.f});
+  std::vector<Variable> inputs = {leaf({2, 2}, rng)};
+  auto res = gradcheck(
+      [&](std::vector<Variable>& in) {
+        return sum_all(mul_mask(in[0], mask));
+      },
+      inputs, 1e-3f, 1e-2f);
+  EXPECT_TRUE(res.ok) << res.detail;
+}
+
+}  // namespace
+}  // namespace hfta::ag

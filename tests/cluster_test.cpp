@@ -1,0 +1,123 @@
+// Cluster-study tests: Levenshtein properties, classifier precision/recall
+// on labeled synthetic traces, and the Table 1 GPU-hour breakdown.
+#include <gtest/gtest.h>
+
+#include "cluster/report.h"
+
+namespace hfta::cluster {
+namespace {
+
+TEST(Levenshtein, KnownValues) {
+  EXPECT_EQ(levenshtein("kitten", "sitting"), 3);
+  EXPECT_EQ(levenshtein("", "abc"), 3);
+  EXPECT_EQ(levenshtein("abc", "abc"), 0);
+  EXPECT_EQ(levenshtein("abc", ""), 3);
+}
+
+TEST(Levenshtein, MetricProperties) {
+  Rng rng(1);
+  auto random_name = [&rng]() {
+    std::string s;
+    for (int64_t i = 0, n = 3 + rng.uniform_int(10); i < n; ++i)
+      s.push_back(static_cast<char>('a' + rng.uniform_int(6)));
+    return s;
+  };
+  for (int it = 0; it < 50; ++it) {
+    const std::string a = random_name(), b = random_name(), c = random_name();
+    EXPECT_EQ(levenshtein(a, b), levenshtein(b, a));          // symmetry
+    EXPECT_LE(levenshtein(a, c),
+              levenshtein(a, b) + levenshtein(b, c));          // triangle
+    EXPECT_EQ(levenshtein(a, a), 0);                           // identity
+  }
+}
+
+TEST(Similarity, SweepNamesAreSimilarRandomNamesAreNot) {
+  EXPECT_GT(name_similarity("train_lr0.00100_s17", "train_lr0.00072_s83"),
+            0.7);
+  EXPECT_LT(name_similarity("job_8344812", "ddp_99"), 0.5);
+  EXPECT_DOUBLE_EQ(name_similarity("same", "same"), 1.0);
+}
+
+TEST(Trace, MatchesConfiguredMixture) {
+  TraceConfig cfg;
+  cfg.target_jobs = 8000;
+  cfg.target_gpu_hours = 60000;
+  auto jobs = generate_trace(cfg, 42);
+  EXPECT_GT(jobs.size(), 1000u);
+  std::vector<JobKind> truth;
+  truth.reserve(jobs.size());
+  for (const auto& j : jobs) truth.push_back(j.truth);
+  auto b = breakdown(jobs, truth);
+  EXPECT_NEAR(b.repetitive_frac(), cfg.repetitive_frac, 0.05);
+  EXPECT_NEAR(b.distributed_h / b.total_h(), cfg.distributed_frac, 0.05);
+}
+
+TEST(Trace, DeterministicGivenSeed) {
+  TraceConfig cfg;
+  cfg.target_jobs = 500;
+  cfg.target_gpu_hours = 4000;
+  auto a = generate_trace(cfg, 7);
+  auto b = generate_trace(cfg, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].truth, b[i].truth);
+  }
+}
+
+TEST(Classifier, HighPrecisionAndRecallOnSyntheticTruth) {
+  TraceConfig cfg;
+  cfg.target_jobs = 6000;
+  cfg.target_gpu_hours = 50000;
+  auto jobs = generate_trace(cfg, 3);
+  auto pred = classify(jobs);
+  auto q = evaluate(jobs, pred);
+  EXPECT_GT(q.precision, 0.9);
+  EXPECT_GT(q.recall, 0.8);
+}
+
+TEST(Classifier, ReproducesTable1Breakdown) {
+  // The headline claim: repetitive single-GPU jobs dominate (46.2% of
+  // GPU-hours in Table 1).
+  auto jobs = generate_trace(TraceConfig{}, 2021);
+  auto pred = classify(jobs);
+  auto b = breakdown(jobs, pred);
+  EXPECT_NEAR(b.repetitive_frac(), 0.462, 0.06);
+  EXPECT_GT(b.repetitive_h, b.distributed_h);  // outweighs distributed
+}
+
+TEST(Classifier, MultiGpuJobsNeverRepetitive) {
+  auto jobs = generate_trace(TraceConfig{.target_jobs = 2000,
+                                         .target_gpu_hours = 20000},
+                             5);
+  auto pred = classify(jobs);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (jobs[i].gpus > 1)
+      EXPECT_NE(pred[i], JobKind::kRepetitiveSingleGpu);
+  }
+}
+
+TEST(Classifier, WindowBoundaryRespected) {
+  // Two similar jobs 2 hours apart must NOT form a repetitive batch.
+  std::vector<Job> jobs(3);
+  for (int i = 0; i < 3; ++i) {
+    jobs[i].job_id = i;
+    jobs[i].user = "u";
+    jobs[i].name = "train_lr0.00" + std::to_string(i);
+    jobs[i].gpus = 1;
+    jobs[i].duration_h = 1;
+  }
+  jobs[0].submit_time_s = 0;
+  jobs[1].submit_time_s = 7200;
+  jobs[2].submit_time_s = 14400;
+  auto pred = classify(jobs);
+  for (auto k : pred) EXPECT_NE(k, JobKind::kRepetitiveSingleGpu);
+  // Same three inside one minute => repetitive.
+  jobs[1].submit_time_s = 10;
+  jobs[2].submit_time_s = 20;
+  pred = classify(jobs);
+  for (auto k : pred) EXPECT_EQ(k, JobKind::kRepetitiveSingleGpu);
+}
+
+}  // namespace
+}  // namespace hfta::cluster

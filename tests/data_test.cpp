@@ -1,0 +1,136 @@
+// Synthetic dataset substrate tests: determinism, shapes, label ranges,
+// learnable structure, batching.
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "data/loader.h"
+#include "tensor/ops.h"
+
+namespace hfta::data {
+namespace {
+
+TEST(PointClouds, ShapesAndLabelRanges) {
+  PointCloudDataset ds(10, 32, 4, 6, 1);
+  EXPECT_EQ(ds.size(), 10);
+  EXPECT_EQ(ds.points(0).shape(), (Shape{3, 32}));
+  for (int64_t i = 0; i < ds.size(); ++i) {
+    EXPECT_GE(ds.label(i), 0);
+    EXPECT_LT(ds.label(i), 4);
+    for (int64_t p = 0; p < 32; ++p) {
+      EXPECT_GE(ds.parts(i).data()[p], 0.f);
+      EXPECT_LT(ds.parts(i).data()[p], 6.f);
+    }
+  }
+}
+
+TEST(PointClouds, DeterministicGivenSeed) {
+  PointCloudDataset a(5, 16, 3, 4, 42), b(5, 16, 3, 4, 42);
+  for (int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ops::max_abs_diff(a.points(i), b.points(i)), 0.f);
+    EXPECT_EQ(a.label(i), b.label(i));
+  }
+  PointCloudDataset c(5, 16, 3, 4, 43);
+  float diff = 0.f;
+  for (int64_t i = 0; i < 5; ++i)
+    diff = std::max(diff, ops::max_abs_diff(a.points(i), c.points(i)));
+  EXPECT_GT(diff, 0.f);
+}
+
+TEST(PointClouds, BatchAssembly) {
+  PointCloudDataset ds(6, 8, 3, 4, 2);
+  auto [x, y] = ds.batch_cls({4, 0, 2});
+  EXPECT_EQ(x.shape(), (Shape{3, 3, 8}));
+  EXPECT_EQ(y.at({0}), static_cast<float>(ds.label(4)));
+  auto [xs, ys] = ds.batch_seg({1, 5});
+  EXPECT_EQ(ys.shape(), (Shape{2, 8}));
+  EXPECT_EQ(ys.at({1, 3}), ds.parts(5).data()[3]);
+}
+
+TEST(Images, RangeAndClassStructure) {
+  ImageDataset ds(20, 8, 3, 4, 3);
+  // images bounded (texture 0.7 + noise)
+  for (int64_t i = 0; i < ds.size(); ++i)
+    for (int64_t j = 0; j < ds.image(i).numel(); ++j)
+      EXPECT_LT(std::abs(ds.image(i).data()[j]), 2.5f);
+  // same-class images correlate more than cross-class ones on average
+  double same = 0, cross = 0;
+  int64_t ns = 0, nc = 0;
+  for (int64_t i = 0; i < ds.size(); ++i)
+    for (int64_t j = i + 1; j < ds.size(); ++j) {
+      double dot = 0;
+      for (int64_t k = 0; k < ds.image(i).numel(); ++k)
+        dot += ds.image(i).data()[k] * ds.image(j).data()[k];
+      if (ds.label(i) == ds.label(j)) {
+        same += dot;
+        ++ns;
+      } else {
+        cross += dot;
+        ++nc;
+      }
+    }
+  ASSERT_GT(ns, 0);
+  ASSERT_GT(nc, 0);
+  EXPECT_GT(same / ns, cross / nc);
+}
+
+TEST(Text, MarkovStructureIsLearnable) {
+  TextDataset ds(5000, 20, 4);
+  // Count bigram concentration: with 3 preferred successors + 15% noise,
+  // the top-3 successors of any token should cover well over half its mass.
+  std::vector<std::vector<int64_t>> counts(20, std::vector<int64_t>(20, 0));
+  auto [x, y] = ds.batch_lm(1, 4000, 0);
+  for (int64_t i = 0; i < 4000; ++i) {
+    counts[static_cast<size_t>(x.data()[i])]
+          [static_cast<size_t>(y.data()[i])]++;
+  }
+  int64_t top3 = 0, total = 0;
+  for (auto& row : counts) {
+    std::vector<int64_t> sorted = row;
+    std::sort(sorted.rbegin(), sorted.rend());
+    top3 += sorted[0] + sorted[1] + sorted[2];
+    for (int64_t c : row) total += c;
+  }
+  EXPECT_GT(static_cast<double>(top3) / static_cast<double>(total), 0.6);
+}
+
+TEST(Text, MlmMasksRoughly15Percent) {
+  TextDataset ds(2000, 30, 5);
+  Rng rng(6);
+  auto [x, y] = ds.batch_mlm(4, 64, 0, /*mask_id=*/29, rng);
+  int64_t masked = 0;
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (x.data()[i] == 29.f && y.data()[i] != 29.f) ++masked;
+  }
+  const double frac = static_cast<double>(masked) / static_cast<double>(x.numel());
+  EXPECT_GT(frac, 0.08);
+  EXPECT_LT(frac, 0.25);
+}
+
+TEST(Sampler, CoversDatasetOncePerEpochWithoutReplacement) {
+  BatchSampler s(32, 8, /*shuffle=*/true, 7);
+  auto epoch = s.epoch();
+  EXPECT_EQ(epoch.size(), 4u);
+  std::vector<bool> seen(32, false);
+  for (const auto& b : epoch)
+    for (int64_t i : b) {
+      EXPECT_FALSE(seen[static_cast<size_t>(i)]);
+      seen[static_cast<size_t>(i)] = true;
+    }
+  for (bool v : seen) EXPECT_TRUE(v);
+}
+
+TEST(Sampler, DropsPartialTailBatch) {
+  BatchSampler s(30, 8, false, 7);
+  EXPECT_EQ(s.epoch().size(), 3u);
+  EXPECT_EQ(s.batches_per_epoch(), 3);
+}
+
+TEST(Sampler, UnshuffledIsSequential) {
+  BatchSampler s(8, 4, false, 7);
+  auto epoch = s.epoch();
+  EXPECT_EQ(epoch[0], (std::vector<int64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(epoch[1], (std::vector<int64_t>{4, 5, 6, 7}));
+}
+
+}  // namespace
+}  // namespace hfta::data

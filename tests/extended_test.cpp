@@ -1,0 +1,270 @@
+// Extended coverage: checkpoint save/load round trips, ConvTranspose1d
+// fusion (the paper's §3 deconvolution example), FusedCosineAnnealingLR,
+// the MIG scheduler in HFHT, and failure-injection on API validation paths.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "hfta/fused_optim.h"
+#include "hfta/fused_sched.h"
+#include "hfta/fusion.h"
+#include "hfta/loss_scaling.h"
+#include "tensor/matmul.h"
+#include "hfht/schedulers.h"
+#include "models/resnet.h"
+#include "nn/sched.h"
+#include "nn/serialize.h"
+#include "tensor/ops.h"
+
+namespace hfta {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(Checkpoint, TensorCodecRoundTrip) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({3, 4, 5}, rng);
+  std::stringstream ss;
+  nn::write_tensor(ss, "blob", t);
+  auto [name, back] = nn::read_tensor(ss);
+  EXPECT_EQ(name, "blob");
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_EQ(ops::max_abs_diff(back, t), 0.f);
+}
+
+TEST(Checkpoint, ModuleRoundTrip) {
+  Rng rng(2);
+  models::ResNetConfig cfg = models::ResNetConfig::tiny();
+  cfg.base_width = 4;
+  models::ResNet18 a(cfg, rng), b(cfg, rng);
+  const std::string path = temp_path("resnet.ckpt");
+  nn::save_parameters(a, path);
+  nn::load_parameters(b, path);
+  auto pa = a.named_parameters();
+  auto pb = b.named_parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(ops::max_abs_diff(pa[i].second.value(), pb[i].second.value()),
+              0.f)
+        << pa[i].first;
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FusedArrayRoundTripPreservesAllModels) {
+  // A whole B-model sweep checkpoints as one file.
+  Rng rng(3);
+  const int64_t B = 3;
+  fused::FusedLinear a(B, 6, 4, true, rng), b(B, 6, 4, true, rng);
+  const std::string path = temp_path("fused.ckpt");
+  nn::save_parameters(a, path);
+  nn::load_parameters(b, path);
+  EXPECT_EQ(ops::max_abs_diff(a.weight.value(), b.weight.value()), 0.f);
+  EXPECT_EQ(ops::max_abs_diff(a.bias.value(), b.bias.value()), 0.f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsWrongArchitectureAndGarbage) {
+  Rng rng(4);
+  nn::Linear small(3, 2, true, rng);
+  nn::Linear big(5, 2, true, rng);
+  const std::string path = temp_path("lin.ckpt");
+  nn::save_parameters(small, path);
+  EXPECT_THROW(nn::load_parameters(big, path), Error);
+  // Garbage file: wrong magic.
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "not a checkpoint at all";
+  }
+  EXPECT_THROW(nn::load_parameters(small, path), Error);
+  EXPECT_THROW(nn::load_parameters(small, temp_path("missing.ckpt")), Error);
+  std::remove(path.c_str());
+}
+
+class ConvT1dFusionB : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ConvT1dFusionB, FusedMatchesSerialForwardAndBackward) {
+  const int64_t B = GetParam();
+  Rng rng(10 + B);
+  const int64_t Cin = 4, Cout = 3, L = 9;
+  fused::FusedConvTranspose1d fused_layer(B, Cin, Cout, 4, 2, 1, 0, 1, true,
+                                          rng);
+  std::vector<std::shared_ptr<nn::ConvTranspose1d>> plain;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < B; ++b) {
+    plain.push_back(std::make_shared<nn::ConvTranspose1d>(Cin, Cout, 4, 2, 1,
+                                                          0, 1, true, rng));
+    fused_layer.load_model(b, *plain.back());
+    xs.push_back(Tensor::randn({2, Cin, L}, rng));
+  }
+  ag::Variable yf =
+      fused_layer.forward(ag::Variable(fused::pack_channel_fused(xs)));
+  Tensor probe = Tensor::randn(yf.shape(), rng);
+  ag::sum_all(ag::mul(yf, ag::constant(probe))).backward();
+  auto per = fused::unpack_channel_fused(yf.value(), B);
+  auto probes = fused::unpack_channel_fused(probe, B);
+  for (int64_t b = 0; b < B; ++b) {
+    const size_t ub = static_cast<size_t>(b);
+    ag::Variable yb = plain[ub]->forward(ag::Variable(xs[ub]));
+    EXPECT_LT(ops::max_abs_diff(per[ub], yb.value()), 1e-3f) << "model " << b;
+    ag::sum_all(ag::mul(yb, ag::constant(probes[ub]))).backward();
+    Tensor gw = fused::unfuse_blocks(fused_layer.weight.grad(), B,
+                                     plain[ub]->weight.shape())[ub];
+    EXPECT_LT(ops::max_abs_diff(gw, plain[ub]->weight.grad()), 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ArraySizes, ConvT1dFusionB,
+                         ::testing::Values(1, 2, 5));
+
+TEST(FusedSched, CosineAnnealingMatchesPerModelSchedules) {
+  const int64_t B = 3;
+  Rng rng(20);
+  ag::Variable p(Tensor::randn({B * 4}, rng), true);
+  fused::HyperVec base = {0.1, 0.2, 0.3};
+  std::vector<int64_t> t_max = {10, 20, 40};
+  fused::FusedSGD fused_opt({{p, B}}, B, {.lr = base});
+  fused::FusedCosineAnnealingLR sched(fused_opt, t_max, {0.0});
+  // plain reference
+  std::vector<ag::Variable> pp;
+  std::vector<std::unique_ptr<nn::SGD>> opts;
+  std::vector<std::unique_ptr<nn::CosineAnnealingLR>> plain;
+  for (int64_t b = 0; b < B; ++b) {
+    pp.emplace_back(Tensor::zeros({4}), true);
+    opts.push_back(std::make_unique<nn::SGD>(
+        std::vector<ag::Variable>{pp.back()},
+        nn::SGD::Options{base[static_cast<size_t>(b)]}));
+    plain.push_back(std::make_unique<nn::CosineAnnealingLR>(
+        *opts.back(), t_max[static_cast<size_t>(b)], 0.0));
+  }
+  for (int e = 0; e < 15; ++e) {
+    sched.step();
+    for (int64_t b = 0; b < B; ++b) {
+      plain[static_cast<size_t>(b)]->step();
+      EXPECT_NEAR(fused_opt.lr()[static_cast<size_t>(b)],
+                  opts[static_cast<size_t>(b)]->lr(), 1e-12)
+          << "epoch " << e << " model " << b;
+    }
+  }
+}
+
+TEST(HfhtMig, MigSchedulerCostsBetweenSerialAndHfta) {
+  hfht::SearchSpace space = hfht::SearchSpace::pointnet();
+  Rng rng(30);
+  std::vector<hfht::Trial> trials;
+  for (int i = 0; i < 21; ++i) trials.push_back({space.sample(rng), 10});
+  const auto a100 = sim::a100();
+  const auto serial = hfht::schedule_cost(trials, space,
+                                          sim::Workload::kPointNetCls, a100,
+                                          hfht::SchedulerKind::kSerial);
+  const auto mig = hfht::schedule_cost(trials, space,
+                                       sim::Workload::kPointNetCls, a100,
+                                       hfht::SchedulerKind::kMig);
+  const auto hfta_cost = hfht::schedule_cost(trials, space,
+                                             sim::Workload::kPointNetCls,
+                                             a100, hfht::SchedulerKind::kHfta);
+  EXPECT_LT(mig.gpu_hours, serial.gpu_hours);
+  EXPECT_LT(hfta_cost.gpu_hours, serial.gpu_hours);
+  // With 21 random sets over 6 infusible combos, HFTA's partitions are
+  // small (~3-4 models), so MIG's 7-at-a-time process sharing can compete —
+  // the same fusion-opportunity effect the paper notes for Hyperband.
+}
+
+TEST(HfhtMig, FallsBackToSerialWithoutMigSupport) {
+  hfht::SearchSpace space = hfht::SearchSpace::pointnet();
+  Rng rng(31);
+  std::vector<hfht::Trial> trials = {{space.sample(rng), 5},
+                                     {space.sample(rng), 5}};
+  const auto v100 = sim::v100();  // no MIG
+  const auto mig = hfht::schedule_cost(trials, space,
+                                       sim::Workload::kPointNetCls, v100,
+                                       hfht::SchedulerKind::kMig);
+  const auto serial = hfht::schedule_cost(trials, space,
+                                          sim::Workload::kPointNetCls, v100,
+                                          hfht::SchedulerKind::kSerial);
+  EXPECT_NEAR(mig.gpu_hours, serial.gpu_hours, 1e-9);
+}
+
+// ---- failure injection: the library must reject malformed use, loudly -----
+
+TEST(Validation, TensorShapeErrors) {
+  Rng rng(40);
+  Tensor a = Tensor::randn({2, 3}, rng);
+  Tensor b = Tensor::randn({4, 2}, rng);
+  EXPECT_THROW(ops::matmul(a, b), Error);             // inner dim mismatch
+  EXPECT_THROW(ops::concat({a, b}, 0), Error);        // off-dim mismatch
+  EXPECT_THROW(a.reshape({7}), Error);                // numel mismatch
+  EXPECT_THROW(a.slice(0, 1, 5), Error);              // out of range
+  EXPECT_THROW(ops::chunk(a, 4, 1), Error);           // 3 % 4 != 0
+  EXPECT_THROW(Tensor::from_data({2, 2}, {1.f}), Error);
+}
+
+TEST(Validation, ConvArgumentErrors) {
+  Rng rng(41);
+  Tensor x = Tensor::randn({1, 4, 5, 5}, rng);
+  Tensor w = Tensor::randn({6, 2, 3, 3}, rng);
+  // groups must divide channels
+  EXPECT_THROW(ops::conv2d(x, w, Tensor(), ops::ConvArgs::make(1, 1, 3)),
+               Error);
+  // wrong per-group input channels
+  EXPECT_THROW(ops::conv2d(x, w, Tensor(), ops::ConvArgs::make(1, 1, 1)),
+               Error);
+  // bias size mismatch
+  Tensor w_ok = Tensor::randn({6, 4, 3, 3}, rng);
+  EXPECT_THROW(ops::conv2d(x, w_ok, Tensor::ones({5}),
+                           ops::ConvArgs::make(1, 1, 1)),
+               Error);
+  // out_pad >= stride is invalid for transposed conv
+  Tensor wt = Tensor::randn({4, 2, 3, 3}, rng);
+  EXPECT_THROW(ops::conv_transpose2d(x, wt, Tensor(),
+                                     ops::ConvTransposeArgs{1, 0, 1, 1}),
+               Error);
+}
+
+TEST(Validation, AutogradErrors) {
+  Rng rng(42);
+  ag::Variable v(Tensor::randn({3}, rng), true);
+  EXPECT_THROW(v.backward(), Error);  // non-scalar without seed
+  ag::Variable undefined;
+  EXPECT_THROW(undefined.value(), Error);
+  EXPECT_THROW(undefined.backward(), Error);
+}
+
+TEST(Validation, FusedApiErrors) {
+  Rng rng(43);
+  EXPECT_THROW(fused::FusedLinear(0, 3, 2, true, rng), Error);  // B < 1
+  fused::FusedLinear lin(2, 3, 2, true, rng);
+  // model-major input with wrong leading B
+  EXPECT_THROW(lin.forward(ag::Variable(Tensor::randn({3, 4, 3}, rng))),
+               Error);
+  // optimizer array-size mismatch
+  auto params = fused::collect_fused_parameters(lin, 2);
+  EXPECT_THROW(fused::FusedAdam(params, 3, {}), Error);
+  // hyper-parameter vector of the wrong arity
+  EXPECT_THROW(fused::FusedAdam(params, 2, {.lr = {1e-3, 2e-3, 3e-3}}),
+               Error);
+  // loss labels / logits arity
+  EXPECT_THROW(fused::fused_cross_entropy(
+                   ag::Variable(Tensor::randn({4, 3}, rng)),
+                   Tensor::zeros({4}), ag::Reduction::kMean),
+               Error);
+}
+
+TEST(Validation, UnfusedBlockAdapterRequiresBReplicas) {
+  Rng rng(44);
+  std::vector<std::shared_ptr<nn::Module>> two = {
+      std::make_shared<nn::ReLU>(), std::make_shared<nn::ReLU>()};
+  EXPECT_THROW(fused::UnfusedBlockAdapter(3, two), Error);
+}
+
+TEST(Validation, DropoutProbabilityRange) {
+  EXPECT_THROW(nn::Dropout(1.0f), Error);
+  EXPECT_THROW(nn::Dropout(-0.1f), Error);
+  EXPECT_NO_THROW(nn::Dropout(0.0f));
+}
+
+}  // namespace
+}  // namespace hfta

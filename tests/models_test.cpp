@@ -1,0 +1,362 @@
+// Model-level fusion equivalence: for every one of the paper's six model
+// families, the fused array of B models with distinct weights must produce
+// per-model outputs identical (to float tolerance) to the B plain models.
+#include <gtest/gtest.h>
+
+#include "hfta/fused_ops.h"
+#include "models/bert.h"
+#include "models/dcgan.h"
+#include "models/mobilenetv3.h"
+#include "models/pointnet.h"
+#include "models/resnet.h"
+#include "models/transformer.h"
+#include "tensor/ops.h"
+
+namespace hfta::models {
+namespace {
+
+constexpr float kTol = 2e-3f;
+constexpr int64_t kB = 3;
+
+TEST(PointNetModel, ClsForwardShapes) {
+  Rng rng(1);
+  PointNetConfig cfg = PointNetConfig::tiny();
+  PointNetCls model(cfg, rng);
+  ag::Variable x(Tensor::randn({2, 3, cfg.num_points}, rng));
+  EXPECT_EQ(model.forward(x).shape(), (Shape{2, cfg.num_classes}));
+}
+
+TEST(PointNetModel, FusedClsMatchesSerial) {
+  Rng rng(2);
+  PointNetConfig cfg = PointNetConfig::tiny();
+  FusedPointNetCls fused(kB, cfg, rng);
+  std::vector<std::shared_ptr<PointNetCls>> plain;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    plain.push_back(std::make_shared<PointNetCls>(cfg, rng));
+    fused.load_model(b, *plain.back());
+    xs.push_back(Tensor::randn({4, 3, cfg.num_points}, rng));
+  }
+  Tensor yf =
+      fused.forward(ag::Variable(fused::pack_channel_fused(xs))).value();
+  for (int64_t b = 0; b < kB; ++b) {
+    Tensor yb = plain[static_cast<size_t>(b)]
+                    ->forward(ag::Variable(xs[static_cast<size_t>(b)]))
+                    .value();
+    Tensor yf_b = yf.slice(0, b, b + 1).reshape(yb.shape());
+    EXPECT_LT(ops::max_abs_diff(yf_b, yb), kTol) << "model " << b;
+  }
+}
+
+TEST(PointNetModel, FusedClsWithInputTransformMatchesSerial) {
+  Rng rng(3);
+  PointNetConfig cfg = PointNetConfig::tiny();
+  cfg.input_transform = true;
+  FusedPointNetCls fused(kB, cfg, rng);
+  std::vector<std::shared_ptr<PointNetCls>> plain;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    plain.push_back(std::make_shared<PointNetCls>(cfg, rng));
+    fused.load_model(b, *plain.back());
+    xs.push_back(Tensor::randn({2, 3, cfg.num_points}, rng));
+  }
+  Tensor yf =
+      fused.forward(ag::Variable(fused::pack_channel_fused(xs))).value();
+  for (int64_t b = 0; b < kB; ++b) {
+    Tensor yb = plain[static_cast<size_t>(b)]
+                    ->forward(ag::Variable(xs[static_cast<size_t>(b)]))
+                    .value();
+    EXPECT_LT(ops::max_abs_diff(yf.slice(0, b, b + 1).reshape(yb.shape()), yb),
+              kTol);
+  }
+}
+
+TEST(PointNetModel, FusedSegMatchesSerial) {
+  Rng rng(4);
+  PointNetConfig cfg = PointNetConfig::tiny();
+  FusedPointNetSeg fused(kB, cfg, rng);
+  std::vector<std::shared_ptr<PointNetSeg>> plain;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    plain.push_back(std::make_shared<PointNetSeg>(cfg, rng));
+    fused.load_model(b, *plain.back());
+    xs.push_back(Tensor::randn({2, 3, cfg.num_points}, rng));
+  }
+  Tensor yf =
+      fused.forward(ag::Variable(fused::pack_channel_fused(xs))).value();
+  auto per = fused::unpack_channel_fused(yf, kB);
+  for (int64_t b = 0; b < kB; ++b) {
+    Tensor yb = plain[static_cast<size_t>(b)]
+                    ->forward(ag::Variable(xs[static_cast<size_t>(b)]))
+                    .value();
+    EXPECT_LT(ops::max_abs_diff(per[static_cast<size_t>(b)], yb), kTol);
+  }
+}
+
+TEST(DCGANModel, GeneratorShapesAndRange) {
+  Rng rng(5);
+  DCGANConfig cfg = DCGANConfig::tiny();
+  DCGANGenerator gen(cfg, rng);
+  ag::Variable z(Tensor::randn({2, cfg.nz, 1, 1}, rng));
+  Tensor img = gen.forward(z).value();
+  EXPECT_EQ(img.shape(), (Shape{2, cfg.nc, cfg.image_size, cfg.image_size}));
+  for (int64_t i = 0; i < img.numel(); ++i) {
+    EXPECT_GE(img.data()[i], -1.f);
+    EXPECT_LE(img.data()[i], 1.f);
+  }
+  DCGANDiscriminator disc(cfg, rng);
+  EXPECT_EQ(disc.forward(ag::Variable(img)).shape(), (Shape{2}));
+}
+
+TEST(DCGANModel, FusedGeneratorAndDiscriminatorMatchSerial) {
+  Rng rng(6);
+  DCGANConfig cfg = DCGANConfig::tiny();
+  FusedDCGANGenerator fgen(kB, cfg, rng);
+  FusedDCGANDiscriminator fdisc(kB, cfg, rng);
+  std::vector<std::shared_ptr<DCGANGenerator>> gens;
+  std::vector<std::shared_ptr<DCGANDiscriminator>> discs;
+  std::vector<Tensor> zs;
+  for (int64_t b = 0; b < kB; ++b) {
+    gens.push_back(std::make_shared<DCGANGenerator>(cfg, rng));
+    discs.push_back(std::make_shared<DCGANDiscriminator>(cfg, rng));
+    fgen.load_model(b, *gens.back());
+    fdisc.load_model(b, *discs.back());
+    zs.push_back(Tensor::randn({2, cfg.nz, 1, 1}, rng));
+  }
+  Tensor imgs =
+      fgen.forward(ag::Variable(fused::pack_channel_fused(zs))).value();
+  Tensor logits = fdisc.forward(ag::Variable(imgs)).value();  // [B, N]
+  auto img_per = fused::unpack_channel_fused(imgs, kB);
+  for (int64_t b = 0; b < kB; ++b) {
+    const size_t ub = static_cast<size_t>(b);
+    Tensor img_b = gens[ub]->forward(ag::Variable(zs[ub])).value();
+    EXPECT_LT(ops::max_abs_diff(img_per[ub], img_b), kTol);
+    Tensor logit_b = discs[ub]->forward(ag::Variable(img_b)).value();
+    EXPECT_LT(ops::max_abs_diff(logits.slice(0, b, b + 1).reshape({2}),
+                                logit_b),
+              kTol);
+  }
+}
+
+TEST(ResNetModel, ForwardShapes) {
+  Rng rng(7);
+  ResNetConfig cfg = ResNetConfig::tiny();
+  ResNet18 model(cfg, rng);
+  EXPECT_EQ(model.blocks.size(), 8u);
+  ag::Variable x(Tensor::randn({2, 3, cfg.image_size, cfg.image_size}, rng));
+  EXPECT_EQ(model.forward(x).shape(), (Shape{2, cfg.num_classes}));
+}
+
+TEST(ResNetModel, FusedMatchesSerial) {
+  Rng rng(8);
+  ResNetConfig cfg = ResNetConfig::tiny();
+  FusedResNet18 fused(kB, cfg, rng);
+  std::vector<std::shared_ptr<ResNet18>> plain;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    plain.push_back(std::make_shared<ResNet18>(cfg, rng));
+    fused.load_model(b, *plain.back());
+    xs.push_back(Tensor::randn({2, 3, cfg.image_size, cfg.image_size}, rng));
+  }
+  Tensor yf =
+      fused.forward(ag::Variable(fused::pack_channel_fused(xs))).value();
+  for (int64_t b = 0; b < kB; ++b) {
+    const size_t ub = static_cast<size_t>(b);
+    Tensor yb = plain[ub]->forward(ag::Variable(xs[ub])).value();
+    EXPECT_LT(ops::max_abs_diff(yf.slice(0, b, b + 1).reshape(yb.shape()), yb),
+              kTol);
+  }
+}
+
+class PartialFusionTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(PartialFusionTest, PartiallyUnfusedResNetMatchesSerial) {
+  // The partial-fusion study's correctness precondition (Appendix H.4):
+  // whatever subset of blocks is fused, the math is unchanged.
+  const int64_t unfused_units = GetParam();
+  Rng rng(9);
+  ResNetConfig cfg = ResNetConfig::tiny();
+  auto mask = ResNetFusionMask::partially_unfused(unfused_units);
+  FusedResNet18 fused(kB, cfg, rng, mask);
+  EXPECT_EQ(mask.fused_units(), 10 - unfused_units);
+  std::vector<std::shared_ptr<ResNet18>> plain;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    plain.push_back(std::make_shared<ResNet18>(cfg, rng));
+    fused.load_model(b, *plain.back());
+    xs.push_back(Tensor::randn({2, 3, cfg.image_size, cfg.image_size}, rng));
+  }
+  Tensor yf =
+      fused.forward(ag::Variable(fused::pack_channel_fused(xs))).value();
+  for (int64_t b = 0; b < kB; ++b) {
+    const size_t ub = static_cast<size_t>(b);
+    Tensor yb = plain[ub]->forward(ag::Variable(xs[ub])).value();
+    EXPECT_LT(ops::max_abs_diff(yf.slice(0, b, b + 1).reshape(yb.shape()), yb),
+              kTol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UnfusedUnits, PartialFusionTest,
+                         ::testing::Values(0, 1, 5, 10));
+
+TEST(MobileNetModel, ForwardShapesAndBlockCount) {
+  Rng rng(10);
+  MobileNetV3Config cfg = MobileNetV3Config::tiny();
+  MobileNetV3 model(cfg, rng);
+  EXPECT_EQ(model.bnecks.size(), static_cast<size_t>(cfg.num_blocks));
+  ag::Variable x(Tensor::randn({2, 3, cfg.image_size, cfg.image_size}, rng));
+  EXPECT_EQ(model.forward(x).shape(), (Shape{2, cfg.num_classes}));
+}
+
+TEST(MobileNetModel, FusedMatchesSerial) {
+  Rng rng(11);
+  MobileNetV3Config cfg = MobileNetV3Config::tiny();
+  FusedMobileNetV3 fused(kB, cfg, rng);
+  std::vector<std::shared_ptr<MobileNetV3>> plain;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    plain.push_back(std::make_shared<MobileNetV3>(cfg, rng));
+    fused.load_model(b, *plain.back());
+    xs.push_back(Tensor::randn({2, 3, cfg.image_size, cfg.image_size}, rng));
+  }
+  Tensor yf =
+      fused.forward(ag::Variable(fused::pack_channel_fused(xs))).value();
+  for (int64_t b = 0; b < kB; ++b) {
+    const size_t ub = static_cast<size_t>(b);
+    Tensor yb = plain[ub]->forward(ag::Variable(xs[ub])).value();
+    EXPECT_LT(ops::max_abs_diff(yf.slice(0, b, b + 1).reshape(yb.shape()), yb),
+              kTol);
+  }
+}
+
+TEST(MobileNetModel, V2FusedMatchesSerial) {
+  // The infusible "version" hyper-parameter (Table 12): MobileNetV2's
+  // inverted residuals (ReLU6, no SE) fuse just like V3's bnecks.
+  Rng rng(30);
+  MobileNetV3Config cfg = MobileNetV3Config::tiny_v2();
+  EXPECT_EQ(cfg.version, 2);
+  FusedMobileNetV3 fused(kB, cfg, rng);
+  std::vector<std::shared_ptr<MobileNetV3>> plain;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    plain.push_back(std::make_shared<MobileNetV3>(cfg, rng));
+    fused.load_model(b, *plain.back());
+    xs.push_back(Tensor::randn({2, 3, cfg.image_size, cfg.image_size}, rng));
+  }
+  Tensor yf =
+      fused.forward(ag::Variable(fused::pack_channel_fused(xs))).value();
+  for (int64_t b = 0; b < kB; ++b) {
+    const size_t ub = static_cast<size_t>(b);
+    Tensor yb = plain[ub]->forward(ag::Variable(xs[ub])).value();
+    EXPECT_LT(ops::max_abs_diff(yf.slice(0, b, b + 1).reshape(yb.shape()), yb),
+              kTol);
+  }
+}
+
+TEST(MobileNetModel, V2AndV3AreDifferentArchitectures) {
+  // V2 and V3 sets of operator shapes differ -> the hyper-parameter is
+  // genuinely infusible (different parameter structure).
+  Rng rng(31);
+  MobileNetV3 v3(MobileNetV3Config::tiny(), rng);
+  MobileNetV3 v2(MobileNetV3Config::tiny_v2(), rng);
+  EXPECT_NE(v3.num_parameters(), v2.num_parameters());
+  EXPECT_EQ(mobilenetv2_table().size(), 17u);
+  for (const auto& row : mobilenetv2_table()) {
+    EXPECT_FALSE(row.se);      // V2 has no squeeze-excite
+    EXPECT_FALSE(row.hswish);  // ...and no hard-swish
+    EXPECT_TRUE(row.relu6);
+  }
+}
+
+TEST(TransformerModel, LMForwardShapes) {
+  Rng rng(12);
+  TransformerConfig cfg = TransformerConfig::tiny();
+  TransformerLM model(cfg, rng);
+  Tensor tokens({2, cfg.seq_len});
+  for (int64_t i = 0; i < tokens.numel(); ++i)
+    tokens.data()[i] = static_cast<float>(rng.uniform_int(cfg.vocab));
+  EXPECT_EQ(model.forward_tokens(tokens).shape(),
+            (Shape{2, cfg.seq_len, cfg.vocab}));
+}
+
+TEST(TransformerModel, CausalMaskBlocksFuture) {
+  // Changing a future token must not change earlier positions' logits.
+  Rng rng(13);
+  TransformerConfig cfg = TransformerConfig::tiny();
+  TransformerLM model(cfg, rng);
+  model.eval();
+  Tensor tokens({1, cfg.seq_len});
+  for (int64_t i = 0; i < tokens.numel(); ++i)
+    tokens.data()[i] = static_cast<float>(rng.uniform_int(cfg.vocab));
+  Tensor y1 = model.forward_tokens(tokens).value();
+  tokens.at({0, cfg.seq_len - 1}) =
+      static_cast<float>((static_cast<int64_t>(tokens.at({0, cfg.seq_len - 1})) + 1) %
+                         cfg.vocab);
+  Tensor y2 = model.forward_tokens(tokens).value();
+  // positions 0..S-2 unchanged
+  Tensor y1_head = y1.slice(1, 0, cfg.seq_len - 1);
+  Tensor y2_head = y2.slice(1, 0, cfg.seq_len - 1);
+  EXPECT_LT(ops::max_abs_diff(y1_head, y2_head), 1e-5f);
+  // last position changed
+  EXPECT_GT(ops::max_abs_diff(y1.slice(1, cfg.seq_len - 1, cfg.seq_len),
+                              y2.slice(1, cfg.seq_len - 1, cfg.seq_len)),
+            1e-4f);
+}
+
+TEST(TransformerModel, FusedMatchesSerial) {
+  Rng rng(14);
+  TransformerConfig cfg = TransformerConfig::tiny();
+  FusedTransformerLM fused(kB, cfg, rng);
+  std::vector<std::shared_ptr<TransformerLM>> plain;
+  std::vector<Tensor> toks;
+  for (int64_t b = 0; b < kB; ++b) {
+    plain.push_back(std::make_shared<TransformerLM>(cfg, rng));
+    fused.load_model(b, *plain.back());
+    Tensor t({2, cfg.seq_len});
+    for (int64_t i = 0; i < t.numel(); ++i)
+      t.data()[i] = static_cast<float>(rng.uniform_int(cfg.vocab));
+    toks.push_back(t);
+  }
+  Tensor yf = fused.forward_tokens(fused::pack_model_major(toks)).value();
+  for (int64_t b = 0; b < kB; ++b) {
+    const size_t ub = static_cast<size_t>(b);
+    Tensor yb = plain[ub]->forward_tokens(toks[ub]).value();
+    EXPECT_LT(ops::max_abs_diff(yf.slice(0, b, b + 1).reshape(yb.shape()), yb),
+              kTol);
+  }
+}
+
+TEST(BertModel, FusedMatchesSerial) {
+  Rng rng(15);
+  BertConfig cfg = BertConfig::tiny();
+  FusedBertModel fused(kB, cfg, rng);
+  std::vector<std::shared_ptr<BertModel>> plain;
+  std::vector<Tensor> toks;
+  for (int64_t b = 0; b < kB; ++b) {
+    plain.push_back(std::make_shared<BertModel>(cfg, rng));
+    fused.load_model(b, *plain.back());
+    Tensor t({2, cfg.seq_len});
+    for (int64_t i = 0; i < t.numel(); ++i)
+      t.data()[i] = static_cast<float>(rng.uniform_int(cfg.vocab));
+    toks.push_back(t);
+  }
+  Tensor yf = fused.forward_tokens(fused::pack_model_major(toks)).value();
+  for (int64_t b = 0; b < kB; ++b) {
+    const size_t ub = static_cast<size_t>(b);
+    Tensor yb = plain[ub]->forward_tokens(toks[ub]).value();
+    EXPECT_LT(ops::max_abs_diff(yf.slice(0, b, b + 1).reshape(yb.shape()), yb),
+              kTol);
+  }
+}
+
+TEST(BertModel, MlmHeadSharesEncoderShapes) {
+  Rng rng(16);
+  BertConfig cfg = BertConfig::tiny();
+  BertModel model(cfg, rng);
+  Tensor tokens({2, cfg.seq_len});
+  EXPECT_EQ(model.forward_tokens(tokens).shape(),
+            (Shape{2, cfg.seq_len, cfg.vocab}));
+}
+
+}  // namespace
+}  // namespace hfta::models

@@ -1,0 +1,280 @@
+// Simulator invariants and calibration assertions. These encode the
+// paper's qualitative claims as tests: if a refactor breaks an ordering
+// (e.g. MPS beating HFTA) the suite fails.
+#include <gtest/gtest.h>
+
+#include "sim/counters.h"
+
+namespace hfta::sim {
+namespace {
+
+const Workload kMajor[] = {Workload::kPointNetCls, Workload::kPointNetSeg,
+                           Workload::kDCGAN};
+
+TEST(Devices, SpecsMatchPaperTable4) {
+  EXPECT_EQ(v100().hbm_gb, 16.0);
+  EXPECT_EQ(rtx6000().hbm_gb, 24.0);
+  EXPECT_EQ(a100().hbm_gb, 40.0);
+  EXPECT_EQ(tpu_v3().hbm_gb, 16.0);
+  EXPECT_EQ(a100().max_mig_instances, 7);
+  EXPECT_EQ(v100().max_mig_instances, 0);  // MIG is A100-only
+  EXPECT_TRUE(tpu_v3().is_tpu);
+}
+
+TEST(Traces, LinearInArraySize) {
+  // Fused traces carry exactly B x the FLOPs/bytes of the single trace with
+  // the same kernel count (operator fusion, not op duplication).
+  for (Workload w : kMajor) {
+    const IterationTrace t1 = build_trace(w, 1);
+    const IterationTrace t4 = build_trace(w, 4);
+    ASSERT_EQ(t1.kernels.size(), t4.kernels.size());
+    double f1 = 0, f4 = 0;
+    for (const auto& k : t1.kernels) f1 += k.flops;
+    for (const auto& k : t4.kernels) f4 += k.flops;
+    EXPECT_NEAR(f4 / f1, 4.0, 1e-6) << workload_name(w);
+    for (size_t i = 0; i < t1.kernels.size(); ++i) {
+      EXPECT_EQ(t4.kernels[i].ctas >= t1.kernels[i].ctas, true);
+    }
+  }
+}
+
+TEST(Memory, HftaAvoidsPerProcessDuplication) {
+  // Fig. 6: MPS memory lines pass through the origin with slope
+  // (framework + model); HFTA's intercept is the single framework
+  // reservation and its slope is the per-model state only.
+  const DeviceSpec dev = v100();
+  const IterationTrace t = build_trace(Workload::kPointNetCls, 1);
+  const double m1 = memory_gb(dev, t, Mode::kHfta, 1, Precision::kFP32);
+  const double m2 = memory_gb(dev, t, Mode::kHfta, 2, Precision::kFP32);
+  const double p1 = memory_gb(dev, t, Mode::kMps, 1, Precision::kFP32);
+  const double p2 = memory_gb(dev, t, Mode::kMps, 2, Precision::kFP32);
+  const double hfta_slope = m2 - m1;
+  const double mps_slope = p2 - p1;
+  EXPECT_LT(hfta_slope, mps_slope);
+  // intercept = framework overhead (1.52 GB FP32 per the paper's Fig. 6)
+  EXPECT_NEAR(m1 - hfta_slope, 1.52, 1e-6);
+  EXPECT_NEAR(memory_gb(dev, t, Mode::kHfta, 1, Precision::kAMP) -
+                  (memory_gb(dev, t, Mode::kHfta, 2, Precision::kAMP) -
+                   memory_gb(dev, t, Mode::kHfta, 1, Precision::kAMP)),
+              2.12, 1e-6);
+  EXPECT_NEAR(p2, 2 * p1, 1e-9);  // MPS: strictly proportional
+}
+
+TEST(Memory, HftaFitsMoreModelsThanMps) {
+  for (const DeviceSpec& dev : {v100(), rtx6000(), a100()}) {
+    for (Workload w : kMajor) {
+      for (Precision p : {Precision::kFP32, Precision::kAMP}) {
+        EXPECT_GT(max_models(dev, w, Mode::kHfta, p),
+                  max_models(dev, w, Mode::kMps, p))
+            << dev.name << " " << workload_name(w);
+      }
+    }
+  }
+}
+
+TEST(Memory, BiggerHbmFitsMoreModels) {
+  // RTX6000 (24 GB) and A100 (40 GB) fit more than V100 (16 GB) — §5.1.
+  for (Workload w : kMajor) {
+    const int64_t on_v100 =
+        max_models(v100(), w, Mode::kHfta, Precision::kAMP);
+    EXPECT_GT(max_models(rtx6000(), w, Mode::kHfta, Precision::kAMP), on_v100);
+    EXPECT_GT(max_models(a100(), w, Mode::kHfta, Precision::kAMP), on_v100);
+  }
+}
+
+TEST(Execution, HftaThroughputMonotonicallyImproves) {
+  for (Workload w : kMajor) {
+    auto curve = sweep(v100(), w, Mode::kHfta, Precision::kFP32);
+    ASSERT_GE(curve.size(), 2u);
+    for (size_t i = 1; i < curve.size(); ++i)
+      EXPECT_GE(curve[i].normalized, curve[i - 1].normalized * 0.999)
+          << workload_name(w) << " at B=" << curve[i].models;
+  }
+}
+
+TEST(Execution, HftaBeatsAllBaselinesAtPeak) {
+  for (const DeviceSpec& dev : {v100(), rtx6000(), a100()}) {
+    for (Workload w : kMajor) {
+      for (Mode m : {Mode::kSerial, Mode::kConcurrent, Mode::kMps}) {
+        EXPECT_GT(peak_speedup_vs(dev, w, m), 1.0)
+            << dev.name << " " << workload_name(w) << " vs " << mode_name(m);
+      }
+    }
+  }
+  for (Workload w : kMajor)
+    EXPECT_GT(peak_speedup_vs(a100(), w, Mode::kMig), 1.0);
+}
+
+TEST(Execution, ConcurrentMatchesSerialForComputeBoundJobs) {
+  // PointNet (small host pipeline): concurrent ~ serial (paper Fig. 4a/4b).
+  const double s = peak_speedup_vs(v100(), Workload::kPointNetCls,
+                                   Mode::kSerial);
+  const double c = peak_speedup_vs(v100(), Workload::kPointNetCls,
+                                   Mode::kConcurrent);
+  EXPECT_NEAR(c / s, 1.0, 0.1);
+}
+
+TEST(Execution, ConcurrentHelpsHostBoundDcgan) {
+  // DCGAN (heavy input pipeline): concurrent gains ~2x over serial
+  // (Fig. 4c) — so HFTA's edge over concurrent is about half its edge over
+  // serial.
+  const double vs_serial =
+      peak_speedup_vs(v100(), Workload::kDCGAN, Mode::kSerial);
+  const double vs_concurrent =
+      peak_speedup_vs(v100(), Workload::kDCGAN, Mode::kConcurrent);
+  EXPECT_GT(vs_serial / vs_concurrent, 1.5);
+}
+
+TEST(Execution, PeakSpeedupsWithinCalibrationBand) {
+  // Table 5 anchors, +-45% band (DESIGN.md calibration target).
+  struct Anchor {
+    Workload w;
+    double paper;
+  };
+  const Anchor v100_anchors[] = {{Workload::kPointNetCls, 5.02},
+                                 {Workload::kPointNetSeg, 4.29},
+                                 {Workload::kDCGAN, 4.59}};
+  for (const auto& a : v100_anchors) {
+    const double measured = peak_speedup_vs(v100(), a.w, Mode::kSerial);
+    EXPECT_GT(measured, a.paper * 0.55) << workload_name(a.w);
+    EXPECT_LT(measured, a.paper * 1.45) << workload_name(a.w);
+  }
+}
+
+TEST(Execution, A100GainsExceedV100ForPointNet) {
+  // Newer GPUs suffer more from under-utilization -> HFTA helps more (§5.1).
+  EXPECT_GT(peak_speedup_vs(a100(), Workload::kPointNetCls, Mode::kSerial),
+            peak_speedup_vs(v100(), Workload::kPointNetCls, Mode::kSerial));
+}
+
+TEST(Execution, MigLimitedToSevenInstances) {
+  EXPECT_EQ(max_models(a100(), Workload::kPointNetCls, Mode::kMig,
+                       Precision::kFP32),
+            7);
+  EXPECT_EQ(max_models(v100(), Workload::kPointNetCls, Mode::kMig,
+                       Precision::kFP32),
+            0);
+}
+
+TEST(Counters, InUnitRangeAndHftaScalesUp) {
+  const DeviceSpec dev = a100();
+  auto curve = sweep(dev, Workload::kPointNetCls, Mode::kHfta,
+                     Precision::kAMP);
+  ASSERT_GE(curve.size(), 4u);
+  for (const auto& p : curve) {
+    const Counters& c = p.result.counters;
+    EXPECT_GE(c.sm_active, 0.0);
+    EXPECT_LE(c.sm_active, 1.0);
+    EXPECT_GE(c.sm_occupancy, 0.0);
+    EXPECT_LE(c.sm_occupancy, 1.0);
+    EXPECT_GE(c.tensor_active, 0.0);
+    EXPECT_LE(c.tensor_active, 1.0);
+  }
+  // Fig. 7: HFTA's utilization keeps climbing with B.
+  EXPECT_GT(curve.back().result.counters.sm_active,
+            curve.front().result.counters.sm_active * 1.5);
+  EXPECT_GT(curve.back().result.counters.tensor_active,
+            curve.front().result.counters.tensor_active);
+}
+
+TEST(Counters, ConcurrentUtilizationEqualsSerial) {
+  // Fig. 7: concurrent's SM utilization stays at the serial level.
+  const DeviceSpec dev = a100();
+  const RunResult serial =
+      simulate(dev, Workload::kPointNetCls, Mode::kSerial, 1, Precision::kFP32);
+  const RunResult conc = simulate(dev, Workload::kPointNetCls,
+                                  Mode::kConcurrent, 4, Precision::kFP32);
+  EXPECT_NEAR(conc.counters.sm_active, serial.counters.sm_active,
+              serial.counters.sm_active * 0.25 + 0.02);
+}
+
+TEST(Counters, SerialJobsSeverelyUnderutilize) {
+  // Fig. 10: repetitive single-GPU jobs show sm_active <= ~0.35.
+  for (Workload w : kMajor) {
+    const RunResult r =
+        simulate(v100(), w, Mode::kSerial, 1, Precision::kFP32);
+    EXPECT_LT(r.counters.sm_active, 0.60) << workload_name(w);
+    EXPECT_LT(r.counters.sm_occupancy, 0.50) << workload_name(w);
+  }
+}
+
+TEST(Tpu, SerialVsHftaShapes) {
+  // Fig. 5: DCGAN shows the largest (super-linear-ish) gains; the
+  // segmentation variant barely improves (non-GEMM ops map poorly).
+  const DeviceSpec dev = tpu_v3();
+  const double cls = peak(sweep(dev, Workload::kPointNetCls, Mode::kHfta,
+                                Precision::kFP32));
+  const double seg = peak(sweep(dev, Workload::kPointNetSeg, Mode::kHfta,
+                                Precision::kFP32));
+  const double dcgan = peak(sweep(dev, Workload::kDCGAN, Mode::kHfta,
+                                  Precision::kFP32));
+  EXPECT_GT(dcgan, cls);
+  EXPECT_GT(cls, seg);
+  EXPECT_GT(dcgan, 4.0);
+  EXPECT_LT(seg, 2.0);
+}
+
+TEST(Amp, HftaExploitsTensorCoresBetterThanBaselines) {
+  // Table 10's shape: max AMP-over-FP32 gain is far larger under HFTA.
+  const DeviceSpec dev = v100();
+  const double hfta = amp_over_fp32(dev, Workload::kPointNetCls, Mode::kHfta);
+  const double serial =
+      amp_over_fp32(dev, Workload::kPointNetCls, Mode::kSerial);
+  EXPECT_GT(hfta, serial * 1.08);
+  EXPECT_LT(serial, 1.25); // paper: ~1.0
+  EXPECT_GT(hfta, 1.15);   // paper: 1.92 (see EXPERIMENTS.md deviation)
+}
+
+TEST(Amp, A100DcganAmpRegression) {
+  // §5.1 anomaly: on A100, HFTA's DCGAN FP32 beats AMP (cuDNN backward
+  // regression); V100 does not show this.
+  const double a100_ratio = amp_over_fp32(a100(), Workload::kDCGAN,
+                                          Mode::kHfta);
+  const double v100_ratio = amp_over_fp32(v100(), Workload::kDCGAN,
+                                          Mode::kHfta);
+  EXPECT_LT(a100_ratio, 1.0);
+  EXPECT_GE(v100_ratio, 1.0);
+}
+
+TEST(PartialFusion, ThroughputDecaysAsUnitsUnfuse) {
+  // Fig. 17: fixing B = 30 models on V100, throughput falls as fusion is
+  // turned off unit by unit; fully unfused degenerates toward concurrent.
+  const DeviceSpec dev = v100();
+  const IterationTrace single = build_trace(Workload::kResNet18, 1);
+  double prev = 0;
+  for (int64_t fused_units : {10, 8, 6, 4, 2, 0}) {
+    const IterationTrace t = build_resnet_partial_trace(30, fused_units);
+    const RunResult r =
+        simulate_traces(dev, single, t, Mode::kHfta, 30, Precision::kAMP);
+    ASSERT_TRUE(r.fits) << "30 AMP ResNet-18 models must fit on V100";
+    // fewer fused units -> slower rounds (throughput decays, Fig. 17)
+    EXPECT_GT(r.round_us, prev * 1.001) << "fused_units=" << fused_units;
+    prev = r.round_us;
+  }
+}
+
+TEST(Sweep, CurvesStopAtMemoryCapacity) {
+  const DeviceSpec dev = v100();
+  auto curve = sweep(dev, Workload::kPointNetCls, Mode::kHfta,
+                     Precision::kAMP);
+  const int64_t cap =
+      max_models(dev, Workload::kPointNetCls, Mode::kHfta, Precision::kAMP);
+  EXPECT_EQ(curve.back().models, cap);
+  // one more model must not fit
+  EXPECT_FALSE(simulate(dev, Workload::kPointNetCls, Mode::kHfta, cap + 1,
+                        Precision::kAMP)
+                   .fits);
+}
+
+TEST(Sweep, SecondaryBenchmarksInPaperBand) {
+  // Fig. 15: on V100, secondary benchmarks peak 2.42x-3.94x over serial.
+  for (Workload w : {Workload::kResNet18, Workload::kMobileNetV3,
+                     Workload::kTransformer, Workload::kBertMedium}) {
+    const double s = peak_speedup_vs(v100(), w, Mode::kSerial);
+    EXPECT_GT(s, 1.6) << workload_name(w);
+    EXPECT_LT(s, 12.0) << workload_name(w);
+  }
+}
+
+}  // namespace
+}  // namespace hfta::sim
