@@ -81,6 +81,32 @@ void BM_LinearFusedBaddbmm(benchmark::State& state) {
 }
 BENCHMARK(BM_LinearFusedBaddbmm)->Arg(2)->Arg(4)->Arg(8);
 
+// matmul_nt (x @ w^T, the linear_forward kernel): the dot-product NT
+// microkernel vs the old transpose-then-NN-GEMM route it replaced.
+void BM_MatmulNTDirect(benchmark::State& state) {
+  const int64_t M = state.range(0), K = state.range(0), N = state.range(0);
+  Rng rng(4);
+  Tensor a = Tensor::randn({M, K}, rng);
+  Tensor b = Tensor::randn({N, K}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::matmul_nt(a, b));
+  }
+}
+BENCHMARK(BM_MatmulNTDirect)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulNTViaTranspose(benchmark::State& state) {
+  const int64_t M = state.range(0), K = state.range(0), N = state.range(0);
+  Rng rng(4);
+  Tensor a = Tensor::randn({M, K}, rng);
+  Tensor b = Tensor::randn({N, K}, rng);
+  for (auto _ : state) {
+    // The pre-microkernel implementation: materialize b^T, then NN GEMM.
+    Tensor bt = b.transpose(0, 1);
+    benchmark::DoNotOptimize(ops::matmul(a, bt));
+  }
+}
+BENCHMARK(BM_MatmulNTViaTranspose)->Arg(64)->Arg(128)->Arg(256);
+
 void BM_AdamSeparate(benchmark::State& state) {
   const int64_t B = state.range(0);
   Rng rng(3);

@@ -1,5 +1,10 @@
 #include "hfta/fusion.h"
 
+#include <sstream>
+
+#include "hfta/fused_norm.h"
+#include "nn/layers.h"
+#include "nn/norm.h"
 #include "tensor/ops.h"
 
 namespace hfta::fused {
@@ -45,6 +50,574 @@ std::vector<Tensor> unfuse_blocks(const Tensor& fused, int64_t B, Shape shape) {
     out.push_back(std::move(t));
   }
   return out;
+}
+
+namespace {
+
+void collect_buffers(const nn::Module& m,
+                     std::vector<std::pair<std::string, Tensor>>* out) {
+  for (const auto& kv : m.named_buffers()) out->push_back(kv);
+  for (const auto& [name, child] : m.named_children())
+    collect_buffers(*child, out);
+}
+
+}  // namespace
+
+void copy_module_state(const nn::Module& src, nn::Module& dst) {
+  auto s = src.named_parameters();
+  auto d = dst.named_parameters();
+  HFTA_CHECK(s.size() == d.size(), "copy_module_state: parameter-count "
+             "mismatch");
+  for (size_t i = 0; i < s.size(); ++i) {
+    HFTA_CHECK(s[i].second.numel() == d[i].second.numel(),
+               "copy_module_state: shape mismatch at ", s[i].first);
+    d[i].second.mutable_value().copy_(s[i].second.value());
+  }
+  std::vector<std::pair<std::string, Tensor>> sb, db;
+  collect_buffers(src, &sb);
+  collect_buffers(dst, &db);
+  HFTA_CHECK(sb.size() == db.size(), "copy_module_state: buffer-count "
+             "mismatch");
+  for (size_t i = 0; i < sb.size(); ++i)
+    db[i].second.copy_(sb[i].second);
+}
+
+// ---- diagnostics -----------------------------------------------------------
+
+const char* layout_name(Layout l) {
+  switch (l) {
+    case Layout::kChannelFused: return "channel-fused";
+    case Layout::kModelMajor: return "model-major";
+    case Layout::kAny: return "any";
+  }
+  return "?";
+}
+
+std::string FusionDiagnostic::str() const {
+  std::ostringstream os;
+  os << "fusion: " << reason << " (at '" << (path.empty() ? "<root>" : path)
+     << "', model ";
+  if (model_index < 0) {
+    os << "all";
+  } else {
+    os << model_index;
+  }
+  os << ")";
+  return os.str();
+}
+
+FusionError::FusionError(FusionDiagnostic d)
+    : std::runtime_error(d.str()), diagnostic(std::move(d)) {}
+
+// ---- registry --------------------------------------------------------------
+
+namespace {
+
+template <typename FusedT, typename PlainT>
+std::function<void(nn::Module&, int64_t, const nn::Module&)> block_loader() {
+  return [](nn::Module& fused_mod, int64_t b, const nn::Module& src) {
+    static_cast<FusedT&>(fused_mod).load_model(b,
+                                               static_cast<const PlainT&>(src));
+  };
+}
+
+Lowered stateless(std::shared_ptr<nn::Module> m, Layout in = Layout::kAny,
+                  Layout out = Layout::kAny) {
+  return Lowered{std::move(m), in, out, nullptr};
+}
+
+}  // namespace
+
+LoweringRegistry& LoweringRegistry::instance() {
+  static LoweringRegistry* reg = new LoweringRegistry();
+  return *reg;
+}
+
+void LoweringRegistry::add(const std::string& kind_name, LoweringFn fn) {
+  rules_[kind_name] = std::move(fn);
+}
+
+const LoweringFn* LoweringRegistry::find(const std::string& kind_name) const {
+  auto it = rules_.find(kind_name);
+  return it == rules_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> LoweringRegistry::supported_kinds() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : rules_) out.push_back(k);
+  return out;
+}
+
+LoweringRegistry::LoweringRegistry() {
+  // -- model-major family ----------------------------------------------------
+  add(nn::layer_kind_name(nn::LayerKind::kLinear),
+      [](const LoweringContext& ctx) {
+        const nn::ModuleConfig c = ctx.reference().config();
+        auto m = std::make_shared<FusedLinear>(
+            ctx.array_size, c.get_int("in"), c.get_int("out"),
+            c.get_int("bias") != 0, *ctx.rng);
+        return Lowered{m, Layout::kModelMajor, Layout::kModelMajor,
+                       block_loader<FusedLinear, nn::Linear>()};
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kLayerNorm),
+      [](const LoweringContext& ctx) {
+        const nn::ModuleConfig c = ctx.reference().config();
+        auto m = std::make_shared<FusedLayerNorm>(
+            ctx.array_size, c.dims, static_cast<float>(c.get_float("eps")),
+            *ctx.rng);
+        return Lowered{m, Layout::kModelMajor, Layout::kModelMajor,
+                       block_loader<FusedLayerNorm, nn::LayerNorm>()};
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kFlatten),
+      [](const LoweringContext& ctx) {
+        return stateless(std::make_shared<FusedFlatten>(ctx.array_size),
+                         Layout::kModelMajor, Layout::kModelMajor);
+      });
+
+  // -- channel-fused family --------------------------------------------------
+  add(nn::layer_kind_name(nn::LayerKind::kConv2d),
+      [](const LoweringContext& ctx) {
+        const nn::ModuleConfig c = ctx.reference().config();
+        auto m = std::make_shared<FusedConv2d>(
+            ctx.array_size, c.get_int("in"), c.get_int("out"),
+            c.get_int("kernel"), c.get_int("stride"), c.get_int("pad"),
+            c.get_int("groups"), c.get_int("bias") != 0, *ctx.rng);
+        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
+                       block_loader<FusedConv2d, nn::Conv2d>()};
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kConv1d),
+      [](const LoweringContext& ctx) {
+        const nn::ModuleConfig c = ctx.reference().config();
+        auto m = std::make_shared<FusedConv1d>(
+            ctx.array_size, c.get_int("in"), c.get_int("out"),
+            c.get_int("kernel"), c.get_int("stride"), c.get_int("pad"),
+            c.get_int("groups"), c.get_int("bias") != 0, *ctx.rng);
+        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
+                       block_loader<FusedConv1d, nn::Conv1d>()};
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kConvTranspose2d),
+      [](const LoweringContext& ctx) {
+        const nn::ModuleConfig c = ctx.reference().config();
+        auto m = std::make_shared<FusedConvTranspose2d>(
+            ctx.array_size, c.get_int("in"), c.get_int("out"),
+            c.get_int("kernel"), c.get_int("stride"), c.get_int("pad"),
+            c.get_int("out_pad"), c.get_int("groups"), c.get_int("bias") != 0,
+            *ctx.rng);
+        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
+                       block_loader<FusedConvTranspose2d,
+                                    nn::ConvTranspose2d>()};
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kConvTranspose1d),
+      [](const LoweringContext& ctx) {
+        const nn::ModuleConfig c = ctx.reference().config();
+        auto m = std::make_shared<FusedConvTranspose1d>(
+            ctx.array_size, c.get_int("in"), c.get_int("out"),
+            c.get_int("kernel"), c.get_int("stride"), c.get_int("pad"),
+            c.get_int("out_pad"), c.get_int("groups"), c.get_int("bias") != 0,
+            *ctx.rng);
+        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
+                       block_loader<FusedConvTranspose1d,
+                                    nn::ConvTranspose1d>()};
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kBatchNorm2d),
+      [](const LoweringContext& ctx) {
+        const nn::ModuleConfig c = ctx.reference().config();
+        auto m = std::make_shared<FusedBatchNorm2d>(
+            ctx.array_size, c.get_int("channels"),
+            static_cast<float>(c.get_float("eps")),
+            static_cast<float>(c.get_float("momentum")));
+        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
+                       block_loader<FusedBatchNorm2d, nn::BatchNorm2d>()};
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kBatchNorm1d),
+      [](const LoweringContext& ctx) {
+        const nn::ModuleConfig c = ctx.reference().config();
+        auto m = std::make_shared<FusedBatchNorm1d>(
+            ctx.array_size, c.get_int("channels"),
+            static_cast<float>(c.get_float("eps")),
+            static_cast<float>(c.get_float("momentum")));
+        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
+                       block_loader<FusedBatchNorm1d, nn::BatchNorm1d>()};
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kMaxPool2d),
+      [](const LoweringContext& ctx) {
+        const nn::ModuleConfig c = ctx.reference().config();
+        return stateless(
+            std::make_shared<FusedMaxPool2d>(ctx.array_size,
+                                             c.get_int("kernel"),
+                                             c.get_int("stride"),
+                                             c.get_int("pad")),
+            Layout::kChannelFused, Layout::kChannelFused);
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kAdaptiveAvgPool2d),
+      [](const LoweringContext& ctx) {
+        const nn::ModuleConfig c = ctx.reference().config();
+        return stateless(
+            std::make_shared<FusedAdaptiveAvgPool2d>(
+                ctx.array_size, c.get_int("out_h"), c.get_int("out_w")),
+            Layout::kChannelFused, Layout::kChannelFused);
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kDropout2d),
+      [](const LoweringContext& ctx) {
+        const nn::ModuleConfig c = ctx.reference().config();
+        return stateless(
+            std::make_shared<FusedDropout2d>(
+                ctx.array_size, static_cast<float>(c.get_float("p"))),
+            Layout::kChannelFused, Layout::kChannelFused);
+      });
+
+  // -- layout-agnostic steps -------------------------------------------------
+  add(nn::layer_kind_name(nn::LayerKind::kDropout),
+      [](const LoweringContext& ctx) {
+        const nn::ModuleConfig c = ctx.reference().config();
+        return stateless(std::make_shared<FusedDropout>(
+            ctx.array_size, static_cast<float>(c.get_float("p"))));
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kGlobalMaxPool1d),
+      [](const LoweringContext&) {
+        return stateless(std::make_shared<nn::GlobalMaxPool1d>());
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kReLU), [](const LoweringContext&) {
+    return stateless(std::make_shared<nn::ReLU>());
+  });
+  add(nn::layer_kind_name(nn::LayerKind::kReLU6), [](const LoweringContext&) {
+    return stateless(std::make_shared<nn::ReLU6>());
+  });
+  add(nn::layer_kind_name(nn::LayerKind::kLeakyReLU),
+      [](const LoweringContext& ctx) {
+        const auto& ref = static_cast<const nn::LeakyReLU&>(ctx.reference());
+        return stateless(std::make_shared<nn::LeakyReLU>(ref.slope));
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kTanh), [](const LoweringContext&) {
+    return stateless(std::make_shared<nn::Tanh>());
+  });
+  add(nn::layer_kind_name(nn::LayerKind::kSigmoid),
+      [](const LoweringContext&) {
+        return stateless(std::make_shared<nn::Sigmoid>());
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kHardswish),
+      [](const LoweringContext&) {
+        return stateless(std::make_shared<nn::Hardswish>());
+      });
+  add(nn::layer_kind_name(nn::LayerKind::kGELU), [](const LoweringContext&) {
+    return stateless(std::make_shared<nn::GELU>());
+  });
+}
+
+// ---- congruence ------------------------------------------------------------
+
+namespace {
+
+std::string join_path(const std::string& a, const std::string& b) {
+  return a.empty() ? b : a + "." + b;
+}
+
+void check_congruent(const std::string& path,
+                     const std::vector<const nn::Module*>& mods,
+                     std::vector<FusionDiagnostic>* out) {
+  const nn::Module& ref = *mods[0];
+  const std::string ref_kind = ref.kind_name();
+  const nn::ModuleConfig ref_cfg = ref.config();
+  for (size_t b = 1; b < mods.size(); ++b) {
+    if (mods[b]->kind_name() != ref_kind) {
+      out->push_back({path, static_cast<int64_t>(b),
+                      "layer kind mismatch: model 0 is '" + ref_kind +
+                          "' but model " + std::to_string(b) + " is '" +
+                          mods[b]->kind_name() + "'"});
+      return;  // no point comparing configs/children of different kinds
+    }
+    const nn::ModuleConfig cfg = mods[b]->config();
+    if (cfg.ints.size() != ref_cfg.ints.size() ||
+        cfg.floats.size() != ref_cfg.floats.size()) {
+      out->push_back({path, static_cast<int64_t>(b),
+                      "config arity mismatch for '" + ref_kind + "'"});
+      continue;
+    }
+    for (size_t i = 0; i < ref_cfg.ints.size(); ++i) {
+      if (cfg.ints[i].second != ref_cfg.ints[i].second) {
+        out->push_back(
+            {path, static_cast<int64_t>(b),
+             "structural hyper-parameter '" + ref_cfg.ints[i].first +
+                 "' differs: model 0 has " +
+                 std::to_string(ref_cfg.ints[i].second) + ", model " +
+                 std::to_string(b) + " has " +
+                 std::to_string(cfg.ints[i].second)});
+      }
+    }
+    for (size_t i = 0; i < ref_cfg.floats.size(); ++i) {
+      if (cfg.floats[i].second != ref_cfg.floats[i].second) {
+        out->push_back(
+            {path, static_cast<int64_t>(b),
+             "hyper-parameter '" + ref_cfg.floats[i].first +
+                 "' differs: model 0 has " +
+                 std::to_string(ref_cfg.floats[i].second) + ", model " +
+                 std::to_string(b) + " has " +
+                 std::to_string(cfg.floats[i].second)});
+      }
+    }
+    if (cfg.dims != ref_cfg.dims) {
+      out->push_back({path, static_cast<int64_t>(b),
+                      "shape hyper-parameter differs: " +
+                          shape_str(ref_cfg.dims) + " vs " +
+                          shape_str(cfg.dims)});
+    }
+  }
+
+  const auto& ref_children = ref.named_children();
+  for (size_t b = 1; b < mods.size(); ++b) {
+    if (mods[b]->named_children().size() != ref_children.size()) {
+      out->push_back(
+          {path, static_cast<int64_t>(b),
+           "submodule count differs: model 0 has " +
+               std::to_string(ref_children.size()) + ", model " +
+               std::to_string(b) + " has " +
+               std::to_string(mods[b]->named_children().size())});
+      return;
+    }
+  }
+  for (size_t i = 0; i < ref_children.size(); ++i) {
+    std::vector<const nn::Module*> child_mods;
+    bool names_ok = true;
+    for (const nn::Module* m : mods) {
+      const auto& kv = m->named_children()[i];
+      if (kv.first != ref_children[i].first) {
+        out->push_back({path, static_cast<int64_t>(child_mods.size()),
+                        "submodule name differs: '" + ref_children[i].first +
+                            "' vs '" + kv.first + "'"});
+        names_ok = false;
+        break;
+      }
+      child_mods.push_back(kv.second.get());
+    }
+    if (names_ok)
+      check_congruent(join_path(path, ref_children[i].first), child_mods, out);
+  }
+}
+
+}  // namespace
+
+// ---- FusedArray ------------------------------------------------------------
+
+FusedArray::FusedArray(int64_t B, FusionOptions opts)
+    : FusedModule(B), opts_(std::move(opts)) {}
+
+ag::Variable FusedArray::forward(const ag::Variable& x) {
+  ag::Variable h = x;
+  Layout cur = Layout::kChannelFused;
+  auto convert_to = [&](Layout want) {
+    if (want == Layout::kAny || want == cur) return;
+    h = want == Layout::kModelMajor ? to_model_major(h, array_size_)
+                                    : to_channel_fused(h);
+    cur = want;
+  };
+  for (const Step& s : steps_) {
+    convert_to(s.in);
+    h = s.module->forward(h);
+    if (s.out != Layout::kAny) cur = s.out;
+  }
+  convert_to(opts_.output_layout);
+  return h;
+}
+
+void FusedArray::load_model(int64_t b, const nn::Module& per_model_root) {
+  HFTA_CHECK(b >= 0 && b < array_size_, "FusedArray::load_model: bad index");
+  for (Step& s : steps_) {
+    if (!s.load) continue;
+    const nn::Module* src = per_model_root.find(s.path);
+    HFTA_CHECK(src != nullptr, "FusedArray::load_model: path '", s.path,
+               "' not found in the per-model tree");
+    s.load(*s.module, b, *src);
+  }
+}
+
+bool FusedArray::unit_fused(int64_t u) const {
+  for (const Step& s : steps_)
+    if (s.unit == u && !s.fused) return false;
+  return true;
+}
+
+Layout FusedArray::output_layout() const {
+  if (opts_.output_layout != Layout::kAny) return opts_.output_layout;
+  Layout cur = Layout::kChannelFused;
+  for (const Step& s : steps_) {
+    if (s.out != Layout::kAny) {
+      cur = s.out;
+    } else if (s.in != Layout::kAny) {
+      cur = s.in;
+    }
+  }
+  return cur;
+}
+
+std::string FusedArray::describe() const {
+  std::ostringstream os;
+  os << "FusedArray(B=" << array_size_ << ", " << num_units_ << " units)\n";
+  for (const Step& s : steps_) {
+    os << "  [unit " << s.unit << "] "
+       << (s.path.empty() ? "<root>" : s.path) << ": " << s.kind
+       << (s.fused ? "" : " (unfused x" + std::to_string(array_size_) + ")")
+       << "  (" << layout_name(s.in) << " -> " << layout_name(s.out) << ")\n";
+  }
+  return os.str();
+}
+
+// ---- FusionPlan ------------------------------------------------------------
+
+FusionPlan::FusionPlan(int64_t array_size, FusionOptions opts)
+    : array_size_(array_size), opts_(std::move(opts)) {
+  HFTA_CHECK(array_size_ >= 1, "FusionPlan: array size must be >= 1");
+}
+
+std::vector<FusionDiagnostic> FusionPlan::analyze(
+    const std::vector<const nn::Module*>& models) const {
+  std::vector<FusionDiagnostic> out;
+  if (static_cast<int64_t>(models.size()) != array_size_) {
+    out.push_back({"", -1,
+                   "expected " + std::to_string(array_size_) +
+                       " models, got " + std::to_string(models.size())});
+    return out;
+  }
+  check_congruent("", models, &out);
+  return out;
+}
+
+namespace {
+
+FusedArray::Step make_adapter_step(
+    int64_t B, const std::string& path,
+    std::vector<std::shared_ptr<nn::Module>> reps, int64_t unit) {
+  FusedArray::Step s;
+  s.kind = reps[0]->kind_name();
+  s.module = std::make_shared<UnfusedBlockAdapter>(B, std::move(reps));
+  s.in = Layout::kChannelFused;
+  s.out = Layout::kChannelFused;
+  s.path = path;
+  s.load = [](nn::Module& mod, int64_t b, const nn::Module& src) {
+    auto& adapter = static_cast<UnfusedBlockAdapter&>(mod);
+    copy_module_state(src, *adapter.replicas()[static_cast<size_t>(b)]);
+  };
+  s.fused = false;
+  s.unit = unit;
+  return s;
+}
+
+void lower_into(int64_t B, Rng& rng, const std::string& path,
+                const std::vector<std::shared_ptr<nn::Module>>& reps,
+                int64_t unit, bool allow_fallback,
+                std::vector<FusedArray::Step>* steps) {
+  const nn::Module& ref = *reps[0];
+  if (ref.kind() == nn::LayerKind::kSequential) {
+    const auto& ref_children = ref.named_children();
+    for (size_t i = 0; i < ref_children.size(); ++i) {
+      std::vector<std::shared_ptr<nn::Module>> child_reps;
+      for (const auto& r : reps)
+        child_reps.push_back(r->named_children()[i].second);
+      lower_into(B, rng, join_path(path, ref_children[i].first), child_reps,
+                 unit, allow_fallback, steps);
+    }
+    return;
+  }
+  const LoweringFn* fn = LoweringRegistry::instance().find(ref.kind_name());
+  if (fn == nullptr) {
+    if (allow_fallback) {
+      steps->push_back(make_adapter_step(B, path, reps, unit));
+      return;
+    }
+    throw FusionError(
+        {path, -1,
+         "no fusion rule registered for layer kind '" + ref.kind_name() +
+             "'; register a lowering, enable allow_unfused_fallback, or turn "
+             "this unit off in fuse_mask"});
+  }
+  LoweringContext ctx;
+  ctx.array_size = B;
+  for (const auto& r : reps) ctx.replicas.push_back(r.get());
+  ctx.rng = &rng;
+  ctx.path = path;
+  Lowered l = (*fn)(ctx);
+  HFTA_CHECK(l.module != nullptr, "lowering for '", ref.kind_name(),
+             "' returned no module");
+  FusedArray::Step s;
+  s.module = std::move(l.module);
+  s.in = l.in;
+  s.out = l.out;
+  s.path = path;
+  s.kind = ref.kind_name();
+  s.load = std::move(l.load);
+  s.fused = true;
+  s.unit = unit;
+  steps->push_back(std::move(s));
+}
+
+}  // namespace
+
+std::shared_ptr<FusedArray> FusionPlan::compile(
+    const std::vector<std::shared_ptr<nn::Module>>& models, Rng& rng) const {
+  std::vector<const nn::Module*> raw;
+  for (const auto& m : models) raw.push_back(m.get());
+  std::vector<FusionDiagnostic> diags = analyze(raw);
+  if (!diags.empty()) throw FusionError(diags.front());
+
+  // Top-level fusion units: the children of a root Sequential, or the root
+  // itself. This is the granularity of fuse_mask (paper Fig. 17).
+  std::vector<std::pair<std::string, std::vector<std::shared_ptr<nn::Module>>>>
+      units;
+  if (models[0]->kind() == nn::LayerKind::kSequential) {
+    const auto& ref_children = models[0]->named_children();
+    for (size_t i = 0; i < ref_children.size(); ++i) {
+      std::vector<std::shared_ptr<nn::Module>> reps;
+      for (const auto& m : models)
+        reps.push_back(m->named_children()[i].second);
+      units.emplace_back(ref_children[i].first, std::move(reps));
+    }
+  } else {
+    units.emplace_back("", models);
+  }
+  if (!opts_.fuse_mask.empty() &&
+      opts_.fuse_mask.size() != units.size()) {
+    throw FusionError(
+        {"", -1,
+         "fuse_mask has " + std::to_string(opts_.fuse_mask.size()) +
+             " entries but the model has " + std::to_string(units.size()) +
+             " top-level fusion units"});
+  }
+
+  auto array = std::shared_ptr<FusedArray>(new FusedArray(array_size_, opts_));
+  array->num_units_ = static_cast<int64_t>(units.size());
+  for (size_t u = 0; u < units.size(); ++u) {
+    auto& [path, reps] = units[u];
+    const bool fuse = opts_.fuse_mask.empty() || opts_.fuse_mask[u];
+    if (fuse) {
+      lower_into(array_size_, rng, path, reps, static_cast<int64_t>(u),
+                 opts_.allow_unfused_fallback, &array->steps_);
+    } else {
+      array->steps_.push_back(make_adapter_step(
+          array_size_, path, reps, static_cast<int64_t>(u)));
+    }
+  }
+
+  for (size_t i = 0; i < array->steps_.size(); ++i) {
+    FusedArray::Step& s = array->steps_[i];
+    array->register_module("step" + std::to_string(i), s.module);
+    // Adapter steps alias the source models' own submodules — no copy needed.
+    if (!s.load || !s.fused) continue;
+    for (int64_t b = 0; b < array_size_; ++b) {
+      const nn::Module* src = models[static_cast<size_t>(b)]->find(s.path);
+      HFTA_CHECK(src != nullptr, "compile: path '", s.path, "' not found");
+      s.load(*s.module, b, *src);
+    }
+  }
+  return array;
+}
+
+// ---- planner-support modules ------------------------------------------------
+
+ag::Variable FusedFlatten::forward(const ag::Variable& x) {
+  HFTA_CHECK(x.dim() >= 2 && x.size(0) == array_size_,
+             "FusedFlatten: expected model-major [B, N, ...], got ",
+             shape_str(x.shape()));
+  return ag::reshape(x, {x.size(0), x.size(1),
+                         x.numel() / (x.size(0) * x.size(1))});
 }
 
 }  // namespace hfta::fused

@@ -1,11 +1,24 @@
-// Fusion bookkeeping: converting between B per-model modules and one fused
-// module, and the partial-fusion adapter used by the paper's Appendix H.4
-// study (a block whose fusion is "turned off" runs its B per-model copies
-// in a loop on the fused data layout).
+// The fusion planner: compiles B per-model nn::Module graphs into one
+// horizontally fused array model (the paper's core transformation), plus the
+// fusion bookkeeping it builds on — converting between B per-model modules
+// and one fused module, and the partial-fusion adapter used by the paper's
+// Appendix H.4 study.
+//
+// A FusionPlan mirrors MIOpen's Fusion API shape: a plan object validates
+// that the B module trees are structurally congruent (same layer kinds,
+// shapes and topology — per-model hyper-parameters like learning rate live
+// in the fused optimizer, not the graph), reports unsupported combinations
+// as structured diagnostics, and lowers each layer through a per-kind
+// registry into the existing Fused* operators, inserting
+// to_model_major/to_channel_fused layout conversions automatically at
+// family boundaries (DESIGN.md §2). Partial fusion is a plan option
+// (FusionOptions::fuse_mask) rather than bespoke per-model wiring.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <stdexcept>
 
 #include "hfta/fused_ops.h"
 
@@ -33,5 +46,176 @@ class UnfusedBlockAdapter : public FusedModule {
 Tensor fuse_blocks(const std::vector<Tensor>& per_model);
 /// Splits a dim-0-block fused tensor into B per-model tensors of `shape`.
 std::vector<Tensor> unfuse_blocks(const Tensor& fused, int64_t B, Shape shape);
+
+/// Copies every parameter and buffer of `src` into the structurally
+/// identical module `dst` (used to (re)load unfused replicas).
+void copy_module_state(const nn::Module& src, nn::Module& dst);
+
+// ---- planner ---------------------------------------------------------------
+
+/// The two fused data layouts of DESIGN.md §2. kAny marks layout-agnostic
+/// (elementwise) steps that run in whatever layout the data is in.
+enum class Layout { kChannelFused, kModelMajor, kAny };
+const char* layout_name(Layout l);
+
+/// One structured planner diagnostic, in the spirit of MIOpen's
+/// fusion-compile errors: which layer, which model, why.
+struct FusionDiagnostic {
+  std::string path;        // dotted module path; "" = the root
+  int64_t model_index = -1;  // offending replica; -1 = structural/all
+  std::string reason;
+
+  std::string str() const;
+};
+
+class FusionError : public std::runtime_error {
+ public:
+  explicit FusionError(FusionDiagnostic d);
+  FusionDiagnostic diagnostic;
+};
+
+/// Everything a lowering rule may need: the array size, the B congruent
+/// per-model replicas (replicas[0] is the reference), an Rng for parameter
+/// allocation, and the path for diagnostics.
+struct LoweringContext {
+  int64_t array_size = 1;
+  std::vector<const nn::Module*> replicas;
+  Rng* rng = nullptr;
+  std::string path;
+
+  const nn::Module& reference() const { return *replicas[0]; }
+};
+
+/// Result of lowering one per-model layer: the fused module, the layout
+/// family it runs in, and a loader that copies model b's parameters from a
+/// per-model source layer into the fused module.
+struct Lowered {
+  std::shared_ptr<nn::Module> module;
+  Layout in = Layout::kAny;
+  Layout out = Layout::kAny;
+  std::function<void(nn::Module& fused, int64_t b, const nn::Module& src)>
+      load;  // null for stateless steps
+};
+
+using LoweringFn = std::function<Lowered(const LoweringContext&)>;
+
+/// Per-layer-kind lowering rules. Built-in nn:: leaves are pre-registered;
+/// composite model blocks (e.g. "models::BasicBlock") register themselves so
+/// the planner can lower user-defined stacks without bespoke fused models.
+class LoweringRegistry {
+ public:
+  static LoweringRegistry& instance();
+
+  void add(const std::string& kind_name, LoweringFn fn);
+  const LoweringFn* find(const std::string& kind_name) const;
+  std::vector<std::string> supported_kinds() const;
+
+ private:
+  LoweringRegistry();
+  std::map<std::string, LoweringFn> rules_;
+};
+
+/// Registers `fn` at static-init time (file-scope object in the .cpp that
+/// defines the fused counterpart).
+struct LoweringRegistrar {
+  LoweringRegistrar(const std::string& kind_name, LoweringFn fn) {
+    LoweringRegistry::instance().add(kind_name, std::move(fn));
+  }
+};
+
+struct FusionOptions {
+  /// Per top-level fusion unit (the children of the root Sequential, or the
+  /// single root otherwise): true = operator-fused, false = B per-model
+  /// replicas behind an UnfusedBlockAdapter (Appendix H.4). Empty = all
+  /// fused. NOTE: unfused units run the donor models' own submodules (the
+  /// array shares their parameter/buffer storage); pass freshly constructed
+  /// donors when the array must be independent, as the Fused* model
+  /// wrappers do.
+  std::vector<bool> fuse_mask;
+  /// Layout the array's output is converted to (kAny = leave as produced).
+  Layout output_layout = Layout::kAny;
+  /// When true, units with no registered lowering fall back to an
+  /// UnfusedBlockAdapter instead of failing the compile.
+  bool allow_unfused_fallback = false;
+};
+
+/// A compiled fused array: the lowered steps of B per-model graphs, with
+/// layout conversions inserted automatically between the channel-fused
+/// (conv/BN/pool) and model-major (linear/LayerNorm) families. Input is
+/// channel-fused [N, B*C, ...] (pack_channel_fused).
+class FusedArray : public FusedModule {
+ public:
+  struct Step {
+    std::shared_ptr<nn::Module> module;
+    Layout in = Layout::kAny;
+    Layout out = Layout::kAny;
+    std::string path;  // dotted path into the per-model tree
+    std::string kind;  // the per-model layer kind this step lowers
+    std::function<void(nn::Module&, int64_t, const nn::Module&)> load;
+    bool fused = true;
+    int64_t unit = 0;  // top-level fusion-unit index
+  };
+
+  ag::Variable forward(const ag::Variable& x) override;
+
+  /// Copies model b's parameters from a per-model tree congruent with the
+  /// compiled one (the planner walks the same paths it lowered). For
+  /// unfused units this writes into the adapter's replica — which is the
+  /// compile-time donor's own submodule (see FusionOptions::fuse_mask).
+  void load_model(int64_t b, const nn::Module& per_model_root);
+
+  const std::vector<Step>& steps() const { return steps_; }
+  /// Number of top-level fusion units (granularity of fuse_mask).
+  int64_t num_units() const { return num_units_; }
+  /// Whether top-level unit u is operator-fused.
+  bool unit_fused(int64_t u) const;
+  Layout output_layout() const;
+  /// Human-readable plan: one line per step with layouts and fusion state.
+  std::string describe() const;
+
+ private:
+  friend class FusionPlan;
+  FusedArray(int64_t B, FusionOptions opts);
+
+  std::vector<Step> steps_;
+  FusionOptions opts_;
+  int64_t num_units_ = 0;
+};
+
+/// The compiler from B per-model module graphs to a FusedArray.
+class FusionPlan {
+ public:
+  explicit FusionPlan(int64_t array_size, FusionOptions opts = {});
+
+  /// Structural congruence check only — returns every diagnostic (empty =
+  /// the models are fusible as far as topology and configs go).
+  std::vector<FusionDiagnostic> analyze(
+      const std::vector<const nn::Module*>& models) const;
+
+  /// Verifies congruence, lowers every layer through the registry, loads
+  /// all B models' weights, and returns the fused array. Fused units get
+  /// copies of the weights; unfused (masked-off / fallback) units alias the
+  /// donor modules themselves. Throws FusionError (with a structured
+  /// diagnostic) on the first unsupported combination.
+  std::shared_ptr<FusedArray> compile(
+      const std::vector<std::shared_ptr<nn::Module>>& models, Rng& rng) const;
+
+  int64_t array_size() const { return array_size_; }
+  const FusionOptions& options() const { return opts_; }
+
+ private:
+  int64_t array_size_;
+  FusionOptions opts_;
+};
+
+// ---- planner-support fused modules ----------------------------------------
+
+/// Fused Flatten: [B, N, d1, ...] -> [B, N, d1*...] on the model-major
+/// layout (the per-model op is [N, d...] -> [N, prod]).
+class FusedFlatten : public FusedModule {
+ public:
+  explicit FusedFlatten(int64_t B) : FusedModule(B) {}
+  ag::Variable forward(const ag::Variable& x) override;
+};
 
 }  // namespace hfta::fused

@@ -1,5 +1,7 @@
 #include "models/dcgan.h"
 
+#include "nn/layers.h"
+
 namespace hfta::models {
 
 // Channel width of the generator/discriminator at pyramid level `l`
@@ -9,135 +11,114 @@ static int64_t level_width(int64_t base, int64_t stages, int64_t l) {
 }
 
 DCGANGenerator::DCGANGenerator(const DCGANConfig& cfg, Rng& rng) : cfg(cfg) {
+  net = register_module("net", std::make_shared<nn::Sequential>());
   const int64_t S = cfg.stages();
   // Stage 0: nz -> width(0) at 4x4 (kernel 4, stride 1, pad 0).
   int64_t prev = cfg.nz;
   for (int64_t l = 0; l < S; ++l) {
     const int64_t w = level_width(cfg.ngf, S, l);
-    deconvs.push_back(register_module(
-        "deconv" + std::to_string(l),
-        std::make_shared<nn::ConvTranspose2d>(prev, w, 4, l == 0 ? 1 : 2,
-                                              l == 0 ? 0 : 1, 0, 1, false,
-                                              rng)));
-    bns.push_back(register_module("bn" + std::to_string(l),
-                                  std::make_shared<nn::BatchNorm2d>(w)));
+    net->push_back("deconv" + std::to_string(l),
+                   std::make_shared<nn::ConvTranspose2d>(
+                       prev, w, 4, l == 0 ? 1 : 2, l == 0 ? 0 : 1, 0, 1,
+                       false, rng));
+    net->push_back("bn" + std::to_string(l), std::make_shared<nn::BatchNorm2d>(w));
+    net->push_back("relu" + std::to_string(l), std::make_shared<nn::ReLU>());
     prev = w;
   }
-  deconvs.push_back(register_module(
-      "deconv_out", std::make_shared<nn::ConvTranspose2d>(prev, cfg.nc, 4, 2,
-                                                          1, 0, 1, false, rng)));
+  net->push_back("deconv_out",
+                 std::make_shared<nn::ConvTranspose2d>(prev, cfg.nc, 4, 2, 1,
+                                                       0, 1, false, rng));
+  net->push_back("tanh", std::make_shared<nn::Tanh>());
 }
 
 ag::Variable DCGANGenerator::forward(const ag::Variable& z) {
-  ag::Variable h = z;
-  for (size_t l = 0; l < bns.size(); ++l)
-    h = ag::relu(bns[l]->forward(deconvs[l]->forward(h)));
-  return ag::tanh(deconvs.back()->forward(h));
+  return net->forward(z);
 }
 
 DCGANDiscriminator::DCGANDiscriminator(const DCGANConfig& cfg, Rng& rng)
     : cfg(cfg) {
+  net = register_module("net", std::make_shared<nn::Sequential>());
   const int64_t S = cfg.stages();
   int64_t prev = cfg.nc;
   for (int64_t l = S - 1; l >= 0; --l) {
     const int64_t w = level_width(cfg.ndf, S, l);
-    convs.push_back(register_module(
-        "conv" + std::to_string(S - 1 - l),
-        std::make_shared<nn::Conv2d>(prev, w, 4, 2, 1, 1, false, rng)));
+    const std::string idx = std::to_string(S - 1 - l);
+    net->push_back("conv" + idx,
+                   std::make_shared<nn::Conv2d>(prev, w, 4, 2, 1, 1, false,
+                                                rng));
     if (l != S - 1)  // first conv has no BN (as in the reference code)
-      bns.push_back(register_module("bn" + std::to_string(S - 1 - l),
-                                    std::make_shared<nn::BatchNorm2d>(w)));
+      net->push_back("bn" + idx, std::make_shared<nn::BatchNorm2d>(w));
+    net->push_back("lrelu" + idx, std::make_shared<nn::LeakyReLU>(0.2f));
     prev = w;
   }
-  convs.push_back(register_module(
-      "conv_out",
-      std::make_shared<nn::Conv2d>(prev, 1, 4, 1, 0, 1, false, rng)));
+  net->push_back("conv_out",
+                 std::make_shared<nn::Conv2d>(prev, 1, 4, 1, 0, 1, false,
+                                              rng));
+  net->push_back("flatten", std::make_shared<nn::Flatten>());
 }
 
 ag::Variable DCGANDiscriminator::forward(const ag::Variable& x) {
-  ag::Variable h = ag::leaky_relu(convs[0]->forward(x), 0.2f);
-  for (size_t l = 1; l + 1 < convs.size(); ++l)
-    h = ag::leaky_relu(bns[l - 1]->forward(convs[l]->forward(h)), 0.2f);
-  ag::Variable logit = convs.back()->forward(h);  // [N, 1, 1, 1]
+  ag::Variable logit = net->forward(x);  // [N, 1]
   return ag::reshape(logit, {logit.size(0)});
 }
 
-// ---- fused --------------------------------------------------------------------
+// ---- fused (planner-compiled) ------------------------------------------------
+
+namespace {
+
+std::vector<std::shared_ptr<nn::Module>> generator_donors(
+    int64_t B, const DCGANConfig& cfg, Rng& rng) {
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  for (int64_t b = 0; b < B; ++b)
+    nets.push_back(DCGANGenerator(cfg, rng).net);
+  return nets;
+}
+
+std::vector<std::shared_ptr<nn::Module>> discriminator_donors(
+    int64_t B, const DCGANConfig& cfg, Rng& rng) {
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  for (int64_t b = 0; b < B; ++b)
+    nets.push_back(DCGANDiscriminator(cfg, rng).net);
+  return nets;
+}
+
+}  // namespace
 
 FusedDCGANGenerator::FusedDCGANGenerator(int64_t B, const DCGANConfig& cfg,
                                          Rng& rng)
     : fused::FusedModule(B), cfg(cfg) {
-  const int64_t S = cfg.stages();
-  int64_t prev = cfg.nz;
-  for (int64_t l = 0; l < S; ++l) {
-    const int64_t w = level_width(cfg.ngf, S, l);
-    deconvs.push_back(register_module(
-        "deconv" + std::to_string(l),
-        std::make_shared<fused::FusedConvTranspose2d>(
-            B, prev, w, 4, l == 0 ? 1 : 2, l == 0 ? 0 : 1, 0, 1, false, rng)));
-    bns.push_back(
-        register_module("bn" + std::to_string(l),
-                        std::make_shared<fused::FusedBatchNorm2d>(B, w)));
-    prev = w;
-  }
-  deconvs.push_back(register_module(
-      "deconv_out", std::make_shared<fused::FusedConvTranspose2d>(
-                        B, prev, cfg.nc, 4, 2, 1, 0, 1, false, rng)));
+  array = register_module(
+      "array", fused::FusionPlan(B).compile(generator_donors(B, cfg, rng),
+                                            rng));
 }
 
 ag::Variable FusedDCGANGenerator::forward(const ag::Variable& z) {
-  ag::Variable h = z;
-  for (size_t l = 0; l < bns.size(); ++l)
-    h = ag::relu(bns[l]->forward(deconvs[l]->forward(h)));
-  return ag::tanh(deconvs.back()->forward(h));
+  return array->forward(z);
 }
 
 void FusedDCGANGenerator::load_model(int64_t b, const DCGANGenerator& m) {
-  for (size_t l = 0; l < deconvs.size(); ++l)
-    deconvs[l]->load_model(b, *m.deconvs[l]);
-  for (size_t l = 0; l < bns.size(); ++l) bns[l]->load_model(b, *m.bns[l]);
+  array->load_model(b, *m.net);
 }
 
 FusedDCGANDiscriminator::FusedDCGANDiscriminator(int64_t B,
                                                  const DCGANConfig& cfg,
                                                  Rng& rng)
     : fused::FusedModule(B), cfg(cfg) {
-  const int64_t S = cfg.stages();
-  int64_t prev = cfg.nc;
-  for (int64_t l = S - 1; l >= 0; --l) {
-    const int64_t w = level_width(cfg.ndf, S, l);
-    convs.push_back(register_module(
-        "conv" + std::to_string(S - 1 - l),
-        std::make_shared<fused::FusedConv2d>(B, prev, w, 4, 2, 1, 1, false,
-                                             rng)));
-    if (l != S - 1)
-      bns.push_back(
-          register_module("bn" + std::to_string(S - 1 - l),
-                          std::make_shared<fused::FusedBatchNorm2d>(B, w)));
-    prev = w;
-  }
-  convs.push_back(register_module(
-      "conv_out",
-      std::make_shared<fused::FusedConv2d>(B, prev, 1, 4, 1, 0, 1, false,
-                                           rng)));
+  fused::FusionOptions opts;
+  opts.output_layout = fused::Layout::kModelMajor;
+  array = register_module(
+      "array", fused::FusionPlan(B, opts).compile(
+                   discriminator_donors(B, cfg, rng), rng));
 }
 
 ag::Variable FusedDCGANDiscriminator::forward(const ag::Variable& x) {
-  ag::Variable h = ag::leaky_relu(convs[0]->forward(x), 0.2f);
-  for (size_t l = 1; l + 1 < convs.size(); ++l)
-    h = ag::leaky_relu(bns[l - 1]->forward(convs[l]->forward(h)), 0.2f);
-  ag::Variable logit = convs.back()->forward(h);  // [N, B*1, 1, 1]
-  const int64_t N = logit.size(0);
-  // -> model-major [B, N]
-  ag::Variable mm = fused::to_model_major(
-      ag::reshape(logit, {N, array_size_}), array_size_);  // [B, N, 1]? no:
-  return ag::reshape(mm, {array_size_, N});
+  ag::Variable logit = array->forward(x);  // [B, N, 1]
+  return ag::reshape(logit, {logit.size(0), logit.size(1)});
 }
 
 void FusedDCGANDiscriminator::load_model(int64_t b,
                                          const DCGANDiscriminator& m) {
-  for (size_t l = 0; l < convs.size(); ++l) convs[l]->load_model(b, *m.convs[l]);
-  for (size_t l = 0; l < bns.size(); ++l) bns[l]->load_model(b, *m.bns[l]);
+  array->load_model(b, *m.net);
 }
 
 }  // namespace hfta::models

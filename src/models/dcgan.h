@@ -3,10 +3,13 @@
 // in Tanh; discriminator = strided Conv2d/BN/LeakyReLU pyramid ending in a
 // single logit. `paper()` is the 64x64 LSUN configuration (nz=100,
 // ngf=ndf=64); `tiny()` a 16x16 CPU-trainable reduction.
+//
+// Each network is defined ONCE as a per-model Sequential graph (`net`); the
+// fused variants are produced by the fusion planner (FusionPlan) from B
+// per-model graphs — there is no hand-written fused DCGAN.
 #pragma once
 
-#include "hfta/fused_norm.h"
-#include "hfta/fused_ops.h"
+#include "hfta/fusion.h"
 #include "nn/norm.h"
 
 namespace hfta::models {
@@ -38,8 +41,7 @@ class DCGANGenerator : public nn::Module {
   /// z: [N, nz, 1, 1] -> image [N, nc, S, S] in (-1, 1).
   ag::Variable forward(const ag::Variable& z) override;
 
-  std::vector<std::shared_ptr<nn::ConvTranspose2d>> deconvs;
-  std::vector<std::shared_ptr<nn::BatchNorm2d>> bns;
+  std::shared_ptr<nn::Sequential> net;  // the planner-walkable graph
   DCGANConfig cfg;
 };
 
@@ -49,12 +51,15 @@ class DCGANDiscriminator : public nn::Module {
   /// x: [N, nc, S, S] -> logits [N] (BCEWithLogits outside).
   ag::Variable forward(const ag::Variable& x) override;
 
-  std::vector<std::shared_ptr<nn::Conv2d>> convs;
-  std::vector<std::shared_ptr<nn::BatchNorm2d>> bns;
+  std::shared_ptr<nn::Sequential> net;
   DCGANConfig cfg;
 };
 
 // ---- fused variants --------------------------------------------------------------
+//
+// Thin wrappers over FusionPlan::compile: construct B per-model graphs,
+// lower them into one fused array, keep the old (B, cfg, rng) + load_model
+// interface.
 
 class FusedDCGANGenerator : public fused::FusedModule {
  public:
@@ -63,8 +68,7 @@ class FusedDCGANGenerator : public fused::FusedModule {
   ag::Variable forward(const ag::Variable& z) override;
   void load_model(int64_t b, const DCGANGenerator& m);
 
-  std::vector<std::shared_ptr<fused::FusedConvTranspose2d>> deconvs;
-  std::vector<std::shared_ptr<fused::FusedBatchNorm2d>> bns;
+  std::shared_ptr<fused::FusedArray> array;
   DCGANConfig cfg;
 };
 
@@ -75,8 +79,7 @@ class FusedDCGANDiscriminator : public fused::FusedModule {
   ag::Variable forward(const ag::Variable& x) override;
   void load_model(int64_t b, const DCGANDiscriminator& m);
 
-  std::vector<std::shared_ptr<fused::FusedConv2d>> convs;
-  std::vector<std::shared_ptr<fused::FusedBatchNorm2d>> bns;
+  std::shared_ptr<fused::FusedArray> array;
   DCGANConfig cfg;
 };
 

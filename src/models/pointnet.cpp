@@ -78,26 +78,55 @@ ag::Variable PointNetTrunk::forward(const ag::Variable& x) {
   return forward_both(x).second;
 }
 
+nn::ModuleConfig PointNetTrunk::config() const {
+  nn::ModuleConfig c;
+  c.set("w1", cfg.w1);
+  c.set("w2", cfg.w2);
+  c.set("w3", cfg.w3);
+  c.set("fc1", cfg.fc1);
+  c.set("input_transform", static_cast<int64_t>(cfg.input_transform));
+  return c;
+}
+
+// The planner lowering for the trunk: B congruent trunks become one
+// FusedPointNetTrunk on the channel-fused layout.
+static const fused::LoweringRegistrar kTrunkLowering(
+    "models::PointNetTrunk", [](const fused::LoweringContext& ctx) {
+      const auto& ref = static_cast<const PointNetTrunk&>(ctx.reference());
+      auto m = std::make_shared<FusedPointNetTrunk>(ctx.array_size, ref.cfg,
+                                                    *ctx.rng);
+      return fused::Lowered{
+          m, fused::Layout::kChannelFused, fused::Layout::kChannelFused,
+          [](nn::Module& f, int64_t b, const nn::Module& src) {
+            static_cast<FusedPointNetTrunk&>(f).load_model(
+                b, static_cast<const PointNetTrunk&>(src));
+          }};
+    });
+
 // ---- classification head ----------------------------------------------------------
 
 PointNetCls::PointNetCls(const PointNetConfig& cfg, Rng& rng) : cfg(cfg) {
-  trunk = register_module("trunk", std::make_shared<PointNetTrunk>(cfg, rng));
-  fc1 = register_module(
-      "fc1", std::make_shared<nn::Linear>(cfg.w3, cfg.fc1, true, rng));
-  fc2 = register_module(
-      "fc2", std::make_shared<nn::Linear>(cfg.fc1, cfg.fc2, true, rng));
-  fc3 = register_module(
-      "fc3", std::make_shared<nn::Linear>(cfg.fc2, cfg.num_classes, true, rng));
-  bn1 = register_module("bn1", std::make_shared<nn::BatchNorm1d>(cfg.fc1));
-  bn2 = register_module("bn2", std::make_shared<nn::BatchNorm1d>(cfg.fc2));
-  drop = register_module("drop", std::make_shared<nn::Dropout>(cfg.dropout_p));
+  net = register_module("net", std::make_shared<nn::Sequential>());
+  trunk = std::make_shared<PointNetTrunk>(cfg, rng);
+  fc1 = std::make_shared<nn::Linear>(cfg.w3, cfg.fc1, true, rng);
+  fc2 = std::make_shared<nn::Linear>(cfg.fc1, cfg.fc2, true, rng);
+  fc3 = std::make_shared<nn::Linear>(cfg.fc2, cfg.num_classes, true, rng);
+  bn1 = std::make_shared<nn::BatchNorm1d>(cfg.fc1);
+  bn2 = std::make_shared<nn::BatchNorm1d>(cfg.fc2);
+  drop = std::make_shared<nn::Dropout>(cfg.dropout_p);
+  net->push_back("trunk", trunk);
+  net->push_back("fc1", fc1);
+  net->push_back("bn1", bn1);
+  net->push_back("relu1", std::make_shared<nn::ReLU>());
+  net->push_back("fc2", fc2);
+  net->push_back("bn2", bn2);
+  net->push_back("relu2", std::make_shared<nn::ReLU>());
+  net->push_back("drop", drop);
+  net->push_back("fc3", fc3);
 }
 
 ag::Variable PointNetCls::forward(const ag::Variable& x) {
-  ag::Variable g = trunk->forward(x);
-  ag::Variable h = ag::relu(bn1->forward(fc1->forward(g)));
-  h = ag::relu(bn2->forward(fc2->forward(h)));
-  return fc3->forward(drop->forward(h));  // [N, classes]
+  return net->forward(x);  // [N, classes]
 }
 
 // ---- segmentation head ----------------------------------------------------------------
@@ -239,43 +268,20 @@ void FusedPointNetTrunk::load_model(int64_t b, const PointNetTrunk& m) {
 FusedPointNetCls::FusedPointNetCls(int64_t B, const PointNetConfig& cfg,
                                    Rng& rng)
     : fused::FusedModule(B), cfg(cfg) {
-  trunk = register_module("trunk",
-                          std::make_shared<FusedPointNetTrunk>(B, cfg, rng));
-  fc1 = register_module("fc1", std::make_shared<fused::FusedLinear>(
-                                   B, cfg.w3, cfg.fc1, true, rng));
-  fc2 = register_module("fc2", std::make_shared<fused::FusedLinear>(
-                                   B, cfg.fc1, cfg.fc2, true, rng));
-  fc3 = register_module("fc3", std::make_shared<fused::FusedLinear>(
-                                   B, cfg.fc2, cfg.num_classes, true, rng));
-  bn1 = register_module("bn1",
-                        std::make_shared<fused::FusedBatchNorm1d>(B, cfg.fc1));
-  bn2 = register_module("bn2",
-                        std::make_shared<fused::FusedBatchNorm1d>(B, cfg.fc2));
-  drop = register_module("drop",
-                         std::make_shared<fused::FusedDropout>(B, cfg.dropout_p));
+  std::vector<std::shared_ptr<nn::Module>> donors;
+  for (int64_t b = 0; b < B; ++b) donors.push_back(PointNetCls(cfg, rng).net);
+  fused::FusionOptions opts;
+  opts.output_layout = fused::Layout::kModelMajor;
+  array = register_module("array",
+                          fused::FusionPlan(B, opts).compile(donors, rng));
 }
 
 ag::Variable FusedPointNetCls::forward(const ag::Variable& x) {
-  const int64_t B = array_size_;
-  ag::Variable g = trunk->forward(x);                 // [N, B*w3]
-  ag::Variable h = fused::to_model_major(g, B);       // [B, N, w3]
-  h = fc1->forward(h);
-  // BatchNorm runs on the channel-fused layout; hop over and back.
-  h = ag::relu(fused::to_model_major(
-      bn1->forward(fused::to_channel_fused(h)), B));
-  h = fc2->forward(h);
-  h = ag::relu(fused::to_model_major(
-      bn2->forward(fused::to_channel_fused(h)), B));
-  return fc3->forward(drop->forward(h));  // [B, N, classes]
+  return array->forward(x);  // [B, N, classes]
 }
 
 void FusedPointNetCls::load_model(int64_t b, const PointNetCls& m) {
-  trunk->load_model(b, *m.trunk);
-  fc1->load_model(b, *m.fc1);
-  fc2->load_model(b, *m.fc2);
-  fc3->load_model(b, *m.fc3);
-  bn1->load_model(b, *m.bn1);
-  bn2->load_model(b, *m.bn2);
+  array->load_model(b, *m.net);
 }
 
 // ---- fused segmentation ------------------------------------------------------------------------

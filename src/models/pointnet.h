@@ -9,7 +9,8 @@
 #pragma once
 
 #include "hfta/fused_norm.h"
-#include "hfta/fused_ops.h"
+#include "hfta/fusion.h"
+#include "nn/layers.h"
 #include "nn/norm.h"
 
 namespace hfta::models {
@@ -43,12 +44,16 @@ class STN : public nn::Module {
 };
 
 /// Shared trunk: 1x1 Conv1d stack -> per-point features + global feature.
+/// Registers the custom lowering "models::PointNetTrunk" so the planner can
+/// fuse any model built on it.
 class PointNetTrunk : public nn::Module {
  public:
   PointNetTrunk(const PointNetConfig& cfg, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;  // global feature
   /// Returns {pointfeat [N, w1, L], global [N, w3]}.
   std::pair<ag::Variable, ag::Variable> forward_both(const ag::Variable& x);
+  std::string kind_name() const override { return "models::PointNetTrunk"; }
+  nn::ModuleConfig config() const override;
 
   std::shared_ptr<STN> stn;  // may be null
   std::shared_ptr<nn::Conv1d> conv1, conv2, conv3;
@@ -56,13 +61,15 @@ class PointNetTrunk : public nn::Module {
   PointNetConfig cfg;
 };
 
-/// Classification head: logits over num_classes.
+/// Classification head: logits over num_classes. Defined once as a
+/// per-model Sequential (`net`); the fused variant is planner-compiled.
 class PointNetCls : public nn::Module {
  public:
   PointNetCls(const PointNetConfig& cfg, Rng& rng);
   /// x: [N, 3, L] -> [N, num_classes].
   ag::Variable forward(const ag::Variable& x) override;
 
+  std::shared_ptr<nn::Sequential> net;  // the planner-walkable graph
   std::shared_ptr<PointNetTrunk> trunk;
   std::shared_ptr<nn::Linear> fc1, fc2, fc3;
   std::shared_ptr<nn::BatchNorm1d> bn1, bn2;
@@ -112,6 +119,7 @@ class FusedPointNetTrunk : public fused::FusedModule {
   PointNetConfig cfg;
 };
 
+/// Thin wrapper over FusionPlan::compile on B per-model PointNetCls graphs.
 class FusedPointNetCls : public fused::FusedModule {
  public:
   FusedPointNetCls(int64_t B, const PointNetConfig& cfg, Rng& rng);
@@ -119,10 +127,7 @@ class FusedPointNetCls : public fused::FusedModule {
   ag::Variable forward(const ag::Variable& x) override;
   void load_model(int64_t b, const PointNetCls& m);
 
-  std::shared_ptr<FusedPointNetTrunk> trunk;
-  std::shared_ptr<fused::FusedLinear> fc1, fc2, fc3;
-  std::shared_ptr<fused::FusedBatchNorm1d> bn1, bn2;
-  std::shared_ptr<fused::FusedDropout> drop;
+  std::shared_ptr<fused::FusedArray> array;
   PointNetConfig cfg;
 };
 

@@ -2,38 +2,6 @@
 
 namespace hfta::models {
 
-namespace {
-
-// Copies parameter values from src into dst (same architecture required);
-// used to initialize unfused replicas from a plain model.
-void copy_parameters(const nn::Module& src, nn::Module& dst) {
-  auto s = src.named_parameters();
-  auto d = dst.named_parameters();
-  HFTA_CHECK(s.size() == d.size(), "copy_parameters: structure mismatch");
-  for (size_t i = 0; i < s.size(); ++i) {
-    HFTA_CHECK(s[i].second.numel() == d[i].second.numel(),
-               "copy_parameters: shape mismatch at ", s[i].first);
-    d[i].second.mutable_value().copy_(s[i].second.value());
-  }
-}
-
-// Stem replica for the unfused-stem configuration.
-class Stem : public nn::Module {
- public:
-  Stem(int64_t in, int64_t out, Rng& rng) {
-    conv = register_module(
-        "conv", std::make_shared<nn::Conv2d>(in, out, 3, 1, 1, 1, false, rng));
-    bn = register_module("bn", std::make_shared<nn::BatchNorm2d>(out));
-  }
-  ag::Variable forward(const ag::Variable& x) override {
-    return ag::relu(bn->forward(conv->forward(x)));
-  }
-  std::shared_ptr<nn::Conv2d> conv;
-  std::shared_ptr<nn::BatchNorm2d> bn;
-};
-
-}  // namespace
-
 BasicBlock::BasicBlock(int64_t in, int64_t out, int64_t stride, Rng& rng) {
   conv1 = register_module(
       "conv1", std::make_shared<nn::Conv2d>(in, out, 3, stride, 1, 1, false,
@@ -57,35 +25,61 @@ ag::Variable BasicBlock::forward(const ag::Variable& x) {
   return ag::relu(ag::add(h, skip));
 }
 
+nn::ModuleConfig BasicBlock::config() const {
+  nn::ModuleConfig c;
+  c.set("in", conv1->weight.size(1));
+  c.set("out", conv1->weight.size(0));
+  c.set("stride", conv1->args.stride_h);
+  return c;
+}
+
+// The planner lowering for a residual block: B congruent BasicBlocks become
+// one FusedBasicBlock on the channel-fused layout.
+static const fused::LoweringRegistrar kBasicBlockLowering(
+    "models::BasicBlock", [](const fused::LoweringContext& ctx) {
+      const nn::ModuleConfig c = ctx.reference().config();
+      auto m = std::make_shared<FusedBasicBlock>(
+          ctx.array_size, c.get_int("in"), c.get_int("out"),
+          c.get_int("stride"), *ctx.rng);
+      return fused::Lowered{
+          m, fused::Layout::kChannelFused, fused::Layout::kChannelFused,
+          [](nn::Module& f, int64_t b, const nn::Module& src) {
+            static_cast<FusedBasicBlock&>(f).load_model(
+                b, static_cast<const BasicBlock&>(src));
+          }};
+    });
+
 ResNet18::ResNet18(const ResNetConfig& cfg, Rng& rng) : cfg(cfg) {
-  stem_conv = register_module(
-      "stem_conv", std::make_shared<nn::Conv2d>(cfg.in_channels,
-                                                cfg.stage_width(0), 3, 1, 1, 1,
-                                                false, rng));
-  stem_bn = register_module(
-      "stem_bn", std::make_shared<nn::BatchNorm2d>(cfg.stage_width(0)));
+  net = register_module("net", std::make_shared<nn::Sequential>());
+  stem_conv = std::make_shared<nn::Conv2d>(cfg.in_channels, cfg.stage_width(0),
+                                           3, 1, 1, 1, false, rng);
+  stem_bn = std::make_shared<nn::BatchNorm2d>(cfg.stage_width(0));
+  auto stem = std::make_shared<nn::Sequential>();
+  stem->push_back("conv", stem_conv);
+  stem->push_back("bn", stem_bn);
+  stem->push_back("relu", std::make_shared<nn::ReLU>());
+  net->push_back("stem", stem);
+
   int64_t in = cfg.stage_width(0);
   for (int64_t s = 0; s < 4; ++s) {
     const int64_t out = cfg.stage_width(s);
     for (int64_t i = 0; i < 2; ++i) {
       const int64_t stride = (i == 0 && s > 0) ? 2 : 1;
-      blocks.push_back(register_module(
-          "layer" + std::to_string(s) + "_" + std::to_string(i),
-          std::make_shared<BasicBlock>(in, out, stride, rng)));
+      blocks.push_back(std::make_shared<BasicBlock>(in, out, stride, rng));
+      net->push_back("layer" + std::to_string(s) + "_" + std::to_string(i),
+                     blocks.back());
       in = out;
     }
   }
-  fc = register_module("fc", std::make_shared<nn::Linear>(
-                                 cfg.stage_width(3), cfg.num_classes, true,
-                                 rng));
+  net->push_back("pool", std::make_shared<nn::AdaptiveAvgPool2d>(1, 1));
+  net->push_back("flatten", std::make_shared<nn::Flatten>());
+  fc = std::make_shared<nn::Linear>(cfg.stage_width(3), cfg.num_classes, true,
+                                    rng);
+  net->push_back("fc", fc);
 }
 
 ag::Variable ResNet18::forward(const ag::Variable& x) {
-  ag::Variable h = ag::relu(stem_bn->forward(stem_conv->forward(x)));
-  for (auto& b : blocks) h = b->forward(h);
-  h = ag::adaptive_avg_pool2d(h, 1, 1);
-  h = ag::reshape(h, {h.size(0), h.size(1)});
-  return fc->forward(h);
+  return net->forward(x);
 }
 
 // ---- fused -----------------------------------------------------------------------
@@ -147,106 +141,34 @@ int64_t ResNetFusionMask::fused_units() const {
   return n;
 }
 
+std::vector<bool> ResNetFusionMask::to_fuse_mask() const {
+  std::vector<bool> mask;
+  mask.push_back(stem);
+  for (bool b : block) mask.push_back(b);
+  mask.push_back(true);  // pool
+  mask.push_back(true);  // flatten
+  mask.push_back(head);
+  return mask;
+}
+
 FusedResNet18::FusedResNet18(int64_t B, const ResNetConfig& cfg, Rng& rng,
                              ResNetFusionMask mask)
     : fused::FusedModule(B), cfg(cfg), mask(mask) {
-  // stem
-  if (mask.stem) {
-    stem_conv = register_module(
-        "stem_conv",
-        std::make_shared<fused::FusedConv2d>(B, cfg.in_channels,
-                                             cfg.stage_width(0), 3, 1, 1, 1,
-                                             false, rng));
-    stem_bn = register_module(
-        "stem_bn",
-        std::make_shared<fused::FusedBatchNorm2d>(B, cfg.stage_width(0)));
-  } else {
-    std::vector<std::shared_ptr<nn::Module>> reps;
-    for (int64_t b = 0; b < B; ++b)
-      reps.push_back(
-          std::make_shared<Stem>(cfg.in_channels, cfg.stage_width(0), rng));
-    stem_adapter = register_module(
-        "stem_adapter", std::make_shared<fused::UnfusedBlockAdapter>(B, reps));
-  }
-  // blocks
-  int64_t in = cfg.stage_width(0);
-  block_adapters.resize(8);
-  for (int64_t s = 0; s < 4; ++s) {
-    const int64_t out = cfg.stage_width(s);
-    for (int64_t i = 0; i < 2; ++i) {
-      const int64_t stride = (i == 0 && s > 0) ? 2 : 1;
-      const size_t idx = static_cast<size_t>(s * 2 + i);
-      const std::string name = "block" + std::to_string(idx);
-      if (mask.block[idx]) {
-        blocks.push_back(register_module(
-            name, std::make_shared<FusedBasicBlock>(B, in, out, stride, rng)));
-      } else {
-        blocks.push_back(nullptr);
-        std::vector<std::shared_ptr<nn::Module>> reps;
-        for (int64_t b = 0; b < B; ++b)
-          reps.push_back(std::make_shared<BasicBlock>(in, out, stride, rng));
-        block_adapters[idx] = register_module(
-            name + "_adapter",
-            std::make_shared<fused::UnfusedBlockAdapter>(B, reps));
-      }
-      in = out;
-    }
-  }
-  // head
-  if (mask.head) {
-    fc = register_module(
-        "fc", std::make_shared<fused::FusedLinear>(B, cfg.stage_width(3),
-                                                   cfg.num_classes, true, rng));
-  } else {
-    std::vector<std::shared_ptr<nn::Module>> reps;
-    for (int64_t b = 0; b < B; ++b)
-      reps.push_back(std::make_shared<nn::Linear>(cfg.stage_width(3),
-                                                  cfg.num_classes, true, rng));
-    head_adapter = register_module(
-        "head_adapter", std::make_shared<fused::UnfusedBlockAdapter>(B, reps));
-  }
+  std::vector<std::shared_ptr<nn::Module>> donors;
+  for (int64_t b = 0; b < B; ++b) donors.push_back(ResNet18(cfg, rng).net);
+  fused::FusionOptions opts;
+  opts.fuse_mask = mask.to_fuse_mask();
+  opts.output_layout = fused::Layout::kModelMajor;
+  array = register_module("array",
+                          fused::FusionPlan(B, opts).compile(donors, rng));
 }
 
 ag::Variable FusedResNet18::forward(const ag::Variable& x) {
-  ag::Variable h;
-  if (stem_conv) {
-    h = ag::relu(stem_bn->forward(stem_conv->forward(x)));
-  } else {
-    h = stem_adapter->forward(x);
-  }
-  for (size_t i = 0; i < 8; ++i) {
-    h = blocks[i] ? blocks[i]->forward(h) : block_adapters[i]->forward(h);
-  }
-  h = ag::adaptive_avg_pool2d(h, 1, 1);
-  h = ag::reshape(h, {h.size(0), h.size(1)});  // [N, B*F]
-  if (fc) {
-    return fc->forward(fused::to_model_major(h, array_size_));  // [B,N,k]
-  }
-  ag::Variable logits = head_adapter->forward(h);  // [N, B*k]
-  return fused::to_model_major(logits, array_size_);
+  return array->forward(x);  // [B, N, classes]
 }
 
 void FusedResNet18::load_model(int64_t b, const ResNet18& m) {
-  if (stem_conv) {
-    stem_conv->load_model(b, *m.stem_conv);
-    stem_bn->load_model(b, *m.stem_bn);
-  } else {
-    auto stem = std::static_pointer_cast<Stem>(stem_adapter->replicas()[b]);
-    copy_parameters(*m.stem_conv, *stem->conv);
-    copy_parameters(*m.stem_bn, *stem->bn);
-  }
-  for (size_t i = 0; i < 8; ++i) {
-    if (blocks[i]) {
-      blocks[i]->load_model(b, *m.blocks[i]);
-    } else {
-      copy_parameters(*m.blocks[i], *block_adapters[i]->replicas()[b]);
-    }
-  }
-  if (fc) {
-    fc->load_model(b, *m.fc);
-  } else {
-    copy_parameters(*m.fc, *head_adapter->replicas()[b]);
-  }
+  array->load_model(b, *m.net);
 }
 
 }  // namespace hfta::models

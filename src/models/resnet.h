@@ -3,14 +3,16 @@
 // the paper's convergence benchmark (Fig. 11) and partial-fusion study
 // subject (Fig. 17 / Appendix H.4).
 //
-// The fused builder takes a per-block fusion mask: blocks with fusion
-// "turned off" run B per-model replicas through an UnfusedBlockAdapter on
-// the channel-fused layout (mathematically identical, no operator fusion).
+// The per-model network is a planner-walkable Sequential (`net`); the fused
+// variant is compiled by FusionPlan, with the Fig. 17 partial-fusion sweep
+// expressed as the plan's fuse_mask: units whose fusion is "turned off" run
+// B per-model replicas through an UnfusedBlockAdapter on the channel-fused
+// layout (mathematically identical, no operator fusion).
 #pragma once
 
 #include "hfta/fused_norm.h"
-#include "hfta/fused_ops.h"
 #include "hfta/fusion.h"
+#include "nn/layers.h"
 #include "nn/norm.h"
 
 namespace hfta::models {
@@ -27,11 +29,14 @@ struct ResNetConfig {
   int64_t stage_width(int64_t s) const { return base_width << s; }
 };
 
-/// Standard two-conv residual block.
+/// Standard two-conv residual block. Registers the custom lowering
+/// "models::BasicBlock" so the planner can fuse it.
 class BasicBlock : public nn::Module {
  public:
   BasicBlock(int64_t in, int64_t out, int64_t stride, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
+  std::string kind_name() const override { return "models::BasicBlock"; }
+  nn::ModuleConfig config() const override;
 
   std::shared_ptr<nn::Conv2d> conv1, conv2, down_conv;  // down_conv optional
   std::shared_ptr<nn::BatchNorm2d> bn1, bn2, down_bn;
@@ -43,6 +48,7 @@ class ResNet18 : public nn::Module {
   /// x: [N, 3, S, S] -> [N, num_classes].
   ag::Variable forward(const ag::Variable& x) override;
 
+  std::shared_ptr<nn::Sequential> net;  // the planner-walkable graph
   std::shared_ptr<nn::Conv2d> stem_conv;
   std::shared_ptr<nn::BatchNorm2d> stem_bn;
   std::vector<std::shared_ptr<BasicBlock>> blocks;  // 8
@@ -63,8 +69,8 @@ class FusedBasicBlock : public fused::FusedModule {
 };
 
 /// Which parts of the fused ResNet-18 are operator-fused. The paper's
-/// Fig. 17 sweep turns these off one by one (stem, 8 blocks, head = 10
-/// fusion units).
+/// Fig. 17 sweep turns these off one by one (stem, 8 blocks, final linear =
+/// 10 fusion units).
 struct ResNetFusionMask {
   bool stem = true;
   std::array<bool, 8> block{true, true, true, true, true, true, true, true};
@@ -75,8 +81,13 @@ struct ResNetFusionMask {
   /// (head, then blocks from the last to the first, then stem).
   static ResNetFusionMask partially_unfused(int64_t n);
   int64_t fused_units() const;
+  /// The planner's per-unit mask over ResNet18::net's 12 top-level units
+  /// (stem, 8 blocks, pool, flatten, fc); pool/flatten are parameterless
+  /// and always fused.
+  std::vector<bool> to_fuse_mask() const;
 };
 
+/// Thin wrapper over FusionPlan::compile with the mask as plan option.
 class FusedResNet18 : public fused::FusedModule {
  public:
   FusedResNet18(int64_t B, const ResNetConfig& cfg, Rng& rng,
@@ -85,19 +96,9 @@ class FusedResNet18 : public fused::FusedModule {
   ag::Variable forward(const ag::Variable& x) override;
   void load_model(int64_t b, const ResNet18& m);
 
+  std::shared_ptr<fused::FusedArray> array;
   ResNetConfig cfg;
   ResNetFusionMask mask;
-
-  // fused units (null when the unit is unfused)
-  std::shared_ptr<fused::FusedConv2d> stem_conv;
-  std::shared_ptr<fused::FusedBatchNorm2d> stem_bn;
-  std::vector<std::shared_ptr<FusedBasicBlock>> blocks;
-  std::shared_ptr<fused::FusedLinear> fc;
-
-  // unfused replicas (null when the unit is fused)
-  std::shared_ptr<fused::UnfusedBlockAdapter> stem_adapter;
-  std::vector<std::shared_ptr<fused::UnfusedBlockAdapter>> block_adapters;
-  std::shared_ptr<fused::UnfusedBlockAdapter> head_adapter;
 };
 
 }  // namespace hfta::models

@@ -81,6 +81,34 @@ ag::Variable TransformerEncoderLayer::forward_masked(const ag::Variable& x,
   return norm2->forward(ag::add(h, drop->forward(f)));
 }
 
+nn::ModuleConfig TransformerEncoderLayer::config() const {
+  nn::ModuleConfig c;
+  c.set("embed_dim", self_attn->embed_dim);
+  c.set("num_heads", self_attn->num_heads);
+  c.set("ff_dim", linear1->out_features);
+  c.set("gelu", static_cast<int64_t>(use_gelu));
+  c.set("dropout_p", static_cast<double>(drop->p));
+  return c;
+}
+
+// Planner lowering: B congruent encoder layers -> one fused layer on the
+// model-major layout ([B, N, S, E]).
+static const fused::LoweringRegistrar kEncoderLayerLowering(
+    "models::TransformerEncoderLayer", [](const fused::LoweringContext& ctx) {
+      const nn::ModuleConfig c = ctx.reference().config();
+      auto m = std::make_shared<fused::FusedTransformerEncoderLayer>(
+          ctx.array_size, c.get_int("embed_dim"), c.get_int("num_heads"),
+          c.get_int("ff_dim"), static_cast<float>(c.get_float("dropout_p")),
+          c.get_int("gelu") != 0 ? "gelu" : "relu", *ctx.rng);
+      return fused::Lowered{
+          m, fused::Layout::kModelMajor, fused::Layout::kModelMajor,
+          [](nn::Module& f, int64_t b, const nn::Module& src) {
+            load_fused_encoder_layer(
+                static_cast<fused::FusedTransformerEncoderLayer&>(f), b,
+                static_cast<const TransformerEncoderLayer&>(src));
+          }};
+    });
+
 void load_fused_encoder_layer(fused::FusedTransformerEncoderLayer& dst,
                               int64_t b, const TransformerEncoderLayer& src) {
   dst.self_attn->in_proj->load_model(b, *src.self_attn->in_proj);
@@ -185,5 +213,32 @@ void FusedTransformerLM::load_model(int64_t b, const TransformerLM& m) {
     load_fused_encoder_layer(*layers[l], b, *m.layers[l]);
   decoder->load_model(b, *m.decoder);
 }
+
+
+nn::ModuleConfig TransformerLM::config() const {
+  nn::ModuleConfig c;
+  c.set("vocab", cfg.vocab);
+  c.set("embed_dim", cfg.embed_dim);
+  c.set("num_heads", cfg.num_heads);
+  c.set("num_layers", cfg.num_layers);
+  c.set("ff_dim", cfg.ff_dim);
+  c.set("dropout_p", static_cast<double>(cfg.dropout_p));
+  return c;
+}
+
+// Planner lowering for the whole LM: the fused module is driven through
+// forward_tokens, so the plan is a single unit rather than a chain.
+static const fused::LoweringRegistrar kTransformerLMLowering(
+    "models::TransformerLM", [](const fused::LoweringContext& ctx) {
+      const auto& ref = static_cast<const TransformerLM&>(ctx.reference());
+      auto m = std::make_shared<FusedTransformerLM>(ctx.array_size, ref.cfg,
+                                                    *ctx.rng);
+      return fused::Lowered{
+          m, fused::Layout::kAny, fused::Layout::kAny,
+          [](nn::Module& f, int64_t b, const nn::Module& src) {
+            static_cast<FusedTransformerLM&>(f).load_model(
+                b, static_cast<const TransformerLM&>(src));
+          }};
+    });
 
 }  // namespace hfta::models

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "hfta/fused_attention.h"
+#include "hfta/fusion.h"
 #include "nn/norm.h"
 
 namespace hfta::models {
@@ -23,6 +24,8 @@ class MultiheadAttention : public nn::Module {
 };
 
 /// Plain post-norm encoder layer (same op order as the fused one).
+/// Registers the custom lowering "models::TransformerEncoderLayer": a
+/// model-major planner step, so stacks of encoder layers fuse automatically.
 class TransformerEncoderLayer : public nn::Module {
  public:
   TransformerEncoderLayer(int64_t embed_dim, int64_t num_heads, int64_t ff_dim,
@@ -30,6 +33,10 @@ class TransformerEncoderLayer : public nn::Module {
                           Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
   ag::Variable forward_masked(const ag::Variable& x, const Tensor& mask);
+  std::string kind_name() const override {
+    return "models::TransformerEncoderLayer";
+  }
+  nn::ModuleConfig config() const override;
 
   std::shared_ptr<MultiheadAttention> self_attn;
   std::shared_ptr<nn::Linear> linear1, linear2;
@@ -63,12 +70,17 @@ Tensor sinusoidal_positions(int64_t seq_len, int64_t embed_dim);
 /// Causal attention mask [S, S]: 0 on/below diagonal, -1e9 above.
 Tensor causal_mask(int64_t seq_len);
 
+/// Registers the custom lowering "models::TransformerLM", so B per-model
+/// LMs compile to a single-step FusedArray holding a FusedTransformerLM
+/// (token input makes the LM a unit, not a chain).
 class TransformerLM : public nn::Module {
  public:
   TransformerLM(const TransformerConfig& cfg, Rng& rng);
   ag::Variable forward(const ag::Variable&) override;
   /// tokens: [N, S] integer ids -> logits [N, S, V].
   ag::Variable forward_tokens(const Tensor& tokens);
+  std::string kind_name() const override { return "models::TransformerLM"; }
+  nn::ModuleConfig config() const override;
 
   std::shared_ptr<nn::Embedding> embed;
   std::vector<std::shared_ptr<TransformerEncoderLayer>> layers;

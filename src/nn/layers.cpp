@@ -144,4 +144,109 @@ ag::Variable Dropout2d::forward(const ag::Variable& x) {
   return ag::mul_mask(x, mask);
 }
 
+
+// ---- reflection ------------------------------------------------------------
+
+ModuleConfig Linear::config() const {
+  ModuleConfig c;
+  c.set("in", in_features);
+  c.set("out", out_features);
+  c.set("bias", static_cast<int64_t>(bias.defined()));
+  return c;
+}
+
+ModuleConfig Conv2d::config() const {
+  ModuleConfig c;
+  c.set("in", weight.size(1) * args.groups);
+  c.set("out", weight.size(0));
+  c.set("kernel", weight.size(2));
+  c.set("stride", args.stride_h);
+  c.set("pad", args.pad_h);
+  c.set("groups", args.groups);
+  c.set("bias", static_cast<int64_t>(bias.defined()));
+  return c;
+}
+
+ModuleConfig Conv1d::config() const {
+  ModuleConfig c;
+  c.set("in", weight.size(1) * groups);
+  c.set("out", weight.size(0));
+  c.set("kernel", weight.size(2));
+  c.set("stride", stride);
+  c.set("pad", pad);
+  c.set("groups", groups);
+  c.set("bias", static_cast<int64_t>(bias.defined()));
+  return c;
+}
+
+ModuleConfig ConvTranspose2d::config() const {
+  ModuleConfig c;
+  c.set("in", weight.size(0));
+  c.set("out", weight.size(1) * args.groups);
+  c.set("kernel", weight.size(2));
+  c.set("stride", args.stride);
+  c.set("pad", args.pad);
+  c.set("out_pad", args.out_pad);
+  c.set("groups", args.groups);
+  c.set("bias", static_cast<int64_t>(bias.defined()));
+  return c;
+}
+
+ModuleConfig ConvTranspose1d::config() const {
+  ModuleConfig c;
+  c.set("in", weight.size(0));
+  c.set("out", weight.size(1) * args.groups);
+  c.set("kernel", weight.size(2));
+  c.set("stride", args.stride);
+  c.set("pad", args.pad);
+  c.set("out_pad", args.out_pad);
+  c.set("groups", args.groups);
+  c.set("bias", static_cast<int64_t>(bias.defined()));
+  return c;
+}
+
+ModuleConfig Embedding::config() const {
+  ModuleConfig c;
+  c.set("vocab", vocab);
+  c.set("dim", dim);
+  return c;
+}
+
+ModuleConfig MaxPool2d::config() const {
+  ModuleConfig c;
+  c.set("kernel", args.kernel);
+  c.set("stride", args.stride);
+  c.set("pad", args.pad);
+  return c;
+}
+
+ModuleConfig AdaptiveAvgPool2d::config() const {
+  ModuleConfig c;
+  c.set("out_h", out_h);
+  c.set("out_w", out_w);
+  return c;
+}
+
+ModuleConfig Dropout::config() const {
+  ModuleConfig c;
+  c.set("p", static_cast<double>(p));
+  return c;
+}
+
+ModuleConfig Dropout2d::config() const {
+  ModuleConfig c;
+  c.set("p", static_cast<double>(p));
+  return c;
+}
+
+// ---- structural leaves -----------------------------------------------------
+
+ag::Variable Flatten::forward(const ag::Variable& x) {
+  return ag::reshape(x, {x.size(0), x.numel() / x.size(0)});
+}
+
+ag::Variable GlobalMaxPool1d::forward(const ag::Variable& x) {
+  return ag::global_max_pool1d(x);
+}
+
 }  // namespace hfta::nn

@@ -12,6 +12,8 @@ class Linear : public Module {
  public:
   Linear(int64_t in, int64_t out, bool bias, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kLinear; }
+  ModuleConfig config() const override;
 
   ag::Variable weight;  // [out, in]
   ag::Variable bias;    // [out] or undefined
@@ -24,6 +26,8 @@ class Conv2d : public Module {
   Conv2d(int64_t in, int64_t out, int64_t kernel, int64_t stride, int64_t pad,
          int64_t groups, bool bias, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kConv2d; }
+  ModuleConfig config() const override;
 
   ag::Variable weight;  // [out, in/groups, k, k]
   ag::Variable bias;
@@ -35,6 +39,8 @@ class Conv1d : public Module {
   Conv1d(int64_t in, int64_t out, int64_t kernel, int64_t stride, int64_t pad,
          int64_t groups, bool bias, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kConv1d; }
+  ModuleConfig config() const override;
 
   ag::Variable weight;  // [out, in/groups, k]
   ag::Variable bias;
@@ -47,6 +53,8 @@ class ConvTranspose2d : public Module {
                   int64_t pad, int64_t out_pad, int64_t groups, bool bias,
                   Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kConvTranspose2d; }
+  ModuleConfig config() const override;
 
   ag::Variable weight;  // [in, out/groups, k, k]
   ag::Variable bias;
@@ -59,6 +67,8 @@ class ConvTranspose1d : public Module {
                   int64_t pad, int64_t out_pad, int64_t groups, bool bias,
                   Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kConvTranspose1d; }
+  ModuleConfig config() const override;
 
   ag::Variable weight;  // [in, out/groups, k]
   ag::Variable bias;
@@ -71,6 +81,8 @@ class Embedding : public Module {
   /// Not usable through the single-input interface; call lookup().
   ag::Variable forward(const ag::Variable&) override;
   ag::Variable lookup(const Tensor& indices);
+  LayerKind kind() const override { return LayerKind::kEmbedding; }
+  ModuleConfig config() const override;
 
   ag::Variable weight;  // [V, E]
   int64_t vocab, dim;
@@ -80,6 +92,8 @@ class MaxPool2d : public Module {
  public:
   MaxPool2d(int64_t kernel, int64_t stride, int64_t pad = 0);
   ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kMaxPool2d; }
+  ModuleConfig config() const override;
   ops::PoolArgs args;
 };
 
@@ -87,6 +101,8 @@ class AdaptiveAvgPool2d : public Module {
  public:
   AdaptiveAvgPool2d(int64_t out_h, int64_t out_w);
   ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kAdaptiveAvgPool2d; }
+  ModuleConfig config() const override;
   int64_t out_h, out_w;
 };
 
@@ -95,6 +111,8 @@ class Dropout : public Module {
  public:
   Dropout(float p, uint64_t seed = 0x5eed);
   ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kDropout; }
+  ModuleConfig config() const override;
   float p;
 
  private:
@@ -106,10 +124,28 @@ class Dropout2d : public Module {
  public:
   Dropout2d(float p, uint64_t seed = 0x5eed2d);
   ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kDropout2d; }
+  ModuleConfig config() const override;
   float p;
 
  private:
   Rng rng_;
+};
+
+/// Flattens all trailing dims into one: [N, d1, d2, ...] -> [N, d1*d2*...].
+/// The canonical bridge between the conv/pool family and a Linear head.
+class Flatten : public Module {
+ public:
+  ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kFlatten; }
+};
+
+/// Max over the last (length) dim: [N, C, L] -> [N, C]. PointNet's global
+/// feature pooling as a module, so module graphs stay planner-walkable.
+class GlobalMaxPool1d : public Module {
+ public:
+  ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kGlobalMaxPool1d; }
 };
 
 // -- activation modules -------------------------------------------------------
@@ -117,10 +153,12 @@ class Dropout2d : public Module {
 class ReLU : public Module {
  public:
   ag::Variable forward(const ag::Variable& x) override { return ag::relu(x); }
+  LayerKind kind() const override { return LayerKind::kReLU; }
 };
 class ReLU6 : public Module {
  public:
   ag::Variable forward(const ag::Variable& x) override { return ag::relu6(x); }
+  LayerKind kind() const override { return LayerKind::kReLU6; }
 };
 class LeakyReLU : public Module {
  public:
@@ -128,27 +166,37 @@ class LeakyReLU : public Module {
   ag::Variable forward(const ag::Variable& x) override {
     return ag::leaky_relu(x, slope);
   }
+  LayerKind kind() const override { return LayerKind::kLeakyReLU; }
+  ModuleConfig config() const override {
+    ModuleConfig c;
+    c.set("slope", static_cast<double>(slope));
+    return c;
+  }
   float slope;
 };
 class Tanh : public Module {
  public:
   ag::Variable forward(const ag::Variable& x) override { return ag::tanh(x); }
+  LayerKind kind() const override { return LayerKind::kTanh; }
 };
 class Sigmoid : public Module {
  public:
   ag::Variable forward(const ag::Variable& x) override {
     return ag::sigmoid(x);
   }
+  LayerKind kind() const override { return LayerKind::kSigmoid; }
 };
 class Hardswish : public Module {
  public:
   ag::Variable forward(const ag::Variable& x) override {
     return ag::hardswish(x);
   }
+  LayerKind kind() const override { return LayerKind::kHardswish; }
 };
 class GELU : public Module {
  public:
   ag::Variable forward(const ag::Variable& x) override { return ag::gelu(x); }
+  LayerKind kind() const override { return LayerKind::kGELU; }
 };
 
 }  // namespace hfta::nn

@@ -2,6 +2,58 @@
 
 namespace hfta::nn {
 
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kCustom: return "Custom";
+    case LayerKind::kSequential: return "Sequential";
+    case LayerKind::kLinear: return "Linear";
+    case LayerKind::kConv1d: return "Conv1d";
+    case LayerKind::kConv2d: return "Conv2d";
+    case LayerKind::kConvTranspose1d: return "ConvTranspose1d";
+    case LayerKind::kConvTranspose2d: return "ConvTranspose2d";
+    case LayerKind::kEmbedding: return "Embedding";
+    case LayerKind::kBatchNorm1d: return "BatchNorm1d";
+    case LayerKind::kBatchNorm2d: return "BatchNorm2d";
+    case LayerKind::kLayerNorm: return "LayerNorm";
+    case LayerKind::kMaxPool2d: return "MaxPool2d";
+    case LayerKind::kAdaptiveAvgPool2d: return "AdaptiveAvgPool2d";
+    case LayerKind::kDropout: return "Dropout";
+    case LayerKind::kDropout2d: return "Dropout2d";
+    case LayerKind::kFlatten: return "Flatten";
+    case LayerKind::kGlobalMaxPool1d: return "GlobalMaxPool1d";
+    case LayerKind::kReLU: return "ReLU";
+    case LayerKind::kReLU6: return "ReLU6";
+    case LayerKind::kLeakyReLU: return "LeakyReLU";
+    case LayerKind::kTanh: return "Tanh";
+    case LayerKind::kSigmoid: return "Sigmoid";
+    case LayerKind::kHardswish: return "Hardswish";
+    case LayerKind::kGELU: return "GELU";
+  }
+  return "Unknown";
+}
+
+int64_t ModuleConfig::get_int(const std::string& name, int64_t fallback) const {
+  for (const auto& [k, v] : ints)
+    if (k == name) return v;
+  return fallback;
+}
+
+double ModuleConfig::get_float(const std::string& name, double fallback) const {
+  for (const auto& [k, v] : floats)
+    if (k == name) return v;
+  return fallback;
+}
+
+const Module* Module::find(const std::string& path) const {
+  if (path.empty()) return this;
+  const size_t dot = path.find('.');
+  const std::string head = path.substr(0, dot);
+  const std::string rest = dot == std::string::npos ? "" : path.substr(dot + 1);
+  for (const auto& [name, child] : children_)
+    if (name == head) return child->find(rest);
+  return nullptr;
+}
+
 std::vector<ag::Variable> Module::parameters() const {
   std::vector<ag::Variable> out;
   for (auto& [name, v] : named_parameters()) out.push_back(v);
@@ -54,7 +106,11 @@ Sequential::Sequential(std::vector<std::shared_ptr<Module>> mods) {
 }
 
 void Sequential::push_back(std::shared_ptr<Module> m) {
-  register_module(std::to_string(mods_.size()), m);
+  push_back(std::to_string(mods_.size()), std::move(m));
+}
+
+void Sequential::push_back(std::string name, std::shared_ptr<Module> m) {
+  register_module(std::move(name), m);
   mods_.push_back(std::move(m));
 }
 

@@ -13,6 +13,59 @@
 
 namespace hfta::nn {
 
+/// Layer-kind tag exposed by Module::kind(): the reflection surface the
+/// fusion planner walks. Leaf layers report their concrete kind; composite
+/// user modules stay kCustom and either register a custom lowering under
+/// their kind_name() or are run unfused behind an adapter.
+enum class LayerKind {
+  kCustom,
+  kSequential,
+  kLinear,
+  kConv1d,
+  kConv2d,
+  kConvTranspose1d,
+  kConvTranspose2d,
+  kEmbedding,
+  kBatchNorm1d,
+  kBatchNorm2d,
+  kLayerNorm,
+  kMaxPool2d,
+  kAdaptiveAvgPool2d,
+  kDropout,
+  kDropout2d,
+  kFlatten,
+  kGlobalMaxPool1d,
+  kReLU,
+  kReLU6,
+  kLeakyReLU,
+  kTanh,
+  kSigmoid,
+  kHardswish,
+  kGELU,
+};
+
+const char* layer_kind_name(LayerKind kind);
+
+/// Structural + numeric hyper-parameters of a layer, reported by
+/// Module::config(). The fusion planner requires every field to match
+/// across the B models of an array (per-model hyper-parameters the paper
+/// allows to differ — learning rate, betas, weight decay — live in the
+/// fused optimizer, not in the module graph).
+struct ModuleConfig {
+  std::vector<std::pair<std::string, int64_t>> ints;
+  std::vector<std::pair<std::string, double>> floats;
+  std::vector<int64_t> dims;  // shape-valued config (LayerNorm)
+
+  void set(std::string name, int64_t v) {
+    ints.emplace_back(std::move(name), v);
+  }
+  void set(std::string name, double v) {
+    floats.emplace_back(std::move(name), v);
+  }
+  int64_t get_int(const std::string& name, int64_t fallback = 0) const;
+  double get_float(const std::string& name, double fallback = 0) const;
+};
+
 class Module {
  public:
   virtual ~Module() = default;
@@ -26,6 +79,29 @@ class Module {
   std::vector<ag::Variable> parameters() const;
   /// Parameters with dotted path names ("conv1.weight", ...).
   std::vector<std::pair<std::string, ag::Variable>> named_parameters() const;
+
+  // -- reflection (walked by the fusion planner) -----------------------------
+
+  /// This layer's kind tag; kCustom for composite user modules.
+  virtual LayerKind kind() const { return LayerKind::kCustom; }
+  /// Key into the fusion planner's lowering registry. Leaf layers use the
+  /// layer-kind name; composite modules that want planner support override
+  /// this (e.g. "models::BasicBlock") and register a custom lowering.
+  virtual std::string kind_name() const { return layer_kind_name(kind()); }
+  /// Structural/numeric hyper-parameters (must match across a fused array).
+  virtual ModuleConfig config() const { return {}; }
+  /// Direct children, in registration order.
+  const std::vector<std::pair<std::string, std::shared_ptr<Module>>>&
+  named_children() const {
+    return children_;
+  }
+  /// This module's own buffers (not recursive).
+  const std::vector<std::pair<std::string, Tensor>>& named_buffers() const {
+    return buffers_;
+  }
+  /// Resolves a dotted child path ("trunk.conv1"); "" is this module itself.
+  /// Returns nullptr when the path does not exist.
+  const Module* find(const std::string& path) const;
 
   /// Total number of trainable scalars.
   int64_t num_parameters() const;
@@ -67,7 +143,11 @@ class Sequential : public Module {
   explicit Sequential(std::vector<std::shared_ptr<Module>> mods);
 
   void push_back(std::shared_ptr<Module> m);
+  /// Registers under `name` instead of the positional index, so planner
+  /// diagnostics and load paths read "stem.conv" rather than "0.0".
+  void push_back(std::string name, std::shared_ptr<Module> m);
   ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kSequential; }
   size_t size() const { return mods_.size(); }
   const std::shared_ptr<Module>& at(size_t i) const { return mods_.at(i); }
 

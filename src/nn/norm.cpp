@@ -92,4 +92,25 @@ ag::Variable LayerNorm::forward(const ag::Variable& x) {
   return ag::add(ag::mul(xhat, weight), bias);
 }
 
+
+namespace {
+ModuleConfig batch_norm_config(const BatchNormBase& bn) {
+  ModuleConfig c;
+  c.set("channels", bn.channels);
+  c.set("eps", static_cast<double>(bn.eps));
+  c.set("momentum", static_cast<double>(bn.momentum));
+  return c;
+}
+}  // namespace
+
+ModuleConfig BatchNorm2d::config() const { return batch_norm_config(*this); }
+ModuleConfig BatchNorm1d::config() const { return batch_norm_config(*this); }
+
+ModuleConfig LayerNorm::config() const {
+  ModuleConfig c;
+  c.set("eps", static_cast<double>(eps));
+  c.dims = normalized_shape;
+  return c;
+}
+
 }  // namespace hfta::nn

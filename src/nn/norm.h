@@ -31,12 +31,16 @@ class BatchNorm2d : public BatchNormBase {
  public:
   BatchNorm2d(int64_t channels, float eps = 1e-5f, float momentum = 0.1f);
   ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kBatchNorm2d; }
+  ModuleConfig config() const override;
 };
 
 class BatchNorm1d : public BatchNormBase {
  public:
   BatchNorm1d(int64_t channels, float eps = 1e-5f, float momentum = 0.1f);
   ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kBatchNorm1d; }
+  ModuleConfig config() const override;
 };
 
 class LayerNorm : public Module {
@@ -44,6 +48,8 @@ class LayerNorm : public Module {
   /// normalized_shape: trailing dims E1..En to normalize over.
   LayerNorm(Shape normalized_shape, float eps, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
+  LayerKind kind() const override { return LayerKind::kLayerNorm; }
+  ModuleConfig config() const override;
 
   ag::Variable weight;  // [E1..En]
   ag::Variable bias;    // [E1..En]

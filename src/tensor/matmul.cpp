@@ -33,6 +33,62 @@ void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t n,
   }, 1);
 }
 
+// NT kernel: C[M,N] = alpha * A @ B^T (+ beta*C), A row-major [M,K],
+// B row-major [N,K]. Rows of A and B are both unit-stride, so the dot
+// products need no materialized transpose — this is the common case
+// (linear_forward, attention scores, bmm_nt), where the O(KN) copy and its
+// cache-cold column walk actually show up.
+//
+// CAUTION: each dot product must accumulate exactly like gemm_nn (start
+// from beta*C, then add (alpha*a[p])*b[p] for p ascending in ONE chain,
+// skipping av == 0). The plain layers reduce over k through this kernel
+// while their fused counterparts reduce through gemm_nn; keeping the float
+// summation order identical is what makes fused training bit-equal to the
+// B serial runs (integration_test). Speed comes from four independent
+// column chains per pass, not from splitting the reduction.
+void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t n,
+             int64_t k, float alpha, float beta) {
+  parallel_for(0, m, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = a + i * k;
+      float* crow = c + i * n;
+      int64_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const float* b0 = b + j * k;
+        const float* b1 = b0 + k;
+        const float* b2 = b1 + k;
+        const float* b3 = b2 + k;
+        float acc0 = beta == 0.f ? 0.f : beta * crow[j];
+        float acc1 = beta == 0.f ? 0.f : beta * crow[j + 1];
+        float acc2 = beta == 0.f ? 0.f : beta * crow[j + 2];
+        float acc3 = beta == 0.f ? 0.f : beta * crow[j + 3];
+        for (int64_t p = 0; p < k; ++p) {
+          const float av = alpha * arow[p];
+          if (av == 0.f) continue;
+          acc0 += av * b0[p];
+          acc1 += av * b1[p];
+          acc2 += av * b2[p];
+          acc3 += av * b3[p];
+        }
+        crow[j] = acc0;
+        crow[j + 1] = acc1;
+        crow[j + 2] = acc2;
+        crow[j + 3] = acc3;
+      }
+      for (; j < n; ++j) {
+        const float* brow = b + j * k;
+        float acc = beta == 0.f ? 0.f : beta * crow[j];
+        for (int64_t p = 0; p < k; ++p) {
+          const float av = alpha * arow[p];
+          if (av == 0.f) continue;
+          acc += av * brow[p];
+        }
+        crow[j] = acc;
+      }
+    }
+  }, 1);
+}
+
 // Materializes the transpose of a row-major [r, c] matrix.
 std::vector<float> transpose_copy(const float* src, int64_t r, int64_t c) {
   std::vector<float> out(static_cast<size_t>(r * c));
@@ -45,8 +101,13 @@ std::vector<float> transpose_copy(const float* src, int64_t r, int64_t c) {
 
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
           int64_t k, bool trans_a, bool trans_b, float alpha, float beta) {
-  // Normalize to NN by materializing transposed operands; the O(MK)/O(KN)
-  // copies are negligible next to the O(MNK) product at our sizes.
+  if (trans_b && !trans_a) {
+    gemm_nt(a, b, c, m, n, k, alpha, beta);
+    return;
+  }
+  // Normalize the remaining cases to NN by materializing transposed
+  // operands; the O(MK) copy is negligible next to the O(MNK) product at
+  // our sizes.
   std::vector<float> at, bt;
   if (trans_a) {
     at = transpose_copy(a, k, m);  // stored as [K, M] -> want [M, K]

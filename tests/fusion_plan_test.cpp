@@ -1,0 +1,359 @@
+// FusionPlan coverage: fuse -> forward equivalence against B independently
+// run models for Linear/Conv/BN/LayerNorm stacks, congruence-rejection
+// diagnostics (which layer, which model, why), fuse_mask partial-fusion
+// round-trips, the unfused fallback, and planner-driven weight (re)loading.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hfta/fusion.h"
+#include "models/transformer.h"
+#include "nn/layers.h"
+#include "nn/norm.h"
+#include "tensor/ops.h"
+
+namespace hfta::fused {
+namespace {
+
+constexpr int64_t kB = 3;
+
+double rel_err(const Tensor& got, const Tensor& want) {
+  double scale = 1e-12;
+  for (int64_t i = 0; i < want.numel(); ++i)
+    scale = std::max(scale, static_cast<double>(std::fabs(want.data()[i])));
+  return ops::max_abs_diff(got, want) / scale;
+}
+
+// Forwards the fused array and every per-model net, then checks per-model
+// slices agree. Input xs[b]: one per-model batch; fused input is
+// channel-fused packing. Expects model-major output.
+void expect_equivalent(FusedArray& array,
+                       const std::vector<std::shared_ptr<nn::Module>>& nets,
+                       const std::vector<Tensor>& xs, double tol = 1e-4) {
+  Tensor yf = array.forward(ag::Variable(pack_channel_fused(xs))).value();
+  for (int64_t b = 0; b < kB; ++b) {
+    const size_t ub = static_cast<size_t>(b);
+    Tensor yb = nets[ub]->forward(ag::Variable(xs[ub])).value();
+    Tensor yf_b = yf.slice(0, b, b + 1).reshape(yb.shape());
+    EXPECT_LT(rel_err(yf_b, yb), tol) << "model " << b;
+  }
+}
+
+std::shared_ptr<nn::Sequential> mlp(int64_t in, int64_t hidden, int64_t out,
+                                    Rng& rng) {
+  auto net = std::make_shared<nn::Sequential>();
+  net->push_back("fc1", std::make_shared<nn::Linear>(in, hidden, true, rng));
+  net->push_back("relu", std::make_shared<nn::ReLU>());
+  net->push_back("fc2", std::make_shared<nn::Linear>(hidden, out, true, rng));
+  return net;
+}
+
+TEST(FusionPlan, LinearStackMatchesIndependentModels) {
+  Rng rng(1);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    nets.push_back(mlp(6, 10, 4, rng));
+    xs.push_back(Tensor::randn({5, 6}, rng));
+  }
+  auto array = FusionPlan(kB).compile(nets, rng);
+  EXPECT_EQ(array->num_units(), 3);
+  EXPECT_EQ(array->output_layout(), Layout::kModelMajor);
+  expect_equivalent(*array, nets, xs);
+}
+
+TEST(FusionPlan, ConvBatchNormStackMatchesIndependentModels) {
+  Rng rng(2);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    auto net = std::make_shared<nn::Sequential>();
+    net->push_back("conv1",
+                   std::make_shared<nn::Conv2d>(3, 8, 3, 1, 1, 1, true, rng));
+    net->push_back("bn1", std::make_shared<nn::BatchNorm2d>(8));
+    net->push_back("relu", std::make_shared<nn::ReLU>());
+    net->push_back("pool", std::make_shared<nn::MaxPool2d>(2, 2));
+    net->push_back("conv2",
+                   std::make_shared<nn::Conv2d>(8, 4, 3, 2, 1, 1, true, rng));
+    net->push_back("flatten", std::make_shared<nn::Flatten>());
+    net->push_back("fc", std::make_shared<nn::Linear>(4 * 2 * 2, 5, true,
+                                                      rng));
+    nets.push_back(net);
+    xs.push_back(Tensor::randn({4, 3, 8, 8}, rng));
+  }
+  auto array = FusionPlan(kB).compile(nets, rng);
+  expect_equivalent(*array, nets, xs);
+}
+
+TEST(FusionPlan, LayerNormStackMatchesIndependentModels) {
+  Rng rng(3);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    auto net = std::make_shared<nn::Sequential>();
+    net->push_back("fc1", std::make_shared<nn::Linear>(6, 12, true, rng));
+    net->push_back("ln", std::make_shared<nn::LayerNorm>(Shape{12}, 1e-5f,
+                                                         rng));
+    net->push_back("gelu", std::make_shared<nn::GELU>());
+    net->push_back("fc2", std::make_shared<nn::Linear>(12, 3, true, rng));
+    nets.push_back(net);
+    xs.push_back(Tensor::randn({7, 6}, rng));
+  }
+  auto array = FusionPlan(kB).compile(nets, rng);
+  expect_equivalent(*array, nets, xs);
+}
+
+TEST(FusionPlan, Conv1dBatchNorm1dStackMatchesIndependentModels) {
+  Rng rng(4);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    auto net = std::make_shared<nn::Sequential>();
+    net->push_back("conv",
+                   std::make_shared<nn::Conv1d>(3, 6, 1, 1, 0, 1, true, rng));
+    net->push_back("bn", std::make_shared<nn::BatchNorm1d>(6));
+    net->push_back("relu", std::make_shared<nn::ReLU>());
+    net->push_back("gpool", std::make_shared<nn::GlobalMaxPool1d>());
+    net->push_back("fc", std::make_shared<nn::Linear>(6, 2, true, rng));
+    nets.push_back(net);
+    xs.push_back(Tensor::randn({4, 3, 10}, rng));
+  }
+  auto array = FusionPlan(kB).compile(nets, rng);
+  expect_equivalent(*array, nets, xs);
+}
+
+TEST(FusionPlan, RejectsStructuralHyperParameterMismatch) {
+  Rng rng(5);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  for (int64_t b = 0; b < kB; ++b)
+    nets.push_back(mlp(6, b == 1 ? 9 : 10, 4, rng));  // model 1 differs
+
+  std::vector<const nn::Module*> raw;
+  for (const auto& n : nets) raw.push_back(n.get());
+  std::vector<FusionDiagnostic> diags = FusionPlan(kB).analyze(raw);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].path, "fc1");
+  EXPECT_EQ(diags[0].model_index, 1);
+  EXPECT_NE(diags[0].reason.find("out"), std::string::npos);
+
+  try {
+    FusionPlan(kB).compile(nets, rng);
+    FAIL() << "compile must throw on incongruent models";
+  } catch (const FusionError& e) {
+    EXPECT_EQ(e.diagnostic.path, "fc1");
+    EXPECT_EQ(e.diagnostic.model_index, 1);
+    EXPECT_NE(std::string(e.what()).find("fc1"), std::string::npos);
+  }
+}
+
+TEST(FusionPlan, RejectsLayerKindMismatch) {
+  Rng rng(6);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  for (int64_t b = 0; b < kB; ++b) {
+    auto net = std::make_shared<nn::Sequential>();
+    net->push_back("fc", std::make_shared<nn::Linear>(4, 4, true, rng));
+    if (b == 2) {
+      net->push_back("act", std::make_shared<nn::Tanh>());
+    } else {
+      net->push_back("act", std::make_shared<nn::ReLU>());
+    }
+    nets.push_back(net);
+  }
+  std::vector<const nn::Module*> raw;
+  for (const auto& n : nets) raw.push_back(n.get());
+  std::vector<FusionDiagnostic> diags = FusionPlan(kB).analyze(raw);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_EQ(diags[0].path, "act");
+  EXPECT_EQ(diags[0].model_index, 2);
+  EXPECT_NE(diags[0].reason.find("kind mismatch"), std::string::npos);
+}
+
+TEST(FusionPlan, RejectsTopologyMismatch) {
+  Rng rng(7);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  for (int64_t b = 0; b < kB; ++b) {
+    auto net = std::make_shared<nn::Sequential>();
+    net->push_back("fc", std::make_shared<nn::Linear>(4, 4, true, rng));
+    if (b == 0) net->push_back("extra", std::make_shared<nn::ReLU>());
+    nets.push_back(net);
+  }
+  std::vector<const nn::Module*> raw;
+  for (const auto& n : nets) raw.push_back(n.get());
+  std::vector<FusionDiagnostic> diags = FusionPlan(kB).analyze(raw);
+  ASSERT_FALSE(diags.empty());
+  EXPECT_NE(diags[0].reason.find("submodule count"), std::string::npos);
+}
+
+// A composite custom module without a registered lowering.
+class Doubler : public nn::Module {
+ public:
+  ag::Variable forward(const ag::Variable& x) override {
+    return ag::mul_scalar(x, 2.f);
+  }
+  std::string kind_name() const override { return "test::Doubler"; }
+};
+
+TEST(FusionPlan, UnsupportedKindYieldsStructuredDiagnostic) {
+  Rng rng(8);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  for (int64_t b = 0; b < kB; ++b) {
+    auto net = std::make_shared<nn::Sequential>();
+    net->push_back("fc", std::make_shared<nn::Linear>(4, 4, true, rng));
+    net->push_back("dbl", std::make_shared<Doubler>());
+    nets.push_back(net);
+  }
+  try {
+    FusionPlan(kB).compile(nets, rng);
+    FAIL() << "compile must throw on an unregistered kind";
+  } catch (const FusionError& e) {
+    EXPECT_EQ(e.diagnostic.path, "dbl");
+    EXPECT_NE(e.diagnostic.reason.find("no fusion rule"), std::string::npos);
+    EXPECT_NE(e.diagnostic.reason.find("test::Doubler"), std::string::npos);
+  }
+}
+
+TEST(FusionPlan, UnfusedFallbackRunsUnsupportedKind) {
+  Rng rng(9);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    auto net = std::make_shared<nn::Sequential>();
+    net->push_back("fc1", std::make_shared<nn::Linear>(6, 8, true, rng));
+    net->push_back("dbl", std::make_shared<Doubler>());
+    net->push_back("fc2", std::make_shared<nn::Linear>(8, 3, true, rng));
+    nets.push_back(net);
+    xs.push_back(Tensor::randn({4, 6}, rng));
+  }
+  FusionOptions opts;
+  opts.allow_unfused_fallback = true;
+  opts.output_layout = Layout::kModelMajor;
+  auto array = FusionPlan(kB, opts).compile(nets, rng);
+  EXPECT_FALSE(array->unit_fused(1));
+  expect_equivalent(*array, nets, xs);
+}
+
+TEST(FusionPlan, FuseMaskPartialFusionRoundTrips) {
+  Rng rng(10);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    nets.push_back(mlp(6, 10, 4, rng));
+    xs.push_back(Tensor::randn({5, 6}, rng));
+  }
+  Tensor x = pack_channel_fused(xs);
+
+  FusionOptions full_opts;
+  full_opts.output_layout = Layout::kModelMajor;
+  auto full = FusionPlan(kB, full_opts).compile(nets, rng);
+
+  // Every 3-unit mask: the math must be identical regardless of which units
+  // run fused and which run as B per-model replicas (Appendix H.4).
+  for (int m = 0; m < 8; ++m) {
+    FusionOptions opts;
+    opts.output_layout = Layout::kModelMajor;
+    opts.fuse_mask = {(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    auto partial = FusionPlan(kB, opts).compile(nets, rng);
+    for (int64_t u = 0; u < 3; ++u)
+      EXPECT_EQ(partial->unit_fused(u), opts.fuse_mask[static_cast<size_t>(u)]);
+    Tensor y_full = full->forward(ag::Variable(x)).value();
+    Tensor y_part = partial->forward(ag::Variable(x)).value();
+    EXPECT_LT(rel_err(y_part, y_full), 1e-4) << "mask " << m;
+  }
+}
+
+TEST(FusionPlan, FuseMaskSizeMismatchIsDiagnosed) {
+  Rng rng(11);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  for (int64_t b = 0; b < kB; ++b) nets.push_back(mlp(4, 6, 2, rng));
+  FusionOptions opts;
+  opts.fuse_mask = {true, false};  // model has 3 units
+  try {
+    FusionPlan(kB, opts).compile(nets, rng);
+    FAIL() << "compile must reject a wrong-sized fuse_mask";
+  } catch (const FusionError& e) {
+    EXPECT_NE(e.diagnostic.reason.find("fuse_mask"), std::string::npos);
+  }
+}
+
+TEST(FusionPlan, LoadModelReloadsFromNewDonors) {
+  Rng rng(12);
+  std::vector<std::shared_ptr<nn::Module>> nets, fresh;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    nets.push_back(mlp(6, 10, 4, rng));
+    fresh.push_back(mlp(6, 10, 4, rng));  // different weights
+    xs.push_back(Tensor::randn({5, 6}, rng));
+  }
+  FusionOptions opts;
+  opts.output_layout = Layout::kModelMajor;
+  opts.fuse_mask = {true, true, false};  // exercise the adapter loader too
+  auto array = FusionPlan(kB, opts).compile(nets, rng);
+  for (int64_t b = 0; b < kB; ++b)
+    array->load_model(b, *fresh[static_cast<size_t>(b)]);
+  expect_equivalent(*array, fresh, xs);
+}
+
+TEST(FusionPlan, TransformerLMLowersThroughRegistry) {
+  Rng rng(13);
+  models::TransformerConfig cfg = models::TransformerConfig::tiny();
+  std::vector<std::shared_ptr<nn::Module>> lms;
+  for (int64_t b = 0; b < kB; ++b)
+    lms.push_back(std::make_shared<models::TransformerLM>(cfg, rng));
+  auto array = FusionPlan(kB).compile(lms, rng);
+  ASSERT_EQ(array->steps().size(), 1u);
+  auto fused_lm = std::dynamic_pointer_cast<models::FusedTransformerLM>(
+      array->steps()[0].module);
+  ASSERT_NE(fused_lm, nullptr);
+
+  std::vector<Tensor> toks;
+  for (int64_t b = 0; b < kB; ++b) {
+    Tensor t({2, cfg.seq_len});
+    for (int64_t i = 0; i < t.numel(); ++i)
+      t.data()[i] = static_cast<float>(rng.uniform_int(cfg.vocab));
+    toks.push_back(t);
+  }
+  Tensor yf = fused_lm->forward_tokens(pack_model_major(toks)).value();
+  for (int64_t b = 0; b < kB; ++b) {
+    const size_t ub = static_cast<size_t>(b);
+    Tensor yb = static_cast<models::TransformerLM&>(*lms[ub])
+                    .forward_tokens(toks[ub])
+                    .value();
+    EXPECT_LT(rel_err(yf.slice(0, b, b + 1).reshape(yb.shape()), yb), 1e-3)
+        << "model " << b;
+  }
+}
+
+TEST(FusionPlan, EncoderLayerStackLowersThroughRegistry) {
+  Rng rng(14);
+  const int64_t E = 8, H = 2, FF = 16;
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    auto net = std::make_shared<nn::Sequential>();
+    net->push_back("enc0", std::make_shared<models::TransformerEncoderLayer>(
+                               E, H, FF, 0.f, "relu", rng));
+    net->push_back("enc1", std::make_shared<models::TransformerEncoderLayer>(
+                               E, H, FF, 0.f, "gelu", rng));
+    nets.push_back(net);
+    xs.push_back(Tensor::randn({2, 5, E}, rng));  // [N, S, E]
+  }
+  auto array = FusionPlan(kB).compile(nets, rng);
+  expect_equivalent(*array, nets, xs, 1e-3);
+}
+
+TEST(FusionPlan, DescribeListsUnitsAndLayouts) {
+  Rng rng(15);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  for (int64_t b = 0; b < kB; ++b) nets.push_back(mlp(4, 6, 2, rng));
+  FusionOptions opts;
+  opts.fuse_mask = {true, true, false};
+  auto array = FusionPlan(kB, opts).compile(nets, rng);
+  const std::string d = array->describe();
+  EXPECT_NE(d.find("unit 0"), std::string::npos);
+  EXPECT_NE(d.find("Linear"), std::string::npos);
+  EXPECT_NE(d.find("unfused"), std::string::npos);
+  EXPECT_NE(d.find("model-major"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hfta::fused
