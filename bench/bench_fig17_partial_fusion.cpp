@@ -8,7 +8,17 @@
 // ResNet-18 graphs under a different fuse_mask — the plan validates the
 // configuration (and reports its fused/unfused split) before the analytic
 // V100 model prices it.
+//
+// Flags (all optional; defaults reproduce the paper figure):
+//   --array-size N   planner-validation array size (default 3)
+//   --models N       simulated array size B (default 30, the paper's)
+//   --json PATH      additionally write the table as a JSON array (CI smoke)
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "models/resnet.h"
 #include "sim/execution.h"
@@ -17,24 +27,87 @@ using namespace hfta::sim;
 namespace models = hfta::models;
 namespace fused = hfta::fused;
 
-int main() {
+namespace {
+
+struct Row {
+  int64_t fused_units;
+  int64_t plan_fused_steps;
+  int64_t plan_unfused_steps;
+  double round_ms;
+  double normalized;
+};
+
+void write_json(const char* path, int64_t B, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"figure\": \"fig17_partial_fusion\",\n"
+               "  \"models\": %ld,\n  \"rows\": [\n", B);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"fused_units\": %ld, \"plan_fused_steps\": %ld, "
+                 "\"plan_unfused_steps\": %ld, \"round_ms\": %.3f, "
+                 "\"normalized\": %.4f}%s\n",
+                 r.fused_units, r.plan_fused_steps, r.plan_unfused_steps,
+                 r.round_ms, r.normalized, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t plan_B = 3;
+  int64_t B = 30;
+  const char* json_path = nullptr;
+  auto usage = [&]() {
+    std::fprintf(stderr,
+                 "usage: %s [--array-size N] [--models N] [--json PATH]\n",
+                 argv[0]);
+    return 1;
+  };
+  // strtol instead of std::stol: malformed values print usage, not abort.
+  auto parse_count = [&](const char* s, int64_t* out) {
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(s, &end, 10);
+    if (errno != 0 || end == s || *end != '\0' || v < 1) return false;
+    *out = v;
+    return true;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--array-size") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], &plan_B)) return usage();
+    } else if (std::strcmp(argv[i], "--models") == 0 && i + 1 < argc) {
+      if (!parse_count(argv[++i], &B)) return usage();
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
   const DeviceSpec dev = v100();
-  const int64_t B = 30;
   const IterationTrace single = build_trace(Workload::kResNet18, 1);
 
-  // A small planner array (B=3 keeps compile cheap) per configuration:
+  // A small planner array (plan_B keeps compile cheap) per configuration:
   // validates that every mask is compilable and yields the unit split the
   // simulated sweep assumes.
   hfta::Rng rng(17);
   models::ResNetConfig cfg = models::ResNetConfig::tiny();
   std::vector<std::shared_ptr<hfta::nn::Module>> nets;
-  for (int64_t b = 0; b < 3; ++b)
+  for (int64_t b = 0; b < plan_B; ++b)
     nets.push_back(models::ResNet18(cfg, rng).net);
 
-  std::printf("Figure 17: 30 ResNet-18 models on V100 (AMP), partial "
-              "fusion\n");
+  std::printf("Figure 17: %ld ResNet-18 models on V100 (AMP), partial "
+              "fusion\n", B);
   std::printf("%-14s %14s %16s %12s\n", "fused units", "plan units",
               "round (ms)", "normalized");
+  std::vector<Row> rows;
   double full = 0;
   for (int64_t fused_units = 10; fused_units >= 0; --fused_units) {
     const auto mask =
@@ -42,7 +115,7 @@ int main() {
     fused::FusionOptions opts;
     opts.fuse_mask = mask.to_fuse_mask();
     opts.output_layout = fused::Layout::kModelMajor;
-    auto plan = fused::FusionPlan(3, opts).compile(nets, rng);
+    auto plan = fused::FusionPlan(plan_B, opts).compile(nets, rng);
     int64_t fused_steps = 0, unfused_steps = 0;
     for (const auto& s : plan->steps()) (s.fused ? fused_steps
                                                  : unfused_steps)++;
@@ -51,14 +124,20 @@ int main() {
     const RunResult r =
         simulate_traces(dev, single, t, Mode::kHfta, B, Precision::kAMP);
     if (fused_units == 10) full = r.round_us;
-    char split[32];
+    char split[48];
     std::snprintf(split, sizeof(split), "%ld+%ld", fused_steps,
                   unfused_steps);
     std::printf("%-14ld %14s %15.1f %11.2f\n", fused_units, split,
                 r.round_us / 1e3, full / r.round_us);
+    rows.push_back({fused_units, fused_steps, unfused_steps, r.round_us / 1e3,
+                    full / r.round_us});
   }
   std::printf("\n(plan units = fused+unfused planner steps; normalized to "
               "the fully fused\nconfiguration; paper shows monotonic "
               "decay)\n");
+  if (json_path != nullptr) {
+    write_json(json_path, B, rows);
+    std::printf("wrote %s\n", json_path);
+  }
   return 0;
 }

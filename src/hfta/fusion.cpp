@@ -11,9 +11,23 @@ namespace hfta::fused {
 
 UnfusedBlockAdapter::UnfusedBlockAdapter(
     int64_t B, std::vector<std::shared_ptr<nn::Module>> mods)
-    : FusedModule(B), mods_(std::move(mods)) {
-  HFTA_CHECK(static_cast<int64_t>(mods_.size()) == B,
+    : FusedModule(B) {
+  HFTA_CHECK(static_cast<int64_t>(mods.size()) == B,
              "UnfusedBlockAdapter: need exactly B replicas");
+  mods_.reserve(mods.size());
+  for (auto& donor : mods) {
+    std::shared_ptr<nn::Module> owned = donor->clone();
+    if (owned == nullptr) {
+      // Stateless kinds are pure functions of their input: sharing the
+      // donor module cannot write through to anything.
+      HFTA_CHECK(!nn::has_state(*donor),
+                 "UnfusedBlockAdapter: stateful kind '", donor->kind_name(),
+                 "' has no clone support — override Module::clone() or "
+                 "register a clone factory with the LoweringRegistry");
+      owned = std::move(donor);
+    }
+    mods_.push_back(std::move(owned));
+  }
   for (size_t b = 0; b < mods_.size(); ++b)
     register_module("replica" + std::to_string(b), mods_[b]);
 }
@@ -52,34 +66,8 @@ std::vector<Tensor> unfuse_blocks(const Tensor& fused, int64_t B, Shape shape) {
   return out;
 }
 
-namespace {
-
-void collect_buffers(const nn::Module& m,
-                     std::vector<std::pair<std::string, Tensor>>* out) {
-  for (const auto& kv : m.named_buffers()) out->push_back(kv);
-  for (const auto& [name, child] : m.named_children())
-    collect_buffers(*child, out);
-}
-
-}  // namespace
-
 void copy_module_state(const nn::Module& src, nn::Module& dst) {
-  auto s = src.named_parameters();
-  auto d = dst.named_parameters();
-  HFTA_CHECK(s.size() == d.size(), "copy_module_state: parameter-count "
-             "mismatch");
-  for (size_t i = 0; i < s.size(); ++i) {
-    HFTA_CHECK(s[i].second.numel() == d[i].second.numel(),
-               "copy_module_state: shape mismatch at ", s[i].first);
-    d[i].second.mutable_value().copy_(s[i].second.value());
-  }
-  std::vector<std::pair<std::string, Tensor>> sb, db;
-  collect_buffers(src, &sb);
-  collect_buffers(dst, &db);
-  HFTA_CHECK(sb.size() == db.size(), "copy_module_state: buffer-count "
-             "mismatch");
-  for (size_t i = 0; i < sb.size(); ++i)
-    db[i].second.copy_(sb[i].second);
+  nn::copy_state(src, dst);
 }
 
 // ---- diagnostics -----------------------------------------------------------
@@ -142,6 +130,17 @@ const LoweringFn* LoweringRegistry::find(const std::string& kind_name) const {
   return it == rules_.end() ? nullptr : &it->second;
 }
 
+void LoweringRegistry::add_clone_factory(const std::string& kind_name,
+                                         CloneFactory fn) {
+  clone_factories_[kind_name] = std::move(fn);
+}
+
+const CloneFactory* LoweringRegistry::find_clone_factory(
+    const std::string& kind_name) const {
+  auto it = clone_factories_.find(kind_name);
+  return it == clone_factories_.end() ? nullptr : &it->second;
+}
+
 std::vector<std::string> LoweringRegistry::supported_kinds() const {
   std::vector<std::string> out;
   for (const auto& [k, v] : rules_) out.push_back(k);
@@ -149,6 +148,16 @@ std::vector<std::string> LoweringRegistry::supported_kinds() const {
 }
 
 LoweringRegistry::LoweringRegistry() {
+  // Route Module::clone()'s default implementation through the per-kind
+  // clone factories, so composite kinds registered via LoweringRegistrar
+  // clone without a clone() override.
+  nn::Module::set_clone_fallback(
+      [](const nn::Module& m) -> std::shared_ptr<nn::Module> {
+        const CloneFactory* fn =
+            LoweringRegistry::instance().find_clone_factory(m.kind_name());
+        return fn ? (*fn)(m) : nullptr;
+      });
+
   // -- model-major family ----------------------------------------------------
   add(nn::layer_kind_name(nn::LayerKind::kLinear),
       [](const LoweringContext& ctx) {
@@ -488,6 +497,17 @@ FusedArray::Step make_adapter_step(
     std::vector<std::shared_ptr<nn::Module>> reps, int64_t unit) {
   FusedArray::Step s;
   s.kind = reps[0]->kind_name();
+  // A stateful kind without clone support cannot become an owned replica:
+  // report it as a structured planner diagnostic, not a bare Error. Clone
+  // support is per-kind and the replicas are congruent, so probing the
+  // reference replica suffices.
+  if (nn::has_state(*reps[0]) && reps[0]->clone() == nullptr) {
+    throw FusionError(
+        {path, -1,
+         "unfused unit of stateful kind '" + reps[0]->kind_name() +
+             "' has no clone support — override Module::clone() or "
+             "register a clone factory with the LoweringRegistry"});
+  }
   s.module = std::make_shared<UnfusedBlockAdapter>(B, std::move(reps));
   s.in = Layout::kChannelFused;
   s.out = Layout::kChannelFused;
@@ -557,7 +577,23 @@ std::shared_ptr<FusedArray> FusionPlan::compile(
   for (const auto& m : models) raw.push_back(m.get());
   std::vector<FusionDiagnostic> diags = analyze(raw);
   if (!diags.empty()) throw FusionError(diags.front());
+  return compile_impl(models, rng, /*load_weights=*/true);
+}
 
+std::shared_ptr<FusedArray> FusionPlan::compile_structure_only(
+    const std::shared_ptr<nn::Module>& template_model, Rng& rng) const {
+  HFTA_CHECK(template_model != nullptr,
+             "compile_structure_only: null template");
+  // B references to the one template: trivially congruent, so no analyze()
+  // pass; unfused units clone the template into owned replicas.
+  std::vector<std::shared_ptr<nn::Module>> models(
+      static_cast<size_t>(array_size_), template_model);
+  return compile_impl(models, rng, /*load_weights=*/false);
+}
+
+std::shared_ptr<FusedArray> FusionPlan::compile_impl(
+    const std::vector<std::shared_ptr<nn::Module>>& models, Rng& rng,
+    bool load_weights) const {
   // Top-level fusion units: the children of a root Sequential, or the root
   // itself. This is the granularity of fuse_mask (paper Fig. 17).
   std::vector<std::pair<std::string, std::vector<std::shared_ptr<nn::Module>>>>
@@ -599,8 +635,9 @@ std::shared_ptr<FusedArray> FusionPlan::compile(
   for (size_t i = 0; i < array->steps_.size(); ++i) {
     FusedArray::Step& s = array->steps_[i];
     array->register_module("step" + std::to_string(i), s.module);
-    // Adapter steps alias the source models' own submodules — no copy needed.
-    if (!s.load || !s.fused) continue;
+    // Adapter steps cloned the donors' state when they were built — only
+    // fused steps still need the donors' weights copied in.
+    if (!load_weights || !s.load || !s.fused) continue;
     for (int64_t b = 0; b < array_size_; ++b) {
       const nn::Module* src = models[static_cast<size_t>(b)]->find(s.path);
       HFTA_CHECK(src != nullptr, "compile: path '", s.path, "' not found");

@@ -29,6 +29,13 @@ namespace hfta::fused {
 /// module, re-concatenates. This is what "fusion off for this block" means
 /// in the partial-fusion study: the math is unchanged but the operator-level
 /// fusion (and its efficiency) is gone.
+///
+/// The adapter OWNS its replicas: each donor passed to the constructor is
+/// deep-copied via Module::clone(), so neither load_model nor training ever
+/// writes through to the donor modules. Stateless kinds without clone
+/// support (no parameters, no buffers) are shared as-is — there is no
+/// storage to write through; a stateful kind without clone support is
+/// rejected.
 class UnfusedBlockAdapter : public FusedModule {
  public:
   UnfusedBlockAdapter(int64_t B, std::vector<std::shared_ptr<nn::Module>> mods);
@@ -48,7 +55,8 @@ Tensor fuse_blocks(const std::vector<Tensor>& per_model);
 std::vector<Tensor> unfuse_blocks(const Tensor& fused, int64_t B, Shape shape);
 
 /// Copies every parameter and buffer of `src` into the structurally
-/// identical module `dst` (used to (re)load unfused replicas).
+/// identical module `dst` (used to (re)load unfused replicas). Alias of
+/// nn::copy_state, kept under its historical fused:: name.
 void copy_module_state(const nn::Module& src, nn::Module& dst);
 
 // ---- planner ---------------------------------------------------------------
@@ -99,9 +107,18 @@ struct Lowered {
 
 using LoweringFn = std::function<Lowered(const LoweringContext&)>;
 
+/// Per-kind deep-copy factory: builds an independently owned, structurally
+/// congruent copy of `src` (same weights/buffers). Module::clone() falls
+/// back to these for composite kinds without a clone() override.
+using CloneFactory =
+    std::function<std::shared_ptr<nn::Module>(const nn::Module& src)>;
+
 /// Per-layer-kind lowering rules. Built-in nn:: leaves are pre-registered;
 /// composite model blocks (e.g. "models::BasicBlock") register themselves so
 /// the planner can lower user-defined stacks without bespoke fused models.
+/// Also hosts the per-kind clone factories that back Module::clone() for
+/// registered composite kinds (the planner needs clones whenever a unit
+/// runs unfused).
 class LoweringRegistry {
  public:
   static LoweringRegistry& instance();
@@ -110,16 +127,26 @@ class LoweringRegistry {
   const LoweringFn* find(const std::string& kind_name) const;
   std::vector<std::string> supported_kinds() const;
 
+  void add_clone_factory(const std::string& kind_name, CloneFactory fn);
+  const CloneFactory* find_clone_factory(const std::string& kind_name) const;
+
  private:
   LoweringRegistry();
   std::map<std::string, LoweringFn> rules_;
+  std::map<std::string, CloneFactory> clone_factories_;
 };
 
-/// Registers `fn` at static-init time (file-scope object in the .cpp that
-/// defines the fused counterpart).
+/// Registers `fn` (and optionally the kind's clone factory) at static-init
+/// time (file-scope object in the .cpp that defines the fused counterpart).
 struct LoweringRegistrar {
   LoweringRegistrar(const std::string& kind_name, LoweringFn fn) {
     LoweringRegistry::instance().add(kind_name, std::move(fn));
+  }
+  LoweringRegistrar(const std::string& kind_name, LoweringFn fn,
+                    CloneFactory clone_fn) {
+    LoweringRegistry::instance().add(kind_name, std::move(fn));
+    LoweringRegistry::instance().add_clone_factory(kind_name,
+                                                   std::move(clone_fn));
   }
 };
 
@@ -127,10 +154,10 @@ struct FusionOptions {
   /// Per top-level fusion unit (the children of the root Sequential, or the
   /// single root otherwise): true = operator-fused, false = B per-model
   /// replicas behind an UnfusedBlockAdapter (Appendix H.4). Empty = all
-  /// fused. NOTE: unfused units run the donor models' own submodules (the
-  /// array shares their parameter/buffer storage); pass freshly constructed
-  /// donors when the array must be independent, as the Fused* model
-  /// wrappers do.
+  /// fused. Unfused units own Module::clone() copies of the donors'
+  /// submodules, so the array never shares parameter/buffer storage with
+  /// the donor models (stateful kinds must be clonable; see
+  /// UnfusedBlockAdapter).
   std::vector<bool> fuse_mask;
   /// Layout the array's output is converted to (kAny = leave as produced).
   Layout output_layout = Layout::kAny;
@@ -159,9 +186,9 @@ class FusedArray : public FusedModule {
   ag::Variable forward(const ag::Variable& x) override;
 
   /// Copies model b's parameters from a per-model tree congruent with the
-  /// compiled one (the planner walks the same paths it lowered). For
-  /// unfused units this writes into the adapter's replica — which is the
-  /// compile-time donor's own submodule (see FusionOptions::fuse_mask).
+  /// compiled one (the planner walks the same paths it lowered). Always
+  /// copies INTO the array — unfused units own cloned replicas, so neither
+  /// this nor training ever mutates the compile-time donors.
   void load_model(int64_t b, const nn::Module& per_model_root);
 
   const std::vector<Step>& steps() const { return steps_; }
@@ -193,17 +220,32 @@ class FusionPlan {
       const std::vector<const nn::Module*>& models) const;
 
   /// Verifies congruence, lowers every layer through the registry, loads
-  /// all B models' weights, and returns the fused array. Fused units get
-  /// copies of the weights; unfused (masked-off / fallback) units alias the
-  /// donor modules themselves. Throws FusionError (with a structured
-  /// diagnostic) on the first unsupported combination.
+  /// all B models' weights, and returns the fused array. Every unit —
+  /// fused, masked-off, or fallback — gets its own copy of the weights;
+  /// the donor modules are never aliased or mutated. Throws FusionError
+  /// (with a structured diagnostic) on the first unsupported combination.
   std::shared_ptr<FusedArray> compile(
       const std::vector<std::shared_ptr<nn::Module>>& models, Rng& rng) const;
+
+  /// Structure-only compile: lowers ONE per-model graph as the structural
+  /// template of all B replicas and skips weight loading entirely — fused
+  /// units keep the lowering's own (rng) initialization, unfused units get
+  /// B clones of the template. Use when the caller loads real weights via
+  /// load_model afterwards anyway (as the Fused* model wrappers do): it
+  /// avoids constructing B donor models just to immediately overwrite the
+  /// array with their weights, roughly halving construction cost at paper
+  /// scale (B=30).
+  std::shared_ptr<FusedArray> compile_structure_only(
+      const std::shared_ptr<nn::Module>& template_model, Rng& rng) const;
 
   int64_t array_size() const { return array_size_; }
   const FusionOptions& options() const { return opts_; }
 
  private:
+  std::shared_ptr<FusedArray> compile_impl(
+      const std::vector<std::shared_ptr<nn::Module>>& models, Rng& rng,
+      bool load_weights) const;
+
   int64_t array_size_;
   FusionOptions opts_;
 };

@@ -42,6 +42,14 @@ ag::Variable BertModel::forward_tokens(const Tensor& tokens) {
   return mlm_head->forward(h);
 }
 
+std::shared_ptr<nn::Module> BertModel::clone() const {
+  Rng rng(0);
+  return cloned(*this, std::make_shared<BertModel>(cfg, rng));
+}
+
+// Hand-fused wrapper (driven through forward_tokens): initializes its fused
+// parameters exactly once — the structure-only analogue of the
+// planner-compiled wrappers; load_model supplies real weights.
 FusedBertModel::FusedBertModel(int64_t B, const BertConfig& cfg, Rng& rng)
     : fused::FusedModule(B), cfg(cfg) {
   tok_embed = register_module(

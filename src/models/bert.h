@@ -30,6 +30,7 @@ class BertModel : public nn::Module {
   ag::Variable forward(const ag::Variable&) override;
   /// tokens: [N, S] -> MLM logits [N, S, V].
   ag::Variable forward_tokens(const Tensor& tokens);
+  std::shared_ptr<nn::Module> clone() const override;
 
   std::shared_ptr<nn::Embedding> tok_embed, pos_embed;
   std::shared_ptr<nn::LayerNorm> embed_norm;

@@ -62,34 +62,29 @@ ag::Variable DCGANDiscriminator::forward(const ag::Variable& x) {
   return ag::reshape(logit, {logit.size(0)});
 }
 
+std::shared_ptr<nn::Module> DCGANGenerator::clone() const {
+  Rng rng(0);
+  return cloned(*this, std::make_shared<DCGANGenerator>(cfg, rng));
+}
+
+std::shared_ptr<nn::Module> DCGANDiscriminator::clone() const {
+  Rng rng(0);
+  return cloned(*this, std::make_shared<DCGANDiscriminator>(cfg, rng));
+}
+
 // ---- fused (planner-compiled) ------------------------------------------------
-
-namespace {
-
-std::vector<std::shared_ptr<nn::Module>> generator_donors(
-    int64_t B, const DCGANConfig& cfg, Rng& rng) {
-  std::vector<std::shared_ptr<nn::Module>> nets;
-  for (int64_t b = 0; b < B; ++b)
-    nets.push_back(DCGANGenerator(cfg, rng).net);
-  return nets;
-}
-
-std::vector<std::shared_ptr<nn::Module>> discriminator_donors(
-    int64_t B, const DCGANConfig& cfg, Rng& rng) {
-  std::vector<std::shared_ptr<nn::Module>> nets;
-  for (int64_t b = 0; b < B; ++b)
-    nets.push_back(DCGANDiscriminator(cfg, rng).net);
-  return nets;
-}
-
-}  // namespace
+//
+// Structure-only compiles from ONE per-model template: the fused units
+// random-init through the lowering registry, and callers provide the actual
+// weights via load_model (no B donor constructions, no donor copy pass).
 
 FusedDCGANGenerator::FusedDCGANGenerator(int64_t B, const DCGANConfig& cfg,
                                          Rng& rng)
     : fused::FusedModule(B), cfg(cfg) {
+  const DCGANGenerator template_model(cfg, rng);
   array = register_module(
-      "array", fused::FusionPlan(B).compile(generator_donors(B, cfg, rng),
-                                            rng));
+      "array",
+      fused::FusionPlan(B).compile_structure_only(template_model.net, rng));
 }
 
 ag::Variable FusedDCGANGenerator::forward(const ag::Variable& z) {
@@ -104,11 +99,12 @@ FusedDCGANDiscriminator::FusedDCGANDiscriminator(int64_t B,
                                                  const DCGANConfig& cfg,
                                                  Rng& rng)
     : fused::FusedModule(B), cfg(cfg) {
+  const DCGANDiscriminator template_model(cfg, rng);
   fused::FusionOptions opts;
   opts.output_layout = fused::Layout::kModelMajor;
   array = register_module(
-      "array", fused::FusionPlan(B, opts).compile(
-                   discriminator_donors(B, cfg, rng), rng));
+      "array", fused::FusionPlan(B, opts).compile_structure_only(
+                   template_model.net, rng));
 }
 
 ag::Variable FusedDCGANDiscriminator::forward(const ag::Variable& x) {

@@ -40,6 +40,7 @@ class DCGANGenerator : public nn::Module {
   DCGANGenerator(const DCGANConfig& cfg, Rng& rng);
   /// z: [N, nz, 1, 1] -> image [N, nc, S, S] in (-1, 1).
   ag::Variable forward(const ag::Variable& z) override;
+  std::shared_ptr<nn::Module> clone() const override;
 
   std::shared_ptr<nn::Sequential> net;  // the planner-walkable graph
   DCGANConfig cfg;
@@ -50,6 +51,7 @@ class DCGANDiscriminator : public nn::Module {
   DCGANDiscriminator(const DCGANConfig& cfg, Rng& rng);
   /// x: [N, nc, S, S] -> logits [N] (BCEWithLogits outside).
   ag::Variable forward(const ag::Variable& x) override;
+  std::shared_ptr<nn::Module> clone() const override;
 
   std::shared_ptr<nn::Sequential> net;
   DCGANConfig cfg;
@@ -57,9 +59,9 @@ class DCGANDiscriminator : public nn::Module {
 
 // ---- fused variants --------------------------------------------------------------
 //
-// Thin wrappers over FusionPlan::compile: construct B per-model graphs,
-// lower them into one fused array, keep the old (B, cfg, rng) + load_model
-// interface.
+// Thin wrappers over FusionPlan::compile_structure_only: lower ONE
+// per-model template graph into a fused array, keep the (B, cfg, rng) +
+// load_model interface (load_model supplies the actual weights).
 
 class FusedDCGANGenerator : public fused::FusedModule {
  public:

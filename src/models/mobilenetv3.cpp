@@ -72,7 +72,8 @@ int64_t MobileNetV3Config::scaled(int64_t c) const {
   return std::max<int64_t>(4, v);
 }
 
-SqueezeExcite::SqueezeExcite(int64_t channels, Rng& rng) {
+SqueezeExcite::SqueezeExcite(int64_t channels, Rng& rng)
+    : channels(channels) {
   const int64_t squeeze = std::max<int64_t>(4, channels / 4);
   fc1 = register_module("fc1", std::make_shared<nn::Conv2d>(
                                    channels, squeeze, 1, 1, 0, 1, true, rng));
@@ -89,7 +90,8 @@ ag::Variable SqueezeExcite::forward(const ag::Variable& x) {
 
 Bneck::Bneck(int64_t in, const BneckSpec& spec, const MobileNetV3Config& cfg,
              Rng& rng)
-    : use_hswish(spec.hswish), use_relu6(spec.relu6) {
+    : use_hswish(spec.hswish), use_relu6(spec.relu6), in_channels(in),
+      spec(spec), cfg(cfg) {
   const int64_t exp_c = cfg.scaled(spec.expand);
   const int64_t out_c = cfg.scaled(spec.out);
   has_expand = exp_c != in;
@@ -115,6 +117,11 @@ Bneck::Bneck(int64_t in, const BneckSpec& spec, const MobileNetV3Config& cfg,
                                std::make_shared<nn::BatchNorm2d>(out_c));
 }
 
+std::shared_ptr<nn::Module> SqueezeExcite::clone() const {
+  Rng rng(0);
+  return cloned(*this, std::make_shared<SqueezeExcite>(channels, rng));
+}
+
 ag::Variable Bneck::forward(const ag::Variable& x) {
   auto act = [this](const ag::Variable& v) {
     if (use_hswish) return ag::hardswish(v);
@@ -126,6 +133,11 @@ ag::Variable Bneck::forward(const ag::Variable& x) {
   if (se) h = se->forward(h);
   h = project_bn->forward(project_conv->forward(h));
   return residual ? ag::add(h, x) : h;
+}
+
+std::shared_ptr<nn::Module> Bneck::clone() const {
+  Rng rng(0);
+  return cloned(*this, std::make_shared<Bneck>(in_channels, spec, cfg, rng));
 }
 
 MobileNetV3::MobileNetV3(const MobileNetV3Config& cfg, Rng& rng) : cfg(cfg) {
@@ -164,6 +176,11 @@ ag::Variable MobileNetV3::forward(const ag::Variable& x) {
   h = ag::reshape(h, {h.size(0), h.size(1)});
   h = ag::hardswish(fc1->forward(h));
   return fc2->forward(h);
+}
+
+std::shared_ptr<nn::Module> MobileNetV3::clone() const {
+  Rng rng(0);
+  return cloned(*this, std::make_shared<MobileNetV3>(cfg, rng));
 }
 
 // ---- fused -----------------------------------------------------------------------

@@ -59,7 +59,9 @@ class SqueezeExcite : public nn::Module {
  public:
   SqueezeExcite(int64_t channels, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
+  std::shared_ptr<nn::Module> clone() const override;
   std::shared_ptr<nn::Conv2d> fc1, fc2;  // 1x1 convs
+  int64_t channels;
 };
 
 class Bneck : public nn::Module {
@@ -67,11 +69,15 @@ class Bneck : public nn::Module {
   Bneck(int64_t in, const BneckSpec& spec, const MobileNetV3Config& cfg,
         Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
+  std::shared_ptr<nn::Module> clone() const override;
 
   std::shared_ptr<nn::Conv2d> expand_conv, dw_conv, project_conv;
   std::shared_ptr<nn::BatchNorm2d> expand_bn, dw_bn, project_bn;
   std::shared_ptr<SqueezeExcite> se;
   bool use_hswish, use_relu6, has_expand, residual;
+  int64_t in_channels;   // clone() reconstructs from these
+  BneckSpec spec;
+  MobileNetV3Config cfg;
 };
 
 class MobileNetV3 : public nn::Module {
@@ -79,6 +85,7 @@ class MobileNetV3 : public nn::Module {
   MobileNetV3(const MobileNetV3Config& cfg, Rng& rng);
   /// x: [N, 3, S, S] -> [N, num_classes].
   ag::Variable forward(const ag::Variable& x) override;
+  std::shared_ptr<nn::Module> clone() const override;
 
   std::shared_ptr<nn::Conv2d> stem_conv, last_conv;
   std::shared_ptr<nn::BatchNorm2d> stem_bn, last_bn;

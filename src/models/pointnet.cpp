@@ -88,10 +88,12 @@ nn::ModuleConfig PointNetTrunk::config() const {
   return c;
 }
 
-// The planner lowering for the trunk: B congruent trunks become one
-// FusedPointNetTrunk on the channel-fused layout.
+// The planner lowering for the trunk (B congruent trunks become one
+// FusedPointNetTrunk on the channel-fused layout) plus the clone factory
+// Module::clone() falls back to when the trunk runs unfused.
 static const fused::LoweringRegistrar kTrunkLowering(
-    "models::PointNetTrunk", [](const fused::LoweringContext& ctx) {
+    "models::PointNetTrunk",
+    [](const fused::LoweringContext& ctx) {
       const auto& ref = static_cast<const PointNetTrunk&>(ctx.reference());
       auto m = std::make_shared<FusedPointNetTrunk>(ctx.array_size, ref.cfg,
                                                     *ctx.rng);
@@ -101,6 +103,12 @@ static const fused::LoweringRegistrar kTrunkLowering(
             static_cast<FusedPointNetTrunk&>(f).load_model(
                 b, static_cast<const PointNetTrunk&>(src));
           }};
+    },
+    [](const nn::Module& src) -> std::shared_ptr<nn::Module> {
+      const auto& ref = static_cast<const PointNetTrunk&>(src);
+      Rng rng(0);
+      return nn::Module::cloned(src,
+                                std::make_shared<PointNetTrunk>(ref.cfg, rng));
     });
 
 // ---- classification head ----------------------------------------------------------
@@ -127,6 +135,11 @@ PointNetCls::PointNetCls(const PointNetConfig& cfg, Rng& rng) : cfg(cfg) {
 
 ag::Variable PointNetCls::forward(const ag::Variable& x) {
   return net->forward(x);  // [N, classes]
+}
+
+std::shared_ptr<nn::Module> PointNetCls::clone() const {
+  Rng rng(0);
+  return cloned(*this, std::make_shared<PointNetCls>(cfg, rng));
 }
 
 // ---- segmentation head ----------------------------------------------------------------
@@ -268,12 +281,14 @@ void FusedPointNetTrunk::load_model(int64_t b, const PointNetTrunk& m) {
 FusedPointNetCls::FusedPointNetCls(int64_t B, const PointNetConfig& cfg,
                                    Rng& rng)
     : fused::FusedModule(B), cfg(cfg) {
-  std::vector<std::shared_ptr<nn::Module>> donors;
-  for (int64_t b = 0; b < B; ++b) donors.push_back(PointNetCls(cfg, rng).net);
+  // ONE structural template instead of B donors; load_model supplies the
+  // actual weights (see FusionPlan::compile_structure_only).
+  const PointNetCls template_model(cfg, rng);
   fused::FusionOptions opts;
   opts.output_layout = fused::Layout::kModelMajor;
   array = register_module("array",
-                          fused::FusionPlan(B, opts).compile(donors, rng));
+                          fused::FusionPlan(B, opts).compile_structure_only(
+                              template_model.net, rng));
 }
 
 ag::Variable FusedPointNetCls::forward(const ag::Variable& x) {

@@ -68,6 +68,7 @@ class PointNetCls : public nn::Module {
   PointNetCls(const PointNetConfig& cfg, Rng& rng);
   /// x: [N, 3, L] -> [N, num_classes].
   ag::Variable forward(const ag::Variable& x) override;
+  std::shared_ptr<nn::Module> clone() const override;
 
   std::shared_ptr<nn::Sequential> net;  // the planner-walkable graph
   std::shared_ptr<PointNetTrunk> trunk;
@@ -119,7 +120,8 @@ class FusedPointNetTrunk : public fused::FusedModule {
   PointNetConfig cfg;
 };
 
-/// Thin wrapper over FusionPlan::compile on B per-model PointNetCls graphs.
+/// Thin wrapper over FusionPlan::compile_structure_only on one per-model
+/// PointNetCls template graph; load_model supplies the actual weights.
 class FusedPointNetCls : public fused::FusedModule {
  public:
   FusedPointNetCls(int64_t B, const PointNetConfig& cfg, Rng& rng);

@@ -33,10 +33,12 @@ nn::ModuleConfig BasicBlock::config() const {
   return c;
 }
 
-// The planner lowering for a residual block: B congruent BasicBlocks become
-// one FusedBasicBlock on the channel-fused layout.
+// The planner lowering for a residual block (B congruent BasicBlocks become
+// one FusedBasicBlock on the channel-fused layout) plus the clone factory
+// Module::clone() falls back to when a block runs unfused.
 static const fused::LoweringRegistrar kBasicBlockLowering(
-    "models::BasicBlock", [](const fused::LoweringContext& ctx) {
+    "models::BasicBlock",
+    [](const fused::LoweringContext& ctx) {
       const nn::ModuleConfig c = ctx.reference().config();
       auto m = std::make_shared<FusedBasicBlock>(
           ctx.array_size, c.get_int("in"), c.get_int("out"),
@@ -47,6 +49,13 @@ static const fused::LoweringRegistrar kBasicBlockLowering(
             static_cast<FusedBasicBlock&>(f).load_model(
                 b, static_cast<const BasicBlock&>(src));
           }};
+    },
+    [](const nn::Module& src) -> std::shared_ptr<nn::Module> {
+      const nn::ModuleConfig c = src.config();
+      Rng rng(0);
+      return nn::Module::cloned(
+          src, std::make_shared<BasicBlock>(c.get_int("in"), c.get_int("out"),
+                                            c.get_int("stride"), rng));
     });
 
 ResNet18::ResNet18(const ResNetConfig& cfg, Rng& rng) : cfg(cfg) {
@@ -80,6 +89,11 @@ ResNet18::ResNet18(const ResNetConfig& cfg, Rng& rng) : cfg(cfg) {
 
 ag::Variable ResNet18::forward(const ag::Variable& x) {
   return net->forward(x);
+}
+
+std::shared_ptr<nn::Module> ResNet18::clone() const {
+  Rng rng(0);
+  return cloned(*this, std::make_shared<ResNet18>(cfg, rng));
 }
 
 // ---- fused -----------------------------------------------------------------------
@@ -154,13 +168,17 @@ std::vector<bool> ResNetFusionMask::to_fuse_mask() const {
 FusedResNet18::FusedResNet18(int64_t B, const ResNetConfig& cfg, Rng& rng,
                              ResNetFusionMask mask)
     : fused::FusedModule(B), cfg(cfg), mask(mask) {
-  std::vector<std::shared_ptr<nn::Module>> donors;
-  for (int64_t b = 0; b < B; ++b) donors.push_back(ResNet18(cfg, rng).net);
+  // ONE structural template instead of B donor models: the fused units
+  // random-init once through the lowering registry, and callers load real
+  // weights via load_model — so construction no longer pays B donor inits
+  // plus a full copy of every donor into the array.
+  const ResNet18 template_model(cfg, rng);
   fused::FusionOptions opts;
   opts.fuse_mask = mask.to_fuse_mask();
   opts.output_layout = fused::Layout::kModelMajor;
-  array = register_module("array",
-                          fused::FusionPlan(B, opts).compile(donors, rng));
+  array = register_module("array", fused::FusionPlan(B, opts)
+                                       .compile_structure_only(
+                                           template_model.net, rng));
 }
 
 ag::Variable FusedResNet18::forward(const ag::Variable& x) {

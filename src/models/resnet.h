@@ -47,6 +47,7 @@ class ResNet18 : public nn::Module {
   ResNet18(const ResNetConfig& cfg, Rng& rng);
   /// x: [N, 3, S, S] -> [N, num_classes].
   ag::Variable forward(const ag::Variable& x) override;
+  std::shared_ptr<nn::Module> clone() const override;
 
   std::shared_ptr<nn::Sequential> net;  // the planner-walkable graph
   std::shared_ptr<nn::Conv2d> stem_conv;
@@ -87,7 +88,8 @@ struct ResNetFusionMask {
   std::vector<bool> to_fuse_mask() const;
 };
 
-/// Thin wrapper over FusionPlan::compile with the mask as plan option.
+/// Thin wrapper over FusionPlan::compile_structure_only with the mask as
+/// plan option; load_model supplies the actual weights.
 class FusedResNet18 : public fused::FusedModule {
  public:
   FusedResNet18(int64_t B, const ResNetConfig& cfg, Rng& rng,

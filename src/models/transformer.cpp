@@ -92,9 +92,11 @@ nn::ModuleConfig TransformerEncoderLayer::config() const {
 }
 
 // Planner lowering: B congruent encoder layers -> one fused layer on the
-// model-major layout ([B, N, S, E]).
+// model-major layout ([B, N, S, E]); plus the clone factory Module::clone()
+// falls back to when a layer runs unfused.
 static const fused::LoweringRegistrar kEncoderLayerLowering(
-    "models::TransformerEncoderLayer", [](const fused::LoweringContext& ctx) {
+    "models::TransformerEncoderLayer",
+    [](const fused::LoweringContext& ctx) {
       const nn::ModuleConfig c = ctx.reference().config();
       auto m = std::make_shared<fused::FusedTransformerEncoderLayer>(
           ctx.array_size, c.get_int("embed_dim"), c.get_int("num_heads"),
@@ -107,6 +109,16 @@ static const fused::LoweringRegistrar kEncoderLayerLowering(
                 static_cast<fused::FusedTransformerEncoderLayer&>(f), b,
                 static_cast<const TransformerEncoderLayer&>(src));
           }};
+    },
+    [](const nn::Module& src) -> std::shared_ptr<nn::Module> {
+      const nn::ModuleConfig c = src.config();
+      Rng rng(0);
+      return nn::Module::cloned(
+          src, std::make_shared<TransformerEncoderLayer>(
+                   c.get_int("embed_dim"), c.get_int("num_heads"),
+                   c.get_int("ff_dim"),
+                   static_cast<float>(c.get_float("dropout_p")),
+                   c.get_int("gelu") != 0 ? "gelu" : "relu", rng));
     });
 
 void load_fused_encoder_layer(fused::FusedTransformerEncoderLayer& dst,
@@ -172,6 +184,10 @@ ag::Variable TransformerLM::forward_tokens(const Tensor& tokens) {
   return decoder->forward(h);  // [N, S, V]
 }
 
+// Hand-fused wrapper (driven through forward_tokens, so not a planner
+// chain): initializes its fused parameters exactly once — the
+// structure-only analogue of the planner-compiled wrappers; load_model
+// supplies real weights.
 FusedTransformerLM::FusedTransformerLM(int64_t B, const TransformerConfig& cfg,
                                        Rng& rng)
     : fused::FusedModule(B), cfg(cfg) {
@@ -227,9 +243,11 @@ nn::ModuleConfig TransformerLM::config() const {
 }
 
 // Planner lowering for the whole LM: the fused module is driven through
-// forward_tokens, so the plan is a single unit rather than a chain.
+// forward_tokens, so the plan is a single unit rather than a chain. The
+// clone factory lets a masked-off / fallback LM unit own its replicas.
 static const fused::LoweringRegistrar kTransformerLMLowering(
-    "models::TransformerLM", [](const fused::LoweringContext& ctx) {
+    "models::TransformerLM",
+    [](const fused::LoweringContext& ctx) {
       const auto& ref = static_cast<const TransformerLM&>(ctx.reference());
       auto m = std::make_shared<FusedTransformerLM>(ctx.array_size, ref.cfg,
                                                     *ctx.rng);
@@ -239,6 +257,12 @@ static const fused::LoweringRegistrar kTransformerLMLowering(
             static_cast<FusedTransformerLM&>(f).load_model(
                 b, static_cast<const TransformerLM&>(src));
           }};
+    },
+    [](const nn::Module& src) -> std::shared_ptr<nn::Module> {
+      const auto& ref = static_cast<const TransformerLM&>(src);
+      Rng rng(0);
+      return nn::Module::cloned(src,
+                                std::make_shared<TransformerLM>(ref.cfg, rng));
     });
 
 }  // namespace hfta::models

@@ -239,6 +239,73 @@ ModuleConfig Dropout2d::config() const {
   return c;
 }
 
+// ---- cloning ---------------------------------------------------------------
+//
+// Each stateful leaf reconstructs itself from its structural configuration
+// (a throwaway Rng seeds the constructor's init, which cloned() immediately
+// overwrites with the source weights) — the per-kind counterpart of the
+// reflection surface the fusion planner walks.
+
+std::shared_ptr<Module> Linear::clone() const {
+  Rng rng(0);
+  return cloned(*this, std::make_shared<Linear>(in_features, out_features,
+                                                bias.defined(), rng));
+}
+
+std::shared_ptr<Module> Conv2d::clone() const {
+  Rng rng(0);
+  const ModuleConfig c = config();
+  return cloned(*this, std::make_shared<Conv2d>(
+                           c.get_int("in"), c.get_int("out"),
+                           c.get_int("kernel"), c.get_int("stride"),
+                           c.get_int("pad"), c.get_int("groups"),
+                           c.get_int("bias") != 0, rng));
+}
+
+std::shared_ptr<Module> Conv1d::clone() const {
+  Rng rng(0);
+  const ModuleConfig c = config();
+  return cloned(*this, std::make_shared<Conv1d>(
+                           c.get_int("in"), c.get_int("out"),
+                           c.get_int("kernel"), c.get_int("stride"),
+                           c.get_int("pad"), c.get_int("groups"),
+                           c.get_int("bias") != 0, rng));
+}
+
+std::shared_ptr<Module> ConvTranspose2d::clone() const {
+  Rng rng(0);
+  const ModuleConfig c = config();
+  return cloned(*this, std::make_shared<ConvTranspose2d>(
+                           c.get_int("in"), c.get_int("out"),
+                           c.get_int("kernel"), c.get_int("stride"),
+                           c.get_int("pad"), c.get_int("out_pad"),
+                           c.get_int("groups"), c.get_int("bias") != 0, rng));
+}
+
+std::shared_ptr<Module> ConvTranspose1d::clone() const {
+  Rng rng(0);
+  const ModuleConfig c = config();
+  return cloned(*this, std::make_shared<ConvTranspose1d>(
+                           c.get_int("in"), c.get_int("out"),
+                           c.get_int("kernel"), c.get_int("stride"),
+                           c.get_int("pad"), c.get_int("out_pad"),
+                           c.get_int("groups"), c.get_int("bias") != 0, rng));
+}
+
+std::shared_ptr<Module> Embedding::clone() const {
+  Rng rng(0);
+  return cloned(*this, std::make_shared<Embedding>(vocab, dim, rng));
+}
+
+std::shared_ptr<Module> MaxPool2d::clone() const {
+  return cloned(*this, std::make_shared<MaxPool2d>(args.kernel, args.stride,
+                                                   args.pad));
+}
+
+std::shared_ptr<Module> AdaptiveAvgPool2d::clone() const {
+  return cloned(*this, std::make_shared<AdaptiveAvgPool2d>(out_h, out_w));
+}
+
 // ---- structural leaves -----------------------------------------------------
 
 ag::Variable Flatten::forward(const ag::Variable& x) {

@@ -13,6 +13,7 @@ class Linear : public Module {
   Linear(int64_t in, int64_t out, bool bias, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kLinear; }
+  std::shared_ptr<Module> clone() const override;
   ModuleConfig config() const override;
 
   ag::Variable weight;  // [out, in]
@@ -27,6 +28,7 @@ class Conv2d : public Module {
          int64_t groups, bool bias, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kConv2d; }
+  std::shared_ptr<Module> clone() const override;
   ModuleConfig config() const override;
 
   ag::Variable weight;  // [out, in/groups, k, k]
@@ -40,6 +42,7 @@ class Conv1d : public Module {
          int64_t groups, bool bias, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kConv1d; }
+  std::shared_ptr<Module> clone() const override;
   ModuleConfig config() const override;
 
   ag::Variable weight;  // [out, in/groups, k]
@@ -54,6 +57,7 @@ class ConvTranspose2d : public Module {
                   Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kConvTranspose2d; }
+  std::shared_ptr<Module> clone() const override;
   ModuleConfig config() const override;
 
   ag::Variable weight;  // [in, out/groups, k, k]
@@ -68,6 +72,7 @@ class ConvTranspose1d : public Module {
                   Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kConvTranspose1d; }
+  std::shared_ptr<Module> clone() const override;
   ModuleConfig config() const override;
 
   ag::Variable weight;  // [in, out/groups, k]
@@ -82,6 +87,7 @@ class Embedding : public Module {
   ag::Variable forward(const ag::Variable&) override;
   ag::Variable lookup(const Tensor& indices);
   LayerKind kind() const override { return LayerKind::kEmbedding; }
+  std::shared_ptr<Module> clone() const override;
   ModuleConfig config() const override;
 
   ag::Variable weight;  // [V, E]
@@ -93,6 +99,7 @@ class MaxPool2d : public Module {
   MaxPool2d(int64_t kernel, int64_t stride, int64_t pad = 0);
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kMaxPool2d; }
+  std::shared_ptr<Module> clone() const override;
   ModuleConfig config() const override;
   ops::PoolArgs args;
 };
@@ -102,6 +109,7 @@ class AdaptiveAvgPool2d : public Module {
   AdaptiveAvgPool2d(int64_t out_h, int64_t out_w);
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kAdaptiveAvgPool2d; }
+  std::shared_ptr<Module> clone() const override;
   ModuleConfig config() const override;
   int64_t out_h, out_w;
 };
@@ -112,6 +120,10 @@ class Dropout : public Module {
   Dropout(float p, uint64_t seed = 0x5eed);
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kDropout; }
+  /// Copy-based clone so the mask rng stream's current state carries over.
+  std::shared_ptr<Module> clone() const override {
+    return std::make_shared<Dropout>(*this);
+  }
   ModuleConfig config() const override;
   float p;
 
@@ -125,6 +137,10 @@ class Dropout2d : public Module {
   Dropout2d(float p, uint64_t seed = 0x5eed2d);
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kDropout2d; }
+  /// Copy-based clone so the mask rng stream's current state carries over.
+  std::shared_ptr<Module> clone() const override {
+    return std::make_shared<Dropout2d>(*this);
+  }
   ModuleConfig config() const override;
   float p;
 
@@ -138,6 +154,9 @@ class Flatten : public Module {
  public:
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kFlatten; }
+  std::shared_ptr<Module> clone() const override {
+    return cloned(*this, std::make_shared<Flatten>());
+  }
 };
 
 /// Max over the last (length) dim: [N, C, L] -> [N, C]. PointNet's global
@@ -146,6 +165,9 @@ class GlobalMaxPool1d : public Module {
  public:
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kGlobalMaxPool1d; }
+  std::shared_ptr<Module> clone() const override {
+    return cloned(*this, std::make_shared<GlobalMaxPool1d>());
+  }
 };
 
 // -- activation modules -------------------------------------------------------
@@ -154,11 +176,17 @@ class ReLU : public Module {
  public:
   ag::Variable forward(const ag::Variable& x) override { return ag::relu(x); }
   LayerKind kind() const override { return LayerKind::kReLU; }
+  std::shared_ptr<Module> clone() const override {
+    return cloned(*this, std::make_shared<ReLU>());
+  }
 };
 class ReLU6 : public Module {
  public:
   ag::Variable forward(const ag::Variable& x) override { return ag::relu6(x); }
   LayerKind kind() const override { return LayerKind::kReLU6; }
+  std::shared_ptr<Module> clone() const override {
+    return cloned(*this, std::make_shared<ReLU6>());
+  }
 };
 class LeakyReLU : public Module {
  public:
@@ -167,6 +195,9 @@ class LeakyReLU : public Module {
     return ag::leaky_relu(x, slope);
   }
   LayerKind kind() const override { return LayerKind::kLeakyReLU; }
+  std::shared_ptr<Module> clone() const override {
+    return cloned(*this, std::make_shared<LeakyReLU>(slope));
+  }
   ModuleConfig config() const override {
     ModuleConfig c;
     c.set("slope", static_cast<double>(slope));
@@ -178,6 +209,9 @@ class Tanh : public Module {
  public:
   ag::Variable forward(const ag::Variable& x) override { return ag::tanh(x); }
   LayerKind kind() const override { return LayerKind::kTanh; }
+  std::shared_ptr<Module> clone() const override {
+    return cloned(*this, std::make_shared<Tanh>());
+  }
 };
 class Sigmoid : public Module {
  public:
@@ -185,6 +219,9 @@ class Sigmoid : public Module {
     return ag::sigmoid(x);
   }
   LayerKind kind() const override { return LayerKind::kSigmoid; }
+  std::shared_ptr<Module> clone() const override {
+    return cloned(*this, std::make_shared<Sigmoid>());
+  }
 };
 class Hardswish : public Module {
  public:
@@ -192,11 +229,17 @@ class Hardswish : public Module {
     return ag::hardswish(x);
   }
   LayerKind kind() const override { return LayerKind::kHardswish; }
+  std::shared_ptr<Module> clone() const override {
+    return cloned(*this, std::make_shared<Hardswish>());
+  }
 };
 class GELU : public Module {
  public:
   ag::Variable forward(const ag::Variable& x) override { return ag::gelu(x); }
   LayerKind kind() const override { return LayerKind::kGELU; }
+  std::shared_ptr<Module> clone() const override {
+    return cloned(*this, std::make_shared<GELU>());
+  }
 };
 
 }  // namespace hfta::nn

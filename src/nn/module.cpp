@@ -1,5 +1,7 @@
 #include "nn/module.h"
 
+#include "nn/layers.h"
+
 namespace hfta::nn {
 
 const char* layer_kind_name(LayerKind kind) {
@@ -42,6 +44,82 @@ double ModuleConfig::get_float(const std::string& name, double fallback) const {
   for (const auto& [k, v] : floats)
     if (k == name) return v;
   return fallback;
+}
+
+namespace {
+
+Module::CloneFallback& clone_fallback_slot() {
+  static Module::CloneFallback fn;
+  return fn;
+}
+
+}  // namespace
+
+void Module::set_clone_fallback(CloneFallback fn) {
+  clone_fallback_slot() = std::move(fn);
+}
+
+std::shared_ptr<Module> Module::clone() const {
+  const CloneFallback& fn = clone_fallback_slot();
+  return fn ? fn(*this) : nullptr;
+}
+
+std::vector<std::pair<std::string, Tensor>> named_buffers_recursive(
+    const Module& m) {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& kv : m.named_buffers()) out.push_back(kv);
+  for (const auto& [name, child] : m.named_children())
+    for (auto& kv : named_buffers_recursive(*child))
+      out.emplace_back(name + "." + kv.first, kv.second);
+  return out;
+}
+
+namespace {
+
+// Dropout's mask rng is neither a parameter nor a buffer; carry its CURRENT
+// stream state over so a copy replays the source's masks (the clone
+// contract, DESIGN.md §5). Walks structurally parallel trees.
+template <typename D>
+void assign_keeping_mode(const Module& src, Module& dst) {
+  const auto* s = dynamic_cast<const D*>(&src);
+  auto* d = dynamic_cast<D*>(&dst);
+  if (s == nullptr || d == nullptr) return;
+  const bool mode = d->is_training();  // train/eval is not copy_state's job
+  *d = *s;
+  d->train(mode);
+}
+
+void sync_mask_streams(const Module& src, Module& dst) {
+  assign_keeping_mode<Dropout>(src, dst);
+  assign_keeping_mode<Dropout2d>(src, dst);
+  const auto& sc = src.named_children();
+  const auto& dc = dst.named_children();
+  for (size_t i = 0; i < sc.size() && i < dc.size(); ++i)
+    sync_mask_streams(*sc[i].second, *dc[i].second);
+}
+
+}  // namespace
+
+void copy_state(const Module& src, Module& dst) {
+  auto s = src.named_parameters();
+  auto d = dst.named_parameters();
+  HFTA_CHECK(s.size() == d.size(), "copy_state: parameter-count mismatch (",
+             s.size(), " vs ", d.size(), ")");
+  for (size_t i = 0; i < s.size(); ++i) {
+    HFTA_CHECK(s[i].second.numel() == d[i].second.numel(),
+               "copy_state: shape mismatch at ", s[i].first);
+    d[i].second.mutable_value().copy_(s[i].second.value());
+  }
+  auto sb = named_buffers_recursive(src);
+  auto db = named_buffers_recursive(dst);
+  HFTA_CHECK(sb.size() == db.size(), "copy_state: buffer-count mismatch (",
+             sb.size(), " vs ", db.size(), ")");
+  for (size_t i = 0; i < sb.size(); ++i) db[i].second.copy_(sb[i].second);
+  sync_mask_streams(src, dst);
+}
+
+bool has_state(const Module& m) {
+  return !m.named_parameters().empty() || !named_buffers_recursive(m).empty();
 }
 
 const Module* Module::find(const std::string& path) const {
@@ -118,6 +196,17 @@ ag::Variable Sequential::forward(const ag::Variable& x) {
   ag::Variable h = x;
   for (auto& m : mods_) h = m->forward(h);
   return h;
+}
+
+std::shared_ptr<Module> Sequential::clone() const {
+  auto out = std::make_shared<Sequential>();
+  for (const auto& [name, child] : named_children()) {
+    std::shared_ptr<Module> c = child->clone();
+    if (c == nullptr) return nullptr;
+    out->push_back(name, std::move(c));
+  }
+  out->train(is_training());
+  return out;
 }
 
 }  // namespace hfta::nn

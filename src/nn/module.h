@@ -3,6 +3,7 @@
 // nn.Module contract scaled down to what the paper's models need.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -68,12 +69,33 @@ struct ModuleConfig {
 
 class Module {
  public:
+  Module() = default;
   virtual ~Module() = default;
 
   /// Single-input forward; models with several inputs expose their own
   /// methods and use Module only for parameter bookkeeping.
   virtual ag::Variable forward(const ag::Variable& x) = 0;
   ag::Variable operator()(const ag::Variable& x) { return forward(x); }
+
+  /// Deep copy: structurally congruent, equal parameter/buffer values,
+  /// independently owned storage (mutating the clone never touches the
+  /// original, and vice versa). Built-in layers and Sequential override
+  /// this; composite kinds registered through the fusion layer's
+  /// LoweringRegistrar clone through its per-kind factories. Returns
+  /// nullptr when the kind has no clone support.
+  virtual std::shared_ptr<Module> clone() const;
+
+  /// Hook consulted by the default clone() for kinds without an override —
+  /// installed once by the fusion layer to route through the
+  /// LoweringRegistry's per-kind clone factories.
+  using CloneFallback = std::function<std::shared_ptr<Module>(const Module&)>;
+  static void set_clone_fallback(CloneFallback fn);
+
+  /// Tail shared by every clone() implementation and clone factory: copies
+  /// src's parameters, buffers, private rng streams, and train/eval mode
+  /// into the freshly constructed dst.
+  template <typename M>
+  static std::shared_ptr<M> cloned(const Module& src, std::shared_ptr<M> dst);
 
   /// All trainable parameters, depth-first (this module's own first).
   std::vector<ag::Variable> parameters() const;
@@ -114,6 +136,12 @@ class Module {
   bool is_training() const { return training_; }
 
  protected:
+  /// Copying shares parameter/buffer storage (Variables are handles) — only
+  /// meaningful for stateless-or-self-contained leaves (e.g. Dropout's
+  /// copy-based clone); kept protected so trees are not copied by accident.
+  Module(const Module&) = default;
+  Module& operator=(const Module&) = default;
+
   /// Registers a trainable parameter; returns the stored handle.
   ag::Variable& register_parameter(std::string name, Tensor value);
   /// Registers a non-trainable buffer (running stats); returns the handle.
@@ -148,11 +176,33 @@ class Sequential : public Module {
   void push_back(std::string name, std::shared_ptr<Module> m);
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kSequential; }
+  /// Deep clone: every child cloned in registration order (nullptr if any
+  /// child has no clone support).
+  std::shared_ptr<Module> clone() const override;
   size_t size() const { return mods_.size(); }
   const std::shared_ptr<Module>& at(size_t i) const { return mods_.at(i); }
 
  private:
   std::vector<std::shared_ptr<Module>> mods_;
 };
+
+/// All buffers with dotted path names, depth-first (mirrors
+/// named_parameters()).
+std::vector<std::pair<std::string, Tensor>> named_buffers_recursive(
+    const Module& m);
+
+/// Copies every parameter and buffer of `src` into the structurally
+/// congruent module `dst` (pairwise shapes must match).
+void copy_state(const Module& src, Module& dst);
+
+/// True when the module tree holds any parameter or buffer storage.
+bool has_state(const Module& m);
+
+template <typename M>
+std::shared_ptr<M> Module::cloned(const Module& src, std::shared_ptr<M> dst) {
+  copy_state(src, *dst);
+  dst->train(src.is_training());
+  return dst;
+}
 
 }  // namespace hfta::nn

@@ -106,6 +106,20 @@ ModuleConfig batch_norm_config(const BatchNormBase& bn) {
 ModuleConfig BatchNorm2d::config() const { return batch_norm_config(*this); }
 ModuleConfig BatchNorm1d::config() const { return batch_norm_config(*this); }
 
+std::shared_ptr<Module> BatchNorm2d::clone() const {
+  return cloned(*this, std::make_shared<BatchNorm2d>(channels, eps, momentum));
+}
+
+std::shared_ptr<Module> BatchNorm1d::clone() const {
+  return cloned(*this, std::make_shared<BatchNorm1d>(channels, eps, momentum));
+}
+
+std::shared_ptr<Module> LayerNorm::clone() const {
+  Rng rng(0);
+  return cloned(*this,
+                std::make_shared<LayerNorm>(normalized_shape, eps, rng));
+}
+
 ModuleConfig LayerNorm::config() const {
   ModuleConfig c;
   c.set("eps", static_cast<double>(eps));

@@ -33,6 +33,7 @@ class BatchNorm2d : public BatchNormBase {
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kBatchNorm2d; }
   ModuleConfig config() const override;
+  std::shared_ptr<Module> clone() const override;
 };
 
 class BatchNorm1d : public BatchNormBase {
@@ -41,6 +42,7 @@ class BatchNorm1d : public BatchNormBase {
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kBatchNorm1d; }
   ModuleConfig config() const override;
+  std::shared_ptr<Module> clone() const override;
 };
 
 class LayerNorm : public Module {
@@ -50,6 +52,7 @@ class LayerNorm : public Module {
   ag::Variable forward(const ag::Variable& x) override;
   LayerKind kind() const override { return LayerKind::kLayerNorm; }
   ModuleConfig config() const override;
+  std::shared_ptr<Module> clone() const override;
 
   ag::Variable weight;  // [E1..En]
   ag::Variable bias;    // [E1..En]

@@ -92,8 +92,9 @@ TEST(Classifier, MultiGpuJobsNeverRepetitive) {
                              5);
   auto pred = classify(jobs);
   for (size_t i = 0; i < jobs.size(); ++i) {
-    if (jobs[i].gpus > 1)
+    if (jobs[i].gpus > 1) {
       EXPECT_NE(pred[i], JobKind::kRepetitiveSingleGpu);
+    }
   }
 }
 

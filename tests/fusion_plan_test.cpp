@@ -293,6 +293,189 @@ TEST(FusionPlan, LoadModelReloadsFromNewDonors) {
   expect_equivalent(*array, fresh, xs);
 }
 
+TEST(FusionPlan, UnfusedUnitsOwnClonedReplicas) {
+  // Regression for the donor write-through footgun: unfused units used to
+  // alias the donor models' own submodules, so load_model (and training)
+  // silently mutated the donors. They now own Module::clone() replicas.
+  Rng rng(20);
+  std::vector<std::shared_ptr<nn::Module>> nets, fresh;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    nets.push_back(mlp(6, 10, 4, rng));
+    fresh.push_back(mlp(6, 10, 4, rng));
+    xs.push_back(Tensor::randn({5, 6}, rng));
+  }
+  FusionOptions opts;
+  opts.output_layout = Layout::kModelMajor;
+  opts.fuse_mask = {true, true, false};  // fc2 runs as B unfused replicas
+  auto array = FusionPlan(kB, opts).compile(nets, rng);
+
+  // The adapter's replicas are distinct objects, not the donors.
+  auto adapter = std::dynamic_pointer_cast<UnfusedBlockAdapter>(
+      array->steps().back().module);
+  ASSERT_NE(adapter, nullptr);
+  for (int64_t b = 0; b < kB; ++b) {
+    const auto& donor_fc2 =
+        static_cast<const nn::Sequential&>(*nets[static_cast<size_t>(b)])
+            .at(2);
+    EXPECT_NE(adapter->replicas()[static_cast<size_t>(b)].get(),
+              donor_fc2.get())
+        << "replica " << b << " aliases its donor";
+  }
+
+  // (1) load_model with new weights must not touch the donors.
+  std::vector<Tensor> donor_before;
+  for (const auto& n : nets)
+    for (const auto& p : n->parameters())
+      donor_before.push_back(p.value().clone());
+  for (int64_t b = 0; b < kB; ++b)
+    array->load_model(b, *fresh[static_cast<size_t>(b)]);
+  size_t i = 0;
+  for (const auto& n : nets)
+    for (const auto& p : n->parameters())
+      EXPECT_EQ(ops::max_abs_diff(donor_before[i++], p.value()), 0.f)
+          << "load_model mutated a donor";
+
+  // (2) mutating the array (an "optimizer step") must not touch the donors
+  // either, and vice versa: donor edits must not change the array's output.
+  Tensor x = pack_channel_fused(xs);
+  for (auto& p : array->parameters()) {
+    Tensor v = p.mutable_value();
+    v.add_(Tensor::ones(v.shape()), 1e-2f);
+  }
+  i = 0;
+  for (const auto& n : nets)
+    for (const auto& p : n->parameters())
+      EXPECT_EQ(ops::max_abs_diff(donor_before[i++], p.value()), 0.f)
+          << "array mutation wrote through to a donor";
+  Tensor y_before = array->forward(ag::Variable(x)).value();
+  for (const auto& n : nets)
+    for (auto& p : n->parameters()) {
+      Tensor v = p.mutable_value();
+      v.add_(Tensor::ones(v.shape()), 1.f);
+    }
+  Tensor y_after = array->forward(ag::Variable(x)).value();
+  EXPECT_EQ(ops::max_abs_diff(y_before, y_after), 0.f)
+      << "donor mutation changed the array";
+
+  // (3) after reloading, the array still computes the fresh models exactly.
+  for (int64_t b = 0; b < kB; ++b)
+    array->load_model(b, *fresh[static_cast<size_t>(b)]);
+  expect_equivalent(*array, fresh, xs);
+}
+
+TEST(FusionPlan, StructureOnlyCompileMatchesAfterLoad) {
+  // compile_structure_only lowers ONE template graph and skips weight
+  // loading; after load_model the array must be exactly equivalent to the
+  // per-model nets — including across masked-off (cloned-replica) units.
+  Rng rng(21);
+  auto tmpl = mlp(6, 10, 4, rng);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    nets.push_back(mlp(6, 10, 4, rng));
+    xs.push_back(Tensor::randn({5, 6}, rng));
+  }
+  for (int m = 0; m < 8; ++m) {
+    FusionOptions opts;
+    opts.output_layout = Layout::kModelMajor;
+    opts.fuse_mask = {(m & 1) != 0, (m & 2) != 0, (m & 4) != 0};
+    auto array = FusionPlan(kB, opts).compile_structure_only(tmpl, rng);
+    for (int64_t b = 0; b < kB; ++b)
+      array->load_model(b, *nets[static_cast<size_t>(b)]);
+    expect_equivalent(*array, nets, xs);
+  }
+}
+
+TEST(FusionPlan, StructureOnlyCompileLeavesTemplateUntouched) {
+  Rng rng(22);
+  auto tmpl = mlp(6, 10, 4, rng);
+  std::vector<Tensor> before;
+  for (const auto& p : tmpl->parameters()) before.push_back(p.value().clone());
+
+  FusionOptions opts;
+  opts.output_layout = Layout::kModelMajor;
+  opts.fuse_mask = {true, false, false};
+  auto array = FusionPlan(kB, opts).compile_structure_only(tmpl, rng);
+  std::vector<std::shared_ptr<nn::Module>> fresh;
+  for (int64_t b = 0; b < kB; ++b) {
+    fresh.push_back(mlp(6, 10, 4, rng));
+    array->load_model(b, *fresh.back());
+  }
+  for (auto& p : array->parameters()) {
+    Tensor v = p.mutable_value();
+    v.add_(Tensor::ones(v.shape()), 1.f);
+  }
+  const auto after = tmpl->parameters();
+  for (size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(ops::max_abs_diff(before[i], after[i].value()), 0.f)
+        << "structure-only compile mutated the template";
+}
+
+// A stateful composite without lowering OR clone support.
+class StatefulOpaque : public nn::Module {
+ public:
+  explicit StatefulOpaque(Rng& rng) {
+    w = register_parameter("w", Tensor::randn({2}, rng));
+  }
+  ag::Variable forward(const ag::Variable& x) override { return x; }
+  std::string kind_name() const override { return "test::StatefulOpaque"; }
+  ag::Variable w;
+};
+
+TEST(FusionPlan, StatefulUncloneableUnfusedUnitIsDiagnosed) {
+  // An unfused unit must own its replicas; a stateful kind that cannot be
+  // cloned is a structured FusionError (which layer, why), not a crash.
+  Rng rng(24);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  for (int64_t b = 0; b < kB; ++b) {
+    auto net = std::make_shared<nn::Sequential>();
+    net->push_back("fc", std::make_shared<nn::Linear>(4, 4, true, rng));
+    net->push_back("op", std::make_shared<StatefulOpaque>(rng));
+    nets.push_back(net);
+  }
+  FusionOptions opts;
+  opts.allow_unfused_fallback = true;
+  try {
+    FusionPlan(kB, opts).compile(nets, rng);
+    FAIL() << "compile must reject a stateful, clone-less unfused unit";
+  } catch (const FusionError& e) {
+    EXPECT_EQ(e.diagnostic.path, "op");
+    EXPECT_NE(e.diagnostic.reason.find("clone"), std::string::npos);
+    EXPECT_NE(e.diagnostic.reason.find("test::StatefulOpaque"),
+              std::string::npos);
+  }
+}
+
+TEST(FusionPlan, StructureOnlyFallbackSharesStatelessKinds) {
+  // An unregistered stateless kind behind allow_unfused_fallback may be
+  // shared rather than cloned — nothing to write through — and the compile
+  // still round-trips.
+  Rng rng(23);
+  auto tmpl = std::make_shared<nn::Sequential>();
+  tmpl->push_back("fc1", std::make_shared<nn::Linear>(6, 8, true, rng));
+  tmpl->push_back("dbl", std::make_shared<Doubler>());
+  tmpl->push_back("fc2", std::make_shared<nn::Linear>(8, 3, true, rng));
+  FusionOptions opts;
+  opts.allow_unfused_fallback = true;
+  opts.output_layout = Layout::kModelMajor;
+  auto array = FusionPlan(kB, opts).compile_structure_only(tmpl, rng);
+  EXPECT_FALSE(array->unit_fused(1));
+
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  std::vector<Tensor> xs;
+  for (int64_t b = 0; b < kB; ++b) {
+    auto net = std::make_shared<nn::Sequential>();
+    net->push_back("fc1", std::make_shared<nn::Linear>(6, 8, true, rng));
+    net->push_back("dbl", std::make_shared<Doubler>());
+    net->push_back("fc2", std::make_shared<nn::Linear>(8, 3, true, rng));
+    nets.push_back(net);
+    xs.push_back(Tensor::randn({4, 6}, rng));
+    array->load_model(b, *net);
+  }
+  expect_equivalent(*array, nets, xs);
+}
+
 TEST(FusionPlan, TransformerLMLowersThroughRegistry) {
   Rng rng(13);
   models::TransformerConfig cfg = models::TransformerConfig::tiny();
