@@ -1,0 +1,387 @@
+#include "hfht/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <tuple>
+
+#include "core/check.h"
+#include "data/loader.h"
+#include "hfta/fused_optim.h"
+#include "hfta/fusion.h"
+#include "hfta/loss_scaling.h"
+#include "models/pointnet.h"
+#include "nn/optim.h"
+#include "sim/execution.h"
+
+namespace hfta::hfht {
+
+namespace {
+
+constexpr double kUsPerHour = 3.6e9;
+
+// Exact (bit-pattern) hash of a parameter set, used to derive each trial's
+// deterministic weight-init stream and each group's data-shuffle stream.
+uint64_t param_key(const ParamSet& p, uint64_t seed) {
+  uint64_t key = seed;
+  for (double v : p) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    key = hash_combine(key, bits);
+  }
+  return key;
+}
+
+}  // namespace
+
+// ---- SyntheticExecutor -----------------------------------------------------
+
+SyntheticExecutor::SyntheticExecutor(Task task, SchedulerKind scheduler,
+                                     sim::DeviceSpec dev)
+    : task_(task),
+      scheduler_(scheduler),
+      dev_(dev),
+      space_(task == Task::kPointNet ? SearchSpace::pointnet()
+                                     : SearchSpace::mobilenet()),
+      workload_(task == Task::kPointNet ? sim::Workload::kPointNetCls
+                                        : sim::Workload::kMobileNetV3) {}
+
+ExecutionReport SyntheticExecutor::run(const std::vector<Trial>& batch) {
+  ExecutionReport rep;
+  rep.cost = schedule_cost(batch, space_, workload_, dev_, scheduler_);
+  rep.scores.reserve(batch.size());
+  for (const Trial& t : batch)
+    rep.scores.push_back(synthetic_accuracy(space_, t.params, t.epochs, task_));
+  return rep;
+}
+
+// ---- FusedTrainingExecutor -------------------------------------------------
+
+/// One live fused array: the planner-compiled trials of one infusible
+/// partition, with the optimizer, the data-shuffle stream (kept so rung
+/// survivors resume mid-stream), and — under verify_against_serial — the B
+/// independently trained twin models the array must match bit-for-bit.
+struct FusedTrainingExecutor::Group {
+  std::vector<ParamSet> members;  // slot b trains members[b]
+  models::PointNetConfig cfg;
+  int64_t batch_size = 0;
+  // Congruent per-model tree kept as the repack clone template (its weight
+  // values are irrelevant — save_model overwrites every survivor clone).
+  std::shared_ptr<models::PointNetCls> tmpl;
+  std::shared_ptr<fused::FusedArray> array;
+  std::unique_ptr<fused::FusedAdam> opt;
+  std::unique_ptr<data::BatchSampler> sampler;
+  int64_t epochs_trained = 0;
+  bool ever_repacked = false;
+  // serial verification twins (empty unless verify_against_serial)
+  std::vector<std::shared_ptr<models::PointNetCls>> serial;
+  std::vector<std::unique_ptr<nn::Adam>> serial_opts;
+
+  int64_t B() const { return static_cast<int64_t>(members.size()); }
+
+  fused::HyperVec hyper(const SearchSpace& space, const char* name) const {
+    fused::HyperVec v;
+    v.reserve(members.size());
+    for (const ParamSet& p : members) v.push_back(space.get(p, name));
+    return v;
+  }
+};
+
+FusedTrainingExecutor::FusedTrainingExecutor(Task task, sim::DeviceSpec dev,
+                                             Options opts)
+    : task_(task),
+      dev_(dev),
+      opts_(opts),
+      space_(SearchSpace::pointnet()),
+      rng_(opts.seed) {
+  HFTA_CHECK(task_ == Task::kPointNet,
+             "FusedTrainingExecutor: only the PointNet task trains for real "
+             "so far (MobileNet still uses the synthetic executor)");
+  const models::PointNetConfig cfg = models::PointNetConfig::tiny();
+  train_ds_ = std::make_unique<data::PointCloudDataset>(
+      opts_.dataset_size, cfg.num_points, cfg.num_classes, cfg.num_parts,
+      opts_.seed);
+  // The held-out scoring batch is fixed for the executor's lifetime.
+  const data::PointCloudDataset eval_ds(opts_.eval_size, cfg.num_points,
+                                        cfg.num_classes, cfg.num_parts,
+                                        opts_.seed + 1);
+  std::vector<int64_t> idx(static_cast<size_t>(opts_.eval_size));
+  for (int64_t i = 0; i < opts_.eval_size; ++i)
+    idx[static_cast<size_t>(i)] = i;
+  std::tie(eval_x_, eval_y_) = eval_ds.batch_cls(idx);
+}
+
+std::unique_ptr<fused::FusedAdam> FusedTrainingExecutor::make_optimizer(
+    const Group& g) const {
+  const int64_t B = g.B();
+  return std::make_unique<fused::FusedAdam>(
+      fused::collect_fused_parameters(*g.array, B), B,
+      fused::FusedAdam::Options{g.hyper(space_, "lr"),
+                                g.hyper(space_, "adam_beta1"),
+                                g.hyper(space_, "adam_beta2"),
+                                {1e-8},
+                                g.hyper(space_, "weight_decay")});
+}
+
+FusedTrainingExecutor::~FusedTrainingExecutor() = default;
+
+FusedTrainingExecutor::Group* FusedTrainingExecutor::find_or_create(
+    const std::vector<ParamSet>& members, int64_t epoch_budget) {
+  // A live group whose members are exactly the requested sets (same order)
+  // continues as-is; one that contains them as a subset / permutation is a
+  // Hyperband halving boundary — repack the survivors into a smaller array.
+  for (auto& gp : groups_) {
+    Group& g = *gp;
+    if (g.epochs_trained > epoch_budget) continue;
+    std::vector<int64_t> keep;
+    keep.reserve(members.size());
+    for (const ParamSet& want : members) {
+      // Injective matching: duplicate parameter sets (possible with the
+      // discrete choice lists) must map to distinct slots, or the repack
+      // below would move the same serial twin twice.
+      int64_t found = -1;
+      for (int64_t i = 0; i < g.B(); ++i) {
+        if (std::find(keep.begin(), keep.end(), i) != keep.end()) continue;
+        if (g.members[static_cast<size_t>(i)] == want) {
+          found = i;
+          break;
+        }
+      }
+      if (found < 0) break;
+      keep.push_back(found);
+    }
+    if (keep.size() != members.size()) continue;
+    bool identity = g.B() == static_cast<int64_t>(members.size());
+    for (size_t j = 0; identity && j < keep.size(); ++j)
+      identity = keep[j] == static_cast<int64_t>(j);
+    if (identity) return &g;
+
+    // Halving: extract the survivors and continue on a smaller array.
+    const int64_t newB = static_cast<int64_t>(members.size());
+    fused::FusionOptions fopts;
+    fopts.output_layout = fused::Layout::kModelMajor;
+    const fused::FusionPlan plan(newB, fopts);
+    auto repacked = std::make_unique<Group>();
+    repacked->members = members;
+    repacked->cfg = g.cfg;
+    repacked->batch_size = g.batch_size;
+    repacked->tmpl = g.tmpl;
+    repacked->array = plan.repack(*g.array, keep, *g.tmpl->net, rng_);
+    repacked->opt = make_optimizer(*repacked);
+    repacked->opt->repack_state_from(*g.opt, keep);
+    repacked->sampler = std::move(g.sampler);  // resume the shuffle stream
+    repacked->epochs_trained = g.epochs_trained;
+    repacked->ever_repacked = true;
+    for (int64_t b : keep) {
+      if (g.serial.empty()) break;
+      repacked->serial.push_back(std::move(g.serial[static_cast<size_t>(b)]));
+      repacked->serial_opts.push_back(
+          std::move(g.serial_opts[static_cast<size_t>(b)]));
+    }
+    ++repacked_;
+    gp = std::move(repacked);  // the donor array (and its killed trials) die
+    return gp.get();
+  }
+
+  // Fresh partition: build one congruent per-model graph per trial (each
+  // trial's weight init is a pure function of its parameter set, so serial
+  // reruns reproduce it) and compile them into a fused array.
+  auto g = std::make_unique<Group>();
+  g->members = members;
+  g->cfg = models::PointNetConfig::tiny();
+  g->cfg.input_transform = space_.get(members[0], "feature_transform") != 0.0;
+  g->batch_size = static_cast<int64_t>(space_.get(members[0], "batch_size"));
+  HFTA_CHECK(g->batch_size >= 1 && g->batch_size <= train_ds_->size(),
+             "FusedTrainingExecutor: batch size ", g->batch_size,
+             " does not fit the dataset (", train_ds_->size(), " samples)");
+  const int64_t B = g->B();
+  std::vector<std::shared_ptr<models::PointNetCls>> donors;
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  for (const ParamSet& p : members) {
+    Rng donor_rng(param_key(p, opts_.seed ^ 0xD0));
+    donors.push_back(std::make_shared<models::PointNetCls>(g->cfg, donor_rng));
+    nets.push_back(donors.back()->net);
+  }
+  g->tmpl = donors[0];  // doubles as the future repack clone template
+  fused::FusionOptions fopts;
+  fopts.output_layout = fused::Layout::kModelMajor;
+  g->array = fused::FusionPlan(B, fopts).compile(nets, rng_);
+  g->opt = make_optimizer(*g);
+  // Infusible values identify the partition, so the shuffle stream is a pure
+  // function of them — the serial rerun of any member draws the same batches.
+  std::vector<double> inf_vals;
+  for (size_t i : space_.infusible_indices()) inf_vals.push_back(members[0][i]);
+  g->sampler = std::make_unique<data::BatchSampler>(
+      train_ds_->size(), g->batch_size, /*shuffle=*/true,
+      param_key(inf_vals, opts_.seed ^ 0xDA7A));
+  if (opts_.verify_against_serial) {
+    for (int64_t b = 0; b < B; ++b) {
+      g->serial.push_back(donors[static_cast<size_t>(b)]);
+      g->serial_opts.push_back(std::make_unique<nn::Adam>(
+          donors[static_cast<size_t>(b)]->parameters(),
+          nn::Adam::Options{
+              space_.get(members[static_cast<size_t>(b)], "lr"),
+              space_.get(members[static_cast<size_t>(b)], "adam_beta1"),
+              space_.get(members[static_cast<size_t>(b)], "adam_beta2"),
+              1e-8,
+              space_.get(members[static_cast<size_t>(b)], "weight_decay")}));
+    }
+  }
+  ++compiled_;
+  groups_.push_back(std::move(g));
+  // Bound the live-array cache: fresh brackets sample fresh parameter sets,
+  // so the oldest groups can never be continued and are safe to drop. The
+  // cap comfortably exceeds the chunks of any single proposal round.
+  constexpr size_t kMaxLiveGroups = 64;
+  if (groups_.size() > kMaxLiveGroups) groups_.erase(groups_.begin());
+  return groups_.back().get();
+}
+
+void FusedTrainingExecutor::train(Group& g, int64_t delta_epochs,
+                                  CostReport* cost) {
+  const int64_t B = g.B();
+  const int64_t N = g.batch_size;
+  const fused::HyperVec base_lr = g.hyper(space_, "lr");
+  const fused::HyperVec decay = g.hyper(space_, "lr_decay_factor");
+  const fused::HyperVec period = g.hyper(space_, "lr_decay_period");
+  for (int64_t e = 0; e < delta_epochs; ++e) {
+    // Per-trial StepLR, computed once in double and fed to both the fused
+    // lr vector and the serial twins so the float paths are identical.
+    const int64_t epoch = g.epochs_trained + e;
+    fused::HyperVec lrs(static_cast<size_t>(B));
+    for (int64_t b = 0; b < B; ++b) {
+      const size_t ub = static_cast<size_t>(b);
+      const double k = std::floor(static_cast<double>(epoch) / period[ub]);
+      lrs[ub] = base_lr[ub] * std::pow(decay[ub], k);
+    }
+    g.opt->set_lr(lrs);
+    for (size_t b = 0; b < g.serial_opts.size(); ++b)
+      g.serial_opts[b]->set_lr(lrs[b]);
+
+    for (const auto& bidx : g.sampler->epoch()) {
+      auto [x, y] = train_ds_->batch_cls(bidx);
+      std::vector<Tensor> xs(static_cast<size_t>(B), x);
+      Tensor labels({B, N});
+      for (int64_t b = 0; b < B; ++b)
+        for (int64_t n = 0; n < N; ++n) labels.at({b, n}) = y.at({n});
+      g.opt->zero_grad();
+      ag::Variable logits =
+          g.array->forward(ag::Variable(fused::pack_channel_fused(xs)));
+      // Only the serial-verification audit reads the per-model losses —
+      // skip the extra softmax pass on plain tuning runs.
+      std::vector<double> fused_losses;
+      if (!g.serial.empty())
+        fused_losses = fused::per_model_cross_entropy(logits.value(), labels);
+      // Per-model mean CE built as (1/N) * sum: its backward scales every
+      // row by the same float(1/N) the serial kMean loss uses, so the
+      // gradients match the B serial runs bit-for-bit regardless of how
+      // float(1/(B*N)) * B would round (Appendix C, Eq. 5 route).
+      ag::mul_scalar(
+          fused::fused_cross_entropy(logits, labels, ag::Reduction::kSum),
+          1.f / static_cast<float>(N))
+          .backward();
+      g.opt->step();
+
+      for (size_t b = 0; b < g.serial.size(); ++b) {
+        g.serial_opts[b]->zero_grad();
+        ag::Variable sl = g.serial[b]->forward(ag::Variable(x));
+        // Same per-model reduction routine on both sides: the comparison
+        // detects logits drift, not reduction-order noise.
+        const double serial_loss = fused::per_model_cross_entropy(
+            sl.value().reshape({1, N, g.cfg.num_classes}),
+            y.reshape({1, N}))[0];
+        ag::cross_entropy(sl, y, ag::Reduction::kMean).backward();
+        g.serial_opts[b]->step();
+        max_diff_ = std::max(max_diff_,
+                             std::fabs(fused_losses[b] - serial_loss));
+        if (g.ever_repacked) ++post_repack_verified_;
+      }
+    }
+  }
+  price(g, delta_epochs, cost);
+  g.epochs_trained += delta_epochs;
+}
+
+std::vector<double> FusedTrainingExecutor::score(Group& g) {
+  // Held-out score on the fixed eval batch: per-model CE mapped to
+  // 1/(1+loss) so higher is better and values live in (0, 1].
+  const int64_t B = g.B();
+  const int64_t N = eval_x_.size(0);
+  std::vector<Tensor> xs(static_cast<size_t>(B), eval_x_);
+  Tensor labels({B, N});
+  for (int64_t b = 0; b < B; ++b)
+    for (int64_t n = 0; n < N; ++n) labels.at({b, n}) = eval_y_.at({n});
+  g.array->eval();
+  ag::Variable logits =
+      g.array->forward(ag::Variable(fused::pack_channel_fused(xs)));
+  g.array->train();
+  std::vector<double> losses =
+      fused::per_model_cross_entropy(logits.value(), labels);
+  std::vector<double> scores;
+  scores.reserve(losses.size());
+  for (double l : losses) scores.push_back(1.0 / (1.0 + l));
+  return scores;
+}
+
+void FusedTrainingExecutor::price(const Group& g, int64_t delta_epochs,
+                                  CostReport* cost) const {
+  if (cost == nullptr || delta_epochs <= 0) return;
+  // Price the trace the group actually ran — its batch size, widths, and
+  // STN — instead of the canned paper-scale kPointNetCls trace.
+  sim::PointNetTraceSpec spec;
+  spec.batch = g.batch_size;
+  spec.points = g.cfg.num_points;
+  spec.w1 = g.cfg.w1;
+  spec.w2 = g.cfg.w2;
+  spec.w3 = g.cfg.w3;
+  spec.fc1 = g.cfg.fc1;
+  spec.fc2 = g.cfg.fc2;
+  spec.num_classes = g.cfg.num_classes;
+  spec.input_transform = g.cfg.input_transform;
+  const int64_t B = g.B();
+  const sim::IterationTrace single = sim::build_pointnet_cls_trace(spec, 1);
+  const sim::IterationTrace fused_tr =
+      B == 1 ? single : sim::build_pointnet_cls_trace(spec, B);
+  const sim::RunResult r = sim::simulate_traces(
+      dev_, single, fused_tr, B == 1 ? sim::Mode::kSerial : sim::Mode::kHfta,
+      B, sim::Precision::kFP32);
+  const int64_t iters = train_ds_->size() / g.batch_size;
+  cost->gpu_hours += static_cast<double>(delta_epochs) *
+                     static_cast<double>(iters) * r.round_us / kUsPerHour;
+  ++cost->jobs_launched;
+}
+
+ExecutionReport FusedTrainingExecutor::run(const std::vector<Trial>& batch) {
+  ExecutionReport rep;
+  rep.scores.assign(batch.size(), 0.0);
+  if (batch.empty()) return rep;
+  std::vector<ParamSet> sets;
+  sets.reserve(batch.size());
+  for (const Trial& t : batch) sets.push_back(t.params);
+  const auto partitions = partition_by_infusible(space_, sets);
+  for (const auto& part : partitions) {
+    // Chunk oversized partitions (stand-in for the device-memory cap).
+    for (size_t start = 0; start < part.size();) {
+      const size_t n = std::min<size_t>(
+          static_cast<size_t>(opts_.max_array_size), part.size() - start);
+      std::vector<size_t> chunk(part.begin() + start, part.begin() + start + n);
+      start += n;
+      const int64_t epochs = batch[chunk[0]].epochs;
+      std::vector<ParamSet> members;
+      members.reserve(chunk.size());
+      for (size_t i : chunk) {
+        HFTA_CHECK(batch[i].epochs == epochs,
+                   "FusedTrainingExecutor: mixed epoch budgets in one batch");
+        members.push_back(batch[i].params);
+      }
+      Group* g = find_or_create(members, epochs);
+      if (epochs > g->epochs_trained)
+        train(*g, epochs - g->epochs_trained, &rep.cost);
+      const std::vector<double> s = score(*g);
+      for (size_t j = 0; j < chunk.size(); ++j) rep.scores[chunk[j]] = s[j];
+    }
+  }
+  return rep;
+}
+
+}  // namespace hfta::hfht

@@ -1,0 +1,126 @@
+// The Algorithm-1 execution seam. HFHT's tuning loop (propose -> run ->
+// update) talks to a TrialExecutor: the synthetic executor keeps the
+// deterministic accuracy surface + cost model that reproduce Fig. 8's
+// GPU-hour curves, and the fused-training executor runs every trial for
+// real — each partition_by_infusible() group becomes a planner-compiled
+// FusedArray driven by a FusedAdam with per-trial hyper-parameter vectors,
+// scored from per-model cross-entropy. Hyperband's successive halving maps
+// onto FusionPlan::repack: rung survivors are extracted from the live array
+// and repacked into a smaller one that continues training bit-exactly.
+#pragma once
+
+#include <memory>
+
+#include "data/datasets.h"
+#include "hfht/tuner.h"
+
+namespace hfta::fused {
+class FusedAdam;
+}
+
+namespace hfta::hfht {
+
+/// Result of executing one proposed batch: per-trial scores (aligned with
+/// the batch; higher is better) and the GPU-hour bill.
+struct ExecutionReport {
+  std::vector<double> scores;
+  CostReport cost;
+};
+
+/// Runs batches of trials for the tuning loop (Algorithm 1, lines 7-12).
+class TrialExecutor {
+ public:
+  virtual ~TrialExecutor() = default;
+  virtual ExecutionReport run(const std::vector<Trial>& batch) = 0;
+};
+
+/// The paper-figure executor: scores from the synthetic accuracy surface,
+/// cost from the scheduler cost model (unchanged Fig. 8 behavior).
+class SyntheticExecutor : public TrialExecutor {
+ public:
+  SyntheticExecutor(Task task, SchedulerKind scheduler, sim::DeviceSpec dev);
+  ExecutionReport run(const std::vector<Trial>& batch) override;
+
+ private:
+  Task task_;
+  SchedulerKind scheduler_;
+  sim::DeviceSpec dev_;
+  SearchSpace space_;
+  sim::Workload workload_;
+};
+
+/// The real executor: trains every trial on an actual fused array.
+///
+/// Each infusible partition (same batch size / feature transform) compiles
+/// into one FusedArray via the planner; per-trial lr/beta1/beta2/weight
+/// decay ride in the FusedAdam's HyperVecs and the per-trial StepLR decay
+/// is applied epoch-wise to the lr vector. Scores come from per-model
+/// cross-entropy on a held-out batch, mapped to 1/(1+loss). Cost is priced
+/// by simulating the group's REAL kernel trace (batch size, widths, STN
+/// from the trial's structural params) on the device model.
+///
+/// Arrays live across rung boundaries: when a later batch re-proposes a
+/// subset of a live group's members with a larger epoch budget (Hyperband
+/// survivors), the survivors are repacked into a smaller array
+/// (FusionPlan::repack + FusedOptimizer::repack_state_from) and continue
+/// training exactly where they stopped. Survivors that do not all come
+/// from ONE live group (possible when a rung exceeded max_array_size and
+/// was chunked) fall back to a fresh deterministic retrain from epoch 0 —
+/// the reported cost then bills the retraining that actually ran, not the
+/// continuation an un-chunked array would have allowed.
+class FusedTrainingExecutor : public TrialExecutor {
+ public:
+  struct Options {
+    int64_t dataset_size = 64;   // synthetic training clouds
+    int64_t eval_size = 16;      // held-out scoring clouds
+    int64_t max_array_size = 8;  // fused-chunk cap (device-memory stand-in)
+    uint64_t seed = 0x5EED;
+    /// Additionally trains every group's B models serially (same data, same
+    /// schedules) and records the max per-model loss deviation — the
+    /// bit-exactness audit printed by examples/hfht_tuning.
+    bool verify_against_serial = false;
+  };
+
+  FusedTrainingExecutor(Task task, sim::DeviceSpec dev, Options opts);
+  FusedTrainingExecutor(Task task, sim::DeviceSpec dev)
+      : FusedTrainingExecutor(task, dev, Options()) {}
+  ~FusedTrainingExecutor() override;
+  ExecutionReport run(const std::vector<Trial>& batch) override;
+
+  /// Max |fused - serial| per-model training loss over every iteration of
+  /// every verified group (0.0 when fused training IS the serial runs).
+  double max_fused_vs_serial_diff() const { return max_diff_; }
+  int64_t arrays_compiled() const { return compiled_; }
+  int64_t arrays_repacked() const { return repacked_; }
+  /// Iterations verified on arrays that had been repacked at least once
+  /// (> 0 proves bit-exactness held across a halving boundary).
+  int64_t iterations_verified_after_repack() const {
+    return post_repack_verified_;
+  }
+
+ private:
+  struct Group;
+
+  Group* find_or_create(const std::vector<ParamSet>& members,
+                        int64_t epoch_budget);
+  std::unique_ptr<fused::FusedAdam> make_optimizer(const Group& g) const;
+  void train(Group& g, int64_t delta_epochs, CostReport* cost);
+  std::vector<double> score(Group& g);
+  void price(const Group& g, int64_t delta_epochs, CostReport* cost) const;
+
+  Task task_;
+  sim::DeviceSpec dev_;
+  Options opts_;
+  SearchSpace space_;
+  Rng rng_;
+  std::unique_ptr<data::PointCloudDataset> train_ds_;
+  Tensor eval_x_, eval_y_;  // fixed held-out scoring batch
+  std::vector<std::unique_ptr<Group>> groups_;
+
+  int64_t compiled_ = 0;
+  int64_t repacked_ = 0;
+  int64_t post_repack_verified_ = 0;
+  double max_diff_ = 0.0;
+};
+
+}  // namespace hfta::hfht

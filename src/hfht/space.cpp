@@ -25,6 +25,20 @@ ParamSet SearchSpace::sample(Rng& rng) const {
   return out;
 }
 
+size_t SearchSpace::index_of(const std::string& name) const {
+  for (size_t i = 0; i < params.size(); ++i)
+    if (params[i].name == name) return i;
+  HFTA_CHECK(false, "SearchSpace: no hyper-parameter named '", name, "'");
+  return 0;
+}
+
+double SearchSpace::get(const ParamSet& set, const std::string& name) const {
+  const size_t i = index_of(name);
+  HFTA_CHECK(i < set.size(), "SearchSpace::get: set has ", set.size(),
+             " values but '", name, "' is index ", i);
+  return set[i];
+}
+
 std::vector<size_t> SearchSpace::infusible_indices() const {
   std::vector<size_t> out;
   for (size_t i = 0; i < params.size(); ++i)

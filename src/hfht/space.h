@@ -34,6 +34,12 @@ struct SearchSpace {
   /// Indices of infusible params.
   std::vector<size_t> infusible_indices() const;
 
+  /// Index of the named hyper-parameter; fails on unknown names, so callers
+  /// read values as space.get(set, "lr") instead of magic indices.
+  size_t index_of(const std::string& name) const;
+  /// Value of the named hyper-parameter in `set`.
+  double get(const ParamSet& set, const std::string& name) const;
+
   /// The paper's PointNet task: 8 hyper-parameters, 2 infusible
   /// (batch size, feature transformation) — Table 12.
   static SearchSpace pointnet();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "hfht/executor.h"
 
 namespace hfta::hfht {
 
@@ -43,46 +44,52 @@ double synthetic_accuracy(const SearchSpace& space, const ParamSet& params,
 }
 
 std::unique_ptr<TuningAlgorithm> make_algorithm(AlgorithmKind algo, Task task,
-                                                uint64_t seed) {
+                                                uint64_t seed,
+                                                int64_t budget_override) {
   SearchSpace space = task == Task::kPointNet ? SearchSpace::pointnet()
                                               : SearchSpace::mobilenet();
   if (algo == AlgorithmKind::kRandomSearch) {
     // Table 11: PointNet 60 sets x 25 epochs; MobileNet 50 x 20.
-    return task == Task::kPointNet
-               ? std::make_unique<RandomSearch>(space, 60, 25, seed)
-               : std::make_unique<RandomSearch>(space, 50, 20, seed);
+    const int64_t sets =
+        budget_override > 0 ? budget_override
+                            : (task == Task::kPointNet ? 60 : 50);
+    return std::make_unique<RandomSearch>(
+        space, sets, task == Task::kPointNet ? 25 : 20, seed);
   }
   // Table 11: PointNet R=250 eta=5 skip-last 1; MobileNet R=81 eta=3 skip 2.
+  const int64_t R =
+      budget_override > 0 ? budget_override
+                          : (task == Task::kPointNet ? 250 : 81);
   return task == Task::kPointNet
-             ? std::make_unique<Hyperband>(space, 250, 5, 1, seed)
-             : std::make_unique<Hyperband>(space, 81, 3, 2, seed);
+             ? std::make_unique<Hyperband>(space, R, 5, 1, seed)
+             : std::make_unique<Hyperband>(space, R, 3, 2, seed);
 }
 
-TuneResult run_tuning(Task task, AlgorithmKind algo, SchedulerKind scheduler,
-                      const sim::DeviceSpec& dev, uint64_t seed) {
-  const SearchSpace space = task == Task::kPointNet ? SearchSpace::pointnet()
-                                                    : SearchSpace::mobilenet();
-  const sim::Workload w = task == Task::kPointNet
-                              ? sim::Workload::kPointNetCls
-                              : sim::Workload::kMobileNetV3;
-  auto tuning = make_algorithm(algo, task, seed);
+TuneResult run_tuning(TuningAlgorithm& algorithm, TrialExecutor& executor) {
   TuneResult result;
   // Algorithm 1 main loop.
   while (true) {
-    const std::vector<Trial> batch = tuning->propose();
+    const std::vector<Trial> batch = algorithm.propose();
     if (batch.empty()) break;
     ++result.iterations;
     result.total_trials += static_cast<int64_t>(batch.size());
-    const CostReport cost = schedule_cost(batch, space, w, dev, scheduler);
-    result.total_gpu_hours += cost.gpu_hours;
-    std::vector<double> acc;
-    acc.reserve(batch.size());
-    for (const Trial& t : batch)
-      acc.push_back(synthetic_accuracy(space, t.params, t.epochs, task));
-    tuning->update(batch, acc);
+    const ExecutionReport rep = executor.run(batch);
+    HFTA_CHECK(rep.scores.size() == batch.size(),
+               "run_tuning: executor returned ", rep.scores.size(),
+               " scores for ", batch.size(), " trials");
+    result.total_gpu_hours += rep.cost.gpu_hours;
+    algorithm.update(batch, rep.scores);
   }
-  result.best_accuracy = tuning->best_accuracy();
+  result.best_accuracy = algorithm.best_accuracy();
   return result;
+}
+
+TuneResult run_tuning(Task task, AlgorithmKind algo, SchedulerKind scheduler,
+                      const sim::DeviceSpec& dev, uint64_t seed,
+                      int64_t budget_override) {
+  auto tuning = make_algorithm(algo, task, seed, budget_override);
+  SyntheticExecutor executor(task, scheduler, dev);
+  return run_tuning(*tuning, executor);
 }
 
 }  // namespace hfta::hfht

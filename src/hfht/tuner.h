@@ -26,11 +26,23 @@ double synthetic_accuracy(const SearchSpace& space, const ParamSet& params,
                           int64_t epochs, Task task);
 
 /// Builds the paper's Table-11 configuration of `algo` for `task`.
+/// `budget_override` (when > 0) shrinks the workload for smoke runs: it
+/// replaces random search's set count and Hyperband's max-epoch budget R.
 std::unique_ptr<TuningAlgorithm> make_algorithm(AlgorithmKind algo, Task task,
-                                                uint64_t seed);
+                                                uint64_t seed,
+                                                int64_t budget_override = 0);
 
-/// Runs the full tuning workload on one device under one scheduler.
+class TrialExecutor;  // hfht/executor.h
+
+/// Algorithm 1's main loop against any executor: propose -> run -> update
+/// until the algorithm is exhausted. This is the seam between tuning logic
+/// and trial execution (synthetic cost model or real fused training).
+TuneResult run_tuning(TuningAlgorithm& algorithm, TrialExecutor& executor);
+
+/// Runs the full tuning workload on one device under one scheduler with the
+/// synthetic executor (the Fig. 8 configuration).
 TuneResult run_tuning(Task task, AlgorithmKind algo, SchedulerKind scheduler,
-                      const sim::DeviceSpec& dev, uint64_t seed);
+                      const sim::DeviceSpec& dev, uint64_t seed,
+                      int64_t budget_override = 0);
 
 }  // namespace hfta::hfht

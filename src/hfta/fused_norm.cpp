@@ -67,6 +67,13 @@ void FusedBatchNorm1d::load_model(int64_t b, const nn::BatchNorm1d& m) {
   block_copy(impl->running_var, m.running_var, b, array_size_);
 }
 
+void FusedBatchNorm1d::store_model(int64_t b, nn::BatchNorm1d& m) const {
+  block_extract(impl->weight.value(), m.weight.mutable_value(), b, array_size_);
+  block_extract(impl->bias.value(), m.bias.mutable_value(), b, array_size_);
+  block_extract(impl->running_mean, m.running_mean, b, array_size_);
+  block_extract(impl->running_var, m.running_var, b, array_size_);
+}
+
 FusedLayerNorm::FusedLayerNorm(int64_t B, Shape shape, float eps, Rng&)
     : FusedModule(B), normalized_shape(std::move(shape)), eps(eps) {
   Shape wshape = {B};
@@ -103,6 +110,11 @@ std::vector<FusedParam> FusedLayerNorm::fused_parameters() {
 void FusedLayerNorm::load_model(int64_t b, const nn::LayerNorm& m) {
   block_copy(weight.mutable_value(), m.weight.value(), b, array_size_);
   block_copy(bias.mutable_value(), m.bias.value(), b, array_size_);
+}
+
+void FusedLayerNorm::store_model(int64_t b, nn::LayerNorm& m) const {
+  block_extract(weight.value(), m.weight.mutable_value(), b, array_size_);
+  block_extract(bias.value(), m.bias.mutable_value(), b, array_size_);
 }
 
 }  // namespace hfta::fused

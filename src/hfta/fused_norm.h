@@ -31,6 +31,7 @@ class FusedBatchNorm1d : public FusedModule {
   ag::Variable forward(const ag::Variable& x) override;
   std::vector<FusedParam> fused_parameters() override;
   void load_model(int64_t b, const nn::BatchNorm1d& m);
+  void store_model(int64_t b, nn::BatchNorm1d& m) const;
 
   std::shared_ptr<nn::BatchNorm1d> impl;
   int64_t channels;
@@ -46,6 +47,7 @@ class FusedLayerNorm : public FusedModule {
   ag::Variable forward(const ag::Variable& x) override;
   std::vector<FusedParam> fused_parameters() override;
   void load_model(int64_t b, const nn::LayerNorm& m);
+  void store_model(int64_t b, nn::LayerNorm& m) const;
 
   ag::Variable weight;  // [B, E...] used broadcast as [B, 1..., E...]
   ag::Variable bias;

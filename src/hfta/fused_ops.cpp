@@ -158,6 +158,12 @@ void FusedConv1d::load_model(int64_t b, const nn::Conv1d& m) {
     copy_into_block(bias.mutable_value(), m.bias.value(), b, array_size_);
 }
 
+void FusedConv1d::store_model(int64_t b, nn::Conv1d& m) const {
+  copy_from_block(weight.value(), m.weight.mutable_value(), b, array_size_);
+  if (bias.defined())
+    copy_from_block(bias.value(), m.bias.mutable_value(), b, array_size_);
+}
+
 // ---- FusedConvTranspose2d --------------------------------------------------------------
 
 FusedConvTranspose2d::FusedConvTranspose2d(int64_t B, int64_t in, int64_t out,
@@ -193,6 +199,13 @@ void FusedConvTranspose2d::load_model(int64_t b, const nn::ConvTranspose2d& m) {
     copy_into_block(bias.mutable_value(), m.bias.value(), b, array_size_);
 }
 
+void FusedConvTranspose2d::store_model(int64_t b,
+                                       nn::ConvTranspose2d& m) const {
+  copy_from_block(weight.value(), m.weight.mutable_value(), b, array_size_);
+  if (bias.defined())
+    copy_from_block(bias.value(), m.bias.mutable_value(), b, array_size_);
+}
+
 // ---- FusedConvTranspose1d ------------------------------------------------------
 
 FusedConvTranspose1d::FusedConvTranspose1d(int64_t B, int64_t in, int64_t out,
@@ -226,6 +239,13 @@ void FusedConvTranspose1d::load_model(int64_t b, const nn::ConvTranspose1d& m) {
   copy_into_block(weight.mutable_value(), m.weight.value(), b, array_size_);
   if (bias.defined())
     copy_into_block(bias.mutable_value(), m.bias.value(), b, array_size_);
+}
+
+void FusedConvTranspose1d::store_model(int64_t b,
+                                       nn::ConvTranspose1d& m) const {
+  copy_from_block(weight.value(), m.weight.mutable_value(), b, array_size_);
+  if (bias.defined())
+    copy_from_block(bias.value(), m.bias.mutable_value(), b, array_size_);
 }
 
 // ---- FusedLinear --------------------------------------------------------------------------
@@ -305,6 +325,10 @@ std::vector<FusedParam> FusedEmbedding::fused_parameters() {
 
 void FusedEmbedding::load_model(int64_t b, const nn::Embedding& m) {
   copy_into_block(weight.mutable_value(), m.weight.value(), b, array_size_);
+}
+
+void FusedEmbedding::store_model(int64_t b, nn::Embedding& m) const {
+  copy_from_block(weight.value(), m.weight.mutable_value(), b, array_size_);
 }
 
 // ---- pooling / dropout -----------------------------------------------------------------------

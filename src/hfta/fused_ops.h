@@ -97,6 +97,7 @@ class FusedConv1d : public FusedModule {
   std::vector<FusedParam> fused_parameters() override;
 
   void load_model(int64_t b, const nn::Conv1d& m);
+  void store_model(int64_t b, nn::Conv1d& m) const;
 
   ag::Variable weight;  // [B*out, in/g, k]
   ag::Variable bias;    // [B*out]
@@ -114,6 +115,7 @@ class FusedConvTranspose2d : public FusedModule {
   std::vector<FusedParam> fused_parameters() override;
 
   void load_model(int64_t b, const nn::ConvTranspose2d& m);
+  void store_model(int64_t b, nn::ConvTranspose2d& m) const;
 
   ag::Variable weight;  // [B*in, out/g, k, k]
   ag::Variable bias;    // [B*out]
@@ -131,6 +133,7 @@ class FusedConvTranspose1d : public FusedModule {
   std::vector<FusedParam> fused_parameters() override;
 
   void load_model(int64_t b, const nn::ConvTranspose1d& m);
+  void store_model(int64_t b, nn::ConvTranspose1d& m) const;
 
   ag::Variable weight;  // [B*in, out/g, k]
   ag::Variable bias;    // [B*out]
@@ -162,6 +165,7 @@ class FusedEmbedding : public FusedModule {
   std::vector<FusedParam> fused_parameters() override;
 
   void load_model(int64_t b, const nn::Embedding& m);
+  void store_model(int64_t b, nn::Embedding& m) const;
 
   ag::Variable weight;  // [B*V, E]
   int64_t vocab, dim;

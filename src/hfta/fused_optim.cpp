@@ -4,6 +4,14 @@
 
 namespace hfta::fused {
 
+HyperVec select_hyper(const HyperVec& v, const std::vector<int64_t>& keep) {
+  HyperVec out;
+  out.reserve(keep.size());
+  for (int64_t b : keep)
+    out.push_back(v.size() == 1 ? v[0] : v.at(static_cast<size_t>(b)));
+  return out;
+}
+
 FusedOptimizer::FusedOptimizer(std::vector<FusedParam> params,
                                int64_t array_size)
     : params_(std::move(params)), array_size_(array_size) {
@@ -28,6 +36,42 @@ HyperVec FusedOptimizer::expand(HyperVec v) const {
 }
 
 void FusedOptimizer::set_lr(HyperVec lr) { lr_ = expand(std::move(lr)); }
+
+void FusedOptimizer::check_repack(const FusedOptimizer& src,
+                                  const std::vector<int64_t>& keep) const {
+  HFTA_CHECK(static_cast<int64_t>(keep.size()) == array_size_,
+             "repack_state_from: optimizer array size ", array_size_,
+             " != keep size ", keep.size());
+  HFTA_CHECK(params_.size() == src.params_.size(),
+             "repack_state_from: parameter count mismatch (", params_.size(),
+             " vs ", src.params_.size(), ")");
+  for (size_t i = 0; i < params_.size(); ++i) {
+    HFTA_CHECK(params_[i].per_model_numel() == src.params_[i].per_model_numel(),
+               "repack_state_from: per-model numel mismatch at param ", i);
+  }
+  for (int64_t b : keep)
+    HFTA_CHECK(b >= 0 && b < src.array_size_,
+               "repack_state_from: keep index ", b, " out of range");
+}
+
+void FusedOptimizer::slice_state(const std::vector<Tensor>& src_state,
+                                 std::vector<Tensor>* dst_state,
+                                 const FusedOptimizer& src,
+                                 const std::vector<int64_t>& keep) {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!src_state[i].defined()) continue;  // lazily initialized, untouched
+    const int64_t block = src.params_[i].per_model_numel();
+    Tensor dst = Tensor::zeros(params_[i].var.shape());
+    const float* ps = src_state[i].data();
+    float* pd = dst.data();
+    for (size_t j = 0; j < keep.size(); ++j) {
+      const int64_t b = keep[j];
+      std::copy(ps + b * block, ps + (b + 1) * block,
+                pd + static_cast<int64_t>(j) * block);
+    }
+    (*dst_state)[i] = std::move(dst);
+  }
+}
 
 // ---- FusedSGD -----------------------------------------------------------------
 
@@ -70,6 +114,14 @@ void FusedSGD::step() {
       }
     }
   }
+}
+
+void FusedSGD::repack_state_from(const FusedOptimizer& src,
+                                 const std::vector<int64_t>& keep) {
+  const auto* s = dynamic_cast<const FusedSGD*>(&src);
+  HFTA_CHECK(s != nullptr, "FusedSGD::repack_state_from: source is not SGD");
+  check_repack(src, keep);
+  slice_state(s->momentum_buf_, &momentum_buf_, src, keep);
 }
 
 // ---- FusedAdam -----------------------------------------------------------------
@@ -121,6 +173,16 @@ void FusedAdam::step() {
   }
 }
 
+void FusedAdam::repack_state_from(const FusedOptimizer& src,
+                                  const std::vector<int64_t>& keep) {
+  const auto* s = dynamic_cast<const FusedAdam*>(&src);
+  HFTA_CHECK(s != nullptr, "FusedAdam::repack_state_from: source is not Adam");
+  check_repack(src, keep);
+  slice_state(s->m_, &m_, src, keep);
+  slice_state(s->v_, &v_, src, keep);
+  t_ = s->t_;  // bias correction continues from the shared step count
+}
+
 // ---- FusedAdadelta ---------------------------------------------------------------
 
 FusedAdadelta::FusedAdadelta(std::vector<FusedParam> params,
@@ -162,6 +224,16 @@ void FusedAdadelta::step() {
       }
     }
   }
+}
+
+void FusedAdadelta::repack_state_from(const FusedOptimizer& src,
+                                      const std::vector<int64_t>& keep) {
+  const auto* s = dynamic_cast<const FusedAdadelta*>(&src);
+  HFTA_CHECK(s != nullptr,
+             "FusedAdadelta::repack_state_from: source is not Adadelta");
+  check_repack(src, keep);
+  slice_state(s->square_avg_, &square_avg_, src, keep);
+  slice_state(s->acc_delta_, &acc_delta_, src, keep);
 }
 
 }  // namespace hfta::fused

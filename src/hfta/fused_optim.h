@@ -16,6 +16,10 @@ namespace hfta::fused {
 /// Per-model hyper-parameter vector: size B, or size 1 (shared by all).
 using HyperVec = std::vector<double>;
 
+/// Selects entries of a size-B (or size-1, broadcast) hyper-vector for the
+/// surviving models of a repacked array: out[j] = v[keep[j]].
+HyperVec select_hyper(const HyperVec& v, const std::vector<int64_t>& keep);
+
 class FusedOptimizer {
  public:
   FusedOptimizer(std::vector<FusedParam> params, int64_t array_size);
@@ -29,7 +33,28 @@ class FusedOptimizer {
   const HyperVec& lr() const { return lr_; }
   void set_lr(HyperVec lr);
 
+  /// Carries optimizer state across a FusionPlan::repack: this optimizer
+  /// (freshly built over the repacked array's parameters, array size =
+  /// keep.size()) receives model keep[j]'s state slice (momentum / Adam
+  /// moments / step count) from `src` as its model-j slice, so the
+  /// survivors' next step is bit-identical to the step the larger array
+  /// would have taken. Parameters must align index-wise (the planner emits
+  /// steps — and therefore fused parameters — in the same order for the
+  /// same model graph). `src` must be the same concrete optimizer type.
+  virtual void repack_state_from(const FusedOptimizer& src,
+                                 const std::vector<int64_t>& keep) = 0;
+
  protected:
+  /// Shared repack_state_from validation: array/param-count alignment,
+  /// per-model block sizes, keep-index ranges.
+  void check_repack(const FusedOptimizer& src,
+                    const std::vector<int64_t>& keep) const;
+  /// Slices per-model blocks of each defined src state tensor into dst
+  /// (dst[i] allocated over this optimizer's param-i shape when the src
+  /// state exists; left undefined otherwise, preserving lazy-init flags).
+  void slice_state(const std::vector<Tensor>& src_state,
+                   std::vector<Tensor>* dst_state, const FusedOptimizer& src,
+                   const std::vector<int64_t>& keep);
   /// Resolves v[b] for vectors of size B or 1.
   static double at(const HyperVec& v, int64_t b) {
     return v.size() == 1 ? v[0] : v[static_cast<size_t>(b)];
@@ -51,6 +76,8 @@ class FusedSGD : public FusedOptimizer {
   };
   FusedSGD(std::vector<FusedParam> params, int64_t array_size, Options opt);
   void step() override;
+  void repack_state_from(const FusedOptimizer& src,
+                         const std::vector<int64_t>& keep) override;
 
  private:
   HyperVec momentum_, weight_decay_;
@@ -69,6 +96,8 @@ class FusedAdam : public FusedOptimizer {
   };
   FusedAdam(std::vector<FusedParam> params, int64_t array_size, Options opt);
   void step() override;
+  void repack_state_from(const FusedOptimizer& src,
+                         const std::vector<int64_t>& keep) override;
 
  private:
   HyperVec beta1_, beta2_, eps_, weight_decay_;
@@ -88,6 +117,8 @@ class FusedAdadelta : public FusedOptimizer {
   FusedAdadelta(std::vector<FusedParam> params, int64_t array_size,
                 Options opt);
   void step() override;
+  void repack_state_from(const FusedOptimizer& src,
+                         const std::vector<int64_t>& keep) override;
 
  private:
   HyperVec rho_, eps_, weight_decay_;

@@ -109,9 +109,17 @@ std::function<void(nn::Module&, int64_t, const nn::Module&)> block_loader() {
   };
 }
 
+template <typename FusedT, typename PlainT>
+std::function<void(const nn::Module&, int64_t, nn::Module&)> block_storer() {
+  return [](const nn::Module& fused_mod, int64_t b, nn::Module& dst) {
+    static_cast<const FusedT&>(fused_mod).store_model(b,
+                                                      static_cast<PlainT&>(dst));
+  };
+}
+
 Lowered stateless(std::shared_ptr<nn::Module> m, Layout in = Layout::kAny,
                   Layout out = Layout::kAny) {
-  return Lowered{std::move(m), in, out, nullptr};
+  return Lowered{std::move(m), in, out, nullptr, nullptr};
 }
 
 }  // namespace
@@ -166,7 +174,8 @@ LoweringRegistry::LoweringRegistry() {
             ctx.array_size, c.get_int("in"), c.get_int("out"),
             c.get_int("bias") != 0, *ctx.rng);
         return Lowered{m, Layout::kModelMajor, Layout::kModelMajor,
-                       block_loader<FusedLinear, nn::Linear>()};
+                       block_loader<FusedLinear, nn::Linear>(),
+                       block_storer<FusedLinear, nn::Linear>()};
       });
   add(nn::layer_kind_name(nn::LayerKind::kLayerNorm),
       [](const LoweringContext& ctx) {
@@ -175,7 +184,8 @@ LoweringRegistry::LoweringRegistry() {
             ctx.array_size, c.dims, static_cast<float>(c.get_float("eps")),
             *ctx.rng);
         return Lowered{m, Layout::kModelMajor, Layout::kModelMajor,
-                       block_loader<FusedLayerNorm, nn::LayerNorm>()};
+                       block_loader<FusedLayerNorm, nn::LayerNorm>(),
+                       block_storer<FusedLayerNorm, nn::LayerNorm>()};
       });
   add(nn::layer_kind_name(nn::LayerKind::kFlatten),
       [](const LoweringContext& ctx) {
@@ -192,7 +202,8 @@ LoweringRegistry::LoweringRegistry() {
             c.get_int("kernel"), c.get_int("stride"), c.get_int("pad"),
             c.get_int("groups"), c.get_int("bias") != 0, *ctx.rng);
         return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
-                       block_loader<FusedConv2d, nn::Conv2d>()};
+                       block_loader<FusedConv2d, nn::Conv2d>(),
+                       block_storer<FusedConv2d, nn::Conv2d>()};
       });
   add(nn::layer_kind_name(nn::LayerKind::kConv1d),
       [](const LoweringContext& ctx) {
@@ -202,7 +213,8 @@ LoweringRegistry::LoweringRegistry() {
             c.get_int("kernel"), c.get_int("stride"), c.get_int("pad"),
             c.get_int("groups"), c.get_int("bias") != 0, *ctx.rng);
         return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
-                       block_loader<FusedConv1d, nn::Conv1d>()};
+                       block_loader<FusedConv1d, nn::Conv1d>(),
+                       block_storer<FusedConv1d, nn::Conv1d>()};
       });
   add(nn::layer_kind_name(nn::LayerKind::kConvTranspose2d),
       [](const LoweringContext& ctx) {
@@ -214,6 +226,8 @@ LoweringRegistry::LoweringRegistry() {
             *ctx.rng);
         return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
                        block_loader<FusedConvTranspose2d,
+                                    nn::ConvTranspose2d>(),
+                       block_storer<FusedConvTranspose2d,
                                     nn::ConvTranspose2d>()};
       });
   add(nn::layer_kind_name(nn::LayerKind::kConvTranspose1d),
@@ -226,6 +240,8 @@ LoweringRegistry::LoweringRegistry() {
             *ctx.rng);
         return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
                        block_loader<FusedConvTranspose1d,
+                                    nn::ConvTranspose1d>(),
+                       block_storer<FusedConvTranspose1d,
                                     nn::ConvTranspose1d>()};
       });
   add(nn::layer_kind_name(nn::LayerKind::kBatchNorm2d),
@@ -236,7 +252,8 @@ LoweringRegistry::LoweringRegistry() {
             static_cast<float>(c.get_float("eps")),
             static_cast<float>(c.get_float("momentum")));
         return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
-                       block_loader<FusedBatchNorm2d, nn::BatchNorm2d>()};
+                       block_loader<FusedBatchNorm2d, nn::BatchNorm2d>(),
+                       block_storer<FusedBatchNorm2d, nn::BatchNorm2d>()};
       });
   add(nn::layer_kind_name(nn::LayerKind::kBatchNorm1d),
       [](const LoweringContext& ctx) {
@@ -246,7 +263,8 @@ LoweringRegistry::LoweringRegistry() {
             static_cast<float>(c.get_float("eps")),
             static_cast<float>(c.get_float("momentum")));
         return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
-                       block_loader<FusedBatchNorm1d, nn::BatchNorm1d>()};
+                       block_loader<FusedBatchNorm1d, nn::BatchNorm1d>(),
+                       block_storer<FusedBatchNorm1d, nn::BatchNorm1d>()};
       });
   add(nn::layer_kind_name(nn::LayerKind::kMaxPool2d),
       [](const LoweringContext& ctx) {
@@ -439,6 +457,24 @@ void FusedArray::load_model(int64_t b, const nn::Module& per_model_root) {
   }
 }
 
+void FusedArray::save_model(int64_t b, nn::Module& per_model_root) const {
+  HFTA_CHECK(b >= 0 && b < array_size_, "FusedArray::save_model: bad index");
+  for (const Step& s : steps_) {
+    if (!s.load) continue;  // stateless step: nothing to extract
+    if (!s.store) {
+      throw FusionError(
+          {s.path, b,
+           "kind '" + s.kind +
+               "' has no store support — add a store_model and register it "
+               "in the lowering's Lowered::store"});
+    }
+    nn::Module* dst = per_model_root.find(s.path);
+    HFTA_CHECK(dst != nullptr, "FusedArray::save_model: path '", s.path,
+               "' not found in the per-model tree");
+    s.store(*s.module, b, *dst);
+  }
+}
+
 bool FusedArray::unit_fused(int64_t u) const {
   for (const Step& s : steps_)
     if (s.unit == u && !s.fused) return false;
@@ -516,6 +552,10 @@ FusedArray::Step make_adapter_step(
     auto& adapter = static_cast<UnfusedBlockAdapter&>(mod);
     copy_module_state(src, *adapter.replicas()[static_cast<size_t>(b)]);
   };
+  s.store = [](const nn::Module& mod, int64_t b, nn::Module& dst) {
+    const auto& adapter = static_cast<const UnfusedBlockAdapter&>(mod);
+    copy_module_state(*adapter.replicas()[static_cast<size_t>(b)], dst);
+  };
   s.fused = false;
   s.unit = unit;
   return s;
@@ -564,6 +604,7 @@ void lower_into(int64_t B, Rng& rng, const std::string& path,
   s.path = path;
   s.kind = ref.kind_name();
   s.load = std::move(l.load);
+  s.store = std::move(l.store);
   s.fused = true;
   s.unit = unit;
   steps->push_back(std::move(s));
@@ -589,6 +630,27 @@ std::shared_ptr<FusedArray> FusionPlan::compile_structure_only(
   std::vector<std::shared_ptr<nn::Module>> models(
       static_cast<size_t>(array_size_), template_model);
   return compile_impl(models, rng, /*load_weights=*/false);
+}
+
+std::shared_ptr<FusedArray> FusionPlan::repack(
+    const FusedArray& src, const std::vector<int64_t>& keep,
+    const nn::Module& template_model, Rng& rng) const {
+  HFTA_CHECK(static_cast<int64_t>(keep.size()) == array_size_,
+             "FusionPlan::repack: plan is sized for ", array_size_,
+             " models but keep has ", keep.size());
+  // Extract each survivor into its own per-model tree, then compile the
+  // smaller array from those trees — compile copies their exact weights and
+  // buffers, so the survivors' state carries over bit-for-bit.
+  std::vector<std::shared_ptr<nn::Module>> survivors;
+  survivors.reserve(keep.size());
+  for (int64_t b : keep) {
+    std::shared_ptr<nn::Module> tree = template_model.clone();
+    HFTA_CHECK(tree != nullptr, "FusionPlan::repack: template kind '",
+               template_model.kind_name(), "' has no clone support");
+    src.save_model(b, *tree);
+    survivors.push_back(std::move(tree));
+  }
+  return compile(survivors, rng);
 }
 
 std::shared_ptr<FusedArray> FusionPlan::compile_impl(

@@ -95,14 +95,18 @@ struct LoweringContext {
 };
 
 /// Result of lowering one per-model layer: the fused module, the layout
-/// family it runs in, and a loader that copies model b's parameters from a
-/// per-model source layer into the fused module.
+/// family it runs in, a loader that copies model b's parameters from a
+/// per-model source layer into the fused module, and the inverse storer
+/// that extracts model b's slice back into a per-model layer
+/// (FusedArray::save_model walks the storers).
 struct Lowered {
   std::shared_ptr<nn::Module> module;
   Layout in = Layout::kAny;
   Layout out = Layout::kAny;
   std::function<void(nn::Module& fused, int64_t b, const nn::Module& src)>
       load;  // null for stateless steps
+  std::function<void(const nn::Module& fused, int64_t b, nn::Module& dst)>
+      store;  // null for stateless steps (or kinds without save support)
 };
 
 using LoweringFn = std::function<Lowered(const LoweringContext&)>;
@@ -179,6 +183,7 @@ class FusedArray : public FusedModule {
     std::string path;  // dotted path into the per-model tree
     std::string kind;  // the per-model layer kind this step lowers
     std::function<void(nn::Module&, int64_t, const nn::Module&)> load;
+    std::function<void(const nn::Module&, int64_t, nn::Module&)> store;
     bool fused = true;
     int64_t unit = 0;  // top-level fusion-unit index
   };
@@ -190,6 +195,17 @@ class FusedArray : public FusedModule {
   /// copies INTO the array — unfused units own cloned replicas, so neither
   /// this nor training ever mutates the compile-time donors.
   void load_model(int64_t b, const nn::Module& per_model_root);
+
+  /// The inverse of load_model: extracts model b's parameters and buffers
+  /// out of the array into a congruent per-model tree, walking the same
+  /// per-step paths — fused slices and unfused owned replicas alike. Throws
+  /// FusionError when a stateful step's kind has no store support.
+  /// Scope: parameters and buffers only. Private rng stream positions of
+  /// stateless-random steps (FusedDropout draws ONE stream over the fused
+  /// tensor, not the B per-model streams) are neither extracted nor part of
+  /// the fused/serial equivalence contract to begin with; a repacked array
+  /// restarts those streams.
+  void save_model(int64_t b, nn::Module& per_model_root) const;
 
   const std::vector<Step>& steps() const { return steps_; }
   /// Number of top-level fusion units (granularity of fuse_mask).
@@ -237,6 +253,19 @@ class FusionPlan {
   /// scale (B=30).
   std::shared_ptr<FusedArray> compile_structure_only(
       const std::shared_ptr<nn::Module>& template_model, Rng& rng) const;
+
+  /// Repacks `keep.size()` surviving models of `src` into a fresh array of
+  /// this plan's (smaller) size: model j of the result is model keep[j] of
+  /// `src`, extracted via save_model into clones of `template_model` and
+  /// recompiled. Weights and buffers (BN running stats included) carry over
+  /// exactly, so the survivors continue training bit-exactly as if the
+  /// dropped models had never shared the array (optimizer state moves
+  /// separately via FusedOptimizer::repack_state_from). This is Hyperband's
+  /// successive-halving step on a live fused array (paper Appendix E).
+  std::shared_ptr<FusedArray> repack(const FusedArray& src,
+                                     const std::vector<int64_t>& keep,
+                                     const nn::Module& template_model,
+                                     Rng& rng) const;
 
   int64_t array_size() const { return array_size_; }
   const FusionOptions& options() const { return opts_; }

@@ -102,6 +102,10 @@ static const fused::LoweringRegistrar kTrunkLowering(
           [](nn::Module& f, int64_t b, const nn::Module& src) {
             static_cast<FusedPointNetTrunk&>(f).load_model(
                 b, static_cast<const PointNetTrunk&>(src));
+          },
+          [](const nn::Module& f, int64_t b, nn::Module& dst) {
+            static_cast<const FusedPointNetTrunk&>(f).store_model(
+                b, static_cast<PointNetTrunk&>(dst));
           }};
     },
     [](const nn::Module& src) -> std::shared_ptr<nn::Module> {
@@ -217,6 +221,15 @@ void FusedSTN::load_model(int64_t b, const STN& m) {
   fc2->load_model(b, *m.fc2);
 }
 
+void FusedSTN::store_model(int64_t b, STN& m) const {
+  conv1->store_model(b, *m.conv1);
+  conv2->store_model(b, *m.conv2);
+  bn1->store_model(b, *m.bn1);
+  bn2->store_model(b, *m.bn2);
+  fc1->store_model(b, *m.fc1);
+  fc2->store_model(b, *m.fc2);
+}
+
 // ---- fused trunk ------------------------------------------------------------------------
 
 FusedPointNetTrunk::FusedPointNetTrunk(int64_t B, const PointNetConfig& cfg,
@@ -274,6 +287,16 @@ void FusedPointNetTrunk::load_model(int64_t b, const PointNetTrunk& m) {
   bn1->load_model(b, *m.bn1);
   bn2->load_model(b, *m.bn2);
   bn3->load_model(b, *m.bn3);
+}
+
+void FusedPointNetTrunk::store_model(int64_t b, PointNetTrunk& m) const {
+  if (stn) stn->store_model(b, *m.stn);
+  conv1->store_model(b, *m.conv1);
+  conv2->store_model(b, *m.conv2);
+  conv3->store_model(b, *m.conv3);
+  bn1->store_model(b, *m.bn1);
+  bn2->store_model(b, *m.bn2);
+  bn3->store_model(b, *m.bn3);
 }
 
 // ---- fused classification --------------------------------------------------------------------

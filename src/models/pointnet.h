@@ -99,6 +99,7 @@ class FusedSTN : public fused::FusedModule {
   /// x: [N, B*C, L] -> transforms [B, N, C, C].
   ag::Variable forward(const ag::Variable& x) override;
   void load_model(int64_t b, const STN& m);
+  void store_model(int64_t b, STN& m) const;
 
   std::shared_ptr<fused::FusedConv1d> conv1, conv2;
   std::shared_ptr<fused::FusedBatchNorm1d> bn1, bn2;
@@ -113,6 +114,7 @@ class FusedPointNetTrunk : public fused::FusedModule {
   /// x: [N, B*3, L] -> {pointfeat [N, B*w1, L], global [N, B*w3]}.
   std::pair<ag::Variable, ag::Variable> forward_both(const ag::Variable& x);
   void load_model(int64_t b, const PointNetTrunk& m);
+  void store_model(int64_t b, PointNetTrunk& m) const;
 
   std::shared_ptr<FusedSTN> stn;
   std::shared_ptr<fused::FusedConv1d> conv1, conv2, conv3;

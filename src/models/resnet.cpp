@@ -48,7 +48,8 @@ static const fused::LoweringRegistrar kBasicBlockLowering(
           [](nn::Module& f, int64_t b, const nn::Module& src) {
             static_cast<FusedBasicBlock&>(f).load_model(
                 b, static_cast<const BasicBlock&>(src));
-          }};
+          },
+          nullptr};  // no store support yet (save_model diagnoses)
     },
     [](const nn::Module& src) -> std::shared_ptr<nn::Module> {
       const nn::ModuleConfig c = src.config();

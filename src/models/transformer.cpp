@@ -108,7 +108,8 @@ static const fused::LoweringRegistrar kEncoderLayerLowering(
             load_fused_encoder_layer(
                 static_cast<fused::FusedTransformerEncoderLayer&>(f), b,
                 static_cast<const TransformerEncoderLayer&>(src));
-          }};
+          },
+          nullptr};  // no store support yet (save_model diagnoses)
     },
     [](const nn::Module& src) -> std::shared_ptr<nn::Module> {
       const nn::ModuleConfig c = src.config();
@@ -256,7 +257,8 @@ static const fused::LoweringRegistrar kTransformerLMLowering(
           [](nn::Module& f, int64_t b, const nn::Module& src) {
             static_cast<FusedTransformerLM&>(f).load_model(
                 b, static_cast<const TransformerLM&>(src));
-          }};
+          },
+          nullptr};  // no store support yet (save_model diagnoses)
     },
     [](const nn::Module& src) -> std::shared_ptr<nn::Module> {
       const auto& ref = static_cast<const TransformerLM&>(src);

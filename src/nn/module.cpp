@@ -132,6 +132,11 @@ const Module* Module::find(const std::string& path) const {
   return nullptr;
 }
 
+Module* Module::find(const std::string& path) {
+  return const_cast<Module*>(
+      static_cast<const Module*>(this)->find(path));
+}
+
 std::vector<ag::Variable> Module::parameters() const {
   std::vector<ag::Variable> out;
   for (auto& [name, v] : named_parameters()) out.push_back(v);

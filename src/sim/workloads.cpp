@@ -371,6 +371,48 @@ const char* workload_name(Workload w) {
   return "?";
 }
 
+IterationTrace build_pointnet_cls_trace(const PointNetTraceSpec& s,
+                                        int64_t B) {
+  HFTA_CHECK(B >= 1, "build_pointnet_cls_trace: B must be >= 1");
+  const int64_t N = s.batch, L = s.points;
+  // Host work tracks the input pipeline (linear in the batch); cache-stash
+  // and framework-gap factors are the calibrated kPointNetCls ones.
+  Builder b(B, static_cast<double>(N), /*host_us=*/1500.0 * N / 32.0,
+            /*stash=*/6.0, /*gap_scale=*/3.5);
+  auto bn_act = [&](int64_t C, bool act) {
+    b.batchnorm(static_cast<double>(N) * C * L);
+    if (act) b.activation(static_cast<double>(N) * C * L);
+  };
+  if (s.input_transform) {
+    // STN: conv 3->w1->w2, global max pool, fc w2->fc1->9, apply transform.
+    b.conv1d(N, 3, L, s.w1);
+    bn_act(s.w1, true);
+    b.conv1d(N, s.w1, L, s.w2);
+    bn_act(s.w2, true);
+    b.pool(static_cast<double>(N) * s.w2 * L);
+    b.linear(N, s.w2, s.fc1);
+    b.linear(N, s.fc1, 9);
+    b.gather(static_cast<double>(N) * 3 * L);  // x' = T^T x
+  }
+  // trunk: conv 3->w1->w2->w3, global max pool
+  b.conv1d(N, 3, L, s.w1);
+  bn_act(s.w1, true);
+  b.conv1d(N, s.w1, L, s.w2);
+  bn_act(s.w2, true);
+  b.conv1d(N, s.w2, L, s.w3);
+  bn_act(s.w3, false);
+  b.pool(static_cast<double>(N) * s.w3 * L);
+  // classifier MLP: w3->fc1->fc2->classes with BN+ReLU between
+  b.linear(N, s.w3, s.fc1);
+  b.batchnorm(static_cast<double>(N) * s.fc1);
+  b.activation(static_cast<double>(N) * s.fc1);
+  b.linear(N, s.fc1, s.fc2);
+  b.batchnorm(static_cast<double>(N) * s.fc2);
+  b.activation(static_cast<double>(N) * s.fc2);
+  b.linear(N, s.fc2, s.num_classes);
+  return b.finish();
+}
+
 IterationTrace build_trace(Workload w, int64_t B) {
   HFTA_CHECK(B >= 1, "build_trace: B must be >= 1");
   switch (w) {

@@ -25,6 +25,26 @@ const char* workload_name(Workload w);
 /// (B = 1 gives the unfused job that serial/concurrent/MPS/MIG run).
 IterationTrace build_trace(Workload w, int64_t B);
 
+/// Structural hyper-parameters of one PointNet-classification training job
+/// — the shapes the HFHT real executor actually trains. Defaults are the
+/// paper scale; the executor fills in each trial's batch size / feature
+/// transform so fused jobs are priced from their real trace, not the
+/// canned kPointNetCls one.
+struct PointNetTraceSpec {
+  int64_t batch = 32;
+  int64_t points = 2500;
+  int64_t w1 = 64, w2 = 128, w3 = 1024;  // trunk conv widths
+  int64_t fc1 = 512, fc2 = 256;          // classifier MLP widths
+  int64_t num_classes = 16;
+  bool input_transform = true;  // STN on the 3-d input
+};
+
+/// Per-iteration kernel trace of `B` fused PointNet classifiers with the
+/// given structural hyper-parameters (mirrors models::PointNetCls layer by
+/// layer: optional STN, trunk conv1d stack, global max pool, MLP head).
+IterationTrace build_pointnet_cls_trace(const PointNetTraceSpec& spec,
+                                        int64_t B);
+
 /// ResNet-18 partial fusion (paper Fig. 17): only `fused_units` of the 10
 /// fusion units (stem, 8 blocks, head) are fused; the rest run as B
 /// per-model kernel sequences.

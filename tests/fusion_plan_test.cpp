@@ -6,10 +6,13 @@
 
 #include <cmath>
 
+#include "hfta/fused_optim.h"
 #include "hfta/fusion.h"
+#include "hfta/loss_scaling.h"
 #include "models/transformer.h"
 #include "nn/layers.h"
 #include "nn/norm.h"
+#include "nn/optim.h"
 #include "tensor/ops.h"
 
 namespace hfta::fused {
@@ -522,6 +525,173 @@ TEST(FusionPlan, EncoderLayerStackLowersThroughRegistry) {
   }
   auto array = FusionPlan(kB).compile(nets, rng);
   expect_equivalent(*array, nets, xs, 1e-3);
+}
+
+// ---- save_model / repack ---------------------------------------------------
+
+// conv/BN/linear stack with one masked-off (unfused-adapter) unit: exercises
+// fused block storers, the adapter's copy_state storer, and BN buffers.
+std::shared_ptr<nn::Sequential> conv_bn_mlp(Rng& rng) {
+  auto net = std::make_shared<nn::Sequential>();
+  net->push_back("conv1",
+                 std::make_shared<nn::Conv2d>(3, 8, 3, 1, 1, 1, true, rng));
+  net->push_back("bn1", std::make_shared<nn::BatchNorm2d>(8));
+  net->push_back("relu", std::make_shared<nn::ReLU>());
+  net->push_back("pool", std::make_shared<nn::MaxPool2d>(2, 2));
+  net->push_back("conv2",
+                 std::make_shared<nn::Conv2d>(8, 4, 3, 2, 1, 1, true, rng));
+  net->push_back("flatten", std::make_shared<nn::Flatten>());
+  net->push_back("fc", std::make_shared<nn::Linear>(4 * 2 * 2, 5, true, rng));
+  return net;
+}
+
+TEST(SaveModel, TrainSaveReloadRoundTripIsBitExact) {
+  Rng rng(21);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  for (int64_t b = 0; b < kB; ++b) nets.push_back(conv_bn_mlp(rng));
+  FusionOptions opts;
+  opts.fuse_mask = {true, false, true, true, true, true, true};  // bn1 unfused
+  opts.output_layout = Layout::kModelMajor;
+  auto array = FusionPlan(kB, opts).compile(nets, rng);
+
+  // Train a few steps so parameters AND BN running stats drift from init.
+  // nn::SGD updates every parameter elementwise, which covers the unfused
+  // adapter unit's owned replicas too (they are not FusedParams).
+  nn::SGD opt(array->parameters(), {.lr = 0.05});
+  Tensor x = Tensor::randn({2, 3, 8, 8}, rng);
+  std::vector<Tensor> xs(static_cast<size_t>(kB), x);
+  Tensor labels({kB, 2});
+  for (int step = 0; step < 3; ++step) {
+    opt.zero_grad();
+    ag::Variable logits = array->forward(ag::Variable(pack_channel_fused(xs)));
+    fused_cross_entropy(logits, labels, ag::Reduction::kMean).backward();
+    opt.step();
+  }
+
+  // save -> reload into a second array; eval-mode forward (which consumes
+  // the BN running stats) must agree to the last bit.
+  std::vector<std::shared_ptr<nn::Module>> saved;
+  for (int64_t b = 0; b < kB; ++b) {
+    saved.push_back(nets[static_cast<size_t>(b)]->clone());
+    array->save_model(b, *saved.back());
+  }
+  auto reloaded = FusionPlan(kB, opts).compile(saved, rng);
+  array->eval();
+  reloaded->eval();
+  Tensor y1 = array->forward(ag::Variable(pack_channel_fused(xs))).value();
+  Tensor y2 = reloaded->forward(ag::Variable(pack_channel_fused(xs))).value();
+  EXPECT_DOUBLE_EQ(ops::max_abs_diff(y1, y2), 0.0);
+}
+
+TEST(SaveModel, StoreUnsupportedKindThrowsStructuredDiagnostic) {
+  Rng rng(22);
+  const int64_t E = 8, H = 2, FF = 16;
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  for (int64_t b = 0; b < kB; ++b) {
+    auto net = std::make_shared<nn::Sequential>();
+    net->push_back("enc", std::make_shared<models::TransformerEncoderLayer>(
+                              E, H, FF, 0.f, "relu", rng));
+    nets.push_back(net);
+  }
+  auto array = FusionPlan(kB).compile(nets, rng);
+  try {
+    array->save_model(0, *nets[0]);
+    FAIL() << "expected FusionError";
+  } catch (const FusionError& e) {
+    EXPECT_EQ(e.diagnostic.path, "enc");
+    EXPECT_NE(e.diagnostic.reason.find("no store support"), std::string::npos);
+  }
+}
+
+TEST(Repack, SurvivorsContinueBitExactlyAfterHalving) {
+  Rng rng(31);
+  // Serial reference: three independent trainings with per-model lrs.
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  std::vector<std::shared_ptr<nn::Module>> serial;
+  std::vector<std::unique_ptr<nn::Adam>> serial_opts;
+  const HyperVec lrs = {1e-2, 2e-2, 3e-2};
+  for (int64_t b = 0; b < kB; ++b) {
+    nets.push_back(mlp(6, 10, 4, rng));
+    serial.push_back(nets.back()->clone());
+    serial_opts.push_back(std::make_unique<nn::Adam>(
+        serial.back()->parameters(),
+        nn::Adam::Options{.lr = lrs[static_cast<size_t>(b)]}));
+  }
+  FusionOptions opts;
+  opts.output_layout = Layout::kModelMajor;
+  auto array = FusionPlan(kB, opts).compile(nets, rng);
+  auto opt = std::make_unique<FusedAdam>(collect_fused_parameters(*array, kB),
+                                         kB, FusedAdam::Options{.lr = lrs});
+
+  Tensor x = Tensor::randn({5, 6}, rng);
+  Tensor y({5});  // class-0 labels
+  auto train_fused = [&](FusedArray& a, FusedOptimizer& o, int64_t B,
+                         int steps) {
+    std::vector<Tensor> xb(static_cast<size_t>(B), x);
+    Tensor lb({B, 5});
+    for (int s = 0; s < steps; ++s) {
+      o.zero_grad();
+      ag::Variable logits = a.forward(ag::Variable(pack_channel_fused(xb)));
+      // (1/N) * sum-CE: backward scales rows by the exact float(1/N) the
+      // serial kMean loss uses — bit-exact for any B (see executor.cpp).
+      ag::mul_scalar(fused_cross_entropy(logits, lb, ag::Reduction::kSum),
+                     1.f / 5.f)
+          .backward();
+      o.step();
+    }
+  };
+  auto train_serial = [&](size_t b, int steps) {
+    for (int s = 0; s < steps; ++s) {
+      serial_opts[b]->zero_grad();
+      ag::cross_entropy(serial[b]->forward(ag::Variable(x)), y,
+                        ag::Reduction::kMean)
+          .backward();
+      serial_opts[b]->step();
+    }
+  };
+
+  train_fused(*array, *opt, kB, 4);
+  for (size_t b = 0; b < static_cast<size_t>(kB); ++b) train_serial(b, 4);
+
+  // Halve: keep models 2 and 0 (order scrambled on purpose); model 1 dies.
+  const std::vector<int64_t> keep = {2, 0};
+  const FusionPlan plan2(2, opts);
+  auto array2 = plan2.repack(*array, keep, *nets[0], rng);
+  auto opt2 = std::make_unique<FusedAdam>(
+      collect_fused_parameters(*array2, 2), 2,
+      FusedAdam::Options{.lr = select_hyper(lrs, keep)});
+  opt2->repack_state_from(*opt, keep);
+
+  train_fused(*array2, *opt2, 2, 3);
+  train_serial(2, 3);
+  train_serial(0, 3);
+
+  // The repacked array's models must equal the surviving serial runs to the
+  // last bit — parameters and forward outputs alike.
+  Tensor yf = array2->forward(ag::Variable(pack_channel_fused(
+                                  std::vector<Tensor>(2, x))))
+                  .value();
+  for (size_t j = 0; j < keep.size(); ++j) {
+    const size_t b = static_cast<size_t>(keep[j]);
+    Tensor yb = serial[b]->forward(ag::Variable(x)).value();
+    EXPECT_DOUBLE_EQ(
+        ops::max_abs_diff(
+            yf.slice(0, static_cast<int64_t>(j), static_cast<int64_t>(j) + 1)
+                .reshape(yb.shape()),
+            yb),
+        0.0)
+        << "survivor " << j;
+    auto tree = nets[0]->clone();
+    array2->save_model(static_cast<int64_t>(j), *tree);
+    const auto got = tree->named_parameters();
+    const auto want = serial[b]->named_parameters();
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+      EXPECT_DOUBLE_EQ(
+          ops::max_abs_diff(got[i].second.value(), want[i].second.value()),
+          0.0)
+          << got[i].first;
+  }
 }
 
 TEST(FusionPlan, DescribeListsUnitsAndLayouts) {

@@ -1,0 +1,156 @@
+// TrialExecutor seam tests: the synthetic executor reproduces the legacy
+// accuracy/cost path exactly, and the real fused-training executor (a) runs
+// each trial group as one planner-compiled array whose per-model loss
+// trajectories equal B independent serial trainings to the last bit, and
+// (b) repacks Hyperband rung survivors into a smaller array that continues
+// training bit-exactly across the halving boundary.
+#include <gtest/gtest.h>
+
+#include "hfht/executor.h"
+
+namespace hfta::hfht {
+namespace {
+
+// The PointNet space with its infusible choices pinned, so every proposed
+// trial lands in ONE fused partition (and feature_transform=0 keeps the STN
+// out of the bit-exactness audit).
+SearchSpace single_partition_space() {
+  SearchSpace s = SearchSpace::pointnet();
+  s.params[s.index_of("batch_size")].choices = {8};
+  s.params[s.index_of("feature_transform")].choices = {0};
+  return s;
+}
+
+FusedTrainingExecutor::Options tiny_options(bool verify) {
+  FusedTrainingExecutor::Options o;
+  o.dataset_size = 16;
+  o.eval_size = 8;
+  o.max_array_size = 8;
+  o.seed = 1234;
+  o.verify_against_serial = verify;
+  return o;
+}
+
+TEST(SpaceLookup, NamedIndexAndValueAccess) {
+  const SearchSpace space = SearchSpace::pointnet();
+  EXPECT_EQ(space.index_of("lr"), 0u);
+  EXPECT_EQ(space.index_of("batch_size"), 6u);
+  ParamSet p = {1e-3, 0.9, 0.99, 0.05, 0.5, 10, 16, 1};
+  EXPECT_DOUBLE_EQ(space.get(p, "lr"), 1e-3);
+  EXPECT_DOUBLE_EQ(space.get(p, "batch_size"), 16);
+  EXPECT_DOUBLE_EQ(space.get(p, "feature_transform"), 1);
+  EXPECT_THROW(space.index_of("nope"), Error);
+}
+
+TEST(SyntheticExecutorSeam, MatchesAccuracySurfaceAndCostModel) {
+  const SearchSpace space = SearchSpace::pointnet();
+  Rng rng(5);
+  std::vector<Trial> batch;
+  for (int i = 0; i < 6; ++i) batch.push_back({space.sample(rng), 10});
+  const auto dev = sim::v100();
+  SyntheticExecutor exec(Task::kPointNet, SchedulerKind::kHfta, dev);
+  const ExecutionReport rep = exec.run(batch);
+  ASSERT_EQ(rep.scores.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i)
+    EXPECT_DOUBLE_EQ(rep.scores[i],
+                     synthetic_accuracy(space, batch[i].params, 10,
+                                        Task::kPointNet));
+  const CostReport want = schedule_cost(batch, space,
+                                        sim::Workload::kPointNetCls, dev,
+                                        SchedulerKind::kHfta);
+  EXPECT_DOUBLE_EQ(rep.cost.gpu_hours, want.gpu_hours);
+  EXPECT_EQ(rep.cost.jobs_launched, want.jobs_launched);
+}
+
+TEST(SyntheticExecutorSeam, RunTuningWrapperIsUnchanged) {
+  const auto dev = sim::v100();
+  const TuneResult via_wrapper =
+      run_tuning(Task::kPointNet, AlgorithmKind::kRandomSearch,
+                 SchedulerKind::kHfta, dev, 42);
+  auto algo = make_algorithm(AlgorithmKind::kRandomSearch, Task::kPointNet, 42);
+  SyntheticExecutor exec(Task::kPointNet, SchedulerKind::kHfta, dev);
+  const TuneResult via_seam = run_tuning(*algo, exec);
+  EXPECT_DOUBLE_EQ(via_seam.total_gpu_hours, via_wrapper.total_gpu_hours);
+  EXPECT_DOUBLE_EQ(via_seam.best_accuracy, via_wrapper.best_accuracy);
+  EXPECT_EQ(via_seam.total_trials, via_wrapper.total_trials);
+}
+
+TEST(FusedExecutor, OneFusedGroupEqualsSerialTrainingsBitExactly) {
+  RandomSearch rs(single_partition_space(), /*total_sets=*/4,
+                  /*epochs_per_set=*/2, /*seed=*/7);
+  FusedTrainingExecutor exec(Task::kPointNet, sim::v100(),
+                             tiny_options(/*verify=*/true));
+  const TuneResult r = run_tuning(rs, exec);
+  EXPECT_EQ(r.total_trials, 4);
+  EXPECT_EQ(exec.arrays_compiled(), 1);       // one partition, one array
+  EXPECT_EQ(exec.arrays_repacked(), 0);
+  EXPECT_GT(r.best_accuracy, 0.0);            // real losses, real scores
+  EXPECT_LE(r.best_accuracy, 1.0);
+  EXPECT_GT(r.total_gpu_hours, 0.0);          // priced from the real trace
+  // The fused run IS the serial runs: not one float bit of loss drift.
+  EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
+}
+
+TEST(FusedExecutor, HyperbandSurvivorsRepackAndContinueBitExactly) {
+  // R=4, eta=2, skip_last=0: bracket 2 runs 4 -> 2 -> 1 configs, so the
+  // executor must repack the live array at every halving boundary.
+  Hyperband hb(single_partition_space(), /*max_epochs_r=*/4, /*eta=*/2,
+               /*skip_last=*/0, /*seed=*/9);
+  FusedTrainingExecutor exec(Task::kPointNet, sim::v100(),
+                             tiny_options(/*verify=*/true));
+  const TuneResult r = run_tuning(hb, exec);
+  EXPECT_GT(r.total_trials, 4);
+  EXPECT_GE(exec.arrays_repacked(), 2);
+  EXPECT_GT(exec.iterations_verified_after_repack(), 0);
+  // Survivors continue as if the killed trials never shared the array.
+  EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
+}
+
+TEST(FusedExecutor, DuplicateSurvivorsRepackIntoDistinctSlots) {
+  // Discrete choice lists make identical ParamSets possible; two surviving
+  // copies of the same set must map to two distinct slots of the old array
+  // (a non-injective match would move the same serial twin twice).
+  const ParamSet p = {1e-3, 0.9, 0.99, 0.05, 0.5, 10, 8, 0};
+  const ParamSet q = {2e-3, 0.8, 0.99, 0.10, 0.5, 10, 8, 0};
+  FusedTrainingExecutor exec(Task::kPointNet, sim::v100(),
+                             tiny_options(/*verify=*/true));
+  exec.run({{p, 1}, {p, 1}, {q, 1}});
+  const ExecutionReport rep = exec.run({{p, 2}, {p, 2}});  // both survive
+  EXPECT_EQ(exec.arrays_repacked(), 1);
+  EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
+  ASSERT_EQ(rep.scores.size(), 2u);
+  EXPECT_DOUBLE_EQ(rep.scores[0], rep.scores[1]);  // identical trials
+}
+
+TEST(FusedExecutor, FeatureTransformGroupRepacksBitExactly) {
+  // feature_transform=1 routes through the STN: exercises FusedSTN's and
+  // the trunk's STN store_model branch across a halving repack.
+  const ParamSet p = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 8, 1};
+  const ParamSet q = {3e-3, 0.85, 0.99, 0.10, 0.5, 10, 8, 1};
+  FusedTrainingExecutor exec(Task::kPointNet, sim::v100(),
+                             tiny_options(/*verify=*/true));
+  exec.run({{p, 1}, {q, 1}});
+  exec.run({{q, 2}});  // q survives the rung
+  EXPECT_EQ(exec.arrays_repacked(), 1);
+  EXPECT_GT(exec.iterations_verified_after_repack(), 0);
+  EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
+}
+
+TEST(FusedExecutor, OversizedPartitionIsChunked) {
+  FusedTrainingExecutor::Options o = tiny_options(/*verify=*/false);
+  o.max_array_size = 2;
+  RandomSearch rs(single_partition_space(), 5, 1, 11);
+  FusedTrainingExecutor exec(Task::kPointNet, sim::v100(), o);
+  const TuneResult r = run_tuning(rs, exec);
+  EXPECT_EQ(r.total_trials, 5);
+  EXPECT_EQ(exec.arrays_compiled(), 3);  // 2 + 2 + 1
+}
+
+TEST(FusedExecutor, RejectsMobileNetTask) {
+  EXPECT_THROW(FusedTrainingExecutor(Task::kMobileNet, sim::v100(),
+                                     tiny_options(false)),
+               Error);
+}
+
+}  // namespace
+}  // namespace hfta::hfht
