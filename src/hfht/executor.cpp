@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <set>
 #include <tuple>
 
 #include "core/check.h"
@@ -10,6 +11,7 @@
 #include "hfta/fused_optim.h"
 #include "hfta/fusion.h"
 #include "hfta/loss_scaling.h"
+#include "models/mobilenetv3.h"
 #include "models/pointnet.h"
 #include "nn/optim.h"
 #include "sim/execution.h"
@@ -30,6 +32,15 @@ uint64_t param_key(const ParamSet& p, uint64_t seed) {
     key = hash_combine(key, bits);
   }
   return key;
+}
+
+models::MobileNetV3Config mobilenet_config(const SearchSpace& space,
+                                           const ParamSet& p) {
+  // The infusible "version" hyper-parameter picks V2 vs V3-Large (paper
+  // Table 12); widths stay at the tiny scale the real executor trains.
+  return space.get(p, "version") == 2.0
+             ? models::MobileNetV3Config::tiny_v2()
+             : models::MobileNetV3Config::tiny();
 }
 
 }  // namespace
@@ -63,18 +74,23 @@ ExecutionReport SyntheticExecutor::run(const std::vector<Trial>& batch) {
 /// independently trained twin models the array must match bit-for-bit.
 struct FusedTrainingExecutor::Group {
   std::vector<ParamSet> members;  // slot b trains members[b]
-  models::PointNetConfig cfg;
   int64_t batch_size = 0;
-  // Congruent per-model tree kept as the repack clone template (its weight
+  // Congruent per-model graph kept as the repack clone template (its weight
   // values are irrelevant — save_model overwrites every survivor clone).
-  std::shared_ptr<models::PointNetCls> tmpl;
+  std::shared_ptr<nn::Module> tmpl;
   std::shared_ptr<fused::FusedArray> array;
   std::unique_ptr<fused::FusedAdam> opt;
   std::unique_ptr<data::BatchSampler> sampler;
   int64_t epochs_trained = 0;
   bool ever_repacked = false;
+  bool ever_merged = false;  // lineage crossed a chunk boundary
+  // Slot state moved into a repacked array: the weights left behind are
+  // stale, so retired slots never match a later proposal. A group whose
+  // slots all retire is dropped; one left with only killed-trial slots
+  // ages out of the bounded live-group cache.
+  std::vector<bool> retired;
   // serial verification twins (empty unless verify_against_serial)
-  std::vector<std::shared_ptr<models::PointNetCls>> serial;
+  std::vector<std::shared_ptr<nn::Module>> serial;
   std::vector<std::unique_ptr<nn::Adam>> serial_opts;
 
   int64_t B() const { return static_cast<int64_t>(members.size()); }
@@ -87,28 +103,89 @@ struct FusedTrainingExecutor::Group {
   }
 };
 
+/// One gathered survivor: slot `slot` of live group `group`.
+struct FusedTrainingExecutor::Pick {
+  size_t group = 0;
+  int64_t slot = 0;
+};
+
 FusedTrainingExecutor::FusedTrainingExecutor(Task task, sim::DeviceSpec dev,
                                              Options opts)
     : task_(task),
       dev_(dev),
       opts_(opts),
-      space_(SearchSpace::pointnet()),
+      space_(task == Task::kPointNet ? SearchSpace::pointnet()
+                                     : SearchSpace::mobilenet()),
       rng_(opts.seed) {
-  HFTA_CHECK(task_ == Task::kPointNet,
-             "FusedTrainingExecutor: only the PointNet task trains for real "
-             "so far (MobileNet still uses the synthetic executor)");
-  const models::PointNetConfig cfg = models::PointNetConfig::tiny();
-  train_ds_ = std::make_unique<data::PointCloudDataset>(
-      opts_.dataset_size, cfg.num_points, cfg.num_classes, cfg.num_parts,
-      opts_.seed);
+  HFTA_CHECK(opts_.max_array_size >= 1,
+             "FusedTrainingExecutor: max_array_size must be >= 1, got ",
+             opts_.max_array_size);
+  HFTA_CHECK(opts_.dataset_size >= 1 && opts_.eval_size >= 1,
+             "FusedTrainingExecutor: dataset/eval sizes must be >= 1");
   // The held-out scoring batch is fixed for the executor's lifetime.
-  const data::PointCloudDataset eval_ds(opts_.eval_size, cfg.num_points,
-                                        cfg.num_classes, cfg.num_parts,
-                                        opts_.seed + 1);
   std::vector<int64_t> idx(static_cast<size_t>(opts_.eval_size));
   for (int64_t i = 0; i < opts_.eval_size; ++i)
     idx[static_cast<size_t>(i)] = i;
-  std::tie(eval_x_, eval_y_) = eval_ds.batch_cls(idx);
+  if (task_ == Task::kPointNet) {
+    const models::PointNetConfig cfg = models::PointNetConfig::tiny();
+    cloud_ds_ = std::make_unique<data::PointCloudDataset>(
+        opts_.dataset_size, cfg.num_points, cfg.num_classes, cfg.num_parts,
+        opts_.seed);
+    const data::PointCloudDataset eval_ds(opts_.eval_size, cfg.num_points,
+                                          cfg.num_classes, cfg.num_parts,
+                                          opts_.seed + 1);
+    std::tie(eval_x_, eval_y_) = eval_ds.batch_cls(idx);
+  } else {
+    // Structural widths are shared across versions at the tiny scale, so
+    // one image set scores both V2 and V3-Large trials.
+    const models::MobileNetV3Config cfg = models::MobileNetV3Config::tiny();
+    image_ds_ = std::make_unique<data::ImageDataset>(
+        opts_.dataset_size, cfg.image_size, 3, cfg.num_classes, opts_.seed);
+    const data::ImageDataset eval_ds(opts_.eval_size, cfg.image_size, 3,
+                                     cfg.num_classes, opts_.seed + 1);
+    std::tie(eval_x_, eval_y_) = eval_ds.batch(idx);
+  }
+}
+
+FusedTrainingExecutor::~FusedTrainingExecutor() = default;
+
+std::shared_ptr<nn::Module> FusedTrainingExecutor::build_trial_net(
+    const ParamSet& p) const {
+  Rng donor_rng(param_key(p, opts_.seed ^ 0xD0));
+  if (task_ == Task::kPointNet) {
+    models::PointNetConfig cfg = models::PointNetConfig::tiny();
+    cfg.input_transform = space_.get(p, "feature_transform") != 0.0;
+    // The classifier's Sequential graph is the per-model tree (the
+    // PointNetCls wrapper only forwards to it).
+    return models::PointNetCls(cfg, donor_rng).net;
+  }
+  return std::make_shared<models::MobileNetV3>(mobilenet_config(space_, p),
+                                               donor_rng);
+}
+
+std::pair<Tensor, Tensor> FusedTrainingExecutor::train_batch(
+    const std::vector<int64_t>& idx) const {
+  return task_ == Task::kPointNet ? cloud_ds_->batch_cls(idx)
+                                  : image_ds_->batch(idx);
+}
+
+std::unique_ptr<data::BatchSampler> FusedTrainingExecutor::make_sampler(
+    const Group& g) const {
+  // The shuffle stream is a pure function of the partition's infusible
+  // values, so it can always be reconstructed and fast-forwarded to the
+  // group's epoch count — this is what lets a repack take ANY source's
+  // sampler (or none, when every source already handed its sampler to an
+  // earlier merge) and still draw the exact batches the serial reruns do.
+  std::vector<double> inf_vals;
+  for (size_t i : space_.infusible_indices())
+    inf_vals.push_back(g.members[0][i]);
+  const int64_t ds_size =
+      task_ == Task::kPointNet ? cloud_ds_->size() : image_ds_->size();
+  auto s = std::make_unique<data::BatchSampler>(
+      ds_size, g.batch_size, /*shuffle=*/true,
+      param_key(inf_vals, opts_.seed ^ 0xDA7A));
+  for (int64_t e = 0; e < g.epochs_trained; ++e) s->epoch();  // fast-forward
+  return s;
 }
 
 std::unique_ptr<fused::FusedAdam> FusedTrainingExecutor::make_optimizer(
@@ -123,64 +200,141 @@ std::unique_ptr<fused::FusedAdam> FusedTrainingExecutor::make_optimizer(
                                 g.hyper(space_, "weight_decay")});
 }
 
-FusedTrainingExecutor::~FusedTrainingExecutor() = default;
+FusedTrainingExecutor::Group* FusedTrainingExecutor::repack_groups(
+    const std::vector<ParamSet>& members, const std::vector<Pick>& picks,
+    int64_t src_epochs) {
+  // Unique source groups in first-appearance order; picks re-indexed onto
+  // them so FusionPlan::repack_multi and the optimizer gather agree.
+  std::vector<size_t> gidx;
+  std::vector<fused::RepackPick> rp;
+  rp.reserve(picks.size());
+  for (const Pick& p : picks) {
+    size_t si = gidx.size();
+    for (size_t i = 0; i < gidx.size(); ++i)
+      if (gidx[i] == p.group) {
+        si = i;
+        break;
+      }
+    if (si == gidx.size()) gidx.push_back(p.group);
+    rp.push_back(fused::RepackPick{si, p.slot});
+  }
+
+  const int64_t newB = static_cast<int64_t>(members.size());
+  fused::FusionOptions fopts;
+  fopts.output_layout = fused::Layout::kModelMajor;
+  const fused::FusionPlan plan(newB, fopts);
+  std::vector<const fused::FusedArray*> arrays;
+  std::vector<const fused::FusedOptimizer*> opt_srcs;
+  for (size_t gi : gidx) {
+    arrays.push_back(groups_[gi]->array.get());
+    opt_srcs.push_back(groups_[gi]->opt.get());
+  }
+
+  auto merged = std::make_unique<Group>();
+  merged->members = members;
+  merged->batch_size = groups_[gidx[0]]->batch_size;
+  merged->tmpl = groups_[gidx[0]]->tmpl;
+  merged->array = plan.repack_multi(arrays, rp, *merged->tmpl, rng_);
+  merged->opt = make_optimizer(*merged);
+  merged->opt->repack_state_from(opt_srcs, rp);
+  merged->epochs_trained = src_epochs;
+  // Every source belongs to the same infusible partition and epoch count,
+  // so all samplers sit at the same position of the same shuffle stream —
+  // continuing any of them continues them all. A source may have handed
+  // its sampler to an earlier merge already; reconstruct deterministically
+  // when none is left.
+  for (size_t gi : gidx) {
+    if (groups_[gi]->sampler != nullptr) {
+      merged->sampler = std::move(groups_[gi]->sampler);
+      break;
+    }
+  }
+  if (merged->sampler == nullptr) merged->sampler = make_sampler(*merged);
+  merged->ever_repacked = true;
+  merged->ever_merged = gidx.size() > 1;
+  for (size_t gi : gidx) merged->ever_merged |= groups_[gi]->ever_merged;
+  merged->retired.assign(static_cast<size_t>(newB), false);
+  for (const Pick& p : picks) {
+    Group& src = *groups_[p.group];
+    src.retired[static_cast<size_t>(p.slot)] = true;
+    if (!src.serial.empty()) {
+      merged->serial.push_back(
+          std::move(src.serial[static_cast<size_t>(p.slot)]));
+      merged->serial_opts.push_back(
+          std::move(src.serial_opts[static_cast<size_t>(p.slot)]));
+    }
+  }
+  ++repacked_;
+  if (gidx.size() > 1) {
+    ++multi_repacked_;
+    arrays_merged_ += static_cast<int64_t>(gidx.size());
+  }
+  // Fully consumed sources can never match a later proposal; free them.
+  groups_.erase(
+      std::remove_if(groups_.begin(), groups_.end(),
+                     [](const std::unique_ptr<Group>& g) {
+                       return !g->retired.empty() &&
+                              std::all_of(g->retired.begin(),
+                                          g->retired.end(),
+                                          [](bool r) { return r; });
+                     }),
+      groups_.end());
+  groups_.push_back(std::move(merged));
+  return groups_.back().get();
+}
 
 FusedTrainingExecutor::Group* FusedTrainingExecutor::find_or_create(
     const std::vector<ParamSet>& members, int64_t epoch_budget) {
-  // A live group whose members are exactly the requested sets (same order)
-  // continues as-is; one that contains them as a subset / permutation is a
-  // Hyperband halving boundary — repack the survivors into a smaller array.
-  for (auto& gp : groups_) {
-    Group& g = *gp;
-    if (g.epochs_trained > epoch_budget) continue;
-    std::vector<int64_t> keep;
-    keep.reserve(members.size());
+  // Gather the requested members across ALL live arrays, not just one:
+  // slot-injective (duplicate parameter sets map to distinct slots),
+  // skipping retired slots, with every source pinned to one shared
+  // epochs_trained <= budget (survivors of one rung trained equally).
+  // Epoch counts are tried from most-trained down, so the gather always
+  // continues the furthest-progressed copies.
+  std::set<int64_t, std::greater<int64_t>> epoch_candidates;
+  for (const auto& gp : groups_)
+    if (gp->epochs_trained <= epoch_budget)
+      epoch_candidates.insert(gp->epochs_trained);
+
+  for (int64_t src_epochs : epoch_candidates) {
+    std::vector<Pick> picks;
+    auto taken = [&](size_t gi, int64_t slot) {
+      for (const Pick& p : picks)
+        if (p.group == gi && p.slot == slot) return true;
+      return false;
+    };
     for (const ParamSet& want : members) {
-      // Injective matching: duplicate parameter sets (possible with the
-      // discrete choice lists) must map to distinct slots, or the repack
-      // below would move the same serial twin twice.
-      int64_t found = -1;
-      for (int64_t i = 0; i < g.B(); ++i) {
-        if (std::find(keep.begin(), keep.end(), i) != keep.end()) continue;
-        if (g.members[static_cast<size_t>(i)] == want) {
-          found = i;
-          break;
+      bool found = false;
+      for (size_t gi = 0; gi < groups_.size() && !found; ++gi) {
+        Group& g = *groups_[gi];
+        if (g.epochs_trained != src_epochs) continue;
+        for (int64_t s = 0; s < g.B(); ++s) {
+          if (g.retired[static_cast<size_t>(s)] || taken(gi, s)) continue;
+          if (g.members[static_cast<size_t>(s)] == want) {
+            picks.push_back(Pick{gi, s});
+            found = true;
+            break;
+          }
         }
       }
-      if (found < 0) break;
-      keep.push_back(found);
+      if (!found) {
+        picks.clear();
+        break;
+      }
     }
-    if (keep.size() != members.size()) continue;
-    bool identity = g.B() == static_cast<int64_t>(members.size());
-    for (size_t j = 0; identity && j < keep.size(); ++j)
-      identity = keep[j] == static_cast<int64_t>(j);
-    if (identity) return &g;
+    if (picks.empty()) continue;
 
-    // Halving: extract the survivors and continue on a smaller array.
-    const int64_t newB = static_cast<int64_t>(members.size());
-    fused::FusionOptions fopts;
-    fopts.output_layout = fused::Layout::kModelMajor;
-    const fused::FusionPlan plan(newB, fopts);
-    auto repacked = std::make_unique<Group>();
-    repacked->members = members;
-    repacked->cfg = g.cfg;
-    repacked->batch_size = g.batch_size;
-    repacked->tmpl = g.tmpl;
-    repacked->array = plan.repack(*g.array, keep, *g.tmpl->net, rng_);
-    repacked->opt = make_optimizer(*repacked);
-    repacked->opt->repack_state_from(*g.opt, keep);
-    repacked->sampler = std::move(g.sampler);  // resume the shuffle stream
-    repacked->epochs_trained = g.epochs_trained;
-    repacked->ever_repacked = true;
-    for (int64_t b : keep) {
-      if (g.serial.empty()) break;
-      repacked->serial.push_back(std::move(g.serial[static_cast<size_t>(b)]));
-      repacked->serial_opts.push_back(
-          std::move(g.serial_opts[static_cast<size_t>(b)]));
-    }
-    ++repacked_;
-    gp = std::move(repacked);  // the donor array (and its killed trials) die
-    return gp.get();
+    // Identity — one group, same order, full size: continue in place.
+    const size_t gi0 = picks[0].group;
+    bool identity = groups_[gi0]->B() == static_cast<int64_t>(members.size());
+    for (size_t j = 0; identity && j < picks.size(); ++j)
+      identity =
+          picks[j].group == gi0 && picks[j].slot == static_cast<int64_t>(j);
+    if (identity) return groups_[gi0].get();
+
+    // Halving boundary: gather the survivors — possibly from several
+    // chunked arrays — into one fresh array and continue.
+    return repack_groups(members, picks, src_epochs);
   }
 
   // Fresh partition: build one congruent per-model graph per trial (each
@@ -188,43 +342,34 @@ FusedTrainingExecutor::Group* FusedTrainingExecutor::find_or_create(
   // reruns reproduce it) and compile them into a fused array.
   auto g = std::make_unique<Group>();
   g->members = members;
-  g->cfg = models::PointNetConfig::tiny();
-  g->cfg.input_transform = space_.get(members[0], "feature_transform") != 0.0;
   g->batch_size = static_cast<int64_t>(space_.get(members[0], "batch_size"));
-  HFTA_CHECK(g->batch_size >= 1 && g->batch_size <= train_ds_->size(),
+  const int64_t ds_size =
+      task_ == Task::kPointNet ? cloud_ds_->size() : image_ds_->size();
+  HFTA_CHECK(g->batch_size >= 1 && g->batch_size <= ds_size,
              "FusedTrainingExecutor: batch size ", g->batch_size,
-             " does not fit the dataset (", train_ds_->size(), " samples)");
+             " does not fit the dataset (", ds_size, " samples)");
   const int64_t B = g->B();
-  std::vector<std::shared_ptr<models::PointNetCls>> donors;
   std::vector<std::shared_ptr<nn::Module>> nets;
-  for (const ParamSet& p : members) {
-    Rng donor_rng(param_key(p, opts_.seed ^ 0xD0));
-    donors.push_back(std::make_shared<models::PointNetCls>(g->cfg, donor_rng));
-    nets.push_back(donors.back()->net);
-  }
-  g->tmpl = donors[0];  // doubles as the future repack clone template
+  nets.reserve(members.size());
+  for (const ParamSet& p : members) nets.push_back(build_trial_net(p));
+  g->tmpl = nets[0];  // doubles as the future repack clone template
   fused::FusionOptions fopts;
   fopts.output_layout = fused::Layout::kModelMajor;
   g->array = fused::FusionPlan(B, fopts).compile(nets, rng_);
   g->opt = make_optimizer(*g);
-  // Infusible values identify the partition, so the shuffle stream is a pure
-  // function of them — the serial rerun of any member draws the same batches.
-  std::vector<double> inf_vals;
-  for (size_t i : space_.infusible_indices()) inf_vals.push_back(members[0][i]);
-  g->sampler = std::make_unique<data::BatchSampler>(
-      train_ds_->size(), g->batch_size, /*shuffle=*/true,
-      param_key(inf_vals, opts_.seed ^ 0xDA7A));
+  g->retired.assign(static_cast<size_t>(B), false);
+  g->sampler = make_sampler(*g);
   if (opts_.verify_against_serial) {
     for (int64_t b = 0; b < B; ++b) {
-      g->serial.push_back(donors[static_cast<size_t>(b)]);
+      const size_t ub = static_cast<size_t>(b);
+      g->serial.push_back(nets[ub]);
       g->serial_opts.push_back(std::make_unique<nn::Adam>(
-          donors[static_cast<size_t>(b)]->parameters(),
-          nn::Adam::Options{
-              space_.get(members[static_cast<size_t>(b)], "lr"),
-              space_.get(members[static_cast<size_t>(b)], "adam_beta1"),
-              space_.get(members[static_cast<size_t>(b)], "adam_beta2"),
-              1e-8,
-              space_.get(members[static_cast<size_t>(b)], "weight_decay")}));
+          nets[ub]->parameters(),
+          nn::Adam::Options{space_.get(members[ub], "lr"),
+                            space_.get(members[ub], "adam_beta1"),
+                            space_.get(members[ub], "adam_beta2"),
+                            1e-8,
+                            space_.get(members[ub], "weight_decay")}));
     }
   }
   ++compiled_;
@@ -239,6 +384,7 @@ FusedTrainingExecutor::Group* FusedTrainingExecutor::find_or_create(
 
 void FusedTrainingExecutor::train(Group& g, int64_t delta_epochs,
                                   CostReport* cost) {
+  if (g.sampler == nullptr) g.sampler = make_sampler(g);
   const int64_t B = g.B();
   const int64_t N = g.batch_size;
   const fused::HyperVec base_lr = g.hyper(space_, "lr");
@@ -259,7 +405,7 @@ void FusedTrainingExecutor::train(Group& g, int64_t delta_epochs,
       g.serial_opts[b]->set_lr(lrs[b]);
 
     for (const auto& bidx : g.sampler->epoch()) {
-      auto [x, y] = train_ds_->batch_cls(bidx);
+      auto [x, y] = train_batch(bidx);
       std::vector<Tensor> xs(static_cast<size_t>(B), x);
       Tensor labels({B, N});
       for (int64_t b = 0; b < B; ++b)
@@ -288,13 +434,14 @@ void FusedTrainingExecutor::train(Group& g, int64_t delta_epochs,
         // Same per-model reduction routine on both sides: the comparison
         // detects logits drift, not reduction-order noise.
         const double serial_loss = fused::per_model_cross_entropy(
-            sl.value().reshape({1, N, g.cfg.num_classes}),
+            sl.value().reshape({1, N, sl.value().size(1)}),
             y.reshape({1, N}))[0];
         ag::cross_entropy(sl, y, ag::Reduction::kMean).backward();
         g.serial_opts[b]->step();
         max_diff_ = std::max(max_diff_,
                              std::fabs(fused_losses[b] - serial_loss));
         if (g.ever_repacked) ++post_repack_verified_;
+        if (g.ever_merged) ++post_merge_verified_;
       }
     }
   }
@@ -323,29 +470,53 @@ std::vector<double> FusedTrainingExecutor::score(Group& g) {
   return scores;
 }
 
+sim::IterationTrace FusedTrainingExecutor::build_group_trace(
+    const Group& g, int64_t B) const {
+  if (task_ == Task::kPointNet) {
+    models::PointNetConfig cfg = models::PointNetConfig::tiny();
+    cfg.input_transform =
+        space_.get(g.members[0], "feature_transform") != 0.0;
+    sim::PointNetTraceSpec spec;
+    spec.batch = g.batch_size;
+    spec.points = cfg.num_points;
+    spec.w1 = cfg.w1;
+    spec.w2 = cfg.w2;
+    spec.w3 = cfg.w3;
+    spec.fc1 = cfg.fc1;
+    spec.fc2 = cfg.fc2;
+    spec.num_classes = cfg.num_classes;
+    spec.input_transform = cfg.input_transform;
+    return sim::build_pointnet_cls_trace(spec, B);
+  }
+  const models::MobileNetV3Config cfg = mobilenet_config(space_, g.members[0]);
+  sim::MobileNetTraceSpec spec;
+  spec.batch = g.batch_size;
+  spec.image = cfg.image_size;
+  spec.stem = cfg.scaled(cfg.stem_channels());
+  for (const models::BneckSpec& r : cfg.rows())
+    spec.rows.push_back(sim::MobileNetTraceSpec::Row{
+        r.kernel, cfg.scaled(r.expand), cfg.scaled(r.out), r.stride, r.se});
+  spec.last = cfg.scaled(cfg.rows().back().expand);
+  spec.head = cfg.head_dim;
+  spec.num_classes = cfg.num_classes;
+  return sim::build_mobilenet_trace(spec, B);
+}
+
 void FusedTrainingExecutor::price(const Group& g, int64_t delta_epochs,
                                   CostReport* cost) const {
   if (cost == nullptr || delta_epochs <= 0) return;
   // Price the trace the group actually ran — its batch size, widths, and
-  // STN — instead of the canned paper-scale kPointNetCls trace.
-  sim::PointNetTraceSpec spec;
-  spec.batch = g.batch_size;
-  spec.points = g.cfg.num_points;
-  spec.w1 = g.cfg.w1;
-  spec.w2 = g.cfg.w2;
-  spec.w3 = g.cfg.w3;
-  spec.fc1 = g.cfg.fc1;
-  spec.fc2 = g.cfg.fc2;
-  spec.num_classes = g.cfg.num_classes;
-  spec.input_transform = g.cfg.input_transform;
+  // structure — instead of the canned paper-scale traces.
   const int64_t B = g.B();
-  const sim::IterationTrace single = sim::build_pointnet_cls_trace(spec, 1);
+  const sim::IterationTrace single = build_group_trace(g, 1);
   const sim::IterationTrace fused_tr =
-      B == 1 ? single : sim::build_pointnet_cls_trace(spec, B);
+      B == 1 ? single : build_group_trace(g, B);
   const sim::RunResult r = sim::simulate_traces(
       dev_, single, fused_tr, B == 1 ? sim::Mode::kSerial : sim::Mode::kHfta,
       B, sim::Precision::kFP32);
-  const int64_t iters = train_ds_->size() / g.batch_size;
+  const int64_t ds_size =
+      task_ == Task::kPointNet ? cloud_ds_->size() : image_ds_->size();
+  const int64_t iters = ds_size / g.batch_size;
   cost->gpu_hours += static_cast<double>(delta_epochs) *
                      static_cast<double>(iters) * r.round_us / kUsPerHour;
   ++cost->jobs_launched;

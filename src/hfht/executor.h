@@ -5,17 +5,25 @@
 // real — each partition_by_infusible() group becomes a planner-compiled
 // FusedArray driven by a FusedAdam with per-trial hyper-parameter vectors,
 // scored from per-model cross-entropy. Hyperband's successive halving maps
-// onto FusionPlan::repack: rung survivors are extracted from the live array
-// and repacked into a smaller one that continues training bit-exactly.
+// onto FusionPlan::repack_multi: rung survivors — even survivors spread
+// over several chunked arrays — are gathered into one fresh array that
+// continues training bit-exactly.
 #pragma once
 
 #include <memory>
+#include <utility>
 
 #include "data/datasets.h"
 #include "hfht/tuner.h"
 
 namespace hfta::fused {
 class FusedAdam;
+}
+namespace hfta::nn {
+class Module;
+}
+namespace hfta::data {
+class BatchSampler;  // data/loader.h
 }
 
 namespace hfta::hfht {
@@ -49,30 +57,34 @@ class SyntheticExecutor : public TrialExecutor {
   sim::Workload workload_;
 };
 
-/// The real executor: trains every trial on an actual fused array.
+/// The real executor: trains every trial on an actual fused array. Both
+/// paper tasks run for real — PointNet classification on synthetic point
+/// clouds and MobileNet (V3-Large or V2, the infusible "version"
+/// hyper-parameter) on synthetic images; each trial's per-model graph is a
+/// pure function of its ParamSet, so serial reruns reproduce it exactly.
 ///
-/// Each infusible partition (same batch size / feature transform) compiles
+/// Each infusible partition (same batch size / structural params) compiles
 /// into one FusedArray via the planner; per-trial lr/beta1/beta2/weight
 /// decay ride in the FusedAdam's HyperVecs and the per-trial StepLR decay
 /// is applied epoch-wise to the lr vector. Scores come from per-model
 /// cross-entropy on a held-out batch, mapped to 1/(1+loss). Cost is priced
-/// by simulating the group's REAL kernel trace (batch size, widths, STN
-/// from the trial's structural params) on the device model.
+/// by simulating the group's REAL kernel trace (the trial's batch size and
+/// widths) on the device model.
 ///
-/// Arrays live across rung boundaries: when a later batch re-proposes a
-/// subset of a live group's members with a larger epoch budget (Hyperband
-/// survivors), the survivors are repacked into a smaller array
-/// (FusionPlan::repack + FusedOptimizer::repack_state_from) and continue
-/// training exactly where they stopped. Survivors that do not all come
-/// from ONE live group (possible when a rung exceeded max_array_size and
-/// was chunked) fall back to a fresh deterministic retrain from epoch 0 —
-/// the reported cost then bills the retraining that actually ran, not the
-/// continuation an un-chunked array would have allowed.
+/// Arrays live across rung boundaries: when a later batch re-proposes
+/// already-trained members with a larger epoch budget (Hyperband
+/// survivors), the survivors are gathered — across ALL live arrays they
+/// trained in, not just one — into a fresh array
+/// (FusionPlan::repack_multi + the multi-source
+/// FusedOptimizer::repack_state_from) and continue training exactly where
+/// they stopped. This covers the paper-scale bracket case where a rung
+/// exceeded max_array_size and was chunked: survivors spanning chunk
+/// boundaries used to retrain from scratch, now they merge and continue.
 class FusedTrainingExecutor : public TrialExecutor {
  public:
   struct Options {
-    int64_t dataset_size = 64;   // synthetic training clouds
-    int64_t eval_size = 16;      // held-out scoring clouds
+    int64_t dataset_size = 64;   // synthetic training samples
+    int64_t eval_size = 16;      // held-out scoring samples
     int64_t max_array_size = 8;  // fused-chunk cap (device-memory stand-in)
     uint64_t seed = 0x5EED;
     /// Additionally trains every group's B models serially (same data, same
@@ -92,17 +104,40 @@ class FusedTrainingExecutor : public TrialExecutor {
   double max_fused_vs_serial_diff() const { return max_diff_; }
   int64_t arrays_compiled() const { return compiled_; }
   int64_t arrays_repacked() const { return repacked_; }
+  /// Halving repacks whose survivors were gathered from >= 2 live arrays
+  /// (a rung larger than max_array_size was chunked — the paper-scale
+  /// bracket case).
+  int64_t multi_source_repacks() const { return multi_repacked_; }
+  /// Total source arrays merged across those multi-source repacks.
+  int64_t arrays_merged() const { return arrays_merged_; }
   /// Iterations verified on arrays that had been repacked at least once
   /// (> 0 proves bit-exactness held across a halving boundary).
   int64_t iterations_verified_after_repack() const {
     return post_repack_verified_;
   }
+  /// Iterations verified on arrays merged from >= 2 sources (> 0 proves
+  /// bit-exactness held across a chunk boundary).
+  int64_t iterations_verified_after_merge() const {
+    return post_merge_verified_;
+  }
 
  private:
   struct Group;
+  struct Pick;  // (live group, slot) of one gathered survivor
 
   Group* find_or_create(const std::vector<ParamSet>& members,
                         int64_t epoch_budget);
+  Group* repack_groups(const std::vector<ParamSet>& members,
+                       const std::vector<Pick>& picks, int64_t src_epochs);
+  /// The per-trial model graph: a pure function of the ParamSet (structure
+  /// from the infusible params, weight init from the param-set hash).
+  std::shared_ptr<nn::Module> build_trial_net(const ParamSet& p) const;
+  sim::IterationTrace build_group_trace(const Group& g, int64_t B) const;
+  std::pair<Tensor, Tensor> train_batch(const std::vector<int64_t>& idx) const;
+  /// The group's shuffle stream, reconstructed at its current epoch (a
+  /// pure function of the infusible values, so a repack that finds every
+  /// source sampler already moved can rebuild and fast-forward it).
+  std::unique_ptr<data::BatchSampler> make_sampler(const Group& g) const;
   std::unique_ptr<fused::FusedAdam> make_optimizer(const Group& g) const;
   void train(Group& g, int64_t delta_epochs, CostReport* cost);
   std::vector<double> score(Group& g);
@@ -113,13 +148,17 @@ class FusedTrainingExecutor : public TrialExecutor {
   Options opts_;
   SearchSpace space_;
   Rng rng_;
-  std::unique_ptr<data::PointCloudDataset> train_ds_;
+  std::unique_ptr<data::PointCloudDataset> cloud_ds_;  // kPointNet
+  std::unique_ptr<data::ImageDataset> image_ds_;       // kMobileNet
   Tensor eval_x_, eval_y_;  // fixed held-out scoring batch
   std::vector<std::unique_ptr<Group>> groups_;
 
   int64_t compiled_ = 0;
   int64_t repacked_ = 0;
+  int64_t multi_repacked_ = 0;
+  int64_t arrays_merged_ = 0;
   int64_t post_repack_verified_ = 0;
+  int64_t post_merge_verified_ = 0;
   double max_diff_ = 0.0;
 };
 

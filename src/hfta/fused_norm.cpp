@@ -45,6 +45,13 @@ void FusedBatchNorm2d::store_model(int64_t b, nn::BatchNorm2d& m) const {
   block_extract(impl->running_var, m.running_var, b, array_size_);
 }
 
+StateMap FusedBatchNorm2d::state_map() const {
+  return {param_entry("weight", impl->weight),
+          param_entry("bias", impl->bias),
+          buffer_entry("running_mean", impl->running_mean),
+          buffer_entry("running_var", impl->running_var)};
+}
+
 FusedBatchNorm1d::FusedBatchNorm1d(int64_t B, int64_t channels, float eps,
                                    float momentum)
     : FusedModule(B), channels(channels) {
@@ -72,6 +79,13 @@ void FusedBatchNorm1d::store_model(int64_t b, nn::BatchNorm1d& m) const {
   block_extract(impl->bias.value(), m.bias.mutable_value(), b, array_size_);
   block_extract(impl->running_mean, m.running_mean, b, array_size_);
   block_extract(impl->running_var, m.running_var, b, array_size_);
+}
+
+StateMap FusedBatchNorm1d::state_map() const {
+  return {param_entry("weight", impl->weight),
+          param_entry("bias", impl->bias),
+          buffer_entry("running_mean", impl->running_mean),
+          buffer_entry("running_var", impl->running_var)};
 }
 
 FusedLayerNorm::FusedLayerNorm(int64_t B, Shape shape, float eps, Rng&)

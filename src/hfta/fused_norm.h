@@ -18,6 +18,9 @@ class FusedBatchNorm2d : public FusedModule {
   std::vector<FusedParam> fused_parameters() override;
   void load_model(int64_t b, const nn::BatchNorm2d& m);
   void store_model(int64_t b, nn::BatchNorm2d& m) const;
+  /// The per-model state (weight/bias/running stats) lives in the nested
+  /// B*C-channel impl, so the default name-mirroring derivation is wrong.
+  StateMap state_map() const override;
 
   std::shared_ptr<nn::BatchNorm2d> impl;  // over B*C channels
   int64_t channels;                       // per model
@@ -32,6 +35,7 @@ class FusedBatchNorm1d : public FusedModule {
   std::vector<FusedParam> fused_parameters() override;
   void load_model(int64_t b, const nn::BatchNorm1d& m);
   void store_model(int64_t b, nn::BatchNorm1d& m) const;
+  StateMap state_map() const override;
 
   std::shared_ptr<nn::BatchNorm1d> impl;
   int64_t channels;

@@ -1,5 +1,7 @@
 #include "hfta/fused_ops.h"
 
+#include <map>
+
 #include "nn/init.h"
 #include "tensor/ops.h"
 
@@ -22,6 +24,109 @@ void copy_from_block(const Tensor& src, Tensor& dst, int64_t b, int64_t B) {
 }
 
 }  // namespace
+
+// ---- state schema -----------------------------------------------------------
+
+StateMap FusedModule::state_map() const {
+  StateMap out;
+  for (const auto& [name, var] : own_named_parameters())
+    out.push_back(param_entry(name, var));
+  for (const auto& [name, buf] : named_buffers())
+    out.push_back(buffer_entry(name, buf));
+  for (const auto& [name, child] : named_children()) {
+    const auto* f = dynamic_cast<const FusedModule*>(child.get());
+    if (f == nullptr) {
+      // A plain (per-model style) child has no block layout to derive. It
+      // is fine only when stateless (activations wrapped for convenience);
+      // anything stateful needs an explicit schema.
+      HFTA_CHECK(!nn::has_state(*child), "FusedModule::state_map: kind '",
+                 kind_name(), "' has stateful non-fused child '", name,
+                 "' — override state_map() to describe its layout");
+      continue;
+    }
+    for (StateEntry e : f->state_map()) {
+      e.path = name + "." + e.path;
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// One pass over the per-model tree: every parameter and buffer as a
+/// storage-sharing handle keyed by dotted path. Built once per
+/// load_state/store_state call so whole-model schemas (MobileNet, BERT:
+/// 100+ entries) stay O(T), not O(T^2).
+std::map<std::string, Tensor> collect_per_model_tensors(
+    const nn::Module& root) {
+  std::map<std::string, Tensor> out;
+  for (const auto& [name, var] : root.named_parameters())
+    out.emplace(name, var.value());
+  for (const auto& [name, t] : nn::named_buffers_recursive(root))
+    out.emplace(name, t);
+  return out;
+}
+
+Tensor find_per_model_tensor(const std::map<std::string, Tensor>& tensors,
+                             const std::string& path) {
+  const auto it = tensors.find(path);
+  HFTA_CHECK(it != tensors.end(), "state transfer: per-model tensor '", path,
+             "' not found in the per-model tree");
+  return it->second;
+}
+
+/// Moves model b's slice between the fused tensor and the per-model one,
+/// in either direction, following the entry's slice rule.
+void transfer_slice(const StateEntry& e, int64_t B, int64_t b,
+                    Tensor per_model, bool to_fused) {
+  // StateEntry holds handles; copying re-opens mutable access to storage.
+  Tensor fused = e.is_buffer() ? e.fused_buffer
+                               : ag::Variable(e.fused_param).mutable_value();
+  switch (e.rule) {
+    case SliceRule::kBlock:
+      if (to_fused) {
+        copy_into_block(fused, per_model, b, B);
+      } else {
+        copy_from_block(fused, per_model, b, B);
+      }
+      return;
+    case SliceRule::kLinearWeight: {
+      HFTA_CHECK(per_model.dim() == 2, "state transfer: '", e.path,
+                 "' uses kLinearWeight but the per-model tensor is not 2-D");
+      if (to_fused) {
+        Tensor wt = per_model.transpose(0, 1);  // [out, in] -> [in, out]
+        copy_into_block(fused, wt, b, B);
+      } else {
+        Tensor wt({per_model.size(1), per_model.size(0)});
+        copy_from_block(fused, wt, b, B);
+        const Tensor t = wt.transpose(0, 1);
+        std::copy(t.data(), t.data() + t.numel(), per_model.data());
+      }
+      return;
+    }
+  }
+  HFTA_CHECK(false, "state transfer: unknown slice rule");
+}
+
+}  // namespace
+
+void load_state(const StateMap& map, int64_t B, int64_t b,
+                const nn::Module& src) {
+  if (map.empty()) return;
+  const std::map<std::string, Tensor> tensors = collect_per_model_tensors(src);
+  for (const StateEntry& e : map)
+    transfer_slice(e, B, b, find_per_model_tensor(tensors, e.path),
+                   /*to_fused=*/true);
+}
+
+void store_state(const StateMap& map, int64_t B, int64_t b, nn::Module& dst) {
+  if (map.empty()) return;
+  const std::map<std::string, Tensor> tensors = collect_per_model_tensors(dst);
+  for (const StateEntry& e : map)
+    transfer_slice(e, B, b, find_per_model_tensor(tensors, e.path),
+                   /*to_fused=*/false);
+}
 
 std::vector<FusedParam> collect_fused_parameters(nn::Module& root,
                                                  int64_t array_size) {
@@ -290,6 +395,12 @@ void FusedLinear::store_model(int64_t b, nn::Linear& m) const {
   m.weight.mutable_value().copy_(wt.transpose(0, 1));
   if (bias.defined())
     copy_from_block(bias.value(), m.bias.mutable_value(), b, array_size_);
+}
+
+StateMap FusedLinear::state_map() const {
+  StateMap out = {param_entry("weight", weight, SliceRule::kLinearWeight)};
+  if (bias.defined()) out.push_back(param_entry("bias", bias));
+  return out;
 }
 
 // ---- FusedEmbedding --------------------------------------------------------------------------

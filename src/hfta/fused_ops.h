@@ -33,6 +33,63 @@ struct FusedParam {
   int64_t per_model_numel() const { return var.numel() / array_size; }
 };
 
+// ---- state schema -----------------------------------------------------------
+
+/// How model b's per-model tensor is laid out inside its fused counterpart.
+enum class SliceRule {
+  /// The fused tensor packs B per-model blocks contiguously along dim 0
+  /// (fused numel = B * per-model numel); model b's block starts at
+  /// b * per-model numel. Every fused tensor in this codebase uses this
+  /// layout except FusedLinear's weight.
+  kBlock,
+  /// nn::Linear's weight: the per-model [out, in] tensor maps to the
+  /// transposed [in, out] block b of the fused [B, in, out] baddbmm weight.
+  kLinearWeight,
+};
+
+/// One entry of a fused module's state schema: which per-model tensor
+/// (dotted path relative to the per-model layer) lives where inside the
+/// fused module, and how model b's slice is laid out. Exactly one of
+/// fused_param / fused_buffer is defined. The planner derives load_model,
+/// save_model, and state-congruence checking from these entries instead of
+/// per-kind hand-written transfer lambdas (DESIGN.md §7).
+struct StateEntry {
+  std::string path;          // per-model tensor path, e.g. "weight"
+  ag::Variable fused_param;  // trainable state lives in a parameter...
+  Tensor fused_buffer;       // ...non-trainable state (running stats) here
+  SliceRule rule = SliceRule::kBlock;
+
+  bool is_buffer() const { return fused_buffer.defined(); }
+};
+
+/// Ordered per-kind state schema (order follows registration order, which
+/// matches the per-model module's own parameter/buffer order).
+using StateMap = std::vector<StateEntry>;
+
+inline StateEntry param_entry(std::string path, const ag::Variable& v,
+                              SliceRule rule = SliceRule::kBlock) {
+  StateEntry e;
+  e.path = std::move(path);
+  e.fused_param = v;
+  e.rule = rule;
+  return e;
+}
+inline StateEntry buffer_entry(std::string path, const Tensor& t) {
+  StateEntry e;
+  e.path = std::move(path);
+  e.fused_buffer = t;
+  return e;
+}
+
+/// One survivor of a multi-source repack: model `model` of the `source`-th
+/// donor. FusionPlan::repack_multi (arrays) and
+/// FusedOptimizer::repack_state_from (optimizer state) share this pick type
+/// so weights and optimizer slices always gather from the same slots.
+struct RepackPick {
+  size_t source = 0;
+  int64_t model = 0;
+};
+
 /// Base for all fused modules: tracks B and collects FusedParams.
 class FusedModule : public nn::Module {
  public:
@@ -44,9 +101,28 @@ class FusedModule : public nn::Module {
   /// This module's own fused parameters (not recursive).
   virtual std::vector<FusedParam> fused_parameters() { return {}; }
 
+  /// This module's per-model state schema. The default derivation covers
+  /// every composite fused module whose registered child names mirror the
+  /// per-model module's: own registered parameters and buffers map by name
+  /// as dim-0 blocks, and child FusedModules compose recursively under
+  /// their registered names. Leaves with a different internal layout
+  /// (FusedLinear's transposed weight, FusedBatchNorm's nested plain impl)
+  /// override. A stateful non-fused child without an override is a schema
+  /// derivation error and fails loudly.
+  virtual StateMap state_map() const;
+
  protected:
   int64_t array_size_;
 };
+
+/// Copies model b's state from the congruent per-model module `src` into
+/// the fused tensors of `map` — the schema-driven generalization of the
+/// per-kind hand-written load_model methods. `B` is the fused array size.
+void load_state(const StateMap& map, int64_t B, int64_t b,
+                const nn::Module& src);
+/// The inverse: extracts model b's slices out of the fused tensors into
+/// the per-model module `dst`.
+void store_state(const StateMap& map, int64_t B, int64_t b, nn::Module& dst);
 
 /// Collects FusedParams of every fused module in a module tree given the
 /// tree's (uniform) array size; non-fused parameters are rejected.
@@ -150,6 +226,8 @@ class FusedLinear : public FusedModule {
 
   void load_model(int64_t b, const nn::Linear& m);
   void store_model(int64_t b, nn::Linear& m) const;
+  /// weight uses kLinearWeight (the per-model [out, in] is transposed).
+  StateMap state_map() const override;
 
   ag::Variable weight;  // [B, in, out]
   ag::Variable bias;    // [B, 1, out]

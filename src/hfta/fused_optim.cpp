@@ -1,5 +1,6 @@
 #include "hfta/fused_optim.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace hfta::fused {
@@ -37,35 +38,61 @@ HyperVec FusedOptimizer::expand(HyperVec v) const {
 
 void FusedOptimizer::set_lr(HyperVec lr) { lr_ = expand(std::move(lr)); }
 
-void FusedOptimizer::check_repack(const FusedOptimizer& src,
-                                  const std::vector<int64_t>& keep) const {
-  HFTA_CHECK(static_cast<int64_t>(keep.size()) == array_size_,
-             "repack_state_from: optimizer array size ", array_size_,
-             " != keep size ", keep.size());
-  HFTA_CHECK(params_.size() == src.params_.size(),
-             "repack_state_from: parameter count mismatch (", params_.size(),
-             " vs ", src.params_.size(), ")");
-  for (size_t i = 0; i < params_.size(); ++i) {
-    HFTA_CHECK(params_[i].per_model_numel() == src.params_[i].per_model_numel(),
-               "repack_state_from: per-model numel mismatch at param ", i);
-  }
-  for (int64_t b : keep)
-    HFTA_CHECK(b >= 0 && b < src.array_size_,
-               "repack_state_from: keep index ", b, " out of range");
+void FusedOptimizer::repack_state_from(const FusedOptimizer& src,
+                                       const std::vector<int64_t>& keep) {
+  std::vector<RepackPick> picks;
+  picks.reserve(keep.size());
+  for (int64_t b : keep) picks.push_back(RepackPick{0, b});
+  repack_state_from(std::vector<const FusedOptimizer*>{&src}, picks);
 }
 
-void FusedOptimizer::slice_state(const std::vector<Tensor>& src_state,
-                                 std::vector<Tensor>* dst_state,
-                                 const FusedOptimizer& src,
-                                 const std::vector<int64_t>& keep) {
+void FusedOptimizer::check_repack(
+    const std::vector<const FusedOptimizer*>& sources,
+    const std::vector<RepackPick>& picks) const {
+  HFTA_CHECK(!sources.empty(), "repack_state_from: no sources");
+  HFTA_CHECK(static_cast<int64_t>(picks.size()) == array_size_,
+             "repack_state_from: optimizer array size ", array_size_,
+             " != picks size ", picks.size());
+  for (const FusedOptimizer* src : sources) {
+    HFTA_CHECK(src != nullptr, "repack_state_from: null source");
+    HFTA_CHECK(params_.size() == src->params_.size(),
+               "repack_state_from: parameter count mismatch (", params_.size(),
+               " vs ", src->params_.size(), ")");
+    for (size_t i = 0; i < params_.size(); ++i) {
+      HFTA_CHECK(
+          params_[i].per_model_numel() == src->params_[i].per_model_numel(),
+          "repack_state_from: per-model numel mismatch at param ", i);
+    }
+  }
+  for (const RepackPick& p : picks) {
+    HFTA_CHECK(p.source < sources.size(), "repack_state_from: pick source ",
+               p.source, " out of range");
+    HFTA_CHECK(p.model >= 0 && p.model < sources[p.source]->array_size_,
+               "repack_state_from: pick model ", p.model, " out of range");
+  }
+}
+
+void FusedOptimizer::gather_state(
+    const std::function<const std::vector<Tensor>&(const FusedOptimizer&)>&
+        state_of,
+    std::vector<Tensor>* dst_state,
+    const std::vector<const FusedOptimizer*>& sources,
+    const std::vector<RepackPick>& picks) {
   for (size_t i = 0; i < params_.size(); ++i) {
-    if (!src_state[i].defined()) continue;  // lazily initialized, untouched
-    const int64_t block = src.params_[i].per_model_numel();
+    // Defined-ness must agree across sources: a survivor from a stepped
+    // source cannot merge with one whose state was never initialized.
+    for (const FusedOptimizer* src : sources)
+      HFTA_CHECK(state_of(*src)[i].defined() ==
+                     state_of(*sources[0])[i].defined(),
+                 "repack_state_from: source state defined-ness differs at "
+                 "param ", i, " (sources trained unequal step counts?)");
+    if (!state_of(*sources[0])[i].defined()) continue;  // lazy, untouched
     Tensor dst = Tensor::zeros(params_[i].var.shape());
-    const float* ps = src_state[i].data();
     float* pd = dst.data();
-    for (size_t j = 0; j < keep.size(); ++j) {
-      const int64_t b = keep[j];
+    const int64_t block = params_[i].per_model_numel();
+    for (size_t j = 0; j < picks.size(); ++j) {
+      const float* ps = state_of(*sources[picks[j].source])[i].data();
+      const int64_t b = picks[j].model;
       std::copy(ps + b * block, ps + (b + 1) * block,
                 pd + static_cast<int64_t>(j) * block);
     }
@@ -116,12 +143,18 @@ void FusedSGD::step() {
   }
 }
 
-void FusedSGD::repack_state_from(const FusedOptimizer& src,
-                                 const std::vector<int64_t>& keep) {
-  const auto* s = dynamic_cast<const FusedSGD*>(&src);
-  HFTA_CHECK(s != nullptr, "FusedSGD::repack_state_from: source is not SGD");
-  check_repack(src, keep);
-  slice_state(s->momentum_buf_, &momentum_buf_, src, keep);
+void FusedSGD::repack_state_from(
+    const std::vector<const FusedOptimizer*>& sources,
+    const std::vector<RepackPick>& picks) {
+  for (const FusedOptimizer* src : sources)
+    HFTA_CHECK(dynamic_cast<const FusedSGD*>(src) != nullptr,
+               "FusedSGD::repack_state_from: source is not SGD");
+  check_repack(sources, picks);
+  gather_state(
+      [](const FusedOptimizer& o) -> const std::vector<Tensor>& {
+        return static_cast<const FusedSGD&>(o).momentum_buf_;
+      },
+      &momentum_buf_, sources, picks);
 }
 
 // ---- FusedAdam -----------------------------------------------------------------
@@ -173,14 +206,34 @@ void FusedAdam::step() {
   }
 }
 
-void FusedAdam::repack_state_from(const FusedOptimizer& src,
-                                  const std::vector<int64_t>& keep) {
-  const auto* s = dynamic_cast<const FusedAdam*>(&src);
-  HFTA_CHECK(s != nullptr, "FusedAdam::repack_state_from: source is not Adam");
-  check_repack(src, keep);
-  slice_state(s->m_, &m_, src, keep);
-  slice_state(s->v_, &v_, src, keep);
-  t_ = s->t_;  // bias correction continues from the shared step count
+void FusedAdam::repack_state_from(
+    const std::vector<const FusedOptimizer*>& sources,
+    const std::vector<RepackPick>& picks) {
+  std::vector<const FusedAdam*> srcs;
+  for (const FusedOptimizer* src : sources) {
+    const auto* a = dynamic_cast<const FusedAdam*>(src);
+    HFTA_CHECK(a != nullptr,
+               "FusedAdam::repack_state_from: source is not Adam");
+    srcs.push_back(a);
+  }
+  check_repack(sources, picks);
+  // Survivors of one rung trained the same number of iterations, so the
+  // scalar bias-correction step count must agree across every source.
+  for (const FusedAdam* a : srcs)
+    HFTA_CHECK(a->t_ == srcs[0]->t_,
+               "FusedAdam::repack_state_from: sources disagree on step "
+               "count (", a->t_, " vs ", srcs[0]->t_, ")");
+  gather_state(
+      [](const FusedOptimizer& o) -> const std::vector<Tensor>& {
+        return static_cast<const FusedAdam&>(o).m_;
+      },
+      &m_, sources, picks);
+  gather_state(
+      [](const FusedOptimizer& o) -> const std::vector<Tensor>& {
+        return static_cast<const FusedAdam&>(o).v_;
+      },
+      &v_, sources, picks);
+  t_ = srcs[0]->t_;  // bias correction continues from the shared step count
 }
 
 // ---- FusedAdadelta ---------------------------------------------------------------
@@ -226,14 +279,23 @@ void FusedAdadelta::step() {
   }
 }
 
-void FusedAdadelta::repack_state_from(const FusedOptimizer& src,
-                                      const std::vector<int64_t>& keep) {
-  const auto* s = dynamic_cast<const FusedAdadelta*>(&src);
-  HFTA_CHECK(s != nullptr,
-             "FusedAdadelta::repack_state_from: source is not Adadelta");
-  check_repack(src, keep);
-  slice_state(s->square_avg_, &square_avg_, src, keep);
-  slice_state(s->acc_delta_, &acc_delta_, src, keep);
+void FusedAdadelta::repack_state_from(
+    const std::vector<const FusedOptimizer*>& sources,
+    const std::vector<RepackPick>& picks) {
+  for (const FusedOptimizer* src : sources)
+    HFTA_CHECK(dynamic_cast<const FusedAdadelta*>(src) != nullptr,
+               "FusedAdadelta::repack_state_from: source is not Adadelta");
+  check_repack(sources, picks);
+  gather_state(
+      [](const FusedOptimizer& o) -> const std::vector<Tensor>& {
+        return static_cast<const FusedAdadelta&>(o).square_avg_;
+      },
+      &square_avg_, sources, picks);
+  gather_state(
+      [](const FusedOptimizer& o) -> const std::vector<Tensor>& {
+        return static_cast<const FusedAdadelta&>(o).acc_delta_;
+      },
+      &acc_delta_, sources, picks);
 }
 
 }  // namespace hfta::fused

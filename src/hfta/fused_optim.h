@@ -7,6 +7,7 @@
 // (FusedParam), so "broadcast over model b's slice" is a strided loop.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "hfta/fused_ops.h"
@@ -33,28 +34,39 @@ class FusedOptimizer {
   const HyperVec& lr() const { return lr_; }
   void set_lr(HyperVec lr);
 
-  /// Carries optimizer state across a FusionPlan::repack: this optimizer
-  /// (freshly built over the repacked array's parameters, array size =
-  /// keep.size()) receives model keep[j]'s state slice (momentum / Adam
-  /// moments / step count) from `src` as its model-j slice, so the
-  /// survivors' next step is bit-identical to the step the larger array
-  /// would have taken. Parameters must align index-wise (the planner emits
-  /// steps — and therefore fused parameters — in the same order for the
-  /// same model graph). `src` must be the same concrete optimizer type.
-  virtual void repack_state_from(const FusedOptimizer& src,
-                                 const std::vector<int64_t>& keep) = 0;
+  /// Carries optimizer state across a FusionPlan::repack_multi: this
+  /// optimizer (freshly built over the repacked array's parameters, array
+  /// size = picks.size()) receives model picks[j].model's state slice
+  /// (momentum / Adam moments / step count) from sources[picks[j].source]
+  /// as its model-j slice, so every survivor's next step is bit-identical
+  /// to the step its source array would have taken. Parameters must align
+  /// index-wise across all sources (the planner emits steps — and
+  /// therefore fused parameters — in the same order for the same model
+  /// graph); all sources must be this concrete optimizer type and agree on
+  /// shared scalar state (Adam's step count).
+  virtual void repack_state_from(const std::vector<const FusedOptimizer*>& sources,
+                                 const std::vector<RepackPick>& picks) = 0;
+  /// Single-source convenience (model keep[j] of `src` becomes model j):
+  /// thin delegate to the multi-source gather — one code path for both.
+  void repack_state_from(const FusedOptimizer& src,
+                         const std::vector<int64_t>& keep);
 
  protected:
   /// Shared repack_state_from validation: array/param-count alignment,
-  /// per-model block sizes, keep-index ranges.
-  void check_repack(const FusedOptimizer& src,
-                    const std::vector<int64_t>& keep) const;
-  /// Slices per-model blocks of each defined src state tensor into dst
-  /// (dst[i] allocated over this optimizer's param-i shape when the src
-  /// state exists; left undefined otherwise, preserving lazy-init flags).
-  void slice_state(const std::vector<Tensor>& src_state,
-                   std::vector<Tensor>* dst_state, const FusedOptimizer& src,
-                   const std::vector<int64_t>& keep);
+  /// per-model block sizes, pick ranges.
+  void check_repack(const std::vector<const FusedOptimizer*>& sources,
+                   const std::vector<RepackPick>& picks) const;
+  /// Gathers per-model blocks of one state tensor family across sources:
+  /// dst[i] model-j block = sources[picks[j].source]'s state_of() tensor i,
+  /// block picks[j].model. Defined-ness must agree across sources (all
+  /// lazily uninitialized -> dst stays undefined, preserving lazy-init
+  /// flags; mixed defined-ness is a step-count mismatch and rejected).
+  void gather_state(
+      const std::function<const std::vector<Tensor>&(const FusedOptimizer&)>&
+          state_of,
+      std::vector<Tensor>* dst_state,
+      const std::vector<const FusedOptimizer*>& sources,
+      const std::vector<RepackPick>& picks);
   /// Resolves v[b] for vectors of size B or 1.
   static double at(const HyperVec& v, int64_t b) {
     return v.size() == 1 ? v[0] : v[static_cast<size_t>(b)];
@@ -76,8 +88,9 @@ class FusedSGD : public FusedOptimizer {
   };
   FusedSGD(std::vector<FusedParam> params, int64_t array_size, Options opt);
   void step() override;
-  void repack_state_from(const FusedOptimizer& src,
-                         const std::vector<int64_t>& keep) override;
+  using FusedOptimizer::repack_state_from;
+  void repack_state_from(const std::vector<const FusedOptimizer*>& sources,
+                         const std::vector<RepackPick>& picks) override;
 
  private:
   HyperVec momentum_, weight_decay_;
@@ -96,8 +109,9 @@ class FusedAdam : public FusedOptimizer {
   };
   FusedAdam(std::vector<FusedParam> params, int64_t array_size, Options opt);
   void step() override;
-  void repack_state_from(const FusedOptimizer& src,
-                         const std::vector<int64_t>& keep) override;
+  using FusedOptimizer::repack_state_from;
+  void repack_state_from(const std::vector<const FusedOptimizer*>& sources,
+                         const std::vector<RepackPick>& picks) override;
 
  private:
   HyperVec beta1_, beta2_, eps_, weight_decay_;
@@ -117,8 +131,9 @@ class FusedAdadelta : public FusedOptimizer {
   FusedAdadelta(std::vector<FusedParam> params, int64_t array_size,
                 Options opt);
   void step() override;
-  void repack_state_from(const FusedOptimizer& src,
-                         const std::vector<int64_t>& keep) override;
+  using FusedOptimizer::repack_state_from;
+  void repack_state_from(const std::vector<const FusedOptimizer*>& sources,
+                         const std::vector<RepackPick>& picks) override;
 
  private:
   HyperVec rho_, eps_, weight_decay_;

@@ -101,25 +101,9 @@ FusionError::FusionError(FusionDiagnostic d)
 
 namespace {
 
-template <typename FusedT, typename PlainT>
-std::function<void(nn::Module&, int64_t, const nn::Module&)> block_loader() {
-  return [](nn::Module& fused_mod, int64_t b, const nn::Module& src) {
-    static_cast<FusedT&>(fused_mod).load_model(b,
-                                               static_cast<const PlainT&>(src));
-  };
-}
-
-template <typename FusedT, typename PlainT>
-std::function<void(const nn::Module&, int64_t, nn::Module&)> block_storer() {
-  return [](const nn::Module& fused_mod, int64_t b, nn::Module& dst) {
-    static_cast<const FusedT&>(fused_mod).store_model(b,
-                                                      static_cast<PlainT&>(dst));
-  };
-}
-
 Lowered stateless(std::shared_ptr<nn::Module> m, Layout in = Layout::kAny,
                   Layout out = Layout::kAny) {
-  return Lowered{std::move(m), in, out, nullptr, nullptr};
+  return Lowered{std::move(m), in, out};
 }
 
 }  // namespace
@@ -173,9 +157,7 @@ LoweringRegistry::LoweringRegistry() {
         auto m = std::make_shared<FusedLinear>(
             ctx.array_size, c.get_int("in"), c.get_int("out"),
             c.get_int("bias") != 0, *ctx.rng);
-        return Lowered{m, Layout::kModelMajor, Layout::kModelMajor,
-                       block_loader<FusedLinear, nn::Linear>(),
-                       block_storer<FusedLinear, nn::Linear>()};
+        return Lowered{m, Layout::kModelMajor, Layout::kModelMajor};
       });
   add(nn::layer_kind_name(nn::LayerKind::kLayerNorm),
       [](const LoweringContext& ctx) {
@@ -183,9 +165,7 @@ LoweringRegistry::LoweringRegistry() {
         auto m = std::make_shared<FusedLayerNorm>(
             ctx.array_size, c.dims, static_cast<float>(c.get_float("eps")),
             *ctx.rng);
-        return Lowered{m, Layout::kModelMajor, Layout::kModelMajor,
-                       block_loader<FusedLayerNorm, nn::LayerNorm>(),
-                       block_storer<FusedLayerNorm, nn::LayerNorm>()};
+        return Lowered{m, Layout::kModelMajor, Layout::kModelMajor};
       });
   add(nn::layer_kind_name(nn::LayerKind::kFlatten),
       [](const LoweringContext& ctx) {
@@ -201,9 +181,7 @@ LoweringRegistry::LoweringRegistry() {
             ctx.array_size, c.get_int("in"), c.get_int("out"),
             c.get_int("kernel"), c.get_int("stride"), c.get_int("pad"),
             c.get_int("groups"), c.get_int("bias") != 0, *ctx.rng);
-        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
-                       block_loader<FusedConv2d, nn::Conv2d>(),
-                       block_storer<FusedConv2d, nn::Conv2d>()};
+        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused};
       });
   add(nn::layer_kind_name(nn::LayerKind::kConv1d),
       [](const LoweringContext& ctx) {
@@ -212,9 +190,7 @@ LoweringRegistry::LoweringRegistry() {
             ctx.array_size, c.get_int("in"), c.get_int("out"),
             c.get_int("kernel"), c.get_int("stride"), c.get_int("pad"),
             c.get_int("groups"), c.get_int("bias") != 0, *ctx.rng);
-        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
-                       block_loader<FusedConv1d, nn::Conv1d>(),
-                       block_storer<FusedConv1d, nn::Conv1d>()};
+        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused};
       });
   add(nn::layer_kind_name(nn::LayerKind::kConvTranspose2d),
       [](const LoweringContext& ctx) {
@@ -224,11 +200,7 @@ LoweringRegistry::LoweringRegistry() {
             c.get_int("kernel"), c.get_int("stride"), c.get_int("pad"),
             c.get_int("out_pad"), c.get_int("groups"), c.get_int("bias") != 0,
             *ctx.rng);
-        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
-                       block_loader<FusedConvTranspose2d,
-                                    nn::ConvTranspose2d>(),
-                       block_storer<FusedConvTranspose2d,
-                                    nn::ConvTranspose2d>()};
+        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused};
       });
   add(nn::layer_kind_name(nn::LayerKind::kConvTranspose1d),
       [](const LoweringContext& ctx) {
@@ -238,11 +210,7 @@ LoweringRegistry::LoweringRegistry() {
             c.get_int("kernel"), c.get_int("stride"), c.get_int("pad"),
             c.get_int("out_pad"), c.get_int("groups"), c.get_int("bias") != 0,
             *ctx.rng);
-        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
-                       block_loader<FusedConvTranspose1d,
-                                    nn::ConvTranspose1d>(),
-                       block_storer<FusedConvTranspose1d,
-                                    nn::ConvTranspose1d>()};
+        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused};
       });
   add(nn::layer_kind_name(nn::LayerKind::kBatchNorm2d),
       [](const LoweringContext& ctx) {
@@ -251,9 +219,7 @@ LoweringRegistry::LoweringRegistry() {
             ctx.array_size, c.get_int("channels"),
             static_cast<float>(c.get_float("eps")),
             static_cast<float>(c.get_float("momentum")));
-        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
-                       block_loader<FusedBatchNorm2d, nn::BatchNorm2d>(),
-                       block_storer<FusedBatchNorm2d, nn::BatchNorm2d>()};
+        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused};
       });
   add(nn::layer_kind_name(nn::LayerKind::kBatchNorm1d),
       [](const LoweringContext& ctx) {
@@ -262,9 +228,7 @@ LoweringRegistry::LoweringRegistry() {
             ctx.array_size, c.get_int("channels"),
             static_cast<float>(c.get_float("eps")),
             static_cast<float>(c.get_float("momentum")));
-        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused,
-                       block_loader<FusedBatchNorm1d, nn::BatchNorm1d>(),
-                       block_storer<FusedBatchNorm1d, nn::BatchNorm1d>()};
+        return Lowered{m, Layout::kChannelFused, Layout::kChannelFused};
       });
   add(nn::layer_kind_name(nn::LayerKind::kMaxPool2d),
       [](const LoweringContext& ctx) {
@@ -449,29 +413,33 @@ ag::Variable FusedArray::forward(const ag::Variable& x) {
 void FusedArray::load_model(int64_t b, const nn::Module& per_model_root) {
   HFTA_CHECK(b >= 0 && b < array_size_, "FusedArray::load_model: bad index");
   for (Step& s : steps_) {
-    if (!s.load) continue;
+    if (s.fused && s.state.empty()) continue;  // stateless step
     const nn::Module* src = per_model_root.find(s.path);
     HFTA_CHECK(src != nullptr, "FusedArray::load_model: path '", s.path,
                "' not found in the per-model tree");
-    s.load(*s.module, b, *src);
+    if (!s.fused) {
+      auto& adapter = static_cast<UnfusedBlockAdapter&>(*s.module);
+      copy_module_state(*src, *adapter.replicas()[static_cast<size_t>(b)]);
+    } else {
+      load_state(s.state, array_size_, b, *src);
+    }
   }
 }
 
 void FusedArray::save_model(int64_t b, nn::Module& per_model_root) const {
   HFTA_CHECK(b >= 0 && b < array_size_, "FusedArray::save_model: bad index");
   for (const Step& s : steps_) {
-    if (!s.load) continue;  // stateless step: nothing to extract
-    if (!s.store) {
-      throw FusionError(
-          {s.path, b,
-           "kind '" + s.kind +
-               "' has no store support — add a store_model and register it "
-               "in the lowering's Lowered::store"});
-    }
+    if (s.fused && s.state.empty()) continue;  // stateless step
     nn::Module* dst = per_model_root.find(s.path);
     HFTA_CHECK(dst != nullptr, "FusedArray::save_model: path '", s.path,
                "' not found in the per-model tree");
-    s.store(*s.module, b, *dst);
+    if (!s.fused) {
+      const auto& adapter =
+          static_cast<const UnfusedBlockAdapter&>(*s.module);
+      copy_module_state(*adapter.replicas()[static_cast<size_t>(b)], *dst);
+    } else {
+      store_state(s.state, array_size_, b, *dst);
+    }
   }
 }
 
@@ -548,17 +516,64 @@ FusedArray::Step make_adapter_step(
   s.in = Layout::kChannelFused;
   s.out = Layout::kChannelFused;
   s.path = path;
-  s.load = [](nn::Module& mod, int64_t b, const nn::Module& src) {
-    auto& adapter = static_cast<UnfusedBlockAdapter&>(mod);
-    copy_module_state(src, *adapter.replicas()[static_cast<size_t>(b)]);
-  };
-  s.store = [](const nn::Module& mod, int64_t b, nn::Module& dst) {
-    const auto& adapter = static_cast<const UnfusedBlockAdapter&>(mod);
-    copy_module_state(*adapter.replicas()[static_cast<size_t>(b)], dst);
-  };
+  // No StateMap: adapter replicas are whole per-model modules, transferred
+  // by nn::copy_state in FusedArray::{load,save}_model.
   s.fused = false;
   s.unit = unit;
   return s;
+}
+
+/// Derives the state schema of a lowered step's module and validates it
+/// against the per-model reference layer: every per-model parameter and
+/// buffer must be covered by exactly one entry, sized B x the per-model
+/// numel (shape-checked through the slice rule at transfer time). A
+/// registration that forgets part of its state — the old "ships a loader,
+/// silently lacks store support" class of bug — now fails the compile with
+/// a structured diagnostic instead of surfacing as drift after a repack.
+StateMap derive_step_state(const nn::Module& fused_mod, int64_t B,
+                           const nn::Module& ref, const std::string& path) {
+  const auto* fm = dynamic_cast<const FusedModule*>(&fused_mod);
+  const StateMap map = fm ? fm->state_map() : StateMap{};
+  std::map<std::string, int64_t> want;  // per-model tensor path -> numel
+  for (const auto& [n, v] : ref.named_parameters()) want.emplace(n, v.numel());
+  for (const auto& [n, t] : nn::named_buffers_recursive(ref))
+    want.emplace(n, t.numel());
+  std::map<std::string, int64_t> seen;
+  for (const StateEntry& e : map) {
+    if (++seen[e.path] > 1) {
+      throw FusionError({path, -1,
+                         "state schema for kind '" + ref.kind_name() +
+                             "' lists '" + e.path + "' twice"});
+    }
+    const auto it = want.find(e.path);
+    if (it == want.end()) {
+      throw FusionError({path, -1,
+                         "state schema entry '" + e.path +
+                             "' has no per-model counterpart in kind '" +
+                             ref.kind_name() + "'"});
+    }
+    const int64_t fused_numel =
+        e.is_buffer() ? e.fused_buffer.numel() : e.fused_param.numel();
+    if (fused_numel != B * it->second) {
+      throw FusionError(
+          {path, -1,
+           "state entry '" + e.path + "' of kind '" + ref.kind_name() +
+               "': fused numel " + std::to_string(fused_numel) + " != B(" +
+               std::to_string(B) + ") x per-model numel " +
+               std::to_string(it->second)});
+    }
+  }
+  for (const auto& [n, numel] : want) {
+    (void)numel;
+    if (seen.count(n) == 0) {
+      throw FusionError(
+          {path, -1,
+           "lowering for kind '" + ref.kind_name() +
+               "' covers no state entry for per-model tensor '" + n +
+               "' — describe it in the fused module's state_map()"});
+    }
+  }
+  return map;
 }
 
 void lower_into(int64_t B, Rng& rng, const std::string& path,
@@ -598,13 +613,12 @@ void lower_into(int64_t B, Rng& rng, const std::string& path,
   HFTA_CHECK(l.module != nullptr, "lowering for '", ref.kind_name(),
              "' returned no module");
   FusedArray::Step s;
+  s.state = derive_step_state(*l.module, B, ref, path);
   s.module = std::move(l.module);
   s.in = l.in;
   s.out = l.out;
   s.path = path;
   s.kind = ref.kind_name();
-  s.load = std::move(l.load);
-  s.store = std::move(l.store);
   s.fused = true;
   s.unit = unit;
   steps->push_back(std::move(s));
@@ -632,25 +646,40 @@ std::shared_ptr<FusedArray> FusionPlan::compile_structure_only(
   return compile_impl(models, rng, /*load_weights=*/false);
 }
 
-std::shared_ptr<FusedArray> FusionPlan::repack(
-    const FusedArray& src, const std::vector<int64_t>& keep,
-    const nn::Module& template_model, Rng& rng) const {
-  HFTA_CHECK(static_cast<int64_t>(keep.size()) == array_size_,
-             "FusionPlan::repack: plan is sized for ", array_size_,
-             " models but keep has ", keep.size());
-  // Extract each survivor into its own per-model tree, then compile the
-  // smaller array from those trees — compile copies their exact weights and
-  // buffers, so the survivors' state carries over bit-for-bit.
+std::shared_ptr<FusedArray> FusionPlan::repack_multi(
+    const std::vector<const FusedArray*>& sources,
+    const std::vector<RepackPick>& picks, const nn::Module& template_model,
+    Rng& rng) const {
+  HFTA_CHECK(!sources.empty(), "FusionPlan::repack_multi: no sources");
+  HFTA_CHECK(static_cast<int64_t>(picks.size()) == array_size_,
+             "FusionPlan::repack_multi: plan is sized for ", array_size_,
+             " models but picks has ", picks.size());
+  // Extract each survivor from its source array into its own per-model
+  // tree, then compile the smaller array from those trees — compile copies
+  // their exact weights and buffers, so every survivor's state carries over
+  // bit-for-bit no matter which chunked array it trained in.
   std::vector<std::shared_ptr<nn::Module>> survivors;
-  survivors.reserve(keep.size());
-  for (int64_t b : keep) {
+  survivors.reserve(picks.size());
+  for (const RepackPick& p : picks) {
+    HFTA_CHECK(p.source < sources.size() && sources[p.source] != nullptr,
+               "FusionPlan::repack_multi: pick references source ", p.source,
+               " of ", sources.size());
     std::shared_ptr<nn::Module> tree = template_model.clone();
-    HFTA_CHECK(tree != nullptr, "FusionPlan::repack: template kind '",
+    HFTA_CHECK(tree != nullptr, "FusionPlan::repack_multi: template kind '",
                template_model.kind_name(), "' has no clone support");
-    src.save_model(b, *tree);
+    sources[p.source]->save_model(p.model, *tree);
     survivors.push_back(std::move(tree));
   }
   return compile(survivors, rng);
+}
+
+std::shared_ptr<FusedArray> FusionPlan::repack(
+    const FusedArray& src, const std::vector<int64_t>& keep,
+    const nn::Module& template_model, Rng& rng) const {
+  std::vector<RepackPick> picks;
+  picks.reserve(keep.size());
+  for (int64_t b : keep) picks.push_back(RepackPick{0, b});
+  return repack_multi({&src}, picks, template_model, rng);
 }
 
 std::shared_ptr<FusedArray> FusionPlan::compile_impl(
@@ -699,11 +728,11 @@ std::shared_ptr<FusedArray> FusionPlan::compile_impl(
     array->register_module("step" + std::to_string(i), s.module);
     // Adapter steps cloned the donors' state when they were built — only
     // fused steps still need the donors' weights copied in.
-    if (!load_weights || !s.load || !s.fused) continue;
+    if (!load_weights || !s.fused || s.state.empty()) continue;
     for (int64_t b = 0; b < array_size_; ++b) {
       const nn::Module* src = models[static_cast<size_t>(b)]->find(s.path);
       HFTA_CHECK(src != nullptr, "compile: path '", s.path, "' not found");
-      s.load(*s.module, b, *src);
+      load_state(s.state, array_size_, b, *src);
     }
   }
   return array;

@@ -94,19 +94,17 @@ struct LoweringContext {
   const nn::Module& reference() const { return *replicas[0]; }
 };
 
-/// Result of lowering one per-model layer: the fused module, the layout
-/// family it runs in, a loader that copies model b's parameters from a
-/// per-model source layer into the fused module, and the inverse storer
-/// that extracts model b's slice back into a per-model layer
-/// (FusedArray::save_model walks the storers).
+/// Result of lowering one per-model layer: the fused module and the layout
+/// family it runs in. State transfer is NOT part of this contract any more:
+/// the planner derives bidirectional load/store (and state-congruence
+/// checking) from the module's StateMap schema (FusedModule::state_map),
+/// so a registration cannot ship a loader while silently lacking store
+/// support — every stateful lowering is validated against the per-model
+/// reference layer at compile time.
 struct Lowered {
   std::shared_ptr<nn::Module> module;
   Layout in = Layout::kAny;
   Layout out = Layout::kAny;
-  std::function<void(nn::Module& fused, int64_t b, const nn::Module& src)>
-      load;  // null for stateless steps
-  std::function<void(const nn::Module& fused, int64_t b, nn::Module& dst)>
-      store;  // null for stateless steps (or kinds without save support)
 };
 
 using LoweringFn = std::function<Lowered(const LoweringContext&)>;
@@ -182,8 +180,11 @@ class FusedArray : public FusedModule {
     Layout out = Layout::kAny;
     std::string path;  // dotted path into the per-model tree
     std::string kind;  // the per-model layer kind this step lowers
-    std::function<void(nn::Module&, int64_t, const nn::Module&)> load;
-    std::function<void(const nn::Module&, int64_t, nn::Module&)> store;
+    /// Schema of the step's per-model state, derived once at lowering time
+    /// and validated against the per-model reference layer; load_model and
+    /// save_model both walk it (empty = stateless step). Unfused adapter
+    /// steps transfer via nn::copy_state on their owned replicas instead.
+    StateMap state;
     bool fused = true;
     int64_t unit = 0;  // top-level fusion-unit index
   };
@@ -198,8 +199,9 @@ class FusedArray : public FusedModule {
 
   /// The inverse of load_model: extracts model b's parameters and buffers
   /// out of the array into a congruent per-model tree, walking the same
-  /// per-step paths — fused slices and unfused owned replicas alike. Throws
-  /// FusionError when a stateful step's kind has no store support.
+  /// per-step paths — fused slices and unfused owned replicas alike. Store
+  /// support is universal: it is derived from each step's StateMap, so
+  /// every kind that loads also stores.
   /// Scope: parameters and buffers only. Private rng stream positions of
   /// stateless-random steps (FusedDropout draws ONE stream over the fused
   /// tensor, not the B per-model streams) are neither extracted nor part of
@@ -254,14 +256,23 @@ class FusionPlan {
   std::shared_ptr<FusedArray> compile_structure_only(
       const std::shared_ptr<nn::Module>& template_model, Rng& rng) const;
 
-  /// Repacks `keep.size()` surviving models of `src` into a fresh array of
-  /// this plan's (smaller) size: model j of the result is model keep[j] of
-  /// `src`, extracted via save_model into clones of `template_model` and
-  /// recompiled. Weights and buffers (BN running stats included) carry over
-  /// exactly, so the survivors continue training bit-exactly as if the
-  /// dropped models had never shared the array (optimizer state moves
-  /// separately via FusedOptimizer::repack_state_from). This is Hyperband's
-  /// successive-halving step on a live fused array (paper Appendix E).
+  /// Repacks survivors drawn from SEVERAL live arrays into one fresh array
+  /// of this plan's size: model j of the result is model picks[j].model of
+  /// sources[picks[j].source], extracted via save_model into clones of
+  /// `template_model` and recompiled. Weights and buffers (BN running stats
+  /// included) carry over exactly, so the survivors continue training
+  /// bit-exactly as if they had always shared one array (optimizer state
+  /// gathers separately via FusedOptimizer::repack_state_from with the same
+  /// picks). This is Hyperband's successive-halving step when a rung was
+  /// larger than the device cap and had to be chunked across arrays (paper
+  /// Appendix E at bracket scale).
+  std::shared_ptr<FusedArray> repack_multi(
+      const std::vector<const FusedArray*>& sources,
+      const std::vector<RepackPick>& picks, const nn::Module& template_model,
+      Rng& rng) const;
+
+  /// Single-source convenience: model j of the result is model keep[j] of
+  /// `src`. Thin delegate to repack_multi — one code path for both.
   std::shared_ptr<FusedArray> repack(const FusedArray& src,
                                      const std::vector<int64_t>& keep,
                                      const nn::Module& template_model,

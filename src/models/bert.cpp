@@ -1,5 +1,6 @@
 #include "models/bert.h"
 
+#include "hfta/fusion.h"
 #include "tensor/ops.h"
 
 namespace hfta::models {
@@ -46,6 +47,29 @@ std::shared_ptr<nn::Module> BertModel::clone() const {
   Rng rng(0);
   return cloned(*this, std::make_shared<BertModel>(cfg, rng));
 }
+
+nn::ModuleConfig BertModel::config() const {
+  nn::ModuleConfig c;
+  c.set("vocab", cfg.vocab);
+  c.set("hidden", cfg.hidden);
+  c.set("num_heads", cfg.num_heads);
+  c.set("num_layers", cfg.num_layers);
+  c.set("ff_dim", cfg.ff_dim);
+  c.set("seq_len", cfg.seq_len);
+  c.set("dropout_p", static_cast<double>(cfg.dropout_p));
+  return c;
+}
+
+// Planner lowering for the whole model (token-driven, so a single unit,
+// like models::TransformerLM); load/store derive from the fused model's
+// StateMap, which mirrors the per-model child names.
+static const fused::LoweringRegistrar kBertModelLowering(
+    "models::BertModel", [](const fused::LoweringContext& ctx) {
+      const auto& ref = static_cast<const BertModel&>(ctx.reference());
+      auto m = std::make_shared<FusedBertModel>(ctx.array_size, ref.cfg,
+                                                *ctx.rng);
+      return fused::Lowered{m, fused::Layout::kAny, fused::Layout::kAny};
+    });
 
 // Hand-fused wrapper (driven through forward_tokens): initializes its fused
 // parameters exactly once — the structure-only analogue of the
@@ -94,12 +118,11 @@ ag::Variable FusedBertModel::forward_tokens(const Tensor& tokens) {
 }
 
 void FusedBertModel::load_model(int64_t b, const BertModel& m) {
-  tok_embed->load_model(b, *m.tok_embed);
-  pos_embed->load_model(b, *m.pos_embed);
-  embed_norm->load_model(b, *m.embed_norm);
-  for (size_t l = 0; l < layers.size(); ++l)
-    load_fused_encoder_layer(*layers[l], b, *m.layers[l]);
-  mlm_head->load_model(b, *m.mlm_head);
+  fused::load_state(state_map(), array_size_, b, m);
+}
+
+void FusedBertModel::store_model(int64_t b, BertModel& m) const {
+  fused::store_state(state_map(), array_size_, b, m);
 }
 
 }  // namespace hfta::models

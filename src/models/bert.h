@@ -31,6 +31,8 @@ class BertModel : public nn::Module {
   /// tokens: [N, S] -> MLM logits [N, S, V].
   ag::Variable forward_tokens(const Tensor& tokens);
   std::shared_ptr<nn::Module> clone() const override;
+  std::string kind_name() const override { return "models::BertModel"; }
+  nn::ModuleConfig config() const override;
 
   std::shared_ptr<nn::Embedding> tok_embed, pos_embed;
   std::shared_ptr<nn::LayerNorm> embed_norm;
@@ -46,6 +48,7 @@ class FusedBertModel : public fused::FusedModule {
   /// tokens: [B, N, S] -> [B, N, S, V].
   ag::Variable forward_tokens(const Tensor& tokens);
   void load_model(int64_t b, const BertModel& m);
+  void store_model(int64_t b, BertModel& m) const;
 
   std::shared_ptr<fused::FusedEmbedding> tok_embed, pos_embed;
   std::shared_ptr<fused::FusedLayerNorm> embed_norm;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "hfta/fusion.h"
+
 namespace hfta::models {
 
 const std::array<BneckSpec, 15>& mobilenetv3_large_table() {
@@ -122,6 +124,23 @@ std::shared_ptr<nn::Module> SqueezeExcite::clone() const {
   return cloned(*this, std::make_shared<SqueezeExcite>(channels, rng));
 }
 
+nn::ModuleConfig SqueezeExcite::config() const {
+  nn::ModuleConfig c;
+  c.set("channels", channels);
+  return c;
+}
+
+// B congruent SE blocks fuse into one FusedSqueezeExcite on the
+// channel-fused layout; load/store derive from its StateMap.
+static const fused::LoweringRegistrar kSqueezeExciteLowering(
+    "models::SqueezeExcite", [](const fused::LoweringContext& ctx) {
+      const auto& ref = static_cast<const SqueezeExcite&>(ctx.reference());
+      auto m = std::make_shared<FusedSqueezeExcite>(ctx.array_size,
+                                                    ref.channels, *ctx.rng);
+      return fused::Lowered{m, fused::Layout::kChannelFused,
+                            fused::Layout::kChannelFused};
+    });
+
 ag::Variable Bneck::forward(const ag::Variable& x) {
   auto act = [this](const ag::Variable& v) {
     if (use_hswish) return ag::hardswish(v);
@@ -139,6 +158,31 @@ std::shared_ptr<nn::Module> Bneck::clone() const {
   Rng rng(0);
   return cloned(*this, std::make_shared<Bneck>(in_channels, spec, cfg, rng));
 }
+
+nn::ModuleConfig Bneck::config() const {
+  // Everything that shapes the block's operators: the spec row, the width
+  // multiplier that scales it, and the input width it was built for.
+  nn::ModuleConfig c;
+  c.set("in", in_channels);
+  c.set("kernel", spec.kernel);
+  c.set("expand", spec.expand);
+  c.set("out", spec.out);
+  c.set("se", static_cast<int64_t>(spec.se));
+  c.set("hswish", static_cast<int64_t>(spec.hswish));
+  c.set("relu6", static_cast<int64_t>(spec.relu6));
+  c.set("stride", spec.stride);
+  c.set("width_mult", static_cast<double>(cfg.width_mult));
+  return c;
+}
+
+static const fused::LoweringRegistrar kBneckLowering(
+    "models::Bneck", [](const fused::LoweringContext& ctx) {
+      const auto& ref = static_cast<const Bneck&>(ctx.reference());
+      auto m = std::make_shared<FusedBneck>(ctx.array_size, ref.in_channels,
+                                            ref.spec, ref.cfg, *ctx.rng);
+      return fused::Lowered{m, fused::Layout::kChannelFused,
+                            fused::Layout::kChannelFused};
+    });
 
 MobileNetV3::MobileNetV3(const MobileNetV3Config& cfg, Rng& rng) : cfg(cfg) {
   const auto table = cfg.rows();
@@ -183,6 +227,30 @@ std::shared_ptr<nn::Module> MobileNetV3::clone() const {
   return cloned(*this, std::make_shared<MobileNetV3>(cfg, rng));
 }
 
+nn::ModuleConfig MobileNetV3::config() const {
+  nn::ModuleConfig c;
+  c.set("version", cfg.version);
+  c.set("num_blocks", cfg.num_blocks);
+  c.set("image_size", cfg.image_size);
+  c.set("num_classes", cfg.num_classes);
+  c.set("head_dim", cfg.head_dim);
+  c.set("width_mult", static_cast<double>(cfg.width_mult));
+  return c;
+}
+
+// The whole model lowers as one unit (like models::TransformerLM): channel-
+// fused images in, model-major logits out — the classifier head converts
+// internally. This is what lets the HFHT executor compile B MobileNet
+// trials straight through FusionPlan::compile.
+static const fused::LoweringRegistrar kMobileNetV3Lowering(
+    "models::MobileNetV3", [](const fused::LoweringContext& ctx) {
+      const auto& ref = static_cast<const MobileNetV3&>(ctx.reference());
+      auto m = std::make_shared<FusedMobileNetV3>(ctx.array_size, ref.cfg,
+                                                  *ctx.rng);
+      return fused::Lowered{m, fused::Layout::kChannelFused,
+                            fused::Layout::kModelMajor};
+    });
+
 // ---- fused -----------------------------------------------------------------------
 
 FusedSqueezeExcite::FusedSqueezeExcite(int64_t B, int64_t channels, Rng& rng)
@@ -204,8 +272,11 @@ ag::Variable FusedSqueezeExcite::forward(const ag::Variable& x) {
 }
 
 void FusedSqueezeExcite::load_model(int64_t b, const SqueezeExcite& m) {
-  fc1->load_model(b, *m.fc1);
-  fc2->load_model(b, *m.fc2);
+  fused::load_state(state_map(), array_size_, b, m);
+}
+
+void FusedSqueezeExcite::store_model(int64_t b, SqueezeExcite& m) const {
+  fused::store_state(state_map(), array_size_, b, m);
 }
 
 FusedBneck::FusedBneck(int64_t B, int64_t in, const BneckSpec& spec,
@@ -253,15 +324,11 @@ ag::Variable FusedBneck::forward(const ag::Variable& x) {
 }
 
 void FusedBneck::load_model(int64_t b, const Bneck& m) {
-  if (has_expand) {
-    expand_conv->load_model(b, *m.expand_conv);
-    expand_bn->load_model(b, *m.expand_bn);
-  }
-  dw_conv->load_model(b, *m.dw_conv);
-  dw_bn->load_model(b, *m.dw_bn);
-  if (se) se->load_model(b, *m.se);
-  project_conv->load_model(b, *m.project_conv);
-  project_bn->load_model(b, *m.project_bn);
+  fused::load_state(state_map(), array_size_, b, m);
+}
+
+void FusedBneck::store_model(int64_t b, Bneck& m) const {
+  fused::store_state(state_map(), array_size_, b, m);
 }
 
 FusedMobileNetV3::FusedMobileNetV3(int64_t B, const MobileNetV3Config& cfg,
@@ -307,14 +374,11 @@ ag::Variable FusedMobileNetV3::forward(const ag::Variable& x) {
 }
 
 void FusedMobileNetV3::load_model(int64_t b, const MobileNetV3& m) {
-  stem_conv->load_model(b, *m.stem_conv);
-  stem_bn->load_model(b, *m.stem_bn);
-  for (size_t i = 0; i < bnecks.size(); ++i)
-    bnecks[i]->load_model(b, *m.bnecks[i]);
-  last_conv->load_model(b, *m.last_conv);
-  last_bn->load_model(b, *m.last_bn);
-  fc1->load_model(b, *m.fc1);
-  fc2->load_model(b, *m.fc2);
+  fused::load_state(state_map(), array_size_, b, m);
+}
+
+void FusedMobileNetV3::store_model(int64_t b, MobileNetV3& m) const {
+  fused::store_state(state_map(), array_size_, b, m);
 }
 
 }  // namespace hfta::models

@@ -60,6 +60,8 @@ class SqueezeExcite : public nn::Module {
   SqueezeExcite(int64_t channels, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
   std::shared_ptr<nn::Module> clone() const override;
+  std::string kind_name() const override { return "models::SqueezeExcite"; }
+  nn::ModuleConfig config() const override;
   std::shared_ptr<nn::Conv2d> fc1, fc2;  // 1x1 convs
   int64_t channels;
 };
@@ -70,6 +72,8 @@ class Bneck : public nn::Module {
         Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
   std::shared_ptr<nn::Module> clone() const override;
+  std::string kind_name() const override { return "models::Bneck"; }
+  nn::ModuleConfig config() const override;
 
   std::shared_ptr<nn::Conv2d> expand_conv, dw_conv, project_conv;
   std::shared_ptr<nn::BatchNorm2d> expand_bn, dw_bn, project_bn;
@@ -86,6 +90,8 @@ class MobileNetV3 : public nn::Module {
   /// x: [N, 3, S, S] -> [N, num_classes].
   ag::Variable forward(const ag::Variable& x) override;
   std::shared_ptr<nn::Module> clone() const override;
+  std::string kind_name() const override { return "models::MobileNetV3"; }
+  nn::ModuleConfig config() const override;
 
   std::shared_ptr<nn::Conv2d> stem_conv, last_conv;
   std::shared_ptr<nn::BatchNorm2d> stem_bn, last_bn;
@@ -101,6 +107,7 @@ class FusedSqueezeExcite : public fused::FusedModule {
   FusedSqueezeExcite(int64_t B, int64_t channels, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
   void load_model(int64_t b, const SqueezeExcite& m);
+  void store_model(int64_t b, SqueezeExcite& m) const;
   std::shared_ptr<fused::FusedConv2d> fc1, fc2;
 };
 
@@ -110,6 +117,7 @@ class FusedBneck : public fused::FusedModule {
              const MobileNetV3Config& cfg, Rng& rng);
   ag::Variable forward(const ag::Variable& x) override;
   void load_model(int64_t b, const Bneck& m);
+  void store_model(int64_t b, Bneck& m) const;
 
   std::shared_ptr<fused::FusedConv2d> expand_conv, dw_conv, project_conv;
   std::shared_ptr<fused::FusedBatchNorm2d> expand_bn, dw_bn, project_bn;
@@ -123,6 +131,7 @@ class FusedMobileNetV3 : public fused::FusedModule {
   /// x: [N, B*3, S, S] -> model-major logits [B, N, classes].
   ag::Variable forward(const ag::Variable& x) override;
   void load_model(int64_t b, const MobileNetV3& m);
+  void store_model(int64_t b, MobileNetV3& m) const;
 
   std::shared_ptr<fused::FusedConv2d> stem_conv, last_conv;
   std::shared_ptr<fused::FusedBatchNorm2d> stem_bn, last_bn;

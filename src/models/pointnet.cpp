@@ -90,23 +90,17 @@ nn::ModuleConfig PointNetTrunk::config() const {
 
 // The planner lowering for the trunk (B congruent trunks become one
 // FusedPointNetTrunk on the channel-fused layout) plus the clone factory
-// Module::clone() falls back to when the trunk runs unfused.
+// Module::clone() falls back to when the trunk runs unfused. State transfer
+// needs no per-kind code: the fused trunk's child names mirror the
+// per-model trunk's, so the planner derives load/store from its StateMap.
 static const fused::LoweringRegistrar kTrunkLowering(
     "models::PointNetTrunk",
     [](const fused::LoweringContext& ctx) {
       const auto& ref = static_cast<const PointNetTrunk&>(ctx.reference());
       auto m = std::make_shared<FusedPointNetTrunk>(ctx.array_size, ref.cfg,
                                                     *ctx.rng);
-      return fused::Lowered{
-          m, fused::Layout::kChannelFused, fused::Layout::kChannelFused,
-          [](nn::Module& f, int64_t b, const nn::Module& src) {
-            static_cast<FusedPointNetTrunk&>(f).load_model(
-                b, static_cast<const PointNetTrunk&>(src));
-          },
-          [](const nn::Module& f, int64_t b, nn::Module& dst) {
-            static_cast<const FusedPointNetTrunk&>(f).store_model(
-                b, static_cast<PointNetTrunk&>(dst));
-          }};
+      return fused::Lowered{m, fused::Layout::kChannelFused,
+                            fused::Layout::kChannelFused};
     },
     [](const nn::Module& src) -> std::shared_ptr<nn::Module> {
       const auto& ref = static_cast<const PointNetTrunk&>(src);
@@ -213,21 +207,11 @@ ag::Variable FusedSTN::forward(const ag::Variable& x) {
 }
 
 void FusedSTN::load_model(int64_t b, const STN& m) {
-  conv1->load_model(b, *m.conv1);
-  conv2->load_model(b, *m.conv2);
-  bn1->load_model(b, *m.bn1);
-  bn2->load_model(b, *m.bn2);
-  fc1->load_model(b, *m.fc1);
-  fc2->load_model(b, *m.fc2);
+  fused::load_state(state_map(), array_size_, b, m);
 }
 
 void FusedSTN::store_model(int64_t b, STN& m) const {
-  conv1->store_model(b, *m.conv1);
-  conv2->store_model(b, *m.conv2);
-  bn1->store_model(b, *m.bn1);
-  bn2->store_model(b, *m.bn2);
-  fc1->store_model(b, *m.fc1);
-  fc2->store_model(b, *m.fc2);
+  fused::store_state(state_map(), array_size_, b, m);
 }
 
 // ---- fused trunk ------------------------------------------------------------------------
@@ -280,23 +264,11 @@ ag::Variable FusedPointNetTrunk::forward(const ag::Variable& x) {
 }
 
 void FusedPointNetTrunk::load_model(int64_t b, const PointNetTrunk& m) {
-  if (stn) stn->load_model(b, *m.stn);
-  conv1->load_model(b, *m.conv1);
-  conv2->load_model(b, *m.conv2);
-  conv3->load_model(b, *m.conv3);
-  bn1->load_model(b, *m.bn1);
-  bn2->load_model(b, *m.bn2);
-  bn3->load_model(b, *m.bn3);
+  fused::load_state(state_map(), array_size_, b, m);
 }
 
 void FusedPointNetTrunk::store_model(int64_t b, PointNetTrunk& m) const {
-  if (stn) stn->store_model(b, *m.stn);
-  conv1->store_model(b, *m.conv1);
-  conv2->store_model(b, *m.conv2);
-  conv3->store_model(b, *m.conv3);
-  bn1->store_model(b, *m.bn1);
-  bn2->store_model(b, *m.bn2);
-  bn3->store_model(b, *m.bn3);
+  fused::store_state(state_map(), array_size_, b, m);
 }
 
 // ---- fused classification --------------------------------------------------------------------
@@ -361,12 +333,7 @@ ag::Variable FusedPointNetSeg::forward(const ag::Variable& x) {
 }
 
 void FusedPointNetSeg::load_model(int64_t b, const PointNetSeg& m) {
-  trunk->load_model(b, *m.trunk);
-  conv1->load_model(b, *m.conv1);
-  conv2->load_model(b, *m.conv2);
-  conv3->load_model(b, *m.conv3);
-  bn1->load_model(b, *m.bn1);
-  bn2->load_model(b, *m.bn2);
+  fused::load_state(state_map(), array_size_, b, m);
 }
 
 }  // namespace hfta::models

@@ -35,7 +35,10 @@ nn::ModuleConfig BasicBlock::config() const {
 
 // The planner lowering for a residual block (B congruent BasicBlocks become
 // one FusedBasicBlock on the channel-fused layout) plus the clone factory
-// Module::clone() falls back to when a block runs unfused.
+// Module::clone() falls back to when a block runs unfused. Load AND store
+// are derived from the fused block's StateMap (its child names mirror the
+// per-model block's), so the old "no store support" gap is gone by
+// construction.
 static const fused::LoweringRegistrar kBasicBlockLowering(
     "models::BasicBlock",
     [](const fused::LoweringContext& ctx) {
@@ -43,13 +46,8 @@ static const fused::LoweringRegistrar kBasicBlockLowering(
       auto m = std::make_shared<FusedBasicBlock>(
           ctx.array_size, c.get_int("in"), c.get_int("out"),
           c.get_int("stride"), *ctx.rng);
-      return fused::Lowered{
-          m, fused::Layout::kChannelFused, fused::Layout::kChannelFused,
-          [](nn::Module& f, int64_t b, const nn::Module& src) {
-            static_cast<FusedBasicBlock&>(f).load_model(
-                b, static_cast<const BasicBlock&>(src));
-          },
-          nullptr};  // no store support yet (save_model diagnoses)
+      return fused::Lowered{m, fused::Layout::kChannelFused,
+                            fused::Layout::kChannelFused};
     },
     [](const nn::Module& src) -> std::shared_ptr<nn::Module> {
       const nn::ModuleConfig c = src.config();
@@ -130,14 +128,11 @@ ag::Variable FusedBasicBlock::forward(const ag::Variable& x) {
 }
 
 void FusedBasicBlock::load_model(int64_t b, const BasicBlock& m) {
-  conv1->load_model(b, *m.conv1);
-  bn1->load_model(b, *m.bn1);
-  conv2->load_model(b, *m.conv2);
-  bn2->load_model(b, *m.bn2);
-  if (down_conv) {
-    down_conv->load_model(b, *m.down_conv);
-    down_bn->load_model(b, *m.down_bn);
-  }
+  fused::load_state(state_map(), array_size_, b, m);
+}
+
+void FusedBasicBlock::store_model(int64_t b, BasicBlock& m) const {
+  fused::store_state(state_map(), array_size_, b, m);
 }
 
 ResNetFusionMask ResNetFusionMask::partially_unfused(int64_t n) {

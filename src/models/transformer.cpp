@@ -93,7 +93,9 @@ nn::ModuleConfig TransformerEncoderLayer::config() const {
 
 // Planner lowering: B congruent encoder layers -> one fused layer on the
 // model-major layout ([B, N, S, E]); plus the clone factory Module::clone()
-// falls back to when a layer runs unfused.
+// falls back to when a layer runs unfused. Load/store both derive from the
+// fused layer's StateMap (child names mirror the per-model layer's), which
+// is also what closed the encoder layer's old "no store support" gap.
 static const fused::LoweringRegistrar kEncoderLayerLowering(
     "models::TransformerEncoderLayer",
     [](const fused::LoweringContext& ctx) {
@@ -102,14 +104,8 @@ static const fused::LoweringRegistrar kEncoderLayerLowering(
           ctx.array_size, c.get_int("embed_dim"), c.get_int("num_heads"),
           c.get_int("ff_dim"), static_cast<float>(c.get_float("dropout_p")),
           c.get_int("gelu") != 0 ? "gelu" : "relu", *ctx.rng);
-      return fused::Lowered{
-          m, fused::Layout::kModelMajor, fused::Layout::kModelMajor,
-          [](nn::Module& f, int64_t b, const nn::Module& src) {
-            load_fused_encoder_layer(
-                static_cast<fused::FusedTransformerEncoderLayer&>(f), b,
-                static_cast<const TransformerEncoderLayer&>(src));
-          },
-          nullptr};  // no store support yet (save_model diagnoses)
+      return fused::Lowered{m, fused::Layout::kModelMajor,
+                            fused::Layout::kModelMajor};
     },
     [](const nn::Module& src) -> std::shared_ptr<nn::Module> {
       const nn::ModuleConfig c = src.config();
@@ -121,16 +117,6 @@ static const fused::LoweringRegistrar kEncoderLayerLowering(
                    static_cast<float>(c.get_float("dropout_p")),
                    c.get_int("gelu") != 0 ? "gelu" : "relu", rng));
     });
-
-void load_fused_encoder_layer(fused::FusedTransformerEncoderLayer& dst,
-                              int64_t b, const TransformerEncoderLayer& src) {
-  dst.self_attn->in_proj->load_model(b, *src.self_attn->in_proj);
-  dst.self_attn->out_proj->load_model(b, *src.self_attn->out_proj);
-  dst.linear1->load_model(b, *src.linear1);
-  dst.linear2->load_model(b, *src.linear2);
-  dst.norm1->load_model(b, *src.norm1);
-  dst.norm2->load_model(b, *src.norm2);
-}
 
 Tensor sinusoidal_positions(int64_t seq_len, int64_t embed_dim) {
   Tensor pe({seq_len, embed_dim});
@@ -225,10 +211,11 @@ ag::Variable FusedTransformerLM::forward_tokens(const Tensor& tokens) {
 }
 
 void FusedTransformerLM::load_model(int64_t b, const TransformerLM& m) {
-  embed->load_model(b, *m.embed);
-  for (size_t l = 0; l < layers.size(); ++l)
-    load_fused_encoder_layer(*layers[l], b, *m.layers[l]);
-  decoder->load_model(b, *m.decoder);
+  fused::load_state(state_map(), array_size_, b, m);
+}
+
+void FusedTransformerLM::store_model(int64_t b, TransformerLM& m) const {
+  fused::store_state(state_map(), array_size_, b, m);
 }
 
 
@@ -252,13 +239,7 @@ static const fused::LoweringRegistrar kTransformerLMLowering(
       const auto& ref = static_cast<const TransformerLM&>(ctx.reference());
       auto m = std::make_shared<FusedTransformerLM>(ctx.array_size, ref.cfg,
                                                     *ctx.rng);
-      return fused::Lowered{
-          m, fused::Layout::kAny, fused::Layout::kAny,
-          [](nn::Module& f, int64_t b, const nn::Module& src) {
-            static_cast<FusedTransformerLM&>(f).load_model(
-                b, static_cast<const TransformerLM&>(src));
-          },
-          nullptr};  // no store support yet (save_model diagnoses)
+      return fused::Lowered{m, fused::Layout::kAny, fused::Layout::kAny};
     },
     [](const nn::Module& src) -> std::shared_ptr<nn::Module> {
       const auto& ref = static_cast<const TransformerLM&>(src);

@@ -45,10 +45,6 @@ class TransformerEncoderLayer : public nn::Module {
   bool use_gelu;
 };
 
-/// Copies model b's weights from a plain encoder layer into a fused one.
-void load_fused_encoder_layer(fused::FusedTransformerEncoderLayer& dst,
-                              int64_t b, const TransformerEncoderLayer& src);
-
 struct TransformerConfig {
   int64_t vocab = 50;
   int64_t embed_dim = 16;
@@ -95,6 +91,7 @@ class FusedTransformerLM : public fused::FusedModule {
   /// tokens: [B, N, S] -> logits [B, N, S, V].
   ag::Variable forward_tokens(const Tensor& tokens);
   void load_model(int64_t b, const TransformerLM& m);
+  void store_model(int64_t b, TransformerLM& m) const;
 
   std::shared_ptr<fused::FusedEmbedding> embed;
   std::vector<std::shared_ptr<fused::FusedTransformerEncoderLayer>> layers;

@@ -121,6 +121,12 @@ class Module {
   const std::vector<std::pair<std::string, Tensor>>& named_buffers() const {
     return buffers_;
   }
+  /// This module's own parameters (not recursive), in registration order
+  /// (the fusion layer derives per-kind state schemas from these).
+  const std::vector<std::pair<std::string, ag::Variable>>& own_named_parameters()
+      const {
+    return params_;
+  }
   /// Resolves a dotted child path ("trunk.conv1"); "" is this module itself.
   /// Returns nullptr when the path does not exist.
   const Module* find(const std::string& path) const;

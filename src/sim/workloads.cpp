@@ -413,6 +413,66 @@ IterationTrace build_pointnet_cls_trace(const PointNetTraceSpec& s,
   return b.finish();
 }
 
+IterationTrace build_mobilenet_trace(const MobileNetTraceSpec& s, int64_t B) {
+  HFTA_CHECK(B >= 1, "build_mobilenet_trace: B must be >= 1");
+  const int64_t N = s.batch;
+  // Default rows: the published V3-Large table at width 1.0 (the canned
+  // kMobileNetV3 trace), so a default-constructed spec prices paper scale.
+  std::vector<MobileNetTraceSpec::Row> rows = s.rows;
+  if (rows.empty()) {
+    rows = {{3, 16, 16, 1, false},  {3, 64, 24, 2, false},
+            {3, 72, 24, 1, false},  {5, 72, 40, 2, true},
+            {5, 120, 40, 1, true},  {5, 120, 40, 1, true},
+            {3, 240, 80, 2, false}, {3, 200, 80, 1, false},
+            {3, 184, 80, 1, false}, {3, 184, 80, 1, false},
+            {3, 480, 112, 1, true}, {3, 672, 112, 1, true},
+            {5, 672, 160, 2, true}, {5, 960, 160, 1, true},
+            {5, 960, 160, 1, true}};
+  }
+  // Host work tracks the input pipeline (linear in the batch); cache-stash
+  // and framework-gap factors are the calibrated kMobileNetV3 ones.
+  Builder b(B, static_cast<double>(N), /*host_us=*/35000.0 * N / 1024.0,
+            /*stash=*/4.5, /*gap_scale=*/0.3);
+  int64_t sz = std::max<int64_t>(1, s.image / 2);  // stride-2 stem
+  b.conv2d(N, 3, s.image, s.image, s.stem, 3, 2);
+  b.batchnorm(static_cast<double>(N) * s.stem * sz * sz);
+  b.activation(static_cast<double>(N) * s.stem * sz * sz);
+  int64_t in = s.stem;
+  for (const MobileNetTraceSpec::Row& r : rows) {
+    const int64_t so = std::max<int64_t>(1, sz / r.stride);
+    if (r.expand != in) {
+      b.conv2d(N, in, sz, sz, r.expand, 1, 1);
+      b.batchnorm(static_cast<double>(N) * r.expand * sz * sz);
+      b.activation(static_cast<double>(N) * r.expand * sz * sz);
+    }
+    // depthwise: per-model groups = expand channels
+    b.conv2d(N, r.expand, sz, sz, r.expand, r.kernel, r.stride, /*g=*/r.expand);
+    b.batchnorm(static_cast<double>(N) * r.expand * so * so);
+    b.activation(static_cast<double>(N) * r.expand * so * so);
+    if (r.se) {
+      const int64_t squeeze = std::max<int64_t>(4, r.expand / 4);
+      b.pool(static_cast<double>(N) * r.expand * so * so);
+      b.linear(N, r.expand, squeeze);
+      b.linear(N, squeeze, r.expand);
+      b.activation(static_cast<double>(N) * r.expand * so * so);
+    }
+    b.conv2d(N, r.expand, so, so, r.out, 1, 1);
+    b.batchnorm(static_cast<double>(N) * r.out * so * so);
+    if (r.stride == 1 && in == r.out)
+      b.residual_add(static_cast<double>(N) * r.out * so * so);
+    in = r.out;
+    sz = so;
+  }
+  b.conv2d(N, in, sz, sz, s.last, 1, 1);
+  b.batchnorm(static_cast<double>(N) * s.last * sz * sz);
+  b.activation(static_cast<double>(N) * s.last * sz * sz);
+  b.pool(static_cast<double>(N) * s.last * sz * sz);
+  b.linear(N, s.last, s.head);
+  b.activation(static_cast<double>(N) * s.head);
+  b.linear(N, s.head, s.num_classes);
+  return b.finish();
+}
+
 IterationTrace build_trace(Workload w, int64_t B) {
   HFTA_CHECK(B >= 1, "build_trace: B must be >= 1");
   switch (w) {

@@ -45,6 +45,36 @@ struct PointNetTraceSpec {
 IterationTrace build_pointnet_cls_trace(const PointNetTraceSpec& spec,
                                         int64_t B);
 
+/// Structural hyper-parameters of one MobileNet (V3-Large or V2) training
+/// job, after width scaling: the shapes the HFHT real executor actually
+/// trains. Defaults are the paper scale (the canned kMobileNetV3 trace);
+/// the executor fills in each trial's batch size and scaled bneck rows so
+/// MobileNet jobs are priced from their real trace too.
+struct MobileNetTraceSpec {
+  struct Row {
+    int64_t kernel;
+    int64_t expand;  // scaled expansion width
+    int64_t out;     // scaled output width
+    int64_t stride;
+    bool se;
+  };
+
+  int64_t batch = 1024;
+  int64_t image = 32;       // input resolution
+  int64_t stem = 16;        // scaled stem width
+  std::vector<Row> rows;    // scaled bneck rows (empty = V3-Large table)
+  int64_t last = 960;       // scaled last-conv width
+  int64_t head = 1280;      // classifier hidden width
+  int64_t num_classes = 10;
+};
+
+/// Per-iteration kernel trace of `B` fused MobileNets with the given
+/// structural hyper-parameters (mirrors models::MobileNetV3 block by
+/// block: stem, inverted-residual bnecks with depthwise conv + optional
+/// SE, last conv, pooled classifier head).
+IterationTrace build_mobilenet_trace(const MobileNetTraceSpec& spec,
+                                     int64_t B);
+
 /// ResNet-18 partial fusion (paper Fig. 17): only `fused_units` of the 10
 /// fusion units (stem, 8 blocks, head) are fused; the rest run as B
 /// per-model kernel sequences.

@@ -5,10 +5,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <map>
 
 #include "hfta/fused_optim.h"
 #include "hfta/fusion.h"
 #include "hfta/loss_scaling.h"
+#include "models/bert.h"
+#include "models/mobilenetv3.h"
+#include "models/pointnet.h"
+#include "models/resnet.h"
 #include "models/transformer.h"
 #include "nn/layers.h"
 #include "nn/norm.h"
@@ -583,7 +589,11 @@ TEST(SaveModel, TrainSaveReloadRoundTripIsBitExact) {
   EXPECT_DOUBLE_EQ(ops::max_abs_diff(y1, y2), 0.0);
 }
 
-TEST(SaveModel, StoreUnsupportedKindThrowsStructuredDiagnostic) {
+TEST(SaveModel, CompositeEncoderLayerStoreIsDerivedFromStateMap) {
+  // Store support used to be a per-kind hand-written lambda, and the
+  // encoder layer shipped without one ("no store support"). Under the
+  // schema-derived transfer it works like every other kind: save_model
+  // round-trips every parameter bit-exactly.
   Rng rng(22);
   const int64_t E = 8, H = 2, FF = 16;
   std::vector<std::shared_ptr<nn::Module>> nets;
@@ -594,12 +604,21 @@ TEST(SaveModel, StoreUnsupportedKindThrowsStructuredDiagnostic) {
     nets.push_back(net);
   }
   auto array = FusionPlan(kB).compile(nets, rng);
-  try {
-    array->save_model(0, *nets[0]);
-    FAIL() << "expected FusionError";
-  } catch (const FusionError& e) {
-    EXPECT_EQ(e.diagnostic.path, "enc");
-    EXPECT_NE(e.diagnostic.reason.find("no store support"), std::string::npos);
+  for (int64_t b = 0; b < kB; ++b) {
+    const std::shared_ptr<nn::Module> out = nets[b]->clone();
+    // Scramble the clone so the comparison can only pass if save_model
+    // actually wrote every tensor.
+    for (auto& [name, p] : out->named_parameters())
+      p.mutable_value().fill_(-7.5f);
+    array->save_model(b, *out);
+    const auto want = nets[b]->named_parameters();
+    const auto got = out->named_parameters();
+    ASSERT_EQ(want.size(), got.size());
+    for (size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(ops::max_abs_diff(want[i].second.value(),
+                                  got[i].second.value()),
+                0.f)
+          << want[i].first;
   }
 }
 
@@ -692,6 +711,323 @@ TEST(Repack, SurvivorsContinueBitExactlyAfterHalving) {
           0.0)
           << got[i].first;
   }
+}
+
+// ---- registry-parameterized state round-trip --------------------------------
+
+// One congruent per-model module per registered kind (fresh weights per
+// call, so B calls give B distinct-but-congruent replicas).
+using KindFactory = std::function<std::shared_ptr<nn::Module>(Rng&)>;
+
+std::map<std::string, KindFactory> kind_factories() {
+  using std::make_shared;
+  std::map<std::string, KindFactory> f;
+  f["Linear"] = [](Rng& r) { return make_shared<nn::Linear>(4, 3, true, r); };
+  f["LayerNorm"] = [](Rng& r) {
+    return make_shared<nn::LayerNorm>(Shape{5}, 1e-5f, r);
+  };
+  f["Flatten"] = [](Rng&) { return make_shared<nn::Flatten>(); };
+  f["Conv2d"] = [](Rng& r) {
+    return make_shared<nn::Conv2d>(3, 4, 3, 1, 1, 1, true, r);
+  };
+  f["Conv1d"] = [](Rng& r) {
+    return make_shared<nn::Conv1d>(3, 4, 1, 1, 0, 1, true, r);
+  };
+  f["ConvTranspose2d"] = [](Rng& r) {
+    return make_shared<nn::ConvTranspose2d>(4, 3, 4, 2, 1, 0, 1, true, r);
+  };
+  f["ConvTranspose1d"] = [](Rng& r) {
+    return make_shared<nn::ConvTranspose1d>(4, 3, 4, 2, 1, 0, 1, true, r);
+  };
+  f["BatchNorm2d"] = [](Rng&) { return make_shared<nn::BatchNorm2d>(4); };
+  f["BatchNorm1d"] = [](Rng&) { return make_shared<nn::BatchNorm1d>(4); };
+  f["MaxPool2d"] = [](Rng&) { return make_shared<nn::MaxPool2d>(2, 2); };
+  f["AdaptiveAvgPool2d"] = [](Rng&) {
+    return make_shared<nn::AdaptiveAvgPool2d>(1, 1);
+  };
+  f["Dropout"] = [](Rng&) { return make_shared<nn::Dropout>(0.5f); };
+  f["Dropout2d"] = [](Rng&) { return make_shared<nn::Dropout2d>(0.5f); };
+  f["GlobalMaxPool1d"] = [](Rng&) {
+    return make_shared<nn::GlobalMaxPool1d>();
+  };
+  f["ReLU"] = [](Rng&) { return make_shared<nn::ReLU>(); };
+  f["ReLU6"] = [](Rng&) { return make_shared<nn::ReLU6>(); };
+  f["LeakyReLU"] = [](Rng&) { return make_shared<nn::LeakyReLU>(0.2f); };
+  f["Tanh"] = [](Rng&) { return make_shared<nn::Tanh>(); };
+  f["Sigmoid"] = [](Rng&) { return make_shared<nn::Sigmoid>(); };
+  f["Hardswish"] = [](Rng&) { return make_shared<nn::Hardswish>(); };
+  f["GELU"] = [](Rng&) { return make_shared<nn::GELU>(); };
+  f["models::PointNetTrunk"] = [](Rng& r) {
+    models::PointNetConfig cfg = models::PointNetConfig::tiny();
+    cfg.input_transform = true;  // cover the STN subtree
+    return make_shared<models::PointNetTrunk>(cfg, r);
+  };
+  f["models::BasicBlock"] = [](Rng& r) {
+    // in != out: covers the downsample branch
+    return make_shared<models::BasicBlock>(4, 8, 2, r);
+  };
+  f["models::TransformerEncoderLayer"] = [](Rng& r) {
+    return make_shared<models::TransformerEncoderLayer>(8, 2, 16, 0.f,
+                                                        "gelu", r);
+  };
+  f["models::TransformerLM"] = [](Rng& r) {
+    return make_shared<models::TransformerLM>(models::TransformerConfig::tiny(),
+                                              r);
+  };
+  f["models::SqueezeExcite"] = [](Rng& r) {
+    return make_shared<models::SqueezeExcite>(8, r);
+  };
+  f["models::Bneck"] = [](Rng& r) {
+    // A row with expansion AND squeeze-excite, so every branch has state.
+    return make_shared<models::Bneck>(8, models::mobilenetv3_large_table()[3],
+                                      models::MobileNetV3Config::tiny(), r);
+  };
+  f["models::MobileNetV3"] = [](Rng& r) {
+    return make_shared<models::MobileNetV3>(models::MobileNetV3Config::tiny(),
+                                            r);
+  };
+  f["models::BertModel"] = [](Rng& r) {
+    return make_shared<models::BertModel>(models::BertConfig::tiny(), r);
+  };
+  return f;
+}
+
+TEST(StateSchema, EveryRegisteredKindRoundTripsSaveLoadBitExactly) {
+  // Parameterized over the ENTIRE LoweringRegistry: compile B congruent
+  // replicas of each kind, then save every model back out into a scrambled
+  // clone and demand bit equality for all parameters and buffers. The
+  // companion guarantee is at compile time — a lowering whose StateMap
+  // misses any per-model tensor throws a structured FusionError — so a
+  // future registration cannot silently ship without (complete) state
+  // transfer. The factory-coverage check below makes the same registration
+  // fail THIS test until it is added here.
+  const std::map<std::string, KindFactory> factories = kind_factories();
+  for (const std::string& kind :
+       LoweringRegistry::instance().supported_kinds()) {
+    // "test::" kinds are deliberately-broken fixtures other tests register
+    // into the process-wide registry (IncompleteStateMapFailsTheCompile);
+    // order-independence demands they be excluded, not covered.
+    if (kind.rfind("test::", 0) == 0) continue;
+    ASSERT_TRUE(factories.count(kind))
+        << "kind '" << kind
+        << "' is registered but has no round-trip factory — add one to "
+           "kind_factories()";
+  }
+  Rng rng(77);
+  for (const auto& [kind, make] : factories) {
+    ASSERT_NE(LoweringRegistry::instance().find(kind), nullptr)
+        << "factory for '" << kind << "' has no registered lowering";
+    std::vector<std::shared_ptr<nn::Module>> donors;
+    for (int64_t b = 0; b < kB; ++b) donors.push_back(make(rng));
+    std::shared_ptr<FusedArray> array;
+    ASSERT_NO_THROW(array = FusionPlan(kB).compile(donors, rng))
+        << "kind " << kind;
+    for (int64_t b = 0; b < kB; ++b) {
+      const size_t ub = static_cast<size_t>(b);
+      std::shared_ptr<nn::Module> out = donors[ub]->clone();
+      ASSERT_NE(out, nullptr) << "kind " << kind << " has no clone support";
+      for (auto& [name, p] : out->named_parameters())
+        p.mutable_value().fill_(-7.5f);
+      for (auto& [name, t] : nn::named_buffers_recursive(*out)) {
+        Tensor handle = t;
+        handle.fill_(-7.5f);
+      }
+      array->save_model(b, *out);
+      const auto wp = donors[ub]->named_parameters();
+      const auto gp = out->named_parameters();
+      ASSERT_EQ(wp.size(), gp.size()) << kind;
+      for (size_t i = 0; i < wp.size(); ++i)
+        EXPECT_EQ(ops::max_abs_diff(wp[i].second.value(),
+                                    gp[i].second.value()),
+                  0.f)
+            << kind << " param " << wp[i].first << " model " << b;
+      const auto wb = nn::named_buffers_recursive(*donors[ub]);
+      const auto gb = nn::named_buffers_recursive(*out);
+      ASSERT_EQ(wb.size(), gb.size()) << kind;
+      for (size_t i = 0; i < wb.size(); ++i)
+        EXPECT_EQ(ops::max_abs_diff(wb[i].second, gb[i].second), 0.f)
+            << kind << " buffer " << wb[i].first << " model " << b;
+    }
+  }
+}
+
+TEST(StateSchema, IncompleteStateMapFailsTheCompile) {
+  // A kind whose fused module forgets part of its state in state_map()
+  // must be rejected at lowering time with a structured diagnostic — this
+  // is the auto-fail that replaced the trailing-nullptr store footgun.
+  struct HalfMapped : FusedModule {
+    ag::Variable w;
+    explicit HalfMapped(int64_t B) : FusedModule(B) {
+      w = register_parameter("w", Tensor::zeros({B * 2}));
+    }
+    ag::Variable forward(const ag::Variable& x) override { return x; }
+    StateMap state_map() const override { return {}; }  // forgets "w"
+  };
+  struct PlainPair : nn::Module {
+    PlainPair() { register_parameter("w", Tensor::zeros({2})); }
+    ag::Variable forward(const ag::Variable& x) override { return x; }
+    std::string kind_name() const override { return "test::PlainPair"; }
+  };
+  // Register exactly once: the registry is a process-wide singleton, so
+  // re-registering under --gtest_repeat would be harmless but sloppy.
+  static const bool registered = [] {
+    LoweringRegistry::instance().add(
+        "test::PlainPair", [](const LoweringContext& ctx) {
+          return Lowered{std::make_shared<HalfMapped>(ctx.array_size),
+                         Layout::kAny, Layout::kAny};
+        });
+    return true;
+  }();
+  (void)registered;
+  Rng rng(5);
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  for (int64_t b = 0; b < kB; ++b) nets.push_back(std::make_shared<PlainPair>());
+  try {
+    FusionPlan(kB).compile(nets, rng);
+    FAIL() << "expected FusionError";
+  } catch (const FusionError& e) {
+    EXPECT_NE(e.diagnostic.reason.find("state"), std::string::npos);
+    EXPECT_NE(e.diagnostic.reason.find("'w'"), std::string::npos);
+  }
+}
+
+TEST(RepackMulti, SurvivorsFromTwoArraysMergeAndContinueBitExactly) {
+  Rng rng(41);
+  // Six independent serial trainings; the fused side trains them as TWO
+  // B=3 arrays (the chunked-rung case), then merges one survivor of each
+  // into a single B=2 array that must continue bit-exactly.
+  std::vector<std::shared_ptr<nn::Module>> nets;
+  std::vector<std::shared_ptr<nn::Module>> serial;
+  std::vector<std::unique_ptr<nn::Adam>> serial_opts;
+  const HyperVec lrs = {1e-2, 2e-2, 3e-2, 4e-3, 5e-3, 6e-3};
+  for (size_t b = 0; b < 6; ++b) {
+    nets.push_back(mlp(6, 10, 4, rng));
+    serial.push_back(nets.back()->clone());
+    serial_opts.push_back(std::make_unique<nn::Adam>(
+        serial.back()->parameters(), nn::Adam::Options{.lr = lrs[b]}));
+  }
+  FusionOptions opts;
+  opts.output_layout = Layout::kModelMajor;
+  auto arrayA = FusionPlan(kB, opts).compile(
+      {nets[0], nets[1], nets[2]}, rng);
+  auto arrayB = FusionPlan(kB, opts).compile(
+      {nets[3], nets[4], nets[5]}, rng);
+  auto optA = std::make_unique<FusedAdam>(
+      collect_fused_parameters(*arrayA, kB), kB,
+      FusedAdam::Options{.lr = {lrs[0], lrs[1], lrs[2]}});
+  auto optB = std::make_unique<FusedAdam>(
+      collect_fused_parameters(*arrayB, kB), kB,
+      FusedAdam::Options{.lr = {lrs[3], lrs[4], lrs[5]}});
+
+  Tensor x = Tensor::randn({5, 6}, rng);
+  Tensor y({5});  // class-0 labels
+  auto train_fused = [&](FusedArray& a, FusedOptimizer& o, int64_t B,
+                         int steps) {
+    std::vector<Tensor> xb(static_cast<size_t>(B), x);
+    Tensor lb({B, 5});
+    for (int s = 0; s < steps; ++s) {
+      o.zero_grad();
+      ag::Variable logits = a.forward(ag::Variable(pack_channel_fused(xb)));
+      ag::mul_scalar(fused_cross_entropy(logits, lb, ag::Reduction::kSum),
+                     1.f / 5.f)
+          .backward();
+      o.step();
+    }
+  };
+  auto train_serial = [&](size_t b, int steps) {
+    for (int s = 0; s < steps; ++s) {
+      serial_opts[b]->zero_grad();
+      ag::cross_entropy(serial[b]->forward(ag::Variable(x)), y,
+                        ag::Reduction::kMean)
+          .backward();
+      serial_opts[b]->step();
+    }
+  };
+
+  train_fused(*arrayA, *optA, kB, 4);
+  train_fused(*arrayB, *optB, kB, 4);
+  for (size_t b = 0; b < 6; ++b) train_serial(b, 4);
+
+  // Survivors: model 1 of array A and model 2 of array B.
+  const std::vector<RepackPick> picks = {{0, 1}, {1, 2}};
+  const FusionPlan plan2(2, opts);
+  auto merged = plan2.repack_multi({arrayA.get(), arrayB.get()}, picks,
+                                   *nets[0], rng);
+  auto opt2 = std::make_unique<FusedAdam>(
+      collect_fused_parameters(*merged, 2), 2,
+      FusedAdam::Options{.lr = {lrs[1], lrs[5]}});
+  opt2->repack_state_from({optA.get(), optB.get()}, picks);
+
+  train_fused(*merged, *opt2, 2, 3);
+  train_serial(1, 3);
+  train_serial(5, 3);
+
+  const size_t survivors[2] = {1, 5};
+  Tensor yf = merged
+                  ->forward(ag::Variable(
+                      pack_channel_fused(std::vector<Tensor>(2, x))))
+                  .value();
+  for (size_t j = 0; j < 2; ++j) {
+    const size_t b = survivors[j];
+    Tensor yb = serial[b]->forward(ag::Variable(x)).value();
+    EXPECT_DOUBLE_EQ(
+        ops::max_abs_diff(
+            yf.slice(0, static_cast<int64_t>(j), static_cast<int64_t>(j) + 1)
+                .reshape(yb.shape()),
+            yb),
+        0.0)
+        << "survivor " << j;
+    auto tree = nets[0]->clone();
+    merged->save_model(static_cast<int64_t>(j), *tree);
+    const auto got = tree->named_parameters();
+    const auto want = serial[b]->named_parameters();
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i)
+      EXPECT_DOUBLE_EQ(
+          ops::max_abs_diff(got[i].second.value(), want[i].second.value()),
+          0.0)
+          << got[i].first;
+  }
+}
+
+TEST(RepackMulti, AdamRejectsSourcesWithMismatchedStepCounts) {
+  Rng rng(43);
+  std::vector<std::shared_ptr<nn::Module>> netsA, netsB;
+  for (int64_t b = 0; b < 2; ++b) {
+    netsA.push_back(mlp(4, 6, 2, rng));
+    netsB.push_back(mlp(4, 6, 2, rng));
+  }
+  FusionOptions opts;
+  opts.output_layout = Layout::kModelMajor;
+  auto arrayA = FusionPlan(2, opts).compile(netsA, rng);
+  auto arrayB = FusionPlan(2, opts).compile(netsB, rng);
+  auto optA = std::make_unique<FusedAdam>(
+      collect_fused_parameters(*arrayA, 2), 2, FusedAdam::Options{});
+  auto optB = std::make_unique<FusedAdam>(
+      collect_fused_parameters(*arrayB, 2), 2, FusedAdam::Options{});
+  Tensor x = Tensor::randn({3, 4}, rng);
+  Tensor lb({2, 3});
+  auto step = [&](FusedArray& a, FusedAdam& o) {
+    o.zero_grad();
+    ag::Variable logits =
+        a.forward(ag::Variable(pack_channel_fused({x, x})));
+    ag::mul_scalar(fused_cross_entropy(logits, lb, ag::Reduction::kSum),
+                   1.f / 3.f)
+        .backward();
+    o.step();
+  };
+  step(*arrayA, *optA);
+  step(*arrayB, *optB);
+  step(*arrayB, *optB);  // B is one step ahead of A
+
+  auto merged = FusionPlan(2, opts).repack_multi(
+      {arrayA.get(), arrayB.get()}, {{0, 0}, {1, 1}}, *netsA[0], rng);
+  auto opt2 = std::make_unique<FusedAdam>(
+      collect_fused_parameters(*merged, 2), 2, FusedAdam::Options{});
+  EXPECT_THROW(
+      opt2->repack_state_from({optA.get(), optB.get()},
+                              std::vector<RepackPick>{{0, 0}, {1, 1}}),
+      Error);
 }
 
 TEST(FusionPlan, DescribeListsUnitsAndLayouts) {

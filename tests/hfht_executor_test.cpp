@@ -146,10 +146,111 @@ TEST(FusedExecutor, OversizedPartitionIsChunked) {
   EXPECT_EQ(exec.arrays_compiled(), 3);  // 2 + 2 + 1
 }
 
-TEST(FusedExecutor, RejectsMobileNetTask) {
-  EXPECT_THROW(FusedTrainingExecutor(Task::kMobileNet, sim::v100(),
-                                     tiny_options(false)),
-               Error);
+TEST(FusedExecutor, SurvivorsSpanningChunksMergeAndContinueBitExactly) {
+  // Four trials with max_array_size=2 land in two chunked arrays (the
+  // paper-scale bracket case: rung > device cap); the surviving pair draws
+  // one member from EACH chunk, so continuing them requires the
+  // multi-source gather — the single-source repack used to retrain these
+  // from scratch.
+  const ParamSet p1 = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 8, 0};
+  const ParamSet p2 = {2e-3, 0.85, 0.99, 0.10, 0.5, 10, 8, 0};
+  const ParamSet p3 = {3e-3, 0.80, 0.99, 0.15, 0.5, 10, 8, 0};
+  const ParamSet p4 = {4e-3, 0.75, 0.99, 0.20, 0.5, 10, 8, 0};
+  FusedTrainingExecutor::Options o = tiny_options(/*verify=*/true);
+  o.max_array_size = 2;
+  FusedTrainingExecutor exec(Task::kPointNet, sim::v100(), o);
+  exec.run({{p1, 1}, {p2, 1}, {p3, 1}, {p4, 1}});
+  EXPECT_EQ(exec.arrays_compiled(), 2);
+  const ExecutionReport rep = exec.run({{p2, 3}, {p3, 3}});
+  EXPECT_EQ(exec.arrays_compiled(), 2);  // no fresh retrain
+  EXPECT_EQ(exec.multi_source_repacks(), 1);
+  EXPECT_EQ(exec.arrays_merged(), 2);
+  EXPECT_GT(exec.iterations_verified_after_merge(), 0);
+  // The merged array's training equals the two serial runs to the last
+  // bit, exactly as if p2 and p3 had always shared one array.
+  EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
+  ASSERT_EQ(rep.scores.size(), 2u);
+  for (double s : rep.scores) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(FusedExecutor, LeftoverSlotOfADrainedGroupStillContinuesBitExactly) {
+  // A repack moves the source group's sampler (and the picked serial
+  // twins) but leaves non-surviving slots behind. If a later proposal
+  // legitimately matches such a leftover slot — possible with duplicate
+  // parameter sets from the discrete choice lists — the executor must
+  // reconstruct the shuffle stream deterministically and continue
+  // bit-exactly rather than dereference the moved-from sampler.
+  const ParamSet p = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 8, 0};
+  const ParamSet q = {2e-3, 0.85, 0.99, 0.10, 0.5, 10, 8, 0};
+  FusedTrainingExecutor exec(Task::kPointNet, sim::v100(),
+                             tiny_options(/*verify=*/true));
+  exec.run({{p, 1}, {q, 1}});  // one group {p, q}
+  exec.run({{q, 2}});          // q survives: sampler moves, p's slot stays
+  EXPECT_EQ(exec.arrays_repacked(), 1);
+  // p resurfaces: its slot is un-retired, but the group's sampler is gone.
+  const ExecutionReport rep = exec.run({{p, 2}});
+  EXPECT_EQ(exec.arrays_repacked(), 2);
+  EXPECT_EQ(exec.arrays_compiled(), 1);  // continued, not retrained
+  EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
+  ASSERT_EQ(rep.scores.size(), 1u);
+  EXPECT_GT(rep.scores[0], 0.0);
+}
+
+// The MobileNet space with its infusible choices pinned to one partition
+// at real-executor scale (tiny widths, batch 4).
+SearchSpace mobilenet_single_partition_space() {
+  SearchSpace s = SearchSpace::mobilenet();
+  s.params[s.index_of("batch_size")].choices = {4};
+  s.params[s.index_of("version")].choices = {3};
+  return s;
+}
+
+TEST(FusedExecutor, MobileNetTrialsTrainForRealBitExactly) {
+  // The second paper workload scores from REAL fused training now, not the
+  // synthetic accuracy surface: one planner-compiled FusedMobileNetV3
+  // array whose per-model loss trajectories equal the serial runs exactly.
+  RandomSearch rs(mobilenet_single_partition_space(), /*total_sets=*/3,
+                  /*epochs_per_set=*/1, /*seed=*/21);
+  FusedTrainingExecutor exec(Task::kMobileNet, sim::v100(),
+                             tiny_options(/*verify=*/true));
+  const TuneResult r = run_tuning(rs, exec);
+  EXPECT_EQ(r.total_trials, 3);
+  EXPECT_EQ(exec.arrays_compiled(), 1);
+  EXPECT_GT(r.best_accuracy, 0.0);
+  EXPECT_LE(r.best_accuracy, 1.0);
+  EXPECT_GT(r.total_gpu_hours, 0.0);  // priced from the real MobileNet trace
+  EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
+}
+
+TEST(FusedExecutor, MobileNetSurvivorRepacksBitExactly) {
+  // Halving on a live MobileNet array: the survivor's weights, BN running
+  // stats, and Adam state carry over through the schema-derived store.
+  const ParamSet p = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 4, 3};
+  const ParamSet q = {2e-3, 0.85, 0.99, 0.10, 0.5, 10, 4, 3};
+  FusedTrainingExecutor exec(Task::kMobileNet, sim::v100(),
+                             tiny_options(/*verify=*/true));
+  exec.run({{p, 1}, {q, 1}});
+  exec.run({{q, 2}});  // q survives the rung
+  EXPECT_EQ(exec.arrays_repacked(), 1);
+  EXPECT_GT(exec.iterations_verified_after_repack(), 0);
+  EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
+}
+
+TEST(FusedExecutor, MobileNetVersionIsInfusible) {
+  // V2 vs V3-Large differ structurally (paper Table 12's "version"), so
+  // mixed proposals split into two fused partitions, each training for
+  // real.
+  const ParamSet v3 = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 4, 3};
+  const ParamSet v2 = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 4, 2};
+  FusedTrainingExecutor exec(Task::kMobileNet, sim::v100(),
+                             tiny_options(/*verify=*/true));
+  const ExecutionReport rep = exec.run({{v3, 1}, {v2, 1}});
+  EXPECT_EQ(exec.arrays_compiled(), 2);
+  EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
+  ASSERT_EQ(rep.scores.size(), 2u);
 }
 
 }  // namespace
