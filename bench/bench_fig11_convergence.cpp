@@ -11,6 +11,7 @@
 #include "data/loader.h"
 #include "hfta/fused_optim.h"
 #include "hfta/loss_scaling.h"
+#include "hfta/train.h"
 #include "models/resnet.h"
 #include "nn/optim.h"
 
@@ -51,6 +52,7 @@ int main() {
 
   double max_div = 0;
   int step = 0;
+  TrainStep train;  // one iteration engine for the fused and serial steps
   for (int epoch = 0; epoch < 3; ++epoch) {
     for (const auto& batch_idx : sampler.epoch()) {
       auto [x, y] = ds.batch(batch_idx);
@@ -59,23 +61,23 @@ int main() {
       for (int64_t b = 0; b < kB; ++b)
         for (int64_t n = 0; n < x.size(0); ++n) labels.at({b, n}) = y.at({n});
 
-      fused_opt.zero_grad();
-      ag::Variable logits =
-          fused_model.forward(ag::Variable(fused::pack_channel_fused(xs)));
-      auto fused_losses =
-          fused::per_model_cross_entropy(logits.value(), labels);
-      fused::fused_cross_entropy(logits, labels, ag::Reduction::kMean)
-          .backward();
-      fused_opt.step();
+      std::vector<double> fused_losses;
+      train.run(fused_opt, [&] {
+        ag::Variable logits =
+            fused_model.forward(ag::Variable(fused::pack_channel_fused(xs)));
+        fused_losses = fused::per_model_cross_entropy(logits.value(), labels);
+        return fused::fused_cross_entropy(logits, labels,
+                                          ag::Reduction::kMean);
+      });
 
       std::printf("%-5d", step);
       for (int64_t b = 0; b < kB; ++b) {
         const size_t ub = static_cast<size_t>(b);
-        plain_opts[ub]->zero_grad();
-        ag::Variable loss = ag::cross_entropy(
-            plain[ub]->forward(ag::Variable(x)), y, ag::Reduction::kMean);
-        loss.backward();
-        plain_opts[ub]->step();
+        const ag::Variable loss =
+            train.run(*plain_opts[ub], [&, &x = x, &y = y] {
+              return ag::cross_entropy(plain[ub]->forward(ag::Variable(x)), y,
+                                       ag::Reduction::kMean);
+            });
         const double serial_loss = loss.value().item();
         std::printf("   %15.4f %7.4f", serial_loss, fused_losses[ub]);
         max_div = std::max(max_div,

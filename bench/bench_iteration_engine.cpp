@@ -1,0 +1,226 @@
+// Iteration-engine benchmark: what do pooled tensor storage + the reusable
+// backward engine buy on the real fused training hot loop?
+//
+// Trains a fused MLP array at several array sizes B, with the iteration
+// engine ON (TrainStep: pooled storage, uninitialized full-overwrite
+// allocs, reused ag::Engine) and OFF (the faithful pre-engine hot loop:
+// pool disabled, every allocation heap-backed AND zero-filled like the old
+// std::vector storage, fresh backward() scratch per step), and reports
+// iterations/sec plus tensor-storage heap allocations per iteration for
+// both. The training math is bit-identical in both modes (train_test
+// asserts pooled == heap to the bit); only the iteration overhead differs.
+//
+// Flags (defaults keep CI smoke fast):
+//   --steps N        timed iterations per measurement (default 200)
+//   --warmup N       untimed warm-up iterations (default 10)
+//   --repeats N      measurements per configuration; iterations/sec is the
+//                    best of N (minimum-time estimator — on a shared/1-core
+//                    host a single run is hostage to scheduler noise)
+//   --json PATH      additionally write the table as JSON (CI artifact /
+//                    BENCH_iteration_engine.json trajectory point)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/storage_pool.h"
+#include "hfta/fused_optim.h"
+#include "hfta/fused_ops.h"
+#include "hfta/loss_scaling.h"
+#include "hfta/train.h"
+#include "nn/layers.h"
+#include "tensor/ops.h"
+
+using namespace hfta;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// Deep-narrow MLP array: many small fused ops per iteration, the regime
+// where per-iteration overhead (allocation, zero-fill, traversal scratch)
+// is a real fraction of the step — exactly what HFTA's small-model arrays
+// look like.
+struct FusedMlp : fused::FusedModule {
+  FusedMlp(int64_t B, int64_t in, int64_t hidden, int64_t classes,
+           int64_t depth, Rng& rng)
+      : fused::FusedModule(B) {
+    int64_t prev = in;
+    for (int64_t d = 0; d < depth; ++d) {
+      layers.push_back(register_module(
+          "fc" + std::to_string(d),
+          std::make_shared<fused::FusedLinear>(B, prev, hidden, true, rng)));
+      prev = hidden;
+    }
+    head = register_module(
+        "head",
+        std::make_shared<fused::FusedLinear>(B, prev, classes, true, rng));
+  }
+  ag::Variable forward(const ag::Variable& x) override {
+    ag::Variable h = x;
+    for (auto& l : layers) h = ag::relu(l->forward(h));
+    return head->forward(h);
+  }
+  std::vector<std::shared_ptr<fused::FusedLinear>> layers;
+  std::shared_ptr<fused::FusedLinear> head;
+};
+
+struct Row {
+  int64_t models;
+  double engine_iters_per_sec;
+  double baseline_iters_per_sec;
+  double allocs_per_iter_engine;    // steady-state heap allocs, pool on
+  double allocs_per_iter_baseline;  // heap allocs, pool off
+  double speedup;
+};
+
+struct Measurement {
+  double iters_per_sec;
+  double allocs_per_iter;
+};
+
+// One configuration: B fused models, `steps` timed iterations.
+Measurement run_config(int64_t B, bool engine_on, int steps, int warmup) {
+  // OFF = the pre-iteration-engine hot loop, faithfully: no recycling and
+  // every allocation zero-filled (old std::vector-backed storage).
+  StoragePool::instance().set_enabled(engine_on);
+  StoragePool::instance().set_zero_fill_all(!engine_on);
+  StoragePool::instance().trim();
+  const int64_t in = 16, hidden = 16, classes = 4, N = 8, depth = 8;
+  Rng rng(1);
+  FusedMlp model(B, in, hidden, classes, depth, rng);
+  fused::FusedAdam opt(fused::collect_fused_parameters(model, B), B,
+                       {.lr = {1e-3}});
+  Rng data_rng(2);
+  Tensor x = Tensor::randn({N, in}, data_rng);
+  Tensor labels({B, N});
+  for (int64_t b = 0; b < B; ++b)
+    for (int64_t n = 0; n < N; ++n)
+      labels.at({b, n}) = static_cast<float>(n % classes);
+
+  TrainStep step;
+  auto loss_fn = [&] {
+    ag::Variable logits = model.forward(
+        ag::Variable(fused::pack_model_major(std::vector<Tensor>(B, x))));
+    return fused::fused_cross_entropy(logits, labels, ag::Reduction::kMean);
+  };
+  auto one_iter = [&] {
+    if (engine_on) {
+      step.run(opt, loss_fn);
+    } else {
+      // The pre-engine hot loop: same five lines, fresh traversal scratch
+      // per backward, every tensor allocation on the heap.
+      IterationScope scope;
+      opt.zero_grad();
+      ag::Variable loss = loss_fn();
+      loss.backward();
+      opt.step();
+    }
+  };
+  for (int s = 0; s < warmup; ++s) one_iter();
+
+  const uint64_t allocs0 = Tensor::alloc_count();
+  const auto t0 = Clock::now();
+  for (int s = 0; s < steps; ++s) one_iter();
+  const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+  const uint64_t allocs = Tensor::alloc_count() - allocs0;
+
+  StoragePool::instance().set_enabled(true);
+  StoragePool::instance().set_zero_fill_all(false);
+  StoragePool::instance().trim();
+  return {static_cast<double>(steps) / secs,
+          static_cast<double>(allocs) / static_cast<double>(steps)};
+}
+
+void write_json(const char* path, int steps, const std::vector<Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"figure\": \"iteration_engine\",\n"
+               "  \"steps\": %d,\n  \"rows\": [\n", steps);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"models\": %ld, \"engine_iters_per_sec\": %.2f, "
+                 "\"baseline_iters_per_sec\": %.2f, "
+                 "\"allocs_per_iter_engine\": %.2f, "
+                 "\"allocs_per_iter_baseline\": %.2f, "
+                 "\"speedup\": %.4f}%s\n",
+                 r.models, r.engine_iters_per_sec, r.baseline_iters_per_sec,
+                 r.allocs_per_iter_engine, r.allocs_per_iter_baseline,
+                 r.speedup, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int steps = 200;
+  int warmup = 10;
+  int repeats = 3;
+  const char* json_path = nullptr;
+  auto usage = [&]() {
+    std::fprintf(stderr,
+                 "usage: %s [--steps N] [--warmup N] [--repeats N] "
+                 "[--json PATH]\n",
+                 argv[0]);
+    return 1;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--steps") == 0 && i + 1 < argc) {
+      steps = std::atoi(argv[++i]);
+      if (steps < 1) return usage();
+    } else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
+      warmup = std::atoi(argv[++i]);
+      if (warmup < 0) return usage();
+    } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
+      repeats = std::atoi(argv[++i]);
+      if (repeats < 1) return usage();
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+
+  std::printf("iteration engine: pooled storage + reused backward engine vs "
+              "the plain hot loop\n");
+  std::printf("(fused MLP array, %d timed fwd+bwd+step iterations per "
+              "configuration)\n\n", steps);
+  std::printf("%-8s %16s %16s %14s %14s %9s\n", "models", "engine it/s",
+              "baseline it/s", "allocs/it on", "allocs/it off", "speedup");
+  std::vector<Row> rows;
+  for (int64_t B : {1, 2, 4, 8}) {
+    // Alternate modes within each repeat so slow drift hits both equally.
+    Measurement on{0, 0}, off{0, 0};
+    for (int rep = 0; rep < repeats; ++rep) {
+      const Measurement on_i = run_config(B, /*engine_on=*/true, steps, warmup);
+      const Measurement off_i =
+          run_config(B, /*engine_on=*/false, steps, warmup);
+      if (on_i.iters_per_sec > on.iters_per_sec)
+        on = on_i;
+      if (off_i.iters_per_sec > off.iters_per_sec)
+        off = off_i;
+    }
+    const Row r{B, on.iters_per_sec, off.iters_per_sec, on.allocs_per_iter,
+                off.allocs_per_iter, on.iters_per_sec / off.iters_per_sec};
+    rows.push_back(r);
+    std::printf("%-8ld %16.1f %16.1f %14.2f %14.2f %8.2fx\n", r.models,
+                r.engine_iters_per_sec, r.baseline_iters_per_sec,
+                r.allocs_per_iter_engine, r.allocs_per_iter_baseline,
+                r.speedup);
+  }
+  std::printf("\n(allocs/it = tensor-storage heap allocations per iteration; "
+              "0.00 with the pool on\n means every steady-state allocation "
+              "was recycled)\n");
+  if (json_path != nullptr) {
+    write_json(json_path, steps, rows);
+    std::printf("wrote %s\n", json_path);
+  }
+  return 0;
+}

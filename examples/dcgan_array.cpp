@@ -11,6 +11,7 @@
 #include "data/datasets.h"
 #include "hfta/fused_optim.h"
 #include "hfta/loss_scaling.h"
+#include "hfta/train.h"
 #include "models/dcgan.h"
 #include "tensor/ops.h"
 
@@ -33,6 +34,11 @@ int main() {
   const Tensor real_label = Tensor::ones({B, N});
   const Tensor fake_label = Tensor::zeros({B, N});
 
+  // Both GAN phases (and both optimizers) share one iteration engine; the
+  // discriminator's real+fake terms ride the multi-loss TrainStep overload
+  // (each loss runs backward before the single optimizer step).
+  TrainStep train;
+
   std::printf("fused DCGAN array: B=%ld GANs, beta1 = {0.3, 0.5, 0.7}\n\n",
               B);
   std::printf("%-5s %28s %28s\n", "step", "D loss (per model)",
@@ -45,27 +51,26 @@ int main() {
     Tensor z = Tensor::randn({N, B * cfg.nz, 1, 1}, rng);
 
     // --- discriminator step: real up, fake down -------------------------
-    d_opt.zero_grad();
-    ag::Variable d_real = disc.forward(
-        ag::Variable(fused::pack_channel_fused(std::vector<Tensor>(B, real))));
-    ag::Variable loss_real = fused::fused_bce_with_logits(
-        d_real, real_label, ag::Reduction::kMean, B);
-    Tensor fake = gen.forward(ag::Variable(z)).value();  // detached
-    ag::Variable d_fake = disc.forward(ag::Variable(fake));
-    ag::Variable loss_fake = fused::fused_bce_with_logits(
-        d_fake, fake_label, ag::Reduction::kMean, B);
-    loss_real.backward();
-    loss_fake.backward();
-    d_opt.step();
+    ag::Variable d_real, d_on_fake;
+    train.run(d_opt, [&]() -> std::vector<ag::Variable> {
+      d_real = disc.forward(ag::Variable(
+          fused::pack_channel_fused(std::vector<Tensor>(B, real))));
+      ag::Variable loss_real = fused::fused_bce_with_logits(
+          d_real, real_label, ag::Reduction::kMean, B);
+      Tensor fake = gen.forward(ag::Variable(z)).value();  // detached
+      ag::Variable d_fake = disc.forward(ag::Variable(fake));
+      ag::Variable loss_fake = fused::fused_bce_with_logits(
+          d_fake, fake_label, ag::Reduction::kMean, B);
+      return {loss_real, loss_fake};
+    });
 
     // --- generator step: make D call fakes real -------------------------
-    g_opt.zero_grad();
-    ag::Variable fake_v = gen.forward(ag::Variable(z));
-    ag::Variable d_on_fake = disc.forward(fake_v);
-    ag::Variable g_loss = fused::fused_bce_with_logits(
-        d_on_fake, real_label, ag::Reduction::kMean, B);
-    g_loss.backward();
-    g_opt.step();
+    train.run(g_opt, [&] {
+      ag::Variable fake_v = gen.forward(ag::Variable(z));
+      d_on_fake = disc.forward(fake_v);
+      return fused::fused_bce_with_logits(d_on_fake, real_label,
+                                          ag::Reduction::kMean, B);
+    });
 
     if (step % 3 == 0) {
       // Per-model BCE values for logging (mean over the model's batch).

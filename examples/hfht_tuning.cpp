@@ -101,6 +101,7 @@ RealActResult real_act(const hfta::sim::DeviceSpec& dev, Task task,
     space.params[space.index_of("feature_transform")].choices = {0};
   } else {
     space.params[space.index_of("version")].choices = {3};
+    space.params[space.index_of("width_mult")].choices = {0.25};
   }
 
   Hyperband hb(space, /*max_epochs_r=*/4, /*eta=*/2, /*skip_last=*/0,

@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "hfta/train.h"
 #include "models/resnet.h"
 #include "tensor/ops.h"
 
@@ -19,12 +20,14 @@ using Clock = std::chrono::steady_clock;
 
 static double time_steps(fused::FusedArray& model, const Tensor& x,
                          int steps) {
+  // Optimizer-free TrainLoop: zero_grad -> forward -> loss -> backward per
+  // iteration, with the engine scratch and pooled storage reused across
+  // all of them.
+  TrainLoop loop;
   const auto t0 = Clock::now();
-  for (int i = 0; i < steps; ++i) {
-    model.zero_grad();
-    ag::Variable out = model.forward(ag::Variable(x));
-    ag::sum_all(out).backward();
-  }
+  loop.run(steps, model, [&](int64_t) {
+    return ag::sum_all(model.forward(ag::Variable(x)));
+  });
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 

@@ -17,6 +17,7 @@
 #include "hfta/fused_optim.h"
 #include "hfta/loss_scaling.h"
 #include "hfta/fusion.h"
+#include "hfta/train.h"
 #include "models/pointnet.h"
 #include "nn/optim.h"
 #include "tensor/ops.h"
@@ -59,6 +60,10 @@ int main() {
     serial_opts.push_back(std::make_unique<nn::Adam>(
         serial[static_cast<size_t>(b)]->parameters(),
         nn::Adam::Options{.lr = lrs[static_cast<size_t>(b)]}));
+  // Both phases drive the shared iteration engine: one TrainStep whose
+  // backward scratch and pooled storage stay warm across every iteration
+  // (and across the serial/fused boundary).
+  TrainStep step;
   const auto t_serial = Clock::now();
   double serial_losses[4] = {0, 0, 0, 0};
   for (int64_t b = 0; b < B; ++b) {
@@ -66,12 +71,12 @@ int main() {
     for (int e = 0; e < kEpochs; ++e) {
       for (const auto& bidx : s2.epoch()) {
         auto [x, y] = ds.batch_cls(bidx);
-        serial_opts[static_cast<size_t>(b)]->zero_grad();
-        ag::Variable loss = ag::cross_entropy(
-            serial[static_cast<size_t>(b)]->forward(ag::Variable(x)), y,
-            ag::Reduction::kMean);
-        loss.backward();
-        serial_opts[static_cast<size_t>(b)]->step();
+        ag::Variable loss =
+            step.run(*serial_opts[static_cast<size_t>(b)], [&, &x = x, &y = y] {
+              return ag::cross_entropy(
+                  serial[static_cast<size_t>(b)]->forward(ag::Variable(x)), y,
+                  ag::Reduction::kMean);
+            });
         serial_losses[b] = loss.value().item();
       }
     }
@@ -90,13 +95,13 @@ int main() {
       Tensor labels({B, x.size(0)});
       for (int64_t b = 0; b < B; ++b)
         for (int64_t n = 0; n < x.size(0); ++n) labels.at({b, n}) = y.at({n});
-      fused_opt.zero_grad();
-      ag::Variable logits =
-          fused_model.forward(ag::Variable(fused::pack_channel_fused(xs)));
-      fused_losses = fused::per_model_cross_entropy(logits.value(), labels);
-      fused::fused_cross_entropy(logits, labels, ag::Reduction::kMean)
-          .backward();
-      fused_opt.step();
+      step.run(fused_opt, [&] {
+        ag::Variable logits =
+            fused_model.forward(ag::Variable(fused::pack_channel_fused(xs)));
+        fused_losses = fused::per_model_cross_entropy(logits.value(), labels);
+        return fused::fused_cross_entropy(logits, labels,
+                                          ag::Reduction::kMean);
+      });
     }
   }
   const double fused_s = seconds_since(t_fused);

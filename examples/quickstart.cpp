@@ -10,6 +10,7 @@
 #include "hfta/fused_optim.h"
 #include "hfta/fusion.h"
 #include "hfta/loss_scaling.h"
+#include "hfta/train.h"
 #include "nn/layers.h"
 #include "nn/norm.h"
 #include "nn/optim.h"
@@ -85,32 +86,41 @@ int main() {
 
   std::printf("training %ld fused models (lrs: %.0e %.0e %.0e)\n\n", B,
               lrs[0], lrs[1], lrs[2]);
-  for (int step = 0; step < 40; ++step) {
-    // --- one HFTA step: all B models advance at once ---
-    fused_opt.zero_grad();
-    ag::Variable logits = fused_model.forward(
-        ag::Variable(fused::pack_model_major(std::vector<Tensor>(B, x))));
-    ag::Variable loss = fused::fused_cross_entropy(logits, fused_labels,
-                                                   ag::Reduction::kMean);
-    loss.backward();
-    fused_opt.step();
-
-    // --- the three serial steps it replaces ---
+  // One TrainLoop drives the fused iteration through the canonical
+  // zero_grad -> forward/loss -> backward -> step sequence; the three
+  // serial twins it replaces run inside the scoring hook on a SECOND
+  // TrainStep, so loop.step()'s stats keep describing the fused step (the
+  // zero-alloc line below) rather than the last serial twin.
+  Tensor logits_value;  // value only: the tape is released per step
+  TrainStep serial_step;  // drives the serial twins inside the hook
+  TrainLoop::Options lopts;
+  lopts.on_step = [&](int64_t step, const ag::Variable&) {
+    // --- the three serial steps the fused one replaces ---
     for (int64_t b = 0; b < B; ++b) {
       const size_t ub = static_cast<size_t>(b);
-      serial_opts[ub]->zero_grad();
-      ag::cross_entropy(serial_models[ub]->forward(ag::Variable(x)), y,
-                        ag::Reduction::kMean)
-          .backward();
-      serial_opts[ub]->step();
+      serial_step.run(*serial_opts[ub], [&] {
+        return ag::cross_entropy(serial_models[ub]->forward(ag::Variable(x)),
+                                 y, ag::Reduction::kMean);
+      });
     }
-
     if (step % 10 == 0) {
-      auto per = fused::per_model_cross_entropy(logits.value(), fused_labels);
-      std::printf("step %2d   fused per-model losses: %.4f %.4f %.4f\n", step,
-                  per[0], per[1], per[2]);
+      auto per = fused::per_model_cross_entropy(logits_value, fused_labels);
+      std::printf("step %2ld   fused per-model losses: %.4f %.4f %.4f\n",
+                  step, per[0], per[1], per[2]);
     }
-  }
+  };
+  TrainLoop loop(lopts);
+  loop.run(40, fused_opt, [&](int64_t) {
+    ag::Variable logits = fused_model.forward(
+        ag::Variable(fused::pack_model_major(std::vector<Tensor>(B, x))));
+    logits_value = logits.value();
+    return fused::fused_cross_entropy(logits, fused_labels,
+                                      ag::Reduction::kMean);
+  });
+  std::printf("\nsteady-state heap allocations per fused step: %llu "
+              "(storage pool recycles everything once warm)\n",
+              static_cast<unsigned long long>(
+                  loop.step().stats().last_heap_allocs));
 
   // Equivalence: fused weights == serial weights, model by model.
   float max_diff = 0;

@@ -1,0 +1,48 @@
+// Reusable backward engine.
+//
+// Variable::backward() is correct but rebuilds its traversal scratch — the
+// topological order, the DFS stack, the visited bookkeeping — from nothing
+// on every call. Training runs backward once per iteration over a graph of
+// the same shape, so an Engine keeps that scratch alive across runs: the
+// vectors retain their capacity and the visited check is an O(1) epoch
+// stamp on each node (no hash set, no per-run rehashing).
+//
+// Bit-exactness contract: Engine::run visits nodes and accumulates
+// gradients in EXACTLY the order the original Variable::backward() did
+// (iterative post-order DFS, children in input order; reverse-topo
+// propagation; per-input grad accumulation in input order). Reusing one
+// Engine for N iterations is bit-identical to N fresh backward() calls —
+// engine_test asserts this — so the fused-vs-serial 0.00e+00 invariant is
+// untouched.
+#pragma once
+
+#include "autograd/variable.h"
+
+namespace hfta::ag {
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs backpropagation from `root` (same contract as
+  /// Variable::backward: an undefined seed requires a scalar root and
+  /// seeds with ones). Safe to call repeatedly, on unrelated graphs.
+  void run(const Variable& root, Tensor seed = Tensor());
+
+  /// Number of backward passes driven through this engine.
+  int64_t runs() const { return runs_; }
+  /// Nodes (graph outputs) on the tape of the most recent run.
+  int64_t last_tape_size() const {
+    return static_cast<int64_t>(topo_.size());
+  }
+
+ private:
+  // Traversal scratch, reused across runs (capacity persists).
+  std::vector<Variable::Impl*> topo_;
+  std::vector<std::pair<Variable::Impl*, size_t>> stack_;
+  int64_t runs_ = 0;
+};
+
+}  // namespace hfta::ag

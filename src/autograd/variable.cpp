@@ -1,8 +1,6 @@
 #include "autograd/variable.h"
 
-#include <unordered_map>
-#include <unordered_set>
-
+#include "autograd/engine.h"
 #include "core/check.h"
 
 namespace hfta::ag {
@@ -62,59 +60,11 @@ const std::shared_ptr<Node>& Variable::node() const {
 }
 
 void Variable::backward(Tensor seed) const {
-  HFTA_CHECK(defined(), "backward() on undefined Variable");
-  if (!seed.defined()) {
-    HFTA_CHECK(numel() == 1,
-               "backward() without seed requires a scalar; got ",
-               shape_str(shape()));
-    seed = Tensor::ones(value().shape());
-  }
-  HFTA_CHECK(seed.numel() == numel(), "backward(): seed shape mismatch");
-
-  // Topological order over impls (post-order DFS, iterative).
-  std::vector<Impl*> topo;
-  std::unordered_set<Impl*> visited;
-  std::vector<std::pair<Impl*, size_t>> stack;  // (impl, next child index)
-  stack.emplace_back(impl_.get(), 0);
-  visited.insert(impl_.get());
-  while (!stack.empty()) {
-    auto& [impl, child] = stack.back();
-    if (impl->node && child < impl->node->inputs.size()) {
-      const Variable& in = impl->node->inputs[child++];
-      if (in.defined()) {
-        Impl* ci = in.impl_.get();
-        if (ci->node && !visited.count(ci)) {
-          visited.insert(ci);
-          stack.emplace_back(ci, 0);
-        }
-      }
-    } else {
-      topo.push_back(impl);
-      stack.pop_back();
-    }
-  }
-
-  // Seed and propagate in reverse topological order.
-  impl_->grad = impl_->grad.defined() ? impl_->grad : Tensor::zeros(shape());
-  impl_->grad.add_(seed.reshape(shape()));
-  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
-    Impl* impl = *it;
-    if (!impl->node || !impl->grad.defined()) continue;
-    std::vector<Tensor> gin = impl->node->backward(impl->grad);
-    HFTA_CHECK(gin.size() == impl->node->inputs.size(),
-               "backward of ", impl->node->name, " returned ", gin.size(),
-               " grads for ", impl->node->inputs.size(), " inputs");
-    for (size_t i = 0; i < gin.size(); ++i) {
-      const Variable& in = impl->node->inputs[i];
-      if (!in.defined() || !gin[i].defined()) continue;
-      if (!in.impl_->requires_grad && !in.impl_->node) continue;
-      Tensor& g = in.impl_->grad;
-      if (!g.defined()) g = Tensor::zeros(in.shape());
-      HFTA_CHECK(gin[i].numel() == g.numel(), "backward of ",
-                 impl->node->name, ": grad ", i, " numel mismatch");
-      g.add_(gin[i]);
-    }
-  }
+  // One-shot convenience: graph walking and gradient accumulation live in
+  // ag::Engine; iteration drivers (hfta::TrainStep) hold a long-lived
+  // Engine instead so the traversal scratch survives across steps.
+  Engine engine;
+  engine.run(*this, std::move(seed));
 }
 
 }  // namespace hfta::ag

@@ -15,6 +15,7 @@
 
 namespace hfta::ag {
 
+class Engine;
 class Variable;
 
 /// Graph node recorded by a differentiable op.
@@ -48,7 +49,9 @@ class Variable {
   int64_t dim() const { return value().dim(); }
 
   /// Runs backpropagation from this variable. If `seed` is undefined, the
-  /// variable must be scalar-like and is seeded with ones.
+  /// variable must be scalar-like and is seeded with ones. Convenience
+  /// front-end over ag::Engine (autograd/engine.h); training loops that
+  /// run backward every iteration should hold one Engine and reuse it.
   void backward(Tensor seed = Tensor()) const;
 
   /// A new leaf sharing this variable's value but cut from the tape.
@@ -62,11 +65,14 @@ class Variable {
   const void* id() const { return impl_.get(); }
 
  private:
+  friend class Engine;  // traverses impls and stamps visit marks
+
   struct Impl {
     Tensor value;
     Tensor grad;
     bool requires_grad = false;
     std::shared_ptr<Node> node;  // creator; null for leaves
+    uint64_t visit_mark = 0;     // ag::Engine visited stamp (run id)
   };
   std::shared_ptr<Impl> impl_;
 };

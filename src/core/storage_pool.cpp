@@ -1,0 +1,128 @@
+#include "core/storage_pool.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hfta {
+
+namespace {
+
+constexpr int64_t kMinBucket = 64;  // floats; 256 B
+
+// Smallest power-of-two bucket >= n (>= kMinBucket).
+int64_t bucket_for(int64_t n) {
+  int64_t b = kMinBucket;
+  while (b < n) b <<= 1;
+  return b;
+}
+
+}  // namespace
+
+StoragePool& StoragePool::instance() {
+  static StoragePool* pool = new StoragePool();  // leaked by design
+  return *pool;
+}
+
+std::shared_ptr<float> StoragePool::acquire(int64_t numel, bool zeroed) {
+  const int64_t cap = bucket_for(numel);
+  float* p = nullptr;
+  bool pooled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (enabled_) {
+      auto it = free_.find(cap);
+      if (it != free_.end() && !it->second.empty()) {
+        p = it->second.back();
+        it->second.pop_back();
+        ++stats_.pool_hits;
+        stats_.cached_buffers -= 1;
+        stats_.cached_bytes -= static_cast<uint64_t>(cap) * sizeof(float);
+      }
+      pooled = true;  // route the release back here either way
+    }
+    if (p == nullptr) {
+      ++stats_.heap_allocs;
+      stats_.heap_bytes += static_cast<uint64_t>(cap) * sizeof(float);
+    }
+  }
+  if (p == nullptr) p = new float[static_cast<size_t>(cap)];
+  if ((zeroed || zero_fill_all_) && numel > 0)
+    std::memset(p, 0, sizeof(float) * static_cast<size_t>(numel));
+  if (pooled) {
+    StoragePool* self = this;
+    return std::shared_ptr<float>(
+        p, [self, cap](float* q) { self->release(q, cap); });
+  }
+  return std::shared_ptr<float>(p, [](float* q) { delete[] q; });
+}
+
+void StoragePool::release(float* p, int64_t capacity) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (enabled_) {
+      free_[capacity].push_back(p);
+      stats_.cached_buffers += 1;
+      stats_.cached_bytes += static_cast<uint64_t>(capacity) * sizeof(float);
+      return;
+    }
+  }
+  delete[] p;
+}
+
+void StoragePool::set_enabled(bool on) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = on;
+}
+
+StoragePool::Stats StoragePool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void StoragePool::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.heap_allocs = 0;
+  stats_.heap_bytes = 0;
+  stats_.pool_hits = 0;
+}
+
+void StoragePool::trim() {
+  std::unordered_map<int64_t, std::vector<float*>> lists;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lists.swap(free_);
+    stats_.cached_buffers = 0;
+    stats_.cached_bytes = 0;
+  }
+  for (auto& [cap, vec] : lists) {
+    (void)cap;
+    for (float* p : vec) delete[] p;
+  }
+}
+
+// ---- IterationScope ---------------------------------------------------------
+
+namespace {
+uint64_t g_last_scope_allocs = 0;
+uint64_t g_last_scope_hits = 0;
+}  // namespace
+
+IterationScope::IterationScope() : start_(StoragePool::instance().stats()) {}
+
+IterationScope::~IterationScope() {
+  g_last_scope_allocs = heap_allocs();
+  g_last_scope_hits = pool_hits();
+}
+
+uint64_t IterationScope::heap_allocs() const {
+  return StoragePool::instance().stats().heap_allocs - start_.heap_allocs;
+}
+
+uint64_t IterationScope::pool_hits() const {
+  return StoragePool::instance().stats().pool_hits - start_.pool_hits;
+}
+
+uint64_t IterationScope::last_heap_allocs() { return g_last_scope_allocs; }
+uint64_t IterationScope::last_pool_hits() { return g_last_scope_hits; }
+
+}  // namespace hfta

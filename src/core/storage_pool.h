@@ -1,0 +1,128 @@
+// Size-bucketed recycling pool for tensor storage.
+//
+// Training iterates the same graph over and over: every step allocates the
+// same set of activation/gradient buffers and frees them before the next
+// step begins. The pool turns that churn into pointer swaps — a freed
+// buffer parks on a per-size free list and the next same-size acquire pops
+// it instead of touching the heap — so steady-state iterations perform
+// zero heap allocations for tensor storage. Buffers are bucketed by
+// capacity rounded up to a power of two (min 64 floats), so near-size
+// requests share lists and the cache stays small.
+//
+// Zero-fill is a separate concern from allocation: acquire(numel, zeroed)
+// memsets only when the caller's semantics need it. Kernels and factories
+// that overwrite every output element use the uninitialized path
+// (Tensor::empty) and skip the memset entirely.
+//
+// The pool also powers the repo's allocation instrumentation: heap_allocs /
+// heap_bytes count every real new[] (pool misses and disabled-path
+// allocations alike), which is what Tensor::alloc_count() reports and what
+// the steady-state zero-alloc tests assert on.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace hfta {
+
+class StoragePool {
+ public:
+  /// The process-wide pool (leaky singleton: never destroyed, so tensor
+  /// deleters running during static teardown stay safe).
+  static StoragePool& instance();
+
+  /// A buffer of at least `numel` floats, zero-filled when `zeroed`.
+  /// Served from a free list when one fits; falls back to the heap (and
+  /// counts a heap alloc) otherwise. When the pool is disabled the buffer
+  /// is a plain heap allocation whose deleter bypasses the pool.
+  std::shared_ptr<float> acquire(int64_t numel, bool zeroed);
+
+  /// Toggles recycling. Disabling does not drop cached buffers (trim()
+  /// does) and in-flight pooled buffers are heap-freed on release while
+  /// the pool is off.
+  void set_enabled(bool on);
+  bool enabled() const { return enabled_; }
+
+  /// Bench/test hook: when on, EVERY acquire is zero-filled — including
+  /// Tensor::empty / PooledBuffer ones — emulating the pre-iteration-engine
+  /// allocator (all storage was a zero-initialized std::vector) for honest
+  /// before/after A-B measurements. Values are unaffected either way:
+  /// empty-path users overwrite fully, so extra zeroing only costs time.
+  void set_zero_fill_all(bool on) { zero_fill_all_ = on; }
+  bool zero_fill_all() const { return zero_fill_all_; }
+
+  struct Stats {
+    uint64_t heap_allocs = 0;    // real new[] calls since the last reset
+    uint64_t heap_bytes = 0;     // bytes those allocations requested
+    uint64_t pool_hits = 0;      // acquires served from a free list
+    uint64_t cached_buffers = 0; // buffers currently parked on free lists
+    uint64_t cached_bytes = 0;
+  };
+  Stats stats() const;
+  /// Resets the cumulative counters (cached_* reflect live state and are
+  /// not affected).
+  void reset_stats();
+
+  /// Frees every cached buffer. Live tensors are unaffected; they return
+  /// to the (now empty) free lists as usual when released.
+  void trim();
+
+ private:
+  StoragePool() = default;
+
+  void release(float* p, int64_t capacity);
+
+  mutable std::mutex mu_;
+  std::unordered_map<int64_t, std::vector<float*>> free_;  // capacity -> LIFO
+  std::atomic<bool> enabled_{true};
+  std::atomic<bool> zero_fill_all_{false};
+  Stats stats_;
+};
+
+/// RAII window over the pool counters for one training iteration. Construct
+/// at the top of a step, read the deltas before (or after) it ends:
+///
+///   IterationScope scope;
+///   ... zero_grad / forward / backward / step ...
+///   assert(scope.heap_allocs() == 0);  // steady state: everything recycled
+///
+/// Destruction publishes the deltas as StoragePool "last scope" data via
+/// last_heap_allocs()/last_pool_hits(), so drivers can report per-iteration
+/// allocation behavior without threading the scope object around.
+class IterationScope {
+ public:
+  IterationScope();
+  ~IterationScope();
+
+  uint64_t heap_allocs() const;  // heap allocs since construction
+  uint64_t pool_hits() const;    // free-list hits since construction
+
+  /// Deltas recorded by the most recently destroyed scope.
+  static uint64_t last_heap_allocs();
+  static uint64_t last_pool_hits();
+
+ private:
+  StoragePool::Stats start_;
+};
+
+/// RAII scratch buffer of `numel` uninitialized floats from the pool, for
+/// kernel-internal temporaries (im2col columns, materialized transposes)
+/// that previously heap-allocated a std::vector per call.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  explicit PooledBuffer(int64_t numel)
+      : buf_(StoragePool::instance().acquire(numel, /*zeroed=*/false)) {}
+
+  float* data() { return buf_.get(); }
+  const float* data() const { return buf_.get(); }
+
+ private:
+  std::shared_ptr<float> buf_;
+};
+
+}  // namespace hfta

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "core/check.h"
+#include "core/storage_pool.h"
 #include "data/loader.h"
 #include "hfta/fused_optim.h"
 #include "hfta/fusion.h"
@@ -36,11 +37,14 @@ uint64_t param_key(const ParamSet& p, uint64_t seed) {
 
 models::MobileNetV3Config mobilenet_config(const SearchSpace& space,
                                            const ParamSet& p) {
-  // The infusible "version" hyper-parameter picks V2 vs V3-Large (paper
-  // Table 12); widths stay at the tiny scale the real executor trains.
-  return space.get(p, "version") == 2.0
-             ? models::MobileNetV3Config::tiny_v2()
-             : models::MobileNetV3Config::tiny();
+  // A pure function of the ParamSet: the infusible "version" picks V2 vs
+  // V3-Large (paper Table 12) and the infusible "width_mult" scales every
+  // channel count — two structural axes the congruence check partitions on.
+  models::MobileNetV3Config cfg = space.get(p, "version") == 2.0
+                                      ? models::MobileNetV3Config::tiny_v2()
+                                      : models::MobileNetV3Config::tiny();
+  cfg.width_mult = static_cast<float>(space.get(p, "width_mult"));
+  return cfg;
 }
 
 }  // namespace
@@ -269,7 +273,12 @@ FusedTrainingExecutor::Group* FusedTrainingExecutor::repack_groups(
     ++multi_repacked_;
     arrays_merged_ += static_cast<int64_t>(gidx.size());
   }
-  // Fully consumed sources can never match a later proposal; free them.
+  // Fully consumed sources can never match a later proposal; free them,
+  // and hand their parked storage back to the OS — a halving boundary is
+  // exactly where the working set shrinks, so without the trim the pool
+  // would pin the union of every retired array's peak for the process
+  // lifetime. The live arrays re-warm the pool within one iteration.
+  const size_t before = groups_.size();
   groups_.erase(
       std::remove_if(groups_.begin(), groups_.end(),
                      [](const std::unique_ptr<Group>& g) {
@@ -279,6 +288,7 @@ FusedTrainingExecutor::Group* FusedTrainingExecutor::repack_groups(
                                           [](bool r) { return r; });
                      }),
       groups_.end());
+  if (groups_.size() != before) StoragePool::instance().trim();
   groups_.push_back(std::move(merged));
   return groups_.back().get();
 }
@@ -378,7 +388,10 @@ FusedTrainingExecutor::Group* FusedTrainingExecutor::find_or_create(
   // so the oldest groups can never be continued and are safe to drop. The
   // cap comfortably exceeds the chunks of any single proposal round.
   constexpr size_t kMaxLiveGroups = 64;
-  if (groups_.size() > kMaxLiveGroups) groups_.erase(groups_.begin());
+  if (groups_.size() > kMaxLiveGroups) {
+    groups_.erase(groups_.begin());
+    StoragePool::instance().trim();  // the evicted array's storage with it
+  }
   return groups_.back().get();
 }
 
@@ -410,34 +423,35 @@ void FusedTrainingExecutor::train(Group& g, int64_t delta_epochs,
       Tensor labels({B, N});
       for (int64_t b = 0; b < B; ++b)
         for (int64_t n = 0; n < N; ++n) labels.at({b, n}) = y.at({n});
-      g.opt->zero_grad();
-      ag::Variable logits =
-          g.array->forward(ag::Variable(fused::pack_channel_fused(xs)));
       // Only the serial-verification audit reads the per-model losses —
       // skip the extra softmax pass on plain tuning runs.
       std::vector<double> fused_losses;
-      if (!g.serial.empty())
-        fused_losses = fused::per_model_cross_entropy(logits.value(), labels);
-      // Per-model mean CE built as (1/N) * sum: its backward scales every
-      // row by the same float(1/N) the serial kMean loss uses, so the
-      // gradients match the B serial runs bit-for-bit regardless of how
-      // float(1/(B*N)) * B would round (Appendix C, Eq. 5 route).
-      ag::mul_scalar(
-          fused::fused_cross_entropy(logits, labels, ag::Reduction::kSum),
-          1.f / static_cast<float>(N))
-          .backward();
-      g.opt->step();
+      train_step_.run(*g.opt, [&] {
+        ag::Variable logits =
+            g.array->forward(ag::Variable(fused::pack_channel_fused(xs)));
+        if (!g.serial.empty())
+          fused_losses =
+              fused::per_model_cross_entropy(logits.value(), labels);
+        // Per-model mean CE built as (1/N) * sum: its backward scales every
+        // row by the same float(1/N) the serial kMean loss uses, so the
+        // gradients match the B serial runs bit-for-bit regardless of how
+        // float(1/(B*N)) * B would round (Appendix C, Eq. 5 route).
+        return ag::mul_scalar(
+            fused::fused_cross_entropy(logits, labels, ag::Reduction::kSum),
+            1.f / static_cast<float>(N));
+      });
 
       for (size_t b = 0; b < g.serial.size(); ++b) {
-        g.serial_opts[b]->zero_grad();
-        ag::Variable sl = g.serial[b]->forward(ag::Variable(x));
-        // Same per-model reduction routine on both sides: the comparison
-        // detects logits drift, not reduction-order noise.
-        const double serial_loss = fused::per_model_cross_entropy(
-            sl.value().reshape({1, N, sl.value().size(1)}),
-            y.reshape({1, N}))[0];
-        ag::cross_entropy(sl, y, ag::Reduction::kMean).backward();
-        g.serial_opts[b]->step();
+        double serial_loss = 0.0;
+        train_step_.run(*g.serial_opts[b], [&, &x = x, &y = y] {
+          ag::Variable sl = g.serial[b]->forward(ag::Variable(x));
+          // Same per-model reduction routine on both sides: the comparison
+          // detects logits drift, not reduction-order noise.
+          serial_loss = fused::per_model_cross_entropy(
+              sl.value().reshape({1, N, sl.value().size(1)}),
+              y.reshape({1, N}))[0];
+          return ag::cross_entropy(sl, y, ag::Reduction::kMean);
+        });
         max_diff_ = std::max(max_diff_,
                              std::fabs(fused_losses[b] - serial_loss));
         if (g.ever_repacked) ++post_repack_verified_;

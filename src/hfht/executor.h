@@ -15,6 +15,7 @@
 
 #include "data/datasets.h"
 #include "hfht/tuner.h"
+#include "hfta/train.h"
 
 namespace hfta::fused {
 class FusedAdam;
@@ -148,6 +149,10 @@ class FusedTrainingExecutor : public TrialExecutor {
   Options opts_;
   SearchSpace space_;
   Rng rng_;
+  /// One iteration engine for every group this executor ever trains (fused
+  /// steps and serial verification twins alike): backward scratch and
+  /// pooled tensor storage stay warm across trials, rungs, and repacks.
+  TrainStep train_step_;
   std::unique_ptr<data::PointCloudDataset> cloud_ds_;  // kPointNet
   std::unique_ptr<data::ImageDataset> image_ds_;       // kMobileNet
   Tensor eval_x_, eval_y_;  // fixed held-out scoring batch

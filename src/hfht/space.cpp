@@ -73,6 +73,9 @@ SearchSpace SearchSpace::mobilenet() {
       {"lr_decay_period", true, false, 0, 0, {5, 10, 20, 40}},
       {"batch_size", false, false, 0, 0, {1024, 2048}},
       {"version", false, false, 0, 0, {2, 3}},  // V2 vs V3-Large
+      // Structural width multiplier: changes every channel count, so trials
+      // with different widths cannot share a fused graph (infusible).
+      {"width_mult", false, false, 0, 0, {0.25, 0.5}},
   };
   return s;
 }

@@ -43,8 +43,10 @@ struct SearchSpace {
   /// The paper's PointNet task: 8 hyper-parameters, 2 infusible
   /// (batch size, feature transformation) — Table 12.
   static SearchSpace pointnet();
-  /// The paper's MobileNet task: 8 hyper-parameters, 2 infusible
-  /// (batch size, V2 vs V3-Large) — Table 12.
+  /// The paper's MobileNet task (Table 12's 8 hyper-parameters, 2
+  /// infusible: batch size, V2 vs V3-Large) extended with a 9th,
+  /// infusible width_mult — a structural axis that partitions trials by
+  /// channel width on top of the paper's two.
   static SearchSpace mobilenet();
 };
 

@@ -1,0 +1,93 @@
+#include "hfta/train.h"
+
+namespace hfta {
+
+template <typename ZeroFn, typename StepFn>
+ag::Variable TrainStep::run_impl(const ZeroFn& zero, const StepFn& step,
+                                 const LossFn& loss_fn) {
+  IterationScope scope;
+  zero();
+  ag::Variable loss = loss_fn();
+  engine_.run(loss);
+  step();
+  ++stats_.steps;
+  stats_.last_heap_allocs = scope.heap_allocs();
+  stats_.last_pool_hits = scope.pool_hits();
+  return loss;
+}
+
+template <typename ZeroFn, typename StepFn>
+std::vector<ag::Variable> TrainStep::run_multi_impl(
+    const ZeroFn& zero, const StepFn& step, const MultiLossFn& loss_fn) {
+  IterationScope scope;
+  zero();
+  std::vector<ag::Variable> losses = loss_fn();
+  for (const ag::Variable& loss : losses) engine_.run(loss);
+  step();
+  ++stats_.steps;
+  stats_.last_heap_allocs = scope.heap_allocs();
+  stats_.last_pool_hits = scope.pool_hits();
+  return losses;
+}
+
+ag::Variable TrainStep::run(fused::FusedOptimizer& opt,
+                            const LossFn& loss_fn) {
+  return run_impl([&] { opt.zero_grad(); }, [&] { opt.step(); }, loss_fn);
+}
+
+ag::Variable TrainStep::run(nn::Optimizer& opt, const LossFn& loss_fn) {
+  return run_impl([&] { opt.zero_grad(); }, [&] { opt.step(); }, loss_fn);
+}
+
+std::vector<ag::Variable> TrainStep::run(fused::FusedOptimizer& opt,
+                                         const MultiLossFn& loss_fn) {
+  return run_multi_impl([&] { opt.zero_grad(); }, [&] { opt.step(); },
+                        loss_fn);
+}
+
+std::vector<ag::Variable> TrainStep::run(nn::Optimizer& opt,
+                                         const MultiLossFn& loss_fn) {
+  return run_multi_impl([&] { opt.zero_grad(); }, [&] { opt.step(); },
+                        loss_fn);
+}
+
+ag::Variable TrainStep::run(nn::Module& model, const LossFn& loss_fn) {
+  return run_impl([&] { model.zero_grad(); }, [] {}, loss_fn);
+}
+
+void TrainStep::backward(const ag::Variable& loss, Tensor seed) {
+  engine_.run(loss, std::move(seed));
+}
+
+template <typename Target>
+void TrainLoop::run_loop(int64_t steps, Target& target,
+                         const std::function<ag::Variable(int64_t)>& loss_fn) {
+  for (int64_t s = 0; s < steps; ++s) {
+    ag::Variable loss = step_.run(target, [&] { return loss_fn(s); });
+    if (opts_.on_step) opts_.on_step(s, loss);
+    const bool epoch_end =
+        opts_.steps_per_epoch > 0 && (s + 1) % opts_.steps_per_epoch == 0;
+    if (epoch_end) {
+      if (opts_.fused_scheduler) opts_.fused_scheduler->step();
+      if (opts_.scheduler) opts_.scheduler->step();
+      if (opts_.on_epoch_end) opts_.on_epoch_end((s + 1) / opts_.steps_per_epoch - 1);
+    }
+  }
+}
+
+void TrainLoop::run(int64_t steps, fused::FusedOptimizer& opt,
+                    const std::function<ag::Variable(int64_t)>& loss_fn) {
+  run_loop(steps, opt, loss_fn);
+}
+
+void TrainLoop::run(int64_t steps, nn::Optimizer& opt,
+                    const std::function<ag::Variable(int64_t)>& loss_fn) {
+  run_loop(steps, opt, loss_fn);
+}
+
+void TrainLoop::run(int64_t steps, nn::Module& model,
+                    const std::function<ag::Variable(int64_t)>& loss_fn) {
+  run_loop(steps, model, loss_fn);
+}
+
+}  // namespace hfta

@@ -1,0 +1,131 @@
+// The iteration engine's driver layer: one TrainStep/TrainLoop API for
+// every training loop in the repo (examples, benches, the HFHT executor).
+//
+// Every hand-rolled loop here used to repeat the same five lines —
+// zero_grad, forward, loss, backward, optimizer step — and every copy paid
+// the full per-iteration overhead: a fresh autograd traversal scratch per
+// backward and heap-allocated storage for every activation and gradient.
+// TrainStep owns the two reusable pieces (an ag::Engine and the pool's
+// IterationScope accounting) and drives the canonical sequence; TrainLoop
+// adds epoch boundaries, scheduler stepping, and scoring/tracing hooks on
+// top. Porting a loop onto TrainStep is what makes pooling + engine reuse
+// apply to it — and keeps it bit-exact, because the step order is the same
+// five lines it always ran.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "autograd/engine.h"
+#include "core/storage_pool.h"
+#include "hfta/fused_optim.h"
+#include "hfta/fused_sched.h"
+#include "nn/module.h"
+#include "nn/optim.h"
+#include "nn/sched.h"
+
+namespace hfta {
+
+/// Builds one iteration's loss graph (forward + loss, under the caller's
+/// data). Runs inside the step's pooled iteration scope.
+using LossFn = std::function<ag::Variable()>;
+/// Multi-loss variant (e.g. a GAN discriminator's real and fake terms):
+/// each loss runs backward, in order, before the single optimizer step.
+using MultiLossFn = std::function<std::vector<ag::Variable>()>;
+
+/// One training iteration: zero_grad -> forward/loss -> backward (through
+/// the long-lived engine) -> optimizer step, wrapped in an IterationScope
+/// so per-step allocation behavior is observable. One TrainStep may drive
+/// several models/optimizers (the engine scratch is graph-agnostic);
+/// steady-state steps hit the storage pool for every tensor they allocate.
+class TrainStep {
+ public:
+  struct Stats {
+    int64_t steps = 0;               // iterations driven by this TrainStep
+    uint64_t last_heap_allocs = 0;   // storage heap allocs in the last step
+    uint64_t last_pool_hits = 0;     // pool recycling hits in the last step
+  };
+
+  /// Fused-array iteration: `opt` is zero_grad'ed and stepped around the
+  /// loss built by `loss_fn`. Returns the loss variable (its value is
+  /// alive; its tape has been consumed by backward).
+  ag::Variable run(fused::FusedOptimizer& opt, const LossFn& loss_fn);
+  /// Serial counterpart (one of the B per-model runs).
+  ag::Variable run(nn::Optimizer& opt, const LossFn& loss_fn);
+
+  /// Multi-loss iterations (losses run backward in order, one step).
+  std::vector<ag::Variable> run(fused::FusedOptimizer& opt,
+                                const MultiLossFn& loss_fn);
+  std::vector<ag::Variable> run(nn::Optimizer& opt,
+                                const MultiLossFn& loss_fn);
+
+  /// Optimizer-free iteration (timing probes, gradient checks): the
+  /// model's grads are zeroed instead and no step is taken.
+  ag::Variable run(nn::Module& model, const LossFn& loss_fn);
+
+  /// Backward through the reusable engine, for hand-assembled iterations
+  /// that cannot use run() (seeded backward, interleaved updates).
+  void backward(const ag::Variable& loss, Tensor seed = Tensor());
+
+  const Stats& stats() const { return stats_; }
+  ag::Engine& engine() { return engine_; }
+
+ private:
+  template <typename ZeroFn, typename StepFn>
+  ag::Variable run_impl(const ZeroFn& zero, const StepFn& step,
+                        const LossFn& loss_fn);
+  template <typename ZeroFn, typename StepFn>
+  std::vector<ag::Variable> run_multi_impl(const ZeroFn& zero,
+                                           const StepFn& step,
+                                           const MultiLossFn& loss_fn);
+
+  ag::Engine engine_;
+  Stats stats_;
+};
+
+/// Drives a TrainStep over a fixed number of iterations with epoch
+/// boundaries, scheduler stepping, and hooks — the loop around the loop.
+/// The loss builder receives the step index (for data selection/logging);
+/// hooks run after the optimizer step so they observe the updated model.
+class TrainLoop {
+ public:
+  struct Options {
+    /// Iterations per epoch; 0 disables epoch boundaries. Schedulers and
+    /// on_epoch_end fire after each full epoch.
+    int64_t steps_per_epoch = 0;
+    fused::FusedLRScheduler* fused_scheduler = nullptr;
+    nn::LRScheduler* scheduler = nullptr;
+    std::function<void(int64_t epoch)> on_epoch_end;
+    /// Scoring/tracing hook: (step index, that step's loss).
+    std::function<void(int64_t step, const ag::Variable& loss)> on_step;
+  };
+
+  TrainLoop() = default;
+  // Delegating overload instead of `Options opts = {}`: GCC rejects
+  // defaulted {} for nested structs with NSDMI.
+  explicit TrainLoop(Options opts) : opts_(std::move(opts)) {}
+
+  /// Runs `steps` iterations of loss_fn against the fused optimizer.
+  void run(int64_t steps, fused::FusedOptimizer& opt,
+           const std::function<ag::Variable(int64_t)>& loss_fn);
+  /// Serial-optimizer variant.
+  void run(int64_t steps, nn::Optimizer& opt,
+           const std::function<ag::Variable(int64_t)>& loss_fn);
+  /// Optimizer-free variant (timing probes).
+  void run(int64_t steps, nn::Module& model,
+           const std::function<ag::Variable(int64_t)>& loss_fn);
+
+  /// The underlying TrainStep (shared engine/stats; also usable directly
+  /// for interleaved extra steps, e.g. serial verification twins).
+  TrainStep& step() { return step_; }
+
+ private:
+  template <typename Target>
+  void run_loop(int64_t steps, Target& target,
+                const std::function<ag::Variable(int64_t)>& loss_fn);
+
+  Options opts_;
+  TrainStep step_;
+};
+
+}  // namespace hfta

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/parallel.h"
+#include "core/storage_pool.h"
 #include "tensor/matmul.h"
 
 namespace hfta::ops {
@@ -106,7 +107,7 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
   if (b.defined())
     HFTA_CHECK(b.numel() == d.Cout, "conv2d: bias numel ", b.numel(), " != ",
                d.Cout);
-  Tensor y({d.N, d.Cout, d.Ho, d.Wo});
+  Tensor y = Tensor::empty({d.N, d.Cout, d.Ho, d.Wo});
   const int64_t col_rows = d.Cing * d.kh * d.kw;
   const int64_t spatial = d.Ho * d.Wo;
   const float* px = x.data();
@@ -115,7 +116,7 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
   float* py = y.data();
 
   parallel_for(0, d.N, [&](int64_t lo, int64_t hi) {
-    std::vector<float> cols(static_cast<size_t>(col_rows * spatial));
+    PooledBuffer cols(col_rows * spatial);
     for (int64_t n = lo; n < hi; ++n) {
       for (int64_t g = 0; g < a.groups; ++g) {
         const float* xg = px + (n * d.Cin + g * d.Cing) * d.H * d.W;
@@ -152,7 +153,7 @@ Tensor conv2d_grad_input(const Tensor& gy, const Tensor& w,
   float* pgx = gx.data();
 
   parallel_for(0, d.N, [&](int64_t lo, int64_t hi) {
-    std::vector<float> cols(static_cast<size_t>(col_rows * spatial));
+    PooledBuffer cols(col_rows * spatial);
     for (int64_t n = lo; n < hi; ++n) {
       for (int64_t g = 0; g < a.groups; ++g) {
         const float* gyg = pgy + (n * d.Cout + g * d.Coutg) * spatial;
@@ -182,7 +183,7 @@ Tensor conv2d_grad_weight(const Tensor& gy, const Tensor& x,
   // workloads have many groups. For groups == 1 the inner GEMM itself is the
   // dominant cost and still benefits from vectorization.
   parallel_for(0, a.groups, [&](int64_t glo, int64_t ghi) {
-    std::vector<float> cols(static_cast<size_t>(col_rows * spatial));
+    PooledBuffer cols(col_rows * spatial);
     for (int64_t g = glo; g < ghi; ++g) {
       float* gwg = pgw + g * d.Coutg * col_rows;
       for (int64_t n = 0; n < d.N; ++n) {

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "core/storage_pool.h"
+
 #include "core/parallel.h"
 #include "tensor/ops.h"
 
@@ -89,11 +91,13 @@ void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t n,
   }, 1);
 }
 
-// Materializes the transpose of a row-major [r, c] matrix.
-std::vector<float> transpose_copy(const float* src, int64_t r, int64_t c) {
-  std::vector<float> out(static_cast<size_t>(r * c));
+// Materializes the transpose of a row-major [r, c] matrix into pooled
+// scratch (every entry is written, so the buffer stays uninitialized).
+PooledBuffer transpose_copy(const float* src, int64_t r, int64_t c) {
+  PooledBuffer out(r * c);
+  float* po = out.data();
   for (int64_t i = 0; i < r; ++i)
-    for (int64_t j = 0; j < c; ++j) out[static_cast<size_t>(j * r + i)] = src[i * c + j];
+    for (int64_t j = 0; j < c; ++j) po[j * r + i] = src[i * c + j];
   return out;
 }
 
@@ -108,7 +112,7 @@ void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
   // Normalize the remaining cases to NN by materializing transposed
   // operands; the O(MK) copy is negligible next to the O(MNK) product at
   // our sizes.
-  std::vector<float> at, bt;
+  PooledBuffer at, bt;
   if (trans_a) {
     at = transpose_copy(a, k, m);  // stored as [K, M] -> want [M, K]
     a = at.data();
@@ -123,7 +127,7 @@ void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
 Tensor matmul(const Tensor& a, const Tensor& b) {
   HFTA_CHECK(a.dim() == 2 && b.dim() == 2 && a.size(1) == b.size(0),
              "matmul: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
-  Tensor c({a.size(0), b.size(1)});
+  Tensor c = Tensor::empty({a.size(0), b.size(1)});
   gemm(a.data(), b.data(), c.data(), a.size(0), b.size(1), a.size(1), false,
        false);
   return c;
@@ -132,7 +136,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   HFTA_CHECK(a.dim() == 2 && b.dim() == 2 && a.size(0) == b.size(0),
              "matmul_tn: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
-  Tensor c({a.size(1), b.size(1)});
+  Tensor c = Tensor::empty({a.size(1), b.size(1)});
   gemm(a.data(), b.data(), c.data(), a.size(1), b.size(1), a.size(0), true,
        false);
   return c;
@@ -141,7 +145,7 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   HFTA_CHECK(a.dim() == 2 && b.dim() == 2 && a.size(1) == b.size(1),
              "matmul_nt: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
-  Tensor c({a.size(0), b.size(0)});
+  Tensor c = Tensor::empty({a.size(0), b.size(0)});
   gemm(a.data(), b.data(), c.data(), a.size(0), b.size(0), a.size(1), false,
        true);
   return c;
@@ -157,7 +161,7 @@ Tensor bmm_impl(const Tensor& a, const Tensor& b, bool ta, bool tb) {
   const int64_t kb = tb ? b.size(2) : b.size(1);
   const int64_t n = tb ? b.size(1) : b.size(2);
   HFTA_CHECK(ka == kb, "bmm: inner dim mismatch ", ka, " vs ", kb);
-  Tensor c({B, m, n});
+  Tensor c = Tensor::empty({B, m, n});
   const int64_t a_sz = a.size(1) * a.size(2);
   const int64_t b_sz = b.size(1) * b.size(2);
   // Parallelize across batch entries; the per-matrix gemm runs inline when

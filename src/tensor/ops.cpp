@@ -55,7 +55,7 @@ Tensor binary(const Tensor& a, const Tensor& b, float (*fn)(float, float)) {
   HFTA_CHECK(a.defined() && b.defined(), "binary op on undefined tensor");
   // Fast path: identical shapes.
   if (a.shape() == b.shape()) {
-    Tensor out(a.shape());
+    Tensor out = Tensor::empty(a.shape());
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
@@ -69,7 +69,7 @@ Tensor binary(const Tensor& a, const Tensor& b, float (*fn)(float, float)) {
   const int64_t nd = static_cast<int64_t>(out_shape.size());
   const auto sa = broadcast_strides(pad_shape(a.shape(), nd), out_shape);
   const auto sb = broadcast_strides(pad_shape(b.shape(), nd), out_shape);
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
@@ -128,7 +128,7 @@ Tensor mul_scalar(const Tensor& a, float s) {
 }
 
 Tensor unary(const Tensor& a, const std::function<float(float)>& fn) {
-  Tensor out(a.shape());
+  Tensor out = Tensor::empty(a.shape());
   const float* pa = a.data();
   float* po = out.data();
   const int64_t n = a.numel();
@@ -209,7 +209,7 @@ Tensor sum_all(const Tensor& a) {
   const float* p = a.data();
   double acc = 0.0;
   for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
-  Tensor out(Shape{});
+  Tensor out = Tensor::empty(Shape{});
   out.data()[0] = static_cast<float>(acc);
   return out;
 }
@@ -248,8 +248,8 @@ std::pair<Tensor, Tensor> max_dim(const Tensor& a, int64_t dim, bool keepdim) {
       out_shape.push_back(a.size(i));
     }
   }
-  Tensor values(out_shape.empty() ? Shape{} : out_shape);
-  Tensor indices(values.shape());
+  Tensor values = Tensor::empty(out_shape.empty() ? Shape{} : out_shape);
+  Tensor indices = Tensor::empty(values.shape());
   const float* pa = a.data();
   float* pv = values.data();
   float* pi = indices.data();
@@ -294,7 +294,7 @@ Tensor concat(const std::vector<Tensor>& ts, int64_t dim) {
     total += t.size(dim);
   }
   out_shape[static_cast<size_t>(dim)] = total;
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
   int64_t outer = 1, inner = 1;
   for (int64_t i = 0; i < dim; ++i) outer *= out_shape[static_cast<size_t>(i)];
   for (int64_t i = dim + 1; i < nd; ++i) inner *= out_shape[static_cast<size_t>(i)];
@@ -344,7 +344,7 @@ Tensor index_select(const Tensor& t, int64_t dim,
   if (dim < 0) dim += nd;
   Shape out_shape = t.shape();
   out_shape[static_cast<size_t>(dim)] = static_cast<int64_t>(indices.size());
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
   int64_t outer = 1, inner = 1;
   const int64_t n = t.size(dim);
   for (int64_t i = 0; i < dim; ++i) outer *= t.size(i);
@@ -366,7 +366,7 @@ Tensor index_select(const Tensor& t, int64_t dim,
 Tensor stack_repeat(const Tensor& t, int64_t reps) {
   Shape out_shape = t.shape();
   out_shape.insert(out_shape.begin(), reps);
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
   float* dst = out.data();
   for (int64_t r = 0; r < reps; ++r)
     std::memcpy(dst + r * t.numel(), t.data(),
@@ -397,7 +397,7 @@ void rowwise(const Tensor& a, int64_t dim, Tensor& out, Fn fn) {
 
 Tensor softmax(const Tensor& a, int64_t dim) {
   if (dim < 0) dim += a.dim();
-  Tensor out(a.shape());
+  Tensor out = Tensor::empty(a.shape());
   rowwise(a, dim, out, [](const float* x, float* y, int64_t n, int64_t st) {
     float mx = x[0];
     for (int64_t i = 1; i < n; ++i) mx = std::max(mx, x[i * st]);
@@ -414,7 +414,7 @@ Tensor softmax(const Tensor& a, int64_t dim) {
 
 Tensor log_softmax(const Tensor& a, int64_t dim) {
   if (dim < 0) dim += a.dim();
-  Tensor out(a.shape());
+  Tensor out = Tensor::empty(a.shape());
   rowwise(a, dim, out, [](const float* x, float* y, int64_t n, int64_t st) {
     float mx = x[0];
     for (int64_t i = 1; i < n; ++i) mx = std::max(mx, x[i * st]);
@@ -446,7 +446,7 @@ Tensor embedding(const Tensor& indices, const Tensor& weight) {
   const int64_t E = weight.size(1);
   Shape out_shape = indices.shape();
   out_shape.push_back(E);
-  Tensor out(out_shape);
+  Tensor out = Tensor::empty(out_shape);
   const float* pi = indices.data();
   const float* pw = weight.data();
   float* po = out.data();

@@ -14,8 +14,8 @@ std::pair<Tensor, Tensor> max_pool2d(const Tensor& x, const PoolArgs& a) {
   const int64_t Ho = (H + 2 * a.pad - a.kernel) / s + 1;
   const int64_t Wo = (W + 2 * a.pad - a.kernel) / s + 1;
   HFTA_CHECK(Ho > 0 && Wo > 0, "max_pool2d: empty output");
-  Tensor y({N, C, Ho, Wo});
-  Tensor idx({N, C, Ho, Wo});
+  Tensor y = Tensor::empty({N, C, Ho, Wo});
+  Tensor idx = Tensor::empty({N, C, Ho, Wo});
   const float* px = x.data();
   float* py = y.data();
   float* pi = idx.data();
@@ -80,7 +80,7 @@ inline int64_t ada_end(int64_t o, int64_t in, int64_t out) {
 Tensor adaptive_avg_pool2d(const Tensor& x, int64_t out_h, int64_t out_w) {
   HFTA_CHECK(x.dim() == 4, "adaptive_avg_pool2d: x must be [N,C,H,W]");
   const int64_t N = x.size(0), C = x.size(1), H = x.size(2), W = x.size(3);
-  Tensor y({N, C, out_h, out_w});
+  Tensor y = Tensor::empty({N, C, out_h, out_w});
   const float* px = x.data();
   float* py = y.data();
   parallel_for(0, N * C, [&](int64_t lo, int64_t hi) {
@@ -132,7 +132,7 @@ Tensor avg_pool2d(const Tensor& x, const PoolArgs& a) {
   const int64_t s = a.effective_stride();
   const int64_t Ho = (H + 2 * a.pad - a.kernel) / s + 1;
   const int64_t Wo = (W + 2 * a.pad - a.kernel) / s + 1;
-  Tensor y({N, C, Ho, Wo});
+  Tensor y = Tensor::empty({N, C, Ho, Wo});
   const float* px = x.data();
   float* py = y.data();
   const float inv = 1.f / static_cast<float>(a.kernel * a.kernel);
@@ -189,8 +189,8 @@ Tensor avg_pool2d_backward(const Tensor& gy, const Shape& x_shape,
 std::pair<Tensor, Tensor> max_pool1d_global(const Tensor& x) {
   HFTA_CHECK(x.dim() == 3, "max_pool1d_global: x must be [N,C,L]");
   const int64_t N = x.size(0), C = x.size(1), L = x.size(2);
-  Tensor y({N, C});
-  Tensor idx({N, C});
+  Tensor y = Tensor::empty({N, C});
+  Tensor idx = Tensor::empty({N, C});
   const float* px = x.data();
   float* py = y.data();
   float* pi = idx.data();

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <sstream>
 
+#include "core/storage_pool.h"
+
 namespace hfta {
 
 std::string shape_str(const Shape& s) {
@@ -27,28 +29,48 @@ int64_t shape_numel(const Shape& s) {
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
   for (int64_t d : shape_) HFTA_CHECK(d >= 0, "negative dim in ", shape_str(shape_));
   numel_ = shape_numel(shape_);
-  storage_ = std::make_shared<std::vector<float>>(static_cast<size_t>(numel_), 0.f);
+  storage_ = StoragePool::instance().acquire(numel_, /*zeroed=*/true);
 }
+
+Tensor Tensor::empty(Shape shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  for (int64_t d : t.shape_)
+    HFTA_CHECK(d >= 0, "negative dim in ", shape_str(t.shape_));
+  t.numel_ = shape_numel(t.shape_);
+  t.storage_ = StoragePool::instance().acquire(t.numel_, /*zeroed=*/false);
+  return t;
+}
+
+uint64_t Tensor::alloc_count() {
+  return StoragePool::instance().stats().heap_allocs;
+}
+
+uint64_t Tensor::alloc_bytes() {
+  return StoragePool::instance().stats().heap_bytes;
+}
+
+void Tensor::reset_alloc_stats() { StoragePool::instance().reset_stats(); }
 
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
 
 Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.f); }
 
 Tensor Tensor::full(Shape shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   t.fill_(value);
   return t;
 }
 
 Tensor Tensor::randn(Shape shape, Rng& rng) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   float* p = t.data();
   for (int64_t i = 0; i < t.numel(); ++i) p[i] = static_cast<float>(rng.normal());
   return t;
 }
 
 Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   float* p = t.data();
   for (int64_t i = 0; i < t.numel(); ++i)
     p[i] = static_cast<float>(rng.uniform(lo, hi));
@@ -56,14 +78,14 @@ Tensor Tensor::rand(Shape shape, Rng& rng, float lo, float hi) {
 }
 
 Tensor Tensor::arange(int64_t n) {
-  Tensor t({n});
+  Tensor t = empty({n});
   float* p = t.data();
   for (int64_t i = 0; i < n; ++i) p[i] = static_cast<float>(i);
   return t;
 }
 
 Tensor Tensor::from_data(Shape shape, const std::vector<float>& values) {
-  Tensor t(std::move(shape));
+  Tensor t = empty(std::move(shape));
   HFTA_CHECK(static_cast<int64_t>(values.size()) == t.numel(),
              "from_data: ", values.size(), " values for shape ",
              shape_str(t.shape()));
@@ -92,16 +114,16 @@ int64_t Tensor::flat_index(std::initializer_list<int64_t> idx) const {
 }
 
 float& Tensor::at(std::initializer_list<int64_t> idx) {
-  return (*storage_)[static_cast<size_t>(flat_index(idx))];
+  return data()[flat_index(idx)];
 }
 
 float Tensor::at(std::initializer_list<int64_t> idx) const {
-  return (*storage_)[static_cast<size_t>(flat_index(idx))];
+  return data()[flat_index(idx)];
 }
 
 float Tensor::item() const {
   HFTA_CHECK(numel_ == 1, "item() on tensor with ", numel_, " elements");
-  return (*storage_)[0];
+  return data()[0];
 }
 
 Tensor Tensor::reshape(Shape shape) const {
@@ -149,7 +171,7 @@ Tensor Tensor::squeeze(int64_t d) const {
 
 Tensor Tensor::clone() const {
   HFTA_CHECK(defined(), "clone of undefined tensor");
-  Tensor t(shape_);
+  Tensor t = empty(shape_);
   std::memcpy(t.data(), data(), sizeof(float) * static_cast<size_t>(numel_));
   return t;
 }
@@ -172,7 +194,7 @@ Tensor Tensor::permute(const std::vector<int64_t>& perm) const {
     src_strides[static_cast<size_t>(i)] =
         src_strides[static_cast<size_t>(i + 1)] * shape_[static_cast<size_t>(i + 1)];
 
-  Tensor out(out_shape);
+  Tensor out = empty(out_shape);
   const float* src = data();
   float* dst = out.data();
   std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
@@ -211,7 +233,7 @@ Tensor Tensor::slice(int64_t d, int64_t start, int64_t end) const {
              ") out of range for dim of size ", n);
   Shape out_shape = shape_;
   out_shape[static_cast<size_t>(d)] = end - start;
-  Tensor out(out_shape);
+  Tensor out = empty(out_shape);
   // View the tensor as [outer, n, inner]; copy rows [start, end).
   int64_t outer = 1, inner = 1;
   for (int64_t i = 0; i < d; ++i) outer *= shape_[static_cast<size_t>(i)];
@@ -227,7 +249,7 @@ Tensor Tensor::slice(int64_t d, int64_t start, int64_t end) const {
 }
 
 void Tensor::fill_(float v) {
-  std::fill(storage_->begin(), storage_->end(), v);
+  std::fill(data(), data() + numel_, v);
 }
 
 void Tensor::add_(const Tensor& other, float alpha) {

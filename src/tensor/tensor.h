@@ -37,6 +37,11 @@ class Tensor {
 
   // -- factories ------------------------------------------------------------
   static Tensor zeros(Shape shape);
+  /// UNINITIALIZED storage of the given shape: the caller must overwrite
+  /// every element before reading any. This is the fast path for kernels
+  /// and factories whose output is fully written (no zero-fill, and a
+  /// recycled pool buffer is handed over as-is).
+  static Tensor empty(Shape shape);
   static Tensor ones(Shape shape);
   static Tensor full(Shape shape, float value);
   /// Standard-normal entries drawn from `rng`.
@@ -57,8 +62,8 @@ class Tensor {
   int64_t numel() const { return numel_; }
 
   // -- raw access -----------------------------------------------------------
-  float* data() { return storage_->data(); }
-  const float* data() const { return storage_->data(); }
+  float* data() { return storage_.get(); }
+  const float* data() const { return storage_.get(); }
   /// Element accessor for tests / debugging (slow).
   float& at(std::initializer_list<int64_t> idx);
   float at(std::initializer_list<int64_t> idx) const;
@@ -99,8 +104,17 @@ class Tensor {
   /// Flattened contents as a vector (for tests).
   std::vector<float> to_vector() const;
 
+  // -- allocation instrumentation (process-wide, storage-level) --------------
+  /// Heap allocations performed for tensor storage since the last reset —
+  /// pool recycling hits do NOT count, so a warm training loop reporting a
+  /// zero delta really made no heap allocations for tensor data.
+  static uint64_t alloc_count();
+  /// Bytes those heap allocations requested.
+  static uint64_t alloc_bytes();
+  static void reset_alloc_stats();
+
  private:
-  std::shared_ptr<std::vector<float>> storage_;
+  std::shared_ptr<float> storage_;  // pool-recycled buffer (storage_pool.h)
   Shape shape_;
   int64_t numel_ = 0;
 

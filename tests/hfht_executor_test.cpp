@@ -205,6 +205,7 @@ SearchSpace mobilenet_single_partition_space() {
   SearchSpace s = SearchSpace::mobilenet();
   s.params[s.index_of("batch_size")].choices = {4};
   s.params[s.index_of("version")].choices = {3};
+  s.params[s.index_of("width_mult")].choices = {0.25};
   return s;
 }
 
@@ -228,8 +229,8 @@ TEST(FusedExecutor, MobileNetTrialsTrainForRealBitExactly) {
 TEST(FusedExecutor, MobileNetSurvivorRepacksBitExactly) {
   // Halving on a live MobileNet array: the survivor's weights, BN running
   // stats, and Adam state carry over through the schema-derived store.
-  const ParamSet p = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 4, 3};
-  const ParamSet q = {2e-3, 0.85, 0.99, 0.10, 0.5, 10, 4, 3};
+  const ParamSet p = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 4, 3, 0.25};
+  const ParamSet q = {2e-3, 0.85, 0.99, 0.10, 0.5, 10, 4, 3, 0.25};
   FusedTrainingExecutor exec(Task::kMobileNet, sim::v100(),
                              tiny_options(/*verify=*/true));
   exec.run({{p, 1}, {q, 1}});
@@ -243,14 +244,30 @@ TEST(FusedExecutor, MobileNetVersionIsInfusible) {
   // V2 vs V3-Large differ structurally (paper Table 12's "version"), so
   // mixed proposals split into two fused partitions, each training for
   // real.
-  const ParamSet v3 = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 4, 3};
-  const ParamSet v2 = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 4, 2};
+  const ParamSet v3 = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 4, 3, 0.25};
+  const ParamSet v2 = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 4, 2, 0.25};
   FusedTrainingExecutor exec(Task::kMobileNet, sim::v100(),
                              tiny_options(/*verify=*/true));
   const ExecutionReport rep = exec.run({{v3, 1}, {v2, 1}});
   EXPECT_EQ(exec.arrays_compiled(), 2);
   EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
   ASSERT_EQ(rep.scores.size(), 2u);
+}
+
+TEST(FusedExecutor, MobileNetWidthMultIsInfusible) {
+  // Trials that differ only in width_mult have different channel counts
+  // everywhere, so the congruence check must split them into separate
+  // fused partitions — each still training for real, bit-exactly.
+  const ParamSet narrow = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 4, 3, 0.25};
+  const ParamSet wide = {1e-3, 0.90, 0.99, 0.05, 0.5, 10, 4, 3, 0.5};
+  FusedTrainingExecutor exec(Task::kMobileNet, sim::v100(),
+                             tiny_options(/*verify=*/true));
+  const ExecutionReport rep = exec.run({{narrow, 1}, {wide, 1}});
+  EXPECT_EQ(exec.arrays_compiled(), 2);
+  EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
+  ASSERT_EQ(rep.scores.size(), 2u);
+  EXPECT_GT(rep.scores[0], 0.0);
+  EXPECT_GT(rep.scores[1], 0.0);
 }
 
 }  // namespace

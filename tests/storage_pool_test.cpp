@@ -1,0 +1,150 @@
+// StoragePool behavior: bucket reuse, oversize fallback, iteration-scope
+// accounting, enable/disable, and the Tensor-level instrumentation the
+// steady-state zero-alloc assertions build on.
+#include <gtest/gtest.h>
+
+#include "core/storage_pool.h"
+#include "tensor/matmul.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace hfta {
+namespace {
+
+// The pool is process-global; isolate each test's accounting.
+class StoragePoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StoragePool::instance().set_enabled(true);
+    StoragePool::instance().trim();
+    StoragePool::instance().reset_stats();
+  }
+  void TearDown() override {
+    StoragePool::instance().set_enabled(true);
+    StoragePool::instance().trim();
+  }
+};
+
+TEST_F(StoragePoolTest, BucketReuseRecyclesSameSize) {
+  auto& pool = StoragePool::instance();
+  float* raw = nullptr;
+  {
+    Tensor t({4, 8});  // 32 floats -> 64-float bucket
+    raw = t.data();
+  }
+  EXPECT_EQ(pool.stats().cached_buffers, 1u);
+  Tensor u({4, 8});
+  EXPECT_EQ(u.data(), raw);  // same buffer handed back
+  EXPECT_EQ(pool.stats().pool_hits, 1u);
+  EXPECT_EQ(pool.stats().heap_allocs, 1u);  // only the first allocation
+}
+
+TEST_F(StoragePoolTest, NearSizesShareAPowerOfTwoBucket) {
+  auto& pool = StoragePool::instance();
+  float* raw = nullptr;
+  {
+    Tensor t({100});  // -> 128-float bucket
+    raw = t.data();
+  }
+  Tensor u({128});  // same bucket, different requested size
+  EXPECT_EQ(u.data(), raw);
+  EXPECT_EQ(pool.stats().pool_hits, 1u);
+}
+
+TEST_F(StoragePoolTest, RecycledZeroedAllocationIsZeroFilled) {
+  {
+    Tensor t({64});
+    t.fill_(7.f);
+  }
+  Tensor z({64});  // recycled buffer, but zeros() semantics must hold
+  for (int64_t i = 0; i < z.numel(); ++i) EXPECT_EQ(z.data()[i], 0.f);
+}
+
+TEST_F(StoragePoolTest, OversizeRequestFallsBackToHeapThenRecycles) {
+  auto& pool = StoragePool::instance();
+  {
+    Tensor big({1 << 20});  // nothing cached at this size yet
+  }
+  EXPECT_EQ(pool.stats().heap_allocs, 1u);
+  {
+    Tensor big2({1 << 20});  // recycled
+  }
+  EXPECT_EQ(pool.stats().heap_allocs, 1u);
+  EXPECT_EQ(pool.stats().pool_hits, 1u);
+}
+
+TEST_F(StoragePoolTest, TrimDropsCachedBuffersOnly) {
+  auto& pool = StoragePool::instance();
+  Tensor live({32});
+  live.fill_(3.f);
+  { Tensor dead({32, 32}); }
+  EXPECT_GT(pool.stats().cached_buffers, 0u);
+  pool.trim();
+  EXPECT_EQ(pool.stats().cached_buffers, 0u);
+  EXPECT_EQ(live.data()[0], 3.f);  // live tensors untouched
+}
+
+TEST_F(StoragePoolTest, DisabledPoolAllocatesAndFreesOnHeap) {
+  auto& pool = StoragePool::instance();
+  pool.set_enabled(false);
+  { Tensor t({64}); }
+  EXPECT_EQ(pool.stats().cached_buffers, 0u);  // nothing parked
+  EXPECT_EQ(pool.stats().heap_allocs, 1u);
+  { Tensor t({64}); }
+  EXPECT_EQ(pool.stats().heap_allocs, 2u);  // no recycling while off
+}
+
+TEST_F(StoragePoolTest, IterationScopeReportsPerIterationDeltas) {
+  { Tensor warm({16, 16}); }  // park one buffer
+  IterationScope scope;
+  { Tensor hit({16, 16}); }   // recycled: no heap alloc inside the scope
+  EXPECT_EQ(scope.heap_allocs(), 0u);
+  EXPECT_EQ(scope.pool_hits(), 1u);
+  { Tensor miss({1 << 18}); }  // nothing cached at this size: heap alloc
+  EXPECT_EQ(scope.heap_allocs(), 1u);
+}
+
+TEST_F(StoragePoolTest, IterationScopePublishesLastScopeOnDestruction) {
+  { Tensor warm({16, 16}); }
+  {
+    IterationScope scope;
+    { Tensor hit({16, 16}); }
+  }
+  EXPECT_EQ(IterationScope::last_heap_allocs(), 0u);
+  EXPECT_EQ(IterationScope::last_pool_hits(), 1u);
+}
+
+TEST_F(StoragePoolTest, TensorAllocCountersTrackHeapAllocsOnly) {
+  Tensor::reset_alloc_stats();
+  { Tensor t({32}); }
+  const uint64_t after_first = Tensor::alloc_count();
+  EXPECT_EQ(after_first, 1u);
+  EXPECT_GT(Tensor::alloc_bytes(), 0u);
+  { Tensor t({32}); }  // pool hit: counter must NOT move
+  EXPECT_EQ(Tensor::alloc_count(), after_first);
+}
+
+TEST_F(StoragePoolTest, PooledAndHeapTensorsComputeIdentically) {
+  // Same arithmetic with pooling on and off: recycling buffers must never
+  // change a value (Tensor::empty users overwrite fully; zeros re-zero).
+  auto compute = [] {
+    Rng rng(11);
+    Tensor a = Tensor::randn({8, 8}, rng);
+    Tensor b = Tensor::randn({8, 8}, rng);
+    Tensor c = ops::add(ops::matmul(a, b), a);
+    return c.to_vector();
+  };
+  StoragePool::instance().set_enabled(true);
+  const auto warm = compute();   // populate free lists
+  const auto pooled = compute(); // recycled buffers
+  StoragePool::instance().set_enabled(false);
+  const auto heap = compute();
+  ASSERT_EQ(pooled.size(), heap.size());
+  for (size_t i = 0; i < pooled.size(); ++i) {
+    EXPECT_EQ(pooled[i], heap[i]) << "at " << i;
+    EXPECT_EQ(warm[i], heap[i]) << "at " << i;
+  }
+}
+
+}  // namespace
+}  // namespace hfta
