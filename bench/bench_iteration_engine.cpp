@@ -1,30 +1,40 @@
-// Iteration-engine benchmark: what do pooled tensor storage + the reusable
-// backward engine buy on the real fused training hot loop?
+// Iteration-engine benchmark: what do pooled tensor storage, the reusable
+// backward engine, and step-program replay buy on the real fused training
+// hot loop?
 //
-// Trains a fused MLP array at several array sizes B, with the iteration
-// engine ON (TrainStep: pooled storage, uninitialized full-overwrite
-// allocs, reused ag::Engine) and OFF (the faithful pre-engine hot loop:
-// pool disabled, every allocation heap-backed AND zero-filled like the old
-// std::vector storage, fresh backward() scratch per step), and reports
-// iterations/sec plus tensor-storage heap allocations per iteration for
-// both. The training math is bit-identical in both modes (train_test
-// asserts pooled == heap to the bit); only the iteration overhead differs.
+// Trains a fused MLP array at several array sizes B in three modes:
+//   baseline  the faithful pre-engine hot loop: pool disabled, every
+//             allocation heap-backed AND zero-filled like the old
+//             std::vector storage, fresh backward() scratch per step
+//   engine    TrainStep: pooled storage, uninitialized full-overwrite
+//             allocs, reused ag::Engine — still re-records the tape
+//   replay    TrainStep with step-program capture: the step is captured
+//             once and replayed tape-free — no ag::Node constructions, no
+//             backward closures, no topo sort, zero heap allocations
+// and reports iterations/sec, tensor-storage heap allocations per
+// iteration, and autograd Node constructions per iteration. The training
+// math is bit-identical in all modes (train_test asserts pooled == heap,
+// step_program_test and the audit below assert replay == eager to the
+// bit); only the iteration overhead differs.
 //
 // Flags (defaults keep CI smoke fast):
 //   --steps N        timed iterations per measurement (default 200)
-//   --warmup N       untimed warm-up iterations (default 10)
+//   --warmup N       untimed warm-up iterations (default 10; replay mode
+//                    captures during warm-up)
 //   --repeats N      measurements per configuration; iterations/sec is the
 //                    best of N (minimum-time estimator — on a shared/1-core
 //                    host a single run is hostage to scheduler noise)
 //   --json PATH      additionally write the table as JSON (CI artifact /
 //                    BENCH_iteration_engine.json trajectory point)
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/op_counters.h"
 #include "core/storage_pool.h"
 #include "hfta/fused_optim.h"
 #include "hfta/fused_ops.h"
@@ -39,9 +49,9 @@ using Clock = std::chrono::steady_clock;
 namespace {
 
 // Deep-narrow MLP array: many small fused ops per iteration, the regime
-// where per-iteration overhead (allocation, zero-fill, traversal scratch)
-// is a real fraction of the step — exactly what HFTA's small-model arrays
-// look like.
+// where per-iteration overhead (allocation, zero-fill, traversal scratch,
+// tape re-recording) is a real fraction of the step — exactly what HFTA's
+// small-model arrays look like.
 struct FusedMlp : fused::FusedModule {
   FusedMlp(int64_t B, int64_t in, int64_t hidden, int64_t classes,
            int64_t depth, Rng& rng)
@@ -66,40 +76,51 @@ struct FusedMlp : fused::FusedModule {
   std::shared_ptr<fused::FusedLinear> head;
 };
 
+enum class Mode { kBaseline, kEngine, kReplay };
+
 struct Row {
   int64_t models;
-  double engine_iters_per_sec;
   double baseline_iters_per_sec;
-  double allocs_per_iter_engine;    // steady-state heap allocs, pool on
+  double engine_iters_per_sec;
+  double replay_iters_per_sec;
   double allocs_per_iter_baseline;  // heap allocs, pool off
-  double speedup;
+  double allocs_per_iter_engine;    // steady-state heap allocs, pool on
+  double allocs_per_iter_replay;    // must be 0: replay allocates nothing
+  double nodes_per_iter_engine;     // ag::Node builds, eager tape
+  double nodes_per_iter_replay;     // must be 0: replay is tape-free
+  double speedup_engine;            // engine / baseline
+  double speedup_replay;            // replay / baseline
 };
 
 struct Measurement {
   double iters_per_sec;
   double allocs_per_iter;
+  double nodes_per_iter;
 };
 
+constexpr int64_t kIn = 16, kHidden = 16, kClasses = 4, kN = 8, kDepth = 8;
+
 // One configuration: B fused models, `steps` timed iterations.
-Measurement run_config(int64_t B, bool engine_on, int steps, int warmup) {
-  // OFF = the pre-iteration-engine hot loop, faithfully: no recycling and
-  // every allocation zero-filled (old std::vector-backed storage).
+Measurement run_config(int64_t B, Mode mode, int steps, int warmup) {
+  // Baseline = the pre-iteration-engine hot loop, faithfully: no recycling
+  // and every allocation zero-filled (old std::vector-backed storage).
+  const bool engine_on = mode != Mode::kBaseline;
   StoragePool::instance().set_enabled(engine_on);
   StoragePool::instance().set_zero_fill_all(!engine_on);
   StoragePool::instance().trim();
-  const int64_t in = 16, hidden = 16, classes = 4, N = 8, depth = 8;
   Rng rng(1);
-  FusedMlp model(B, in, hidden, classes, depth, rng);
+  FusedMlp model(B, kIn, kHidden, kClasses, kDepth, rng);
   fused::FusedAdam opt(fused::collect_fused_parameters(model, B), B,
                        {.lr = {1e-3}});
   Rng data_rng(2);
-  Tensor x = Tensor::randn({N, in}, data_rng);
-  Tensor labels({B, N});
+  Tensor x = Tensor::randn({kN, kIn}, data_rng);
+  Tensor labels({B, kN});
   for (int64_t b = 0; b < B; ++b)
-    for (int64_t n = 0; n < N; ++n)
-      labels.at({b, n}) = static_cast<float>(n % classes);
+    for (int64_t n = 0; n < kN; ++n)
+      labels.at({b, n}) = static_cast<float>(n % kClasses);
 
   TrainStep step;
+  if (mode == Mode::kReplay) step.enable_capture();
   auto loss_fn = [&] {
     ag::Variable logits = model.forward(
         ag::Variable(fused::pack_model_major(std::vector<Tensor>(B, x))));
@@ -118,40 +139,101 @@ Measurement run_config(int64_t B, bool engine_on, int steps, int warmup) {
       opt.step();
     }
   };
+  // Replay mode captures during warm-up (warmup eager step + capture step),
+  // so every timed iteration is a pure replay.
   for (int s = 0; s < warmup; ++s) one_iter();
 
   const uint64_t allocs0 = Tensor::alloc_count();
+  const uint64_t nodes0 = counters::node_constructions();
   const auto t0 = Clock::now();
   for (int s = 0; s < steps; ++s) one_iter();
   const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
   const uint64_t allocs = Tensor::alloc_count() - allocs0;
+  const uint64_t nodes = counters::node_constructions() - nodes0;
 
   StoragePool::instance().set_enabled(true);
   StoragePool::instance().set_zero_fill_all(false);
   StoragePool::instance().trim();
   return {static_cast<double>(steps) / secs,
-          static_cast<double>(allocs) / static_cast<double>(steps)};
+          static_cast<double>(allocs) / static_cast<double>(steps),
+          static_cast<double>(nodes) / static_cast<double>(steps)};
 }
 
-void write_json(const char* path, int steps, const std::vector<Row>& rows) {
+// Replay-vs-eager bit-exactness audit: two identical configurations (same
+// init and data seeds), one trained eagerly, one through captured replay,
+// compared on every step's loss value. Any drift — a stale pinned buffer,
+// a reordered accumulation — shows up as a nonzero max diff.
+double replay_vs_eager_audit(int64_t B, int audit_steps) {
+  struct Twin {
+    std::unique_ptr<FusedMlp> model;
+    std::unique_ptr<fused::FusedAdam> opt;
+    Tensor x, labels;
+    TrainStep step;
+  };
+  auto make = [&](Twin& t) {
+    Rng rng(1);
+    t.model = std::make_unique<FusedMlp>(B, kIn, kHidden, kClasses, kDepth, rng);
+    t.opt = std::make_unique<fused::FusedAdam>(
+        fused::collect_fused_parameters(*t.model, B), B,
+        fused::FusedAdam::Options{.lr = {1e-3}});
+    Rng data_rng(2);
+    t.x = Tensor::randn({kN, kIn}, data_rng);
+    t.labels = Tensor({B, kN});
+    for (int64_t b = 0; b < B; ++b)
+      for (int64_t n = 0; n < kN; ++n)
+        t.labels.at({b, n}) = static_cast<float>(n % kClasses);
+  };
+  Twin eager, replay;
+  make(eager);
+  make(replay);
+  replay.step.enable_capture();
+  double max_diff = 0.0;
+  for (int s = 0; s < audit_steps; ++s) {
+    auto loss_of = [](Twin& t) {
+      return t.step.run(*t.opt, [&] {
+        ag::Variable logits = t.model->forward(ag::Variable(
+            fused::pack_model_major(std::vector<Tensor>(t.opt->array_size(),
+                                                        t.x))));
+        return fused::fused_cross_entropy(logits, t.labels,
+                                          ag::Reduction::kMean);
+      });
+    };
+    const double le = loss_of(eager).value().item();
+    const double lr = loss_of(replay).value().item();
+    max_diff = std::max(max_diff, std::fabs(le - lr));
+  }
+  return max_diff;
+}
+
+void write_json(const char* path, int steps, const std::vector<Row>& rows,
+                double audit_max_diff) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
     std::exit(1);
   }
   std::fprintf(f, "{\n  \"figure\": \"iteration_engine\",\n"
-               "  \"steps\": %d,\n  \"rows\": [\n", steps);
+               "  \"steps\": %d,\n  \"replay_vs_eager_max_diff\": %.2e,\n"
+               "  \"rows\": [\n", steps, audit_max_diff);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
                  "    {\"models\": %ld, \"engine_iters_per_sec\": %.2f, "
                  "\"baseline_iters_per_sec\": %.2f, "
+                 "\"replay_iters_per_sec\": %.2f, "
                  "\"allocs_per_iter_engine\": %.2f, "
                  "\"allocs_per_iter_baseline\": %.2f, "
-                 "\"speedup\": %.4f}%s\n",
+                 "\"allocs_per_iter_replay\": %.2f, "
+                 "\"nodes_per_iter_engine\": %.2f, "
+                 "\"nodes_per_iter_replay\": %.2f, "
+                 "\"speedup\": %.4f, "
+                 "\"speedup_replay\": %.4f}%s\n",
                  r.models, r.engine_iters_per_sec, r.baseline_iters_per_sec,
-                 r.allocs_per_iter_engine, r.allocs_per_iter_baseline,
-                 r.speedup, i + 1 < rows.size() ? "," : "");
+                 r.replay_iters_per_sec, r.allocs_per_iter_engine,
+                 r.allocs_per_iter_baseline, r.allocs_per_iter_replay,
+                 r.nodes_per_iter_engine, r.nodes_per_iter_replay,
+                 r.speedup_engine, r.speedup_replay,
+                 i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -177,7 +259,7 @@ int main(int argc, char** argv) {
       if (steps < 1) return usage();
     } else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc) {
       warmup = std::atoi(argv[++i]);
-      if (warmup < 0) return usage();
+      if (warmup < 1) return usage();
     } else if (std::strcmp(argv[i], "--repeats") == 0 && i + 1 < argc) {
       repeats = std::atoi(argv[++i]);
       if (repeats < 1) return usage();
@@ -188,38 +270,50 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("iteration engine: pooled storage + reused backward engine vs "
-              "the plain hot loop\n");
+  std::printf("iteration engine: pooled storage + reused backward engine + "
+              "step-program replay vs the plain hot loop\n");
   std::printf("(fused MLP array, %d timed fwd+bwd+step iterations per "
               "configuration)\n\n", steps);
-  std::printf("%-8s %16s %16s %14s %14s %9s\n", "models", "engine it/s",
-              "baseline it/s", "allocs/it on", "allocs/it off", "speedup");
+  std::printf("%-8s %14s %14s %14s %11s %10s %9s %9s\n", "models",
+              "baseline it/s", "engine it/s", "replay it/s", "allocs/it",
+              "nodes/it", "engine", "replay");
   std::vector<Row> rows;
   for (int64_t B : {1, 2, 4, 8}) {
-    // Alternate modes within each repeat so slow drift hits both equally.
-    Measurement on{0, 0}, off{0, 0};
-    for (int rep = 0; rep < repeats; ++rep) {
-      const Measurement on_i = run_config(B, /*engine_on=*/true, steps, warmup);
-      const Measurement off_i =
-          run_config(B, /*engine_on=*/false, steps, warmup);
-      if (on_i.iters_per_sec > on.iters_per_sec)
-        on = on_i;
-      if (off_i.iters_per_sec > off.iters_per_sec)
-        off = off_i;
+    // Alternate modes within each repeat so slow drift hits all equally.
+    Measurement base{0, 0, 0}, eng{0, 0, 0}, rep{0, 0, 0};
+    for (int r = 0; r < repeats; ++r) {
+      const Measurement b_i = run_config(B, Mode::kBaseline, steps, warmup);
+      const Measurement e_i = run_config(B, Mode::kEngine, steps, warmup);
+      const Measurement r_i = run_config(B, Mode::kReplay, steps, warmup);
+      if (b_i.iters_per_sec > base.iters_per_sec) base = b_i;
+      if (e_i.iters_per_sec > eng.iters_per_sec) eng = e_i;
+      if (r_i.iters_per_sec > rep.iters_per_sec) rep = r_i;
     }
-    const Row r{B, on.iters_per_sec, off.iters_per_sec, on.allocs_per_iter,
-                off.allocs_per_iter, on.iters_per_sec / off.iters_per_sec};
+    const Row r{B,
+                base.iters_per_sec,
+                eng.iters_per_sec,
+                rep.iters_per_sec,
+                base.allocs_per_iter,
+                eng.allocs_per_iter,
+                rep.allocs_per_iter,
+                eng.nodes_per_iter,
+                rep.nodes_per_iter,
+                eng.iters_per_sec / base.iters_per_sec,
+                rep.iters_per_sec / base.iters_per_sec};
     rows.push_back(r);
-    std::printf("%-8ld %16.1f %16.1f %14.2f %14.2f %8.2fx\n", r.models,
-                r.engine_iters_per_sec, r.baseline_iters_per_sec,
-                r.allocs_per_iter_engine, r.allocs_per_iter_baseline,
-                r.speedup);
+    std::printf("%-8ld %14.1f %14.1f %14.1f %11.2f %10.2f %8.2fx %8.2fx\n",
+                r.models, r.baseline_iters_per_sec, r.engine_iters_per_sec,
+                r.replay_iters_per_sec, r.allocs_per_iter_replay,
+                r.nodes_per_iter_replay, r.speedup_engine, r.speedup_replay);
   }
-  std::printf("\n(allocs/it = tensor-storage heap allocations per iteration; "
-              "0.00 with the pool on\n means every steady-state allocation "
-              "was recycled)\n");
+  std::printf("\n(allocs/it, nodes/it = replay mode's per-iteration heap "
+              "allocations and autograd Node\nconstructions; both must be "
+              "0.00 — a replayed step allocates and records nothing)\n");
+  const double audit = replay_vs_eager_audit(/*B=*/4, /*audit_steps=*/20);
+  std::printf("replay-vs-eager max |loss diff| over 20 steps at B=4: %.2e\n",
+              audit);
   if (json_path != nullptr) {
-    write_json(json_path, steps, rows);
+    write_json(json_path, steps, rows, audit);
     std::printf("wrote %s\n", json_path);
   }
   return 0;

@@ -1,6 +1,7 @@
 #include "autograd/engine.h"
 
 #include <atomic>
+#include <unordered_set>
 
 #include "core/check.h"
 
@@ -13,7 +14,7 @@ namespace {
 std::atomic<uint64_t> g_run_counter{0};
 }  // namespace
 
-void Engine::run(const Variable& root, Tensor seed) {
+void Engine::run(const Variable& root, Tensor seed, BackwardTape* capture) {
   HFTA_CHECK(root.defined(), "backward() on undefined Variable");
   if (!seed.defined()) {
     HFTA_CHECK(root.numel() == 1,
@@ -50,13 +51,27 @@ void Engine::run(const Variable& root, Tensor seed) {
     }
   }
 
+  // Capture bookkeeping: the dedup set exists only on the (rare) capture
+  // run, so eager passes pay nothing for recordability.
+  std::unordered_set<Variable::Impl*> seen_targets;
+  if (capture != nullptr) {
+    capture->clear();
+    capture->root = root;
+    capture->seed = seed.reshape(root.shape());
+  }
+
   // Seed and propagate in reverse topological order.
   root_impl->grad =
       root_impl->grad.defined() ? root_impl->grad : Tensor::zeros(root.shape());
   root_impl->grad.add_(seed.reshape(root.shape()));
+  if (capture != nullptr) {
+    capture->grad_targets.push_back(root_impl);
+    seen_targets.insert(root_impl);
+  }
   for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
     Variable::Impl* impl = *it;
     if (!impl->node || !impl->grad.defined()) continue;
+    if (capture != nullptr) capture->schedule.push_back(impl);
     std::vector<Tensor> gin = impl->node->backward(impl->grad);
     HFTA_CHECK(gin.size() == impl->node->inputs.size(),
                "backward of ", impl->node->name, " returned ", gin.size(),
@@ -70,9 +85,46 @@ void Engine::run(const Variable& root, Tensor seed) {
       HFTA_CHECK(gin[i].numel() == g.numel(), "backward of ",
                  impl->node->name, ": grad ", i, " numel mismatch");
       g.add_(gin[i]);
+      if (capture != nullptr && seen_targets.insert(in.impl_.get()).second)
+        capture->grad_targets.push_back(in.impl_.get());
     }
   }
   ++runs_;
+}
+
+void BackwardTape::replay() const {
+  HFTA_CHECK(captured(), "BackwardTape::replay() before any capture");
+  // Zero every gradient buffer the captured pass wrote (in place: the
+  // buffers are pinned by the captured graph), then re-seed the root —
+  // equivalent to eager's fresh lazily-zeroed grads.
+  for (Variable::Impl* t : grad_targets) {
+    if (t->grad.defined()) {
+      t->grad.zero_();
+    } else {
+      t->grad = Tensor::zeros(t->value.shape());
+    }
+  }
+  root.impl_->grad.add_(seed);
+  // The captured schedule, with the captured accumulation order.
+  for (Variable::Impl* impl : schedule) {
+    std::vector<Tensor> gin = impl->node->backward(impl->grad);
+    HFTA_CHECK(gin.size() == impl->node->inputs.size(),
+               "replay of ", impl->node->name, " returned ", gin.size(),
+               " grads for ", impl->node->inputs.size(), " inputs");
+    for (size_t i = 0; i < gin.size(); ++i) {
+      const Variable& in = impl->node->inputs[i];
+      if (!in.defined() || !gin[i].defined()) continue;
+      if (!in.impl_->requires_grad && !in.impl_->node) continue;
+      in.impl_->grad.add_(gin[i]);
+    }
+  }
+}
+
+void BackwardTape::clear() {
+  root = Variable();
+  seed = Tensor();
+  schedule.clear();
+  grad_targets.clear();
 }
 
 }  // namespace hfta::ag

@@ -20,6 +20,34 @@
 
 namespace hfta::ag {
 
+/// The backward half of a captured step program: the exact node schedule
+/// one Engine::run executed, flattened for replay. `schedule` holds the
+/// reverse-topological node order the eager pass propagated through and
+/// `grad_targets` every gradient buffer it wrote, so replay() can zero
+/// those buffers in place, re-seed the root, and re-run the recorded
+/// backward closures — no topo sort, no visited stamps, no Node or closure
+/// construction, and (once warm) no allocation: every gradient lands in
+/// the same pinned pool buffer the capture run resolved.
+///
+/// Bit-exactness contract: replay() visits nodes and accumulates per-input
+/// gradients in exactly the captured order, and eager's lazily-allocated
+/// zeros + add_() equals replay's zero_() + add_(), so a replayed backward
+/// is bit-identical to the eager pass it recorded.
+///
+/// Lifetime: `root` keeps the whole captured graph (and therefore every
+/// raw Impl pointer here) alive; the tape must be cleared or discarded
+/// before the graph it captured is mutated structurally.
+struct BackwardTape {
+  Variable root;    // capture root; owns the graph the raw pointers walk
+  Tensor seed;      // root seed, already reshaped to root's shape
+  std::vector<Variable::Impl*> schedule;      // nodes, reverse-topo order
+  std::vector<Variable::Impl*> grad_targets;  // every grad buffer written
+
+  bool captured() const { return root.defined(); }
+  void replay() const;
+  void clear();
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -29,7 +57,10 @@ class Engine {
   /// Runs backpropagation from `root` (same contract as
   /// Variable::backward: an undefined seed requires a scalar root and
   /// seeds with ones). Safe to call repeatedly, on unrelated graphs.
-  void run(const Variable& root, Tensor seed = Tensor());
+  /// When `capture` is non-null the executed schedule is recorded into it
+  /// (replacing any previous capture) for tape-free replay.
+  void run(const Variable& root, Tensor seed = Tensor(),
+           BackwardTape* capture = nullptr);
 
   /// Number of backward passes driven through this engine.
   int64_t runs() const { return runs_; }

@@ -1,7 +1,9 @@
 #include "autograd/functions.h"
 
 #include <cmath>
+#include <memory>
 
+#include "autograd/step_program.h"
 #include "tensor/matmul.h"
 #include "tensor/ops.h"
 
@@ -18,8 +20,20 @@ bool any_needs_tape(const std::vector<Variable>& ins) {
 
 // Creates the output variable; records the node only when some input is on
 // the tape (constant folding keeps graphs small).
-Variable make_op(const char* name, Tensor out, std::vector<Variable> inputs,
+//
+// `fwd` is the op's recompute thunk: a callable capturing the input
+// *tensors* by value (shared storage — the step program's pinned buffers)
+// that re-runs the forward kernel. Eager execution evaluates it exactly
+// once at the call site (`fwd()` produced `out`); when a StepProgram is
+// recording, the thunk is additionally appended to the program — including
+// for off-tape constant subgraphs, whose values may be data-dependent and
+// must refresh on replay. `fwd` stays a template parameter so the eager
+// path never type-erases it (no std::function allocation per op).
+template <typename Fwd>
+Variable make_op(const char* name, Tensor out, const Fwd& fwd,
+                 std::vector<Variable> inputs,
                  std::function<std::vector<Tensor>(const Tensor&)> backward) {
+  if (StepProgram* rec = StepProgram::recording()) rec->record_op(out, fwd);
   if (!any_needs_tape(inputs)) return Variable(std::move(out));
   auto node = std::make_shared<Node>();
   node->name = name;
@@ -36,7 +50,9 @@ Variable constant(Tensor value) { return Variable(std::move(value)); }
 
 Variable add(const Variable& a, const Variable& b) {
   Shape sa = a.shape(), sb = b.shape();
-  return make_op("add", ops::add(a.value(), b.value()), {a, b},
+  Tensor av = a.value(), bv = b.value();
+  auto fwd = [av, bv] { return ops::add(av, bv); };
+  return make_op("add", fwd(), fwd, {a, b},
                  [sa, sb](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::reduce_to_shape(gy, sa),
                            ops::reduce_to_shape(gy, sb)};
@@ -45,7 +61,9 @@ Variable add(const Variable& a, const Variable& b) {
 
 Variable sub(const Variable& a, const Variable& b) {
   Shape sa = a.shape(), sb = b.shape();
-  return make_op("sub", ops::sub(a.value(), b.value()), {a, b},
+  Tensor av = a.value(), bv = b.value();
+  auto fwd = [av, bv] { return ops::sub(av, bv); };
+  return make_op("sub", fwd(), fwd, {a, b},
                  [sa, sb](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::reduce_to_shape(gy, sa),
                            ops::reduce_to_shape(ops::neg(gy), sb)};
@@ -55,7 +73,8 @@ Variable sub(const Variable& a, const Variable& b) {
 Variable mul(const Variable& a, const Variable& b) {
   Shape sa = a.shape(), sb = b.shape();
   Tensor av = a.value(), bv = b.value();
-  return make_op("mul", ops::mul(av, bv), {a, b},
+  auto fwd = [av, bv] { return ops::mul(av, bv); };
+  return make_op("mul", fwd(), fwd, {a, b},
                  [sa, sb, av, bv](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::reduce_to_shape(ops::mul(gy, bv), sa),
                            ops::reduce_to_shape(ops::mul(gy, av), sb)};
@@ -65,8 +84,9 @@ Variable mul(const Variable& a, const Variable& b) {
 Variable div(const Variable& a, const Variable& b) {
   Shape sa = a.shape(), sb = b.shape();
   Tensor av = a.value(), bv = b.value();
+  auto fwd = [av, bv] { return ops::div(av, bv); };
   return make_op(
-      "div", ops::div(av, bv), {a, b},
+      "div", fwd(), fwd, {a, b},
       [sa, sb, av, bv](const Tensor& gy) -> std::vector<Tensor> {
         Tensor ga = ops::reduce_to_shape(ops::div(gy, bv), sa);
         Tensor gb = ops::reduce_to_shape(
@@ -78,12 +98,16 @@ Variable div(const Variable& a, const Variable& b) {
 // ---- scalar ----------------------------------------------------------------
 
 Variable add_scalar(const Variable& a, float s) {
-  return make_op("add_scalar", ops::add_scalar(a.value(), s), {a},
+  Tensor av = a.value();
+  auto fwd = [av, s] { return ops::add_scalar(av, s); };
+  return make_op("add_scalar", fwd(), fwd, {a},
                  [](const Tensor& gy) -> std::vector<Tensor> { return {gy}; });
 }
 
 Variable mul_scalar(const Variable& a, float s) {
-  return make_op("mul_scalar", ops::mul_scalar(a.value(), s), {a},
+  Tensor av = a.value();
+  auto fwd = [av, s] { return ops::mul_scalar(av, s); };
+  return make_op("mul_scalar", fwd(), fwd, {a},
                  [s](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::mul_scalar(gy, s)};
                  });
@@ -92,15 +116,19 @@ Variable mul_scalar(const Variable& a, float s) {
 // ---- unary -----------------------------------------------------------------
 
 Variable neg(const Variable& a) {
-  return make_op("neg", ops::neg(a.value()), {a},
+  Tensor av = a.value();
+  auto fwd = [av] { return ops::neg(av); };
+  return make_op("neg", fwd(), fwd, {a},
                  [](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::neg(gy)};
                  });
 }
 
 Variable exp(const Variable& a) {
-  Tensor y = ops::exp(a.value());
-  return make_op("exp", y, {a},
+  Tensor av = a.value();
+  auto fwd = [av] { return ops::exp(av); };
+  Tensor y = fwd();
+  return make_op("exp", y, fwd, {a},
                  [y](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::mul(gy, y)};
                  });
@@ -108,23 +136,28 @@ Variable exp(const Variable& a) {
 
 Variable log(const Variable& a) {
   Tensor x = a.value();
-  return make_op("log", ops::log(x), {a},
+  auto fwd = [x] { return ops::log(x); };
+  return make_op("log", fwd(), fwd, {a},
                  [x](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::div(gy, x)};
                  });
 }
 
 Variable sqrt(const Variable& a) {
-  Tensor y = ops::sqrt(a.value());
-  return make_op("sqrt", y, {a},
+  Tensor av = a.value();
+  auto fwd = [av] { return ops::sqrt(av); };
+  Tensor y = fwd();
+  return make_op("sqrt", y, fwd, {a},
                  [y](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::div(ops::mul_scalar(gy, 0.5f), y)};
                  });
 }
 
 Variable tanh(const Variable& a) {
-  Tensor y = ops::tanh(a.value());
-  return make_op("tanh", y, {a},
+  Tensor av = a.value();
+  auto fwd = [av] { return ops::tanh(av); };
+  Tensor y = fwd();
+  return make_op("tanh", y, fwd, {a},
                  [y](const Tensor& gy) -> std::vector<Tensor> {
                    Tensor one_minus = ops::unary(
                        y, [](float v) { return 1.f - v * v; });
@@ -133,8 +166,10 @@ Variable tanh(const Variable& a) {
 }
 
 Variable sigmoid(const Variable& a) {
-  Tensor y = ops::sigmoid(a.value());
-  return make_op("sigmoid", y, {a},
+  Tensor av = a.value();
+  auto fwd = [av] { return ops::sigmoid(av); };
+  Tensor y = fwd();
+  return make_op("sigmoid", y, fwd, {a},
                  [y](const Tensor& gy) -> std::vector<Tensor> {
                    Tensor d =
                        ops::unary(y, [](float v) { return v * (1.f - v); });
@@ -144,7 +179,8 @@ Variable sigmoid(const Variable& a) {
 
 Variable relu(const Variable& a) {
   Tensor x = a.value();
-  return make_op("relu", ops::relu(x), {a},
+  auto fwd = [x] { return ops::relu(x); };
+  return make_op("relu", fwd(), fwd, {a},
                  [x](const Tensor& gy) -> std::vector<Tensor> {
                    Tensor m = ops::unary(x, [](float v) {
                      return v > 0.f ? 1.f : 0.f;
@@ -155,7 +191,8 @@ Variable relu(const Variable& a) {
 
 Variable relu6(const Variable& a) {
   Tensor x = a.value();
-  return make_op("relu6", ops::clamp(x, 0.f, 6.f), {a},
+  auto fwd = [x] { return ops::clamp(x, 0.f, 6.f); };
+  return make_op("relu6", fwd(), fwd, {a},
                  [x](const Tensor& gy) -> std::vector<Tensor> {
                    Tensor m = ops::unary(x, [](float v) {
                      return (v > 0.f && v < 6.f) ? 1.f : 0.f;
@@ -166,7 +203,8 @@ Variable relu6(const Variable& a) {
 
 Variable leaky_relu(const Variable& a, float slope) {
   Tensor x = a.value();
-  return make_op("leaky_relu", ops::leaky_relu(x, slope), {a},
+  auto fwd = [x, slope] { return ops::leaky_relu(x, slope); };
+  return make_op("leaky_relu", fwd(), fwd, {a},
                  [x, slope](const Tensor& gy) -> std::vector<Tensor> {
                    Tensor m = ops::unary(x, [slope](float v) {
                      return v > 0.f ? 1.f : slope;
@@ -177,7 +215,8 @@ Variable leaky_relu(const Variable& a, float slope) {
 
 Variable pow_scalar(const Variable& a, float p) {
   Tensor x = a.value();
-  return make_op("pow_scalar", ops::pow_scalar(x, p), {a},
+  auto fwd = [x, p] { return ops::pow_scalar(x, p); };
+  return make_op("pow_scalar", fwd(), fwd, {a},
                  [x, p](const Tensor& gy) -> std::vector<Tensor> {
                    Tensor d = ops::mul_scalar(ops::pow_scalar(x, p - 1.f), p);
                    return {ops::mul(gy, d)};
@@ -186,10 +225,12 @@ Variable pow_scalar(const Variable& a, float p) {
 
 Variable hardsigmoid(const Variable& a) {
   Tensor x = a.value();
-  Tensor y = ops::unary(x, [](float v) {
-    return std::min(6.f, std::max(0.f, v + 3.f)) / 6.f;
-  });
-  return make_op("hardsigmoid", y, {a},
+  auto fwd = [x] {
+    return ops::unary(x, [](float v) {
+      return std::min(6.f, std::max(0.f, v + 3.f)) / 6.f;
+    });
+  };
+  return make_op("hardsigmoid", fwd(), fwd, {a},
                  [x](const Tensor& gy) -> std::vector<Tensor> {
                    Tensor m = ops::unary(x, [](float v) {
                      return (v > -3.f && v < 3.f) ? (1.f / 6.f) : 0.f;
@@ -200,10 +241,12 @@ Variable hardsigmoid(const Variable& a) {
 
 Variable hardswish(const Variable& a) {
   Tensor x = a.value();
-  Tensor y = ops::unary(x, [](float v) {
-    return v * std::min(6.f, std::max(0.f, v + 3.f)) / 6.f;
-  });
-  return make_op("hardswish", y, {a},
+  auto fwd = [x] {
+    return ops::unary(x, [](float v) {
+      return v * std::min(6.f, std::max(0.f, v + 3.f)) / 6.f;
+    });
+  };
+  return make_op("hardswish", fwd(), fwd, {a},
                  [x](const Tensor& gy) -> std::vector<Tensor> {
                    Tensor m = ops::unary(x, [](float v) {
                      if (v <= -3.f) return 0.f;
@@ -218,11 +261,13 @@ Variable gelu(const Variable& a) {
   // tanh approximation of GELU (as used in BERT).
   Tensor x = a.value();
   constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-  Tensor y = ops::unary(x, [](float v) {
-    const float inner = kC * (v + 0.044715f * v * v * v);
-    return 0.5f * v * (1.f + std::tanh(inner));
-  });
-  return make_op("gelu", y, {a},
+  auto fwd = [x] {
+    return ops::unary(x, [](float v) {
+      const float inner = kC * (v + 0.044715f * v * v * v);
+      return 0.5f * v * (1.f + std::tanh(inner));
+    });
+  };
+  return make_op("gelu", fwd(), fwd, {a},
                  [x](const Tensor& gy) -> std::vector<Tensor> {
                    Tensor d = ops::unary(x, [](float v) {
                      const float v3 = v * v * v;
@@ -240,7 +285,8 @@ Variable gelu(const Variable& a) {
 
 Variable matmul(const Variable& a, const Variable& b) {
   Tensor av = a.value(), bv = b.value();
-  return make_op("matmul", ops::matmul(av, bv), {a, b},
+  auto fwd = [av, bv] { return ops::matmul(av, bv); };
+  return make_op("matmul", fwd(), fwd, {a, b},
                  [av, bv](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::matmul_nt(gy, bv), ops::matmul_tn(av, gy)};
                  });
@@ -248,7 +294,8 @@ Variable matmul(const Variable& a, const Variable& b) {
 
 Variable bmm(const Variable& a, const Variable& b) {
   Tensor av = a.value(), bv = b.value();
-  return make_op("bmm", ops::bmm(av, bv), {a, b},
+  auto fwd = [av, bv] { return ops::bmm(av, bv); };
+  return make_op("bmm", fwd(), fwd, {a, b},
                  [av, bv](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::bmm_nt(gy, bv), ops::bmm_tn(av, gy)};
                  });
@@ -256,7 +303,8 @@ Variable bmm(const Variable& a, const Variable& b) {
 
 Variable bmm_nt(const Variable& a, const Variable& b) {
   Tensor av = a.value(), bv = b.value();
-  return make_op("bmm_nt", ops::bmm_nt(av, bv), {a, b},
+  auto fwd = [av, bv] { return ops::bmm_nt(av, bv); };
+  return make_op("bmm_nt", fwd(), fwd, {a, b},
                  [av, bv](const Tensor& gy) -> std::vector<Tensor> {
                    // y = a @ b^T: ga = gy @ b; gb = gy^T @ a.
                    return {ops::bmm(gy, bv), ops::bmm_tn(gy, av)};
@@ -264,9 +312,10 @@ Variable bmm_nt(const Variable& a, const Variable& b) {
 }
 
 Variable baddbmm(const Variable& bias, const Variable& a, const Variable& b) {
-  Tensor av = a.value(), bv = b.value();
+  Tensor biasv = bias.value(), av = a.value(), bv = b.value();
   Shape sbias = bias.shape();
-  return make_op("baddbmm", ops::baddbmm(bias.value(), av, bv), {bias, a, b},
+  auto fwd = [biasv, av, bv] { return ops::baddbmm(biasv, av, bv); };
+  return make_op("baddbmm", fwd(), fwd, {bias, a, b},
                  [sbias, av, bv](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::reduce_to_shape(gy, sbias),
                            ops::bmm_nt(gy, bv), ops::bmm_tn(av, gy)};
@@ -275,16 +324,18 @@ Variable baddbmm(const Variable& bias, const Variable& a, const Variable& b) {
 
 Variable linear(const Variable& x, const Variable& w, const Variable& b) {
   Tensor xv = x.value(), wv = w.value();
+  Tensor bv = b.defined() ? b.value() : Tensor();
   const Shape x_shape = xv.shape();
   const int64_t in = wv.size(1);
   const int64_t out = wv.size(0);
   const int64_t rows = xv.numel() / in;
-  Tensor y = ops::linear_forward(xv, wv, b.defined() ? b.value() : Tensor());
+  auto fwd = [xv, wv, bv] { return ops::linear_forward(xv, wv, bv); };
+  Tensor y = fwd();
   std::vector<Variable> inputs = {x, w};
   if (b.defined()) inputs.push_back(b);
   const bool has_bias = b.defined();
   return make_op(
-      "linear", y, std::move(inputs),
+      "linear", y, fwd, std::move(inputs),
       [xv, wv, x_shape, in, out, rows,
        has_bias](const Tensor& gy) -> std::vector<Tensor> {
         Tensor gy2 = gy.reshape({rows, out});
@@ -302,12 +353,14 @@ Variable linear(const Variable& x, const Variable& w, const Variable& b) {
 Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
                 const ops::ConvArgs& args) {
   Tensor xv = x.value(), wv = w.value();
-  Tensor y = ops::conv2d(xv, wv, b.defined() ? b.value() : Tensor(), args);
+  Tensor bv = b.defined() ? b.value() : Tensor();
+  auto fwd = [xv, wv, bv, args] { return ops::conv2d(xv, wv, bv, args); };
+  Tensor y = fwd();
   std::vector<Variable> inputs = {x, w};
   if (b.defined()) inputs.push_back(b);
   const bool has_bias = b.defined();
   return make_op(
-      "conv2d", y, std::move(inputs),
+      "conv2d", y, fwd, std::move(inputs),
       [xv, wv, args, has_bias](const Tensor& gy) -> std::vector<Tensor> {
         std::vector<Tensor> grads = {
             ops::conv2d_grad_input(gy, wv, xv.shape(), args),
@@ -320,13 +373,16 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
 Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
                 int64_t stride, int64_t pad, int64_t groups) {
   Tensor xv = x.value(), wv = w.value();
-  Tensor y = ops::conv1d(xv, wv, b.defined() ? b.value() : Tensor(), stride,
-                         pad, groups);
+  Tensor bv = b.defined() ? b.value() : Tensor();
+  auto fwd = [xv, wv, bv, stride, pad, groups] {
+    return ops::conv1d(xv, wv, bv, stride, pad, groups);
+  };
+  Tensor y = fwd();
   std::vector<Variable> inputs = {x, w};
   if (b.defined()) inputs.push_back(b);
   const bool has_bias = b.defined();
   return make_op(
-      "conv1d", y, std::move(inputs),
+      "conv1d", y, fwd, std::move(inputs),
       [xv, wv, stride, pad, groups,
        has_bias](const Tensor& gy) -> std::vector<Tensor> {
         std::vector<Tensor> grads = {
@@ -344,13 +400,16 @@ Variable conv_transpose2d(const Variable& x, const Variable& w,
                           const Variable& b,
                           const ops::ConvTransposeArgs& args) {
   Tensor xv = x.value(), wv = w.value();
-  Tensor y =
-      ops::conv_transpose2d(xv, wv, b.defined() ? b.value() : Tensor(), args);
+  Tensor bv = b.defined() ? b.value() : Tensor();
+  auto fwd = [xv, wv, bv, args] {
+    return ops::conv_transpose2d(xv, wv, bv, args);
+  };
+  Tensor y = fwd();
   std::vector<Variable> inputs = {x, w};
   if (b.defined()) inputs.push_back(b);
   const bool has_bias = b.defined();
   return make_op(
-      "conv_transpose2d", y, std::move(inputs),
+      "conv_transpose2d", y, fwd, std::move(inputs),
       [xv, wv, args, has_bias](const Tensor& gy) -> std::vector<Tensor> {
         std::vector<Tensor> grads = {
             ops::conv_transpose2d_grad_input(gy, wv, args),
@@ -364,13 +423,16 @@ Variable conv_transpose1d(const Variable& x, const Variable& w,
                           const Variable& b,
                           const ops::ConvTransposeArgs& args) {
   Tensor xv = x.value(), wv = w.value();
-  Tensor y =
-      ops::conv_transpose1d(xv, wv, b.defined() ? b.value() : Tensor(), args);
+  Tensor bv = b.defined() ? b.value() : Tensor();
+  auto fwd = [xv, wv, bv, args] {
+    return ops::conv_transpose1d(xv, wv, bv, args);
+  };
+  Tensor y = fwd();
   std::vector<Variable> inputs = {x, w};
   if (b.defined()) inputs.push_back(b);
   const bool has_bias = b.defined();
   return make_op(
-      "conv_transpose1d", y, std::move(inputs),
+      "conv_transpose1d", y, fwd, std::move(inputs),
       [xv, wv, args, has_bias](const Tensor& gy) -> std::vector<Tensor> {
         std::vector<Tensor> grads = {
             ops::conv_transpose1d_grad_input(gy, wv, args),
@@ -383,38 +445,59 @@ Variable conv_transpose1d(const Variable& x, const Variable& w,
 // ---- pooling ----------------------------------------------------------------------
 
 Variable max_pool2d(const Variable& x, const ops::PoolArgs& args) {
-  auto [y, idx] = ops::max_pool2d(x.value(), args);
+  Tensor xv = x.value();
+  // The argmax indices are forward state the backward needs. A replayed
+  // step recomputes them for the staged data, so the backward closure
+  // reads them through a shared box the thunk refreshes — the same
+  // pinned-state pattern as op outputs, for non-output state.
+  auto idx_box = std::make_shared<Tensor>();
+  auto fwd = [xv, args, idx_box] {
+    auto [y, idx] = ops::max_pool2d(xv, args);
+    *idx_box = idx;
+    return y;
+  };
+  Tensor y = fwd();
   const Shape x_shape = x.shape();
-  return make_op("max_pool2d", y, {x},
-                 [idx, x_shape](const Tensor& gy) -> std::vector<Tensor> {
-                   return {ops::max_pool2d_backward(gy, idx, x_shape)};
+  return make_op("max_pool2d", y, fwd, {x},
+                 [idx_box, x_shape](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::max_pool2d_backward(gy, *idx_box, x_shape)};
                  });
 }
 
 Variable avg_pool2d(const Variable& x, const ops::PoolArgs& args) {
-  Tensor y = ops::avg_pool2d(x.value(), args);
+  Tensor xv = x.value();
+  auto fwd = [xv, args] { return ops::avg_pool2d(xv, args); };
   const Shape x_shape = x.shape();
-  return make_op("avg_pool2d", y, {x},
+  return make_op("avg_pool2d", fwd(), fwd, {x},
                  [x_shape, args](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::avg_pool2d_backward(gy, x_shape, args)};
                  });
 }
 
 Variable adaptive_avg_pool2d(const Variable& x, int64_t oh, int64_t ow) {
-  Tensor y = ops::adaptive_avg_pool2d(x.value(), oh, ow);
+  Tensor xv = x.value();
+  auto fwd = [xv, oh, ow] { return ops::adaptive_avg_pool2d(xv, oh, ow); };
   const Shape x_shape = x.shape();
-  return make_op("adaptive_avg_pool2d", y, {x},
+  return make_op("adaptive_avg_pool2d", fwd(), fwd, {x},
                  [x_shape](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::adaptive_avg_pool2d_backward(gy, x_shape)};
                  });
 }
 
 Variable global_max_pool1d(const Variable& x) {
-  auto [y, idx] = ops::max_pool1d_global(x.value());
+  Tensor xv = x.value();
+  auto idx_box = std::make_shared<Tensor>();  // see max_pool2d
+  auto fwd = [xv, idx_box] {
+    auto [y, idx] = ops::max_pool1d_global(xv);
+    *idx_box = idx;
+    return y;
+  };
+  Tensor y = fwd();
   const Shape x_shape = x.shape();
-  return make_op("global_max_pool1d", y, {x},
-                 [idx, x_shape](const Tensor& gy) -> std::vector<Tensor> {
-                   return {ops::max_pool1d_global_backward(gy, idx, x_shape)};
+  return make_op("global_max_pool1d", y, fwd, {x},
+                 [idx_box, x_shape](const Tensor& gy) -> std::vector<Tensor> {
+                   return {
+                       ops::max_pool1d_global_backward(gy, *idx_box, x_shape)};
                  });
 }
 
@@ -422,14 +505,18 @@ Variable global_max_pool1d(const Variable& x) {
 
 Variable reshape(const Variable& x, Shape shape) {
   const Shape x_shape = x.shape();
-  return make_op("reshape", x.value().reshape(std::move(shape)), {x},
+  Tensor xv = x.value();
+  auto fwd = [xv, shape] { return xv.reshape(shape); };
+  return make_op("reshape", fwd(), fwd, {x},
                  [x_shape](const Tensor& gy) -> std::vector<Tensor> {
                    return {gy.reshape(x_shape)};
                  });
 }
 
 Variable transpose(const Variable& x, int64_t a, int64_t b) {
-  return make_op("transpose", x.value().transpose(a, b), {x},
+  Tensor xv = x.value();
+  auto fwd = [xv, a, b] { return xv.transpose(a, b); };
+  return make_op("transpose", fwd(), fwd, {x},
                  [a, b](const Tensor& gy) -> std::vector<Tensor> {
                    return {gy.transpose(a, b)};
                  });
@@ -439,7 +526,9 @@ Variable permute(const Variable& x, std::vector<int64_t> perm) {
   std::vector<int64_t> inv(perm.size());
   for (size_t i = 0; i < perm.size(); ++i)
     inv[static_cast<size_t>(perm[i])] = static_cast<int64_t>(i);
-  return make_op("permute", x.value().permute(perm), {x},
+  Tensor xv = x.value();
+  auto fwd = [xv, perm] { return xv.permute(perm); };
+  return make_op("permute", fwd(), fwd, {x},
                  [inv](const Tensor& gy) -> std::vector<Tensor> {
                    return {gy.permute(inv)};
                  });
@@ -452,10 +541,11 @@ Variable concat(const std::vector<Variable>& xs, int64_t dim) {
   for (const Variable& v : xs) {
     vals.push_back(v.value());
   }
-  Tensor y = ops::concat(vals, dim);
+  auto fwd = [vals, dim] { return ops::concat(vals, dim); };
+  Tensor y = fwd();
   int64_t d = dim < 0 ? dim + static_cast<int64_t>(y.dim()) : dim;
   for (const Variable& v : xs) sizes.push_back(v.size(d));
-  return make_op("concat", y, xs,
+  return make_op("concat", y, fwd, xs,
                  [sizes, d](const Tensor& gy) -> std::vector<Tensor> {
                    return ops::split(gy, sizes, d);
                  });
@@ -464,8 +554,9 @@ Variable concat(const std::vector<Variable>& xs, int64_t dim) {
 Variable slice(const Variable& x, int64_t dim, int64_t start, int64_t end) {
   const Shape x_shape = x.shape();
   int64_t d = dim < 0 ? dim + x.dim() : dim;
-  Tensor y = x.value().slice(d, start, end);
-  return make_op("slice", y, {x},
+  Tensor xv = x.value();
+  auto fwd = [xv, d, start, end] { return xv.slice(d, start, end); };
+  return make_op("slice", fwd(), fwd, {x},
                  [x_shape, d, start](const Tensor& gy) -> std::vector<Tensor> {
                    Tensor gx = Tensor::zeros(x_shape);
                    // Scatter gy into the slice range along d.
@@ -508,8 +599,9 @@ Variable sum(const Variable& x, std::vector<int64_t> dims, bool keepdim) {
   for (int64_t d : dims) nd.push_back(d < 0 ? d + x.dim() : d);
   Shape keep_shape = x_shape;
   for (int64_t d : nd) keep_shape[static_cast<size_t>(d)] = 1;
-  Tensor y = ops::sum(x.value(), nd, keepdim);
-  return make_op("sum", y, {x},
+  Tensor xv = x.value();
+  auto fwd = [xv, nd, keepdim] { return ops::sum(xv, nd, keepdim); };
+  return make_op("sum", fwd(), fwd, {x},
                  [x_shape, keep_shape](const Tensor& gy) -> std::vector<Tensor> {
                    Tensor g = gy.reshape(keep_shape);
                    // broadcast up to the input shape
@@ -526,7 +618,9 @@ Variable mean(const Variable& x, std::vector<int64_t> dims, bool keepdim) {
 
 Variable sum_all(const Variable& x) {
   const Shape x_shape = x.shape();
-  return make_op("sum_all", ops::sum_all(x.value()), {x},
+  Tensor xv = x.value();
+  auto fwd = [xv] { return ops::sum_all(xv); };
+  return make_op("sum_all", fwd(), fwd, {x},
                  [x_shape](const Tensor& gy) -> std::vector<Tensor> {
                    return {Tensor::full(x_shape, gy.item())};
                  });
@@ -540,8 +634,10 @@ Variable mean_all(const Variable& x) {
 
 Variable softmax(const Variable& x, int64_t dim) {
   int64_t d = dim < 0 ? dim + x.dim() : dim;
-  Tensor y = ops::softmax(x.value(), d);
-  return make_op("softmax", y, {x},
+  Tensor xv = x.value();
+  auto fwd = [xv, d] { return ops::softmax(xv, d); };
+  Tensor y = fwd();
+  return make_op("softmax", y, fwd, {x},
                  [y, d](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::softmax_backward(gy, y, d)};
                  });
@@ -549,8 +645,10 @@ Variable softmax(const Variable& x, int64_t dim) {
 
 Variable log_softmax(const Variable& x, int64_t dim) {
   int64_t d = dim < 0 ? dim + x.dim() : dim;
-  Tensor y = ops::log_softmax(x.value(), d);
-  return make_op("log_softmax", y, {x},
+  Tensor xv = x.value();
+  auto fwd = [xv, d] { return ops::log_softmax(xv, d); };
+  Tensor y = fwd();
+  return make_op("log_softmax", y, fwd, {x},
                  [y, d](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::log_softmax_backward(gy, y, d)};
                  });
@@ -577,32 +675,37 @@ Variable nll_loss(const Variable& log_probs, const Tensor& labels,
   int64_t N, C, inner;
   nll_dims(log_probs.value(), labels, &N, &C, &inner);
   const Tensor lp = log_probs.value();
-  const float* p = lp.data();
-  const float* pl = labels.data();
-  const int64_t total = N * inner;
-  Tensor out = (reduction == Reduction::kNone)
-                   ? Tensor(labels.shape())
-                   : Tensor(Shape{});
-  double acc = 0.0;
-  for (int64_t i = 0; i < total; ++i) {
-    const int64_t n = i / inner;
-    const int64_t in = i % inner;
-    const int64_t cls = static_cast<int64_t>(pl[i]);
-    HFTA_CHECK(cls >= 0 && cls < C, "nll_loss: label ", cls, " out of range");
-    const float v = -p[(n * C + cls) * inner + in];
-    if (reduction == Reduction::kNone) {
-      out.data()[i] = v;
-    } else {
-      acc += v;
+  auto fwd = [lp, labels, N, C, inner, reduction]() -> Tensor {
+    const float* p = lp.data();
+    const float* pl = labels.data();
+    const int64_t total = N * inner;
+    Tensor out = (reduction == Reduction::kNone)
+                     ? Tensor(labels.shape())
+                     : Tensor(Shape{});
+    double acc = 0.0;
+    for (int64_t i = 0; i < total; ++i) {
+      const int64_t n = i / inner;
+      const int64_t in = i % inner;
+      const int64_t cls = static_cast<int64_t>(pl[i]);
+      HFTA_CHECK(cls >= 0 && cls < C, "nll_loss: label ", cls,
+                 " out of range");
+      const float v = -p[(n * C + cls) * inner + in];
+      if (reduction == Reduction::kNone) {
+        out.data()[i] = v;
+      } else {
+        acc += v;
+      }
     }
-  }
-  if (reduction == Reduction::kMean)
-    out.data()[0] = static_cast<float>(acc / static_cast<double>(total));
-  if (reduction == Reduction::kSum) out.data()[0] = static_cast<float>(acc);
+    if (reduction == Reduction::kMean)
+      out.data()[0] = static_cast<float>(acc / static_cast<double>(total));
+    if (reduction == Reduction::kSum) out.data()[0] = static_cast<float>(acc);
+    return out;
+  };
+  Tensor out = fwd();
 
   const Shape lp_shape = lp.shape();
   return make_op(
-      "nll_loss", out, {log_probs},
+      "nll_loss", out, fwd, {log_probs},
       [labels, lp_shape, N, C, inner,
        reduction](const Tensor& gy) -> std::vector<Tensor> {
         Tensor gx = Tensor::zeros(lp_shape);
@@ -633,26 +736,30 @@ Variable bce_with_logits(const Variable& logits, const Tensor& targets,
                          Reduction reduction) {
   const Tensor x = logits.value();
   HFTA_CHECK(x.numel() == targets.numel(), "bce: shape mismatch");
-  const float* px = x.data();
-  const float* pt = targets.data();
   const int64_t n = x.numel();
-  Tensor out =
-      (reduction == Reduction::kNone) ? Tensor(x.shape()) : Tensor(Shape{});
-  double acc = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    // max(x,0) - x*t + log(1 + exp(-|x|)) — numerically stable.
-    const float v = std::max(px[i], 0.f) - px[i] * pt[i] +
-                    std::log1p(std::exp(-std::fabs(px[i])));
-    if (reduction == Reduction::kNone) {
-      out.data()[i] = v;
-    } else {
-      acc += v;
+  auto fwd = [x, targets, reduction, n]() -> Tensor {
+    const float* px = x.data();
+    const float* pt = targets.data();
+    Tensor out =
+        (reduction == Reduction::kNone) ? Tensor(x.shape()) : Tensor(Shape{});
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      // max(x,0) - x*t + log(1 + exp(-|x|)) — numerically stable.
+      const float v = std::max(px[i], 0.f) - px[i] * pt[i] +
+                      std::log1p(std::exp(-std::fabs(px[i])));
+      if (reduction == Reduction::kNone) {
+        out.data()[i] = v;
+      } else {
+        acc += v;
+      }
     }
-  }
-  if (reduction == Reduction::kMean)
-    out.data()[0] = static_cast<float>(acc / static_cast<double>(n));
-  if (reduction == Reduction::kSum) out.data()[0] = static_cast<float>(acc);
-  return make_op("bce_with_logits", out, {logits},
+    if (reduction == Reduction::kMean)
+      out.data()[0] = static_cast<float>(acc / static_cast<double>(n));
+    if (reduction == Reduction::kSum) out.data()[0] = static_cast<float>(acc);
+    return out;
+  };
+  Tensor out = fwd();
+  return make_op("bce_with_logits", out, fwd, {logits},
                  [x, targets, reduction, n](const Tensor& gy) {
                    Tensor gx(x.shape());
                    const float* px = x.data();
@@ -689,16 +796,19 @@ Variable mse_loss(const Variable& x, const Tensor& target,
 }
 
 Variable embedding(const Tensor& indices, const Variable& weight) {
-  Tensor y = ops::embedding(indices, weight.value());
+  Tensor wv = weight.value();
+  auto fwd = [indices, wv] { return ops::embedding(indices, wv); };
   const int64_t vocab = weight.size(0);
-  return make_op("embedding", y, {weight},
+  return make_op("embedding", fwd(), fwd, {weight},
                  [indices, vocab](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::embedding_backward(gy, indices, vocab)};
                  });
 }
 
 Variable mul_mask(const Variable& x, const Tensor& mask) {
-  return make_op("mul_mask", ops::mul(x.value(), mask), {x},
+  Tensor xv = x.value();
+  auto fwd = [xv, mask] { return ops::mul(xv, mask); };
+  return make_op("mul_mask", fwd(), fwd, {x},
                  [mask](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::mul(gy, mask)};
                  });

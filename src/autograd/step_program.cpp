@@ -1,0 +1,81 @@
+#include "autograd/step_program.h"
+
+#include <utility>
+
+#include "core/check.h"
+
+namespace hfta::ag {
+
+namespace {
+thread_local StepProgram* g_recording = nullptr;
+}  // namespace
+
+StepProgram::CaptureGuard::CaptureGuard(StepProgram& p) : prev_(g_recording) {
+  p.clear();
+  g_recording = &p;
+}
+
+StepProgram::CaptureGuard::~CaptureGuard() { g_recording = prev_; }
+
+StepProgram* StepProgram::recording() { return g_recording; }
+
+void StepProgram::record_op(const Tensor& out,
+                            std::function<Tensor()> recompute) {
+  Slot s;
+  s.out = out;
+  s.compute = std::move(recompute);
+  slots_.push_back(std::move(s));
+}
+
+void StepProgram::record_effect(std::function<void()> effect) {
+  Slot s;
+  s.effect = std::move(effect);
+  slots_.push_back(std::move(s));
+}
+
+void StepProgram::finish_capture(Engine& engine, const Variable& root,
+                                 Tensor seed) {
+  HFTA_CHECK(g_recording != this,
+             "finish_capture inside this program's own CaptureGuard — end "
+             "the guard (forward capture) before freezing the backward");
+  engine.run(root, std::move(seed), &tape_);
+  captured_ = true;
+}
+
+void StepProgram::replay() {
+  HFTA_CHECK(captured_, "StepProgram::replay() before finish_capture()");
+  for (Slot& s : slots_) {
+    if (s.effect) {
+      s.effect();
+      continue;
+    }
+    Tensor r = s.compute();
+    // View ops (reshape) return the pinned storage itself — no copy.
+    if (!r.shares_storage_with(s.out)) s.out.copy_(r);
+  }
+  tape_.replay();
+}
+
+int64_t StepProgram::op_count() const {
+  int64_t n = 0;
+  for (const Slot& s : slots_) n += s.compute ? 1 : 0;
+  return n;
+}
+
+int64_t StepProgram::effect_count() const {
+  return static_cast<int64_t>(slots_.size()) - op_count();
+}
+
+void StepProgram::clear() {
+  slots_.clear();
+  tape_.clear();
+  captured_ = false;
+}
+
+bool capturing() { return g_recording != nullptr; }
+
+void record_side_effect(std::function<void()> effect) {
+  if (g_recording != nullptr) g_recording->record_effect(std::move(effect));
+}
+
+}  // namespace hfta::ag

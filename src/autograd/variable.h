@@ -11,15 +11,22 @@
 #include <string>
 #include <vector>
 
+#include "core/op_counters.h"
 #include "tensor/tensor.h"
 
 namespace hfta::ag {
 
 class Engine;
 class Variable;
+struct BackwardTape;
 
 /// Graph node recorded by a differentiable op.
 struct Node {
+  /// Every tape node bumps the process-wide construction counter — the
+  /// direct measure of per-step tape cost that IterationScope reports and
+  /// the replayed-step-program zero-node assertions read.
+  Node() { counters::count_node_construction(); }
+
   std::string name;                 // op name, for debugging
   std::vector<Variable> inputs;     // parents
   /// Maps the output gradient to per-input gradients (undefined Tensor for
@@ -65,7 +72,8 @@ class Variable {
   const void* id() const { return impl_.get(); }
 
  private:
-  friend class Engine;  // traverses impls and stamps visit marks
+  friend class Engine;        // traverses impls and stamps visit marks
+  friend struct BackwardTape; // replays a captured schedule over impls
 
   struct Impl {
     Tensor value;

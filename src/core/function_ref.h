@@ -1,0 +1,44 @@
+// Non-owning callable reference (a two-word {object pointer, trampoline}
+// pair), for hot-path APIs that take a callback, invoke it synchronously,
+// and never store it. std::function at such a boundary type-erases by
+// heap-allocating a copy of the closure on every call site conversion —
+// parallel_for paid that allocation per kernel launch. FunctionRef erases
+// without owning: the callee borrows the caller's closure, so the only
+// cost is an indirect call. The referenced callable must outlive the call
+// (trivially true for blocking APIs like parallel_for).
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace hfta {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT: implicit by design (call-site lambdas)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace hfta

@@ -1,0 +1,28 @@
+// Process-wide construction counters for the autograd tape, the sibling of
+// Tensor::alloc_count() for graph metadata: where the storage counter
+// proves a warm step recycles every buffer, the node counter proves a
+// replayed step records no tape at all. Lives in core (not autograd) so
+// IterationScope can report both without a layering inversion.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hfta::counters {
+
+inline std::atomic<uint64_t>& node_counter() {
+  static std::atomic<uint64_t> c{0};
+  return c;
+}
+
+/// Called by ag::Node's constructor — every tape node ever built.
+inline void count_node_construction() {
+  node_counter().fetch_add(1, std::memory_order_relaxed);
+}
+
+/// ag::Node constructions since process start (monotonic; read deltas).
+inline uint64_t node_constructions() {
+  return node_counter().load(std::memory_order_relaxed);
+}
+
+}  // namespace hfta::counters

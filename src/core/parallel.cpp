@@ -36,7 +36,7 @@ class ThreadPool {
   // Runs fn(i) for i in [0, tasks); blocks until all complete. fn must not
   // throw (tensor kernels are noexcept by construction; API validation
   // happens before entering the pool).
-  void run(int tasks, const std::function<void(int)>& fn) {
+  void run(int tasks, FunctionRef<void(int)> fn) {
     std::unique_lock<std::mutex> lk(mu_);
     job_ = &fn;
     job_tasks_ = tasks;
@@ -73,7 +73,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
-  const std::function<void(int)>* job_ = nullptr;
+  const FunctionRef<void(int)>* job_ = nullptr;
   int job_tasks_ = 0;
   int next_task_ = 0;
   int pending_ = 0;
@@ -100,7 +100,7 @@ ThreadPool& pool() {
 int num_threads() { return pool().size(); }
 
 void parallel_for(int64_t begin, int64_t end,
-                  const std::function<void(int64_t, int64_t)>& fn,
+                  FunctionRef<void(int64_t, int64_t)> fn,
                   int64_t grain) {
   const int64_t range = end - begin;
   if (range <= 0) return;

@@ -5,10 +5,17 @@
 // splits [begin, end) into contiguous chunks, one per worker, and blocks
 // until all complete. Nested parallel_for calls run the nested loop inline
 // (no oversubscription).
+//
+// The callback is a FunctionRef, not a std::function: parallel_for sits on
+// the launch path of every multi-threaded kernel, and std::function's
+// conversion heap-allocated a copy of each call site's closure per launch.
+// FunctionRef borrows the caller's lambda instead (parallel_for blocks, so
+// the reference always outlives the call) — zero allocations per launch.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+
+#include "core/function_ref.h"
 
 namespace hfta {
 
@@ -19,7 +26,7 @@ int num_threads();
 /// the thread pool. Falls back to a single inline call when the range is
 /// small (< grain) or when invoked from inside another parallel_for.
 void parallel_for(int64_t begin, int64_t end,
-                  const std::function<void(int64_t, int64_t)>& fn,
+                  FunctionRef<void(int64_t, int64_t)> fn,
                   int64_t grain = 1024);
 
 }  // namespace hfta

@@ -105,13 +105,17 @@ void StoragePool::trim() {
 namespace {
 uint64_t g_last_scope_allocs = 0;
 uint64_t g_last_scope_hits = 0;
+uint64_t g_last_scope_nodes = 0;
 }  // namespace
 
-IterationScope::IterationScope() : start_(StoragePool::instance().stats()) {}
+IterationScope::IterationScope()
+    : start_(StoragePool::instance().stats()),
+      start_nodes_(counters::node_constructions()) {}
 
 IterationScope::~IterationScope() {
   g_last_scope_allocs = heap_allocs();
   g_last_scope_hits = pool_hits();
+  g_last_scope_nodes = node_constructions();
 }
 
 uint64_t IterationScope::heap_allocs() const {
@@ -122,7 +126,14 @@ uint64_t IterationScope::pool_hits() const {
   return StoragePool::instance().stats().pool_hits - start_.pool_hits;
 }
 
+uint64_t IterationScope::node_constructions() const {
+  return counters::node_constructions() - start_nodes_;
+}
+
 uint64_t IterationScope::last_heap_allocs() { return g_last_scope_allocs; }
 uint64_t IterationScope::last_pool_hits() { return g_last_scope_hits; }
+uint64_t IterationScope::last_node_constructions() {
+  return g_last_scope_nodes;
+}
 
 }  // namespace hfta

@@ -27,6 +27,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/op_counters.h"
+
 namespace hfta {
 
 class StoragePool {
@@ -100,13 +102,18 @@ class IterationScope {
 
   uint64_t heap_allocs() const;  // heap allocs since construction
   uint64_t pool_hits() const;    // free-list hits since construction
+  /// ag::Node constructions since construction — the tape tax. Zero for a
+  /// replayed step program; one per differentiable op for a taped step.
+  uint64_t node_constructions() const;
 
   /// Deltas recorded by the most recently destroyed scope.
   static uint64_t last_heap_allocs();
   static uint64_t last_pool_hits();
+  static uint64_t last_node_constructions();
 
  private:
   StoragePool::Stats start_;
+  uint64_t start_nodes_ = 0;
 };
 
 /// RAII scratch buffer of `numel` uninitialized floats from the pool, for

@@ -96,6 +96,17 @@ struct FusedTrainingExecutor::Group {
   // serial verification twins (empty unless verify_against_serial)
   std::vector<std::shared_ptr<nn::Module>> serial;
   std::vector<std::unique_ptr<nn::Adam>> serial_opts;
+  // Step-program staging (TrainStep::stage): per-batch data is copied in
+  // place into these so a replayed program — which never re-runs the loss
+  // builder — reads current data through its pinned input buffers.
+  Tensor staged_x;       // packed fused input [N, B*C, ...]
+  Tensor staged_labels;  // fused labels [B, N]
+  Tensor staged_serial_x, staged_serial_y;  // twins' shared batch
+  // The last loss graphs' logits, held so the serial-verification audit
+  // can read them after the step (backward/step never mutates activation
+  // values); on replay the underlying pinned buffers are refreshed.
+  ag::Variable logits_hold;
+  std::vector<ag::Variable> serial_hold;
 
   int64_t B() const { return static_cast<int64_t>(members.size()); }
 
@@ -126,6 +137,11 @@ FusedTrainingExecutor::FusedTrainingExecutor(Task task, sim::DeviceSpec dev,
              opts_.max_array_size);
   HFTA_CHECK(opts_.dataset_size >= 1 && opts_.eval_size >= 1,
              "FusedTrainingExecutor: dataset/eval sizes must be >= 1");
+  // Trial steps are captured into replayable step programs: train() stages
+  // each batch in place, so after one eager warmup + one capture step per
+  // optimizer every iteration runs tape-free. Repacks build a new
+  // array/optimizer, which fingerprints differently and recaptures.
+  train_step_.enable_capture();
   // The held-out scoring batch is fixed for the executor's lifetime.
   std::vector<int64_t> idx(static_cast<size_t>(opts_.eval_size));
   for (int64_t i = 0; i < opts_.eval_size; ++i)
@@ -262,6 +278,10 @@ FusedTrainingExecutor::Group* FusedTrainingExecutor::repack_groups(
     Group& src = *groups_[p.group];
     src.retired[static_cast<size_t>(p.slot)] = true;
     if (!src.serial.empty()) {
+      // A moved twin's captured program reads the source group's staged
+      // input buffers, which stop being updated — drop it so the twin
+      // recaptures under the merged group's staging.
+      train_step_.drop_program(src.serial_opts[static_cast<size_t>(p.slot)].get());
       merged->serial.push_back(
           std::move(src.serial[static_cast<size_t>(p.slot)]));
       merged->serial_opts.push_back(
@@ -279,15 +299,17 @@ FusedTrainingExecutor::Group* FusedTrainingExecutor::repack_groups(
   // would pin the union of every retired array's peak for the process
   // lifetime. The live arrays re-warm the pool within one iteration.
   const size_t before = groups_.size();
-  groups_.erase(
-      std::remove_if(groups_.begin(), groups_.end(),
-                     [](const std::unique_ptr<Group>& g) {
-                       return !g->retired.empty() &&
-                              std::all_of(g->retired.begin(),
-                                          g->retired.end(),
-                                          [](bool r) { return r; });
-                     }),
-      groups_.end());
+  const auto fully_retired = [](const std::unique_ptr<Group>& g) {
+    return !g->retired.empty() &&
+           std::all_of(g->retired.begin(), g->retired.end(),
+                       [](bool r) { return r; });
+  };
+  // Drop the dying groups' step programs first: a program's tape keeps the
+  // whole captured graph (the retired array's weights) alive.
+  for (const auto& g : groups_)
+    if (fully_retired(g)) drop_group_programs(*g);
+  groups_.erase(std::remove_if(groups_.begin(), groups_.end(), fully_retired),
+                groups_.end());
   if (groups_.size() != before) StoragePool::instance().trim();
   groups_.push_back(std::move(merged));
   return groups_.back().get();
@@ -389,6 +411,7 @@ FusedTrainingExecutor::Group* FusedTrainingExecutor::find_or_create(
   // cap comfortably exceeds the chunks of any single proposal round.
   constexpr size_t kMaxLiveGroups = 64;
   if (groups_.size() > kMaxLiveGroups) {
+    drop_group_programs(*groups_.front());  // programs pin the captured graph
     groups_.erase(groups_.begin());
     StoragePool::instance().trim();  // the evicted array's storage with it
   }
@@ -423,35 +446,52 @@ void FusedTrainingExecutor::train(Group& g, int64_t delta_epochs,
       Tensor labels({B, N});
       for (int64_t b = 0; b < B; ++b)
         for (int64_t n = 0; n < N; ++n) labels.at({b, n}) = y.at({n});
-      // Only the serial-verification audit reads the per-model losses —
-      // skip the extra softmax pass on plain tuning runs.
-      std::vector<double> fused_losses;
+      // Stage the batch in place: a captured program replays without
+      // calling the loss builder, reading this data through its pinned
+      // input buffers.
+      train_step_.stage(&g.staged_x, fused::pack_channel_fused(xs));
+      train_step_.stage(&g.staged_labels, labels);
       train_step_.run(*g.opt, [&] {
-        ag::Variable logits =
-            g.array->forward(ag::Variable(fused::pack_channel_fused(xs)));
-        if (!g.serial.empty())
-          fused_losses =
-              fused::per_model_cross_entropy(logits.value(), labels);
+        ag::Variable logits = g.array->forward(ag::Variable(g.staged_x));
+        g.logits_hold = logits;
         // Per-model mean CE built as (1/N) * sum: its backward scales every
         // row by the same float(1/N) the serial kMean loss uses, so the
         // gradients match the B serial runs bit-for-bit regardless of how
         // float(1/(B*N)) * B would round (Appendix C, Eq. 5 route).
         return ag::mul_scalar(
-            fused::fused_cross_entropy(logits, labels, ag::Reduction::kSum),
+            fused::fused_cross_entropy(logits, g.staged_labels,
+                                       ag::Reduction::kSum),
             1.f / static_cast<float>(N));
       });
+      // Only the serial-verification audit reads the per-model losses —
+      // skip the extra softmax pass on plain tuning runs. Runs after the
+      // step (not inside the loss builder, which replay skips): the logits
+      // values it reads are untouched by backward/step, and a replay has
+      // refreshed logits_hold's pinned buffer.
+      std::vector<double> fused_losses;
+      if (!g.serial.empty())
+        fused_losses = fused::per_model_cross_entropy(g.logits_hold.value(),
+                                                      g.staged_labels);
 
+      if (!g.serial.empty()) {
+        train_step_.stage(&g.staged_serial_x, x);
+        train_step_.stage(&g.staged_serial_y, y);
+        g.serial_hold.resize(g.serial.size());
+      }
       for (size_t b = 0; b < g.serial.size(); ++b) {
-        double serial_loss = 0.0;
-        train_step_.run(*g.serial_opts[b], [&, &x = x, &y = y] {
-          ag::Variable sl = g.serial[b]->forward(ag::Variable(x));
-          // Same per-model reduction routine on both sides: the comparison
-          // detects logits drift, not reduction-order noise.
-          serial_loss = fused::per_model_cross_entropy(
-              sl.value().reshape({1, N, sl.value().size(1)}),
-              y.reshape({1, N}))[0];
-          return ag::cross_entropy(sl, y, ag::Reduction::kMean);
+        train_step_.run(*g.serial_opts[b], [&] {
+          ag::Variable sl =
+              g.serial[b]->forward(ag::Variable(g.staged_serial_x));
+          g.serial_hold[b] = sl;
+          return ag::cross_entropy(sl, g.staged_serial_y,
+                                   ag::Reduction::kMean);
         });
+        // Same per-model reduction routine on both sides: the comparison
+        // detects logits drift, not reduction-order noise.
+        const Tensor& slv = g.serial_hold[b].value();
+        const double serial_loss = fused::per_model_cross_entropy(
+            slv.reshape({1, N, slv.size(1)}),
+            g.staged_serial_y.reshape({1, N}))[0];
         max_diff_ = std::max(max_diff_,
                              std::fabs(fused_losses[b] - serial_loss));
         if (g.ever_repacked) ++post_repack_verified_;
@@ -461,6 +501,12 @@ void FusedTrainingExecutor::train(Group& g, int64_t delta_epochs,
   }
   price(g, delta_epochs, cost);
   g.epochs_trained += delta_epochs;
+}
+
+void FusedTrainingExecutor::drop_group_programs(const Group& g) {
+  train_step_.drop_program(g.opt.get());
+  for (const auto& so : g.serial_opts)
+    if (so != nullptr) train_step_.drop_program(so.get());
 }
 
 std::vector<double> FusedTrainingExecutor::score(Group& g) {

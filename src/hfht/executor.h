@@ -121,6 +121,9 @@ class FusedTrainingExecutor : public TrialExecutor {
   int64_t iterations_verified_after_merge() const {
     return post_merge_verified_;
   }
+  /// The executor's iteration engine (capture/replay statistics: replays,
+  /// captures, last-step allocation and Node-construction counts).
+  const TrainStep& train_step() const { return train_step_; }
 
  private:
   struct Group;
@@ -141,6 +144,9 @@ class FusedTrainingExecutor : public TrialExecutor {
   std::unique_ptr<data::BatchSampler> make_sampler(const Group& g) const;
   std::unique_ptr<fused::FusedAdam> make_optimizer(const Group& g) const;
   void train(Group& g, int64_t delta_epochs, CostReport* cost);
+  /// Drops the step programs keyed by a dying group's optimizers (they
+  /// would otherwise pin the captured graph until LRU eviction).
+  void drop_group_programs(const Group& g);
   std::vector<double> score(Group& g);
   void price(const Group& g, int64_t delta_epochs, CostReport* cost) const;
 

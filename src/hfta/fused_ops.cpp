@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "autograd/step_program.h"
 #include "nn/init.h"
 #include "tensor/ops.h"
 
@@ -470,11 +471,17 @@ ag::Variable FusedDropout2d::forward(const ag::Variable& x) {
   const int64_t spatial = x.numel() / NC;
   Tensor mask(x.shape());
   const float scale = 1.f / (1.f - p);
-  float* m = mask.data();
-  for (int64_t nc = 0; nc < NC; ++nc) {
-    const float v = rng_.bernoulli(p) ? 0.f : scale;
-    for (int64_t s = 0; s < spatial; ++s) m[nc * spatial + s] = v;
-  }
+  // Recorded before mul_mask so replay redraws the mask (same RNG stream
+  // position as eager) ahead of the product thunk — see nn::Dropout.
+  auto draw = [mask, scale, NC, spatial, p = p, rng = &rng_]() mutable {
+    float* m = mask.data();
+    for (int64_t nc = 0; nc < NC; ++nc) {
+      const float v = rng->bernoulli(p) ? 0.f : scale;
+      for (int64_t s = 0; s < spatial; ++s) m[nc * spatial + s] = v;
+    }
+  };
+  draw();
+  if (ag::capturing()) ag::record_side_effect(draw);
   return ag::mul_mask(x, mask);
 }
 
@@ -485,9 +492,13 @@ ag::Variable FusedDropout::forward(const ag::Variable& x) {
   if (!is_training() || p == 0.f) return x;
   Tensor mask(x.shape());
   const float scale = 1.f / (1.f - p);
-  float* m = mask.data();
-  for (int64_t i = 0; i < mask.numel(); ++i)
-    m[i] = rng_.bernoulli(p) ? 0.f : scale;
+  auto draw = [mask, scale, p = p, rng = &rng_]() mutable {
+    float* m = mask.data();
+    for (int64_t i = 0; i < mask.numel(); ++i)
+      m[i] = rng->bernoulli(p) ? 0.f : scale;
+  };
+  draw();
+  if (ag::capturing()) ag::record_side_effect(draw);
   return ag::mul_mask(x, mask);
 }
 

@@ -33,6 +33,9 @@ class FusedOptimizer {
   /// Per-model learning rates (always size B).
   const HyperVec& lr() const { return lr_; }
   void set_lr(HyperVec lr);
+  /// The fused parameters this optimizer steps (fingerprinted by step
+  /// programs to detect structural changes such as a Hyperband repack).
+  const std::vector<FusedParam>& fused_params() const { return params_; }
 
   /// Carries optimizer state across a FusionPlan::repack_multi: this
   /// optimizer (freshly built over the repacked array's parameters, array

@@ -1,6 +1,54 @@
 #include "hfta/train.h"
 
+#include "core/check.h"
+
 namespace hfta {
+
+namespace {
+
+// FNV-1a over the optimizer's *structure*: which parameter impls and
+// storages it steps, and their sizes. Learning-rate values are deliberately
+// excluded — schedulers flow through replay (the real optimizer step runs
+// each iteration); structural changes (Hyperband repack builds a new array
+// and optimizer, fuse-mask/B changes re-register params) change the
+// fingerprint and force recapture.
+uint64_t fnv_mix(uint64_t h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t fnv_var(uint64_t h, const ag::Variable& v) {
+  h = fnv_mix(h, reinterpret_cast<uint64_t>(v.id()));
+  h = fnv_mix(h, reinterpret_cast<uint64_t>(v.value().data()));
+  h = fnv_mix(h, static_cast<uint64_t>(v.numel()));
+  return h;
+}
+
+uint64_t fingerprint(const fused::FusedOptimizer& opt) {
+  uint64_t h = 1469598103934665603ull;
+  h = fnv_mix(h, static_cast<uint64_t>(opt.array_size()));
+  h = fnv_mix(h, opt.fused_params().size());
+  for (const fused::FusedParam& p : opt.fused_params()) h = fnv_var(h, p.var);
+  return h;
+}
+
+uint64_t fingerprint(const nn::Optimizer& opt) {
+  uint64_t h = 1469598103934665603ull;
+  h = fnv_mix(h, opt.params().size());
+  for (const ag::Variable& p : opt.params()) h = fnv_var(h, p);
+  return h;
+}
+
+}  // namespace
+
+void TrainStep::finish_stats(const IterationScope& scope) {
+  stats_.last_heap_allocs = scope.heap_allocs();
+  stats_.last_pool_hits = scope.pool_hits();
+  stats_.last_node_constructions = scope.node_constructions();
+}
 
 template <typename ZeroFn, typename StepFn>
 ag::Variable TrainStep::run_impl(const ZeroFn& zero, const StepFn& step,
@@ -11,8 +59,8 @@ ag::Variable TrainStep::run_impl(const ZeroFn& zero, const StepFn& step,
   engine_.run(loss);
   step();
   ++stats_.steps;
-  stats_.last_heap_allocs = scope.heap_allocs();
-  stats_.last_pool_hits = scope.pool_hits();
+  stats_.last_was_replay = false;
+  finish_stats(scope);
   return loss;
 }
 
@@ -25,17 +73,113 @@ std::vector<ag::Variable> TrainStep::run_multi_impl(
   for (const ag::Variable& loss : losses) engine_.run(loss);
   step();
   ++stats_.steps;
-  stats_.last_heap_allocs = scope.heap_allocs();
-  stats_.last_pool_hits = scope.pool_hits();
+  stats_.last_was_replay = false;
+  finish_stats(scope);
   return losses;
+}
+
+template <typename Opt>
+ag::Variable TrainStep::run_cached(Opt& opt, const LossFn& loss_fn) {
+  ProgramSlot& slot = programs_[static_cast<const void*>(&opt)];
+  const uint64_t fp = fingerprint(opt);
+  if (slot.fingerprinted && slot.fingerprint != fp) {
+    // Same optimizer address, different structure (e.g. a repacked group
+    // reusing a slot): the captured graph is stale.
+    slot.program.clear();
+    slot.eager_runs = 0;
+  }
+  slot.fingerprint = fp;
+  slot.fingerprinted = true;
+  slot.last_used = ++use_clock_;
+
+  if (slot.program.captured()) {
+    IterationScope scope;
+    opt.zero_grad();
+    slot.program.replay();
+    opt.step();
+    ++stats_.steps;
+    ++stats_.replays;
+    finish_stats(scope);
+    stats_.last_was_replay = true;
+    return slot.program.loss();
+  }
+
+  if (slot.eager_runs < warmup_) {
+    ++slot.eager_runs;
+    return run_impl([&] { opt.zero_grad(); }, [&] { opt.step(); }, loss_fn);
+  }
+
+  // Capture run: a full training step (eager kernels, the real backward)
+  // recorded along the way. Only the forward/loss build runs under the
+  // guard; finish_capture freezes the backward it then executes.
+  IterationScope scope;
+  opt.zero_grad();
+  ag::Variable loss;
+  {
+    ag::StepProgram::CaptureGuard guard(slot.program);
+    loss = loss_fn();
+  }
+  slot.program.finish_capture(engine_, loss);
+  opt.step();
+  ++stats_.steps;
+  ++stats_.captures;
+  stats_.last_was_replay = false;
+  finish_stats(scope);
+  evict_lru();
+  return loss;
+}
+
+void TrainStep::enable_capture(int64_t warmup) {
+  HFTA_CHECK(warmup >= 1, "enable_capture: warmup must be >= 1 (the pool "
+             "must be warm before a program pins its buffers)");
+  capture_ = true;
+  warmup_ = warmup;
+}
+
+void TrainStep::disable_capture() {
+  capture_ = false;
+  programs_.clear();
+}
+
+void TrainStep::stage(Tensor* dst, const Tensor& src) {
+  HFTA_CHECK(dst != nullptr, "stage: null destination");
+  if (!dst->defined()) {
+    // First stage: no program can have captured this tensor yet.
+    *dst = src.clone();
+    return;
+  }
+  if (dst->shape() == src.shape()) {
+    dst->copy_(src);
+    return;
+  }
+  // Shape change: captured graphs read the old buffer — recapture all.
+  *dst = src.clone();
+  invalidate_programs();
+}
+
+void TrainStep::invalidate_programs() { programs_.clear(); }
+
+void TrainStep::drop_program(const void* opt_key) { programs_.erase(opt_key); }
+
+void TrainStep::evict_lru() {
+  // Bounds pinned-buffer memory when many optimizers share one TrainStep.
+  constexpr size_t kMaxPrograms = 32;
+  while (programs_.size() > kMaxPrograms) {
+    auto oldest = programs_.begin();
+    for (auto it = programs_.begin(); it != programs_.end(); ++it)
+      if (it->second.last_used < oldest->second.last_used) oldest = it;
+    programs_.erase(oldest);
+  }
 }
 
 ag::Variable TrainStep::run(fused::FusedOptimizer& opt,
                             const LossFn& loss_fn) {
+  if (capture_) return run_cached(opt, loss_fn);
   return run_impl([&] { opt.zero_grad(); }, [&] { opt.step(); }, loss_fn);
 }
 
 ag::Variable TrainStep::run(nn::Optimizer& opt, const LossFn& loss_fn) {
+  if (capture_) return run_cached(opt, loss_fn);
   return run_impl([&] { opt.zero_grad(); }, [&] { opt.step(); }, loss_fn);
 }
 

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "autograd/engine.h"
+#include "autograd/step_program.h"
 #include "core/storage_pool.h"
 #include "hfta/fused_optim.h"
 #include "hfta/fused_sched.h"
@@ -44,6 +46,10 @@ class TrainStep {
     int64_t steps = 0;               // iterations driven by this TrainStep
     uint64_t last_heap_allocs = 0;   // storage heap allocs in the last step
     uint64_t last_pool_hits = 0;     // pool recycling hits in the last step
+    uint64_t last_node_constructions = 0;  // ag::Node builds in the last step
+    bool last_was_replay = false;    // last step replayed a step program
+    int64_t captures = 0;            // step programs captured so far
+    int64_t replays = 0;             // steps served tape-free by replay
   };
 
   /// Fused-array iteration: `opt` is zero_grad'ed and stepped around the
@@ -67,10 +73,60 @@ class TrainStep {
   /// that cannot use run() (seeded backward, interleaved updates).
   void backward(const ag::Variable& loss, Tensor seed = Tensor());
 
+  // ---- step-program capture & replay ---------------------------------
+  //
+  // Opt-in (a data-varying loss builder would silently train on stale
+  // data): once enabled, the single-loss optimizer overloads of run()
+  // drive `warmup` eager steps per optimizer, capture the next step into
+  // an ag::StepProgram, and replay it thereafter — no Node construction,
+  // no closure allocation, no topo sort, and (warm) no heap allocation.
+  //
+  // Static-input discipline: during replay the loss builder is NOT
+  // called, so per-step data must be staged in place into the tensors the
+  // capture run read (see stage()). Per-step scalar hypers (learning
+  // rates) stay live — the real optimizer step runs around every replay.
+  //
+  // Invalidation: each program is fingerprinted over the optimizer's
+  // structure (param identities, storages, shapes, array size). A repack,
+  // fuse-mask change, or any param re-registration changes the
+  // fingerprint and recaptures automatically; stage() with a new shape
+  // invalidates every program (batch-size change reshapes the graph).
+
+  /// Enables capture on this TrainStep after `warmup` eager steps per
+  /// optimizer (>= 1 so pooled buffers are warm when the program pins
+  /// them).
+  void enable_capture(int64_t warmup = 1);
+  /// Disables capture and drops every cached program.
+  void disable_capture();
+  bool capture_enabled() const { return capture_; }
+
+  /// Stages per-step data into `*dst` (a tensor the captured graph
+  /// reads): same-shape sources are copied in place so replays observe
+  /// them; a shape change reassigns the tensor and invalidates all
+  /// programs (the graph must be recaptured over the new buffer).
+  void stage(Tensor* dst, const Tensor& src);
+
+  /// Drops every cached program (next runs re-warm and recapture).
+  void invalidate_programs();
+  /// Drops the program cached for one optimizer (pass its address) —
+  /// e.g. when a Hyperband group retires and its optimizer is destroyed.
+  void drop_program(const void* opt_key);
+  int64_t program_count() const {
+    return static_cast<int64_t>(programs_.size());
+  }
+
   const Stats& stats() const { return stats_; }
   ag::Engine& engine() { return engine_; }
 
  private:
+  struct ProgramSlot {
+    uint64_t fingerprint = 0;
+    bool fingerprinted = false;
+    int64_t eager_runs = 0;  // warmup progress before capture
+    int64_t last_used = 0;   // LRU clock value
+    ag::StepProgram program;
+  };
+
   template <typename ZeroFn, typename StepFn>
   ag::Variable run_impl(const ZeroFn& zero, const StepFn& step,
                         const LossFn& loss_fn);
@@ -78,9 +134,17 @@ class TrainStep {
   std::vector<ag::Variable> run_multi_impl(const ZeroFn& zero,
                                            const StepFn& step,
                                            const MultiLossFn& loss_fn);
+  template <typename Opt>
+  ag::Variable run_cached(Opt& opt, const LossFn& loss_fn);
+  void finish_stats(const IterationScope& scope);
+  void evict_lru();
 
   ag::Engine engine_;
   Stats stats_;
+  std::unordered_map<const void*, ProgramSlot> programs_;
+  bool capture_ = false;
+  int64_t warmup_ = 1;
+  int64_t use_clock_ = 0;
 };
 
 /// Drives a TrainStep over a fixed number of iterations with epoch
@@ -98,12 +162,19 @@ class TrainLoop {
     std::function<void(int64_t epoch)> on_epoch_end;
     /// Scoring/tracing hook: (step index, that step's loss).
     std::function<void(int64_t step, const ag::Variable& loss)> on_step;
+    /// Capture the step into a replayable program after `capture_warmup`
+    /// eager steps (see TrainStep::enable_capture and its static-input
+    /// discipline — the loss builder is not called during replay).
+    bool capture = false;
+    int64_t capture_warmup = 1;
   };
 
   TrainLoop() = default;
   // Delegating overload instead of `Options opts = {}`: GCC rejects
   // defaulted {} for nested structs with NSDMI.
-  explicit TrainLoop(Options opts) : opts_(std::move(opts)) {}
+  explicit TrainLoop(Options opts) : opts_(std::move(opts)) {
+    if (opts_.capture) step_.enable_capture(opts_.capture_warmup);
+  }
 
   /// Runs `steps` iterations of loss_fn against the fused optimizer.
   void run(int64_t steps, fused::FusedOptimizer& opt,

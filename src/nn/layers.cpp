@@ -1,5 +1,6 @@
 #include "nn/layers.h"
 
+#include "autograd/step_program.h"
 #include "nn/init.h"
 #include "tensor/ops.h"
 
@@ -119,9 +120,16 @@ ag::Variable Dropout::forward(const ag::Variable& x) {
   if (!is_training() || p == 0.f) return x;
   Tensor mask(x.shape());
   const float scale = 1.f / (1.f - p);
-  float* m = mask.data();
-  for (int64_t i = 0; i < mask.numel(); ++i)
-    m[i] = rng_.bernoulli(p) ? 0.f : scale;
+  // The mask draw mutates this module's RNG stream, so a replayed step must
+  // re-run it at the same stream position — recorded before mul_mask so
+  // replay refreshes the (shared-storage) mask ahead of the product thunk.
+  auto draw = [mask, scale, p = p, rng = &rng_]() mutable {
+    float* m = mask.data();
+    for (int64_t i = 0; i < mask.numel(); ++i)
+      m[i] = rng->bernoulli(p) ? 0.f : scale;
+  };
+  draw();
+  if (ag::capturing()) ag::record_side_effect(draw);
   return ag::mul_mask(x, mask);
 }
 
@@ -136,11 +144,15 @@ ag::Variable Dropout2d::forward(const ag::Variable& x) {
   const int64_t spatial = x.numel() / (N * C);
   Tensor mask(x.shape());
   const float scale = 1.f / (1.f - p);
-  float* m = mask.data();
-  for (int64_t nc = 0; nc < N * C; ++nc) {
-    const float v = rng_.bernoulli(p) ? 0.f : scale;
-    for (int64_t s = 0; s < spatial; ++s) m[nc * spatial + s] = v;
-  }
+  auto draw = [mask, scale, N, C, spatial, p = p, rng = &rng_]() mutable {
+    float* m = mask.data();
+    for (int64_t nc = 0; nc < N * C; ++nc) {
+      const float v = rng->bernoulli(p) ? 0.f : scale;
+      for (int64_t s = 0; s < spatial; ++s) m[nc * spatial + s] = v;
+    }
+  };
+  draw();
+  if (ag::capturing()) ag::record_side_effect(draw);
   return ag::mul_mask(x, mask);
 }
 

@@ -1,5 +1,6 @@
 #include "nn/norm.h"
 
+#include "autograd/step_program.h"
 #include "tensor/ops.h"
 
 namespace hfta::nn {
@@ -31,12 +32,23 @@ ag::Variable BatchNormBase::normalize(
     const float unbias =
         count > 1 ? static_cast<float>(count) / static_cast<float>(count - 1)
                   : 1.f;
-    running_mean.mul_(1.f - momentum);
-    running_mean.add_(batch_mean, momentum);
-    running_var.mul_(1.f - momentum);
-    Tensor bv = batch_var.clone();
-    bv.mul_(unbias);
-    running_var.add_(bv, momentum);
+    // batch_mean/batch_var share storage with mean_v/var_v's pinned
+    // values, so when a step program replays this effect after the mean
+    // thunks refresh those buffers, the update reads current batch stats.
+    // The scratch tensor replaces eager's per-step clone so replay stays
+    // allocation-free; copy_ + mul_ is bit-identical to clone + mul_.
+    auto update = [rm = running_mean, rv = running_var, batch_mean, batch_var,
+                   scratch = Tensor(Shape{channels}), m = momentum,
+                   unbias]() mutable {
+      rm.mul_(1.f - m);
+      rm.add_(batch_mean, m);
+      rv.mul_(1.f - m);
+      scratch.copy_(batch_var);
+      scratch.mul_(unbias);
+      rv.add_(scratch, m);
+    };
+    update();
+    if (ag::capturing()) ag::record_side_effect(update);
   } else {
     mean_v = ag::constant(running_mean.reshape(bshape));
     var_v = ag::constant(running_var.reshape(bshape));

@@ -127,7 +127,7 @@ Tensor mul_scalar(const Tensor& a, float s) {
   return unary(a, [s](float x) { return x * s; });
 }
 
-Tensor unary(const Tensor& a, const std::function<float(float)>& fn) {
+Tensor unary(const Tensor& a, FunctionRef<float(float)> fn) {
   Tensor out = Tensor::empty(a.shape());
   const float* pa = a.data();
   float* po = out.data();

@@ -3,10 +3,10 @@
 // The autograd layer (src/autograd) wraps these with backward rules.
 #pragma once
 
-#include <functional>
 #include <utility>
 #include <vector>
 
+#include "core/function_ref.h"
 #include "tensor/tensor.h"
 
 namespace hfta::ops {
@@ -34,7 +34,7 @@ Tensor reduce_to_shape(const Tensor& grad, const Shape& shape);
 Tensor add_scalar(const Tensor& a, float s);
 Tensor mul_scalar(const Tensor& a, float s);
 /// Elementwise map.
-Tensor unary(const Tensor& a, const std::function<float(float)>& fn);
+Tensor unary(const Tensor& a, FunctionRef<float(float)> fn);
 Tensor neg(const Tensor& a);
 Tensor exp(const Tensor& a);
 Tensor log(const Tensor& a);

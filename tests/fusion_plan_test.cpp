@@ -21,6 +21,8 @@
 #include "nn/optim.h"
 #include "tensor/ops.h"
 
+#include "kind_factories.h"
+
 namespace hfta::fused {
 namespace {
 
@@ -715,82 +717,11 @@ TEST(Repack, SurvivorsContinueBitExactlyAfterHalving) {
 
 // ---- registry-parameterized state round-trip --------------------------------
 
-// One congruent per-model module per registered kind (fresh weights per
-// call, so B calls give B distinct-but-congruent replicas).
-using KindFactory = std::function<std::shared_ptr<nn::Module>(Rng&)>;
-
-std::map<std::string, KindFactory> kind_factories() {
-  using std::make_shared;
-  std::map<std::string, KindFactory> f;
-  f["Linear"] = [](Rng& r) { return make_shared<nn::Linear>(4, 3, true, r); };
-  f["LayerNorm"] = [](Rng& r) {
-    return make_shared<nn::LayerNorm>(Shape{5}, 1e-5f, r);
-  };
-  f["Flatten"] = [](Rng&) { return make_shared<nn::Flatten>(); };
-  f["Conv2d"] = [](Rng& r) {
-    return make_shared<nn::Conv2d>(3, 4, 3, 1, 1, 1, true, r);
-  };
-  f["Conv1d"] = [](Rng& r) {
-    return make_shared<nn::Conv1d>(3, 4, 1, 1, 0, 1, true, r);
-  };
-  f["ConvTranspose2d"] = [](Rng& r) {
-    return make_shared<nn::ConvTranspose2d>(4, 3, 4, 2, 1, 0, 1, true, r);
-  };
-  f["ConvTranspose1d"] = [](Rng& r) {
-    return make_shared<nn::ConvTranspose1d>(4, 3, 4, 2, 1, 0, 1, true, r);
-  };
-  f["BatchNorm2d"] = [](Rng&) { return make_shared<nn::BatchNorm2d>(4); };
-  f["BatchNorm1d"] = [](Rng&) { return make_shared<nn::BatchNorm1d>(4); };
-  f["MaxPool2d"] = [](Rng&) { return make_shared<nn::MaxPool2d>(2, 2); };
-  f["AdaptiveAvgPool2d"] = [](Rng&) {
-    return make_shared<nn::AdaptiveAvgPool2d>(1, 1);
-  };
-  f["Dropout"] = [](Rng&) { return make_shared<nn::Dropout>(0.5f); };
-  f["Dropout2d"] = [](Rng&) { return make_shared<nn::Dropout2d>(0.5f); };
-  f["GlobalMaxPool1d"] = [](Rng&) {
-    return make_shared<nn::GlobalMaxPool1d>();
-  };
-  f["ReLU"] = [](Rng&) { return make_shared<nn::ReLU>(); };
-  f["ReLU6"] = [](Rng&) { return make_shared<nn::ReLU6>(); };
-  f["LeakyReLU"] = [](Rng&) { return make_shared<nn::LeakyReLU>(0.2f); };
-  f["Tanh"] = [](Rng&) { return make_shared<nn::Tanh>(); };
-  f["Sigmoid"] = [](Rng&) { return make_shared<nn::Sigmoid>(); };
-  f["Hardswish"] = [](Rng&) { return make_shared<nn::Hardswish>(); };
-  f["GELU"] = [](Rng&) { return make_shared<nn::GELU>(); };
-  f["models::PointNetTrunk"] = [](Rng& r) {
-    models::PointNetConfig cfg = models::PointNetConfig::tiny();
-    cfg.input_transform = true;  // cover the STN subtree
-    return make_shared<models::PointNetTrunk>(cfg, r);
-  };
-  f["models::BasicBlock"] = [](Rng& r) {
-    // in != out: covers the downsample branch
-    return make_shared<models::BasicBlock>(4, 8, 2, r);
-  };
-  f["models::TransformerEncoderLayer"] = [](Rng& r) {
-    return make_shared<models::TransformerEncoderLayer>(8, 2, 16, 0.f,
-                                                        "gelu", r);
-  };
-  f["models::TransformerLM"] = [](Rng& r) {
-    return make_shared<models::TransformerLM>(models::TransformerConfig::tiny(),
-                                              r);
-  };
-  f["models::SqueezeExcite"] = [](Rng& r) {
-    return make_shared<models::SqueezeExcite>(8, r);
-  };
-  f["models::Bneck"] = [](Rng& r) {
-    // A row with expansion AND squeeze-excite, so every branch has state.
-    return make_shared<models::Bneck>(8, models::mobilenetv3_large_table()[3],
-                                      models::MobileNetV3Config::tiny(), r);
-  };
-  f["models::MobileNetV3"] = [](Rng& r) {
-    return make_shared<models::MobileNetV3>(models::MobileNetV3Config::tiny(),
-                                            r);
-  };
-  f["models::BertModel"] = [](Rng& r) {
-    return make_shared<models::BertModel>(models::BertConfig::tiny(), r);
-  };
-  return f;
-}
+// The per-kind factories live in kind_factories.h, shared with
+// step_program_test so every registered lowering is covered by BOTH the
+// state round-trip here and the capture/replay bit-exactness suite.
+using tests::KindFactory;
+using tests::kind_factories;
 
 TEST(StateSchema, EveryRegisteredKindRoundTripsSaveLoadBitExactly) {
   // Parameterized over the ENTIRE LoweringRegistry: compile B congruent

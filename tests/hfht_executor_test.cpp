@@ -106,6 +106,24 @@ TEST(FusedExecutor, HyperbandSurvivorsRepackAndContinueBitExactly) {
   EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
 }
 
+TEST(FusedExecutor, ReplayContinuesAcrossHyperbandRepack) {
+  // The executor's TrainStep captures each group's step program; a halving
+  // repack builds a new array + optimizer (new fingerprint), so training
+  // must recapture and keep replaying — with the serial audit still at
+  // zero drift on the post-repack iterations.
+  Hyperband hb(single_partition_space(), /*max_epochs_r=*/4, /*eta=*/2,
+               /*skip_last=*/0, /*seed=*/9);
+  FusedTrainingExecutor exec(Task::kPointNet, sim::v100(),
+                             tiny_options(/*verify=*/true));
+  run_tuning(hb, exec);
+  const TrainStep::Stats& st = exec.train_step().stats();
+  EXPECT_GT(st.replays, 0);   // steady-state steps were served tape-free
+  EXPECT_GE(st.captures, 2);  // at least one pre- and one post-repack program
+  EXPECT_GE(exec.arrays_repacked(), 2);
+  EXPECT_GT(exec.iterations_verified_after_repack(), 0);
+  EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
+}
+
 TEST(FusedExecutor, DuplicateSurvivorsRepackIntoDistinctSlots) {
   // Discrete choice lists make identical ParamSets possible; two surviving
   // copies of the same set must map to two distinct slots of the old array

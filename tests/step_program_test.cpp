@@ -1,0 +1,241 @@
+// Step-program capture/replay: a capture-enabled TrainStep must train
+// bit-identically to an eager one — for EVERY kind in the LoweringRegistry
+// (fresh data staged each step, parameters/buffers compared to the last
+// bit), across recaptures forced by shape, array-size, and fuse-mask
+// changes, and with learning-rate schedules flowing through replay without
+// recapture. Replay itself must be silent: zero tensor-storage heap
+// allocations and zero autograd Node constructions per replayed step.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hfta/fused_optim.h"
+#include "hfta/fusion.h"
+#include "hfta/train.h"
+#include "nn/layers.h"
+#include "nn/optim.h"
+#include "tensor/ops.h"
+
+#include "kind_factories.h"
+
+namespace hfta {
+namespace {
+
+constexpr int64_t kN = 2;  // per-model batch
+
+// One half of a lockstep pair: a module, its SGD, its own TrainStep, and a
+// staging buffer the (possibly captured) loss graph reads its data from.
+struct Twin {
+  std::shared_ptr<nn::Module> module;
+  std::unique_ptr<nn::SGD> opt;
+  TrainStep step;
+  Tensor staged;
+};
+
+void init_twin(Twin& t, const tests::KindFactory& make, uint64_t seed) {
+  Rng rng(seed);
+  t.module = make(rng);
+  t.opt = std::make_unique<nn::SGD>(
+      t.module->parameters(), nn::SGD::Options{.lr = 0.05, .momentum = 0.9});
+}
+
+// One training step on fresh data: stage, forward, square-loss, SGD.
+float step_once(Twin& t, const std::string& kind, const Tensor& x) {
+  t.step.stage(&t.staged, x);
+  ag::Variable loss = t.step.run(*t.opt, [&] {
+    ag::Variable y = tests::kind_forward(*t.module, kind, t.staged);
+    return ag::mean_all(ag::mul(y, y));
+  });
+  return loss.value().item();
+}
+
+void expect_state_equal(const nn::Module& a, const nn::Module& b,
+                        const std::string& tag) {
+  const auto pa = a.named_parameters();
+  const auto pb = b.named_parameters();
+  ASSERT_EQ(pa.size(), pb.size()) << tag;
+  for (size_t i = 0; i < pa.size(); ++i)
+    EXPECT_EQ(ops::max_abs_diff(pa[i].second.value(), pb[i].second.value()),
+              0.f)
+        << tag << " param " << pa[i].first;
+  const auto ba = nn::named_buffers_recursive(const_cast<nn::Module&>(a));
+  const auto bb = nn::named_buffers_recursive(const_cast<nn::Module&>(b));
+  ASSERT_EQ(ba.size(), bb.size()) << tag;
+  for (size_t i = 0; i < ba.size(); ++i)
+    EXPECT_EQ(ops::max_abs_diff(ba[i].second, bb[i].second), 0.f)
+        << tag << " buffer " << ba[i].first;
+}
+
+TEST(StepProgram, ReplayMatchesEagerBitExactlyForEveryRegisteredKind) {
+  // Every kind with a round-trip factory: 12 steps of fresh staged data,
+  // one twin eager, one capturing after the default 1-step warmup (so 10
+  // of the 12 steps replay). Per-step losses and final parameters/buffers
+  // must agree to the last bit — replay IS the eager step.
+  const int kSteps = 12;
+  for (const auto& [kind, make] : tests::kind_factories()) {
+    Twin eager, replay;
+    init_twin(eager, make, 42);
+    init_twin(replay, make, 42);
+    replay.step.enable_capture();
+    Rng data_e(7), data_r(7);
+    for (int s = 0; s < kSteps; ++s) {
+      const float le = step_once(eager, kind, tests::kind_input(kind, kN, data_e));
+      const float lr = step_once(replay, kind, tests::kind_input(kind, kN, data_r));
+      EXPECT_EQ(le, lr) << kind << " step " << s;
+    }
+    const TrainStep::Stats& st = replay.step.stats();
+    EXPECT_EQ(st.captures, 1) << kind;
+    EXPECT_EQ(st.replays, kSteps - 2) << kind;  // 1 warmup + 1 capture step
+    EXPECT_TRUE(st.last_was_replay) << kind;
+    // A replayed step allocates and records nothing: warm pool serves every
+    // tensor, and no ag::Node (or backward closure) is ever constructed.
+    EXPECT_EQ(st.last_heap_allocs, 0u) << kind;
+    EXPECT_EQ(st.last_node_constructions, 0u) << kind;
+    expect_state_equal(*eager.module, *replay.module, kind);
+  }
+}
+
+TEST(StepProgram, BatchShapeChangeInvalidatesAndRecaptures) {
+  // Staging a differently-shaped batch reassigns the pinned input buffer,
+  // so the program must be recaptured over the new graph — and the twin
+  // pair must stay bit-exact straight through the boundary.
+  const auto factories = tests::kind_factories();
+  const tests::KindFactory& make = factories.at("Linear");
+  Twin eager, replay;
+  init_twin(eager, make, 3);
+  init_twin(replay, make, 3);
+  replay.step.enable_capture();
+  Rng data_e(11), data_r(11);
+  for (int s = 0; s < 4; ++s) {
+    const float le = step_once(eager, "Linear", tests::kind_input("Linear", 2, data_e));
+    const float lr = step_once(replay, "Linear", tests::kind_input("Linear", 2, data_r));
+    EXPECT_EQ(le, lr) << "pre-change step " << s;
+  }
+  EXPECT_EQ(replay.step.stats().captures, 1);
+  for (int s = 0; s < 4; ++s) {  // batch 2 -> 5: a reshaped loss graph
+    const float le = step_once(eager, "Linear", tests::kind_input("Linear", 5, data_e));
+    const float lr = step_once(replay, "Linear", tests::kind_input("Linear", 5, data_r));
+    EXPECT_EQ(le, lr) << "post-change step " << s;
+  }
+  EXPECT_EQ(replay.step.stats().captures, 2);
+  EXPECT_TRUE(replay.step.stats().last_was_replay);
+  expect_state_equal(*eager.module, *replay.module, "shape change");
+}
+
+TEST(StepProgram, LrScheduleFlowsThroughReplayWithoutRecapture) {
+  // Scalar hypers are replay-time inputs: the real optimizer step runs
+  // around every replay, so a decaying lr needs no recapture — one capture
+  // total, and still not a bit of drift against the eager twin.
+  const auto factories = tests::kind_factories();
+  const tests::KindFactory& make = factories.at("Linear");
+  Twin eager, replay;
+  init_twin(eager, make, 5);
+  init_twin(replay, make, 5);
+  replay.step.enable_capture();
+  Rng data_e(13), data_r(13);
+  for (int s = 0; s < 10; ++s) {
+    const double lr_s = 0.05 * std::pow(0.9, s);
+    eager.opt->set_lr(lr_s);
+    replay.opt->set_lr(lr_s);
+    const float le = step_once(eager, "Linear", tests::kind_input("Linear", kN, data_e));
+    const float lr = step_once(replay, "Linear", tests::kind_input("Linear", kN, data_r));
+    EXPECT_EQ(le, lr) << "step " << s;
+  }
+  EXPECT_EQ(replay.step.stats().captures, 1);
+  EXPECT_EQ(replay.step.stats().replays, 8);
+  expect_state_equal(*eager.module, *replay.module, "lr schedule");
+}
+
+// ---- fused arrays: B and fuse-mask changes -----------------------------
+
+std::shared_ptr<nn::Sequential> mlp(Rng& rng) {
+  auto net = std::make_shared<nn::Sequential>();
+  net->push_back("fc1", std::make_shared<nn::Linear>(4, 6, true, rng));
+  net->push_back("relu", std::make_shared<nn::ReLU>());
+  net->push_back("fc2", std::make_shared<nn::Linear>(6, 3, true, rng));
+  return net;
+}
+
+// One fused config: two same-weight arrays (capture twin, eager twin) and
+// their optimizers. Kept alive across configs so program slots keyed by
+// optimizer address cannot collide through stack reuse.
+struct FusedCfg {
+  std::shared_ptr<fused::FusedArray> array_c, array_e;
+  std::unique_ptr<fused::FusedSGD> opt_c, opt_e;
+  Tensor x;
+};
+
+FusedCfg make_cfg(int64_t B, fused::FusionOptions fopts) {
+  FusedCfg c;
+  Rng rng(21);
+  std::vector<std::shared_ptr<nn::Module>> donors;
+  for (int64_t b = 0; b < B; ++b) donors.push_back(mlp(rng));
+  Rng crng(1), erng(1);
+  c.array_c = fused::FusionPlan(B, fopts).compile(donors, crng);
+  c.array_e = fused::FusionPlan(B, fopts).compile(donors, erng);
+  const fused::FusedSGD::Options sopts{
+      .lr = fused::HyperVec(static_cast<size_t>(B), 0.05)};
+  c.opt_c = std::make_unique<fused::FusedSGD>(
+      fused::collect_fused_parameters(*c.array_c, B), B, sopts);
+  c.opt_e = std::make_unique<fused::FusedSGD>(
+      fused::collect_fused_parameters(*c.array_e, B), B, sopts);
+  Rng drng(31);
+  c.x = fused::pack_channel_fused(
+      std::vector<Tensor>(static_cast<size_t>(B), Tensor::randn({kN, 4}, drng)));
+  return c;
+}
+
+// Drives the config's twins in lockstep (fixed data, so no staging
+// needed): losses must be bit-equal every step and the capturing step must
+// end up replaying.
+void run_fused_pair(TrainStep& cap, TrainStep& eag, FusedCfg& c,
+                    const std::string& tag) {
+  auto loss_on = [&c](fused::FusedArray& a) {
+    return [&a, &c] {
+      ag::Variable y = a.forward(ag::Variable(c.x));
+      return ag::mean_all(ag::mul(y, y));
+    };
+  };
+  for (int s = 0; s < 6; ++s) {
+    const float lc = cap.run(*c.opt_c, loss_on(*c.array_c)).value().item();
+    const float le = eag.run(*c.opt_e, loss_on(*c.array_e)).value().item();
+    EXPECT_EQ(lc, le) << tag << " step " << s;
+  }
+  EXPECT_TRUE(cap.stats().last_was_replay) << tag;
+}
+
+TEST(StepProgram, ArraySizeAndFuseMaskChangesGetFreshPrograms) {
+  // Three configs through ONE capture-enabled TrainStep: B=2 fully fused,
+  // B=3 (array-size change), and B=2 with the middle unit masked off
+  // (fuse-mask change). Each new array/optimizer pair fingerprints
+  // differently, so each gets its own program — three captures, three live
+  // programs, no cross-talk, and bit-exactness against eager throughout.
+  TrainStep cap;
+  cap.enable_capture();
+  TrainStep eag;
+  FusedCfg b2 = make_cfg(2, {});
+  run_fused_pair(cap, eag, b2, "B=2 fused");
+  EXPECT_EQ(cap.stats().captures, 1);
+  EXPECT_EQ(cap.program_count(), 1);
+  FusedCfg b3 = make_cfg(3, {});
+  run_fused_pair(cap, eag, b3, "B=3 fused");
+  EXPECT_EQ(cap.stats().captures, 2);
+  EXPECT_EQ(cap.program_count(), 2);
+  fused::FusionOptions masked;
+  masked.fuse_mask = {true, false, true};
+  FusedCfg b2m = make_cfg(2, masked);
+  run_fused_pair(cap, eag, b2m, "B=2 masked");
+  EXPECT_EQ(cap.stats().captures, 3);
+  EXPECT_EQ(cap.program_count(), 3);
+  // A retired optimizer's program is dropped individually; the rest stay.
+  cap.drop_program(b3.opt_c.get());
+  EXPECT_EQ(cap.program_count(), 2);
+  cap.invalidate_programs();
+  EXPECT_EQ(cap.program_count(), 0);
+}
+
+}  // namespace
+}  // namespace hfta
