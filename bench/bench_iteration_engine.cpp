@@ -26,15 +26,23 @@
 //                    host a single run is hostage to scheduler noise)
 //   --json PATH      additionally write the table as JSON (CI artifact /
 //                    BENCH_iteration_engine.json trajectory point)
+//   --threads LIST   comma-separated worker counts for the scaling sweep
+//                    (default "1,2,4,8"); each count re-runs the replay
+//                    configuration at the largest B and the sweep also
+//                    cross-checks that the final training loss is
+//                    bit-identical at every thread count
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/op_counters.h"
+#include "core/parallel.h"
 #include "core/storage_pool.h"
 #include "hfta/fused_optim.h"
 #include "hfta/fused_ops.h"
@@ -105,8 +113,10 @@ Measurement run_config(int64_t B, Mode mode, int steps, int warmup) {
   // Baseline = the pre-iteration-engine hot loop, faithfully: no recycling
   // and every allocation zero-filled (old std::vector-backed storage).
   const bool engine_on = mode != Mode::kBaseline;
-  StoragePool::instance().set_enabled(engine_on);
-  StoragePool::instance().set_zero_fill_all(!engine_on);
+  StoragePool::Config cfg;
+  cfg.enabled = engine_on;
+  cfg.zero_fill_all = !engine_on;
+  StoragePool::instance().set_config(cfg);
   StoragePool::instance().trim();
   Rng rng(1);
   FusedMlp model(B, kIn, kHidden, kClasses, kDepth, rng);
@@ -143,16 +153,15 @@ Measurement run_config(int64_t B, Mode mode, int steps, int warmup) {
   // so every timed iteration is a pure replay.
   for (int s = 0; s < warmup; ++s) one_iter();
 
-  const uint64_t allocs0 = Tensor::alloc_count();
+  const uint64_t allocs0 = StoragePool::instance().stats().heap_allocs;
   const uint64_t nodes0 = counters::node_constructions();
   const auto t0 = Clock::now();
   for (int s = 0; s < steps; ++s) one_iter();
   const double secs = std::chrono::duration<double>(Clock::now() - t0).count();
-  const uint64_t allocs = Tensor::alloc_count() - allocs0;
+  const uint64_t allocs = StoragePool::instance().stats().heap_allocs - allocs0;
   const uint64_t nodes = counters::node_constructions() - nodes0;
 
-  StoragePool::instance().set_enabled(true);
-  StoragePool::instance().set_zero_fill_all(false);
+  StoragePool::instance().set_config(StoragePool::Config{});
   StoragePool::instance().trim();
   return {static_cast<double>(steps) / secs,
           static_cast<double>(allocs) / static_cast<double>(steps),
@@ -205,8 +214,49 @@ double replay_vs_eager_audit(int64_t B, int audit_steps) {
   return max_diff;
 }
 
+// One scaling-sweep measurement: replay mode at a fixed worker count.
+struct ThreadRow {
+  int threads;
+  double replay_iters_per_sec;
+  double allocs_per_iter;   // must stay 0: warm replay allocates nothing
+  double final_loss;        // bit-compared across thread counts
+};
+
+// Trains a fresh captured/replayed configuration to completion at the
+// current worker count and returns the final loss. Partition boundaries are
+// a pure function of problem size, so this must be bit-identical for every
+// thread count — the sweep asserts it.
+double final_loss_at_current_threads(int64_t B, int train_steps) {
+  StoragePool::instance().set_config(StoragePool::Config{});
+  StoragePool::instance().trim();
+  Rng rng(1);
+  FusedMlp model(B, kIn, kHidden, kClasses, kDepth, rng);
+  fused::FusedAdam opt(fused::collect_fused_parameters(model, B), B,
+                       {.lr = {1e-3}});
+  Rng data_rng(2);
+  Tensor x = Tensor::randn({kN, kIn}, data_rng);
+  Tensor labels({B, kN});
+  for (int64_t b = 0; b < B; ++b)
+    for (int64_t n = 0; n < kN; ++n)
+      labels.at({b, n}) = static_cast<float>(n % kClasses);
+  TrainStep step;
+  step.enable_capture();
+  double last = 0.0;
+  for (int s = 0; s < train_steps; ++s) {
+    ag::Variable loss = step.run(opt, [&] {
+      ag::Variable logits = model.forward(
+          ag::Variable(fused::pack_model_major(std::vector<Tensor>(B, x))));
+      return fused::fused_cross_entropy(logits, labels, ag::Reduction::kMean);
+    });
+    last = loss.value().item();
+  }
+  return last;
+}
+
 void write_json(const char* path, int steps, const std::vector<Row>& rows,
-                double audit_max_diff) {
+                double audit_max_diff,
+                const std::vector<ThreadRow>& sweep,
+                double sweep_max_loss_diff) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -235,6 +285,20 @@ void write_json(const char* path, int steps, const std::vector<Row>& rows,
                  r.speedup_engine, r.speedup_replay,
                  i + 1 < rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"threads_sweep_max_loss_diff\": %.2e,\n",
+               sweep_max_loss_diff);
+  std::fprintf(f, "  \"threads_sweep\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const ThreadRow& t = sweep[i];
+    std::fprintf(f,
+                 "    {\"threads\": %d, \"replay_iters_per_sec\": %.2f, "
+                 "\"allocs_per_iter\": %.2f, \"final_loss\": %.9e}%s\n",
+                 t.threads, t.replay_iters_per_sec, t.allocs_per_iter,
+                 t.final_loss, i + 1 < sweep.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
 }
@@ -246,10 +310,11 @@ int main(int argc, char** argv) {
   int warmup = 10;
   int repeats = 3;
   const char* json_path = nullptr;
+  std::vector<int> thread_counts = {1, 2, 4, 8};
   auto usage = [&]() {
     std::fprintf(stderr,
                  "usage: %s [--steps N] [--warmup N] [--repeats N] "
-                 "[--json PATH]\n",
+                 "[--json PATH] [--threads N,N,...]\n",
                  argv[0]);
     return 1;
   };
@@ -265,6 +330,16 @@ int main(int argc, char** argv) {
       if (repeats < 1) return usage();
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      thread_counts.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        char* end = nullptr;
+        const long v = std::strtol(p, &end, 10);
+        if (end == p || v < 1) return usage();
+        thread_counts.push_back(static_cast<int>(v));
+        p = (*end == ',') ? end + 1 : end;
+      }
+      if (thread_counts.empty()) return usage();
     } else {
       return usage();
     }
@@ -312,8 +387,39 @@ int main(int argc, char** argv) {
   const double audit = replay_vs_eager_audit(/*B=*/4, /*audit_steps=*/20);
   std::printf("replay-vs-eager max |loss diff| over 20 steps at B=4: %.2e\n",
               audit);
+
+  // Scaling sweep: replay mode at the largest B across worker counts.
+  // Fixed partition boundaries mean the math cannot change with the worker
+  // count — the final-loss column must agree to the bit on every row.
+  const int default_threads = num_threads();
+  std::printf("\nthread scaling, replay mode at B=8 (host has %u hardware "
+              "threads)\n", std::thread::hardware_concurrency());
+  std::printf("%-8s %14s %11s %16s\n", "threads", "replay it/s", "allocs/it",
+              "final loss");
+  std::vector<ThreadRow> sweep;
+  double sweep_max_loss_diff = 0.0;
+  for (size_t ti = 0; ti < thread_counts.size(); ++ti) {
+    set_num_threads(thread_counts[ti]);
+    Measurement best{0, 0, 0};
+    for (int r = 0; r < repeats; ++r) {
+      const Measurement m = run_config(8, Mode::kReplay, steps, warmup);
+      if (m.iters_per_sec > best.iters_per_sec) best = m;
+    }
+    const double loss = final_loss_at_current_threads(/*B=*/8,
+                                                      /*train_steps=*/20);
+    sweep.push_back(ThreadRow{thread_counts[ti], best.iters_per_sec,
+                              best.allocs_per_iter, loss});
+    sweep_max_loss_diff =
+        std::max(sweep_max_loss_diff, std::fabs(loss - sweep[0].final_loss));
+    std::printf("%-8d %14.1f %11.2f %16.9e\n", thread_counts[ti],
+                best.iters_per_sec, best.allocs_per_iter, loss);
+  }
+  set_num_threads(default_threads);
+  std::printf("max |final loss diff| across thread counts: %.2e "
+              "(must be 0.00e+00)\n", sweep_max_loss_diff);
+
   if (json_path != nullptr) {
-    write_json(json_path, steps, rows, audit);
+    write_json(json_path, steps, rows, audit, sweep, sweep_max_loss_diff);
     std::printf("wrote %s\n", json_path);
   }
   return 0;

@@ -11,111 +11,159 @@
 namespace hfta {
 namespace {
 
+constexpr int kMaxThreads = 64;
+
 thread_local bool in_parallel_region = false;
+
+// One launch in flight. Lives on parallel_for's stack; the pool waits for
+// every participant to leave before returning, so the pointer never dangles.
+struct Job {
+  const FunctionRef<void(int64_t, int64_t)>* fn;
+  int64_t begin;
+  int64_t end;
+  int64_t chunk;
+  int64_t nchunks;
+  std::atomic<int64_t> cursor{0};     // next chunk index to claim
+  std::atomic<int64_t> completed{0};  // chunks whose fn call returned
+};
+
+// Claims chunks until the cursor runs dry. Chunk boundaries come from the
+// Partition (fixed); only the chunk->thread assignment is dynamic.
+void drain(Job& job) {
+  while (true) {
+    const int64_t c = job.cursor.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.nchunks) return;
+    const int64_t lo = job.begin + c * job.chunk;
+    const int64_t hi = std::min(job.end, lo + job.chunk);
+    (*job.fn)(lo, hi);
+    job.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
 
 class ThreadPool {
  public:
-  explicit ThreadPool(int n) : n_(n) {
-    workers_.reserve(static_cast<size_t>(n_));
-    for (int i = 0; i < n_; ++i) {
-      workers_.emplace_back([this] { worker_loop(); });
-    }
+  ThreadPool() : lanes_(configured_threads()) {}
+
+  int lanes() const { return lanes_.load(std::memory_order_relaxed); }
+
+  void set_lanes(int n) {
+    n = std::clamp(n, 1, kMaxThreads);
+    std::lock_guard<std::mutex> lk(mu_);
+    lanes_.store(n, std::memory_order_relaxed);
+    spawn_locked(n - 1);
   }
 
-  ~ThreadPool() {
+  // Runs the job across the worker lanes; the calling thread participates.
+  // fn must not throw (tensor kernels are noexcept by construction; API
+  // validation happens before entering the pool).
+  void run(Job& job) {
     {
       std::lock_guard<std::mutex> lk(mu_);
-      stop_ = true;
+      spawn_locked(lanes() - 1);
+      job_ = &job;
+      ++generation_;
     }
     cv_.notify_all();
-    for (auto& t : workers_) t.join();
-  }
-
-  int size() const { return n_; }
-
-  // Runs fn(i) for i in [0, tasks); blocks until all complete. fn must not
-  // throw (tensor kernels are noexcept by construction; API validation
-  // happens before entering the pool).
-  void run(int tasks, FunctionRef<void(int)> fn) {
+    in_parallel_region = true;  // nested parallel_for inside fn runs inline
+    drain(job);
+    in_parallel_region = false;
     std::unique_lock<std::mutex> lk(mu_);
-    job_ = &fn;
-    job_tasks_ = tasks;
-    next_task_ = 0;
-    pending_ = tasks;
-    ++generation_;
-    cv_.notify_all();
-    done_cv_.wait(lk, [this] { return pending_ == 0; });
+    // Wait for completion AND for every worker to have left the job: a
+    // worker between its last fn return and its exit still touches the
+    // cursor, and the job lives on our caller's stack.
+    done_cv_.wait(lk, [&] {
+      return job.completed.load(std::memory_order_acquire) == job.nchunks &&
+             active_ == 0;
+    });
     job_ = nullptr;
   }
 
  private:
-  void worker_loop() {
-    in_parallel_region = true;
-    uint64_t seen_gen = 0;
-    while (true) {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [&] { return stop_ || generation_ != seen_gen; });
-      if (stop_) return;
-      seen_gen = generation_;
-      while (next_task_ < job_tasks_) {
-        const int t = next_task_++;
-        const auto* job = job_;
-        lk.unlock();
-        (*job)(t);
-        lk.lock();
-        if (--pending_ == 0) done_cv_.notify_all();
-      }
+  static int configured_threads() {
+    if (const char* env = std::getenv("HFTA_NUM_THREADS")) {
+      const int n = std::atoi(env);
+      if (n >= 1) return std::min(n, kMaxThreads);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return static_cast<int>(std::clamp(hw, 1u, 16u));
+  }
+
+  void spawn_locked(int want_workers) {
+    while (static_cast<int>(workers_.size()) < want_workers &&
+           static_cast<int>(workers_.size()) < kMaxThreads - 1) {
+      const int index = static_cast<int>(workers_.size());
+      workers_.emplace_back([this, index] { worker_loop(index); });
     }
   }
 
-  const int n_;
-  std::vector<std::thread> workers_;
+  void worker_loop(int index) {
+    in_parallel_region = true;
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    while (true) {
+      cv_.wait(lk, [&] {
+        // Workers beyond the configured lane count stay parked; a stale
+        // generation with job_ already cleared means the launch finished
+        // without us.
+        return stop_ || (generation_ != seen && job_ != nullptr &&
+                         index < lanes() - 1);
+      });
+      if (stop_) return;
+      seen = generation_;
+      Job* job = job_;
+      ++active_;
+      lk.unlock();
+      drain(*job);
+      lk.lock();
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  std::atomic<int> lanes_;
+  std::vector<std::thread> workers_;  // leaked with the pool singleton
   std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable done_cv_;
-  const FunctionRef<void(int)>* job_ = nullptr;
-  int job_tasks_ = 0;
-  int next_task_ = 0;
-  int pending_ = 0;
+  Job* job_ = nullptr;
+  int active_ = 0;  // workers currently inside drain()
   uint64_t generation_ = 0;
   bool stop_ = false;
 };
 
-int configured_threads() {
-  if (const char* env = std::getenv("HFTA_NUM_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return static_cast<int>(std::clamp(hw, 1u, 16u));
-}
-
 ThreadPool& pool() {
-  static ThreadPool p(configured_threads());
-  return p;
+  static ThreadPool* p = new ThreadPool();  // leaked: workers outlive main
+  return *p;
 }
 
 }  // namespace
 
-int num_threads() { return pool().size(); }
+Partition Partition::range(int64_t begin, int64_t end, int64_t min_per_chunk) {
+  Partition p;
+  p.begin = begin;
+  p.end = end;
+  const int64_t n = end - begin;
+  if (n <= 0) return p;
+  if (min_per_chunk < 1) min_per_chunk = 1;
+  const int64_t max_chunks = std::max<int64_t>(1, n / min_per_chunk);
+  const int64_t nchunks = std::min(kTargetChunks, max_chunks);
+  p.chunk = (n + nchunks - 1) / nchunks;
+  return p;
+}
 
-void parallel_for(int64_t begin, int64_t end,
-                  FunctionRef<void(int64_t, int64_t)> fn,
-                  int64_t grain) {
-  const int64_t range = end - begin;
-  if (range <= 0) return;
-  const int nt = num_threads();
-  if (range < grain || nt == 1 || in_parallel_region) {
-    fn(begin, end);
+int num_threads() { return pool().lanes(); }
+
+void set_num_threads(int n) { pool().set_lanes(n); }
+
+void parallel_for(const Partition& p,
+                  FunctionRef<void(int64_t, int64_t)> fn) {
+  const int64_t nchunks = p.num_chunks();
+  if (nchunks <= 0) return;
+  if (nchunks == 1 || in_parallel_region || pool().lanes() == 1) {
+    fn(p.begin, p.end);
     return;
   }
-  const int64_t chunks = std::min<int64_t>(nt, (range + grain - 1) / grain);
-  const int64_t chunk = (range + chunks - 1) / chunks;
-  pool().run(static_cast<int>(chunks), [&](int c) {
-    const int64_t lo = begin + c * chunk;
-    const int64_t hi = std::min(end, lo + chunk);
-    if (lo < hi) fn(lo, hi);
-  });
+  Job job{&fn, p.begin, p.end, p.chunk, nchunks};
+  pool().run(job);
 }
 
 }  // namespace hfta

@@ -1,10 +1,24 @@
-// Shared thread pool + parallel_for used by the tensor kernels.
+// Shared thread pool + deterministic parallel_for used by the tensor kernels.
 //
-// The pool is created lazily on first use with hardware_concurrency()
-// threads (capped; override with HFTA_NUM_THREADS env var). parallel_for
-// splits [begin, end) into contiguous chunks, one per worker, and blocks
-// until all complete. Nested parallel_for calls run the nested loop inline
-// (no oversubscription).
+// Kernels do not guess a `grain` anymore. They build a Partition — a chunked
+// view of an index range whose boundaries are a PURE FUNCTION of the problem
+// size (never of the worker count) — and launch it:
+//
+//   parallel_for(Partition::rows(m), [&](int64_t lo, int64_t hi) { ... });
+//
+// Workers claim whole chunks from an atomic cursor, so scheduling is dynamic
+// but the *work decomposition* is fixed: the same problem always splits at
+// the same boundaries whether HFTA_NUM_THREADS is 1 or 64. Combined with the
+// kernel-side rule that parallel loops only ever range over independent
+// output coordinates (no floating-point accumulation chain is ever split
+// across chunks), training results are bit-identical at every thread count —
+// the invariant that makes the repo's fused-vs-serial 0.00e+00 audits
+// meaningful on multi-core hosts.
+//
+// The callback may observe a union of consecutive chunks (the single-thread
+// and nested paths pass the whole range in one call), so it must treat
+// [lo, hi) as "some consecutive chunks", not "exactly one chunk". That is
+// automatic for output-coordinate loops.
 //
 // The callback is a FunctionRef, not a std::function: parallel_for sits on
 // the launch path of every multi-threaded kernel, and std::function's
@@ -19,14 +33,73 @@
 
 namespace hfta {
 
-/// Number of worker threads the pool uses (>= 1).
+/// A fixed decomposition of [begin, end) into equal-width chunks. The chunk
+/// width depends only on the range and the requested minimum work per chunk
+/// — NOT on the number of worker threads — so two runs over the same problem
+/// always see the same boundaries.
+struct Partition {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t chunk = 1;  // fixed chunk width (>= 1)
+
+  /// Upper bound on chunks per launch. A constant (not the thread count!):
+  /// enough slack for dynamic load balancing on any realistic core count
+  /// while keeping per-launch cursor traffic trivial.
+  static constexpr int64_t kTargetChunks = 32;
+
+  int64_t range() const { return end - begin; }
+  int64_t num_chunks() const {
+    const int64_t n = range();
+    return n <= 0 ? 0 : (n + chunk - 1) / chunk;
+  }
+
+  /// Decomposition for coarse units of work (GEMM rows, batch entries,
+  /// pooling planes): any unit may stand alone in a chunk.
+  static Partition rows(int64_t n) { return range(0, n, 1); }
+
+  /// Decomposition for fine elementwise work: chunks hold at least ~16k
+  /// elements so the launch overhead never dominates.
+  static Partition elems(int64_t n) { return range(0, n, int64_t{1} << 14); }
+
+  /// General form: chunks of at least `min_per_chunk` indices, at most
+  /// kTargetChunks chunks.
+  static Partition range(int64_t begin, int64_t end, int64_t min_per_chunk);
+
+  /// Index of the chunk starting at `lo` (the first argument of a
+  /// parallel_for callback). Kernels that need scratch must acquire one
+  /// slab of num_chunks() slots on the launching thread and address it by
+  /// this index: acquiring pool storage from inside the body would park
+  /// buffers in whichever worker cache ran the chunk, making warm-pool
+  /// state (and the zero-alloc steady state) depend on scheduling.
+  int64_t chunk_index(int64_t lo) const { return (lo - begin) / chunk; }
+};
+
+/// Number of execution lanes parallel_for may use (>= 1; the calling thread
+/// participates, so this counts it).
 int num_threads();
 
-/// Runs fn(begin_i, end_i) on contiguous subranges of [begin, end) across
-/// the thread pool. Falls back to a single inline call when the range is
-/// small (< grain) or when invoked from inside another parallel_for.
-void parallel_for(int64_t begin, int64_t end,
-                  FunctionRef<void(int64_t, int64_t)> fn,
-                  int64_t grain = 1024);
+/// Overrides the lane count at runtime (clamped to [1, 64]). Workers are
+/// spawned lazily; lowering the count parks the excess workers rather than
+/// joining them. Results are bit-identical at any setting — this exists for
+/// thread-count-invariance tests and the bench --threads sweep. Not
+/// thread-safe against concurrent parallel_for calls.
+void set_num_threads(int n);
+
+/// Runs fn over the partition's chunks across the thread pool; blocks until
+/// all complete. fn may receive a union of consecutive chunks. Runs inline
+/// (one call with the whole range) when the partition has a single chunk,
+/// only one lane is configured, or the caller is already inside a
+/// parallel_for.
+void parallel_for(const Partition& p, FunctionRef<void(int64_t, int64_t)> fn);
+
+/// Deprecated: grain-guessing surface kept for one PR as a migration shim.
+/// Build a Partition at the call site instead.
+[[deprecated("build a Partition (rows/elems/range) and call "
+             "parallel_for(const Partition&, fn)")]]
+inline void parallel_for(int64_t begin, int64_t end,
+                         FunctionRef<void(int64_t, int64_t)> fn,
+                         int64_t grain = 1024) {
+  parallel_for(Partition::range(begin, end, grain), fn);
+}
 
 }  // namespace hfta

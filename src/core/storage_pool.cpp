@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <new>
 
 namespace hfta {
 
@@ -16,6 +17,12 @@ int64_t bucket_for(int64_t n) {
   return b;
 }
 
+void heap_free(StorageBlock* b) {
+  b->~StorageBlock();
+  ::operator delete(static_cast<void*>(b),
+                    std::align_val_t{alignof(StorageBlock)});
+}
+
 }  // namespace
 
 StoragePool& StoragePool::instance() {
@@ -23,117 +30,223 @@ StoragePool& StoragePool::instance() {
   return *pool;
 }
 
-std::shared_ptr<float> StoragePool::acquire(int64_t numel, bool zeroed) {
-  const int64_t cap = bucket_for(numel);
-  float* p = nullptr;
-  bool pooled = false;
+namespace {
+// Trivially destructible, so reading it stays valid after the holder's
+// destructor ran (releases during static teardown fall back to the shared
+// buckets instead of touching a destroyed thread_local).
+thread_local bool t_cache_dead = false;
+}  // namespace
+
+StoragePool::ThreadCache* StoragePool::local_cache() {
+  if (t_cache_dead) return nullptr;
+  // Registered on first use; the holder's destructor runs at thread exit
+  // and hands any parked buffers back to the shared buckets (the pool is a
+  // leaked singleton, so this is safe even during late teardown).
+  thread_local struct Holder {
+    std::shared_ptr<ThreadCache> cache = std::make_shared<ThreadCache>();
+    Holder() {
+      StoragePool& p = StoragePool::instance();
+      std::lock_guard<std::mutex> lk(p.registry_mu_);
+      p.caches_.push_back(cache);
+    }
+    ~Holder() {
+      t_cache_dead = true;
+      StoragePool& p = StoragePool::instance();
+      p.flush_cache(cache);
+      std::lock_guard<std::mutex> lk(p.registry_mu_);
+      auto& v = p.caches_;
+      v.erase(std::remove(v.begin(), v.end(), cache), v.end());
+    }
+  } holder;
+  return holder.cache.get();
+}
+
+void StoragePool::flush_cache(const std::shared_ptr<ThreadCache>& cache) {
+  std::unordered_map<int64_t, std::vector<StorageBlock*>> lists;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (enabled_) {
+    std::lock_guard<std::mutex> lk(cache->mu);
+    lists.swap(cache->lists);
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [cap, vec] : lists) {
+    auto& dst = free_[cap];
+    dst.insert(dst.end(), vec.begin(), vec.end());
+  }
+}
+
+StorageBlock* StoragePool::steal(int64_t capacity, const ThreadCache* self) {
+  std::lock_guard<std::mutex> rlk(registry_mu_);
+  for (const auto& c : caches_) {
+    if (c.get() == self) continue;
+    std::lock_guard<std::mutex> lk(c->mu);
+    auto it = c->lists.find(capacity);
+    if (it != c->lists.end() && !it->second.empty()) {
+      StorageBlock* b = it->second.back();
+      it->second.pop_back();
+      return b;
+    }
+  }
+  return nullptr;
+}
+
+StorageBlock* StoragePool::heap_alloc(int64_t capacity) {
+  heap_allocs_.fetch_add(1, std::memory_order_relaxed);
+  heap_bytes_.fetch_add(static_cast<uint64_t>(capacity) * sizeof(float),
+                        std::memory_order_relaxed);
+  void* mem = ::operator new(
+      sizeof(StorageBlock) + sizeof(float) * static_cast<size_t>(capacity),
+      std::align_val_t{alignof(StorageBlock)});
+  return new (mem) StorageBlock{{0}, capacity, false};
+}
+
+StorageRef StoragePool::acquire(int64_t numel, bool zeroed) {
+  const int64_t cap = bucket_for(numel);
+  const bool enabled = enabled_.load(std::memory_order_relaxed);
+  StorageBlock* b = nullptr;
+  if (enabled) {
+    ThreadCache* tc = local_cache();
+    if (tc != nullptr) {
+      // Own cache first: uncontended unless a sibling is mid-steal.
+      std::lock_guard<std::mutex> lk(tc->mu);
+      auto it = tc->lists.find(cap);
+      if (it != tc->lists.end() && !it->second.empty()) {
+        b = it->second.back();
+        it->second.pop_back();
+      }
+    }
+    if (b == nullptr) {
+      std::lock_guard<std::mutex> lk(mu_);
       auto it = free_.find(cap);
       if (it != free_.end() && !it->second.empty()) {
-        p = it->second.back();
+        b = it->second.back();
         it->second.pop_back();
-        ++stats_.pool_hits;
-        stats_.cached_buffers -= 1;
-        stats_.cached_bytes -= static_cast<uint64_t>(cap) * sizeof(float);
       }
-      pooled = true;  // route the release back here either way
     }
-    if (p == nullptr) {
-      ++stats_.heap_allocs;
-      stats_.heap_bytes += static_cast<uint64_t>(cap) * sizeof(float);
+    // Steal before allocating: with dynamic chunk->thread scheduling a
+    // buffer may have been freed on any lane, and the zero-warm-step-alloc
+    // invariant must not depend on which lane freed it.
+    if (b == nullptr) b = steal(cap, tc);
+    if (b != nullptr) {
+      pool_hits_.fetch_add(1, std::memory_order_relaxed);
+      cached_buffers_.fetch_sub(1, std::memory_order_relaxed);
+      cached_bytes_.fetch_sub(static_cast<uint64_t>(cap) * sizeof(float),
+                              std::memory_order_relaxed);
     }
   }
-  if (p == nullptr) p = new float[static_cast<size_t>(cap)];
-  if ((zeroed || zero_fill_all_) && numel > 0)
-    std::memset(p, 0, sizeof(float) * static_cast<size_t>(numel));
-  if (pooled) {
-    StoragePool* self = this;
-    return std::shared_ptr<float>(
-        p, [self, cap](float* q) { self->release(q, cap); });
-  }
-  return std::shared_ptr<float>(p, [](float* q) { delete[] q; });
+  if (b == nullptr) b = heap_alloc(cap);
+  b->refs.store(1, std::memory_order_relaxed);
+  b->pooled = enabled;
+  if ((zeroed || zero_fill_all_.load(std::memory_order_relaxed)) && numel > 0)
+    std::memset(b->payload(), 0, sizeof(float) * static_cast<size_t>(numel));
+  return StorageRef(b);
 }
 
-void StoragePool::release(float* p, int64_t capacity) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (enabled_) {
-      free_[capacity].push_back(p);
-      stats_.cached_buffers += 1;
-      stats_.cached_bytes += static_cast<uint64_t>(capacity) * sizeof(float);
-      return;
+void StoragePool::release(StorageBlock* b) {
+  if (!b->pooled || !enabled_.load(std::memory_order_relaxed)) {
+    heap_free(b);
+    return;
+  }
+  const int64_t cap = b->capacity;
+  ThreadCache* tc = local_cache();
+  if (tc != nullptr) {
+    std::lock_guard<std::mutex> lk(tc->mu);
+    auto& list = tc->lists[cap];
+    if (list.size() < kMaxCachedPerBucket) {
+      list.push_back(b);
+      b = nullptr;
     }
   }
-  delete[] p;
+  if (b != nullptr) {
+    // Per-thread list full: spill to the shared buckets.
+    std::lock_guard<std::mutex> lk(mu_);
+    free_[cap].push_back(b);
+  }
+  cached_buffers_.fetch_add(1, std::memory_order_relaxed);
+  cached_bytes_.fetch_add(static_cast<uint64_t>(cap) * sizeof(float),
+                          std::memory_order_relaxed);
 }
 
-void StoragePool::set_enabled(bool on) {
-  std::lock_guard<std::mutex> lock(mu_);
-  enabled_ = on;
+void StoragePool::set_config(const Config& c) {
+  enabled_.store(c.enabled, std::memory_order_relaxed);
+  zero_fill_all_.store(c.zero_fill_all, std::memory_order_relaxed);
+}
+
+StoragePool::Config StoragePool::config() const {
+  Config c;
+  c.enabled = enabled_.load(std::memory_order_relaxed);
+  c.zero_fill_all = zero_fill_all_.load(std::memory_order_relaxed);
+  return c;
 }
 
 StoragePool::Stats StoragePool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s;
+  s.heap_allocs = heap_allocs_.load(std::memory_order_relaxed);
+  s.heap_bytes = heap_bytes_.load(std::memory_order_relaxed);
+  s.pool_hits = pool_hits_.load(std::memory_order_relaxed);
+  s.cached_buffers = cached_buffers_.load(std::memory_order_relaxed);
+  s.cached_bytes = cached_bytes_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void StoragePool::reset_stats() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.heap_allocs = 0;
-  stats_.heap_bytes = 0;
-  stats_.pool_hits = 0;
+  heap_allocs_.store(0, std::memory_order_relaxed);
+  heap_bytes_.store(0, std::memory_order_relaxed);
+  pool_hits_.store(0, std::memory_order_relaxed);
 }
 
 void StoragePool::trim() {
-  std::unordered_map<int64_t, std::vector<float*>> lists;
+  std::vector<StorageBlock*> victims;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    lists.swap(free_);
-    stats_.cached_buffers = 0;
-    stats_.cached_bytes = 0;
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& [cap, vec] : free_) {
+      (void)cap;
+      victims.insert(victims.end(), vec.begin(), vec.end());
+    }
+    free_.clear();
   }
-  for (auto& [cap, vec] : lists) {
-    (void)cap;
-    for (float* p : vec) delete[] p;
+  std::vector<std::shared_ptr<ThreadCache>> caches;
+  {
+    std::lock_guard<std::mutex> lk(registry_mu_);
+    caches = caches_;
+  }
+  for (const auto& c : caches) {
+    std::lock_guard<std::mutex> lk(c->mu);
+    for (auto& [cap, vec] : c->lists) {
+      (void)cap;
+      victims.insert(victims.end(), vec.begin(), vec.end());
+    }
+    c->lists.clear();
+  }
+  for (StorageBlock* b : victims) {
+    cached_buffers_.fetch_sub(1, std::memory_order_relaxed);
+    cached_bytes_.fetch_sub(static_cast<uint64_t>(b->capacity) * sizeof(float),
+                            std::memory_order_relaxed);
+    heap_free(b);
   }
 }
 
 // ---- IterationScope ---------------------------------------------------------
 
 namespace {
-uint64_t g_last_scope_allocs = 0;
-uint64_t g_last_scope_hits = 0;
-uint64_t g_last_scope_nodes = 0;
+IterationScope::Stats g_last_scope;
 }  // namespace
 
 IterationScope::IterationScope()
     : start_(StoragePool::instance().stats()),
       start_nodes_(counters::node_constructions()) {}
 
-IterationScope::~IterationScope() {
-  g_last_scope_allocs = heap_allocs();
-  g_last_scope_hits = pool_hits();
-  g_last_scope_nodes = node_constructions();
+IterationScope::~IterationScope() { g_last_scope = stats(); }
+
+IterationScope::Stats IterationScope::stats() const {
+  const StoragePool::Stats now = StoragePool::instance().stats();
+  Stats s;
+  s.heap_allocs = now.heap_allocs - start_.heap_allocs;
+  s.heap_bytes = now.heap_bytes - start_.heap_bytes;
+  s.pool_hits = now.pool_hits - start_.pool_hits;
+  s.node_constructions = counters::node_constructions() - start_nodes_;
+  return s;
 }
 
-uint64_t IterationScope::heap_allocs() const {
-  return StoragePool::instance().stats().heap_allocs - start_.heap_allocs;
-}
-
-uint64_t IterationScope::pool_hits() const {
-  return StoragePool::instance().stats().pool_hits - start_.pool_hits;
-}
-
-uint64_t IterationScope::node_constructions() const {
-  return counters::node_constructions() - start_nodes_;
-}
-
-uint64_t IterationScope::last_heap_allocs() { return g_last_scope_allocs; }
-uint64_t IterationScope::last_pool_hits() { return g_last_scope_hits; }
-uint64_t IterationScope::last_node_constructions() {
-  return g_last_scope_nodes;
-}
+IterationScope::Stats IterationScope::last() { return g_last_scope; }
 
 }  // namespace hfta

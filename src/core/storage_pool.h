@@ -1,13 +1,31 @@
-// Size-bucketed recycling pool for tensor storage.
+// Size-bucketed recycling pool for tensor storage, with per-thread free
+// lists and intrusive refcounts.
 //
 // Training iterates the same graph over and over: every step allocates the
 // same set of activation/gradient buffers and frees them before the next
 // step begins. The pool turns that churn into pointer swaps — a freed
-// buffer parks on a per-size free list and the next same-size acquire pops
-// it instead of touching the heap — so steady-state iterations perform
-// zero heap allocations for tensor storage. Buffers are bucketed by
-// capacity rounded up to a power of two (min 64 floats), so near-size
-// requests share lists and the cache stays small.
+// buffer parks on a free list and the next same-size acquire pops it
+// instead of touching the heap — so steady-state iterations perform zero
+// heap allocations for tensor storage. Buffers are bucketed by capacity
+// rounded up to a power of two (min 64 floats), so near-size requests share
+// lists and the cache stays small.
+//
+// Two designs keep that invariant cheap under multi-threaded kernels:
+//
+//  * Intrusive refcounts. Each pooled block starts with a StorageBlock
+//    header (atomic refcount + capacity) and Tensors hold a StorageRef — a
+//    thin intrusive smart pointer. The previous shared_ptr<float> design
+//    heap-allocated a control block per acquire, which silently broke the
+//    "zero allocations per warm step" property; StorageRef allocates
+//    nothing.
+//
+//  * Per-thread LIFO free lists. Releases park on the releasing thread's
+//    cache and acquires pop from the acquiring thread's cache, so the hot
+//    path never touches the shared-bucket mutex. Misses spill to the shared
+//    buckets, and a would-be heap allocation first STEALS from sibling
+//    caches — a buffer is only ever heap-allocated when its bucket is empty
+//    across the whole process, so dynamic chunk->thread scheduling cannot
+//    reintroduce warm-step allocations.
 //
 // Zero-fill is a separate concern from allocation: acquire(numel, zeroed)
 // memsets only when the caller's semantics need it. Kernels and factories
@@ -15,9 +33,9 @@
 // (Tensor::empty) and skip the memset entirely.
 //
 // The pool also powers the repo's allocation instrumentation: heap_allocs /
-// heap_bytes count every real new[] (pool misses and disabled-path
-// allocations alike), which is what Tensor::alloc_count() reports and what
-// the steady-state zero-alloc tests assert on.
+// heap_bytes count every real heap allocation (pool misses and
+// disabled-path allocations alike), which is what the steady-state
+// zero-alloc tests assert on via IterationScope::Stats.
 #pragma once
 
 #include <atomic>
@@ -31,37 +49,96 @@
 
 namespace hfta {
 
+/// Header living inside every pooled allocation, directly in front of the
+/// float payload. alignas(16) keeps the payload 16-byte aligned.
+struct alignas(16) StorageBlock {
+  std::atomic<uint64_t> refs;
+  int64_t capacity;  // payload floats (the bucket size)
+  bool pooled;       // acquired while the pool was enabled
+
+  float* payload() { return reinterpret_cast<float*>(this + 1); }
+};
+
+/// Intrusive refcounted handle to a StorageBlock. Copy = refcount bump (no
+/// allocation, unlike a shared_ptr control block); the last ref returns the
+/// block to the pool.
+class StorageRef {
+ public:
+  StorageRef() = default;
+  /// Adopts a block whose refcount is already 1 (pool acquire path).
+  explicit StorageRef(StorageBlock* block) : block_(block) {}
+
+  StorageRef(const StorageRef& o) : block_(o.block_) { retain(); }
+  StorageRef(StorageRef&& o) noexcept : block_(o.block_) { o.block_ = nullptr; }
+  StorageRef& operator=(const StorageRef& o) {
+    if (this != &o) {
+      release();
+      block_ = o.block_;
+      retain();
+    }
+    return *this;
+  }
+  StorageRef& operator=(StorageRef&& o) noexcept {
+    if (this != &o) {
+      release();
+      block_ = o.block_;
+      o.block_ = nullptr;
+    }
+    return *this;
+  }
+  ~StorageRef() { release(); }
+
+  float* data() const { return block_ ? block_->payload() : nullptr; }
+  explicit operator bool() const { return block_ != nullptr; }
+  bool operator==(const StorageRef& o) const { return block_ == o.block_; }
+  bool operator!=(const StorageRef& o) const { return block_ != o.block_; }
+  /// Current refcount (tests).
+  uint64_t use_count() const {
+    return block_ ? block_->refs.load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  void retain() {
+    if (block_) block_->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void release();  // defined in storage_pool.cpp (needs StoragePool)
+
+  StorageBlock* block_ = nullptr;
+};
+
 class StoragePool {
  public:
   /// The process-wide pool (leaky singleton: never destroyed, so tensor
-  /// deleters running during static teardown stay safe).
+  /// releases running during static teardown stay safe).
   static StoragePool& instance();
 
   /// A buffer of at least `numel` floats, zero-filled when `zeroed`.
-  /// Served from a free list when one fits; falls back to the heap (and
-  /// counts a heap alloc) otherwise. When the pool is disabled the buffer
-  /// is a plain heap allocation whose deleter bypasses the pool.
-  std::shared_ptr<float> acquire(int64_t numel, bool zeroed);
+  /// Served from the calling thread's cache, then the shared buckets, then
+  /// by stealing from sibling thread caches; falls back to the heap (and
+  /// counts a heap alloc) only when the bucket is empty process-wide.
+  StorageRef acquire(int64_t numel, bool zeroed);
 
-  /// Toggles recycling. Disabling does not drop cached buffers (trim()
-  /// does) and in-flight pooled buffers are heap-freed on release while
-  /// the pool is off.
-  void set_enabled(bool on);
-  bool enabled() const { return enabled_; }
-
-  /// Bench/test hook: when on, EVERY acquire is zero-filled — including
-  /// Tensor::empty / PooledBuffer ones — emulating the pre-iteration-engine
-  /// allocator (all storage was a zero-initialized std::vector) for honest
-  /// before/after A-B measurements. Values are unaffected either way:
-  /// empty-path users overwrite fully, so extra zeroing only costs time.
-  void set_zero_fill_all(bool on) { zero_fill_all_ = on; }
-  bool zero_fill_all() const { return zero_fill_all_; }
+  struct Config {
+    /// Recycling on/off. Disabling does not drop cached buffers (trim()
+    /// does) and in-flight pooled buffers are heap-freed on release while
+    /// the pool is off.
+    bool enabled = true;
+    /// Bench hook: when on, EVERY acquire is zero-filled — including
+    /// Tensor::empty / PooledBuffer ones — emulating the
+    /// pre-iteration-engine allocator (all storage was a zero-initialized
+    /// std::vector) for honest before/after A-B measurements. Values are
+    /// unaffected either way: empty-path users overwrite fully, so extra
+    /// zeroing only costs time.
+    bool zero_fill_all = false;
+  };
+  void set_config(const Config& c);
+  Config config() const;
 
   struct Stats {
-    uint64_t heap_allocs = 0;    // real new[] calls since the last reset
+    uint64_t heap_allocs = 0;    // real heap allocations since last reset
     uint64_t heap_bytes = 0;     // bytes those allocations requested
-    uint64_t pool_hits = 0;      // acquires served from a free list
-    uint64_t cached_buffers = 0; // buffers currently parked on free lists
+    uint64_t pool_hits = 0;      // acquires served from any free list
+    uint64_t cached_buffers = 0; // buffers currently parked (all lists)
     uint64_t cached_bytes = 0;
   };
   Stats stats() const;
@@ -69,47 +146,92 @@ class StoragePool {
   /// not affected).
   void reset_stats();
 
-  /// Frees every cached buffer. Live tensors are unaffected; they return
-  /// to the (now empty) free lists as usual when released.
+  /// Frees every cached buffer — shared buckets and every thread cache.
+  /// Live tensors are unaffected; they return to the (now empty) free
+  /// lists as usual when released.
   void trim();
 
  private:
+  friend class StorageRef;
+
+  // Per-thread free lists. The owning thread takes the mutex uncontended on
+  // the hot path; other threads lock it only to steal on a would-be heap
+  // allocation or to trim.
+  struct ThreadCache {
+    std::mutex mu;
+    std::unordered_map<int64_t, std::vector<StorageBlock*>> lists;
+  };
+
   StoragePool() = default;
 
-  void release(float* p, int64_t capacity);
+  void release(StorageBlock* block);
+  /// This thread's cache, or nullptr during thread/process teardown (after
+  /// the thread-local holder was destroyed) — callers then use the shared
+  /// buckets directly.
+  ThreadCache* local_cache();
+  void flush_cache(const std::shared_ptr<ThreadCache>& cache);
+  StorageBlock* steal(int64_t capacity, const ThreadCache* self);
+  StorageBlock* heap_alloc(int64_t capacity);
 
-  mutable std::mutex mu_;
-  std::unordered_map<int64_t, std::vector<float*>> free_;  // capacity -> LIFO
+  // Most buffers a thread parks per bucket before spilling to the shared
+  // lists (bounds per-thread memory when one thread frees what another
+  // allocates).
+  static constexpr size_t kMaxCachedPerBucket = 8;
+
+  mutable std::mutex mu_;  // guards the shared free_ buckets
+  std::unordered_map<int64_t, std::vector<StorageBlock*>> free_;
   std::atomic<bool> enabled_{true};
   std::atomic<bool> zero_fill_all_{false};
-  Stats stats_;
+
+  std::mutex registry_mu_;
+  std::vector<std::shared_ptr<ThreadCache>> caches_;
+
+  // Relaxed atomics: counters are read for snapshots, never for
+  // synchronization.
+  std::atomic<uint64_t> heap_allocs_{0};
+  std::atomic<uint64_t> heap_bytes_{0};
+  std::atomic<uint64_t> pool_hits_{0};
+  std::atomic<uint64_t> cached_buffers_{0};
+  std::atomic<uint64_t> cached_bytes_{0};
 };
 
-/// RAII window over the pool counters for one training iteration. Construct
-/// at the top of a step, read the deltas before (or after) it ends:
+inline void StorageRef::release() {
+  if (block_ &&
+      block_->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    StoragePool::instance().release(block_);
+  }
+  block_ = nullptr;
+}
+
+/// RAII window over the allocation/tape counters for one training
+/// iteration. Construct at the top of a step, snapshot the deltas:
 ///
 ///   IterationScope scope;
 ///   ... zero_grad / forward / backward / step ...
-///   assert(scope.heap_allocs() == 0);  // steady state: everything recycled
+///   assert(scope.stats().heap_allocs == 0);  // steady state: all recycled
 ///
-/// Destruction publishes the deltas as StoragePool "last scope" data via
-/// last_heap_allocs()/last_pool_hits(), so drivers can report per-iteration
-/// allocation behavior without threading the scope object around.
+/// Destruction publishes the deltas as IterationScope::last(), so drivers
+/// can report per-iteration behavior without threading the scope around.
 class IterationScope {
  public:
+  /// One snapshot of everything a step driver reports: allocation behavior
+  /// and the tape tax (ag::Node constructions — zero for a replayed step
+  /// program, one per differentiable op for a taped step).
+  struct Stats {
+    uint64_t heap_allocs = 0;
+    uint64_t heap_bytes = 0;
+    uint64_t pool_hits = 0;
+    uint64_t node_constructions = 0;
+  };
+
   IterationScope();
   ~IterationScope();
 
-  uint64_t heap_allocs() const;  // heap allocs since construction
-  uint64_t pool_hits() const;    // free-list hits since construction
-  /// ag::Node constructions since construction — the tape tax. Zero for a
-  /// replayed step program; one per differentiable op for a taped step.
-  uint64_t node_constructions() const;
+  /// Deltas since construction.
+  Stats stats() const;
 
   /// Deltas recorded by the most recently destroyed scope.
-  static uint64_t last_heap_allocs();
-  static uint64_t last_pool_hits();
-  static uint64_t last_node_constructions();
+  static Stats last();
 
  private:
   StoragePool::Stats start_;
@@ -125,11 +247,11 @@ class PooledBuffer {
   explicit PooledBuffer(int64_t numel)
       : buf_(StoragePool::instance().acquire(numel, /*zeroed=*/false)) {}
 
-  float* data() { return buf_.get(); }
-  const float* data() const { return buf_.get(); }
+  float* data() { return buf_.data(); }
+  const float* data() const { return buf_.data(); }
 
  private:
-  std::shared_ptr<float> buf_;
+  StorageRef buf_;
 };
 
 }  // namespace hfta

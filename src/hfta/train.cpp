@@ -45,9 +45,10 @@ uint64_t fingerprint(const nn::Optimizer& opt) {
 }  // namespace
 
 void TrainStep::finish_stats(const IterationScope& scope) {
-  stats_.last_heap_allocs = scope.heap_allocs();
-  stats_.last_pool_hits = scope.pool_hits();
-  stats_.last_node_constructions = scope.node_constructions();
+  const IterationScope::Stats s = scope.stats();
+  stats_.last_heap_allocs = s.heap_allocs;
+  stats_.last_pool_hits = s.pool_hits;
+  stats_.last_node_constructions = s.node_constructions;
 }
 
 template <typename ZeroFn, typename StepFn>

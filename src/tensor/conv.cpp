@@ -115,16 +115,23 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
   const float* pb = b.defined() ? b.data() : nullptr;
   float* py = y.data();
 
-  parallel_for(0, d.N, [&](int64_t lo, int64_t hi) {
-    PooledBuffer cols(col_rows * spatial);
+  // One im2col slab for the whole launch, acquired on the launching thread
+  // (a chunk's scratch lives at its chunk index); pool traffic from inside
+  // the body would make warm-pool state depend on chunk->lane scheduling.
+  const Partition part = Partition::rows(d.N);
+  const int64_t scratch = col_rows * spatial;
+  PooledBuffer cols_all(part.num_chunks() * scratch);
+  float* pcols = cols_all.data();
+  parallel_for(part, [&](int64_t lo, int64_t hi) {
+    float* cols = pcols + part.chunk_index(lo) * scratch;
     for (int64_t n = lo; n < hi; ++n) {
       for (int64_t g = 0; g < a.groups; ++g) {
         const float* xg = px + (n * d.Cin + g * d.Cing) * d.H * d.W;
         im2col(xg, d.Cing, d.H, d.W, d.kh, d.kw, a.stride_h, a.stride_w,
-               a.pad_h, a.pad_w, d.Ho, d.Wo, cols.data());
+               a.pad_h, a.pad_w, d.Ho, d.Wo, cols);
         float* yg = py + (n * d.Cout + g * d.Coutg) * spatial;
         // [Coutg, col_rows] @ [col_rows, spatial]
-        gemm(pw + g * d.Coutg * col_rows, cols.data(), yg, d.Coutg, spatial,
+        gemm(pw + g * d.Coutg * col_rows, cols, yg, d.Coutg, spatial,
              col_rows, false, false);
         if (pb) {
           for (int64_t c = 0; c < d.Coutg; ++c) {
@@ -135,7 +142,7 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
         }
       }
     }
-  }, 1);
+  });
   return y;
 }
 
@@ -152,20 +159,38 @@ Tensor conv2d_grad_input(const Tensor& gy, const Tensor& w,
   const float* pw = w.data();
   float* pgx = gx.data();
 
-  parallel_for(0, d.N, [&](int64_t lo, int64_t hi) {
-    PooledBuffer cols(col_rows * spatial);
+  // All scratch is acquired here, on the launching thread: the im2col slab
+  // (per-chunk slots) and each group's transposed weight slice — gemm's TN
+  // path would otherwise acquire transpose scratch per (n, g) from inside
+  // the parallel body, parking buffers on whichever lane ran the chunk.
+  const Partition part = Partition::rows(d.N);
+  const int64_t scratch = col_rows * spatial;
+  PooledBuffer cols_all(part.num_chunks() * scratch);
+  float* pcols = cols_all.data();
+  PooledBuffer wt(a.groups * d.Coutg * col_rows);
+  for (int64_t g = 0; g < a.groups; ++g) {
+    const float* wg = pw + g * d.Coutg * col_rows;
+    float* dst = wt.data() + g * col_rows * d.Coutg;
+    // wg is stored [Coutg, col_rows]; materialize [col_rows, Coutg].
+    for (int64_t r = 0; r < d.Coutg; ++r)
+      for (int64_t c = 0; c < col_rows; ++c)
+        dst[c * d.Coutg + r] = wg[r * col_rows + c];
+  }
+  const float* pwt = wt.data();
+  parallel_for(part, [&](int64_t lo, int64_t hi) {
+    float* cols = pcols + part.chunk_index(lo) * scratch;
     for (int64_t n = lo; n < hi; ++n) {
       for (int64_t g = 0; g < a.groups; ++g) {
         const float* gyg = pgy + (n * d.Cout + g * d.Coutg) * spatial;
         // cols = Wg^T [col_rows, Coutg] @ gy [Coutg, spatial]
-        gemm(pw + g * d.Coutg * col_rows, gyg, cols.data(), col_rows, spatial,
-             d.Coutg, true, false);
+        gemm(pwt + g * col_rows * d.Coutg, gyg, cols, col_rows, spatial,
+             d.Coutg, false, false);
         float* xg = pgx + (n * d.Cin + g * d.Cing) * d.H * d.W;
-        col2im(cols.data(), d.Cing, d.H, d.W, d.kh, d.kw, a.stride_h,
+        col2im(cols, d.Cing, d.H, d.W, d.kh, d.kw, a.stride_h,
                a.stride_w, a.pad_h, a.pad_w, d.Ho, d.Wo, xg);
       }
     }
-  }, 1);
+  });
   return gx;
 }
 
@@ -182,21 +207,28 @@ Tensor conv2d_grad_weight(const Tensor& gy, const Tensor& x,
   // Parallel over groups (race-free: each group owns a weight slice); fused
   // workloads have many groups. For groups == 1 the inner GEMM itself is the
   // dominant cost and still benefits from vectorization.
-  parallel_for(0, a.groups, [&](int64_t glo, int64_t ghi) {
-    PooledBuffer cols(col_rows * spatial);
+  // Per-chunk im2col slots acquired up front on the launching thread (no
+  // pool traffic inside the body; the inner gemm's NT path needs no
+  // transpose scratch).
+  const Partition part = Partition::rows(a.groups);
+  const int64_t scratch = col_rows * spatial;
+  PooledBuffer cols_all(part.num_chunks() * scratch);
+  float* pcols = cols_all.data();
+  parallel_for(part, [&](int64_t glo, int64_t ghi) {
+    float* cols = pcols + part.chunk_index(glo) * scratch;
     for (int64_t g = glo; g < ghi; ++g) {
       float* gwg = pgw + g * d.Coutg * col_rows;
       for (int64_t n = 0; n < d.N; ++n) {
         const float* xg = px + (n * d.Cin + g * d.Cing) * d.H * d.W;
         im2col(xg, d.Cing, d.H, d.W, d.kh, d.kw, a.stride_h, a.stride_w,
-               a.pad_h, a.pad_w, d.Ho, d.Wo, cols.data());
+               a.pad_h, a.pad_w, d.Ho, d.Wo, cols);
         const float* gyg = pgy + (n * d.Cout + g * d.Coutg) * spatial;
         // gW += gy [Coutg, spatial] @ cols^T [spatial, col_rows]
-        gemm(gyg, cols.data(), gwg, d.Coutg, col_rows, spatial, false, true,
+        gemm(gyg, cols, gwg, d.Coutg, col_rows, spatial, false, true,
              1.f, 1.f);
       }
     }
-  }, 1);
+  });
   return gw;
 }
 
@@ -204,17 +236,24 @@ Tensor conv2d_grad_bias(const Tensor& gy) {
   const int64_t N = gy.size(0);
   const int64_t C = gy.size(1);
   const int64_t spatial = gy.numel() / (N * C);
-  Tensor gb({C});
+  Tensor gb = Tensor::empty({C});
   const float* p = gy.data();
   float* pb = gb.data();
-  for (int64_t n = 0; n < N; ++n) {
-    for (int64_t c = 0; c < C; ++c) {
-      const float* row = p + (n * C + c) * spatial;
-      float acc = 0.f;
-      for (int64_t s = 0; s < spatial; ++s) acc += row[s];
-      pb[c] += acc;
+  // Output-channel parallel. Each channel's accumulation chain — a
+  // per-plane partial (s ascending) folded in for n ascending — is exactly
+  // the serial one, so the result is bit-identical at any thread count.
+  parallel_for(Partition::rows(C), [&](int64_t lo, int64_t hi) {
+    for (int64_t c = lo; c < hi; ++c) {
+      float total = 0.f;
+      for (int64_t n = 0; n < N; ++n) {
+        const float* row = p + (n * C + c) * spatial;
+        float acc = 0.f;
+        for (int64_t s = 0; s < spatial; ++s) acc += row[s];
+        total += acc;
+      }
+      pb[c] = total;
     }
-  }
+  });
   return gb;
 }
 

@@ -16,7 +16,7 @@ namespace {
 // unit-stride over both B and C so the compiler can vectorize it.
 void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t n,
              int64_t k, float alpha, float beta) {
-  parallel_for(0, m, [&](int64_t lo, int64_t hi) {
+  parallel_for(Partition::rows(m), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       float* crow = c + i * n;
       if (beta == 0.f) {
@@ -32,7 +32,7 @@ void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t n,
         for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
       }
     }
-  }, 1);
+  });
 }
 
 // NT kernel: C[M,N] = alpha * A @ B^T (+ beta*C), A row-major [M,K],
@@ -50,7 +50,7 @@ void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t n,
 // column chains per pass, not from splitting the reduction.
 void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t n,
              int64_t k, float alpha, float beta) {
-  parallel_for(0, m, [&](int64_t lo, int64_t hi) {
+  parallel_for(Partition::rows(m), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       const float* arow = a + i * k;
       float* crow = c + i * n;
@@ -88,7 +88,7 @@ void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t n,
         crow[j] = acc;
       }
     }
-  }, 1);
+  });
 }
 
 // Materializes the transpose of a row-major [r, c] matrix into pooled
@@ -164,14 +164,33 @@ Tensor bmm_impl(const Tensor& a, const Tensor& b, bool ta, bool tb) {
   Tensor c = Tensor::empty({B, m, n});
   const int64_t a_sz = a.size(1) * a.size(2);
   const int64_t b_sz = b.size(1) * b.size(2);
+  // When A is transposed, the whole aᵀ batch goes in one slab acquired here
+  // on the launching thread; the per-entry transposes below write disjoint
+  // slots. Calling gemm's TN path from inside the body instead would
+  // acquire transpose scratch on whichever worker ran the chunk, and
+  // warm-pool state would depend on scheduling. (trans_b needs no scratch:
+  // gemm has a native NT path.)
+  PooledBuffer at;
+  if (ta) at = PooledBuffer(B * a_sz);
+  float* pat = ta ? at.data() : nullptr;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
   // Parallelize across batch entries; the per-matrix gemm runs inline when
   // called from the pool (no nested parallelism).
-  parallel_for(0, B, [&](int64_t lo, int64_t hi) {
+  parallel_for(Partition::rows(B), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
-      gemm(a.data() + i * a_sz, b.data() + i * b_sz, c.data() + i * m * n, m,
-           n, ka, ta, tb);
+      const float* ai = pa + i * a_sz;
+      if (ta) {
+        // a_i is stored [ka, m]; materialize [m, ka] in this entry's slot.
+        float* t = pat + i * a_sz;
+        for (int64_t r = 0; r < ka; ++r)
+          for (int64_t j = 0; j < m; ++j) t[j * ka + r] = ai[r * m + j];
+        ai = t;
+      }
+      gemm(ai, pb + i * b_sz, pc + i * m * n, m, n, ka, false, tb);
     }
-  }, 1);
+  });
   return c;
 }
 }  // namespace
@@ -198,8 +217,12 @@ Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b) {
     HFTA_CHECK(b.numel() == out, "linear: bias size mismatch");
     float* py = y.data();
     const float* pb = b.data();
-    for (int64_t r = 0; r < rows; ++r)
-      for (int64_t o = 0; o < out; ++o) py[r * out + o] += pb[o];
+    // Output-row parallel: each row's adds are independent of every other
+    // row's, so the decomposition cannot change any result bit.
+    parallel_for(Partition::rows(rows), [&](int64_t lo, int64_t hi) {
+      for (int64_t r = lo; r < hi; ++r)
+        for (int64_t o = 0; o < out; ++o) py[r * out + o] += pb[o];
+    });
   }
   Shape out_shape = x.shape();
   out_shape.back() = out;

@@ -10,6 +10,10 @@ namespace hfta::ops {
 
 namespace {
 
+// Fixed bound on tensor rank so parallel kernels can keep their mixed-radix
+// counters in stack arrays (no per-chunk heap traffic).
+constexpr int64_t kMaxRank = 16;
+
 // Pads `s` on the left with 1s to rank `nd`.
 Shape pad_shape(const Shape& s, int64_t nd) {
   Shape out(static_cast<size_t>(nd), 1);
@@ -60,13 +64,14 @@ Tensor binary(const Tensor& a, const Tensor& b, float (*fn)(float, float)) {
     const float* pb = b.data();
     float* po = out.data();
     const int64_t n = out.numel();
-    parallel_for(0, n, [&](int64_t lo, int64_t hi) {
+    parallel_for(Partition::elems(n), [&](int64_t lo, int64_t hi) {
       for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i], pb[i]);
-    }, 1 << 15);
+    });
     return out;
   }
   const Shape out_shape = broadcast_shapes(a.shape(), b.shape());
   const int64_t nd = static_cast<int64_t>(out_shape.size());
+  HFTA_CHECK(nd <= kMaxRank, "binary: rank ", nd, " exceeds ", kMaxRank);
   const auto sa = broadcast_strides(pad_shape(a.shape(), nd), out_shape);
   const auto sb = broadcast_strides(pad_shape(b.shape(), nd), out_shape);
   Tensor out = Tensor::empty(out_shape);
@@ -74,20 +79,33 @@ Tensor binary(const Tensor& a, const Tensor& b, float (*fn)(float, float)) {
   const float* pb = b.data();
   float* po = out.data();
   const int64_t n = out.numel();
-  std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
-  int64_t oa = 0, ob = 0;
-  for (int64_t flat = 0; flat < n; ++flat) {
-    po[flat] = fn(pa[oa], pb[ob]);
+  // Pure map: each output element reads fixed source offsets, so chunks are
+  // independent. Each chunk seeds the mixed-radix counter from its first
+  // flat index and then walks exactly like the old serial loop.
+  parallel_for(Partition::elems(n), [&](int64_t lo, int64_t hi) {
+    int64_t idx[kMaxRank] = {0};
+    int64_t oa = 0, ob = 0;
+    int64_t rem = lo;
     for (int64_t d = nd - 1; d >= 0; --d) {
       const size_t ud = static_cast<size_t>(d);
-      oa += sa[ud];
-      ob += sb[ud];
-      if (++idx[ud] < out_shape[ud]) break;
-      idx[ud] = 0;
-      oa -= sa[ud] * out_shape[ud];
-      ob -= sb[ud] * out_shape[ud];
+      idx[ud] = rem % out_shape[ud];
+      rem /= out_shape[ud];
+      oa += idx[ud] * sa[ud];
+      ob += idx[ud] * sb[ud];
     }
-  }
+    for (int64_t flat = lo; flat < hi; ++flat) {
+      po[flat] = fn(pa[oa], pb[ob]);
+      for (int64_t d = nd - 1; d >= 0; --d) {
+        const size_t ud = static_cast<size_t>(d);
+        oa += sa[ud];
+        ob += sb[ud];
+        if (++idx[ud] < out_shape[ud]) break;
+        idx[ud] = 0;
+        oa -= sa[ud] * out_shape[ud];
+        ob -= sb[ud] * out_shape[ud];
+      }
+    }
+  });
   return out;
 }
 
@@ -132,9 +150,9 @@ Tensor unary(const Tensor& a, FunctionRef<float(float)> fn) {
   const float* pa = a.data();
   float* po = out.data();
   const int64_t n = a.numel();
-  parallel_for(0, n, [&](int64_t lo, int64_t hi) {
+  parallel_for(Partition::elems(n), [&](int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) po[i] = fn(pa[i]);
-  }, 1 << 15);
+  });
   return out;
 }
 
@@ -176,36 +194,65 @@ Tensor sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
     if (r && keepdim) out_shape.push_back(1);
     if (!r) out_shape.push_back(a.size(i));
   }
-  Tensor out(out_shape.empty() ? Shape{} : out_shape);
-  // Strides of the kept dims inside the output.
-  std::vector<int64_t> out_strides(static_cast<size_t>(nd), 0);
-  int64_t s = 1;
-  for (int64_t i = nd - 1; i >= 0; --i) {
-    const size_t ui = static_cast<size_t>(i);
-    if (!reduce[ui]) {
-      out_strides[ui] = s;
-      s *= a.size(i);
+  HFTA_CHECK(nd <= kMaxRank, "sum: rank ", nd, " exceeds ", kMaxRank);
+  Tensor out = Tensor::empty(out_shape.empty() ? Shape{} : out_shape);
+  // Row-major strides of the input, then split dims into kept / reduced
+  // (original order preserved in both lists).
+  std::vector<int64_t> in_strides(static_cast<size_t>(nd), 1);
+  for (int64_t i = nd - 2; i >= 0; --i)
+    in_strides[static_cast<size_t>(i)] =
+        in_strides[static_cast<size_t>(i + 1)] * a.size(i + 1);
+  std::vector<int64_t> kept_size, kept_stride, red_size, red_stride;
+  int64_t red_count = 1;
+  for (int64_t i = 0; i < nd; ++i) {
+    if (reduce[static_cast<size_t>(i)]) {
+      red_size.push_back(a.size(i));
+      red_stride.push_back(in_strides[static_cast<size_t>(i)]);
+      red_count *= a.size(i);
+    } else {
+      kept_size.push_back(a.size(i));
+      kept_stride.push_back(in_strides[static_cast<size_t>(i)]);
     }
   }
   const float* pa = a.data();
   float* po = out.data();
-  std::vector<int64_t> idx(static_cast<size_t>(nd), 0);
-  int64_t off = 0;
-  const int64_t n = a.numel();
-  for (int64_t flat = 0; flat < n; ++flat) {
-    po[off] += pa[flat];
-    for (int64_t d = nd - 1; d >= 0; --d) {
-      const size_t ud = static_cast<size_t>(d);
-      off += out_strides[ud];
-      if (++idx[ud] < a.size(d)) break;
-      idx[ud] = 0;
-      off -= out_strides[ud] * a.size(d);
+  const int64_t out_n = out.numel();
+  // Output-parallel reduction: each output element owns one accumulation
+  // chain that visits its inputs in ascending flat order — the same order
+  // the old serial flat walk used — so no chain is ever split and the
+  // result is bit-identical at every thread count.
+  parallel_for(Partition::rows(out_n), [&](int64_t lo, int64_t hi) {
+    const size_t nk = kept_size.size();
+    const size_t nr = red_size.size();
+    for (int64_t of = lo; of < hi; ++of) {
+      int64_t rem = of, base = 0;
+      for (size_t k = nk; k-- > 0;) {
+        base += (rem % kept_size[k]) * kept_stride[k];
+        rem /= kept_size[k];
+      }
+      int64_t ridx[kMaxRank] = {0};
+      int64_t roff = 0;
+      float acc = 0.f;
+      for (int64_t r = 0; r < red_count; ++r) {
+        acc += pa[base + roff];
+        for (size_t d = nr; d-- > 0;) {
+          roff += red_stride[d];
+          if (++ridx[d] < red_size[d]) break;
+          ridx[d] = 0;
+          roff -= red_stride[d] * red_size[d];
+        }
+      }
+      po[of] = acc;
     }
-  }
+  });
   return out;
 }
 
 Tensor sum_all(const Tensor& a) {
+  // Deliberately serial: a single double-precision chain over the whole
+  // tensor. Splitting it would need a combine step whose float result
+  // depends on the partition, and this sits on loss paths where the
+  // bit-exactness audits would notice.
   const float* p = a.data();
   double acc = 0.0;
   for (int64_t i = 0; i < a.numel(); ++i) acc += p[i];
@@ -253,7 +300,7 @@ std::pair<Tensor, Tensor> max_dim(const Tensor& a, int64_t dim, bool keepdim) {
   const float* pa = a.data();
   float* pv = values.data();
   float* pi = indices.data();
-  parallel_for(0, outer, [&](int64_t lo, int64_t hi) {
+  parallel_for(Partition::rows(outer), [&](int64_t lo, int64_t hi) {
     for (int64_t o = lo; o < hi; ++o) {
       for (int64_t in = 0; in < inner; ++in) {
         float best = pa[(o * n) * inner + in];
@@ -269,7 +316,7 @@ std::pair<Tensor, Tensor> max_dim(const Tensor& a, int64_t dim, bool keepdim) {
         pi[o * inner + in] = static_cast<float>(best_i);
       }
     }
-  }, 1);
+  });
   return {values, indices};
 }
 
@@ -385,13 +432,14 @@ void rowwise(const Tensor& a, int64_t dim, Tensor& out, Fn fn) {
   for (int64_t i = dim + 1; i < nd; ++i) inner *= a.size(i);
   const float* pa = a.data();
   float* po = out.data();
-  parallel_for(0, outer * inner, [&](int64_t lo, int64_t hi) {
+  parallel_for(Partition::range(0, outer * inner, 64),
+               [&](int64_t lo, int64_t hi) {
     for (int64_t oi = lo; oi < hi; ++oi) {
       const int64_t o = oi / inner;
       const int64_t in = oi % inner;
       fn(pa + (o * n) * inner + in, po + (o * n) * inner + in, n, inner);
     }
-  }, 64);
+  });
 }
 }  // namespace
 
@@ -467,12 +515,18 @@ Tensor embedding_backward(const Tensor& grad_out, const Tensor& indices,
   const float* pi = indices.data();
   float* pw = gw.data();
   const int64_t n = indices.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    const int64_t v = static_cast<int64_t>(pi[i]);
-    float* row = pw + v * E;
-    const float* g = pg + i * E;
-    for (int64_t e = 0; e < E; ++e) row[e] += g[e];
-  }
+  // Vocab-row-parallel scatter: each chunk owns rows [lo, hi) and scans the
+  // whole index list, so no two chunks write the same row and every row's
+  // adds happen in ascending i — the exact serial chain.
+  parallel_for(Partition::rows(vocab), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t v = static_cast<int64_t>(pi[i]);
+      if (v < lo || v >= hi) continue;
+      float* row = pw + v * E;
+      const float* g = pg + i * E;
+      for (int64_t e = 0; e < E; ++e) row[e] += g[e];
+    }
+  });
   return gw;
 }
 

@@ -19,7 +19,7 @@ std::pair<Tensor, Tensor> max_pool2d(const Tensor& x, const PoolArgs& a) {
   const float* px = x.data();
   float* py = y.data();
   float* pi = idx.data();
-  parallel_for(0, N * C, [&](int64_t lo, int64_t hi) {
+  parallel_for(Partition::rows(N * C), [&](int64_t lo, int64_t hi) {
     for (int64_t nc = lo; nc < hi; ++nc) {
       const float* plane = px + nc * H * W;
       float* yp = py + nc * Ho * Wo;
@@ -46,7 +46,7 @@ std::pair<Tensor, Tensor> max_pool2d(const Tensor& x, const PoolArgs& a) {
         }
       }
     }
-  }, 1);
+  });
   return {y, idx};
 }
 
@@ -58,13 +58,18 @@ Tensor max_pool2d_backward(const Tensor& gy, const Tensor& indices,
   const float* pg = gy.data();
   const float* pi = indices.data();
   float* px = gx.data();
-  for (int64_t nc = 0; nc < N * C; ++nc) {
-    float* plane = px + nc * H * W;
-    const float* g = pg + nc * spatial_out;
-    const float* id = pi + nc * spatial_out;
-    for (int64_t o = 0; o < spatial_out; ++o)
-      plane[static_cast<int64_t>(id[o])] += g[o];
-  }
+  // Plane-parallel scatter: every index points inside its own [H, W] plane,
+  // so chunks never write the same element and the per-plane add order is
+  // the serial one.
+  parallel_for(Partition::rows(N * C), [&](int64_t lo, int64_t hi) {
+    for (int64_t nc = lo; nc < hi; ++nc) {
+      float* plane = px + nc * H * W;
+      const float* g = pg + nc * spatial_out;
+      const float* id = pi + nc * spatial_out;
+      for (int64_t o = 0; o < spatial_out; ++o)
+        plane[static_cast<int64_t>(id[o])] += g[o];
+    }
+  });
   return gx;
 }
 
@@ -83,7 +88,7 @@ Tensor adaptive_avg_pool2d(const Tensor& x, int64_t out_h, int64_t out_w) {
   Tensor y = Tensor::empty({N, C, out_h, out_w});
   const float* px = x.data();
   float* py = y.data();
-  parallel_for(0, N * C, [&](int64_t lo, int64_t hi) {
+  parallel_for(Partition::rows(N * C), [&](int64_t lo, int64_t hi) {
     for (int64_t nc = lo; nc < hi; ++nc) {
       const float* plane = px + nc * H * W;
       float* yp = py + nc * out_h * out_w;
@@ -99,7 +104,7 @@ Tensor adaptive_avg_pool2d(const Tensor& x, int64_t out_h, int64_t out_w) {
         }
       }
     }
-  }, 1);
+  });
   return y;
 }
 
@@ -109,20 +114,25 @@ Tensor adaptive_avg_pool2d_backward(const Tensor& gy, const Shape& x_shape) {
   Tensor gx(x_shape);
   const float* pg = gy.data();
   float* px = gx.data();
-  for (int64_t nc = 0; nc < N * C; ++nc) {
-    float* plane = px + nc * H * W;
-    const float* g = pg + nc * out_h * out_w;
-    for (int64_t oh = 0; oh < out_h; ++oh) {
-      const int64_t h0 = ada_start(oh, H, out_h), h1 = ada_end(oh, H, out_h);
-      for (int64_t ow = 0; ow < out_w; ++ow) {
-        const int64_t w0 = ada_start(ow, W, out_w), w1 = ada_end(ow, W, out_w);
-        const float gv =
-            g[oh * out_w + ow] / static_cast<float>((h1 - h0) * (w1 - w0));
-        for (int64_t ih = h0; ih < h1; ++ih)
-          for (int64_t iw = w0; iw < w1; ++iw) plane[ih * W + iw] += gv;
+  // Plane-parallel: all writes stay inside the chunk's own planes and the
+  // per-plane accumulation order matches the serial loop exactly.
+  parallel_for(Partition::rows(N * C), [&](int64_t lo, int64_t hi) {
+    for (int64_t nc = lo; nc < hi; ++nc) {
+      float* plane = px + nc * H * W;
+      const float* g = pg + nc * out_h * out_w;
+      for (int64_t oh = 0; oh < out_h; ++oh) {
+        const int64_t h0 = ada_start(oh, H, out_h), h1 = ada_end(oh, H, out_h);
+        for (int64_t ow = 0; ow < out_w; ++ow) {
+          const int64_t w0 = ada_start(ow, W, out_w),
+                        w1 = ada_end(ow, W, out_w);
+          const float gv =
+              g[oh * out_w + ow] / static_cast<float>((h1 - h0) * (w1 - w0));
+          for (int64_t ih = h0; ih < h1; ++ih)
+            for (int64_t iw = w0; iw < w1; ++iw) plane[ih * W + iw] += gv;
+        }
       }
     }
-  }
+  });
   return gx;
 }
 
@@ -136,7 +146,7 @@ Tensor avg_pool2d(const Tensor& x, const PoolArgs& a) {
   const float* px = x.data();
   float* py = y.data();
   const float inv = 1.f / static_cast<float>(a.kernel * a.kernel);
-  parallel_for(0, N * C, [&](int64_t lo, int64_t hi) {
+  parallel_for(Partition::rows(N * C), [&](int64_t lo, int64_t hi) {
     for (int64_t nc = lo; nc < hi; ++nc) {
       const float* plane = px + nc * H * W;
       float* yp = py + nc * Ho * Wo;
@@ -154,7 +164,7 @@ Tensor avg_pool2d(const Tensor& x, const PoolArgs& a) {
           yp[oh * Wo + ow] = acc * inv;
         }
     }
-  }, 1);
+  });
   return y;
 }
 
@@ -167,22 +177,26 @@ Tensor avg_pool2d_backward(const Tensor& gy, const Shape& x_shape,
   const float* pg = gy.data();
   float* px = gx.data();
   const float inv = 1.f / static_cast<float>(a.kernel * a.kernel);
-  for (int64_t nc = 0; nc < N * C; ++nc) {
-    float* plane = px + nc * H * W;
-    const float* g = pg + nc * Ho * Wo;
-    for (int64_t oh = 0; oh < Ho; ++oh)
-      for (int64_t ow = 0; ow < Wo; ++ow) {
-        const float gv = g[oh * Wo + ow] * inv;
-        for (int64_t i = 0; i < a.kernel; ++i) {
-          const int64_t ih = oh * s - a.pad + i;
-          if (ih < 0 || ih >= H) continue;
-          for (int64_t j = 0; j < a.kernel; ++j) {
-            const int64_t iw = ow * s - a.pad + j;
-            if (iw >= 0 && iw < W) plane[ih * W + iw] += gv;
+  // Plane-parallel: overlapping windows only overlap within a plane, and
+  // each plane belongs to exactly one chunk.
+  parallel_for(Partition::rows(N * C), [&](int64_t lo, int64_t hi) {
+    for (int64_t nc = lo; nc < hi; ++nc) {
+      float* plane = px + nc * H * W;
+      const float* g = pg + nc * Ho * Wo;
+      for (int64_t oh = 0; oh < Ho; ++oh)
+        for (int64_t ow = 0; ow < Wo; ++ow) {
+          const float gv = g[oh * Wo + ow] * inv;
+          for (int64_t i = 0; i < a.kernel; ++i) {
+            const int64_t ih = oh * s - a.pad + i;
+            if (ih < 0 || ih >= H) continue;
+            for (int64_t j = 0; j < a.kernel; ++j) {
+              const int64_t iw = ow * s - a.pad + j;
+              if (iw >= 0 && iw < W) plane[ih * W + iw] += gv;
+            }
           }
         }
-      }
-  }
+    }
+  });
   return gx;
 }
 
@@ -194,7 +208,7 @@ std::pair<Tensor, Tensor> max_pool1d_global(const Tensor& x) {
   const float* px = x.data();
   float* py = y.data();
   float* pi = idx.data();
-  parallel_for(0, N * C, [&](int64_t lo, int64_t hi) {
+  parallel_for(Partition::range(0, N * C, 64), [&](int64_t lo, int64_t hi) {
     for (int64_t nc = lo; nc < hi; ++nc) {
       const float* row = px + nc * L;
       float best = row[0];
@@ -207,7 +221,7 @@ std::pair<Tensor, Tensor> max_pool1d_global(const Tensor& x) {
       py[nc] = best;
       pi[nc] = static_cast<float>(bi);
     }
-  }, 64);
+  });
   return {y, idx};
 }
 
@@ -219,8 +233,11 @@ Tensor max_pool1d_global_backward(const Tensor& gy, const Tensor& indices,
   const float* pg = gy.data();
   const float* pi = indices.data();
   float* px = gx.data();
-  for (int64_t nc = 0; nc < NC; ++nc)
-    px[nc * L + static_cast<int64_t>(pi[nc])] += pg[nc];
+  // One scatter write per [nc] row — rows never alias across chunks.
+  parallel_for(Partition::range(0, NC, 64), [&](int64_t lo, int64_t hi) {
+    for (int64_t nc = lo; nc < hi; ++nc)
+      px[nc * L + static_cast<int64_t>(pi[nc])] += pg[nc];
+  });
   return gx;
 }
 

@@ -42,16 +42,6 @@ Tensor Tensor::empty(Shape shape) {
   return t;
 }
 
-uint64_t Tensor::alloc_count() {
-  return StoragePool::instance().stats().heap_allocs;
-}
-
-uint64_t Tensor::alloc_bytes() {
-  return StoragePool::instance().stats().heap_bytes;
-}
-
-void Tensor::reset_alloc_stats() { StoragePool::instance().reset_stats(); }
-
 Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
 
 Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.f); }

@@ -10,12 +10,12 @@
 
 #include <cstdint>
 #include <initializer_list>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/check.h"
 #include "core/rng.h"
+#include "core/storage_pool.h"
 
 namespace hfta {
 
@@ -54,7 +54,7 @@ class Tensor {
   static Tensor from_data(Shape shape, const std::vector<float>& values);
 
   // -- metadata -------------------------------------------------------------
-  bool defined() const { return storage_ != nullptr; }
+  bool defined() const { return static_cast<bool>(storage_); }
   int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
   const Shape& shape() const { return shape_; }
   /// Size along dim `d`; negative d counts from the end.
@@ -62,8 +62,8 @@ class Tensor {
   int64_t numel() const { return numel_; }
 
   // -- raw access -----------------------------------------------------------
-  float* data() { return storage_.get(); }
-  const float* data() const { return storage_.get(); }
+  float* data() { return storage_.data(); }
+  const float* data() const { return storage_.data(); }
   /// Element accessor for tests / debugging (slow).
   float& at(std::initializer_list<int64_t> idx);
   float at(std::initializer_list<int64_t> idx) const;
@@ -104,17 +104,11 @@ class Tensor {
   /// Flattened contents as a vector (for tests).
   std::vector<float> to_vector() const;
 
-  // -- allocation instrumentation (process-wide, storage-level) --------------
-  /// Heap allocations performed for tensor storage since the last reset —
-  /// pool recycling hits do NOT count, so a warm training loop reporting a
-  /// zero delta really made no heap allocations for tensor data.
-  static uint64_t alloc_count();
-  /// Bytes those heap allocations requested.
-  static uint64_t alloc_bytes();
-  static void reset_alloc_stats();
+  // Allocation instrumentation lives on StoragePool::stats() and
+  // IterationScope::Stats (one snapshot struct), not on Tensor.
 
  private:
-  std::shared_ptr<float> storage_;  // pool-recycled buffer (storage_pool.h)
+  StorageRef storage_;  // pool-recycled block with intrusive refcount
   Shape shape_;
   int64_t numel_ = 0;
 

@@ -1,0 +1,196 @@
+// The redesigned parallel runtime: Partition boundaries as a pure function
+// of problem size, exact-once coverage under dynamic chunk claiming, inline
+// nesting, the runtime thread-count override, the deprecated shim, and
+// bit-identical kernel results at every thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "tensor/matmul.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace hfta {
+namespace {
+
+// Every test restores the configured lane count on exit so suites can run
+// in any order.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = num_threads(); }
+  void TearDown() override { set_num_threads(saved_threads_); }
+  int saved_threads_ = 1;
+};
+
+TEST_F(ParallelTest, PartitionBoundariesIgnoreThreadCount) {
+  // The decomposition is a pure function of the problem size: changing the
+  // worker count must not move a single chunk boundary.
+  set_num_threads(1);
+  const Partition r1 = Partition::rows(1000);
+  const Partition e1 = Partition::elems(1 << 20);
+  const Partition g1 = Partition::range(5, 4321, 10);
+  set_num_threads(8);
+  const Partition r8 = Partition::rows(1000);
+  const Partition e8 = Partition::elems(1 << 20);
+  const Partition g8 = Partition::range(5, 4321, 10);
+  EXPECT_EQ(r1.chunk, r8.chunk);
+  EXPECT_EQ(e1.chunk, e8.chunk);
+  EXPECT_EQ(g1.chunk, g8.chunk);
+  EXPECT_EQ(g1.begin, g8.begin);
+  EXPECT_EQ(g1.end, g8.end);
+  EXPECT_EQ(g1.num_chunks(), g8.num_chunks());
+}
+
+TEST_F(ParallelTest, PartitionRespectsMinPerChunkAndTargetCap) {
+  // Small ranges: at most one chunk per min_per_chunk worth of work.
+  const Partition small = Partition::range(0, 100, 64);
+  EXPECT_EQ(small.num_chunks(), 1);  // 100/64 -> 1 chunk
+  // Large ranges: never more than kTargetChunks chunks.
+  const Partition large = Partition::rows(1 << 20);
+  EXPECT_LE(large.num_chunks(), Partition::kTargetChunks);
+  EXPECT_GE(large.num_chunks(), Partition::kTargetChunks - 1);
+  // Empty range: zero chunks, and parallel_for must be a no-op.
+  const Partition empty = Partition::rows(0);
+  EXPECT_EQ(empty.num_chunks(), 0);
+  bool called = false;
+  parallel_for(empty, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST_F(ParallelTest, EveryIndexCoveredExactlyOnce) {
+  const int64_t n = 100000;
+  std::unique_ptr<std::atomic<int>[]> hits(new std::atomic<int>[n]);
+  for (int64_t i = 0; i < n; ++i) hits[i].store(0, std::memory_order_relaxed);
+  set_num_threads(8);
+  parallel_for(Partition::range(0, n, 1), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i)
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int64_t i = 0; i < n; ++i)
+    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1) << "index " << i;
+}
+
+TEST_F(ParallelTest, NonZeroBeginIsHonored) {
+  std::atomic<int64_t> count{0};
+  std::atomic<int64_t> min_seen{1 << 30};
+  set_num_threads(4);
+  parallel_for(Partition::range(37, 9000, 1), [&](int64_t lo, int64_t hi) {
+    count.fetch_add(hi - lo, std::memory_order_relaxed);
+    int64_t cur = min_seen.load(std::memory_order_relaxed);
+    while (lo < cur &&
+           !min_seen.compare_exchange_weak(cur, lo, std::memory_order_relaxed))
+      ;
+  });
+  EXPECT_EQ(count.load(), 9000 - 37);
+  EXPECT_EQ(min_seen.load(), 37);
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  set_num_threads(8);
+  const int64_t outer_n = 64, inner_n = 256;
+  std::unique_ptr<std::atomic<int>[]> hits(
+      new std::atomic<int>[outer_n * inner_n]);
+  for (int64_t i = 0; i < outer_n * inner_n; ++i)
+    hits[i].store(0, std::memory_order_relaxed);
+  parallel_for(Partition::rows(outer_n), [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      // Inner launch from inside the pool: must run inline (whole range in
+      // one call), not re-enter the pool.
+      parallel_for(Partition::rows(inner_n), [&](int64_t ilo, int64_t ihi) {
+        EXPECT_EQ(ilo, 0);
+        EXPECT_EQ(ihi, inner_n);
+        for (int64_t i = ilo; i < ihi; ++i)
+          hits[o * inner_n + i].fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  for (int64_t i = 0; i < outer_n * inner_n; ++i)
+    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1);
+}
+
+TEST_F(ParallelTest, SetNumThreadsRoundTripsAndClamps) {
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(0);   // clamped up
+  EXPECT_EQ(num_threads(), 1);
+  set_num_threads(1 << 20);  // clamped down to the pool maximum
+  EXPECT_EQ(num_threads(), 64);
+  // Lowering after raising parks workers; launches must still cover fully.
+  set_num_threads(2);
+  std::atomic<int64_t> total{0};
+  parallel_for(Partition::rows(5000), [&](int64_t lo, int64_t hi) {
+    total.fetch_add(hi - lo, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(total.load(), 5000);
+}
+
+TEST_F(ParallelTest, DeprecatedShimStillLaunches) {
+  // The grain-based surface survives one PR as a shim over Partition.
+  std::atomic<int64_t> total{0};
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  parallel_for(0, 1000,
+               FunctionRef<void(int64_t, int64_t)>(
+                   [&](int64_t lo, int64_t hi) {
+                     total.fetch_add(hi - lo, std::memory_order_relaxed);
+                   }),
+               16);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(total.load(), 1000);
+}
+
+// Bitwise comparison helper: float vectors produced by the same math at
+// different thread counts must match to the last bit.
+void expect_bits_equal(const std::vector<float>& a,
+                       const std::vector<float>& b, const char* tag) {
+  ASSERT_EQ(a.size(), b.size()) << tag;
+  if (!a.empty()) {
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+        << tag;
+  }
+}
+
+TEST_F(ParallelTest, KernelsBitIdenticalAcrossThreadCounts) {
+  // Reducing kernels (gemm, sum over dims, embedding scatter, softmax) at
+  // 1/2/4/8 lanes: fixed partitions + unsplit accumulation chains mean the
+  // result cannot depend on the worker count.
+  Rng rng(3);
+  const Tensor a = Tensor::randn({37, 65}, rng);
+  const Tensor b = Tensor::randn({65, 41}, rng);
+  const Tensor t3 = Tensor::randn({7, 33, 5}, rng);
+  Tensor grad = Tensor::randn({50, 6}, rng);
+  Tensor idx({50});
+  for (int64_t i = 0; i < 50; ++i)
+    idx.data()[i] = static_cast<float>((i * 7) % 20);  // repeated rows
+
+  std::vector<float> mm_ref, sum_ref, emb_ref, sm_ref, bcast_ref;
+  for (int nt : {1, 2, 4, 8}) {
+    set_num_threads(nt);
+    const auto mm = ops::matmul(a, b).to_vector();
+    const auto sums = ops::sum(t3, {1}, /*keepdim=*/false).to_vector();
+    const auto emb = ops::embedding_backward(grad, idx, 20).to_vector();
+    const auto sm = ops::softmax(a, -1).to_vector();
+    const auto bc = ops::add(t3, Tensor::ones({5})).to_vector();
+    if (nt == 1) {
+      mm_ref = mm;
+      sum_ref = sums;
+      emb_ref = emb;
+      sm_ref = sm;
+      bcast_ref = bc;
+    } else {
+      expect_bits_equal(mm_ref, mm, "matmul");
+      expect_bits_equal(sum_ref, sums, "sum");
+      expect_bits_equal(emb_ref, emb, "embedding_backward");
+      expect_bits_equal(sm_ref, sm, "softmax");
+      expect_bits_equal(bcast_ref, bc, "broadcast add");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hfta

@@ -1,7 +1,12 @@
 // StoragePool behavior: bucket reuse, oversize fallback, iteration-scope
-// accounting, enable/disable, and the Tensor-level instrumentation the
-// steady-state zero-alloc assertions build on.
+// accounting, the Config toggle, per-thread free lists (reuse, cross-thread
+// steal), and the intrusive refcount that keeps shared storage alive.
 #include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "core/storage_pool.h"
 #include "tensor/matmul.h"
@@ -15,12 +20,12 @@ namespace {
 class StoragePoolTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    StoragePool::instance().set_enabled(true);
+    StoragePool::instance().set_config(StoragePool::Config{});
     StoragePool::instance().trim();
     StoragePool::instance().reset_stats();
   }
   void TearDown() override {
-    StoragePool::instance().set_enabled(true);
+    StoragePool::instance().set_config(StoragePool::Config{});
     StoragePool::instance().trim();
   }
 };
@@ -86,7 +91,9 @@ TEST_F(StoragePoolTest, TrimDropsCachedBuffersOnly) {
 
 TEST_F(StoragePoolTest, DisabledPoolAllocatesAndFreesOnHeap) {
   auto& pool = StoragePool::instance();
-  pool.set_enabled(false);
+  StoragePool::Config off;
+  off.enabled = false;
+  pool.set_config(off);
   { Tensor t({64}); }
   EXPECT_EQ(pool.stats().cached_buffers, 0u);  // nothing parked
   EXPECT_EQ(pool.stats().heap_allocs, 1u);
@@ -94,14 +101,27 @@ TEST_F(StoragePoolTest, DisabledPoolAllocatesAndFreesOnHeap) {
   EXPECT_EQ(pool.stats().heap_allocs, 2u);  // no recycling while off
 }
 
+TEST_F(StoragePoolTest, ConfigRoundTrips) {
+  auto& pool = StoragePool::instance();
+  StoragePool::Config c;
+  c.enabled = false;
+  c.zero_fill_all = true;
+  pool.set_config(c);
+  EXPECT_FALSE(pool.config().enabled);
+  EXPECT_TRUE(pool.config().zero_fill_all);
+  pool.set_config(StoragePool::Config{});
+  EXPECT_TRUE(pool.config().enabled);
+  EXPECT_FALSE(pool.config().zero_fill_all);
+}
+
 TEST_F(StoragePoolTest, IterationScopeReportsPerIterationDeltas) {
   { Tensor warm({16, 16}); }  // park one buffer
   IterationScope scope;
   { Tensor hit({16, 16}); }   // recycled: no heap alloc inside the scope
-  EXPECT_EQ(scope.heap_allocs(), 0u);
-  EXPECT_EQ(scope.pool_hits(), 1u);
+  EXPECT_EQ(scope.stats().heap_allocs, 0u);
+  EXPECT_EQ(scope.stats().pool_hits, 1u);
   { Tensor miss({1 << 18}); }  // nothing cached at this size: heap alloc
-  EXPECT_EQ(scope.heap_allocs(), 1u);
+  EXPECT_EQ(scope.stats().heap_allocs, 1u);
 }
 
 TEST_F(StoragePoolTest, IterationScopePublishesLastScopeOnDestruction) {
@@ -110,18 +130,102 @@ TEST_F(StoragePoolTest, IterationScopePublishesLastScopeOnDestruction) {
     IterationScope scope;
     { Tensor hit({16, 16}); }
   }
-  EXPECT_EQ(IterationScope::last_heap_allocs(), 0u);
-  EXPECT_EQ(IterationScope::last_pool_hits(), 1u);
+  EXPECT_EQ(IterationScope::last().heap_allocs, 0u);
+  EXPECT_EQ(IterationScope::last().pool_hits, 1u);
 }
 
-TEST_F(StoragePoolTest, TensorAllocCountersTrackHeapAllocsOnly) {
-  Tensor::reset_alloc_stats();
+TEST_F(StoragePoolTest, PoolStatsTrackHeapAllocsOnly) {
+  auto& pool = StoragePool::instance();
   { Tensor t({32}); }
-  const uint64_t after_first = Tensor::alloc_count();
-  EXPECT_EQ(after_first, 1u);
-  EXPECT_GT(Tensor::alloc_bytes(), 0u);
+  EXPECT_EQ(pool.stats().heap_allocs, 1u);
+  EXPECT_GT(pool.stats().heap_bytes, 0u);
   { Tensor t({32}); }  // pool hit: counter must NOT move
-  EXPECT_EQ(Tensor::alloc_count(), after_first);
+  EXPECT_EQ(pool.stats().heap_allocs, 1u);
+}
+
+TEST_F(StoragePoolTest, PerThreadFreeListReusesOnOwningThread) {
+  // A buffer freed on a worker thread is handed straight back to that
+  // thread's next same-bucket request, with no heap traffic.
+  auto& pool = StoragePool::instance();
+  std::thread worker([&] {
+    float* raw = nullptr;
+    {
+      Tensor t({256});
+      raw = t.data();
+    }
+    const uint64_t allocs = pool.stats().heap_allocs;
+    Tensor u({256});
+    EXPECT_EQ(u.data(), raw);
+    EXPECT_EQ(pool.stats().heap_allocs, allocs);
+  });
+  worker.join();
+}
+
+TEST_F(StoragePoolTest, CrossThreadFreeIsStolenNotReallocated) {
+  // Free on thread B, re-acquire on the main thread while B is still alive:
+  // the buffer sits in B's cache, so the allocator must steal it rather
+  // than touch the heap (the zero-warm-step-alloc invariant must not depend
+  // on which lane freed a buffer).
+  auto& pool = StoragePool::instance();
+  Tensor t({512});
+  float* raw = t.data();
+  std::mutex mu;
+  std::condition_variable cv;
+  bool freed = false;
+  bool reacquired = false;
+  std::thread worker([&] {
+    { Tensor dropped = std::move(t); }  // parks in the worker's cache
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      freed = true;
+    }
+    cv.notify_all();
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return reacquired; });
+  });
+  {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return freed; });
+  }
+  const uint64_t allocs = pool.stats().heap_allocs;
+  Tensor u({512});
+  EXPECT_EQ(u.data(), raw);
+  EXPECT_EQ(pool.stats().heap_allocs, allocs);
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    reacquired = true;
+  }
+  cv.notify_all();
+  worker.join();
+}
+
+TEST_F(StoragePoolTest, IntrusiveRefcountParksOnlyAfterLastRef) {
+  auto& pool = StoragePool::instance();
+  Tensor a({64});
+  float* raw = a.data();
+  Tensor view = a.reshape({8, 8});  // shares storage
+  EXPECT_TRUE(a.shares_storage_with(view));
+  a = Tensor();  // drop one ref; `view` keeps the block alive
+  EXPECT_EQ(pool.stats().cached_buffers, 0u);
+  view.data()[0] = 5.f;
+  view = Tensor();  // last ref: block parks in the free list
+  EXPECT_EQ(pool.stats().cached_buffers, 1u);
+  Tensor b({64});
+  EXPECT_EQ(b.data(), raw);
+}
+
+TEST_F(StoragePoolTest, StorageRefCountsAndReleases) {
+  auto& pool = StoragePool::instance();
+  StorageRef r = pool.acquire(10, /*zeroed=*/false);
+  EXPECT_EQ(r.use_count(), 1u);
+  StorageRef r2 = r;
+  EXPECT_EQ(r.use_count(), 2u);
+  EXPECT_TRUE(r == r2);
+  r2 = StorageRef();
+  EXPECT_EQ(r.use_count(), 1u);
+  StorageRef r3 = std::move(r);
+  EXPECT_FALSE(static_cast<bool>(r));
+  EXPECT_EQ(r3.use_count(), 1u);
 }
 
 TEST_F(StoragePoolTest, PooledAndHeapTensorsComputeIdentically) {
@@ -134,10 +238,12 @@ TEST_F(StoragePoolTest, PooledAndHeapTensorsComputeIdentically) {
     Tensor c = ops::add(ops::matmul(a, b), a);
     return c.to_vector();
   };
-  StoragePool::instance().set_enabled(true);
+  StoragePool::instance().set_config(StoragePool::Config{});
   const auto warm = compute();   // populate free lists
   const auto pooled = compute(); // recycled buffers
-  StoragePool::instance().set_enabled(false);
+  StoragePool::Config off;
+  off.enabled = false;
+  StoragePool::instance().set_config(off);
   const auto heap = compute();
   ASSERT_EQ(pooled.size(), heap.size());
   for (size_t i = 0; i < pooled.size(); ++i) {

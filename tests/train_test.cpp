@@ -46,7 +46,9 @@ struct RunResult {
 };
 
 RunResult train_fused_mlp(bool use_train_step, bool pool_on, int steps) {
-  StoragePool::instance().set_enabled(pool_on);
+  StoragePool::Config cfg;
+  cfg.enabled = pool_on;
+  StoragePool::instance().set_config(cfg);
   StoragePool::instance().trim();
   const int64_t B = 3, in = 8, hidden = 16, classes = 4, N = 8;
   Rng rng(42);
@@ -81,7 +83,7 @@ RunResult train_fused_mlp(bool use_train_step, bool pool_on, int steps) {
         fused::per_model_cross_entropy(logits.value(), labels));
   }
   out.weights = model.fc1->weight.value().to_vector();
-  StoragePool::instance().set_enabled(true);
+  StoragePool::instance().set_config(StoragePool::Config{});
   StoragePool::instance().trim();
   return out;
 }
@@ -147,7 +149,7 @@ TEST(TrainEngine, PooledAndHeapTrainingAreBitIdentical) {
 }
 
 TEST(TrainEngine, SteadyStateStepsMakeZeroHeapAllocations) {
-  StoragePool::instance().set_enabled(true);
+  StoragePool::instance().set_config(StoragePool::Config{});
   StoragePool::instance().trim();
   const int64_t B = 3, in = 8, hidden = 16, classes = 4, N = 8;
   Rng rng(42);
