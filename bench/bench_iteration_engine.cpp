@@ -31,6 +31,15 @@
 //                    configuration at the largest B and the sweep also
 //                    cross-checks that the final training loss is
 //                    bit-identical at every thread count
+//   --amp            additionally measure the replay configuration under
+//                    bf16 autocast + dynamic loss scaling: AMP replay
+//                    throughput per B (software-converted half on CPU —
+//                    the measured cost of the casts, not the tensor-core
+//                    win the sim prices), warm-step allocation counts
+//                    (must stay 0), the measured AMP-vs-fp32 final-loss
+//                    gap, and an exercised overflow-skip/backoff cycle
+//                    (init scale 2^130 overflows float, so the first
+//                    steps MUST skip and back off before training resumes)
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -108,8 +117,11 @@ struct Measurement {
 
 constexpr int64_t kIn = 16, kHidden = 16, kClasses = 4, kN = 8, kDepth = 8;
 
-// One configuration: B fused models, `steps` timed iterations.
-Measurement run_config(int64_t B, Mode mode, int steps, int warmup) {
+// One configuration: B fused models, `steps` timed iterations. With
+// amp=true the TrainStep runs bf16 autocast + loss scaling (engine/replay
+// modes only — the pre-engine baseline has no TrainStep to scale).
+Measurement run_config(int64_t B, Mode mode, int steps, int warmup,
+                       bool amp = false) {
   // Baseline = the pre-iteration-engine hot loop, faithfully: no recycling
   // and every allocation zero-filled (old std::vector-backed storage).
   const bool engine_on = mode != Mode::kBaseline;
@@ -131,6 +143,7 @@ Measurement run_config(int64_t B, Mode mode, int steps, int warmup) {
 
   TrainStep step;
   if (mode == Mode::kReplay) step.enable_capture();
+  if (amp) step.enable_amp();
   auto loss_fn = [&] {
     ag::Variable logits = model.forward(
         ag::Variable(fused::pack_model_major(std::vector<Tensor>(B, x))));
@@ -253,10 +266,67 @@ double final_loss_at_current_threads(int64_t B, int train_steps) {
   return last;
 }
 
+// ---- mixed precision (--amp) ----------------------------------------------
+
+struct AmpRow {
+  int64_t models;
+  double amp_replay_iters_per_sec;
+  double allocs_per_iter;  // must stay 0: casts replay as thunks, the seed
+                           // and unscale are in-place
+  double nodes_per_iter;   // must stay 0: AMP replay is tape-free too
+  double vs_fp32_replay;   // amp / fp32 replay throughput
+};
+
+struct AmpSummary {
+  double final_loss_fp32 = 0;
+  double final_loss_amp = 0;
+  double loss_gap = 0;          // |amp - fp32|: real quantization error
+  int64_t overflow_skips = 0;   // from the 2^130 exercise; must be >= 1
+  double recovered_scale = 0;   // scale after the backoff cycle
+  int64_t clean_skips = 0;      // skips in the normal run; should be 0
+};
+
+// Same configuration as final_loss_at_current_threads but trained under
+// AMP; also reports the scaler's skip counter.
+double amp_final_loss(int64_t B, int train_steps, double init_scale,
+                      int64_t* skips_out, double* scale_out) {
+  StoragePool::instance().set_config(StoragePool::Config{});
+  StoragePool::instance().trim();
+  Rng rng(1);
+  FusedMlp model(B, kIn, kHidden, kClasses, kDepth, rng);
+  fused::FusedAdam opt(fused::collect_fused_parameters(model, B), B,
+                       {.lr = {1e-3}});
+  Rng data_rng(2);
+  Tensor x = Tensor::randn({kN, kIn}, data_rng);
+  Tensor labels({B, kN});
+  for (int64_t b = 0; b < B; ++b)
+    for (int64_t n = 0; n < kN; ++n)
+      labels.at({b, n}) = static_cast<float>(n % kClasses);
+  TrainStep step;
+  step.enable_capture();
+  TrainStep::AmpOptions ao;
+  ao.scaler.init_scale = init_scale;
+  step.enable_amp(ao);
+  double last = 0.0;
+  for (int s = 0; s < train_steps; ++s) {
+    ag::Variable loss = step.run(opt, [&] {
+      ag::Variable logits = model.forward(
+          ag::Variable(fused::pack_model_major(std::vector<Tensor>(B, x))));
+      return fused::fused_cross_entropy(logits, labels, ag::Reduction::kMean);
+    });
+    last = loss.value().item();
+  }
+  if (skips_out != nullptr) *skips_out = step.scaler().overflow_skips();
+  if (scale_out != nullptr) *scale_out = step.scaler().scale();
+  return last;
+}
+
 void write_json(const char* path, int steps, const std::vector<Row>& rows,
                 double audit_max_diff,
                 const std::vector<ThreadRow>& sweep,
-                double sweep_max_loss_diff) {
+                double sweep_max_loss_diff,
+                const std::vector<AmpRow>& amp_rows,
+                const AmpSummary* amp) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s for writing\n", path);
@@ -299,7 +369,32 @@ void write_json(const char* path, int steps, const std::vector<Row>& rows,
                  t.threads, t.replay_iters_per_sec, t.allocs_per_iter,
                  t.final_loss, i + 1 < sweep.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ]");
+  if (amp != nullptr) {
+    std::fprintf(f, ",\n  \"amp\": {\n    \"dtype\": \"bf16\",\n"
+                 "    \"rows\": [\n");
+    for (size_t i = 0; i < amp_rows.size(); ++i) {
+      const AmpRow& r = amp_rows[i];
+      std::fprintf(f,
+                   "      {\"models\": %ld, \"amp_replay_iters_per_sec\": "
+                   "%.2f, \"allocs_per_iter\": %.2f, \"nodes_per_iter\": "
+                   "%.2f, \"vs_fp32_replay\": %.4f}%s\n",
+                   r.models, r.amp_replay_iters_per_sec, r.allocs_per_iter,
+                   r.nodes_per_iter, r.vs_fp32_replay,
+                   i + 1 < amp_rows.size() ? "," : "");
+    }
+    std::fprintf(f,
+                 "    ],\n"
+                 "    \"final_loss_fp32\": %.9e,\n"
+                 "    \"final_loss_amp\": %.9e,\n"
+                 "    \"amp_vs_fp32_loss_gap\": %.2e,\n"
+                 "    \"clean_run_overflow_skips\": %ld,\n"
+                 "    \"overflow_exercise_skips\": %ld,\n"
+                 "    \"overflow_exercise_recovered_scale\": %.6e\n  }",
+                 amp->final_loss_fp32, amp->final_loss_amp, amp->loss_gap,
+                 amp->clean_skips, amp->overflow_skips, amp->recovered_scale);
+  }
+  std::fprintf(f, "\n}\n");
   std::fclose(f);
 }
 
@@ -309,12 +404,13 @@ int main(int argc, char** argv) {
   int steps = 200;
   int warmup = 10;
   int repeats = 3;
+  bool amp = false;
   const char* json_path = nullptr;
   std::vector<int> thread_counts = {1, 2, 4, 8};
   auto usage = [&]() {
     std::fprintf(stderr,
                  "usage: %s [--steps N] [--warmup N] [--repeats N] "
-                 "[--json PATH] [--threads N,N,...]\n",
+                 "[--json PATH] [--threads N,N,...] [--amp]\n",
                  argv[0]);
     return 1;
   };
@@ -330,6 +426,8 @@ int main(int argc, char** argv) {
       if (repeats < 1) return usage();
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--amp") == 0) {
+      amp = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       thread_counts.clear();
       for (const char* p = argv[++i]; *p != '\0';) {
@@ -418,8 +516,58 @@ int main(int argc, char** argv) {
   std::printf("max |final loss diff| across thread counts: %.2e "
               "(must be 0.00e+00)\n", sweep_max_loss_diff);
 
+  // Mixed precision: measured AMP replay next to the fp32 replay column.
+  // On CPU the half formats are software-converted, so this measures the
+  // COST of the casts (the sim's tables 8/10 price the tensor-core win);
+  // what must hold regardless of speed: zero allocations and zero node
+  // constructions per warm AMP step, and a real (reported) loss gap.
+  std::vector<AmpRow> amp_rows;
+  AmpSummary amp_summary;
+  if (amp) {
+    std::printf("\nmixed precision: bf16 autocast + dynamic loss scaling, "
+                "replay mode\n");
+    std::printf("%-8s %16s %16s %9s %11s %10s\n", "models", "fp32 replay it/s",
+                "amp replay it/s", "vs fp32", "allocs/it", "nodes/it");
+    for (size_t bi = 0; bi < rows.size(); ++bi) {
+      const int64_t B = rows[bi].models;
+      Measurement best{0, 0, 0};
+      for (int r = 0; r < repeats; ++r) {
+        const Measurement m =
+            run_config(B, Mode::kReplay, steps, warmup, /*amp=*/true);
+        if (m.iters_per_sec > best.iters_per_sec) best = m;
+      }
+      const AmpRow ar{B, best.iters_per_sec, best.allocs_per_iter,
+                      best.nodes_per_iter,
+                      best.iters_per_sec / rows[bi].replay_iters_per_sec};
+      amp_rows.push_back(ar);
+      std::printf("%-8ld %16.1f %16.1f %8.2fx %11.2f %10.2f\n", ar.models,
+                  rows[bi].replay_iters_per_sec, ar.amp_replay_iters_per_sec,
+                  ar.vs_fp32_replay, ar.allocs_per_iter, ar.nodes_per_iter);
+    }
+    amp_summary.final_loss_fp32 =
+        final_loss_at_current_threads(/*B=*/8, /*train_steps=*/20);
+    amp_summary.final_loss_amp =
+        amp_final_loss(/*B=*/8, /*train_steps=*/20, /*init_scale=*/65536.0,
+                       &amp_summary.clean_skips, nullptr);
+    amp_summary.loss_gap =
+        std::fabs(amp_summary.final_loss_amp - amp_summary.final_loss_fp32);
+    std::printf("amp vs fp32 |final loss gap| at B=8 over 20 steps: %.2e "
+                "(bf16 quantization error — measured, not hidden; clean-run "
+                "overflow skips: %ld)\n",
+                amp_summary.loss_gap, amp_summary.clean_skips);
+    // Overflow exercise: 2^130 overflows float, so the first steps MUST
+    // skip + back off before training resumes at a finite scale.
+    amp_final_loss(/*B=*/8, /*train_steps=*/20,
+                   /*init_scale=*/std::ldexp(1.0, 130),
+                   &amp_summary.overflow_skips, &amp_summary.recovered_scale);
+    std::printf("overflow exercise (init scale 2^130): skips: %ld, "
+                "recovered scale: %.3e, training resumed\n",
+                amp_summary.overflow_skips, amp_summary.recovered_scale);
+  }
+
   if (json_path != nullptr) {
-    write_json(json_path, steps, rows, audit, sweep, sweep_max_loss_diff);
+    write_json(json_path, steps, rows, audit, sweep, sweep_max_loss_diff,
+               amp_rows, amp ? &amp_summary : nullptr);
     std::printf("wrote %s\n", json_path);
   }
   return 0;

@@ -1,0 +1,104 @@
+// Shared helper for the precision tables: next to the sim's predicted
+// tensor-core ratios, measure fp32-vs-AMP fused training FOR REAL on this
+// CPU. The half formats are software-converted here, so the measured ratio
+// reports the cost of the casts (typically < 1.0x) where the sim prices the
+// tensor-core win (> 1.0x) — printing both keeps the tables honest about
+// which number is a prediction and which is a measurement. The measured
+// run also reports the AMP-vs-fp32 final-loss gap: real quantization error,
+// reported rather than hidden.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/storage_pool.h"
+#include "hfta/fused_optim.h"
+#include "hfta/fused_ops.h"
+#include "hfta/loss_scaling.h"
+#include "hfta/train.h"
+#include "tensor/ops.h"
+
+namespace hfta::benchamp {
+
+struct MeasuredAmp {
+  int64_t models = 0;
+  double fp32_iters_per_sec = 0;
+  double amp_iters_per_sec = 0;
+  double amp_over_fp32 = 0;  // measured ratio (cast cost, not tensor cores)
+  double loss_gap = 0;       // |amp final loss - fp32 final loss|
+  int64_t overflow_skips = 0;  // must be 0 for this well-scaled workload
+};
+
+namespace detail {
+
+struct BenchMlp : fused::FusedModule {
+  BenchMlp(int64_t B, Rng& rng) : fused::FusedModule(B) {
+    fc1 = register_module(
+        "fc1", std::make_shared<fused::FusedLinear>(B, 16, 32, true, rng));
+    fc2 = register_module(
+        "fc2", std::make_shared<fused::FusedLinear>(B, 32, 4, true, rng));
+  }
+  ag::Variable forward(const ag::Variable& x) override {
+    return fc2->forward(ag::relu(fc1->forward(x)));
+  }
+  std::shared_ptr<fused::FusedLinear> fc1, fc2;
+};
+
+// One timed replay-mode training run; returns {iters/sec, final loss}.
+inline std::pair<double, double> timed_run(int64_t B, bool amp, int steps,
+                                           int warmup, int64_t* skips) {
+  StoragePool::instance().trim();
+  Rng rng(1);
+  BenchMlp model(B, rng);
+  fused::FusedAdam opt(fused::collect_fused_parameters(model, B), B,
+                       {.lr = {1e-3}});
+  Rng data_rng(2);
+  Tensor x = Tensor::randn({8, 16}, data_rng);
+  Tensor labels({B, 8});
+  for (int64_t b = 0; b < B; ++b)
+    for (int64_t n = 0; n < 8; ++n)
+      labels.at({b, n}) = static_cast<float>(n % 4);
+  TrainStep step;
+  step.enable_capture();
+  if (amp) step.enable_amp();
+  double last = 0.0;
+  auto one = [&] {
+    ag::Variable loss = step.run(opt, [&] {
+      ag::Variable logits = model.forward(
+          ag::Variable(fused::pack_model_major(std::vector<Tensor>(B, x))));
+      return fused::fused_cross_entropy(logits, labels, ag::Reduction::kMean);
+    });
+    last = loss.value().item();
+  };
+  for (int s = 0; s < warmup; ++s) one();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int s = 0; s < steps; ++s) one();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (skips != nullptr) *skips = amp ? step.scaler().overflow_skips() : 0;
+  return {static_cast<double>(steps) / secs, last};
+}
+
+}  // namespace detail
+
+// Trains the same B-model fused array twice — fp32 and bf16 AMP — in
+// replay mode and reports throughput, the measured AMP/fp32 ratio, and the
+// final-loss gap. Deterministic apart from the timings.
+inline MeasuredAmp measure_fused_amp(int64_t B, int steps, int warmup) {
+  MeasuredAmp m;
+  m.models = B;
+  auto [fp32_ips, fp32_loss] =
+      detail::timed_run(B, /*amp=*/false, steps, warmup, nullptr);
+  auto [amp_ips, amp_loss] =
+      detail::timed_run(B, /*amp=*/true, steps, warmup, &m.overflow_skips);
+  m.fp32_iters_per_sec = fp32_ips;
+  m.amp_iters_per_sec = amp_ips;
+  m.amp_over_fp32 = fp32_ips > 0 ? amp_ips / fp32_ips : 0;
+  m.loss_gap = std::fabs(amp_loss - fp32_loss);
+  return m;
+}
+
+}  // namespace hfta::benchamp

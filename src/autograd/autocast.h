@@ -1,0 +1,55 @@
+// Autocast: scoped mixed-precision policy for the differentiable ops.
+//
+// Inside an AutocastGuard(kF16 / kBF16) scope, the GEMM/conv-class ops
+// (matmul, bmm, bmm_nt, baddbmm, linear, conv*, conv_transpose*) cast their
+// tensor operands — NOT their biases — to the autocast dtype before
+// computing. The kernels widen those operands back to f32 at entry and
+// accumulate in f32 (ops::as_f32), so the op class runs "fp32-accumulate
+// from low-precision inputs". Everything else is untouched: elementwise and
+// pooling ops run native on the (f32) activations that GEMMs produce, and
+// reductions/losses stay f32. Gradients are ALWAYS f32 — the cast op's
+// backward is the identity into the original f32 tensor.
+//
+// The casts are ordinary recorded ops (ag::cast), so a StepProgram captured
+// under autocast replays them as thunks; nothing about replay is
+// precision-special. TrainStep mixes the autocast state into its structural
+// fingerprint, so toggling precision recaptures instead of replaying a
+// stale-precision program.
+//
+// The policy flag is thread_local. Guards are used on the launching thread
+// (graph construction is single-threaded here); worker threads never build
+// graphs.
+#pragma once
+
+#include "autograd/variable.h"
+#include "tensor/dtype.h"
+
+namespace hfta::ag {
+
+/// True inside an AutocastGuard scope with a 16-bit dtype.
+bool autocast_enabled();
+
+/// The active autocast dtype (meaningful only when autocast_enabled()).
+DType autocast_dtype();
+
+/// RAII scope. Passing kF32 DISABLES autocast within the scope — that is how
+/// fp32 code (and TrainStep with AMP off) pins the policy regardless of any
+/// enclosing scope.
+class AutocastGuard {
+ public:
+  explicit AutocastGuard(DType dtype);
+  ~AutocastGuard();
+  AutocastGuard(const AutocastGuard&) = delete;
+  AutocastGuard& operator=(const AutocastGuard&) = delete;
+
+ private:
+  bool prev_enabled_;
+  DType prev_dtype_;
+};
+
+/// Applies the policy to one GEMM/conv-class operand: under an active guard,
+/// returns ag::cast(v, autocast_dtype()); otherwise (or when v is undefined
+/// or already that dtype) returns v unchanged.
+Variable autocast_input(const Variable& v);
+
+}  // namespace hfta::ag

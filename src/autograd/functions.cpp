@@ -3,6 +3,7 @@
 #include <cmath>
 #include <memory>
 
+#include "autograd/autocast.h"
 #include "autograd/step_program.h"
 #include "tensor/matmul.h"
 #include "tensor/ops.h"
@@ -45,6 +46,18 @@ Variable make_op(const char* name, Tensor out, const Fwd& fwd,
 }  // namespace
 
 Variable constant(Tensor value) { return Variable(std::move(value)); }
+
+// ---- dtype -----------------------------------------------------------------
+
+Variable cast(const Variable& a, DType dtype) {
+  if (a.value().dtype() == dtype) return a;
+  Tensor av = a.value();
+  auto fwd = [av, dtype] { return ops::cast(av, dtype); };
+  return make_op("cast", fwd(), fwd, {a},
+                 [](const Tensor& gy) -> std::vector<Tensor> {
+                   return {gy};
+                 });
+}
 
 // ---- binary ----------------------------------------------------------------
 
@@ -283,7 +296,12 @@ Variable gelu(const Variable& a) {
 
 // ---- matmul family -----------------------------------------------------------
 
-Variable matmul(const Variable& a, const Variable& b) {
+// The matmul/conv family applies the autocast policy to its tensor operands
+// (autocast_input is the identity outside an AutocastGuard scope); biases
+// stay f32. The underlying kernels widen half operands and accumulate f32.
+
+Variable matmul(const Variable& a_in, const Variable& b_in) {
+  const Variable a = autocast_input(a_in), b = autocast_input(b_in);
   Tensor av = a.value(), bv = b.value();
   auto fwd = [av, bv] { return ops::matmul(av, bv); };
   return make_op("matmul", fwd(), fwd, {a, b},
@@ -292,7 +310,8 @@ Variable matmul(const Variable& a, const Variable& b) {
                  });
 }
 
-Variable bmm(const Variable& a, const Variable& b) {
+Variable bmm(const Variable& a_in, const Variable& b_in) {
+  const Variable a = autocast_input(a_in), b = autocast_input(b_in);
   Tensor av = a.value(), bv = b.value();
   auto fwd = [av, bv] { return ops::bmm(av, bv); };
   return make_op("bmm", fwd(), fwd, {a, b},
@@ -301,7 +320,8 @@ Variable bmm(const Variable& a, const Variable& b) {
                  });
 }
 
-Variable bmm_nt(const Variable& a, const Variable& b) {
+Variable bmm_nt(const Variable& a_in, const Variable& b_in) {
+  const Variable a = autocast_input(a_in), b = autocast_input(b_in);
   Tensor av = a.value(), bv = b.value();
   auto fwd = [av, bv] { return ops::bmm_nt(av, bv); };
   return make_op("bmm_nt", fwd(), fwd, {a, b},
@@ -311,7 +331,9 @@ Variable bmm_nt(const Variable& a, const Variable& b) {
                  });
 }
 
-Variable baddbmm(const Variable& bias, const Variable& a, const Variable& b) {
+Variable baddbmm(const Variable& bias, const Variable& a_in,
+                 const Variable& b_in) {
+  const Variable a = autocast_input(a_in), b = autocast_input(b_in);
   Tensor biasv = bias.value(), av = a.value(), bv = b.value();
   Shape sbias = bias.shape();
   auto fwd = [biasv, av, bv] { return ops::baddbmm(biasv, av, bv); };
@@ -322,7 +344,9 @@ Variable baddbmm(const Variable& bias, const Variable& a, const Variable& b) {
                  });
 }
 
-Variable linear(const Variable& x, const Variable& w, const Variable& b) {
+Variable linear(const Variable& x_in, const Variable& w_in,
+                const Variable& b) {
+  const Variable x = autocast_input(x_in), w = autocast_input(w_in);
   Tensor xv = x.value(), wv = w.value();
   Tensor bv = b.defined() ? b.value() : Tensor();
   const Shape x_shape = xv.shape();
@@ -350,8 +374,9 @@ Variable linear(const Variable& x, const Variable& w, const Variable& b) {
 
 // ---- convolution ----------------------------------------------------------------
 
-Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
+Variable conv2d(const Variable& x_in, const Variable& w_in, const Variable& b,
                 const ops::ConvArgs& args) {
+  const Variable x = autocast_input(x_in), w = autocast_input(w_in);
   Tensor xv = x.value(), wv = w.value();
   Tensor bv = b.defined() ? b.value() : Tensor();
   auto fwd = [xv, wv, bv, args] { return ops::conv2d(xv, wv, bv, args); };
@@ -370,8 +395,9 @@ Variable conv2d(const Variable& x, const Variable& w, const Variable& b,
       });
 }
 
-Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
+Variable conv1d(const Variable& x_in, const Variable& w_in, const Variable& b,
                 int64_t stride, int64_t pad, int64_t groups) {
+  const Variable x = autocast_input(x_in), w = autocast_input(w_in);
   Tensor xv = x.value(), wv = w.value();
   Tensor bv = b.defined() ? b.value() : Tensor();
   auto fwd = [xv, wv, bv, stride, pad, groups] {
@@ -396,9 +422,10 @@ Variable conv1d(const Variable& x, const Variable& w, const Variable& b,
       });
 }
 
-Variable conv_transpose2d(const Variable& x, const Variable& w,
+Variable conv_transpose2d(const Variable& x_in, const Variable& w_in,
                           const Variable& b,
                           const ops::ConvTransposeArgs& args) {
+  const Variable x = autocast_input(x_in), w = autocast_input(w_in);
   Tensor xv = x.value(), wv = w.value();
   Tensor bv = b.defined() ? b.value() : Tensor();
   auto fwd = [xv, wv, bv, args] {
@@ -419,9 +446,10 @@ Variable conv_transpose2d(const Variable& x, const Variable& w,
       });
 }
 
-Variable conv_transpose1d(const Variable& x, const Variable& w,
+Variable conv_transpose1d(const Variable& x_in, const Variable& w_in,
                           const Variable& b,
                           const ops::ConvTransposeArgs& args) {
+  const Variable x = autocast_input(x_in), w = autocast_input(w_in);
   Tensor xv = x.value(), wv = w.value();
   Tensor bv = b.defined() ? b.value() : Tensor();
   auto fwd = [xv, wv, bv, args] {

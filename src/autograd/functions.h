@@ -15,6 +15,14 @@ namespace hfta::ag {
 /// Constant (no-grad) wrapper.
 Variable constant(Tensor value);
 
+// ---- dtype ---------------------------------------------------------------
+/// Converted copy at `dtype` (identity when it already matches). The
+/// backward is the straight-through identity: the incoming (f32) gradient
+/// passes to the source unchanged, so gradients stay f32 no matter how the
+/// forward was quantized. Recorded like any other op — step programs replay
+/// casts as thunks.
+Variable cast(const Variable& a, DType dtype);
+
 // ---- elementwise binary (broadcasting) -----------------------------------
 Variable add(const Variable& a, const Variable& b);
 Variable sub(const Variable& a, const Variable& b);

@@ -92,14 +92,4 @@ void set_num_threads(int n);
 /// parallel_for.
 void parallel_for(const Partition& p, FunctionRef<void(int64_t, int64_t)> fn);
 
-/// Deprecated: grain-guessing surface kept for one PR as a migration shim.
-/// Build a Partition at the call site instead.
-[[deprecated("build a Partition (rows/elems/range) and call "
-             "parallel_for(const Partition&, fn)")]]
-inline void parallel_for(int64_t begin, int64_t end,
-                         FunctionRef<void(int64_t, int64_t)> fn,
-                         int64_t grain = 1024) {
-  parallel_for(Partition::range(begin, end, grain), fn);
-}
-
 }  // namespace hfta

@@ -142,6 +142,15 @@ FusedTrainingExecutor::FusedTrainingExecutor(Task task, sim::DeviceSpec dev,
   // optimizer every iteration runs tape-free. Repacks build a new
   // array/optimizer, which fingerprints differently and recaptures.
   train_step_.enable_capture();
+  if (opts_.amp) {
+    TrainStep::AmpOptions amp;
+    amp.dtype = opts_.amp_dtype;
+    // Short rungs + a shared scaler (the serial twins update it too): keep
+    // the scale fixed unless an overflow forces a backoff, so fused and
+    // serial runs see identical scales at every logical step.
+    amp.scaler.growth_interval = 1 << 30;
+    train_step_.enable_amp(amp);
+  }
   // The held-out scoring batch is fixed for the executor's lifetime.
   std::vector<int64_t> idx(static_cast<size_t>(opts_.eval_size));
   for (int64_t i = 0; i < opts_.eval_size; ++i)

@@ -92,6 +92,14 @@ class FusedTrainingExecutor : public TrialExecutor {
     /// schedules) and records the max per-model loss deviation — the
     /// bit-exactness audit printed by examples/hfht_tuning.
     bool verify_against_serial = false;
+    /// Mixed precision for trial training: autocast the GEMM/conv class to
+    /// `amp_dtype` with dynamic loss scaling (TrainStep::enable_amp). One
+    /// LossScaler lives on the executor's TrainStep, so its state survives
+    /// Hyperband rungs and repacks. The serial verification twins share the
+    /// TrainStep and therefore train under the same AMP policy — the
+    /// fused-vs-serial audit stays meaningful (and exact) under AMP.
+    bool amp = false;
+    DType amp_dtype = DType::kBF16;
   };
 
   FusedTrainingExecutor(Task task, sim::DeviceSpec dev, Options opts);

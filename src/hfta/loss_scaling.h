@@ -1,14 +1,81 @@
-// Fused-loss handling (paper Appendix C).
+// Fused-loss handling (paper Appendix C) + dynamic loss scaling for AMP.
 //
 // When each model's loss is a *mean* over its mini-batch, the naive fused
 // loss L = (1/B) sum_b l_b under-scales every model's gradients by 1/B
 // (Eq. 2); scaling the fused loss by B reconstructs the exact per-model
 // gradients (Eq. 3). Sum (or no) reduction needs no scaling (Eq. 5).
+//
+// The dynamic LossScaler is orthogonal to that rule: Appendix-C scaling is
+// part of the loss VALUE (a recorded mul_scalar op), while the AMP scale S
+// multiplies the backward seed — d(S*L)/dw == S * dL/dw, so seeding the
+// engine with S instead of 1 scales every gradient without touching the
+// printed loss. TrainStep unscales gradients (×1/S) before the optimizer
+// and skips the step when any gradient is non-finite. Scales are kept to
+// powers of two: scaling and unscaling are then exact exponent shifts, so
+// an AMP run with scale S produces bit-identical weights to the same AMP
+// run with scale 1 (absent overflow), and fused-vs-serial exactness
+// survives loss scaling.
 #pragma once
+
+#include <cstdint>
 
 #include "autograd/functions.h"
 
 namespace hfta::fused {
+
+/// Dynamic loss-scale controller (the amp_scaler "GradScaler" recipe):
+/// start high, halve on overflow (skipping that step), double after a
+/// clean streak of `growth_interval` steps. Pure bookkeeping — TrainStep
+/// owns one and applies its scale via the backward seed; it survives
+/// Hyperband repacks because the executor's TrainStep persists across them.
+class LossScaler {
+ public:
+  struct Options {
+    double init_scale = 65536.0;   // 2^16
+    double growth_factor = 2.0;    // on a clean streak
+    double backoff_factor = 0.5;   // on overflow
+    int64_t growth_interval = 2000;  // clean steps between growths
+  };
+
+  LossScaler() : LossScaler(Options{}) {}
+  explicit LossScaler(const Options& o) : opts_(o), scale_(o.init_scale) {}
+
+  double scale() const { return scale_; }
+  const Options& options() const { return opts_; }
+  /// Clean steps since the last overflow (resets on backoff).
+  int64_t growth_streak() const { return growth_streak_; }
+  /// Total steps skipped because a gradient was non-finite.
+  int64_t overflow_skips() const { return overflow_skips_; }
+
+  /// Advances the controller after a step: backoff on overflow, grow on a
+  /// full clean streak. Call exactly once per optimization step, after the
+  /// finiteness verdict and (when clean) the optimizer step.
+  void update(bool found_inf) {
+    if (found_inf) {
+      scale_ *= opts_.backoff_factor;
+      growth_streak_ = 0;
+      ++overflow_skips_;
+      return;
+    }
+    if (++growth_streak_ >= opts_.growth_interval) {
+      scale_ *= opts_.growth_factor;
+      growth_streak_ = 0;
+    }
+  }
+
+  /// In-place grad *= inv_scale, returning false if any element is
+  /// non-finite (inf/nan). Allocation-free (writes through the existing
+  /// buffer) and order-independent (the verdict is an OR over elements),
+  /// so it is bit-identical at any thread count. Defined in the .cpp so it
+  /// can use the parallel runtime.
+  static bool unscale_finite(Tensor& grad, double inv_scale);
+
+ private:
+  Options opts_;
+  double scale_;
+  int64_t growth_streak_ = 0;
+  int64_t overflow_skips_ = 0;
+};
 
 /// Applies the Appendix-C scaling rule to a fused loss.
 inline ag::Variable scale_fused_loss(const ag::Variable& fused_loss,

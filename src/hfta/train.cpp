@@ -53,11 +53,17 @@ void TrainStep::finish_stats(const IterationScope& scope) {
 
 template <typename ZeroFn, typename StepFn>
 ag::Variable TrainStep::run_impl(const ZeroFn& zero, const StepFn& step,
-                                 const LossFn& loss_fn) {
+                                 const LossFn& loss_fn, bool autocast,
+                                 Tensor seed) {
   IterationScope scope;
   zero();
-  ag::Variable loss = loss_fn();
-  engine_.run(loss);
+  ag::Variable loss;
+  {
+    // kF32 pins autocast OFF for fp32 steps, regardless of ambient guards.
+    ag::AutocastGuard guard(autocast ? amp_dtype_ : DType::kF32);
+    loss = loss_fn();
+  }
+  engine_.run(loss, std::move(seed));
   step();
   ++stats_.steps;
   stats_.last_was_replay = false;
@@ -82,7 +88,14 @@ std::vector<ag::Variable> TrainStep::run_multi_impl(
 template <typename Opt>
 ag::Variable TrainStep::run_cached(Opt& opt, const LossFn& loss_fn) {
   ProgramSlot& slot = programs_[static_cast<const void*>(&opt)];
-  const uint64_t fp = fingerprint(opt);
+  uint64_t fp = fingerprint(opt);
+  if (amp_) {
+    // Precision is structural: an AMP program's thunks include the recorded
+    // casts, so toggling AMP (or changing its dtype) must recapture, not
+    // replay a stale-precision graph.
+    fp = fnv_mix(fp, 0x9e3779b97f4a7c15ull);
+    fp = fnv_mix(fp, static_cast<uint64_t>(amp_dtype_));
+  }
   if (slot.fingerprinted && slot.fingerprint != fp) {
     // Same optimizer address, different structure (e.g. a repacked group
     // reusing a slot): the captured graph is stale.
@@ -96,8 +109,12 @@ ag::Variable TrainStep::run_cached(Opt& opt, const LossFn& loss_fn) {
   if (slot.program.captured()) {
     IterationScope scope;
     opt.zero_grad();
+    // The tape's seed shares amp_seed_'s storage; refreshing it in place
+    // is how a scale change reaches every cached program without
+    // recapture.
+    if (amp_) refresh_amp_seed();
     slot.program.replay();
-    opt.step();
+    amp_step(opt);
     ++stats_.steps;
     ++stats_.replays;
     finish_stats(scope);
@@ -107,21 +124,23 @@ ag::Variable TrainStep::run_cached(Opt& opt, const LossFn& loss_fn) {
 
   if (slot.eager_runs < warmup_) {
     ++slot.eager_runs;
-    return run_impl([&] { opt.zero_grad(); }, [&] { opt.step(); }, loss_fn);
+    return run_impl([&] { opt.zero_grad(); }, [&] { amp_step(opt); }, loss_fn,
+                    amp_, backward_seed());
   }
 
   // Capture run: a full training step (eager kernels, the real backward)
   // recorded along the way. Only the forward/loss build runs under the
-  // guard; finish_capture freezes the backward it then executes.
+  // guards; finish_capture freezes the backward it then executes.
   IterationScope scope;
   opt.zero_grad();
   ag::Variable loss;
   {
     ag::StepProgram::CaptureGuard guard(slot.program);
+    ag::AutocastGuard amp_guard(amp_ ? amp_dtype_ : DType::kF32);
     loss = loss_fn();
   }
-  slot.program.finish_capture(engine_, loss);
-  opt.step();
+  slot.program.finish_capture(engine_, loss, backward_seed());
+  amp_step(opt);
   ++stats_.steps;
   ++stats_.captures;
   stats_.last_was_replay = false;
@@ -173,31 +192,95 @@ void TrainStep::evict_lru() {
   }
 }
 
+void TrainStep::enable_amp(const AmpOptions& opts) {
+  HFTA_CHECK(opts.dtype != DType::kF32,
+             "enable_amp: dtype must be f16 or bf16");
+  amp_ = true;
+  amp_dtype_ = opts.dtype;
+  scaler_ = fused::LossScaler(opts.scaler);
+}
+
+void TrainStep::refresh_amp_seed() {
+  if (!amp_seed_.defined()) amp_seed_ = Tensor::empty({});
+  amp_seed_.fill_(static_cast<float>(scaler_.scale()));
+}
+
+Tensor TrainStep::backward_seed() {
+  if (!amp_) return Tensor();
+  refresh_amp_seed();
+  return amp_seed_;
+}
+
+bool TrainStep::unscale_grads(fused::FusedOptimizer& opt) {
+  const double inv = 1.0 / scaler_.scale();
+  bool finite = true;
+  for (const fused::FusedParam& p : opt.fused_params()) {
+    ag::Variable v = p.var;  // shared impl — grad() is the live gradient
+    finite &= fused::LossScaler::unscale_finite(v.grad(), inv);
+  }
+  return finite;
+}
+
+bool TrainStep::unscale_grads(nn::Optimizer& opt) {
+  const double inv = 1.0 / scaler_.scale();
+  bool finite = true;
+  for (const ag::Variable& p : opt.params()) {
+    ag::Variable v = p;
+    finite &= fused::LossScaler::unscale_finite(v.grad(), inv);
+  }
+  return finite;
+}
+
+template <typename Opt>
+void TrainStep::amp_step(Opt& opt) {
+  if (!amp_) {
+    opt.step();
+    return;
+  }
+  // Unscale every gradient (no short-circuit: leave a fully-unscaled,
+  // consistent state even on overflow) and step only when all are finite.
+  const bool finite = unscale_grads(opt);
+  if (finite) {
+    opt.step();
+  } else {
+    ++stats_.amp_overflow_skips;
+  }
+  scaler_.update(!finite);
+}
+
 ag::Variable TrainStep::run(fused::FusedOptimizer& opt,
                             const LossFn& loss_fn) {
   if (capture_) return run_cached(opt, loss_fn);
-  return run_impl([&] { opt.zero_grad(); }, [&] { opt.step(); }, loss_fn);
+  return run_impl([&] { opt.zero_grad(); }, [&] { amp_step(opt); }, loss_fn,
+                  amp_, backward_seed());
 }
 
 ag::Variable TrainStep::run(nn::Optimizer& opt, const LossFn& loss_fn) {
   if (capture_) return run_cached(opt, loss_fn);
-  return run_impl([&] { opt.zero_grad(); }, [&] { opt.step(); }, loss_fn);
+  return run_impl([&] { opt.zero_grad(); }, [&] { amp_step(opt); }, loss_fn,
+                  amp_, backward_seed());
 }
 
 std::vector<ag::Variable> TrainStep::run(fused::FusedOptimizer& opt,
                                          const MultiLossFn& loss_fn) {
+  HFTA_CHECK(!amp_, "multi-loss run() does not support AMP (each loss would "
+             "need its own scale bookkeeping)");
   return run_multi_impl([&] { opt.zero_grad(); }, [&] { opt.step(); },
                         loss_fn);
 }
 
 std::vector<ag::Variable> TrainStep::run(nn::Optimizer& opt,
                                          const MultiLossFn& loss_fn) {
+  HFTA_CHECK(!amp_, "multi-loss run() does not support AMP (each loss would "
+             "need its own scale bookkeeping)");
   return run_multi_impl([&] { opt.zero_grad(); }, [&] { opt.step(); },
                         loss_fn);
 }
 
 ag::Variable TrainStep::run(nn::Module& model, const LossFn& loss_fn) {
-  return run_impl([&] { model.zero_grad(); }, [] {}, loss_fn);
+  // Autocast applies (AMP numerics for probes/eval) but the seed does not:
+  // with no optimizer step to protect, scaled gradients would just leak.
+  return run_impl([&] { model.zero_grad(); }, [] {}, loss_fn, amp_, Tensor());
 }
 
 void TrainStep::backward(const ag::Variable& loss, Tensor seed) {

@@ -17,11 +17,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "autograd/autocast.h"
 #include "autograd/engine.h"
 #include "autograd/step_program.h"
 #include "core/storage_pool.h"
 #include "hfta/fused_optim.h"
 #include "hfta/fused_sched.h"
+#include "hfta/loss_scaling.h"
 #include "nn/module.h"
 #include "nn/optim.h"
 #include "nn/sched.h"
@@ -50,6 +52,7 @@ class TrainStep {
     bool last_was_replay = false;    // last step replayed a step program
     int64_t captures = 0;            // step programs captured so far
     int64_t replays = 0;             // steps served tape-free by replay
+    int64_t amp_overflow_skips = 0;  // AMP steps skipped on non-finite grads
   };
 
   /// Fused-array iteration: `opt` is zero_grad'ed and stepped around the
@@ -72,6 +75,43 @@ class TrainStep {
   /// Backward through the reusable engine, for hand-assembled iterations
   /// that cannot use run() (seeded backward, interleaved updates).
   void backward(const ag::Variable& loss, Tensor seed = Tensor());
+
+  // ---- mixed precision (autocast + dynamic loss scaling) ----------------
+  //
+  // With AMP enabled, the single-loss run() overloads build the loss under
+  // an AutocastGuard (GEMM/conv-class ops take low-precision inputs and
+  // accumulate f32; see autograd/autocast.h) and apply dynamic loss
+  // scaling through the backward SEED: seeding backward with the scale S
+  // computes d(S*L)/dw without touching the loss value that run() returns.
+  // Before the optimizer step, every gradient is unscaled in place (x 1/S,
+  // allocation-free) while being checked for inf/nan; a non-finite
+  // gradient skips the step and backs the scale off. Scales stay powers of
+  // two, so scale/unscale are exact exponent shifts and fused-vs-serial
+  // bit-exactness survives.
+  //
+  // Capture/replay compatible: casts are recorded ops, the captured
+  // BackwardTape's seed SHARES the persistent seed tensor's storage (a
+  // scale change is an in-place refresh, not a recapture), and the AMP
+  // mode + dtype are mixed into each program's fingerprint so toggling
+  // precision recaptures. The optimizer-free run(Module&) overload
+  // autocasts but does not scale (there is no step to protect); the
+  // multi-loss overloads reject AMP.
+
+  struct AmpOptions {
+    DType dtype = DType::kBF16;
+    fused::LossScaler::Options scaler;
+  };
+
+  void enable_amp(const AmpOptions& opts);
+  void enable_amp() { enable_amp(AmpOptions()); }
+  /// Turns AMP off (cached fp32 programs, fingerprinted separately, stay).
+  void disable_amp() { amp_ = false; }
+  bool amp_enabled() const { return amp_; }
+  DType amp_dtype() const { return amp_dtype_; }
+  /// The dynamic scale controller. Persists for the TrainStep's lifetime —
+  /// in the HFHT executor that means across Hyperband rungs and repacks.
+  fused::LossScaler& scaler() { return scaler_; }
+  const fused::LossScaler& scaler() const { return scaler_; }
 
   // ---- step-program capture & replay ---------------------------------
   //
@@ -129,7 +169,7 @@ class TrainStep {
 
   template <typename ZeroFn, typename StepFn>
   ag::Variable run_impl(const ZeroFn& zero, const StepFn& step,
-                        const LossFn& loss_fn);
+                        const LossFn& loss_fn, bool autocast, Tensor seed);
   template <typename ZeroFn, typename StepFn>
   std::vector<ag::Variable> run_multi_impl(const ZeroFn& zero,
                                            const StepFn& step,
@@ -139,12 +179,31 @@ class TrainStep {
   void finish_stats(const IterationScope& scope);
   void evict_lru();
 
+  /// Rewrites the persistent scalar seed tensor with the current scale
+  /// (in place — captured tapes share its storage).
+  void refresh_amp_seed();
+  /// The seed for this step's backward: the refreshed scale tensor under
+  /// AMP, undefined (seed-with-ones) otherwise.
+  Tensor backward_seed();
+  /// Unscales every gradient in place; false if any element was inf/nan.
+  bool unscale_grads(fused::FusedOptimizer& opt);
+  bool unscale_grads(nn::Optimizer& opt);
+  /// The optimizer step under the AMP contract: unscale + finiteness check
+  /// first, skip + backoff on overflow, scaler update either way. Plain
+  /// opt.step() when AMP is off.
+  template <typename Opt>
+  void amp_step(Opt& opt);
+
   ag::Engine engine_;
   Stats stats_;
   std::unordered_map<const void*, ProgramSlot> programs_;
   bool capture_ = false;
   int64_t warmup_ = 1;
   int64_t use_clock_ = 0;
+  bool amp_ = false;
+  DType amp_dtype_ = DType::kBF16;
+  fused::LossScaler scaler_;
+  Tensor amp_seed_;  // persistent scalar; every captured tape shares it
 };
 
 /// Drives a TrainStep over a fixed number of iterations with epoch

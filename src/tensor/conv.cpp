@@ -6,6 +6,7 @@
 #include "core/parallel.h"
 #include "core/storage_pool.h"
 #include "tensor/matmul.h"
+#include "tensor/ops.h"
 
 namespace hfta::ops {
 
@@ -101,8 +102,13 @@ ConvDims check_conv(const Shape& x_shape, const Shape& w_shape,
 
 }  // namespace
 
-Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
+// The three 2-D entry points below widen half-precision operands to f32 on
+// the launching thread and accumulate in f32 (the AMP compute policy); the
+// 1-D and transposed variants all funnel through them. as_f32 is the
+// identity for f32 inputs.
+Tensor conv2d(const Tensor& x_in, const Tensor& w_in, const Tensor& b,
               const ConvArgs& a) {
+  const Tensor x = as_f32(x_in), w = as_f32(w_in);
   const ConvDims d = check_conv(x.shape(), w.shape(), a);
   if (b.defined())
     HFTA_CHECK(b.numel() == d.Cout, "conv2d: bias numel ", b.numel(), " != ",
@@ -146,8 +152,9 @@ Tensor conv2d(const Tensor& x, const Tensor& w, const Tensor& b,
   return y;
 }
 
-Tensor conv2d_grad_input(const Tensor& gy, const Tensor& w,
+Tensor conv2d_grad_input(const Tensor& gy_in, const Tensor& w_in,
                          const Shape& x_shape, const ConvArgs& a) {
+  const Tensor gy = as_f32(gy_in), w = as_f32(w_in);
   const ConvDims d = check_conv(x_shape, w.shape(), a);
   HFTA_CHECK(gy.size(0) == d.N && gy.size(1) == d.Cout && gy.size(2) == d.Ho &&
                  gy.size(3) == d.Wo,
@@ -194,8 +201,9 @@ Tensor conv2d_grad_input(const Tensor& gy, const Tensor& w,
   return gx;
 }
 
-Tensor conv2d_grad_weight(const Tensor& gy, const Tensor& x,
+Tensor conv2d_grad_weight(const Tensor& gy_in, const Tensor& x_in,
                           const Shape& w_shape, const ConvArgs& a) {
+  const Tensor gy = as_f32(gy_in), x = as_f32(x_in);
   const ConvDims d = check_conv(x.shape(), w_shape, a);
   Tensor gw(w_shape);
   const int64_t col_rows = d.Cing * d.kh * d.kw;

@@ -1,0 +1,52 @@
+// Element types and software conversion kernels.
+//
+// The repo targets CPUs without native fp16/bf16 arithmetic, so low-precision
+// tensors store raw 16-bit patterns (IEEE binary16 or bfloat16) and every
+// conversion is done in software with round-to-nearest-even — the same
+// rounding contract hardware converters implement. Arithmetic never runs ON
+// half-precision values: GEMM/conv kernels widen their inputs to fp32 at
+// entry and accumulate in fp32 (see ops::as_f32), which is exactly the
+// "fp32-accumulate from low-precision inputs" policy AMP hardware uses.
+//
+// Conversions are deterministic pure functions of the input bits, so casting
+// inside a parallel_for over output elements preserves the repo's
+// bit-identical-at-any-thread-count invariant.
+#pragma once
+
+#include <cstdint>
+
+namespace hfta {
+
+enum class DType : uint8_t {
+  kF32 = 0,   // IEEE binary32 — the only type kernels compute on
+  kF16 = 1,   // IEEE binary16: 1 sign, 5 exponent, 10 mantissa
+  kBF16 = 2,  // bfloat16: 1 sign, 8 exponent, 7 mantissa (truncated f32)
+};
+
+const char* dtype_name(DType d);
+
+/// Bytes per element.
+constexpr int64_t dtype_size(DType d) { return d == DType::kF32 ? 4 : 2; }
+
+// -- scalar converters (round-to-nearest-even) --------------------------------
+// Half -> f32 directions are exact (every f16/bf16 value is representable in
+// f32); f32 -> half directions round to nearest, ties to even, with correct
+// overflow-to-inf, subnormal, and NaN quieting behavior.
+
+uint16_t f32_to_f16_bits(float f);
+float f16_bits_to_f32(uint16_t h);
+uint16_t f32_to_bf16_bits(float f);
+float bf16_bits_to_f32(uint16_t h);
+
+/// Scalar round-trip through `dt` (f32 for kF32): the value an f32 number
+/// becomes after being stored at that precision.
+float quantize_to(float f, DType dt);
+
+// -- batch converters ---------------------------------------------------------
+// Parallel over output elements (independent coordinates — deterministic at
+// any thread count). `dt` selects the 16-bit format and must not be kF32.
+
+void convert_f32_to_half(const float* src, uint16_t* dst, int64_t n, DType dt);
+void convert_half_to_f32(const uint16_t* src, float* dst, int64_t n, DType dt);
+
+}  // namespace hfta

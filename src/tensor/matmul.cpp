@@ -124,7 +124,12 @@ void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
   gemm_nn(a, b, c, m, n, k, alpha, beta);
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
+// Every GEMM widens half-precision operands to f32 here, at entry on the
+// launching thread, and accumulates in f32 — the AMP compute policy. The
+// widened scratch is pool-backed (a pool hit when warm) and as_f32 is the
+// identity for f32 inputs, so the fp32 path is untouched.
+Tensor matmul(const Tensor& a_in, const Tensor& b_in) {
+  const Tensor a = as_f32(a_in), b = as_f32(b_in);
   HFTA_CHECK(a.dim() == 2 && b.dim() == 2 && a.size(1) == b.size(0),
              "matmul: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
   Tensor c = Tensor::empty({a.size(0), b.size(1)});
@@ -133,7 +138,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+Tensor matmul_tn(const Tensor& a_in, const Tensor& b_in) {
+  const Tensor a = as_f32(a_in), b = as_f32(b_in);
   HFTA_CHECK(a.dim() == 2 && b.dim() == 2 && a.size(0) == b.size(0),
              "matmul_tn: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
   Tensor c = Tensor::empty({a.size(1), b.size(1)});
@@ -142,7 +148,8 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   return c;
 }
 
-Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+Tensor matmul_nt(const Tensor& a_in, const Tensor& b_in) {
+  const Tensor a = as_f32(a_in), b = as_f32(b_in);
   HFTA_CHECK(a.dim() == 2 && b.dim() == 2 && a.size(1) == b.size(1),
              "matmul_nt: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
   Tensor c = Tensor::empty({a.size(0), b.size(0)});
@@ -152,7 +159,8 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 }
 
 namespace {
-Tensor bmm_impl(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+Tensor bmm_impl(const Tensor& a_in, const Tensor& b_in, bool ta, bool tb) {
+  const Tensor a = as_f32(a_in), b = as_f32(b_in);
   HFTA_CHECK(a.dim() == 3 && b.dim() == 3 && a.size(0) == b.size(0),
              "bmm: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
   const int64_t B = a.size(0);

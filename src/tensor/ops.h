@@ -11,6 +11,20 @@
 
 namespace hfta::ops {
 
+// ---- dtype -----------------------------------------------------------------
+
+/// Converted copy at `dt` (RNE when narrowing; identity when dtype already
+/// matches). The autograd layer wraps this as ag::cast.
+inline Tensor cast(const Tensor& a, DType dt) { return a.to(dt); }
+
+/// Widens f16/bf16 to f32 (identity for f32 inputs). GEMM/conv kernels call
+/// this on every tensor operand at entry — that single choke point is what
+/// implements "fp32-accumulate from low-precision inputs" without teaching
+/// the inner loops about element types. The widened scratch comes from the
+/// pool (a pool hit when warm, not a heap allocation) and is acquired on the
+/// launching thread, before any parallel_for.
+inline Tensor as_f32(const Tensor& a) { return a.to(DType::kF32); }
+
 // ---- broadcasting ----------------------------------------------------------
 
 /// Broadcast result shape of a and b; throws on incompatibility.

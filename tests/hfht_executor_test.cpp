@@ -124,6 +124,29 @@ TEST(FusedExecutor, ReplayContinuesAcrossHyperbandRepack) {
   EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
 }
 
+TEST(FusedExecutor, AmpKeepsFusedVsSerialBitExactAcrossRepack) {
+  // Mixed precision must not cost the executor its core invariant: with
+  // amp=true the fused array AND each serial verification twin train under
+  // the same autocast dtype and the same shared loss scale, so the per-model
+  // trajectories still match bit for bit — including across Hyperband
+  // halving repacks (the scaler lives on the executor's TrainStep, which
+  // outlives every repack).
+  Hyperband hb(single_partition_space(), /*max_epochs_r=*/4, /*eta=*/2,
+               /*skip_last=*/0, /*seed=*/9);
+  FusedTrainingExecutor::Options o = tiny_options(/*verify=*/true);
+  o.amp = true;
+  o.amp_dtype = DType::kBF16;
+  FusedTrainingExecutor exec(Task::kPointNet, sim::v100(), o);
+  run_tuning(hb, exec);
+  EXPECT_TRUE(exec.train_step().amp_enabled());
+  EXPECT_GE(exec.arrays_repacked(), 2);
+  EXPECT_GT(exec.iterations_verified_after_repack(), 0);
+  // bf16's f32-sized exponent cannot overflow this workload: every step
+  // must have been taken (no silent skips hiding in the audit).
+  EXPECT_EQ(exec.train_step().stats().amp_overflow_skips, 0);
+  EXPECT_EQ(exec.max_fused_vs_serial_diff(), 0.0);
+}
+
 TEST(FusedExecutor, DuplicateSurvivorsRepackIntoDistinctSlots) {
   // Discrete choice lists make identical ParamSets possible; two surviving
   // copies of the same set must map to two distinct slots of the old array

@@ -1,7 +1,7 @@
 // The redesigned parallel runtime: Partition boundaries as a pure function
 // of problem size, exact-once coverage under dynamic chunk claiming, inline
-// nesting, the runtime thread-count override, the deprecated shim, and
-// bit-identical kernel results at every thread count.
+// nesting, the runtime thread-count override, and bit-identical kernel
+// results at every thread count.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -127,21 +127,6 @@ TEST_F(ParallelTest, SetNumThreadsRoundTripsAndClamps) {
     total.fetch_add(hi - lo, std::memory_order_relaxed);
   });
   EXPECT_EQ(total.load(), 5000);
-}
-
-TEST_F(ParallelTest, DeprecatedShimStillLaunches) {
-  // The grain-based surface survives one PR as a shim over Partition.
-  std::atomic<int64_t> total{0};
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  parallel_for(0, 1000,
-               FunctionRef<void(int64_t, int64_t)>(
-                   [&](int64_t lo, int64_t hi) {
-                     total.fetch_add(hi - lo, std::memory_order_relaxed);
-                   }),
-               16);
-#pragma GCC diagnostic pop
-  EXPECT_EQ(total.load(), 1000);
 }
 
 // Bitwise comparison helper: float vectors produced by the same math at
