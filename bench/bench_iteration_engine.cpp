@@ -32,7 +32,8 @@
 //                    cross-checks that the final training loss is
 //                    bit-identical at every thread count
 //   --amp            additionally measure the replay configuration under
-//                    bf16 autocast + dynamic loss scaling: AMP replay
+//                    f16 autocast + dynamic loss scaling (the paper's AMP
+//                    recipe; F16C gives hardware conversion): AMP replay
 //                    throughput per B (software-converted half on CPU —
 //                    the measured cost of the casts, not the tensor-core
 //                    win the sim prices), warm-step allocation counts
@@ -40,17 +41,20 @@
 //                    gap, and an exercised overflow-skip/backoff cycle
 //                    (init scale 2^130 overflows float, so the first
 //                    steps MUST skip and back off before training resumes)
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/op_counters.h"
+#include "core/vec.h"
 #include "core/parallel.h"
 #include "core/storage_pool.h"
 #include "hfta/fused_optim.h"
@@ -118,7 +122,7 @@ struct Measurement {
 constexpr int64_t kIn = 16, kHidden = 16, kClasses = 4, kN = 8, kDepth = 8;
 
 // One configuration: B fused models, `steps` timed iterations. With
-// amp=true the TrainStep runs bf16 autocast + loss scaling (engine/replay
+// amp=true the TrainStep runs f16 autocast + loss scaling (engine/replay
 // modes only — the pre-engine baseline has no TrainStep to scale).
 Measurement run_config(int64_t B, Mode mode, int steps, int warmup,
                        bool amp = false) {
@@ -143,7 +147,11 @@ Measurement run_config(int64_t B, Mode mode, int steps, int warmup,
 
   TrainStep step;
   if (mode == Mode::kReplay) step.enable_capture();
-  if (amp) step.enable_amp();
+  if (amp) {
+    TrainStep::AmpOptions ao;
+    ao.dtype = DType::kF16;
+    step.enable_amp(ao);
+  }
   auto loss_fn = [&] {
     ag::Variable logits = model.forward(
         ag::Variable(fused::pack_model_major(std::vector<Tensor>(B, x))));
@@ -286,6 +294,107 @@ struct AmpSummary {
   int64_t clean_skips = 0;      // skips in the normal run; should be 0
 };
 
+// Paired fp32-vs-AMP replay measurement: two identical configurations (one
+// fp32, one AMP) run ALTERNATING kBlock-step slices over the same wall-clock
+// window, and each side reports its median slice time. A hot loop's turbo
+// clock decays over a multi-second bench run, so two sequentially-measured
+// modes see different frequencies and their ratio measures the drift, not
+// the work; fine-grained alternation hands both modes the same frequency
+// profile, and medians shrug off scheduler spikes. AMP-side pool/node
+// counters accumulate across the AMP slices only (must both stay 0).
+struct AmpPairMeasurement {
+  double fp32_iters_per_sec;
+  double amp_iters_per_sec;
+  double amp_allocs_per_iter;
+  double amp_nodes_per_iter;
+};
+
+AmpPairMeasurement run_amp_pair(int64_t B, int total_steps, int warmup) {
+  StoragePool::Config cfg;
+  cfg.enabled = true;
+  StoragePool::instance().set_config(cfg);
+  StoragePool::instance().trim();
+  struct Side {
+    std::unique_ptr<FusedMlp> model;
+    std::unique_ptr<fused::FusedAdam> opt;
+    Tensor x, labels;
+    TrainStep step;
+    std::function<ag::Variable()> loss_fn;
+  };
+  Side sides[2];
+  for (int i = 0; i < 2; ++i) {
+    Side& s = sides[i];
+    Rng rng(1);
+    s.model =
+        std::make_unique<FusedMlp>(B, kIn, kHidden, kClasses, kDepth, rng);
+    s.opt = std::make_unique<fused::FusedAdam>(
+        fused::collect_fused_parameters(*s.model, B), B,
+        fused::FusedAdam::Options{.lr = {1e-3}});
+    Rng data_rng(2);
+    s.x = Tensor::randn({kN, kIn}, data_rng);
+    s.labels = Tensor({B, kN});
+    for (int64_t b = 0; b < B; ++b)
+      for (int64_t n = 0; n < kN; ++n)
+        s.labels.at({b, n}) = static_cast<float>(n % kClasses);
+    s.step.enable_capture();
+    if (i == 1) {
+      TrainStep::AmpOptions ao;
+      ao.dtype = DType::kF16;
+      s.step.enable_amp(ao);
+    }
+    Side* sp = &s;
+    s.loss_fn = [sp, B] {
+      ag::Variable logits = sp->model->forward(ag::Variable(
+          fused::pack_model_major(std::vector<Tensor>(B, sp->x))));
+      return fused::fused_cross_entropy(logits, sp->labels,
+                                        ag::Reduction::kMean);
+    };
+  }
+  auto iters = [&](int side, int n) {
+    for (int i = 0; i < n; ++i)
+      sides[side].step.run(*sides[side].opt, sides[side].loss_fn);
+  };
+  iters(0, warmup + 1);
+  iters(1, warmup + 1);
+
+  const int kBlock = 50;
+  const int rounds = std::max(1, total_steps / kBlock);
+  std::vector<double> t_fp32, t_amp;
+  uint64_t amp_allocs = 0, amp_nodes = 0;
+  // Alternating the slice order as well as the slices removes any
+  // within-round position bias (e.g. a turbo budget that decays over the
+  // round would otherwise always penalize whichever side runs second).
+  for (int r = 0; r < rounds; ++r) {
+    const int first = r % 2;
+    for (int s = 0; s < 2; ++s) {
+      const int side = s == 0 ? first : 1 - first;
+      const uint64_t a0 = StoragePool::instance().stats().heap_allocs;
+      const uint64_t n0 = counters::node_constructions();
+      const auto t0 = Clock::now();
+      iters(side, kBlock);
+      const auto t1 = Clock::now();
+      if (side == 1) {
+        amp_allocs += StoragePool::instance().stats().heap_allocs - a0;
+        amp_nodes += counters::node_constructions() - n0;
+        t_amp.push_back(std::chrono::duration<double>(t1 - t0).count());
+      } else {
+        t_fp32.push_back(std::chrono::duration<double>(t1 - t0).count());
+      }
+    }
+  }
+  std::sort(t_fp32.begin(), t_fp32.end());
+  std::sort(t_amp.begin(), t_amp.end());
+  const double med_fp32 = t_fp32[t_fp32.size() / 2];
+  const double med_amp = t_amp[t_amp.size() / 2];
+  StoragePool::instance().set_config(StoragePool::Config{});
+  StoragePool::instance().trim();
+  const double total_amp_steps = static_cast<double>(rounds) * kBlock;
+  return {static_cast<double>(kBlock) / med_fp32,
+          static_cast<double>(kBlock) / med_amp,
+          static_cast<double>(amp_allocs) / total_amp_steps,
+          static_cast<double>(amp_nodes) / total_amp_steps};
+}
+
 // Same configuration as final_loss_at_current_threads but trained under
 // AMP; also reports the scaler's skip counter.
 double amp_final_loss(int64_t B, int train_steps, double init_scale,
@@ -305,6 +414,7 @@ double amp_final_loss(int64_t B, int train_steps, double init_scale,
   TrainStep step;
   step.enable_capture();
   TrainStep::AmpOptions ao;
+  ao.dtype = DType::kF16;
   ao.scaler.init_scale = init_scale;
   step.enable_amp(ao);
   double last = 0.0;
@@ -333,8 +443,9 @@ void write_json(const char* path, int steps, const std::vector<Row>& rows,
     std::exit(1);
   }
   std::fprintf(f, "{\n  \"figure\": \"iteration_engine\",\n"
-               "  \"steps\": %d,\n  \"replay_vs_eager_max_diff\": %.2e,\n"
-               "  \"rows\": [\n", steps, audit_max_diff);
+               "  \"steps\": %d,\n  \"simd\": \"%s\",\n"
+               "  \"replay_vs_eager_max_diff\": %.2e,\n"
+               "  \"rows\": [\n", steps, vec::simd_name(), audit_max_diff);
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     std::fprintf(f,
@@ -371,7 +482,7 @@ void write_json(const char* path, int steps, const std::vector<Row>& rows,
   }
   std::fprintf(f, "  ]");
   if (amp != nullptr) {
-    std::fprintf(f, ",\n  \"amp\": {\n    \"dtype\": \"bf16\",\n"
+    std::fprintf(f, ",\n  \"amp\": {\n    \"dtype\": \"f16\",\n"
                  "    \"rows\": [\n");
     for (size_t i = 0; i < amp_rows.size(); ++i) {
       const AmpRow& r = amp_rows[i];
@@ -517,31 +628,33 @@ int main(int argc, char** argv) {
               "(must be 0.00e+00)\n", sweep_max_loss_diff);
 
   // Mixed precision: measured AMP replay next to the fp32 replay column.
-  // On CPU the half formats are software-converted, so this measures the
-  // COST of the casts (the sim's tables 8/10 price the tensor-core win);
-  // what must hold regardless of speed: zero allocations and zero node
-  // constructions per warm AMP step, and a real (reported) loss gap.
+  // f16 is the paper's AMP format and the one this host converts in
+  // hardware (F16C); even so, CPU AMP does strictly more work than fp32
+  // (quantize-on-pack + overflow scan with no half-precision FMA to pay
+  // for it), so the honest ceiling is parity — the sim's tables 8/10
+  // price the tensor-core win. What must hold regardless of speed: zero
+  // allocations and zero node constructions per warm AMP step, and a
+  // real (reported) loss gap.
   std::vector<AmpRow> amp_rows;
   AmpSummary amp_summary;
   if (amp) {
-    std::printf("\nmixed precision: bf16 autocast + dynamic loss scaling, "
+    std::printf("\nmixed precision: f16 autocast + dynamic loss scaling, "
                 "replay mode\n");
     std::printf("%-8s %16s %16s %9s %11s %10s\n", "models", "fp32 replay it/s",
                 "amp replay it/s", "vs fp32", "allocs/it", "nodes/it");
     for (size_t bi = 0; bi < rows.size(); ++bi) {
       const int64_t B = rows[bi].models;
-      Measurement best{0, 0, 0};
-      for (int r = 0; r < repeats; ++r) {
-        const Measurement m =
-            run_config(B, Mode::kReplay, steps, warmup, /*amp=*/true);
-        if (m.iters_per_sec > best.iters_per_sec) best = m;
-      }
-      const AmpRow ar{B, best.iters_per_sec, best.allocs_per_iter,
-                      best.nodes_per_iter,
-                      best.iters_per_sec / rows[bi].replay_iters_per_sec};
+      // Alternating-slice pairing (see run_amp_pair): the section-1 fp32
+      // numbers were taken minutes earlier at a different turbo/thermal
+      // state, and a ratio across that gap measures the host's frequency
+      // decay, not the cost of mixed precision.
+      const AmpPairMeasurement m = run_amp_pair(B, steps * repeats, warmup);
+      const AmpRow ar{B, m.amp_iters_per_sec, m.amp_allocs_per_iter,
+                      m.amp_nodes_per_iter,
+                      m.amp_iters_per_sec / m.fp32_iters_per_sec};
       amp_rows.push_back(ar);
       std::printf("%-8ld %16.1f %16.1f %8.2fx %11.2f %10.2f\n", ar.models,
-                  rows[bi].replay_iters_per_sec, ar.amp_replay_iters_per_sec,
+                  m.fp32_iters_per_sec, ar.amp_replay_iters_per_sec,
                   ar.vs_fp32_replay, ar.allocs_per_iter, ar.nodes_per_iter);
     }
     amp_summary.final_loss_fp32 =
@@ -552,7 +665,7 @@ int main(int argc, char** argv) {
     amp_summary.loss_gap =
         std::fabs(amp_summary.final_loss_amp - amp_summary.final_loss_fp32);
     std::printf("amp vs fp32 |final loss gap| at B=8 over 20 steps: %.2e "
-                "(bf16 quantization error — measured, not hidden; clean-run "
+                "(f16 quantization error — measured, not hidden; clean-run "
                 "overflow skips: %ld)\n",
                 amp_summary.loss_gap, amp_summary.clean_skips);
     // Overflow exercise: 2^130 overflows float, so the first steps MUST

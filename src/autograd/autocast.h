@@ -1,18 +1,24 @@
 // Autocast: scoped mixed-precision policy for the differentiable ops.
 //
 // Inside an AutocastGuard(kF16 / kBF16) scope, the GEMM/conv-class ops
-// (matmul, bmm, bmm_nt, baddbmm, linear, conv*, conv_transpose*) cast their
-// tensor operands — NOT their biases — to the autocast dtype before
-// computing. The kernels widen those operands back to f32 at entry and
-// accumulate in f32 (ops::as_f32), so the op class runs "fp32-accumulate
+// (matmul, bmm, bmm_nt, baddbmm, linear, conv*, conv_transpose*) round
+// their tensor operands — NOT their biases — to the autocast dtype before
+// computing, and accumulate in f32, so the op class runs "fp32-accumulate
 // from low-precision inputs". Everything else is untouched: elementwise and
 // pooling ops run native on the (f32) activations that GEMMs produce, and
-// reductions/losses stay f32. Gradients are ALWAYS f32 — the cast op's
+// reductions/losses stay f32. Gradients are ALWAYS f32.
+//
+// How the rounding happens differs by family. The GEMM family passes the
+// dtype as a quantize policy into ops::matmul et al., which round operands
+// to the half format INSIDE the pack loop (vec::PackType::kF32Q*) — no cast
+// tensors, no cast nodes, bit-identical to casting to 16-bit storage first
+// because both are defined by the same f32 -> half -> f32 round trip. The
+// conv family still materializes casts as recorded ops (ag::cast), whose
 // backward is the identity into the original f32 tensor.
 //
-// The casts are ordinary recorded ops (ag::cast), so a StepProgram captured
-// under autocast replays them as thunks; nothing about replay is
-// precision-special. TrainStep mixes the autocast state into its structural
+// Both formulations are capture/replay-safe: the GEMM family's policy rides
+// by value in the op closures, and the conv family's casts replay as
+// ordinary thunks. TrainStep mixes the autocast state into its structural
 // fingerprint, so toggling precision recaptures instead of replaying a
 // stale-precision program.
 //

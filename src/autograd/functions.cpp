@@ -195,10 +195,9 @@ Variable relu(const Variable& a) {
   auto fwd = [x] { return ops::relu(x); };
   return make_op("relu", fwd(), fwd, {a},
                  [x](const Tensor& gy) -> std::vector<Tensor> {
-                   Tensor m = ops::unary(x, [](float v) {
-                     return v > 0.f ? 1.f : 0.f;
-                   });
-                   return {ops::mul(gy, m)};
+                   // One-pass masked multiply (no materialized mask tensor);
+                   // bit-identical to mask-then-mul.
+                   return {ops::relu_backward(gy, x)};
                  });
 }
 
@@ -296,76 +295,96 @@ Variable gelu(const Variable& a) {
 
 // ---- matmul family -----------------------------------------------------------
 
-// The matmul/conv family applies the autocast policy to its tensor operands
-// (autocast_input is the identity outside an AutocastGuard scope); biases
-// stay f32. The underlying kernels widen half operands and accumulate f32.
+// The matmul family applies the autocast policy WITHOUT cast nodes: the
+// active dtype is captured by value as a per-operand quantize policy and the
+// packed GEMM quantizes those operands RNE during packing — bit-identical to
+// inserting ag::cast nodes (the kernels' quantize round-trip IS the cast
+// converters' composition) but with no cast tensors, no extra memory passes,
+// and two fewer graph nodes per GEMM. Biases stay f32, gradients stay f32
+// leaves, and the backward quantizes only the SAVED operand of each product
+// (the incoming gradient is f32, exactly as it was when the saved tensor
+// held the cast value). The policy rides inside the fwd/backward closures,
+// so a captured step program replays it with no autocast state involved.
+// The conv family (below) keeps the recorded-cast formulation.
 
-Variable matmul(const Variable& a_in, const Variable& b_in) {
-  const Variable a = autocast_input(a_in), b = autocast_input(b_in);
+namespace {
+// The quantize policy for GEMM operands under the ambient autocast scope:
+// the autocast dtype when active, kF32 (pack verbatim) otherwise.
+DType gemm_quantize_dtype() {
+  return autocast_enabled() ? autocast_dtype() : DType::kF32;
+}
+}  // namespace
+
+Variable matmul(const Variable& a, const Variable& b) {
+  const DType q = gemm_quantize_dtype();
   Tensor av = a.value(), bv = b.value();
-  auto fwd = [av, bv] { return ops::matmul(av, bv); };
+  auto fwd = [av, bv, q] { return ops::matmul(av, bv, q, q); };
   return make_op("matmul", fwd(), fwd, {a, b},
-                 [av, bv](const Tensor& gy) -> std::vector<Tensor> {
-                   return {ops::matmul_nt(gy, bv), ops::matmul_tn(av, gy)};
+                 [av, bv, q](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::matmul_nt(gy, bv, DType::kF32, q),
+                           ops::matmul_tn(av, gy, q, DType::kF32)};
                  });
 }
 
-Variable bmm(const Variable& a_in, const Variable& b_in) {
-  const Variable a = autocast_input(a_in), b = autocast_input(b_in);
+Variable bmm(const Variable& a, const Variable& b) {
+  const DType q = gemm_quantize_dtype();
   Tensor av = a.value(), bv = b.value();
-  auto fwd = [av, bv] { return ops::bmm(av, bv); };
+  auto fwd = [av, bv, q] { return ops::bmm(av, bv, q, q); };
   return make_op("bmm", fwd(), fwd, {a, b},
-                 [av, bv](const Tensor& gy) -> std::vector<Tensor> {
-                   return {ops::bmm_nt(gy, bv), ops::bmm_tn(av, gy)};
+                 [av, bv, q](const Tensor& gy) -> std::vector<Tensor> {
+                   return {ops::bmm_nt(gy, bv, DType::kF32, q),
+                           ops::bmm_tn(av, gy, q, DType::kF32)};
                  });
 }
 
-Variable bmm_nt(const Variable& a_in, const Variable& b_in) {
-  const Variable a = autocast_input(a_in), b = autocast_input(b_in);
+Variable bmm_nt(const Variable& a, const Variable& b) {
+  const DType q = gemm_quantize_dtype();
   Tensor av = a.value(), bv = b.value();
-  auto fwd = [av, bv] { return ops::bmm_nt(av, bv); };
+  auto fwd = [av, bv, q] { return ops::bmm_nt(av, bv, q, q); };
   return make_op("bmm_nt", fwd(), fwd, {a, b},
-                 [av, bv](const Tensor& gy) -> std::vector<Tensor> {
+                 [av, bv, q](const Tensor& gy) -> std::vector<Tensor> {
                    // y = a @ b^T: ga = gy @ b; gb = gy^T @ a.
-                   return {ops::bmm(gy, bv), ops::bmm_tn(gy, av)};
+                   return {ops::bmm(gy, bv, DType::kF32, q),
+                           ops::bmm_tn(gy, av, DType::kF32, q)};
                  });
 }
 
-Variable baddbmm(const Variable& bias, const Variable& a_in,
-                 const Variable& b_in) {
-  const Variable a = autocast_input(a_in), b = autocast_input(b_in);
+Variable baddbmm(const Variable& bias, const Variable& a,
+                 const Variable& b) {
+  const DType q = gemm_quantize_dtype();
   Tensor biasv = bias.value(), av = a.value(), bv = b.value();
   Shape sbias = bias.shape();
-  auto fwd = [biasv, av, bv] { return ops::baddbmm(biasv, av, bv); };
+  auto fwd = [biasv, av, bv, q] { return ops::baddbmm(biasv, av, bv, q, q); };
   return make_op("baddbmm", fwd(), fwd, {bias, a, b},
-                 [sbias, av, bv](const Tensor& gy) -> std::vector<Tensor> {
+                 [sbias, av, bv, q](const Tensor& gy) -> std::vector<Tensor> {
                    return {ops::reduce_to_shape(gy, sbias),
-                           ops::bmm_nt(gy, bv), ops::bmm_tn(av, gy)};
+                           ops::bmm_nt(gy, bv, DType::kF32, q),
+                           ops::bmm_tn(av, gy, q, DType::kF32)};
                  });
 }
 
-Variable linear(const Variable& x_in, const Variable& w_in,
+Variable linear(const Variable& x, const Variable& w,
                 const Variable& b) {
-  const Variable x = autocast_input(x_in), w = autocast_input(w_in);
+  const DType q = gemm_quantize_dtype();
   Tensor xv = x.value(), wv = w.value();
   Tensor bv = b.defined() ? b.value() : Tensor();
   const Shape x_shape = xv.shape();
   const int64_t in = wv.size(1);
   const int64_t out = wv.size(0);
   const int64_t rows = xv.numel() / in;
-  auto fwd = [xv, wv, bv] { return ops::linear_forward(xv, wv, bv); };
+  auto fwd = [xv, wv, bv, q] { return ops::linear_forward(xv, wv, bv, q, q); };
   Tensor y = fwd();
   std::vector<Variable> inputs = {x, w};
   if (b.defined()) inputs.push_back(b);
   const bool has_bias = b.defined();
   return make_op(
       "linear", y, fwd, std::move(inputs),
-      [xv, wv, x_shape, in, out, rows,
-       has_bias](const Tensor& gy) -> std::vector<Tensor> {
+      [xv, wv, x_shape, in, out, rows, has_bias,
+       q](const Tensor& gy) -> std::vector<Tensor> {
         Tensor gy2 = gy.reshape({rows, out});
         Tensor x2 = xv.reshape({rows, in});
-        Tensor gx = ops::matmul(gy2, wv).reshape(x_shape);
-        Tensor gw = ops::matmul_tn(gy2, x2);  // [out, in]
+        Tensor gx = ops::matmul(gy2, wv, DType::kF32, q).reshape(x_shape);
+        Tensor gw = ops::matmul_tn(gy2, x2, DType::kF32, q);  // [out, in]
         std::vector<Tensor> grads = {gx, gw};
         if (has_bias) grads.push_back(ops::sum(gy2, {0}, false));
         return grads;

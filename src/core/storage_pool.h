@@ -50,8 +50,11 @@
 namespace hfta {
 
 /// Header living inside every pooled allocation, directly in front of the
-/// float payload. alignas(16) keeps the payload 16-byte aligned.
-struct alignas(16) StorageBlock {
+/// float payload. alignas(64) keeps the payload cache-line / 64-byte aligned
+/// (sizeof(StorageBlock) rounds to a multiple of the alignment, so the
+/// payload at `this + 1` inherits it) — SIMD kernels may then use aligned
+/// 32-byte loads on pooled tensors and packed panels never straddle a line.
+struct alignas(64) StorageBlock {
   std::atomic<uint64_t> refs;
   int64_t capacity;  // payload floats (the bucket size)
   bool pooled;       // acquired while the pool was enabled

@@ -1,0 +1,241 @@
+// Portable SIMD kernel layer with fixed 8-wide virtual-lane semantics.
+//
+// Every kernel here is defined against a VIRTUAL vector machine: 8 f32 lanes,
+// correctly-rounded fma/sqrt/div, fixed partial-sum tree shapes, and fixed
+// cache-blocking constants. The AVX2/FMA/F16C backend implements that machine
+// with one instruction per op; the scalar backend emulates it lane by lane
+// with std::fma / std::sqrt (both correctly rounded, hence bit-identical to
+// the hardware instructions). Because lane width, blocking factors, and
+// reduction trees are SEMANTIC CONSTANTS — pure functions of the problem
+// size, never of ISA availability or thread count — the two backends produce
+// memcmp-identical results, which is what keeps the repo's fused-vs-serial /
+// replay-vs-eager / any-thread-count 0.00e+00 audits meaningful on top of a
+// vectorized build. `HFTA_SIMD=0` (env) or set_simd_enabled(false) forces the
+// scalar backend for A/B equality tests.
+//
+// Dispatch is by function-pointer table chosen once at first use:
+// AVX2+FMA+F16C when compiled in AND reported by the CPU AND not disabled,
+// scalar otherwise. All entry points take plain pointers, so no vector types
+// cross the TU boundary.
+//
+// Threading: vec::gemm launches its own parallel_for over row blocks (and
+// therefore must NOT be called from inside a parallel body without passing
+// `scratch` — see GemmArgs). All other kernels are range-based and
+// single-threaded by design: callers keep their own Partition loops and call
+// these on [lo, hi) slices, preserving the existing chunk decompositions.
+#pragma once
+
+#include <cstdint>
+
+namespace hfta::vec {
+
+// -- virtual-machine constants (semantic: changing any of these changes
+//    results; see DESIGN.md §11) ----------------------------------------------
+
+/// Virtual vector width in f32 lanes. Reduction strips and tails are defined
+/// in terms of this width on every backend.
+inline constexpr int kLanes = 8;
+/// GEMM microkernel rows (register tile height).
+inline constexpr int kMR = 6;
+/// GEMM microkernel columns (register tile width: two 8-lane vectors).
+inline constexpr int kNR = 16;
+/// GEMM k-panel depth (cache blocking). Panels beyond the first reload the
+/// fp32 partial C tile — an exact store/reload, so blocking is numerics-free.
+inline constexpr int64_t kKC = 256;
+
+// -- backend selection --------------------------------------------------------
+
+/// True when the vectorized backend is active (compiled in + CPU support +
+/// not disabled via HFTA_SIMD=0 / set_simd_enabled(false)).
+bool simd_active();
+/// "avx2" or "scalar" — for bench/JSON reporting.
+const char* simd_name();
+/// Force the backend at runtime (test hook for in-process A/B equality).
+/// Enabling is a no-op when the vectorized backend is unavailable; returns
+/// the backend that is actually active afterwards.
+bool set_simd_enabled(bool on);
+/// True when the AVX2 backend is compiled in and the CPU supports it
+/// (regardless of whether it is currently active).
+bool simd_available();
+
+// -- packed cache-blocked GEMM ------------------------------------------------
+
+/// Element type a GEMM operand is packed FROM. Half inputs are widened to
+/// f32 during packing (bit-identical to the scalar converters in
+/// core/half.h), which is what lets AMP matmuls skip the separate as_f32
+/// materialization pass entirely. The kF32Q* types quantize an f32 operand
+/// RNE to the half format and widen it back IN the pack loop — bit-identical
+/// to casting the tensor to 16-bit storage first and packing that (the
+/// round-trip through core/half.h is the definition both backends match), so
+/// autocast needs no materialized cast tensors at all.
+enum class PackType : uint8_t {
+  kF32 = 0,
+  kF16 = 1,
+  kBF16 = 2,
+  kF32QF16 = 3,
+  kF32QBF16 = 4,
+};
+
+/// C[m,n] = beta_term + alpha * A' @ B', where A' is a (logical, possibly
+/// transposed) m x k operand and B' is k x n. Accumulation semantics — the
+/// contract every backend implements identically: each C[i,j] is ONE
+/// k-ascending chain `acc = fma(alpha*a[i,p], b[p,j], acc)` seeded with
+/// beta_term (0 when beta == 0, C[i,j] when beta == 1, beta*C[i,j]
+/// otherwise). alpha is folded into the packed A panel (a single rounding,
+/// applied identically on every path).
+struct GemmArgs {
+  const void* a = nullptr;  // row-major [m,k], or [k,m] when trans_a
+  PackType a_type = PackType::kF32;
+  bool trans_a = false;
+  const void* b = nullptr;  // row-major [k,n], or [n,k] when trans_b
+  PackType b_type = PackType::kF32;
+  bool trans_b = false;
+  float* c = nullptr;  // row-major [m,n], always f32
+  int64_t m = 0, n = 0, k = 0;
+  float alpha = 1.f;
+  float beta = 0.f;
+  /// Packing scratch of >= gemm_scratch_floats(m,n,k) floats, or nullptr to
+  /// acquire one internally from the StoragePool. Callers inside a
+  /// parallel_for body MUST pass scratch hoisted on the launching thread
+  /// (DESIGN §10): the internal acquisition is only safe at top level.
+  float* scratch = nullptr;
+};
+
+/// Floats of packing scratch gemm() needs — a pure function of the problem
+/// size (A micro-panels + B panels for one k-panel).
+int64_t gemm_scratch_floats(int64_t m, int64_t n, int64_t k);
+
+void gemm(const GemmArgs& args);
+
+// -- range kernels (caller keeps its Partition loop) --------------------------
+
+enum class BinOp : uint8_t {
+  kAdd = 0,
+  kSub,
+  kMul,
+  kDiv,
+  kMax,      // (a > b) ? a : b  (NaN in either operand -> b)
+  kReluBwd,  // a * ((b > 0) ? 1 : 0) — gy masked by the relu input
+};
+void binary(BinOp op, const float* a, const float* b, float* o, int64_t n);
+
+enum class UnOp : uint8_t {
+  kRelu = 0,   // (x > 0) ? x : 0
+  kLeakyRelu,  // (x > 0) ? x : p0*x
+  kNeg,
+  kAbs,
+  kAddScalar,  // x + p0
+  kMulScalar,  // x * p0
+  kClamp,      // min(max(x, p0), p1) with (a<b)?a:b / (a>b)?a:b semantics
+};
+void unary(UnOp op, float p0, float p1, const float* a, float* o, int64_t n);
+
+/// o[i] += alpha * x[i] (separate mul + add, matching the scalar add_ loop).
+void axpy(float alpha, const float* x, float* o, int64_t n);
+
+/// o[i] = v.
+void fill(float v, float* o, int64_t n);
+
+/// Per-element Adam update, the exact expression shared by nn::Adam and
+/// fused::FusedAdam (all-float scalars; mul/add/div/sqrt only — no fma — so
+/// the vector and scalar paths are identical by IEEE exactness):
+///   g  = grad_scale * grad[i] + weight_decay * p[i]
+///   m' = beta1 * m[i] + (1 - beta1) * g
+///   v' = beta2 * v[i] + (1 - beta2) * g * g
+///   p[i] -= step_size * m' / (sqrt(v' * inv_bc2) + eps)
+/// grad_scale is AMP's 1/S folded into the step: a single f32 multiply, so
+/// the result is bit-identical to unscaling the gradient in memory first
+/// (store/reload is the identity) — and when grad_scale == 1 the multiply is
+/// skipped entirely, leaving the fp32 expression untouched.
+struct AdamArgs {
+  float weight_decay, beta1, one_minus_beta1, beta2, one_minus_beta2;
+  float step_size, inv_bc2, eps;
+  float grad_scale = 1.f;
+};
+void adam(const AdamArgs& s, float* p, const float* grad, float* m, float* v,
+          int64_t n);
+
+/// Per-element SGD(+momentum) update shared by nn::SGD and fused::FusedSGD
+/// (grad_scale as in AdamArgs):
+///   g = grad_scale * grad[i] + weight_decay * p[i]
+///   if has_momentum: buf[i] = momentum * buf[i] + g; g = buf[i]
+///   p[i] -= lr * g
+struct SgdArgs {
+  float lr, weight_decay, momentum;
+  float grad_scale = 1.f;
+};
+void sgd(const SgdArgs& s, float* p, const float* grad, float* buf /*nullable*/,
+         int64_t n);
+
+/// True iff every g[i] * inv_scale is finite — the AMP overflow check as a
+/// READ-ONLY scan (grads stay scaled in memory; the optimizer folds 1/S via
+/// grad_scale). Same multiply as the in-place unscale, so the verdict is
+/// identical to LossScaler::unscale_finite's on every input, and it is a
+/// pure OR over elements: order- and backend-independent.
+bool finite_scaled(const float* g, float inv_scale, int64_t n);
+
+// -- row reductions (fixed 8-lane strip + tree semantics) ---------------------
+//
+// A row of n elements at stride st is processed as ceil(n/8) strips: lane l
+// of strip s holds element (s*8 + l). Lane accumulators combine strips
+// element-wise; the final cross-lane reduce is the fixed tree
+// (0,4)(1,5)(2,6)(3,7) -> (0,2)(1,3) -> (0,1). Dead lanes in the tail strip
+// contribute the identity (-inf for max, 0 for sum). The same strip/tree
+// shape runs on both backends (and for any st), so results are bit-equal.
+
+/// Tree max of a row; empty rows return -inf.
+float row_max(const float* x, int64_t st, int64_t n);
+
+/// Tree sum of exp(x[i]-mx) over a row, using the shared polynomial exp
+/// (exp_approx below). When eout != nullptr, also stores each exp(x[i]-mx)
+/// to eout (same stride).
+float row_sumexp(const float* x, int64_t st, int64_t n, float mx, float* eout);
+
+/// The polynomial expf every backend uses inside row_sumexp (Cephes-style:
+/// clamped range reduction + degree-5 Horner in fma + exponent rebuild).
+/// Deterministic and identical across backends; differs from libm expf by a
+/// few ulp. Exposed for tests.
+float exp_approx(float x);
+
+/// dst[j] (+)= sum_r src[r*cols + j] for j in [0, cols): one ascending-r
+/// chain per column (lane), bit-equal to the scalar per-output loop.
+void col_sum(const float* src, float* dst, int64_t rows, int64_t cols,
+             bool accumulate);
+
+// -- batch dtype casts --------------------------------------------------------
+// Bit-identical to the scalar converters in core/half.h on EVERY input: the
+// F16C path canonicalizes NaNs to match the software converters (which drop
+// f16 payloads on narrowing and do not quiet on widening).
+
+void cast_f32_to_f16(const float* src, uint16_t* dst, int64_t n);
+void cast_f16_to_f32(const uint16_t* src, float* dst, int64_t n);
+void cast_f32_to_bf16(const float* src, uint16_t* dst, int64_t n);
+void cast_bf16_to_f32(const uint16_t* src, float* dst, int64_t n);
+
+// -- backend table (internal: implemented by vec_scalar.cpp / vec_avx2.cpp) ---
+
+struct VecOps {
+  void (*gemm)(const GemmArgs&, float* scratch);
+  void (*binary)(BinOp, const float*, const float*, float*, int64_t);
+  void (*unary)(UnOp, float, float, const float*, float*, int64_t);
+  void (*axpy)(float, const float*, float*, int64_t);
+  void (*fill)(float, float*, int64_t);
+  void (*adam)(const AdamArgs&, float*, const float*, float*, float*, int64_t);
+  void (*sgd)(const SgdArgs&, float*, const float*, float*, int64_t);
+  bool (*finite_scaled)(const float*, float, int64_t);
+  float (*row_max)(const float*, int64_t, int64_t);
+  float (*row_sumexp)(const float*, int64_t, int64_t, float, float*);
+  void (*col_sum)(const float*, float*, int64_t, int64_t, bool);
+  void (*cast_f32_to_f16)(const float*, uint16_t*, int64_t);
+  void (*cast_f16_to_f32)(const uint16_t*, float*, int64_t);
+  void (*cast_f32_to_bf16)(const float*, uint16_t*, int64_t);
+  void (*cast_bf16_to_f32)(const uint16_t*, float*, int64_t);
+};
+
+/// Always available.
+const VecOps* vec_scalar_ops();
+/// Table of the AVX2 backend, or nullptr when it was not compiled in. The
+/// caller (vec.cpp) is responsible for the runtime CPU check before use.
+const VecOps* vec_avx2_ops_table();
+
+}  // namespace hfta::vec

@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
+#include "core/vec.h"
+
 namespace hfta::fused {
+
+// The per-model update loops below call the shared per-element kernels in
+// core/vec — the same kernels nn::SGD / nn::Adam use — on each model's block
+// of the fused parameter array. One implementation of each update expression
+// keeps the fused step bit-equal to the B serial steps by construction.
 
 HyperVec select_hyper(const HyperVec& v, const std::vector<int64_t>& keep) {
   HyperVec out;
@@ -27,6 +35,24 @@ FusedOptimizer::FusedOptimizer(std::vector<FusedParam> params,
 
 void FusedOptimizer::zero_grad() {
   for (auto& p : params_) p.var.zero_grad();
+}
+
+void FusedOptimizer::step(double grad_scale) {
+  // Fallback for optimizers without a fused grad-scale path: unscale every
+  // gradient in place (the same single multiply the fused path folds into
+  // its update) and run the plain step. Chunks write disjoint elements, so
+  // the partition cannot change any bit.
+  const float gs = static_cast<float>(grad_scale);
+  for (auto& p : params_) {
+    if (!p.var.has_grad()) continue;
+    ag::Variable v = p.var;
+    float* pg = v.grad().data();
+    const int64_t n = v.grad().numel();
+    parallel_for(Partition::elems(n), [&](int64_t lo, int64_t hi) {
+      vec::unary(vec::UnOp::kMulScalar, gs, 0.f, pg + lo, pg + lo, hi - lo);
+    });
+  }
+  step();
 }
 
 HyperVec FusedOptimizer::expand(HyperVec v) const {
@@ -111,7 +137,7 @@ FusedSGD::FusedSGD(std::vector<FusedParam> params, int64_t array_size,
   momentum_buf_.resize(params_.size());
 }
 
-void FusedSGD::step() {
+void FusedSGD::step_impl(float grad_scale) {
   for (size_t i = 0; i < params_.size(); ++i) {
     FusedParam& fp = params_[i];
     if (!fp.var.has_grad()) continue;
@@ -122,23 +148,19 @@ void FusedSGD::step() {
     const bool has_momentum =
         std::any_of(momentum_.begin(), momentum_.end(),
                     [](double m) { return m != 0.0; });
-    const bool first = !buf.defined();
-    if (has_momentum && first) buf = Tensor::zeros(fp.var.shape());
+    // First step seeds buf = 0, so momentum*buf + g == g: the PyTorch
+    // first-step rule without a special case (mirrors nn::SGD).
+    if (has_momentum && !buf.defined()) buf = Tensor::zeros(fp.var.shape());
     float* pb = has_momentum ? buf.data() : nullptr;
     for (int64_t b = 0; b < array_size_; ++b) {
-      const float lr = static_cast<float>(lr_[static_cast<size_t>(b)]);
-      const float mom = static_cast<float>(momentum_[static_cast<size_t>(b)]);
-      const float wd =
-          static_cast<float>(weight_decay_[static_cast<size_t>(b)]);
-      for (int64_t j = b * block; j < (b + 1) * block; ++j) {
-        float g = pg[j] + wd * pp[j];
-        if (has_momentum) {
-          // PyTorch semantics: buf = g on the first step, else mom*buf + g.
-          pb[j] = first ? g : mom * pb[j] + g;
-          g = pb[j];
-        }
-        pp[j] -= lr * g;
-      }
+      const size_t ub = static_cast<size_t>(b);
+      vec::SgdArgs s;
+      s.lr = static_cast<float>(lr_[ub]);
+      s.momentum = static_cast<float>(momentum_[ub]);
+      s.weight_decay = static_cast<float>(weight_decay_[ub]);
+      s.grad_scale = grad_scale;
+      vec::sgd(s, pp + b * block, pg + b * block,
+               pb != nullptr ? pb + b * block : nullptr, block);
     }
   }
 }
@@ -171,7 +193,7 @@ FusedAdam::FusedAdam(std::vector<FusedParam> params, int64_t array_size,
   v_.resize(params_.size());
 }
 
-void FusedAdam::step() {
+void FusedAdam::step_impl(float grad_scale) {
   ++t_;
   for (size_t i = 0; i < params_.size(); ++i) {
     FusedParam& fp = params_[i];
@@ -187,21 +209,20 @@ void FusedAdam::step() {
     float* pv = v_[i].data();
     for (int64_t b = 0; b < array_size_; ++b) {
       const size_t ub = static_cast<size_t>(b);
-      const float b1 = static_cast<float>(beta1_[ub]);
-      const float b2 = static_cast<float>(beta2_[ub]);
-      const float eps = static_cast<float>(eps_[ub]);
-      const float wd = static_cast<float>(weight_decay_[ub]);
       const double bc1 = 1.0 - std::pow(beta1_[ub], static_cast<double>(t_));
       const double bc2 = 1.0 - std::pow(beta2_[ub], static_cast<double>(t_));
-      const float step_size = static_cast<float>(lr_[ub] / bc1);
-      const float inv_bc2 = static_cast<float>(1.0 / bc2);
-      for (int64_t j = b * block; j < (b + 1) * block; ++j) {
-        const float g = pg[j] + wd * pp[j];
-        pm[j] = b1 * pm[j] + (1.f - b1) * g;
-        pv[j] = b2 * pv[j] + (1.f - b2) * g * g;
-        const float vhat = pv[j] * inv_bc2;
-        pp[j] -= step_size * pm[j] / (std::sqrt(vhat) + eps);
-      }
+      vec::AdamArgs s;
+      s.weight_decay = static_cast<float>(weight_decay_[ub]);
+      s.beta1 = static_cast<float>(beta1_[ub]);
+      s.one_minus_beta1 = 1.f - s.beta1;
+      s.beta2 = static_cast<float>(beta2_[ub]);
+      s.one_minus_beta2 = 1.f - s.beta2;
+      s.step_size = static_cast<float>(lr_[ub] / bc1);
+      s.inv_bc2 = static_cast<float>(1.0 / bc2);
+      s.eps = static_cast<float>(eps_[ub]);
+      s.grad_scale = grad_scale;
+      vec::adam(s, pp + b * block, pg + b * block, pm + b * block,
+                pv + b * block, block);
     }
   }
 }

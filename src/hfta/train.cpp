@@ -1,6 +1,10 @@
 #include "hfta/train.h"
 
+#include <atomic>
+
 #include "core/check.h"
+#include "core/parallel.h"
+#include "core/vec.h"
 
 namespace hfta {
 
@@ -201,8 +205,13 @@ void TrainStep::enable_amp(const AmpOptions& opts) {
 }
 
 void TrainStep::refresh_amp_seed() {
+  // The scale only moves on overflow or growth-interval events, so most
+  // steps the seed already holds the right value and the fill is skipped.
+  const float s = static_cast<float>(scaler_.scale());
+  if (amp_seed_.defined() && amp_seed_value_ == s) return;
   if (!amp_seed_.defined()) amp_seed_ = Tensor::empty({});
-  amp_seed_.fill_(static_cast<float>(scaler_.scale()));
+  amp_seed_.fill_(s);
+  amp_seed_value_ = s;
 }
 
 Tensor TrainStep::backward_seed() {
@@ -211,22 +220,42 @@ Tensor TrainStep::backward_seed() {
   return amp_seed_;
 }
 
-bool TrainStep::unscale_grads(fused::FusedOptimizer& opt) {
-  const double inv = 1.0 / scaler_.scale();
+namespace {
+
+// Read-only finiteness scan of one gradient: the same 1/S multiply the old
+// in-place unscale performed, but only the verdict survives (the buffer is
+// untouched — zero_grad wipes it next iteration anyway). The verdict is an
+// OR over elements, so neither the partition nor the lane schedule can
+// change it.
+bool grad_finite_scaled(const Tensor& grad, float inv) {
+  const float* p = grad.data();
+  const int64_t n = grad.numel();
+  std::atomic<bool> found_inf{false};
+  parallel_for(Partition::elems(n), [&](int64_t lo, int64_t hi) {
+    if (!vec::finite_scaled(p + lo, inv, hi - lo))
+      found_inf.store(true, std::memory_order_relaxed);
+  });
+  return !found_inf.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool TrainStep::grads_finite(fused::FusedOptimizer& opt, double inv_scale) {
+  const float inv = static_cast<float>(inv_scale);
   bool finite = true;
   for (const fused::FusedParam& p : opt.fused_params()) {
     ag::Variable v = p.var;  // shared impl — grad() is the live gradient
-    finite &= fused::LossScaler::unscale_finite(v.grad(), inv);
+    finite &= grad_finite_scaled(v.grad(), inv);
   }
   return finite;
 }
 
-bool TrainStep::unscale_grads(nn::Optimizer& opt) {
-  const double inv = 1.0 / scaler_.scale();
+bool TrainStep::grads_finite(nn::Optimizer& opt, double inv_scale) {
+  const float inv = static_cast<float>(inv_scale);
   bool finite = true;
   for (const ag::Variable& p : opt.params()) {
     ag::Variable v = p;
-    finite &= fused::LossScaler::unscale_finite(v.grad(), inv);
+    finite &= grad_finite_scaled(v.grad(), inv);
   }
   return finite;
 }
@@ -237,11 +266,14 @@ void TrainStep::amp_step(Opt& opt) {
     opt.step();
     return;
   }
-  // Unscale every gradient (no short-circuit: leave a fully-unscaled,
-  // consistent state even on overflow) and step only when all are finite.
-  const bool finite = unscale_grads(opt);
+  // Scan every gradient (no short-circuit: the scan is the only pass that
+  // touches them, and a consistent verdict costs one read). When clean, the
+  // optimizer folds 1/S into its gradient reads — same bits as unscaling
+  // the buffers first, one fewer memory pass per parameter.
+  const double inv = 1.0 / scaler_.scale();
+  const bool finite = grads_finite(opt, inv);
   if (finite) {
-    opt.step();
+    opt.step(inv);
   } else {
     ++stats_.amp_overflow_skips;
   }

@@ -83,11 +83,13 @@ class TrainStep {
   // accumulate f32; see autograd/autocast.h) and apply dynamic loss
   // scaling through the backward SEED: seeding backward with the scale S
   // computes d(S*L)/dw without touching the loss value that run() returns.
-  // Before the optimizer step, every gradient is unscaled in place (x 1/S,
-  // allocation-free) while being checked for inf/nan; a non-finite
-  // gradient skips the step and backs the scale off. Scales stay powers of
-  // two, so scale/unscale are exact exponent shifts and fused-vs-serial
-  // bit-exactness survives.
+  // Before the optimizer step, every gradient is scanned READ-ONLY for
+  // inf/nan after the 1/S multiply (allocation-free); when all are finite
+  // the optimizer folds 1/S into its update via step(grad_scale) — bit-
+  // identical to unscaling the buffers first, with one fewer memory pass.
+  // A non-finite gradient skips the step and backs the scale off. Scales
+  // stay powers of two, so scale/unscale are exact exponent shifts and
+  // fused-vs-serial bit-exactness survives.
   //
   // Capture/replay compatible: casts are recorded ops, the captured
   // BackwardTape's seed SHARES the persistent seed tensor's storage (a
@@ -185,12 +187,14 @@ class TrainStep {
   /// The seed for this step's backward: the refreshed scale tensor under
   /// AMP, undefined (seed-with-ones) otherwise.
   Tensor backward_seed();
-  /// Unscales every gradient in place; false if any element was inf/nan.
-  bool unscale_grads(fused::FusedOptimizer& opt);
-  bool unscale_grads(nn::Optimizer& opt);
-  /// The optimizer step under the AMP contract: unscale + finiteness check
-  /// first, skip + backoff on overflow, scaler update either way. Plain
-  /// opt.step() when AMP is off.
+  /// Read-only scan: true iff every gradient element times inv_scale is
+  /// finite (the grads themselves are left scaled — the optimizer applies
+  /// 1/S via step(grad_scale)).
+  bool grads_finite(fused::FusedOptimizer& opt, double inv_scale);
+  bool grads_finite(nn::Optimizer& opt, double inv_scale);
+  /// The optimizer step under the AMP contract: finiteness scan first,
+  /// step(1/S) when clean, skip + backoff on overflow, scaler update either
+  /// way. Plain opt.step() when AMP is off.
   template <typename Opt>
   void amp_step(Opt& opt);
 
@@ -204,6 +208,7 @@ class TrainStep {
   DType amp_dtype_ = DType::kBF16;
   fused::LossScaler scaler_;
   Tensor amp_seed_;  // persistent scalar; every captured tape shares it
+  float amp_seed_value_ = 0.f;  // last value written; skips redundant fills
 };
 
 /// Drives a TrainStep over a fixed number of iterations with epoch

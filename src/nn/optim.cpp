@@ -2,10 +2,36 @@
 
 #include <cmath>
 
+#include "core/parallel.h"
+#include "core/vec.h"
+
 namespace hfta::nn {
+
+// The serial optimizers and their fused counterparts (hfta/fused_optim.cpp)
+// share the per-element update kernels in core/vec — ONE implementation of
+// each update expression, so fused-vs-serial bit-equality of the optimizer
+// step is true by construction rather than by keeping two scalar loops in
+// sync by hand. The kernels also read grads in place (no clone), dropping a
+// per-step allocation per parameter.
 
 void Optimizer::zero_grad() {
   for (auto& p : params_) p.zero_grad();
+}
+
+void Optimizer::step(double grad_scale) {
+  // Fallback for optimizers without a fused grad-scale path: unscale every
+  // gradient in place (the same single multiply the fused path folds into
+  // its update) and run the plain step.
+  const float gs = static_cast<float>(grad_scale);
+  for (auto& p : params_) {
+    if (!p.has_grad()) continue;
+    float* pg = p.grad().data();
+    const int64_t n = p.grad().numel();
+    parallel_for(Partition::elems(n), [&](int64_t lo, int64_t hi) {
+      vec::unary(vec::UnOp::kMulScalar, gs, 0.f, pg + lo, pg + lo, hi - lo);
+    });
+  }
+  step();
 }
 
 SGD::SGD(std::vector<ag::Variable> params, Options opt)
@@ -13,24 +39,22 @@ SGD::SGD(std::vector<ag::Variable> params, Options opt)
   momentum_buf_.resize(params_.size());
 }
 
-void SGD::step() {
+void SGD::step_impl(float grad_scale) {
+  vec::SgdArgs s;
+  s.lr = static_cast<float>(opt_.lr);
+  s.weight_decay = static_cast<float>(opt_.weight_decay);
+  s.momentum = static_cast<float>(opt_.momentum);
+  s.grad_scale = grad_scale;
+  const bool has_momentum = opt_.momentum != 0.0;
   for (size_t i = 0; i < params_.size(); ++i) {
     ag::Variable& p = params_[i];
     if (!p.has_grad()) continue;
-    Tensor g = p.grad().clone();
-    if (opt_.weight_decay != 0.0)
-      g.add_(p.value(), static_cast<float>(opt_.weight_decay));
-    if (opt_.momentum != 0.0) {
-      Tensor& buf = momentum_buf_[i];
-      if (!buf.defined()) {
-        buf = g.clone();
-      } else {
-        buf.mul_(static_cast<float>(opt_.momentum));
-        buf.add_(g);
-      }
-      g = buf;
-    }
-    p.mutable_value().add_(g, static_cast<float>(-opt_.lr));
+    // First step seeds buf = 0, so momentum*buf + g == g: the PyTorch
+    // first-step rule without a special case.
+    if (has_momentum && !momentum_buf_[i].defined())
+      momentum_buf_[i] = Tensor::zeros(p.shape());
+    vec::sgd(s, p.mutable_value().data(), p.grad().data(),
+             has_momentum ? momentum_buf_[i].data() : nullptr, p.numel());
   }
 }
 
@@ -40,36 +64,29 @@ Adam::Adam(std::vector<ag::Variable> params, Options opt)
   v_.resize(params_.size());
 }
 
-void Adam::step() {
+void Adam::step_impl(float grad_scale) {
   ++t_;
   const double bc1 = 1.0 - std::pow(opt_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(opt_.beta2, static_cast<double>(t_));
+  vec::AdamArgs s;
+  s.weight_decay = static_cast<float>(opt_.weight_decay);
+  s.beta1 = static_cast<float>(opt_.beta1);
+  s.one_minus_beta1 = 1.f - s.beta1;
+  s.beta2 = static_cast<float>(opt_.beta2);
+  s.one_minus_beta2 = 1.f - s.beta2;
+  s.step_size = static_cast<float>(opt_.lr / bc1);
+  s.inv_bc2 = static_cast<float>(1.0 / bc2);
+  s.eps = static_cast<float>(opt_.eps);
+  s.grad_scale = grad_scale;
   for (size_t i = 0; i < params_.size(); ++i) {
     ag::Variable& p = params_[i];
     if (!p.has_grad()) continue;
-    const Tensor& g0 = p.grad();
-    Tensor g = g0.clone();
-    if (opt_.weight_decay != 0.0)
-      g.add_(p.value(), static_cast<float>(opt_.weight_decay));
     if (!m_[i].defined()) {
       m_[i] = Tensor::zeros(p.shape());
       v_[i] = Tensor::zeros(p.shape());
     }
-    float* pm = m_[i].data();
-    float* pv = v_[i].data();
-    float* pp = p.mutable_value().data();
-    const float* pg = g.data();
-    const float b1 = static_cast<float>(opt_.beta1);
-    const float b2 = static_cast<float>(opt_.beta2);
-    const float eps = static_cast<float>(opt_.eps);
-    const float step_size = static_cast<float>(opt_.lr / bc1);
-    const float inv_bc2 = static_cast<float>(1.0 / bc2);
-    for (int64_t j = 0; j < p.numel(); ++j) {
-      pm[j] = b1 * pm[j] + (1.f - b1) * pg[j];
-      pv[j] = b2 * pv[j] + (1.f - b2) * pg[j] * pg[j];
-      const float vhat = pv[j] * inv_bc2;
-      pp[j] -= step_size * pm[j] / (std::sqrt(vhat) + eps);
-    }
+    vec::adam(s, p.mutable_value().data(), p.grad().data(), m_[i].data(),
+              v_[i].data(), p.numel());
   }
 }
 

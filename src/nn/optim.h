@@ -16,6 +16,12 @@ class Optimizer {
   virtual ~Optimizer() = default;
 
   virtual void step() = 0;
+  /// AMP step: folds grad_scale (1/S) into every gradient read instead of
+  /// unscaling the buffers first — bit-identical (one f32 multiply either
+  /// way), but gradients stay scaled in memory. The base implementation
+  /// unscales in place and calls step(), for optimizers without a fused
+  /// grad-scale path (Adadelta).
+  virtual void step(double grad_scale);
   void zero_grad();
 
   /// Scalar learning rate (schedulers call set_lr).
@@ -36,11 +42,15 @@ class SGD : public Optimizer {
     double weight_decay = 0.0;
   };
   SGD(std::vector<ag::Variable> params, Options opt);
-  void step() override;
+  void step() override { step_impl(1.f); }
+  void step(double grad_scale) override {
+    step_impl(static_cast<float>(grad_scale));
+  }
   double lr() const override { return opt_.lr; }
   void set_lr(double lr) override { opt_.lr = lr; }
 
  private:
+  void step_impl(float grad_scale);
   Options opt_;
   std::vector<Tensor> momentum_buf_;
 };
@@ -55,11 +65,15 @@ class Adam : public Optimizer {
     double weight_decay = 0.0;
   };
   Adam(std::vector<ag::Variable> params, Options opt);
-  void step() override;
+  void step() override { step_impl(1.f); }
+  void step(double grad_scale) override {
+    step_impl(static_cast<float>(grad_scale));
+  }
   double lr() const override { return opt_.lr; }
   void set_lr(double lr) override { opt_.lr = lr; }
 
  private:
+  void step_impl(float grad_scale);
   Options opt_;
   std::vector<Tensor> m_, v_;
   int64_t t_ = 0;
@@ -74,6 +88,7 @@ class Adadelta : public Optimizer {
     double weight_decay = 0.0;
   };
   Adadelta(std::vector<ag::Variable> params, Options opt);
+  using Optimizer::step;  // keep the grad_scale fallback visible
   void step() override;
   double lr() const override { return opt_.lr; }
   void set_lr(double lr) override { opt_.lr = lr; }

@@ -5,6 +5,7 @@
 
 #include "core/parallel.h"
 #include "core/storage_pool.h"
+#include "core/vec.h"
 #include "tensor/matmul.h"
 #include "tensor/ops.h"
 
@@ -121,15 +122,18 @@ Tensor conv2d(const Tensor& x_in, const Tensor& w_in, const Tensor& b,
   const float* pb = b.defined() ? b.data() : nullptr;
   float* py = y.data();
 
-  // One im2col slab for the whole launch, acquired on the launching thread
-  // (a chunk's scratch lives at its chunk index); pool traffic from inside
-  // the body would make warm-pool state depend on chunk->lane scheduling.
+  // One im2col + gemm-packing slab for the whole launch, acquired on the
+  // launching thread (a chunk's scratch lives at its chunk index); pool
+  // traffic from inside the body would make warm-pool state depend on
+  // chunk->lane scheduling.
   const Partition part = Partition::rows(d.N);
-  const int64_t scratch = col_rows * spatial;
+  const int64_t gemm_fl = gemm_scratch_floats(d.Coutg, spatial, col_rows);
+  const int64_t scratch = col_rows * spatial + gemm_fl;
   PooledBuffer cols_all(part.num_chunks() * scratch);
   float* pcols = cols_all.data();
   parallel_for(part, [&](int64_t lo, int64_t hi) {
     float* cols = pcols + part.chunk_index(lo) * scratch;
+    float* gs = cols + col_rows * spatial;
     for (int64_t n = lo; n < hi; ++n) {
       for (int64_t g = 0; g < a.groups; ++g) {
         const float* xg = px + (n * d.Cin + g * d.Cing) * d.H * d.W;
@@ -138,12 +142,12 @@ Tensor conv2d(const Tensor& x_in, const Tensor& w_in, const Tensor& b,
         float* yg = py + (n * d.Cout + g * d.Coutg) * spatial;
         // [Coutg, col_rows] @ [col_rows, spatial]
         gemm(pw + g * d.Coutg * col_rows, cols, yg, d.Coutg, spatial,
-             col_rows, false, false);
+             col_rows, false, false, 1.f, 0.f, gs);
         if (pb) {
           for (int64_t c = 0; c < d.Coutg; ++c) {
-            const float bv = pb[g * d.Coutg + c];
             float* row = yg + c * spatial;
-            for (int64_t s = 0; s < spatial; ++s) row[s] += bv;
+            vec::unary(vec::UnOp::kAddScalar, pb[g * d.Coutg + c], 0.f, row,
+                       row, spatial);
           }
         }
       }
@@ -166,32 +170,24 @@ Tensor conv2d_grad_input(const Tensor& gy_in, const Tensor& w_in,
   const float* pw = w.data();
   float* pgx = gx.data();
 
-  // All scratch is acquired here, on the launching thread: the im2col slab
-  // (per-chunk slots) and each group's transposed weight slice — gemm's TN
-  // path would otherwise acquire transpose scratch per (n, g) from inside
-  // the parallel body, parking buffers on whichever lane ran the chunk.
+  // All scratch is acquired here, on the launching thread: per-chunk slots
+  // holding the im2col slab plus the gemm packing area. The weight transpose
+  // is absorbed by the packed kernel's TN path (pack_a transposes while
+  // packing) — the old materialized W^T slab is gone.
   const Partition part = Partition::rows(d.N);
-  const int64_t scratch = col_rows * spatial;
+  const int64_t gemm_fl = gemm_scratch_floats(col_rows, spatial, d.Coutg);
+  const int64_t scratch = col_rows * spatial + gemm_fl;
   PooledBuffer cols_all(part.num_chunks() * scratch);
   float* pcols = cols_all.data();
-  PooledBuffer wt(a.groups * d.Coutg * col_rows);
-  for (int64_t g = 0; g < a.groups; ++g) {
-    const float* wg = pw + g * d.Coutg * col_rows;
-    float* dst = wt.data() + g * col_rows * d.Coutg;
-    // wg is stored [Coutg, col_rows]; materialize [col_rows, Coutg].
-    for (int64_t r = 0; r < d.Coutg; ++r)
-      for (int64_t c = 0; c < col_rows; ++c)
-        dst[c * d.Coutg + r] = wg[r * col_rows + c];
-  }
-  const float* pwt = wt.data();
   parallel_for(part, [&](int64_t lo, int64_t hi) {
     float* cols = pcols + part.chunk_index(lo) * scratch;
+    float* gs = cols + col_rows * spatial;
     for (int64_t n = lo; n < hi; ++n) {
       for (int64_t g = 0; g < a.groups; ++g) {
         const float* gyg = pgy + (n * d.Cout + g * d.Coutg) * spatial;
         // cols = Wg^T [col_rows, Coutg] @ gy [Coutg, spatial]
-        gemm(pwt + g * col_rows * d.Coutg, gyg, cols, col_rows, spatial,
-             d.Coutg, false, false);
+        gemm(pw + g * d.Coutg * col_rows, gyg, cols, col_rows, spatial,
+             d.Coutg, true, false, 1.f, 0.f, gs);
         float* xg = pgx + (n * d.Cin + g * d.Cing) * d.H * d.W;
         col2im(cols, d.Cing, d.H, d.W, d.kh, d.kw, a.stride_h,
                a.stride_w, a.pad_h, a.pad_w, d.Ho, d.Wo, xg);
@@ -215,15 +211,16 @@ Tensor conv2d_grad_weight(const Tensor& gy_in, const Tensor& x_in,
   // Parallel over groups (race-free: each group owns a weight slice); fused
   // workloads have many groups. For groups == 1 the inner GEMM itself is the
   // dominant cost and still benefits from vectorization.
-  // Per-chunk im2col slots acquired up front on the launching thread (no
-  // pool traffic inside the body; the inner gemm's NT path needs no
-  // transpose scratch).
+  // Per-chunk slots (im2col slab + gemm packing area) acquired up front on
+  // the launching thread — no pool traffic inside the body.
   const Partition part = Partition::rows(a.groups);
-  const int64_t scratch = col_rows * spatial;
+  const int64_t gemm_fl = gemm_scratch_floats(d.Coutg, col_rows, spatial);
+  const int64_t scratch = col_rows * spatial + gemm_fl;
   PooledBuffer cols_all(part.num_chunks() * scratch);
   float* pcols = cols_all.data();
   parallel_for(part, [&](int64_t glo, int64_t ghi) {
     float* cols = pcols + part.chunk_index(glo) * scratch;
+    float* gs = cols + col_rows * spatial;
     for (int64_t g = glo; g < ghi; ++g) {
       float* gwg = pgw + g * d.Coutg * col_rows;
       for (int64_t n = 0; n < d.N; ++n) {
@@ -233,7 +230,7 @@ Tensor conv2d_grad_weight(const Tensor& gy_in, const Tensor& x_in,
         const float* gyg = pgy + (n * d.Cout + g * d.Coutg) * spatial;
         // gW += gy [Coutg, spatial] @ cols^T [spatial, col_rows]
         gemm(gyg, cols, gwg, d.Coutg, col_rows, spatial, false, true,
-             1.f, 1.f);
+             1.f, 1.f, gs);
       }
     }
   });

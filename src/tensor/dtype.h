@@ -15,6 +15,8 @@
 
 #include <cstdint>
 
+#include "core/half.h"
+
 namespace hfta {
 
 enum class DType : uint8_t {
@@ -28,15 +30,9 @@ const char* dtype_name(DType d);
 /// Bytes per element.
 constexpr int64_t dtype_size(DType d) { return d == DType::kF32 ? 4 : 2; }
 
-// -- scalar converters (round-to-nearest-even) --------------------------------
-// Half -> f32 directions are exact (every f16/bf16 value is representable in
-// f32); f32 -> half directions round to nearest, ties to even, with correct
-// overflow-to-inf, subnormal, and NaN quieting behavior.
-
-uint16_t f32_to_f16_bits(float f);
-float f16_bits_to_f32(uint16_t h);
-uint16_t f32_to_bf16_bits(float f);
-float bf16_bits_to_f32(uint16_t h);
+// The scalar converters (f32_to_f16_bits etc.) live in core/half.h — they
+// are the reference semantics for the vectorized cast kernels in core/vec_*
+// and are re-exported here for existing callers.
 
 /// Scalar round-trip through `dt` (f32 for kF32): the value an f32 number
 /// becomes after being stored at that precision.
@@ -44,7 +40,8 @@ float quantize_to(float f, DType dt);
 
 // -- batch converters ---------------------------------------------------------
 // Parallel over output elements (independent coordinates — deterministic at
-// any thread count). `dt` selects the 16-bit format and must not be kF32.
+// any thread count), vectorized per chunk through core/vec. `dt` selects the
+// 16-bit format and must not be kF32.
 
 void convert_f32_to_half(const float* src, uint16_t* dst, int64_t n, DType dt);
 void convert_half_to_f32(const uint16_t* src, float* dst, int64_t n, DType dt);

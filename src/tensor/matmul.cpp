@@ -1,166 +1,123 @@
 #include "tensor/matmul.h"
 
-#include <cstring>
-
-#include "core/storage_pool.h"
-
 #include "core/parallel.h"
+#include "core/storage_pool.h"
+#include "core/vec.h"
 #include "tensor/ops.h"
 
 namespace hfta::ops {
 
+// Every GEMM variant in the repo — matmul / matmul_tn / matmul_nt, the bmm
+// family, and the raw gemm the conv kernels drive — lowers onto the ONE
+// packed cache-blocked kernel in core/vec: transposes are absorbed by the
+// packing (no materialized transpose-copies anywhere), and each output
+// element is a single k-ascending fma chain seeded with its beta term. The
+// plain layers reduce through exactly the same kernel as their fused
+// counterparts, which is what keeps fused training bit-equal to the B
+// serial runs (integration_test) — previously that took two hand-matched
+// scalar kernels (gemm_nn / gemm_nt); now it is true by construction.
+//
+// Half-precision operands are packed DIRECTLY from their 16-bit storage
+// (widened in the pack loop, bit-identical to ops::as_f32 + pack), and an
+// f32 operand with a quantize policy (qa/qb) is quantized RNE to the half
+// format inside the pack loop (bit-identical to casting it to 16-bit
+// storage first): the AMP path runs with no cast tensors and no separate
+// widening pass at all, while still accumulating in f32.
+
 namespace {
 
-// Core row-parallel kernel: C[M,N] = alpha * A@B (+ beta*C), A row-major
-// [M,K], B row-major [K,N]. i-k-j loop order keeps the inner loop
-// unit-stride over both B and C so the compiler can vectorize it.
-void gemm_nn(const float* a, const float* b, float* c, int64_t m, int64_t n,
-             int64_t k, float alpha, float beta) {
-  parallel_for(Partition::rows(m), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      float* crow = c + i * n;
-      if (beta == 0.f) {
-        std::memset(crow, 0, sizeof(float) * static_cast<size_t>(n));
-      } else if (beta != 1.f) {
-        for (int64_t j = 0; j < n; ++j) crow[j] *= beta;
+vec::PackType pack_type(DType d, DType q) {
+  switch (d) {
+    case DType::kF16: return vec::PackType::kF16;
+    case DType::kBF16: return vec::PackType::kBF16;
+    default:
+      // f32 storage: the policy decides whether the pack loop quantizes.
+      switch (q) {
+        case DType::kF16: return vec::PackType::kF32QF16;
+        case DType::kBF16: return vec::PackType::kF32QBF16;
+        default: return vec::PackType::kF32;
       }
-      const float* arow = a + i * k;
-      for (int64_t p = 0; p < k; ++p) {
-        const float av = alpha * arow[p];
-        if (av == 0.f) continue;
-        const float* brow = b + p * n;
-        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
-  });
+  }
 }
 
-// NT kernel: C[M,N] = alpha * A @ B^T (+ beta*C), A row-major [M,K],
-// B row-major [N,K]. Rows of A and B are both unit-stride, so the dot
-// products need no materialized transpose — this is the common case
-// (linear_forward, attention scores, bmm_nt), where the O(KN) copy and its
-// cache-cold column walk actually show up.
-//
-// CAUTION: each dot product must accumulate exactly like gemm_nn (start
-// from beta*C, then add (alpha*a[p])*b[p] for p ascending in ONE chain,
-// skipping av == 0). The plain layers reduce over k through this kernel
-// while their fused counterparts reduce through gemm_nn; keeping the float
-// summation order identical is what makes fused training bit-equal to the
-// B serial runs (integration_test). Speed comes from four independent
-// column chains per pass, not from splitting the reduction.
-void gemm_nt(const float* a, const float* b, float* c, int64_t m, int64_t n,
-             int64_t k, float alpha, float beta) {
-  parallel_for(Partition::rows(m), [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float* arow = a + i * k;
-      float* crow = c + i * n;
-      int64_t j = 0;
-      for (; j + 4 <= n; j += 4) {
-        const float* b0 = b + j * k;
-        const float* b1 = b0 + k;
-        const float* b2 = b1 + k;
-        const float* b3 = b2 + k;
-        float acc0 = beta == 0.f ? 0.f : beta * crow[j];
-        float acc1 = beta == 0.f ? 0.f : beta * crow[j + 1];
-        float acc2 = beta == 0.f ? 0.f : beta * crow[j + 2];
-        float acc3 = beta == 0.f ? 0.f : beta * crow[j + 3];
-        for (int64_t p = 0; p < k; ++p) {
-          const float av = alpha * arow[p];
-          if (av == 0.f) continue;
-          acc0 += av * b0[p];
-          acc1 += av * b1[p];
-          acc2 += av * b2[p];
-          acc3 += av * b3[p];
-        }
-        crow[j] = acc0;
-        crow[j + 1] = acc1;
-        crow[j + 2] = acc2;
-        crow[j + 3] = acc3;
-      }
-      for (; j < n; ++j) {
-        const float* brow = b + j * k;
-        float acc = beta == 0.f ? 0.f : beta * crow[j];
-        for (int64_t p = 0; p < k; ++p) {
-          const float av = alpha * arow[p];
-          if (av == 0.f) continue;
-          acc += av * brow[p];
-        }
-        crow[j] = acc;
-      }
-    }
-  });
+const void* raw_ptr(const Tensor& t) {
+  return t.dtype() == DType::kF32
+             ? static_cast<const void*>(t.data())
+             : static_cast<const void*>(t.data_u16());
 }
 
-// Materializes the transpose of a row-major [r, c] matrix into pooled
-// scratch (every entry is written, so the buffer stays uninitialized).
-PooledBuffer transpose_copy(const float* src, int64_t r, int64_t c) {
-  PooledBuffer out(r * c);
-  float* po = out.data();
-  for (int64_t i = 0; i < r; ++i)
-    for (int64_t j = 0; j < c; ++j) po[j * r + i] = src[i * c + j];
-  return out;
+void gemm_tensors(const Tensor& a, const Tensor& b, float* c, int64_t m,
+                  int64_t n, int64_t k, bool trans_a, bool trans_b, DType qa,
+                  DType qb, float* scratch = nullptr) {
+  vec::GemmArgs g;
+  g.a = raw_ptr(a);
+  g.a_type = pack_type(a.dtype(), qa);
+  g.trans_a = trans_a;
+  g.b = raw_ptr(b);
+  g.b_type = pack_type(b.dtype(), qb);
+  g.trans_b = trans_b;
+  g.c = c;
+  g.m = m;
+  g.n = n;
+  g.k = k;
+  g.scratch = scratch;
+  vec::gemm(g);
 }
 
 }  // namespace
 
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
-          int64_t k, bool trans_a, bool trans_b, float alpha, float beta) {
-  if (trans_b && !trans_a) {
-    gemm_nt(a, b, c, m, n, k, alpha, beta);
-    return;
-  }
-  // Normalize the remaining cases to NN by materializing transposed
-  // operands; the O(MK) copy is negligible next to the O(MNK) product at
-  // our sizes.
-  PooledBuffer at, bt;
-  if (trans_a) {
-    at = transpose_copy(a, k, m);  // stored as [K, M] -> want [M, K]
-    a = at.data();
-  }
-  if (trans_b) {
-    bt = transpose_copy(b, n, k);  // stored as [N, K] -> want [K, N]
-    b = bt.data();
-  }
-  gemm_nn(a, b, c, m, n, k, alpha, beta);
+          int64_t k, bool trans_a, bool trans_b, float alpha, float beta,
+          float* scratch) {
+  vec::GemmArgs g;
+  g.a = a;
+  g.trans_a = trans_a;
+  g.b = b;
+  g.trans_b = trans_b;
+  g.c = c;
+  g.m = m;
+  g.n = n;
+  g.k = k;
+  g.alpha = alpha;
+  g.beta = beta;
+  g.scratch = scratch;
+  vec::gemm(g);
 }
 
-// Every GEMM widens half-precision operands to f32 here, at entry on the
-// launching thread, and accumulates in f32 — the AMP compute policy. The
-// widened scratch is pool-backed (a pool hit when warm) and as_f32 is the
-// identity for f32 inputs, so the fp32 path is untouched.
-Tensor matmul(const Tensor& a_in, const Tensor& b_in) {
-  const Tensor a = as_f32(a_in), b = as_f32(b_in);
+int64_t gemm_scratch_floats(int64_t m, int64_t n, int64_t k) {
+  return vec::gemm_scratch_floats(m, n, k);
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, DType qa, DType qb) {
   HFTA_CHECK(a.dim() == 2 && b.dim() == 2 && a.size(1) == b.size(0),
              "matmul: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
   Tensor c = Tensor::empty({a.size(0), b.size(1)});
-  gemm(a.data(), b.data(), c.data(), a.size(0), b.size(1), a.size(1), false,
-       false);
+  gemm_tensors(a, b, c.data(), a.size(0), b.size(1), a.size(1), false, false,
+               qa, qb);
   return c;
 }
 
-Tensor matmul_tn(const Tensor& a_in, const Tensor& b_in) {
-  const Tensor a = as_f32(a_in), b = as_f32(b_in);
+Tensor matmul_tn(const Tensor& a, const Tensor& b, DType qa, DType qb) {
   HFTA_CHECK(a.dim() == 2 && b.dim() == 2 && a.size(0) == b.size(0),
              "matmul_tn: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
   Tensor c = Tensor::empty({a.size(1), b.size(1)});
-  gemm(a.data(), b.data(), c.data(), a.size(1), b.size(1), a.size(0), true,
-       false);
+  gemm_tensors(a, b, c.data(), a.size(1), b.size(1), a.size(0), true, false,
+               qa, qb);
   return c;
 }
 
-Tensor matmul_nt(const Tensor& a_in, const Tensor& b_in) {
-  const Tensor a = as_f32(a_in), b = as_f32(b_in);
+Tensor matmul_nt(const Tensor& a, const Tensor& b, DType qa, DType qb) {
   HFTA_CHECK(a.dim() == 2 && b.dim() == 2 && a.size(1) == b.size(1),
              "matmul_nt: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
   Tensor c = Tensor::empty({a.size(0), b.size(0)});
-  gemm(a.data(), b.data(), c.data(), a.size(0), b.size(0), a.size(1), false,
-       true);
+  gemm_tensors(a, b, c.data(), a.size(0), b.size(0), a.size(1), false, true,
+               qa, qb);
   return c;
 }
 
 namespace {
-Tensor bmm_impl(const Tensor& a_in, const Tensor& b_in, bool ta, bool tb) {
-  const Tensor a = as_f32(a_in), b = as_f32(b_in);
+Tensor bmm_impl(const Tensor& a, const Tensor& b, bool ta, bool tb, DType qa,
+                DType qb) {
   HFTA_CHECK(a.dim() == 3 && b.dim() == 3 && a.size(0) == b.size(0),
              "bmm: ", shape_str(a.shape()), " @ ", shape_str(b.shape()));
   const int64_t B = a.size(0);
@@ -170,49 +127,63 @@ Tensor bmm_impl(const Tensor& a_in, const Tensor& b_in, bool ta, bool tb) {
   const int64_t n = tb ? b.size(1) : b.size(2);
   HFTA_CHECK(ka == kb, "bmm: inner dim mismatch ", ka, " vs ", kb);
   Tensor c = Tensor::empty({B, m, n});
-  const int64_t a_sz = a.size(1) * a.size(2);
-  const int64_t b_sz = b.size(1) * b.size(2);
-  // When A is transposed, the whole aᵀ batch goes in one slab acquired here
-  // on the launching thread; the per-entry transposes below write disjoint
-  // slots. Calling gemm's TN path from inside the body instead would
-  // acquire transpose scratch on whichever worker ran the chunk, and
-  // warm-pool state would depend on scheduling. (trans_b needs no scratch:
-  // gemm has a native NT path.)
-  PooledBuffer at;
-  if (ta) at = PooledBuffer(B * a_sz);
-  float* pat = ta ? at.data() : nullptr;
-  const float* pa = a.data();
-  const float* pb = b.data();
+  const int64_t a_bytes = a.size(1) * a.size(2) * dtype_size(a.dtype());
+  const int64_t b_bytes = b.size(1) * b.size(2) * dtype_size(b.dtype());
+  // One packing-scratch slot per partition chunk, acquired HERE on the
+  // launching thread (DESIGN §10): entries within a chunk run serially and
+  // reuse their chunk's slot, so the slab size is a pure function of the
+  // problem size and warm-pool state cannot depend on scheduling. The
+  // packed-panel path also absorbs both transposes — the old per-batch
+  // materialized aT slab is gone.
+  const Partition part = Partition::rows(B);
+  const int64_t slot = vec::gemm_scratch_floats(m, n, ka);
+  PooledBuffer scratch(part.num_chunks() * slot);
+  float* ps = scratch.data();
+  const char* pa = static_cast<const char*>(raw_ptr(a));
+  const char* pb = static_cast<const char*>(raw_ptr(b));
   float* pc = c.data();
+  vec::GemmArgs g;
+  g.a_type = pack_type(a.dtype(), qa);
+  g.trans_a = ta;
+  g.b_type = pack_type(b.dtype(), qb);
+  g.trans_b = tb;
+  g.m = m;
+  g.n = n;
+  g.k = ka;
   // Parallelize across batch entries; the per-matrix gemm runs inline when
   // called from the pool (no nested parallelism).
-  parallel_for(Partition::rows(B), [&](int64_t lo, int64_t hi) {
+  parallel_for(part, [&](int64_t lo, int64_t hi) {
+    vec::GemmArgs gi = g;
+    gi.scratch = ps + part.chunk_index(lo) * slot;
     for (int64_t i = lo; i < hi; ++i) {
-      const float* ai = pa + i * a_sz;
-      if (ta) {
-        // a_i is stored [ka, m]; materialize [m, ka] in this entry's slot.
-        float* t = pat + i * a_sz;
-        for (int64_t r = 0; r < ka; ++r)
-          for (int64_t j = 0; j < m; ++j) t[j * ka + r] = ai[r * m + j];
-        ai = t;
-      }
-      gemm(ai, pb + i * b_sz, pc + i * m * n, m, n, ka, false, tb);
+      gi.a = pa + i * a_bytes;
+      gi.b = pb + i * b_bytes;
+      gi.c = pc + i * m * n;
+      vec::gemm(gi);
     }
   });
   return c;
 }
 }  // namespace
 
-Tensor bmm(const Tensor& a, const Tensor& b) { return bmm_impl(a, b, false, false); }
-Tensor bmm_tn(const Tensor& a, const Tensor& b) { return bmm_impl(a, b, true, false); }
-Tensor bmm_nt(const Tensor& a, const Tensor& b) { return bmm_impl(a, b, false, true); }
+Tensor bmm(const Tensor& a, const Tensor& b, DType qa, DType qb) {
+  return bmm_impl(a, b, false, false, qa, qb);
+}
+Tensor bmm_tn(const Tensor& a, const Tensor& b, DType qa, DType qb) {
+  return bmm_impl(a, b, true, false, qa, qb);
+}
+Tensor bmm_nt(const Tensor& a, const Tensor& b, DType qa, DType qb) {
+  return bmm_impl(a, b, false, true, qa, qb);
+}
 
-Tensor baddbmm(const Tensor& bias, const Tensor& a, const Tensor& b) {
-  Tensor c = bmm(a, b);
+Tensor baddbmm(const Tensor& bias, const Tensor& a, const Tensor& b, DType qa,
+               DType qb) {
+  Tensor c = bmm(a, b, qa, qb);
   return ops::add(c, bias);
 }
 
-Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b) {
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                      DType qx, DType qw) {
   HFTA_CHECK(w.dim() == 2, "linear: weight must be [out, in]");
   const int64_t in = w.size(1);
   const int64_t out = w.size(0);
@@ -220,7 +191,7 @@ Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b) {
              " != weight in ", in);
   const int64_t rows = x.numel() / in;
   Tensor x2 = x.reshape({rows, in});
-  Tensor y = matmul_nt(x2, w);  // [rows, out]
+  Tensor y = matmul_nt(x2, w, qx, qw);  // [rows, out]
   if (b.defined()) {
     HFTA_CHECK(b.numel() == out, "linear: bias size mismatch");
     float* py = y.data();
@@ -229,7 +200,7 @@ Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b) {
     // row's, so the decomposition cannot change any result bit.
     parallel_for(Partition::rows(rows), [&](int64_t lo, int64_t hi) {
       for (int64_t r = lo; r < hi; ++r)
-        for (int64_t o = 0; o < out; ++o) py[r * out + o] += pb[o];
+        vec::binary(vec::BinOp::kAdd, py + r * out, pb, py + r * out, out);
     });
   }
   Shape out_shape = x.shape();

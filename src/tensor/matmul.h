@@ -8,30 +8,56 @@
 namespace hfta::ops {
 
 /// C[M,N] (+)= alpha * A[M,K] @ B[K,N]; when beta == 0 C is overwritten,
-/// when beta == 1 C is accumulated into. A/B may be logically transposed.
+/// when beta == 1 C is accumulated into. A/B may be logically transposed
+/// (absorbed by the packed-panel kernel — no materialized transposes).
+///
+/// `scratch` is the packing workspace: callers inside a parallel body MUST
+/// pass a hoisted region of gemm_scratch_floats(m, n, k) floats (DESIGN §10);
+/// a nullptr means "top-level call" and the kernel acquires pool scratch on
+/// the launching thread itself.
 void gemm(const float* a, const float* b, float* c, int64_t m, int64_t n,
           int64_t k, bool trans_a, bool trans_b, float alpha = 1.f,
-          float beta = 0.f);
+          float beta = 0.f, float* scratch = nullptr);
+
+/// Packing-workspace size (in floats) a gemm of this shape needs.
+int64_t gemm_scratch_floats(int64_t m, int64_t n, int64_t k);
+
+// Every variant takes per-operand quantize policies qa/qb: kF16/kBF16 asks
+// the kernel to quantize that F32 operand RNE to the half format DURING
+// packing and widen it back — bit-identical to casting the tensor to 16-bit
+// storage first (autocast's definition) with no materialized cast tensor or
+// extra memory pass. kF32 (the default) packs verbatim; operands already
+// stored in a half dtype are widened as before and their policy is ignored.
 
 /// [M,K] @ [K,N] -> [M,N].
-Tensor matmul(const Tensor& a, const Tensor& b);
+Tensor matmul(const Tensor& a, const Tensor& b, DType qa = DType::kF32,
+              DType qb = DType::kF32);
 /// [M,K]^T-aware product: a [K,M] treated as transposed.
-Tensor matmul_tn(const Tensor& a, const Tensor& b);
+Tensor matmul_tn(const Tensor& a, const Tensor& b, DType qa = DType::kF32,
+                 DType qb = DType::kF32);
 /// a [M,K] @ b[N,K]^T -> [M,N].
-Tensor matmul_nt(const Tensor& a, const Tensor& b);
+Tensor matmul_nt(const Tensor& a, const Tensor& b, DType qa = DType::kF32,
+                 DType qb = DType::kF32);
 
 /// [B,M,K] @ [B,K,N] -> [B,M,N].
-Tensor bmm(const Tensor& a, const Tensor& b);
+Tensor bmm(const Tensor& a, const Tensor& b, DType qa = DType::kF32,
+           DType qb = DType::kF32);
 /// bmm with a transposed: a [B,K,M].
-Tensor bmm_tn(const Tensor& a, const Tensor& b);
+Tensor bmm_tn(const Tensor& a, const Tensor& b, DType qa = DType::kF32,
+              DType qb = DType::kF32);
 /// bmm with b transposed: b [B,N,K].
-Tensor bmm_nt(const Tensor& a, const Tensor& b);
+Tensor bmm_nt(const Tensor& a, const Tensor& b, DType qa = DType::kF32,
+              DType qb = DType::kF32);
 
 /// bias [B,1,N] (or broadcastable to [B,M,N]) + [B,M,K] @ [B,K,N].
 /// This is the fused-Linear kernel of the paper (Appendix B, row Linear).
-Tensor baddbmm(const Tensor& bias, const Tensor& a, const Tensor& b);
+/// The quantize policies apply to a/b only — the bias add stays f32.
+Tensor baddbmm(const Tensor& bias, const Tensor& a, const Tensor& b,
+               DType qa = DType::kF32, DType qb = DType::kF32);
 
 /// PyTorch-convention linear: x [.., in] @ w[out, in]^T + b[out].
-Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b);
+/// qx/qw quantize x and w; the bias add stays f32.
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                      DType qx = DType::kF32, DType qw = DType::kF32);
 
 }  // namespace hfta::ops

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "core/parallel.h"
+#include "core/vec.h"
 
 namespace hfta::ops {
 
@@ -36,6 +37,35 @@ std::vector<int64_t> broadcast_strides(const Shape& padded, const Shape& out) {
     s *= padded[ui];
   }
   return strides;
+}
+
+// Same-shape fast path through the vec layer: contiguous [lo, hi) slices of
+// one elementwise map, chunked exactly like the scalar loop it replaces.
+// These ops are single-rounding IEEE maps, so vectorization cannot change
+// any output bit. Broadcast shapes fall back to the generic strided walk.
+Tensor binary_vec(const Tensor& a, const Tensor& b, vec::BinOp op,
+                  float (*fn)(float, float)) {
+  if (a.defined() && b.defined() && a.shape() == b.shape()) {
+    Tensor out = Tensor::empty(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    parallel_for(Partition::elems(out.numel()), [&](int64_t lo, int64_t hi) {
+      vec::binary(op, pa + lo, pb + lo, po + lo, hi - lo);
+    });
+    return out;
+  }
+  return binary(a, b, fn);
+}
+
+Tensor unary_vec(const Tensor& a, vec::UnOp op, float p0, float p1 = 0.f) {
+  Tensor out = Tensor::empty(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  parallel_for(Partition::elems(a.numel()), [&](int64_t lo, int64_t hi) {
+    vec::unary(op, p0, p1, pa + lo, po + lo, hi - lo);
+  });
+  return out;
 }
 
 }  // namespace
@@ -110,19 +140,24 @@ Tensor binary(const Tensor& a, const Tensor& b, float (*fn)(float, float)) {
 }
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  return binary(a, b, [](float x, float y) { return x + y; });
+  return binary_vec(a, b, vec::BinOp::kAdd,
+                    [](float x, float y) { return x + y; });
 }
 Tensor sub(const Tensor& a, const Tensor& b) {
-  return binary(a, b, [](float x, float y) { return x - y; });
+  return binary_vec(a, b, vec::BinOp::kSub,
+                    [](float x, float y) { return x - y; });
 }
 Tensor mul(const Tensor& a, const Tensor& b) {
-  return binary(a, b, [](float x, float y) { return x * y; });
+  return binary_vec(a, b, vec::BinOp::kMul,
+                    [](float x, float y) { return x * y; });
 }
 Tensor div(const Tensor& a, const Tensor& b) {
-  return binary(a, b, [](float x, float y) { return x / y; });
+  return binary_vec(a, b, vec::BinOp::kDiv,
+                    [](float x, float y) { return x / y; });
 }
 Tensor maximum(const Tensor& a, const Tensor& b) {
-  return binary(a, b, [](float x, float y) { return x > y ? x : y; });
+  return binary_vec(a, b, vec::BinOp::kMax,
+                    [](float x, float y) { return x > y ? x : y; });
 }
 
 Tensor reduce_to_shape(const Tensor& grad, const Shape& shape) {
@@ -139,10 +174,10 @@ Tensor reduce_to_shape(const Tensor& grad, const Shape& shape) {
 }
 
 Tensor add_scalar(const Tensor& a, float s) {
-  return unary(a, [s](float x) { return x + s; });
+  return unary_vec(a, vec::UnOp::kAddScalar, s);
 }
 Tensor mul_scalar(const Tensor& a, float s) {
-  return unary(a, [s](float x) { return x * s; });
+  return unary_vec(a, vec::UnOp::kMulScalar, s);
 }
 
 Tensor unary(const Tensor& a, FunctionRef<float(float)> fn) {
@@ -156,7 +191,7 @@ Tensor unary(const Tensor& a, FunctionRef<float(float)> fn) {
   return out;
 }
 
-Tensor neg(const Tensor& a) { return unary(a, [](float x) { return -x; }); }
+Tensor neg(const Tensor& a) { return unary_vec(a, vec::UnOp::kNeg, 0.f); }
 Tensor exp(const Tensor& a) { return unary(a, [](float x) { return std::exp(x); }); }
 Tensor log(const Tensor& a) { return unary(a, [](float x) { return std::log(x); }); }
 Tensor sqrt(const Tensor& a) { return unary(a, [](float x) { return std::sqrt(x); }); }
@@ -164,21 +199,22 @@ Tensor tanh(const Tensor& a) { return unary(a, [](float x) { return std::tanh(x)
 Tensor sigmoid(const Tensor& a) {
   return unary(a, [](float x) { return 1.f / (1.f + std::exp(-x)); });
 }
-Tensor relu(const Tensor& a) {
-  return unary(a, [](float x) { return x > 0.f ? x : 0.f; });
+Tensor relu(const Tensor& a) { return unary_vec(a, vec::UnOp::kRelu, 0.f); }
+Tensor relu_backward(const Tensor& gy, const Tensor& x) {
+  return binary_vec(gy, x, vec::BinOp::kReluBwd, [](float g, float v) {
+    return g * (v > 0.f ? 1.f : 0.f);
+  });
 }
 Tensor clamp(const Tensor& a, float lo, float hi) {
-  return unary(a, [lo, hi](float x) { return std::min(hi, std::max(lo, x)); });
+  return unary_vec(a, vec::UnOp::kClamp, lo, hi);
 }
 Tensor leaky_relu(const Tensor& a, float slope) {
-  return unary(a, [slope](float x) { return x > 0.f ? x : slope * x; });
+  return unary_vec(a, vec::UnOp::kLeakyRelu, slope);
 }
 Tensor pow_scalar(const Tensor& a, float p) {
   return unary(a, [p](float x) { return std::pow(x, p); });
 }
-Tensor abs(const Tensor& a) {
-  return unary(a, [](float x) { return std::fabs(x); });
-}
+Tensor abs(const Tensor& a) { return unary_vec(a, vec::UnOp::kAbs, 0.f); }
 
 Tensor sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
   const int64_t nd = a.dim();
@@ -217,6 +253,35 @@ Tensor sum(const Tensor& a, std::vector<int64_t> dims, bool keepdim) {
   const float* pa = a.data();
   float* po = out.data();
   const int64_t out_n = out.numel();
+  // Fast path: when the reduced dims form one contiguous block, the input is
+  // a [outer, red_count, inner] view with unit-stride inner, and each output
+  // element's chain is a per-column ascending-r sum — exactly vec::col_sum's
+  // contract, so this path is bit-identical to the generic walk below.
+  // (Hot case: bias gradients, sum over the row dim of a [rows, out] view.)
+  if (!red_size.empty()) {
+    bool consec = true;
+    int64_t d0 = -1, dprev = -1;
+    for (int64_t i = 0; i < nd; ++i) {
+      if (!reduce[static_cast<size_t>(i)]) continue;
+      if (d0 < 0) d0 = i;
+      else if (i != dprev + 1) { consec = false; break; }
+      dprev = i;
+    }
+    if (consec) {
+      int64_t outer = 1, inner = 1;
+      for (int64_t i = 0; i < d0; ++i) outer *= a.size(i);
+      for (int64_t i = dprev < 0 ? d0 + 1 : dprev + 1; i < nd; ++i)
+        inner *= a.size(i);
+      if (inner > 1) {
+        parallel_for(Partition::rows(outer), [&](int64_t lo, int64_t hi) {
+          for (int64_t o = lo; o < hi; ++o)
+            vec::col_sum(pa + o * red_count * inner, po + o * inner, red_count,
+                         inner, /*accumulate=*/false);
+        });
+        return out;
+      }
+    }
+  }
   // Output-parallel reduction: each output element owns one accumulation
   // chain that visits its inputs in ascending flat order — the same order
   // the old serial flat walk used — so no chain is ever split and the
@@ -443,19 +508,23 @@ void rowwise(const Tensor& a, int64_t dim, Tensor& out, Fn fn) {
 }
 }  // namespace
 
+// softmax / log_softmax run on the vec row reductions: fixed 8-lane strips
+// with the fixed cross-lane tree and the shared polynomial exp — the SAME
+// strip/tree shape on every backend and at every thread count, so fused ==
+// serial == scalar-build holds bitwise (see DESIGN.md §11).
+
 Tensor softmax(const Tensor& a, int64_t dim) {
   if (dim < 0) dim += a.dim();
   Tensor out = Tensor::empty(a.shape());
   rowwise(a, dim, out, [](const float* x, float* y, int64_t n, int64_t st) {
-    float mx = x[0];
-    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, x[i * st]);
-    float z = 0.f;
-    for (int64_t i = 0; i < n; ++i) {
-      y[i * st] = std::exp(x[i * st] - mx);
-      z += y[i * st];
-    }
+    const float mx = vec::row_max(x, st, n);
+    const float z = vec::row_sumexp(x, st, n, mx, y);
     const float inv = 1.f / z;
-    for (int64_t i = 0; i < n; ++i) y[i * st] *= inv;
+    if (st == 1) {
+      vec::unary(vec::UnOp::kMulScalar, inv, 0.f, y, y, n);
+    } else {
+      for (int64_t i = 0; i < n; ++i) y[i * st] *= inv;
+    }
   });
   return out;
 }
@@ -464,12 +533,15 @@ Tensor log_softmax(const Tensor& a, int64_t dim) {
   if (dim < 0) dim += a.dim();
   Tensor out = Tensor::empty(a.shape());
   rowwise(a, dim, out, [](const float* x, float* y, int64_t n, int64_t st) {
-    float mx = x[0];
-    for (int64_t i = 1; i < n; ++i) mx = std::max(mx, x[i * st]);
-    float z = 0.f;
-    for (int64_t i = 0; i < n; ++i) z += std::exp(x[i * st] - mx);
+    const float mx = vec::row_max(x, st, n);
+    const float z = vec::row_sumexp(x, st, n, mx, nullptr);
     const float lse = mx + std::log(z);
-    for (int64_t i = 0; i < n; ++i) y[i * st] = x[i * st] - lse;
+    if (st == 1) {
+      // x - lse == x + (-lse) exactly (negation is exact).
+      vec::unary(vec::UnOp::kAddScalar, -lse, 0.f, x, y, n);
+    } else {
+      for (int64_t i = 0; i < n; ++i) y[i * st] = x[i * st] - lse;
+    }
   });
   return out;
 }
@@ -523,8 +595,7 @@ Tensor embedding_backward(const Tensor& grad_out, const Tensor& indices,
       const int64_t v = static_cast<int64_t>(pi[i]);
       if (v < lo || v >= hi) continue;
       float* row = pw + v * E;
-      const float* g = pg + i * E;
-      for (int64_t e = 0; e < E; ++e) row[e] += g[e];
+      vec::binary(vec::BinOp::kAdd, row, pg + i * E, row, E);
     }
   });
   return gw;

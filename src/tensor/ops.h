@@ -56,6 +56,9 @@ Tensor sqrt(const Tensor& a);
 Tensor tanh(const Tensor& a);
 Tensor sigmoid(const Tensor& a);
 Tensor relu(const Tensor& a);
+/// gy * ((x > 0) ? 1 : 0) in one pass — the relu backward mask-and-multiply
+/// without materializing the mask (bit-identical to the two-pass form).
+Tensor relu_backward(const Tensor& gy, const Tensor& x);
 Tensor clamp(const Tensor& a, float lo, float hi);
 Tensor leaky_relu(const Tensor& a, float slope);
 Tensor pow_scalar(const Tensor& a, float p);

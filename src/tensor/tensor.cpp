@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/storage_pool.h"
+#include "core/vec.h"
 
 namespace hfta {
 
@@ -244,21 +245,17 @@ Tensor Tensor::slice(int64_t d, int64_t start, int64_t end) const {
   return out;
 }
 
-void Tensor::fill_(float v) {
-  std::fill(data(), data() + numel_, v);
-}
+void Tensor::fill_(float v) { vec::fill(v, data(), numel_); }
 
 void Tensor::add_(const Tensor& other, float alpha) {
   HFTA_CHECK(numel_ == other.numel_, "add_: numel mismatch ", numel_, " vs ",
              other.numel_);
-  const float* o = other.data();
-  float* p = data();
-  for (int64_t i = 0; i < numel_; ++i) p[i] += alpha * o[i];
+  // p[i] += alpha * o[i], separate mul + add (vec::axpy's exact contract).
+  vec::axpy(alpha, other.data(), data(), numel_);
 }
 
 void Tensor::mul_(float s) {
-  float* p = data();
-  for (int64_t i = 0; i < numel_; ++i) p[i] *= s;
+  vec::unary(vec::UnOp::kMulScalar, s, 0.f, data(), data(), numel_);
 }
 
 void Tensor::copy_(const Tensor& other) {

@@ -30,6 +30,32 @@ class StoragePoolTest : public ::testing::Test {
   }
 };
 
+TEST_F(StoragePoolTest, PayloadsAre64ByteAligned) {
+  // SIMD kernels rely on pooled payloads being cache-line aligned: bucket
+  // allocations, oversize heap fallbacks, and half-dtype views alike.
+  auto aligned64 = [](const void* p) {
+    return reinterpret_cast<uintptr_t>(p) % 64 == 0;
+  };
+  EXPECT_GE(alignof(StorageBlock), 64u);
+  Tensor bucket({4, 8});
+  EXPECT_TRUE(aligned64(bucket.data()));
+  Tensor odd({7});  // sub-bucket request still lands on an aligned block
+  EXPECT_TRUE(aligned64(odd.data()));
+  Tensor oversize({1 << 20});
+  EXPECT_TRUE(aligned64(oversize.data()));
+  Tensor half = Tensor::empty({5, 3}, DType::kF16);
+  EXPECT_TRUE(aligned64(half.data_u16()));
+  // Recycled buffers keep the alignment.
+  float* raw = nullptr;
+  {
+    Tensor t({64});
+    raw = t.data();
+  }
+  Tensor u({64});
+  EXPECT_EQ(u.data(), raw);
+  EXPECT_TRUE(aligned64(u.data()));
+}
+
 TEST_F(StoragePoolTest, BucketReuseRecyclesSameSize) {
   auto& pool = StoragePool::instance();
   float* raw = nullptr;
